@@ -1,0 +1,88 @@
+// Ablation A3: metacell size sweep. The paper fixes 9x9x9 samples (a small
+// multiple of the disk block); this ablation shows the trade-off that
+// choice sits on:
+//   * small metacells  -> more metacells, larger index, more per-brick I/O
+//     overhead, but tighter active sets (less wasted triangulation);
+//   * large metacells  -> smaller index, bulkier reads, but each active
+//     metacell drags in more inactive cells (wasted CPU) and culling
+//     saves less.
+
+#include <iostream>
+
+#include "common/bench_common.h"
+#include "metacell/source.h"
+
+int main(int argc, char** argv) {
+  using namespace oociso;
+  const bench::BenchSetup setup = bench::BenchSetup::from_cli(argc, argv);
+
+  std::cout << "== Ablation A3: metacell size (samples per side) ==\n";
+  const core::VolumeU8 volume =
+      data::generate_rm_timestep(setup.rm, setup.time_step);
+
+  util::Table table({"k", "record B", "metacells", "kept", "culled %",
+                     "index", "bricks", "avg I/O (s)", "avg triangulate (s)",
+                     "avg MTri/s"});
+  table.set_caption("A3 (averages over the isovalue sweep)");
+
+  struct Row {
+    std::int32_t k;
+    double culled;
+    std::uint64_t index_bytes;
+    double mtri;
+  };
+  std::vector<Row> rows;
+
+  for (const std::int32_t k : {5, 9, 17}) {
+    parallel::ClusterConfig cluster_config;
+    cluster_config.node_count = 1;
+    cluster_config.in_memory = true;
+    parallel::Cluster cluster(cluster_config);
+
+    const auto source = metacell::make_source(volume, k);
+    pipeline::PreprocessConfig config;
+    config.samples_per_side = k;
+    const pipeline::PreprocessResult prep =
+        pipeline::preprocess(*source, cluster, config);
+
+    pipeline::QueryEngine engine(cluster, prep);
+    pipeline::QueryOptions options;
+    options.render = false;
+
+    double io_seconds = 0.0;
+    double triangulate_seconds = 0.0;
+    double mtri = 0.0;
+    int counted = 0;
+    for (const float isovalue : setup.isovalues) {
+      const pipeline::QueryReport report = engine.run(isovalue, options);
+      if (report.total_triangles() == 0) continue;
+      io_seconds += report.times.max_phase(parallel::Phase::kAmcRetrieval);
+      triangulate_seconds +=
+          report.times.max_phase(parallel::Phase::kTriangulation);
+      mtri += report.mtri_per_second();
+      ++counted;
+    }
+    const double n = std::max(counted, 1);
+    rows.push_back(Row{k, prep.culled_fraction(), prep.index_bytes(),
+                       mtri / n});
+    table.add_row({std::to_string(k),
+                   util::with_commas(metacell::record_size(prep.kind, k)),
+                   util::with_commas(prep.total_metacells),
+                   util::with_commas(prep.kept_metacells),
+                   util::fixed(100.0 * prep.culled_fraction(), 1),
+                   util::human_bytes(prep.index_bytes()),
+                   util::human_bytes(prep.bytes_written),
+                   util::fixed(io_seconds / n, 3),
+                   util::fixed(triangulate_seconds / n, 3),
+                   util::fixed(mtri / n, 2)});
+  }
+  std::cout << table.render() << "\n";
+
+  bench::shape_check("smaller metacells cull a larger fraction",
+                     rows[0].culled > rows[1].culled &&
+                         rows[1].culled > rows[2].culled);
+  bench::shape_check("larger metacells shrink the index",
+                     rows[0].index_bytes > rows[1].index_bytes &&
+                         rows[1].index_bytes > rows[2].index_bytes);
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Compositing bench (paper Section 6): "the time of sorting and shuffling
+// the frame buffers among various nodes via 10 Gbps InfiniBand doesn't
+// cause a noticeable overhead compared to the time it takes to extract and
+// render the triangles". Measures both schedules' traffic and modeled time
+// across node counts and image sizes, and compares against the extraction
+// time of a matching query.
+
+#include <iostream>
+
+#include "common/bench_common.h"
+#include "compositing/sort_last.h"
+#include "parallel/cost_model.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace oociso;
+
+render::Framebuffer random_frame(std::int32_t size, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  render::Framebuffer fb(size, size);
+  for (std::int32_t y = 0; y < size; ++y) {
+    for (std::int32_t x = 0; x < size; ++x) {
+      if (rng.uniform() < 0.4) {
+        fb.plot(x, y, static_cast<float>(rng.uniform(1.0, 100.0)),
+                {static_cast<std::uint8_t>(rng.bounded(256)), 128, 128});
+      }
+    }
+  }
+  return fb;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace oociso;
+  bench::BenchSetup setup = bench::BenchSetup::from_cli(argc, argv);
+  const parallel::NetworkModel network;  // 10 Gb/s InfiniBand defaults
+
+  std::cout << "== Compositing: direct-send vs binary-swap ==\n";
+  util::Table table({"p", "image", "direct bytes", "direct max/node",
+                     "direct (ms)", "swap bytes", "swap max/node",
+                     "swap (ms)", "rounds"});
+
+  bool swap_scales = true;
+  for (const std::size_t p : {2u, 4u, 8u, 16u}) {
+    for (const std::int32_t size : {512, 1024}) {
+      std::vector<render::Framebuffer> frames;
+      for (std::size_t i = 0; i < p; ++i) {
+        frames.push_back(random_frame(size, 100 * p + i));
+      }
+      const auto direct = compositing::direct_send(frames);
+      const auto swap = compositing::binary_swap(frames);
+      const double direct_ms =
+          network.seconds(direct.traffic.rounds, direct.traffic.max_node_bytes) *
+          1e3;
+      const double swap_ms =
+          network.seconds(swap.traffic.rounds, swap.traffic.max_node_bytes) *
+          1e3;
+
+      // Binary swap's per-node traffic must stay ~flat in p.
+      const std::uint64_t buffer_bytes =
+          frames[0].pixel_count() * render::Framebuffer::bytes_per_pixel();
+      if (swap.traffic.max_node_bytes > 3 * buffer_bytes) swap_scales = false;
+
+      table.add_row({std::to_string(p), std::to_string(size),
+                     util::human_bytes(direct.traffic.bytes_total),
+                     util::human_bytes(direct.traffic.max_node_bytes),
+                     util::fixed(direct_ms, 2),
+                     util::human_bytes(swap.traffic.bytes_total),
+                     util::human_bytes(swap.traffic.max_node_bytes),
+                     util::fixed(swap_ms, 2),
+                     std::to_string(swap.traffic.rounds)});
+    }
+  }
+  std::cout << table.render() << "\n";
+
+  // Compare against a real query's extraction cost at the paper's setting.
+  setup.image_size = 512;
+  bench::Prepared prepared = bench::prepare_rm(setup, 8);
+  pipeline::QueryEngine engine(*prepared.cluster, prepared.prep);
+  pipeline::QueryOptions options;
+  options.image_width = options.image_height = 512;
+  const pipeline::QueryReport report = engine.run(130.0f, options);
+  const double extraction =
+      report.completion_seconds() - report.composite_model_seconds;
+  std::cout << "query iso=130 on 8 nodes: extraction+render "
+            << util::human_seconds(extraction) << ", compositing "
+            << util::human_seconds(report.composite_model_seconds) << " ("
+            << util::fixed(100.0 * report.composite_model_seconds /
+                               report.completion_seconds(),
+                           1)
+            << "% of completion)\n";
+
+  bench::shape_check(
+      "binary-swap per-node traffic stays ~constant as p grows",
+      swap_scales);
+  bench::shape_check(
+      "compositing is a small fraction of query completion (< 25%)",
+      report.composite_model_seconds < 0.25 * report.completion_seconds());
+  return 0;
+}

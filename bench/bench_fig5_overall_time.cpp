@@ -1,0 +1,55 @@
+// Figure 5 reproduction: overall extraction+rendering time versus isovalue
+// for 1, 2, 4, and 8 processors (one curve per node count). Prints the
+// series as a table and as CSV for plotting.
+
+#include <iostream>
+
+#include "common/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace oociso;
+  const bench::BenchSetup setup =
+      bench::BenchSetup::from_cli(argc, argv, /*default_dims=*/384);
+  const std::size_t node_counts[] = {1, 2, 4, 8};
+
+  std::cout << "== Figure 5: overall time vs isovalue for p = 1, 2, 4, 8 ==\n";
+
+  // completion[p index][isovalue index]
+  std::vector<std::vector<double>> completion;
+  for (const std::size_t p : node_counts) {
+    bench::Prepared prepared = bench::prepare_rm(setup, p);
+    const auto reports = bench::run_sweep(prepared, setup);
+    std::vector<double> row;
+    row.reserve(reports.size());
+    for (const auto& report : reports) {
+      row.push_back(report.completion_seconds());
+    }
+    completion.push_back(std::move(row));
+  }
+
+  util::Table table(
+      {"isovalue", "p=1 (s)", "p=2 (s)", "p=4 (s)", "p=8 (s)"});
+  table.set_caption("Figure 5 (overall time per query)");
+  for (std::size_t i = 0; i < setup.isovalues.size(); ++i) {
+    table.add_row({util::fixed(setup.isovalues[i], 0),
+                   util::fixed(completion[0][i], 3),
+                   util::fixed(completion[1][i], 3),
+                   util::fixed(completion[2][i], 3),
+                   util::fixed(completion[3][i], 3)});
+  }
+  std::cout << table.render() << "\ncsv:\n" << table.render_csv() << "\n";
+
+  // Shape: curves are ordered p=1 above p=2 above p=4 above p=8 at every
+  // isovalue with meaningful work.
+  bool ordered = true;
+  for (std::size_t i = 0; i < setup.isovalues.size(); ++i) {
+    if (completion[0][i] < 0.01) continue;  // nearly-empty isovalue
+    for (std::size_t p = 1; p < 4; ++p) {
+      if (completion[p][i] >= completion[p - 1][i]) ordered = false;
+    }
+  }
+  bench::shape_check(
+      "more processors means strictly lower time at every isovalue",
+      ordered);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 6 reproduction: speedup relative to the single-node algorithm for
+// 2, 4, and 8 processors across the isovalue sweep.
+//
+// Paper's results: 4-node speedups of 3.54-3.97 and 8-node speedups of
+// 6.91-7.83, essentially independent of the isovalue — the consequence of
+// the provable per-isovalue load balance of brick striping.
+
+#include <algorithm>
+#include <iostream>
+
+#include "common/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace oociso;
+  const bench::BenchSetup setup =
+      bench::BenchSetup::from_cli(argc, argv, /*default_dims=*/384);
+  const std::size_t node_counts[] = {1, 2, 4, 8};
+
+  std::cout << "== Figure 6: speedups vs isovalue for p = 2, 4, 8 ==\n";
+
+  std::vector<std::vector<double>> completion;
+  for (const std::size_t p : node_counts) {
+    bench::Prepared prepared = bench::prepare_rm(setup, p);
+    const auto reports = bench::run_sweep(prepared, setup);
+    std::vector<double> row;
+    for (const auto& report : reports) {
+      row.push_back(report.completion_seconds());
+    }
+    completion.push_back(std::move(row));
+  }
+
+  util::Table table({"isovalue", "speedup p=2", "speedup p=4", "speedup p=8"});
+  table.set_caption("Figure 6 (speedup = T1 / Tp)");
+  std::vector<double> speedup4;
+  std::vector<double> speedup8;
+  for (std::size_t i = 0; i < setup.isovalues.size(); ++i) {
+    const double t1 = completion[0][i];
+    auto speedup = [t1](double tp) { return tp > 0.0 ? t1 / tp : 0.0; };
+    if (t1 >= 0.01) {  // skip nearly-empty isovalues in the aggregates
+      speedup4.push_back(speedup(completion[2][i]));
+      speedup8.push_back(speedup(completion[3][i]));
+    }
+    table.add_row({util::fixed(setup.isovalues[i], 0),
+                   util::fixed(speedup(completion[1][i]), 2),
+                   util::fixed(speedup(completion[2][i]), 2),
+                   util::fixed(speedup(completion[3][i]), 2)});
+  }
+  std::cout << table.render() << "\ncsv:\n" << table.render_csv() << "\n";
+
+  auto range = [](const std::vector<double>& v) {
+    const auto [lo, hi] = std::minmax_element(v.begin(), v.end());
+    return std::pair{*lo, *hi};
+  };
+  const auto [lo4, hi4] = range(speedup4);
+  const auto [lo8, hi8] = range(speedup8);
+  std::cout << "4-node speedups: " << util::fixed(lo4, 2) << " .. "
+            << util::fixed(hi4, 2) << " (paper: 3.54 .. 3.97)\n"
+            << "8-node speedups: " << util::fixed(lo8, 2) << " .. "
+            << util::fixed(hi8, 2) << " (paper: 6.91 .. 7.83)\n";
+
+  // Thresholds tolerate measured-CPU noise on shared hosts; the exact
+  // per-isovalue balance behind these speedups is asserted tightly by
+  // Tables 6-7 and the Striping unit tests.
+  bench::shape_check("4-node speedup is near-linear (>= 3.0) at every "
+                     "meaningful isovalue",
+                     lo4 >= 3.0);
+  // The paper's smallest sweep point still extracts ~100M triangles; at
+  // bench scale the lightest isovalues leave each of 8 nodes so little work
+  // that the O(log n) index-walk I/O term (which does not parallelize)
+  // shows. The threshold admits that regime while still requiring
+  // near-linear scaling.
+  bench::shape_check("8-node speedup is near-linear (>= 5.0) at every "
+                     "meaningful isovalue",
+                     lo8 >= 5.0);
+  bench::shape_check("speedup is isovalue-independent (spread < 30% of max)",
+                     (hi4 - lo4) / hi4 < 0.3 && (hi8 - lo8) / hi8 < 0.3);
+  return 0;
+}

@@ -1,0 +1,231 @@
+// Google-benchmark micro suite for the performance-critical kernels:
+// index construction and planning, record decode, marching cubes,
+// rasterization, z-compositing, and the noise generator.
+
+#include <benchmark/benchmark.h>
+
+#include "data/analytic_fields.h"
+#include "data/noise.h"
+#include "data/rm_generator.h"
+#include "extract/marching_cubes.h"
+#include "extract/mc_tables.h"
+#include "index/compact_interval_tree.h"
+#include "io/memory_block_device.h"
+#include "metacell/source.h"
+#include "render/camera.h"
+#include "render/rasterizer.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace oociso;
+
+std::vector<metacell::MetacellInfo> random_intervals(std::size_t count,
+                                                     std::uint32_t alphabet) {
+  util::Xoshiro256 rng(99);
+  std::vector<metacell::MetacellInfo> infos;
+  infos.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto a = static_cast<core::ValueKey>(rng.bounded(alphabet));
+    auto b = static_cast<core::ValueKey>(rng.bounded(alphabet));
+    if (a > b) std::swap(a, b);
+    if (a == b) b += 1;
+    infos.push_back({static_cast<std::uint32_t>(i), {a, b}});
+  }
+  return infos;
+}
+
+/// Tiny controlled source (k=2, u8) for index-only benchmarks.
+class MicroSource final : public metacell::MetacellSource {
+ public:
+  explicit MicroSource(const std::vector<metacell::MetacellInfo>& infos)
+      : geometry_({1026, 3, 3}, 2) {
+    for (const auto& info : infos) by_id_[info.id] = info.interval;
+  }
+  [[nodiscard]] const metacell::MetacellGeometry& geometry() const override {
+    return geometry_;
+  }
+  [[nodiscard]] core::ScalarKind kind() const override {
+    return core::ScalarKind::kU8;
+  }
+  [[nodiscard]] std::vector<metacell::MetacellInfo> scan() const override {
+    return {};
+  }
+  void encode(std::uint32_t id, std::vector<std::byte>& out) const override {
+    const auto interval = by_id_.at(id);
+    out.push_back(std::byte{static_cast<unsigned char>(id)});
+    out.push_back(std::byte{static_cast<unsigned char>(id >> 8)});
+    out.push_back(std::byte{static_cast<unsigned char>(id >> 16)});
+    out.push_back(std::byte{static_cast<unsigned char>(id >> 24)});
+    out.push_back(std::byte{static_cast<unsigned char>(interval.vmin)});
+    for (int i = 0; i < 8; ++i) {
+      out.push_back(std::byte{static_cast<unsigned char>(interval.vmax)});
+    }
+  }
+
+ private:
+  std::map<std::uint32_t, core::ValueInterval> by_id_;
+  metacell::MetacellGeometry geometry_;
+};
+
+void BM_CompactTreeBuild(benchmark::State& state) {
+  const auto infos =
+      random_intervals(static_cast<std::size_t>(state.range(0)), 200);
+  const MicroSource source(infos);
+  for (auto _ : state) {
+    io::MemoryBlockDevice device(4096);
+    io::BlockDevice* ptr = &device;
+    auto built = index::CompactTreeBuilder::build(infos, source, {&ptr, 1});
+    benchmark::DoNotOptimize(built.trees[0].entry_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CompactTreeBuild)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_CompactTreePlan(benchmark::State& state) {
+  const auto infos = random_intervals(50000, 200);
+  const MicroSource source(infos);
+  io::MemoryBlockDevice device(4096);
+  io::BlockDevice* ptr = &device;
+  const auto built = index::CompactTreeBuilder::build(infos, source, {&ptr, 1});
+  const auto& tree = built.trees[0];
+  float isovalue = 0.0f;
+  for (auto _ : state) {
+    isovalue = isovalue > 199.0f ? 0.0f : isovalue + 7.3f;
+    benchmark::DoNotOptimize(tree.plan(isovalue).scans.size());
+  }
+}
+BENCHMARK(BM_CompactTreePlan);
+
+void BM_CompactTreeQueryExecute(benchmark::State& state) {
+  const auto infos = random_intervals(50000, 200);
+  const MicroSource source(infos);
+  io::MemoryBlockDevice device(4096);
+  io::BlockDevice* ptr = &device;
+  const auto built = index::CompactTreeBuilder::build(infos, source, {&ptr, 1});
+  const auto& tree = built.trees[0];
+  std::uint64_t total = 0;
+  for (auto _ : state) {
+    total += tree.query(100.0f, device, [](auto) {}).active_metacells;
+  }
+  benchmark::DoNotOptimize(total);
+  state.SetItemsProcessed(static_cast<std::int64_t>(total));
+}
+BENCHMARK(BM_CompactTreeQueryExecute);
+
+void BM_TriangulateCell(benchmark::State& state) {
+  std::array<core::Vec3, 8> corners;
+  for (std::size_t i = 0; i < 8; ++i) {
+    corners[i] = {static_cast<float>(extract::kCornerOffsets[i][0]),
+                  static_cast<float>(extract::kCornerOffsets[i][1]),
+                  static_cast<float>(extract::kCornerOffsets[i][2])};
+  }
+  util::Xoshiro256 rng(3);
+  std::array<float, 8> values;
+  for (auto& v : values) v = static_cast<float>(rng.bounded(256));
+  extract::TriangleSoup soup;
+  for (auto _ : state) {
+    soup.clear();
+    benchmark::DoNotOptimize(
+        extract::triangulate_cell(values, corners, 128.0f, soup));
+    // rotate values so different MC cases are exercised
+    std::rotate(values.begin(), values.begin() + 1, values.end());
+  }
+}
+BENCHMARK(BM_TriangulateCell);
+
+void BM_ExtractMetacell(benchmark::State& state) {
+  const auto volume = data::make_gyroid_field({17, 17, 17});
+  const metacell::MetacellGeometry geometry(volume.dims(), 9);
+  std::vector<std::byte> record;
+  metacell::encode_metacell(volume, geometry, 0, record);
+  const auto cell =
+      metacell::decode_metacell(record, core::ScalarKind::kU8, geometry);
+  extract::TriangleSoup soup;
+  for (auto _ : state) {
+    soup.clear();
+    const auto stats = extract::extract_metacell(cell, 128.0f, soup);
+    benchmark::DoNotOptimize(stats.triangles);
+  }
+  state.SetItemsProcessed(state.iterations() * 512);  // cells per metacell
+}
+BENCHMARK(BM_ExtractMetacell);
+
+void BM_DecodeMetacell(benchmark::State& state) {
+  const auto volume = data::make_gyroid_field({17, 17, 17});
+  const metacell::MetacellGeometry geometry(volume.dims(), 9);
+  std::vector<std::byte> record;
+  metacell::encode_metacell(volume, geometry, 0, record);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        metacell::decode_metacell(record, core::ScalarKind::kU8, geometry)
+            .samples.size());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(record.size()));
+}
+BENCHMARK(BM_DecodeMetacell);
+
+void BM_RasterizeSoup(benchmark::State& state) {
+  const auto volume = data::make_sphere_field({32, 32, 32});
+  extract::TriangleSoup soup;
+  extract::extract_volume(volume, 128.0f, soup);
+  const render::Camera camera =
+      render::Camera::framing_volume(32, 32, 32, 256, 256);
+  render::Framebuffer frame(256, 256);
+  render::Rasterizer rasterizer;
+  for (auto _ : state) {
+    frame.clear();
+    benchmark::DoNotOptimize(rasterizer.draw(soup, camera, frame));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(soup.size()));
+}
+BENCHMARK(BM_RasterizeSoup);
+
+void BM_ZCompositeMerge(benchmark::State& state) {
+  render::Framebuffer a(512, 512);
+  render::Framebuffer b(512, 512);
+  util::Xoshiro256 rng(5);
+  for (std::int32_t y = 0; y < 512; ++y) {
+    for (std::int32_t x = 0; x < 512; ++x) {
+      if (rng.bounded(2)) a.plot(x, y, static_cast<float>(rng.bounded(100)), {1, 2, 3});
+      if (rng.bounded(2)) b.plot(x, y, static_cast<float>(rng.bounded(100)), {4, 5, 6});
+    }
+  }
+  for (auto _ : state) {
+    render::Framebuffer target = a;
+    target.composite_min_depth(b);
+    benchmark::DoNotOptimize(target.covered_pixels());
+  }
+  state.SetItemsProcessed(state.iterations() * 512 * 512);
+}
+BENCHMARK(BM_ZCompositeMerge);
+
+void BM_NoiseFbm(benchmark::State& state) {
+  const data::ValueNoise noise(7);
+  float x = 0.0f;
+  float sum = 0.0f;
+  for (auto _ : state) {
+    x += 0.37f;
+    sum += noise.fbm(x, 1.3f * x, 0.7f * x, 5);
+  }
+  benchmark::DoNotOptimize(sum);
+}
+BENCHMARK(BM_NoiseFbm);
+
+void BM_RmTimestepGeneration(benchmark::State& state) {
+  data::RmConfig config;
+  config.dims = {64, 64, 60};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        data::generate_rm_timestep(config, 200).sample_count());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(config.dims.count()));
+}
+BENCHMARK(BM_RmTimestepGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

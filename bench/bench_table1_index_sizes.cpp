@@ -1,0 +1,90 @@
+// Table 1 reproduction: size of the compact interval tree versus the
+// standard interval tree on the paper's datasets (Stanford volume archive
+// analogs, pressure/velocity fields, and the RM time step).
+//
+// Paper's claim: the compact structure is substantially smaller than the
+// standard interval tree, even where N ~ n (Pressure/Velocity), and for
+// byte-quantized data it fits trivially in core (the RM index is a few KB
+// for a full time step).
+//
+// Flags: --downscale N (default 4) shrinks each dataset dimension to keep
+// the bench quick; the ratio between the structures is scale-stable.
+
+#include <iostream>
+#include <set>
+#include <sstream>
+
+#include "data/datasets.h"
+#include "index/compact_interval_tree.h"
+#include "index/interval_tree.h"
+#include "io/memory_block_device.h"
+#include "metacell/source.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace oociso;
+  const util::CliArgs args(argc, argv);
+  const auto downscale =
+      static_cast<std::int32_t>(args.get_int("downscale", 4));
+
+  std::cout << "== Table 1: index structure sizes, compact vs standard "
+               "interval tree ==\n";
+  util::Table table({"dataset", "dims", "type", "metacells N", "endpoints n",
+                     "compact entries", "compact size", "standard entries",
+                     "standard size", "ratio"});
+
+  bool all_smaller = true;
+  bool rm_index_tiny = false;
+  for (const data::DatasetInfo& info : data::table1_datasets()) {
+    const data::AnyVolume volume = data::make_dataset(info.name, downscale);
+    const auto source = metacell::make_source(volume, /*samples_per_side=*/9);
+    const auto infos = source->scan();
+
+    std::set<core::ValueKey> endpoints;
+    for (const auto& metacell : infos) {
+      endpoints.insert(metacell.interval.vmin);
+      endpoints.insert(metacell.interval.vmax);
+    }
+
+    io::MemoryBlockDevice device(4096);
+    io::BlockDevice* device_ptr = &device;
+    const auto built =
+        index::CompactTreeBuilder::build(infos, *source, {&device_ptr, 1});
+    const index::CompactIntervalTree& compact = built.trees[0];
+    const index::IntervalTree standard(infos);
+
+    const double ratio =
+        compact.size_bytes() > 0
+            ? static_cast<double>(standard.size_bytes()) /
+                  static_cast<double>(compact.size_bytes())
+            : 0.0;
+    all_smaller = all_smaller && compact.size_bytes() < standard.size_bytes();
+    if (info.name == "rm") rm_index_tiny = compact.size_bytes() < 64 * 1024;
+
+    std::ostringstream dims;
+    dims << data::dims_of(volume);
+    table.add_row({info.name, dims.str(),
+                   core::scalar_name(info.kind),
+                   util::with_commas(infos.size()),
+                   util::with_commas(endpoints.size()),
+                   util::with_commas(compact.entry_count()),
+                   util::human_bytes(compact.size_bytes()),
+                   util::with_commas(standard.entry_count()),
+                   util::human_bytes(standard.size_bytes()),
+                   util::fixed(ratio, 1) + "x"});
+  }
+  std::cout << table.render() << "\n";
+
+  using bench_check = bool;
+  auto shape_check = [](const std::string& claim, bench_check pass) {
+    std::cout << "paper-shape check [" << (pass ? "PASS" : "FAIL") << "] "
+              << claim << "\n";
+  };
+  shape_check("compact interval tree is smaller than the standard interval "
+              "tree on every dataset",
+              all_smaller);
+  shape_check("RM time-step index is a few KB and trivially fits in core",
+              rm_index_tiny);
+  return 0;
+}

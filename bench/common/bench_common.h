@@ -1,0 +1,72 @@
+#pragma once
+// Shared scaffolding for the paper-reproduction benchmark binaries.
+//
+// Every bench binary is stand-alone: it synthesizes the RM-analog dataset,
+// preprocesses it onto a file-backed simulated cluster, runs the paper's
+// isovalue sweep, and prints the corresponding table/figure in the paper's
+// layout. Common flags:
+//   --dims N       base volume width (default 256, the paper's down-sample;
+//                  depth is 15/16 of it, matching 2048:1920)
+//   --scale N      divide each volume dimension by N
+//   --step S       RM time step to preprocess (default 250, as in Fig. 4)
+//   --seed X       generator seed (default 42)
+//   --memory       use in-memory disks instead of file-backed ones
+//   --image N      framebuffer size for rendering phases (default 512)
+//   --reps N       repetitions per query; fastest kept (default 3)
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/rm_generator.h"
+#include "pipeline/query_engine.h"
+#include "util/cli.h"
+#include "util/table.h"
+#include "util/temp_dir.h"
+
+namespace oociso::bench {
+
+struct BenchSetup {
+  data::RmConfig rm;       ///< dims already scaled
+  int time_step = 250;
+  std::vector<float> isovalues;  ///< paper sweep: 10..210 step 20
+  std::int32_t image_size = 512;
+  bool file_backed = true;
+  std::int32_t scale = 1;
+  int reps = 3;  ///< repetitions per isovalue; the fastest run is kept
+
+  /// `default_dims` sets the base volume width when --dims is not given;
+  /// the speedup figures default larger so per-node work at 8 nodes stays
+  /// out of the fixed-cost regime.
+  static BenchSetup from_cli(int argc, char** argv, int default_dims = 256);
+};
+
+/// A cluster with the RM-analog time step preprocessed onto its disks.
+struct Prepared {
+  std::unique_ptr<util::TempDir> storage;       ///< null when in-memory
+  std::unique_ptr<parallel::Cluster> cluster;
+  pipeline::PreprocessResult prep;
+  double volume_generation_seconds = 0.0;
+};
+
+/// Generates the configured RM time step and preprocesses it onto a fresh
+/// `nodes`-node cluster. Prints a one-line preprocessing summary.
+[[nodiscard]] Prepared prepare_rm(const BenchSetup& setup, std::size_t nodes);
+
+/// Runs the full isovalue sweep on a prepared cluster.
+[[nodiscard]] std::vector<pipeline::QueryReport> run_sweep(
+    Prepared& prepared, const BenchSetup& setup, bool render = true);
+
+/// Prints the per-isovalue table of Tables 2-5 for a p-node run, plus a
+/// `paper-shape check` block asserting the table's qualitative claims.
+void print_nodes_table(const std::string& caption, const BenchSetup& setup,
+                       Prepared& prepared,
+                       const std::vector<pipeline::QueryReport>& reports);
+
+/// Formats a triangle count as the paper does (millions, 2 decimals).
+[[nodiscard]] std::string mtri(std::uint64_t triangles);
+
+/// Prints a PASS/FAIL shape-check line and returns pass.
+bool shape_check(const std::string& claim, bool pass);
+
+}  // namespace oociso::bench

@@ -1,0 +1,129 @@
+// Index inspector — a tour of the indexing structures on any built-in
+// dataset. Prints the span-space population, the compact interval tree's
+// shape (nodes, height, bricks, entries, bytes), the standard interval
+// tree and lattice for comparison, and a worked example of one query plan
+// (which bricks Case 1/Case 2 touch and why).
+//
+// Run:  ./index_inspector [--dataset rm|bunny|mrbrain|cthead|pressure|velocity]
+//                         [--downscale 8] [--iso 128]
+
+#include <iostream>
+#include <set>
+
+#include "data/datasets.h"
+#include "index/compact_interval_tree.h"
+#include "index/interval_tree.h"
+#include "index/span_analysis.h"
+#include "index/span_space_lattice.h"
+#include "io/memory_block_device.h"
+#include "metacell/source.h"
+#include "util/cli.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace oociso;
+  const util::CliArgs args(argc, argv);
+  const std::string name = args.get("dataset", "rm");
+  const auto downscale = static_cast<std::int32_t>(args.get_int("downscale", 8));
+  const auto isovalue = static_cast<float>(args.get_double("iso", 128.0));
+
+  const data::AnyVolume volume = data::make_dataset(name, downscale);
+  const auto source = metacell::make_source(volume, 9);
+  const auto infos = source->scan();
+  std::cout << "dataset '" << name << "' " << data::dims_of(volume) << " "
+            << core::scalar_name(source->kind()) << ": "
+            << util::with_commas(source->geometry().metacell_count())
+            << " metacells, " << util::with_commas(infos.size())
+            << " non-degenerate\n\n";
+
+  // Span-space population: where do the (vmin, vmax) points sit?
+  std::set<core::ValueKey> endpoints;
+  util::RunningStats widths;
+  for (const auto& info : infos) {
+    endpoints.insert(info.interval.vmin);
+    endpoints.insert(info.interval.vmax);
+    widths.add(info.interval.vmax - info.interval.vmin);
+  }
+  std::cout << "span space: n = " << endpoints.size()
+            << " distinct endpoints; interval width mean "
+            << util::fixed(widths.mean(), 1) << ", max "
+            << util::fixed(widths.max(), 0) << "\n\n";
+
+  // Build all three structures.
+  io::MemoryBlockDevice device(4096);
+  io::BlockDevice* device_ptr = &device;
+  const auto built =
+      index::CompactTreeBuilder::build(infos, *source, {&device_ptr, 1});
+  const index::CompactIntervalTree& compact = built.trees[0];
+  const index::IntervalTree standard(infos);
+  const index::SpanSpaceLattice lattice(infos, 64);
+
+  util::Table sizes({"structure", "entries", "in-core bytes", "height"});
+  sizes.add_row({"compact interval tree",
+                 util::with_commas(compact.entry_count()),
+                 util::human_bytes(compact.size_bytes()),
+                 std::to_string(compact.height())});
+  sizes.add_row({"standard interval tree",
+                 util::with_commas(standard.entry_count()),
+                 util::human_bytes(standard.size_bytes()),
+                 std::to_string(standard.height())});
+  sizes.add_row({"span-space lattice (64x64)", "-",
+                 util::human_bytes(lattice.size_bytes()), "-"});
+  std::cout << sizes.render() << "\n";
+
+  std::cout << "compact tree: " << compact.nodes().size() << " nodes, "
+            << util::with_commas(built.bricks_written) << " bricks, "
+            << util::human_bytes(built.bytes_written)
+            << " of brick data on disk\n\n";
+
+  // Worked query plan.
+  const index::QueryPlan plan = compact.plan(isovalue);
+  std::uint64_t full = 0;
+  std::uint64_t prefix = 0;
+  std::uint64_t full_cells = 0;
+  for (const auto& scan : plan.scans) {
+    if (scan.full) {
+      ++full;
+      full_cells += scan.metacell_count;
+    } else {
+      ++prefix;
+    }
+  }
+  std::cout << "query plan for isovalue " << isovalue << ": walks "
+            << plan.nodes_visited << " tree nodes; " << full
+            << " Case-1 bricks read fully (" << util::with_commas(full_cells)
+            << " metacells, bulk sequential) and " << prefix
+            << " Case-2 bricks prefix-scanned in vmin order\n";
+
+  device.reset_stats();
+  std::uint64_t active = 0;
+  const index::QueryStats stats =
+      compact.execute(plan, device, [&](auto) { ++active; });
+  std::cout << "executed: " << util::with_commas(active)
+            << " active metacells delivered, "
+            << util::with_commas(stats.records_fetched - active)
+            << " records of overshoot, " << device.stats().blocks_read
+            << " blocks / " << device.stats().seeks << " seeks\n";
+
+  // Span-profile-driven exploration hints.
+  const index::SpanProfile profile(infos, 256);
+  std::cout << "\nsuggested isovalues:";
+  for (const auto suggestion : profile.suggest_isovalues(4)) {
+    std::cout << "  " << util::fixed(suggestion, 1) << " (~"
+              << util::with_commas(profile.active_estimate(suggestion))
+              << " active)";
+  }
+  std::cout << "\n\n";
+
+  // Cross-check all three structures agree.
+  const auto standard_ids = standard.query(isovalue);
+  const auto lattice_ids = lattice.query(isovalue);
+  std::cout << "cross-check: standard tree " << standard_ids.size()
+            << ", lattice " << lattice_ids.size() << ", compact " << active
+            << (standard_ids.size() == active && lattice_ids.size() == active
+                    ? "  [agree]"
+                    : "  [MISMATCH]")
+            << "\n";
+  return 0;
+}

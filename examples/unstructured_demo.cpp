@@ -1,0 +1,79 @@
+// Unstructured-grid demo: the paper's claim that the indexing scheme
+// "can handle both structured and unstructured grids", exercised end to
+// end. A jittered tetrahedral mesh with an RM-like mixing field is
+// clustered (Morton order), indexed with compact interval trees, striped
+// over a simulated cluster's disks, and queried in parallel with marching
+// tetrahedra; the welded result is written as an indexed OBJ with normals.
+//
+// Run:  ./unstructured_demo [--cells 24] [--iso 124] [--nodes 4] [--out .]
+
+#include <filesystem>
+#include <iostream>
+
+#include "extract/indexed_mesh.h"
+#include "unstructured/pipeline.h"
+#include "util/cli.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/temp_dir.h"
+
+int main(int argc, char** argv) {
+  using namespace oociso;
+  const util::CliArgs args(argc, argv);
+  const auto cells = static_cast<std::int32_t>(args.get_int("cells", 24));
+  const auto isovalue = static_cast<float>(args.get_double("iso", 124.0));
+  const auto nodes = static_cast<std::size_t>(args.get_int("nodes", 4));
+  const std::string out_dir = args.get("out", ".");
+
+  unstructured::TetGridConfig mesh_config;
+  mesh_config.cells = cells;
+  std::cout << "building jittered tet mesh: " << cells << "^3 cells x 5 tets"
+            << "...\n";
+  const unstructured::TetMesh mesh =
+      make_tet_mesh(mesh_config, unstructured::TetField::kMixing);
+  std::cout << "mesh: " << util::with_commas(mesh.tet_count()) << " tets, "
+            << util::with_commas(mesh.vertices().size()) << " vertices\n";
+
+  util::TempDir storage("oociso-tets");
+  parallel::ClusterConfig cluster_config;
+  cluster_config.node_count = nodes;
+  cluster_config.storage_dir = storage.path();
+  parallel::Cluster cluster(cluster_config);
+
+  const unstructured::TetPreprocessResult prep =
+      unstructured::preprocess_tets(mesh, cluster);
+  std::cout << "preprocess: " << util::with_commas(prep.kept_clusters)
+            << " of " << util::with_commas(prep.total_clusters)
+            << " clusters kept ("
+            << util::fixed(100.0 * prep.culled_fraction(), 1) << "% culled), "
+            << util::human_bytes(prep.bytes_written) << " striped over "
+            << nodes << " disks\n";
+
+  unstructured::TetQueryOptions options;
+  options.keep_triangles = true;
+  const unstructured::TetQueryReport report =
+      unstructured::query_tets(cluster, prep, isovalue, options);
+
+  std::vector<std::uint64_t> per_node;
+  for (const auto& node : report.nodes) per_node.push_back(node.triangles);
+  std::cout << "query iso=" << isovalue << ": "
+            << util::with_commas(report.total_active_clusters())
+            << " active clusters, "
+            << util::with_commas(report.total_triangles()) << " triangles, "
+            << util::fixed(100.0 * util::imbalance(per_node), 2)
+            << "% triangle imbalance, "
+            << util::human_seconds(report.completion_seconds())
+            << " modeled completion\n";
+
+  const extract::IndexedMesh welded =
+      extract::IndexedMesh::weld(*report.triangles_out);
+  std::cout << "welded: " << util::with_commas(welded.vertex_count())
+            << " shared vertices, " << welded.connected_components()
+            << " components, closed=" << (welded.is_closed() ? "yes" : "no")
+            << "\n";
+
+  const auto obj = std::filesystem::path(out_dir) / "unstructured_demo.obj";
+  welded.write_obj(obj);
+  std::cout << "wrote " << obj.string() << "\n";
+  return 0;
+}

@@ -1,0 +1,144 @@
+#include "compositing/sort_last.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace oociso::compositing {
+namespace {
+
+using render::Framebuffer;
+
+void check_same_dims(const std::vector<Framebuffer>& locals) {
+  if (locals.empty()) {
+    throw std::invalid_argument("compositing: no framebuffers");
+  }
+  for (const Framebuffer& fb : locals) {
+    if (fb.width() != locals.front().width() ||
+        fb.height() != locals.front().height()) {
+      throw std::invalid_argument("compositing: framebuffer size mismatch");
+    }
+  }
+}
+
+/// Z-merges pixels [begin, end) of `src` into `dst`.
+void merge_range(Framebuffer& dst, const Framebuffer& src, std::size_t begin,
+                 std::size_t end) {
+  auto dst_depth = dst.depths();
+  auto dst_color = dst.colors();
+  const auto src_depth = src.depths();
+  const auto src_color = src.colors();
+  for (std::size_t i = begin; i < end; ++i) {
+    if (src_depth[i] < dst_depth[i]) {
+      dst_depth[i] = src_depth[i];
+      dst_color[i] = src_color[i];
+    }
+  }
+}
+
+/// Copies pixels [begin, end) of `src` into `dst` (gather step).
+void copy_range(Framebuffer& dst, const Framebuffer& src, std::size_t begin,
+                std::size_t end) {
+  auto dst_depth = dst.depths();
+  auto dst_color = dst.colors();
+  const auto src_depth = src.depths();
+  const auto src_color = src.colors();
+  for (std::size_t i = begin; i < end; ++i) {
+    dst_depth[i] = src_depth[i];
+    dst_color[i] = src_color[i];
+  }
+}
+
+}  // namespace
+
+CompositeResult direct_send(const std::vector<Framebuffer>& locals) {
+  check_same_dims(locals);
+  CompositeResult result{locals.front(), {}};
+  const std::uint64_t buffer_bytes =
+      locals.front().pixel_count() * Framebuffer::bytes_per_pixel();
+
+  for (std::size_t i = 1; i < locals.size(); ++i) {
+    merge_range(result.image, locals[i], 0, locals[i].pixel_count());
+    result.traffic.bytes_total += buffer_bytes;
+    ++result.traffic.messages;
+  }
+  // All sends can overlap, but the display node must receive them all:
+  // its received volume is the critical path.
+  result.traffic.rounds = locals.size() > 1 ? 1 : 0;
+  result.traffic.max_node_bytes = result.traffic.bytes_total;
+  return result;
+}
+
+CompositeResult binary_swap(const std::vector<Framebuffer>& locals) {
+  check_same_dims(locals);
+  const std::size_t p = locals.size();
+  const std::size_t pixels = locals.front().pixel_count();
+  const std::uint64_t bpp = Framebuffer::bytes_per_pixel();
+
+  std::vector<Framebuffer> work = locals;  // per-node working buffers
+  std::vector<std::uint64_t> node_bytes(p, 0);
+  TrafficStats traffic;
+
+  // Fold non-power-of-two extras into the low nodes first.
+  const std::size_t p2 = std::bit_floor(p);
+  if (p2 < p) {
+    for (std::size_t i = p2; i < p; ++i) {
+      merge_range(work[i - p2], work[i], 0, pixels);
+      const std::uint64_t bytes = pixels * bpp;
+      traffic.bytes_total += bytes;
+      node_bytes[i] += bytes;
+      node_bytes[i - p2] += bytes;
+      ++traffic.messages;
+    }
+    ++traffic.rounds;
+  }
+
+  // Binary swap over nodes [0, p2): each stage halves every node's region.
+  std::vector<std::size_t> begin(p2, 0);
+  std::vector<std::size_t> end(p2, pixels);
+  for (std::size_t h = 1; h < p2; h <<= 1) {
+    ++traffic.rounds;
+    for (std::size_t i = 0; i < p2; ++i) {
+      const std::size_t partner = i ^ h;
+      if (partner < i) continue;  // handle each pair once
+      // Split the (identical) region of the pair; the lower node keeps the
+      // lower half, the higher node the upper half; each sends the half it
+      // gives up and merges the half it keeps.
+      const std::size_t mid = begin[i] + (end[i] - begin[i]) / 2;
+      merge_range(work[i], work[partner], begin[i], mid);      // i receives
+      merge_range(work[partner], work[i], mid, end[i]);        // partner receives
+      const std::uint64_t half_bytes =
+          static_cast<std::uint64_t>(end[i] - mid) * bpp;
+      const std::uint64_t other_half =
+          static_cast<std::uint64_t>(mid - begin[i]) * bpp;
+      traffic.bytes_total += half_bytes + other_half;
+      traffic.messages += 2;
+      node_bytes[i] += half_bytes + other_half;
+      node_bytes[partner] += half_bytes + other_half;
+      end[i] = mid;
+      begin[partner] = mid;
+      // (work[partner]'s copy of [begin_i, mid) is now stale, but that range
+      // is no longer in partner's region, so it is never read again.)
+    }
+  }
+
+  // Gather the owned regions onto node 0 for display.
+  CompositeResult result{std::move(work[0]), {}};
+  if (p2 > 1) ++traffic.rounds;
+  for (std::size_t i = 1; i < p2; ++i) {
+    copy_range(result.image, work[i], begin[i], end[i]);
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(end[i] - begin[i]) * bpp;
+    traffic.bytes_total += bytes;
+    node_bytes[i] += bytes;
+    node_bytes[0] += bytes;
+    ++traffic.messages;
+  }
+
+  traffic.max_node_bytes =
+      *std::max_element(node_bytes.begin(), node_bytes.end());
+  result.traffic = traffic;
+  return result;
+}
+
+}  // namespace oociso::compositing

@@ -1,0 +1,50 @@
+#pragma once
+// Sort-last compositing (Molnar et al. 1994), the paper's final phase: each
+// node renders its own triangles, then the p framebuffers are merged by
+// depth into a single image.
+//
+// Two schedules are provided:
+//   * direct_send — every node ships its full framebuffer to the display
+//     node, which performs p-1 z-merges. Simple; the display node receives
+//     (p-1) * W * H * bytes_per_pixel.
+//   * binary_swap — in log2(p) rounds, pairs of nodes exchange complementary
+//     halves of their current region and merge, so afterwards each node owns
+//     a fully composited 1/p of the image; a final gather assembles the
+//     display image. Per-node traffic is ~W*H*bpp regardless of p, which is
+//     why it is the standard at scale.
+//
+// Both return identical images (a property the tests assert) together with
+// traffic counters that the cluster's interconnect model prices. The
+// paper's observation — compositing traffic is orders of magnitude below
+// triangle data — is reproduced in the Table 2-5 benches from exactly these
+// counters.
+
+#include <cstdint>
+#include <vector>
+
+#include "render/framebuffer.h"
+
+namespace oociso::compositing {
+
+struct TrafficStats {
+  std::uint64_t bytes_total = 0;     ///< summed over all links
+  std::uint64_t messages = 0;
+  std::uint32_t rounds = 0;          ///< sequential communication rounds
+  std::uint64_t max_node_bytes = 0;  ///< heaviest node's sent+received bytes
+};
+
+struct CompositeResult {
+  render::Framebuffer image;
+  TrafficStats traffic;
+};
+
+/// All buffers must share dimensions; `locals` must be non-empty.
+[[nodiscard]] CompositeResult direct_send(
+    const std::vector<render::Framebuffer>& locals);
+
+/// Works for any p >= 1 (non-powers of two are folded into the nearest
+/// power of two in a pre-round).
+[[nodiscard]] CompositeResult binary_swap(
+    const std::vector<render::Framebuffer>& locals);
+
+}  // namespace oociso::compositing

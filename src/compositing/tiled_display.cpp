@@ -1,0 +1,102 @@
+#include "compositing/tiled_display.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace oociso::compositing {
+
+TileLayout::Rect TileLayout::tile_rect(std::int32_t tile, std::int32_t width,
+                                       std::int32_t height) const {
+  const std::int32_t row = tile / cols;
+  const std::int32_t col = tile % cols;
+  const std::int32_t tile_w = width / cols;
+  const std::int32_t tile_h = height / rows;
+  Rect rect;
+  rect.x0 = col * tile_w;
+  rect.y0 = row * tile_h;
+  rect.x1 = col + 1 == cols ? width : rect.x0 + tile_w;
+  rect.y1 = row + 1 == rows ? height : rect.y0 + tile_h;
+  return rect;
+}
+
+TiledDisplayResult composite_to_tiles(
+    const std::vector<render::Framebuffer>& locals, TileLayout layout) {
+  if (locals.empty()) {
+    throw std::invalid_argument("tiled composite: no framebuffers");
+  }
+  if (layout.rows < 1 || layout.cols < 1) {
+    throw std::invalid_argument("tiled composite: bad layout");
+  }
+  const std::int32_t width = locals.front().width();
+  const std::int32_t height = locals.front().height();
+  for (const auto& fb : locals) {
+    if (fb.width() != width || fb.height() != height) {
+      throw std::invalid_argument("tiled composite: size mismatch");
+    }
+  }
+  if (width < layout.cols || height < layout.rows) {
+    throw std::invalid_argument("tiled composite: tiles would be empty");
+  }
+
+  TiledDisplayResult result;
+  result.layout = layout;
+  const std::uint64_t bpp = render::Framebuffer::bytes_per_pixel();
+  std::vector<std::uint64_t> node_bytes(locals.size() + // render nodes...
+                                            static_cast<std::size_t>(
+                                                layout.tile_count()),
+                                        0);  // ...then display nodes
+
+  for (std::int32_t tile = 0; tile < layout.tile_count(); ++tile) {
+    const TileLayout::Rect rect = layout.tile_rect(tile, width, height);
+    render::Framebuffer composited(rect.width(), rect.height());
+
+    for (std::size_t node = 0; node < locals.size(); ++node) {
+      const render::Framebuffer& source = locals[node];
+      // "Send" the region: render node pays the bytes out, display node in.
+      const std::uint64_t bytes = rect.pixels() * bpp;
+      result.traffic.bytes_total += bytes;
+      ++result.traffic.messages;
+      node_bytes[node] += bytes;
+      node_bytes[locals.size() + static_cast<std::size_t>(tile)] += bytes;
+
+      // Z-merge the incoming region into the tile.
+      for (std::int32_t y = rect.y0; y < rect.y1; ++y) {
+        for (std::int32_t x = rect.x0; x < rect.x1; ++x) {
+          composited.plot(x - rect.x0, y - rect.y0, source.depth_at(x, y),
+                          source.color_at(x, y));
+        }
+      }
+    }
+    result.tiles.push_back(std::move(composited));
+  }
+
+  // One routing round: all regions ship concurrently.
+  result.traffic.rounds = 1;
+  for (const std::uint64_t bytes : node_bytes) {
+    result.traffic.max_node_bytes =
+        std::max(result.traffic.max_node_bytes, bytes);
+  }
+  return result;
+}
+
+render::Framebuffer assemble(const TiledDisplayResult& tiled,
+                             std::int32_t width, std::int32_t height) {
+  render::Framebuffer display(width, height);
+  for (std::int32_t tile = 0; tile < tiled.layout.tile_count(); ++tile) {
+    const TileLayout::Rect rect = tiled.layout.tile_rect(tile, width, height);
+    const render::Framebuffer& source =
+        tiled.tiles[static_cast<std::size_t>(tile)];
+    if (source.width() != rect.width() || source.height() != rect.height()) {
+      throw std::invalid_argument("assemble: tile size mismatch");
+    }
+    for (std::int32_t y = 0; y < rect.height(); ++y) {
+      for (std::int32_t x = 0; x < rect.width(); ++x) {
+        display.plot(rect.x0 + x, rect.y0 + y, source.depth_at(x, y),
+                     source.color_at(x, y));
+      }
+    }
+  }
+  return display;
+}
+
+}  // namespace oociso::compositing

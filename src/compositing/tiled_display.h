@@ -1,0 +1,67 @@
+#pragma once
+// Tiled display wall (paper Section 6): four cluster nodes drive four
+// projectors; Chromium routes each rendered frame's regions to the display
+// node owning that tile, where fragments from all render nodes are
+// z-composited and shown.
+//
+// composite_to_tiles() reproduces that routing: every render node's
+// framebuffer is cut along the tile layout, each region is "sent" to its
+// display node (traffic accounted per node), and each tile z-merges the p
+// incoming regions. assemble() stitches the tiles back into one image,
+// which tests verify equals the plain sort-last composite pixel for pixel.
+
+#include <cstdint>
+#include <vector>
+
+#include "compositing/sort_last.h"
+#include "render/framebuffer.h"
+
+namespace oociso::compositing {
+
+/// Rows x columns tile grid over a W x H display (the paper's wall is
+/// effectively a 2x2 or 1x4 arrangement of projectors).
+struct TileLayout {
+  std::int32_t rows = 2;
+  std::int32_t cols = 2;
+
+  [[nodiscard]] std::int32_t tile_count() const { return rows * cols; }
+
+  /// Pixel bounds of one tile on a W x H display; the last row/column
+  /// absorbs any remainder.
+  struct Rect {
+    std::int32_t x0 = 0;
+    std::int32_t y0 = 0;
+    std::int32_t x1 = 0;  ///< exclusive
+    std::int32_t y1 = 0;  ///< exclusive
+
+    [[nodiscard]] std::int32_t width() const { return x1 - x0; }
+    [[nodiscard]] std::int32_t height() const { return y1 - y0; }
+    [[nodiscard]] std::uint64_t pixels() const {
+      return static_cast<std::uint64_t>(width()) *
+             static_cast<std::uint64_t>(height());
+    }
+  };
+
+  [[nodiscard]] Rect tile_rect(std::int32_t tile, std::int32_t width,
+                               std::int32_t height) const;
+};
+
+struct TiledDisplayResult {
+  TileLayout layout;
+  std::vector<render::Framebuffer> tiles;  ///< row-major, composited
+  TrafficStats traffic;
+};
+
+/// Routes and z-composites p render-node framebuffers onto the tile grid.
+/// All inputs must share dimensions; throws std::invalid_argument otherwise
+/// or when a tile would be empty.
+[[nodiscard]] TiledDisplayResult composite_to_tiles(
+    const std::vector<render::Framebuffer>& locals, TileLayout layout);
+
+/// Stitches the tiles back into a single framebuffer (for verification and
+/// offline output; a real wall displays the tiles directly).
+[[nodiscard]] render::Framebuffer assemble(const TiledDisplayResult& tiled,
+                                           std::int32_t width,
+                                           std::int32_t height);
+
+}  // namespace oociso::compositing

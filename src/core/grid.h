@@ -1,0 +1,95 @@
+#pragma once
+// Structured-grid dimensions and index arithmetic.
+//
+// Conventions used throughout the repository:
+//  * A grid of (nx, ny, nz) *samples* (vertices) has
+//    (nx-1, ny-1, nz-1) unit *cells*.
+//  * Linearization is x-fastest: index = x + nx*(y + ny*z). This is the
+//    "predefined order" the paper stores metacell scalars in.
+
+#include <cassert>
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+
+namespace oociso::core {
+
+/// Integer 3D coordinate (sample, cell, or metacell coordinate).
+struct Coord3 {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+  std::int32_t z = 0;
+
+  constexpr auto operator<=>(const Coord3&) const = default;
+
+  constexpr Coord3 operator+(const Coord3& o) const {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Coord3& c) {
+  return os << '(' << c.x << ", " << c.y << ", " << c.z << ')';
+}
+
+/// Dimensions of a 3D lattice plus x-fastest linear index arithmetic.
+struct GridDims {
+  std::int32_t nx = 0;
+  std::int32_t ny = 0;
+  std::int32_t nz = 0;
+
+  constexpr bool operator==(const GridDims&) const = default;
+
+  [[nodiscard]] constexpr std::uint64_t count() const {
+    return static_cast<std::uint64_t>(nx) * static_cast<std::uint64_t>(ny) *
+           static_cast<std::uint64_t>(nz);
+  }
+
+  [[nodiscard]] constexpr bool contains(const Coord3& c) const {
+    return c.x >= 0 && c.x < nx && c.y >= 0 && c.y < ny && c.z >= 0 && c.z < nz;
+  }
+
+  [[nodiscard]] constexpr std::uint64_t linear(const Coord3& c) const {
+    assert(contains(c));
+    return static_cast<std::uint64_t>(c.x) +
+           static_cast<std::uint64_t>(nx) *
+               (static_cast<std::uint64_t>(c.y) +
+                static_cast<std::uint64_t>(ny) * static_cast<std::uint64_t>(c.z));
+  }
+
+  [[nodiscard]] constexpr Coord3 coord(std::uint64_t linear_index) const {
+    assert(linear_index < count());
+    const auto x = static_cast<std::int32_t>(linear_index %
+                                             static_cast<std::uint64_t>(nx));
+    linear_index /= static_cast<std::uint64_t>(nx);
+    const auto y = static_cast<std::int32_t>(linear_index %
+                                             static_cast<std::uint64_t>(ny));
+    const auto z = static_cast<std::int32_t>(linear_index /
+                                             static_cast<std::uint64_t>(ny));
+    return {x, y, z};
+  }
+
+  /// Dimensions of the unit-cell lattice for a sample lattice of this size.
+  [[nodiscard]] constexpr GridDims cell_dims() const {
+    return {nx > 1 ? nx - 1 : 0, ny > 1 ? ny - 1 : 0, nz > 1 ? nz - 1 : 0};
+  }
+
+  /// Number of metacells of `cells_per_side` cells needed to tile this
+  /// sample lattice (ceiling division over the cell lattice).
+  [[nodiscard]] constexpr GridDims metacell_dims(
+      std::int32_t cells_per_side) const {
+    assert(cells_per_side > 0);
+    const GridDims cells = cell_dims();
+    auto ceil_div = [](std::int32_t a, std::int32_t b) {
+      return (a + b - 1) / b;
+    };
+    return {ceil_div(cells.nx, cells_per_side), ceil_div(cells.ny, cells_per_side),
+            ceil_div(cells.nz, cells_per_side)};
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const GridDims& d) {
+  return os << d.nx << 'x' << d.ny << 'x' << d.nz;
+}
+
+}  // namespace oociso::core

@@ -1,0 +1,53 @@
+#pragma once
+// Scalar-value intervals and span-space concepts.
+//
+// Every metacell is summarized by the closed interval [vmin, vmax] of the
+// scalar field over its samples. An isovalue query for lambda selects exactly
+// the metacells whose interval *stabs* lambda: vmin <= lambda <= vmax.
+// In span-space terms (Livnat/Shen/Johnson), each interval is the point
+// (vmin, vmax) above the diagonal, and a query selects the quadrant
+// {vmin <= lambda} x {vmax >= lambda}.
+
+#include <algorithm>
+#include <cassert>
+#include <compare>
+#include <ostream>
+
+namespace oociso::core {
+
+/// Scalar key type used by all index structures. Dataset scalars (u8, u16,
+/// f32) are widened to this type when intervals are formed.
+using ValueKey = float;
+
+struct ValueInterval {
+  ValueKey vmin = 0;
+  ValueKey vmax = 0;
+
+  constexpr ValueInterval() = default;
+  constexpr ValueInterval(ValueKey lo, ValueKey hi) : vmin(lo), vmax(hi) {
+    assert(lo <= hi);
+  }
+
+  constexpr auto operator<=>(const ValueInterval&) const = default;
+
+  /// True when the interval contains the isovalue (closed on both ends,
+  /// the convention of the interval-tree literature and of the paper).
+  [[nodiscard]] constexpr bool stabs(ValueKey isovalue) const {
+    return vmin <= isovalue && isovalue <= vmax;
+  }
+
+  /// True for intervals that cannot produce any isosurface geometry:
+  /// all samples share one value. The paper culls these metacells during
+  /// preprocessing (a ~50% saving on the RM dataset).
+  [[nodiscard]] constexpr bool degenerate() const { return vmin == vmax; }
+
+  [[nodiscard]] constexpr ValueInterval hull(const ValueInterval& o) const {
+    return {std::min(vmin, o.vmin), std::max(vmax, o.vmax)};
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const ValueInterval& iv) {
+  return os << '[' << iv.vmin << ", " << iv.vmax << ']';
+}
+
+}  // namespace oociso::core

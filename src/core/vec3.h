@@ -1,0 +1,76 @@
+#pragma once
+// Small 3-vector used by the extraction and rendering subsystems.
+
+#include <cmath>
+#include <cstddef>
+#include <ostream>
+
+namespace oociso::core {
+
+struct Vec3 {
+  float x = 0.0f;
+  float y = 0.0f;
+  float z = 0.0f;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(float x_, float y_, float z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Vec3 operator-(const Vec3& o) const {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Vec3 operator*(float s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(float s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  constexpr Vec3& operator*=(float s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+
+  constexpr bool operator==(const Vec3&) const = default;
+
+  [[nodiscard]] constexpr float dot(const Vec3& o) const {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  [[nodiscard]] constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  [[nodiscard]] float length() const { return std::sqrt(dot(*this)); }
+  [[nodiscard]] constexpr float length_squared() const { return dot(*this); }
+
+  /// Returns the unit vector; the zero vector normalizes to itself.
+  [[nodiscard]] Vec3 normalized() const {
+    const float len = length();
+    return len > 0.0f ? (*this) / len : Vec3{};
+  }
+};
+
+constexpr Vec3 operator*(float s, const Vec3& v) { return v * s; }
+
+inline std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+/// Linear interpolation: a + t * (b - a).
+constexpr Vec3 lerp(const Vec3& a, const Vec3& b, float t) {
+  return a + (b - a) * t;
+}
+
+}  // namespace oociso::core

@@ -1,0 +1,144 @@
+#pragma once
+// In-memory scalar volumes.
+//
+// Volume<T> is the staging representation produced by the synthetic dataset
+// generators and consumed by the preprocessing stage (which converts it to
+// out-of-core metacell bricks). The full RM dataset never fits in memory;
+// generators therefore also expose slab-streaming APIs (see data/), and
+// Volume<T> is used at bench scale and in tests.
+
+#include <algorithm>
+#include <cassert>
+#include <concepts>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/grid.h"
+#include "core/interval.h"
+
+namespace oociso::core {
+
+/// Scalar sample types supported by the on-disk metacell format.
+enum class ScalarKind : std::uint8_t { kU8 = 0, kU16 = 1, kF32 = 2 };
+
+[[nodiscard]] constexpr std::size_t scalar_size(ScalarKind kind) {
+  switch (kind) {
+    case ScalarKind::kU8: return 1;
+    case ScalarKind::kU16: return 2;
+    case ScalarKind::kF32: return 4;
+  }
+  return 0;  // unreachable for valid enum values
+}
+
+[[nodiscard]] constexpr const char* scalar_name(ScalarKind kind) {
+  switch (kind) {
+    case ScalarKind::kU8: return "u8";
+    case ScalarKind::kU16: return "u16";
+    case ScalarKind::kF32: return "f32";
+  }
+  return "?";
+}
+
+template <typename T>
+concept VolumeScalar = std::same_as<T, std::uint8_t> ||
+                       std::same_as<T, std::uint16_t> || std::same_as<T, float>;
+
+template <VolumeScalar T>
+[[nodiscard]] constexpr ScalarKind scalar_kind_of() {
+  if constexpr (std::same_as<T, std::uint8_t>) return ScalarKind::kU8;
+  if constexpr (std::same_as<T, std::uint16_t>) return ScalarKind::kU16;
+  return ScalarKind::kF32;
+}
+
+/// Dense 3D scalar field with x-fastest layout.
+template <VolumeScalar T>
+class Volume {
+ public:
+  using value_type = T;
+
+  Volume() = default;
+
+  explicit Volume(GridDims dims, T fill = T{})
+      : dims_(dims), samples_(dims.count(), fill) {
+    if (dims.nx <= 0 || dims.ny <= 0 || dims.nz <= 0) {
+      throw std::invalid_argument("Volume dimensions must be positive");
+    }
+  }
+
+  Volume(GridDims dims, std::vector<T> samples)
+      : dims_(dims), samples_(std::move(samples)) {
+    if (samples_.size() != dims.count()) {
+      throw std::invalid_argument("Volume sample count mismatch");
+    }
+  }
+
+  [[nodiscard]] const GridDims& dims() const { return dims_; }
+  [[nodiscard]] std::uint64_t sample_count() const { return dims_.count(); }
+  [[nodiscard]] std::span<const T> samples() const { return samples_; }
+  [[nodiscard]] std::span<T> samples() { return samples_; }
+
+  [[nodiscard]] T at(const Coord3& c) const {
+    return samples_[dims_.linear(c)];
+  }
+  [[nodiscard]] T& at(const Coord3& c) { return samples_[dims_.linear(c)]; }
+
+  [[nodiscard]] T at(std::int32_t x, std::int32_t y, std::int32_t z) const {
+    return at(Coord3{x, y, z});
+  }
+  [[nodiscard]] T& at(std::int32_t x, std::int32_t y, std::int32_t z) {
+    return at(Coord3{x, y, z});
+  }
+
+  /// Clamped sampling: out-of-range coordinates are clamped to the border.
+  /// Used by generators when evaluating neighborhoods near faces.
+  [[nodiscard]] T at_clamped(Coord3 c) const {
+    c.x = std::clamp(c.x, 0, dims_.nx - 1);
+    c.y = std::clamp(c.y, 0, dims_.ny - 1);
+    c.z = std::clamp(c.z, 0, dims_.nz - 1);
+    return at(c);
+  }
+
+  /// Min/max over all samples, widened to the index key type.
+  [[nodiscard]] ValueInterval value_range() const {
+    assert(!samples_.empty());
+    T lo = samples_.front();
+    T hi = samples_.front();
+    for (const T v : samples_) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    return {static_cast<ValueKey>(lo), static_cast<ValueKey>(hi)};
+  }
+
+  /// Copies the axis-aligned box of samples [origin, origin+extent) into a
+  /// new volume. The box must lie inside the grid.
+  [[nodiscard]] Volume subvolume(const Coord3& origin,
+                                 const GridDims& extent) const {
+    assert(dims_.contains(origin));
+    assert(origin.x + extent.nx <= dims_.nx);
+    assert(origin.y + extent.ny <= dims_.ny);
+    assert(origin.z + extent.nz <= dims_.nz);
+    Volume out(extent);
+    for (std::int32_t z = 0; z < extent.nz; ++z) {
+      for (std::int32_t y = 0; y < extent.ny; ++y) {
+        const auto* src =
+            &samples_[dims_.linear({origin.x, origin.y + y, origin.z + z})];
+        auto* dst = &out.samples_[extent.linear({0, y, z})];
+        std::copy(src, src + extent.nx, dst);
+      }
+    }
+    return out;
+  }
+
+ private:
+  GridDims dims_{};
+  std::vector<T> samples_;
+};
+
+using VolumeU8 = Volume<std::uint8_t>;
+using VolumeU16 = Volume<std::uint16_t>;
+using VolumeF32 = Volume<float>;
+
+}  // namespace oociso::core

@@ -1,0 +1,205 @@
+#include "data/analytic_fields.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "core/vec3.h"
+#include "data/noise.h"
+#include "util/rng.h"
+
+namespace oociso::data {
+namespace {
+
+using core::Coord3;
+using core::GridDims;
+using core::Vec3;
+
+/// Maps lattice coordinates to the unit cube [0,1]^3.
+Vec3 unit_pos(const GridDims& dims, std::int32_t x, std::int32_t y,
+              std::int32_t z) {
+  return {static_cast<float>(x) / static_cast<float>(std::max(dims.nx - 1, 1)),
+          static_cast<float>(y) / static_cast<float>(std::max(dims.ny - 1, 1)),
+          static_cast<float>(z) / static_cast<float>(std::max(dims.nz - 1, 1))};
+}
+
+template <typename T, typename F>
+core::Volume<T> fill(const GridDims& dims, F&& field) {
+  core::Volume<T> volume(dims);
+  T* out = volume.samples().data();
+  for (std::int32_t z = 0; z < dims.nz; ++z) {
+    for (std::int32_t y = 0; y < dims.ny; ++y) {
+      for (std::int32_t x = 0; x < dims.nx; ++x, ++out) {
+        *out = field(x, y, z);
+      }
+    }
+  }
+  return volume;
+}
+
+std::uint8_t quantize_u8(float value01) {
+  return static_cast<std::uint8_t>(std::clamp(value01, 0.0f, 1.0f) * 255.0f +
+                                   0.5f);
+}
+
+std::uint16_t quantize_u16(float value01, float full_scale = 65535.0f) {
+  return static_cast<std::uint16_t>(
+      std::clamp(value01, 0.0f, 1.0f) * full_scale + 0.5f);
+}
+
+}  // namespace
+
+core::VolumeU8 make_sphere_field(GridDims dims) {
+  const Vec3 center{0.5f, 0.5f, 0.5f};
+  // Distance 0 at center -> 255; distance ~ 0.87 (corner) -> 0.
+  const float inv_max_dist = 1.0f / std::sqrt(3.0f) * 2.0f;
+  return fill<std::uint8_t>(dims, [&](auto x, auto y, auto z) {
+    const float d = (unit_pos(dims, x, y, z) - center).length();
+    return quantize_u8(1.0f - d * inv_max_dist);
+  });
+}
+
+core::VolumeU8 make_gyroid_field(GridDims dims, float frequency) {
+  constexpr float kTau = 2.0f * std::numbers::pi_v<float>;
+  const float k = kTau * frequency;
+  return fill<std::uint8_t>(dims, [&](auto x, auto y, auto z) {
+    const Vec3 p = unit_pos(dims, x, y, z) * k;
+    const float g = std::sin(p.x) * std::cos(p.y) +
+                    std::sin(p.y) * std::cos(p.z) +
+                    std::sin(p.z) * std::cos(p.x);
+    return quantize_u8(0.5f + g / 3.0f * 0.5f);
+  });
+}
+
+core::VolumeU8 make_torus_field(GridDims dims, float major_radius,
+                                float minor_radius) {
+  const Vec3 center{0.5f, 0.5f, 0.5f};
+  return fill<std::uint8_t>(dims, [&](auto x, auto y, auto z) {
+    const Vec3 p = unit_pos(dims, x, y, z) - center;
+    const float ring = std::sqrt(p.x * p.x + p.y * p.y) - major_radius;
+    const float d = std::sqrt(ring * ring + p.z * p.z);
+    // 255 on the torus core circle, falling off with distance; the value
+    // `128` isosurface sits near distance == minor_radius.
+    return quantize_u8(1.0f - d / (2.0f * minor_radius) * 0.5f);
+  });
+}
+
+core::VolumeU16 make_pressure_field(GridDims dims, std::uint64_t seed) {
+  struct Blob {
+    Vec3 center;
+    float sigma;
+    float weight;
+  };
+  util::Xoshiro256 rng(seed);
+  std::vector<Blob> blobs(6);
+  for (auto& blob : blobs) {
+    blob.center = {static_cast<float>(rng.uniform(0.15, 0.85)),
+                   static_cast<float>(rng.uniform(0.15, 0.85)),
+                   static_cast<float>(rng.uniform(0.15, 0.85))};
+    blob.sigma = static_cast<float>(rng.uniform(0.12, 0.3));
+    blob.weight = static_cast<float>(rng.uniform(0.4, 1.0)) *
+                  (rng.bounded(2) ? 1.0f : -1.0f);
+  }
+  return fill<std::uint16_t>(dims, [&](auto x, auto y, auto z) {
+    const Vec3 p = unit_pos(dims, x, y, z);
+    float value = 0.0f;
+    for (const Blob& blob : blobs) {
+      const float d2 = (p - blob.center).length_squared();
+      value += blob.weight * std::exp(-d2 / (2.0f * blob.sigma * blob.sigma));
+    }
+    return quantize_u16(0.5f + 0.35f * value);
+  });
+}
+
+core::VolumeU16 make_velocity_field(GridDims dims, std::uint64_t seed) {
+  struct Vortex {
+    Vec3 point;
+    Vec3 axis;
+    float core_radius;
+    float strength;
+  };
+  util::Xoshiro256 rng(seed);
+  std::vector<Vortex> tubes(8);
+  for (auto& tube : tubes) {
+    tube.point = {static_cast<float>(rng.uniform(0.0, 1.0)),
+                  static_cast<float>(rng.uniform(0.0, 1.0)),
+                  static_cast<float>(rng.uniform(0.0, 1.0))};
+    tube.axis = Vec3{static_cast<float>(rng.uniform(-1.0, 1.0)),
+                     static_cast<float>(rng.uniform(-1.0, 1.0)),
+                     static_cast<float>(rng.uniform(-1.0, 1.0))}
+                    .normalized();
+    tube.core_radius = static_cast<float>(rng.uniform(0.05, 0.15));
+    tube.strength = static_cast<float>(rng.uniform(0.3, 1.0));
+  }
+  const ValueNoise small_scales(seed ^ 0x56454C4F43495459ULL);
+  return fill<std::uint16_t>(dims, [&](auto x, auto y, auto z) {
+    const Vec3 p = unit_pos(dims, x, y, z);
+    Vec3 velocity{};
+    for (const Vortex& tube : tubes) {
+      // Lamb-Oseen-like tube: tangential speed peaks at the core radius.
+      const Vec3 r = p - tube.point;
+      const Vec3 radial = r - tube.axis * r.dot(tube.axis);
+      const float dist = radial.length();
+      const float swirl =
+          tube.strength * dist /
+          (tube.core_radius * tube.core_radius + dist * dist);
+      velocity += tube.axis.cross(radial.normalized()) * swirl;
+    }
+    const float turbulence =
+        0.15f * small_scales.fbm(9.0f * p.x, 9.0f * p.y, 9.0f * p.z, 3);
+    const float magnitude = velocity.length() + std::abs(turbulence);
+    return quantize_u16(std::min(magnitude * 0.35f, 1.0f));
+  });
+}
+
+core::VolumeU16 make_ct_head_field(GridDims dims, std::uint64_t seed) {
+  const Vec3 center{0.5f, 0.5f, 0.52f};
+  const ValueNoise acquisition_noise(seed);
+  return fill<std::uint16_t>(dims, [&](auto x, auto y, auto z) {
+    const Vec3 p = unit_pos(dims, x, y, z);
+    Vec3 d = p - center;
+    d.z *= 1.25f;  // heads are taller than wide
+    const float r = d.length();
+    // Nested shells: air | skin | soft tissue | skull | brain.
+    float density01;  // fraction of the 12-bit range
+    if (r > 0.42f) density01 = 0.02f;         // air
+    else if (r > 0.40f) density01 = 0.35f;    // skin
+    else if (r > 0.36f) density01 = 0.45f;    // soft tissue
+    else if (r > 0.32f) density01 = 0.95f;    // skull (bone, bright in CT)
+    else density01 = 0.55f;                   // brain
+    const float noise =
+        0.03f * acquisition_noise.fbm(24.0f * p.x, 24.0f * p.y, 24.0f * p.z, 2);
+    // 12-bit DICOM-style range inside a u16 container.
+    return quantize_u16(std::clamp(density01 + noise, 0.0f, 1.0f), 4095.0f);
+  });
+}
+
+core::VolumeU8 make_bunny_field(GridDims dims, std::uint64_t seed) {
+  // Blobby closed object: body + head + two ears, smooth-union metaballs.
+  struct Ball {
+    Vec3 center;
+    float radius;
+  };
+  const Ball balls[] = {
+      {{0.50f, 0.48f, 0.38f}, 0.22f},  // body
+      {{0.50f, 0.56f, 0.62f}, 0.13f},  // head
+      {{0.43f, 0.58f, 0.78f}, 0.055f}, // left ear
+      {{0.57f, 0.58f, 0.78f}, 0.055f}, // right ear
+      {{0.50f, 0.30f, 0.33f}, 0.09f},  // tail
+  };
+  const ValueNoise surface_detail(seed);
+  return fill<std::uint8_t>(dims, [&](auto x, auto y, auto z) {
+    const Vec3 p = unit_pos(dims, x, y, z);
+    float field = 0.0f;
+    for (const Ball& ball : balls) {
+      const float d2 = (p - ball.center).length_squared();
+      field += ball.radius * ball.radius / (d2 + 1e-6f);
+    }
+    const float fuzz =
+        0.08f * surface_detail.fbm(16.0f * p.x, 16.0f * p.y, 16.0f * p.z, 3);
+    return quantize_u8(std::min((field + fuzz) * 0.5f, 1.0f));
+  });
+}
+
+}  // namespace oociso::data

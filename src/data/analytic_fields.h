@@ -1,0 +1,50 @@
+#pragma once
+// Analytic scalar fields used for tests, examples, and the Table-1 dataset
+// analogs. All generators are deterministic and evaluate a closed-form
+// field over the unit cube mapped onto the sample lattice.
+
+#include <cstdint>
+
+#include "core/volume.h"
+
+namespace oociso::data {
+
+/// Distance-to-center field: isosurfaces are concentric spheres. The exact
+/// triangle-free analytic form makes it the reference field for marching
+/// cubes and index correctness tests.
+[[nodiscard]] core::VolumeU8 make_sphere_field(core::GridDims dims);
+
+/// Gyroid minimal-surface field (sin x cos y + sin y cos z + sin z cos x),
+/// mapped to [0, 255]. Dense, highly multi-connected isosurfaces — a
+/// worst-ish case for per-metacell activity.
+[[nodiscard]] core::VolumeU8 make_gyroid_field(core::GridDims dims,
+                                               float frequency = 3.0f);
+
+/// Torus distance field; a genus-1 reference surface for mesh sanity tests.
+[[nodiscard]] core::VolumeU8 make_torus_field(core::GridDims dims,
+                                              float major_radius = 0.3f,
+                                              float minor_radius = 0.12f);
+
+/// Smooth low-frequency "pressure"-like field (sum of a few Gaussian
+/// blobs), 16-bit. Very few distinct endpoint values per locality but a
+/// wide global range: the N ~ n regime called out in Table 1.
+[[nodiscard]] core::VolumeU16 make_pressure_field(core::GridDims dims,
+                                                  std::uint64_t seed = 7);
+
+/// "Velocity magnitude"-like field from a sum of analytic vortex tubes,
+/// 16-bit, turbulent spectrum.
+[[nodiscard]] core::VolumeU16 make_velocity_field(core::GridDims dims,
+                                                  std::uint64_t seed = 11);
+
+/// CT-like density field: nested tissue shells (skin/bone/brain analog)
+/// plus mild acquisition noise, 16-bit with a 12-bit value range, matching
+/// the regime of the Stanford MRBrain/CTHead datasets.
+[[nodiscard]] core::VolumeU16 make_ct_head_field(core::GridDims dims,
+                                                 std::uint64_t seed = 3);
+
+/// Laser-scan-like occupancy/density field of a blobby closed object
+/// (Stanford-bunny analog): a smooth union of spheres body with appendages.
+[[nodiscard]] core::VolumeU8 make_bunny_field(core::GridDims dims,
+                                              std::uint64_t seed = 5);
+
+}  // namespace oociso::data

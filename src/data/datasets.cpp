@@ -1,0 +1,73 @@
+#include "data/datasets.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "data/analytic_fields.h"
+#include "data/rm_generator.h"
+
+namespace oociso::data {
+namespace {
+
+core::GridDims scaled(core::GridDims dims, std::int32_t downscale) {
+  if (downscale < 1) {
+    throw std::invalid_argument("downscale must be >= 1");
+  }
+  auto shrink = [downscale](std::int32_t n) {
+    return std::max<std::int32_t>(n / downscale, 8);
+  };
+  return {shrink(dims.nx), shrink(dims.ny), shrink(dims.nz)};
+}
+
+}  // namespace
+
+std::vector<DatasetInfo> table1_datasets() {
+  using core::ScalarKind;
+  return {
+      {"bunny", {512, 512, 361}, ScalarKind::kU8,
+       "Stanford Bunny CT scan analog (blobby closed object)"},
+      {"mrbrain", {256, 256, 109}, ScalarKind::kU16,
+       "Stanford MRBrain analog (nested tissue shells)"},
+      {"cthead", {256, 256, 113}, ScalarKind::kU16,
+       "Stanford CTHead analog (nested tissue shells)"},
+      {"pressure", {256, 256, 256}, ScalarKind::kU16,
+       "smooth pressure field (sum of Gaussian blobs); N ~ n regime"},
+      {"velocity", {256, 256, 256}, ScalarKind::kU16,
+       "velocity magnitude from analytic vortex tubes; N ~ n regime"},
+      {"rm", {2048, 2048, 1920}, ScalarKind::kU8,
+       "LLNL Richtmyer-Meshkov instability analog, single time step"},
+  };
+}
+
+AnyVolume make_dataset(const std::string& name, std::int32_t downscale) {
+  for (const DatasetInfo& info : table1_datasets()) {
+    if (info.name != name) continue;
+    const core::GridDims dims = scaled(info.full_dims, downscale);
+    if (name == "bunny") return make_bunny_field(dims);
+    if (name == "mrbrain") return make_ct_head_field(dims, /*seed=*/3);
+    if (name == "cthead") return make_ct_head_field(dims, /*seed=*/9);
+    if (name == "pressure") return make_pressure_field(dims);
+    if (name == "velocity") return make_velocity_field(dims);
+    if (name == "rm") {
+      RmConfig config;
+      config.dims = dims;
+      return generate_rm_timestep(config, /*time_step=*/250 % config.time_steps);
+    }
+  }
+  throw std::invalid_argument("unknown dataset: " + name);
+}
+
+core::ScalarKind kind_of(const AnyVolume& volume) {
+  return std::visit(
+      [](const auto& v) {
+        using T = typename std::decay_t<decltype(v)>::value_type;
+        return core::scalar_kind_of<T>();
+      },
+      volume);
+}
+
+core::GridDims dims_of(const AnyVolume& volume) {
+  return std::visit([](const auto& v) { return v.dims(); }, volume);
+}
+
+}  // namespace oociso::data

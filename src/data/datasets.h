@@ -1,0 +1,42 @@
+#pragma once
+// Registry of the named datasets used across tests, examples, and the
+// Table-1 index-size comparison. Each descriptor records the dimensions and
+// scalar width of the original dataset (Stanford volume archive / LLNL RM)
+// and a generator that synthesizes an analog with the same dimensions and
+// endpoint-diversity regime (see DESIGN.md, substitution table).
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/volume.h"
+
+namespace oociso::data {
+
+using AnyVolume = std::variant<core::VolumeU8, core::VolumeU16>;
+
+struct DatasetInfo {
+  std::string name;
+  core::GridDims full_dims;      ///< dimensions of the original dataset
+  core::ScalarKind kind;
+  std::string provenance;        ///< what the analog stands in for
+};
+
+/// All datasets from the paper's Table 1 plus the RM time step.
+[[nodiscard]] std::vector<DatasetInfo> table1_datasets();
+
+/// Synthesizes the analog volume for a named dataset, optionally scaled
+/// down: each dimension is divided by `downscale` (>= 1, preserving the
+/// scalar width and field character). Throws std::invalid_argument for an
+/// unknown name.
+[[nodiscard]] AnyVolume make_dataset(const std::string& name,
+                                     std::int32_t downscale = 1);
+
+/// Scalar kind held by an AnyVolume.
+[[nodiscard]] core::ScalarKind kind_of(const AnyVolume& volume);
+
+/// Dimensions of an AnyVolume.
+[[nodiscard]] core::GridDims dims_of(const AnyVolume& volume);
+
+}  // namespace oociso::data

@@ -1,0 +1,79 @@
+#include "data/noise.h"
+
+#include <cmath>
+
+namespace oociso::data {
+namespace {
+
+/// Final mixer of splitmix64; good avalanche for lattice hashing.
+constexpr std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+constexpr float smoothstep(float t) { return t * t * (3.0f - 2.0f * t); }
+
+}  // namespace
+
+float ValueNoise::lattice(std::int64_t ix, std::int64_t iy,
+                          std::int64_t iz) const {
+  std::uint64_t h = seed_;
+  h = mix64(h ^ static_cast<std::uint64_t>(ix) * 0x9E3779B97F4A7C15ULL);
+  h = mix64(h ^ static_cast<std::uint64_t>(iy) * 0xC2B2AE3D27D4EB4FULL);
+  h = mix64(h ^ static_cast<std::uint64_t>(iz) * 0x165667B19E3779F9ULL);
+  // Top 24 bits -> [0,1) -> [-1,1].
+  return static_cast<float>(h >> 40) * (2.0f / 16777216.0f) - 1.0f;
+}
+
+float ValueNoise::sample(float x, float y, float z) const {
+  const float fx = std::floor(x);
+  const float fy = std::floor(y);
+  const float fz = std::floor(z);
+  const auto ix = static_cast<std::int64_t>(fx);
+  const auto iy = static_cast<std::int64_t>(fy);
+  const auto iz = static_cast<std::int64_t>(fz);
+  const float tx = smoothstep(x - fx);
+  const float ty = smoothstep(y - fy);
+  const float tz = smoothstep(z - fz);
+
+  auto lerp = [](float a, float b, float t) { return a + (b - a) * t; };
+
+  const float c000 = lattice(ix, iy, iz);
+  const float c100 = lattice(ix + 1, iy, iz);
+  const float c010 = lattice(ix, iy + 1, iz);
+  const float c110 = lattice(ix + 1, iy + 1, iz);
+  const float c001 = lattice(ix, iy, iz + 1);
+  const float c101 = lattice(ix + 1, iy, iz + 1);
+  const float c011 = lattice(ix, iy + 1, iz + 1);
+  const float c111 = lattice(ix + 1, iy + 1, iz + 1);
+
+  const float x00 = lerp(c000, c100, tx);
+  const float x10 = lerp(c010, c110, tx);
+  const float x01 = lerp(c001, c101, tx);
+  const float x11 = lerp(c011, c111, tx);
+  const float y0 = lerp(x00, x10, ty);
+  const float y1 = lerp(x01, x11, ty);
+  return lerp(y0, y1, tz);
+}
+
+float ValueNoise::fbm(float x, float y, float z, int octaves,
+                      float persistence, float lacunarity) const {
+  float sum = 0.0f;
+  float amplitude = 1.0f;
+  float norm = 0.0f;
+  float fx = x;
+  float fy = y;
+  float fz = z;
+  for (int o = 0; o < octaves; ++o) {
+    sum += amplitude * sample(fx, fy, fz);
+    norm += amplitude;
+    amplitude *= persistence;
+    fx *= lacunarity;
+    fy *= lacunarity;
+    fz *= lacunarity;
+  }
+  return norm > 0.0f ? sum / norm : 0.0f;
+}
+
+}  // namespace oociso::data

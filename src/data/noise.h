@@ -1,0 +1,37 @@
+#pragma once
+// Deterministic 3D value noise with fractional-Brownian-motion octaves.
+//
+// This is the turbulence primitive behind the synthetic Richtmyer-Meshkov
+// stand-in dataset: cheap, seeded, and with a controllable spectrum
+// (persistence/lacunarity), which is what the mixing-layer generator needs
+// to mimic the bubble-and-spike fine structure of the real simulation.
+
+#include <cstdint>
+
+#include "core/vec3.h"
+
+namespace oociso::data {
+
+/// Seeded lattice value noise; thread-safe (stateless after construction).
+class ValueNoise {
+ public:
+  explicit ValueNoise(std::uint64_t seed) : seed_(seed) {}
+
+  /// Single-octave smooth noise in [-1, 1], trilinear with smoothstep fade.
+  [[nodiscard]] float sample(float x, float y, float z) const;
+
+  /// fBm: `octaves` layers, each `lacunarity` times the frequency and
+  /// `persistence` times the amplitude of the previous; output in [-1, 1].
+  [[nodiscard]] float fbm(float x, float y, float z, int octaves,
+                          float persistence = 0.5f,
+                          float lacunarity = 2.0f) const;
+
+ private:
+  /// Hash of an integer lattice point to [-1, 1].
+  [[nodiscard]] float lattice(std::int64_t ix, std::int64_t iy,
+                              std::int64_t iz) const;
+
+  std::uint64_t seed_;
+};
+
+}  // namespace oociso::data

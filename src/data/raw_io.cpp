@@ -1,0 +1,87 @@
+#include "data/raw_io.h"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace oociso::data {
+namespace {
+
+constexpr std::array<char, 4> kMagic = {'O', 'O', 'C', 'V'};
+constexpr std::uint32_t kVersion = 1;
+
+struct Header {
+  std::array<char, 4> magic;
+  std::uint32_t version;
+  std::uint8_t kind;
+  std::uint8_t reserved[3];
+  std::int32_t nx;
+  std::int32_t ny;
+  std::int32_t nz;
+};
+static_assert(sizeof(Header) == 24);
+
+template <typename T>
+void write_payload(std::ofstream& out, const core::Volume<T>& volume) {
+  out.write(reinterpret_cast<const char*>(volume.samples().data()),
+            static_cast<std::streamsize>(volume.samples().size() * sizeof(T)));
+}
+
+template <typename T>
+core::Volume<T> read_payload(std::ifstream& in, core::GridDims dims) {
+  std::vector<T> samples(dims.count());
+  in.read(reinterpret_cast<char*>(samples.data()),
+          static_cast<std::streamsize>(samples.size() * sizeof(T)));
+  if (!in) throw std::runtime_error("OOCV: truncated payload");
+  return core::Volume<T>(dims, std::move(samples));
+}
+
+}  // namespace
+
+void write_volume(const AnyVolume& volume, const std::filesystem::path& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("OOCV: cannot open " + path.string());
+
+  const core::GridDims dims = dims_of(volume);
+  Header header{};
+  header.magic = kMagic;
+  header.version = kVersion;
+  header.kind = static_cast<std::uint8_t>(kind_of(volume));
+  header.nx = dims.nx;
+  header.ny = dims.ny;
+  header.nz = dims.nz;
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+
+  std::visit([&out](const auto& v) { write_payload(out, v); }, volume);
+  if (!out) throw std::runtime_error("OOCV: write failed for " + path.string());
+}
+
+AnyVolume read_volume(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("OOCV: cannot open " + path.string());
+
+  Header header{};
+  in.read(reinterpret_cast<char*>(&header), sizeof(header));
+  if (!in || header.magic != kMagic) {
+    throw std::runtime_error("OOCV: bad magic in " + path.string());
+  }
+  if (header.version != kVersion) {
+    throw std::runtime_error("OOCV: unsupported version in " + path.string());
+  }
+  const core::GridDims dims{header.nx, header.ny, header.nz};
+  if (dims.nx <= 0 || dims.ny <= 0 || dims.nz <= 0) {
+    throw std::runtime_error("OOCV: bad dimensions in " + path.string());
+  }
+  switch (static_cast<core::ScalarKind>(header.kind)) {
+    case core::ScalarKind::kU8:
+      return read_payload<std::uint8_t>(in, dims);
+    case core::ScalarKind::kU16:
+      return read_payload<std::uint16_t>(in, dims);
+    case core::ScalarKind::kF32:
+      throw std::runtime_error("OOCV: f32 volumes not supported by AnyVolume");
+  }
+  throw std::runtime_error("OOCV: unknown scalar kind in " + path.string());
+}
+
+}  // namespace oociso::data

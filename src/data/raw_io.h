@@ -1,0 +1,29 @@
+#pragma once
+// Simple volume file format ("OOCV"): a fixed header followed by the raw
+// x-fastest sample payload. Lets examples persist generated datasets and
+// re-load them instead of regenerating.
+//
+// Layout (little-endian):
+//   char[4]  magic "OOCV"
+//   u32      version (1)
+//   u8       scalar kind (core::ScalarKind)
+//   u8[3]    reserved (zero)
+//   i32      nx, ny, nz
+//   payload  nx*ny*nz scalars
+
+#include <filesystem>
+
+#include "core/volume.h"
+#include "data/datasets.h"
+
+namespace oociso::data {
+
+/// Writes a volume; throws std::system_error / std::runtime_error on
+/// failure.
+void write_volume(const AnyVolume& volume, const std::filesystem::path& path);
+
+/// Reads a volume written by write_volume; throws std::runtime_error on
+/// malformed input.
+[[nodiscard]] AnyVolume read_volume(const std::filesystem::path& path);
+
+}  // namespace oociso::data

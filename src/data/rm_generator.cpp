@@ -1,0 +1,143 @@
+#include "data/rm_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+#include "data/noise.h"
+#include "util/rng.h"
+
+namespace oociso::data {
+namespace {
+
+/// One sinusoidal interface-perturbation mode across the (x, y) plane.
+struct Mode {
+  float kx;         ///< wavenumber in x (radians per unit of normalized x)
+  float ky;         ///< wavenumber in y
+  float phase;
+  float amplitude;  ///< in normalized z units
+};
+
+std::vector<Mode> make_modes(util::Xoshiro256& rng, int count,
+                             int min_waves, int max_waves, float amplitude) {
+  std::vector<Mode> modes;
+  modes.reserve(static_cast<std::size_t>(count));
+  constexpr float kTau = 2.0f * std::numbers::pi_v<float>;
+  for (int i = 0; i < count; ++i) {
+    const auto wx = static_cast<float>(
+        min_waves + static_cast<int>(rng.bounded(
+                        static_cast<std::uint64_t>(max_waves - min_waves + 1))));
+    const auto wy = static_cast<float>(
+        min_waves + static_cast<int>(rng.bounded(
+                        static_cast<std::uint64_t>(max_waves - min_waves + 1))));
+    modes.push_back(Mode{
+        .kx = kTau * wx,
+        .ky = kTau * wy,
+        .phase = static_cast<float>(rng.uniform(0.0, kTau)),
+        .amplitude = amplitude *
+                     static_cast<float>(rng.uniform(0.6, 1.0)) /
+                     static_cast<float>(count),
+    });
+  }
+  return modes;
+}
+
+}  // namespace
+
+core::VolumeU8 generate_rm_timestep(const RmConfig& config, int time_step) {
+  if (time_step < 0 || time_step >= config.time_steps) {
+    throw std::invalid_argument("RM time step out of range");
+  }
+  const core::GridDims dims = config.dims;
+  core::VolumeU8 volume(dims);
+
+  // Normalized time in [0, 1]; the mixing layer thickens and the turbulence
+  // amplitude grows as the instability develops.
+  const float t = config.time_steps > 1
+                      ? static_cast<float>(time_step) /
+                            static_cast<float>(config.time_steps - 1)
+                      : 0.0f;
+  const float growth = std::sqrt(t);  // RM mixing width grows sub-linearly
+  const float thickness =
+      config.base_thickness +
+      (config.final_thickness - config.base_thickness) * growth;
+
+  // The perturbation modes are fixed per seed (the membrane is machined
+  // once); their amplitude grows with time. The turbulence field decorrelates
+  // slowly across steps by sliding the noise domain, which gives the
+  // temporal coherence Table 8 relies on.
+  util::Xoshiro256 mode_rng(config.seed, /*stream=*/1);
+  const auto long_modes =
+      make_modes(mode_rng, config.long_modes, 1, 3, config.long_amplitude);
+  const auto short_modes =
+      make_modes(mode_rng, config.short_modes, 8, 24, config.short_amplitude);
+
+  const ValueNoise turbulence(config.seed ^ 0x524D5F5455524231ULL);
+  const float time_slide = 7.3f * t;
+
+  const float mid = config.light_gas_value +
+                    0.5f * (config.heavy_gas_value - config.light_gas_value);
+  const float half_span =
+      0.5f * (config.heavy_gas_value - config.light_gas_value);
+
+  const float inv_nx = 1.0f / static_cast<float>(dims.nx);
+  const float inv_ny = 1.0f / static_cast<float>(dims.ny);
+  const float inv_nz = 1.0f / static_cast<float>(dims.nz);
+  const float noise_scale = 28.0f;  // base turbulence frequency
+
+  std::uint8_t* out = volume.samples().data();
+  for (std::int32_t z = 0; z < dims.nz; ++z) {
+    const float nz = static_cast<float>(z) * inv_nz;
+    for (std::int32_t y = 0; y < dims.ny; ++y) {
+      const float ny = static_cast<float>(y) * inv_ny;
+      for (std::int32_t x = 0; x < dims.nx; ++x, ++out) {
+        const float nx = static_cast<float>(x) * inv_nx;
+
+        // Perturbed interface height (normalized z), growing with time.
+        float interface_z = 0.5f;
+        for (const Mode& m : long_modes) {
+          interface_z += (0.4f + 0.6f * growth) * m.amplitude *
+                         std::sin(m.kx * nx + m.ky * ny + m.phase);
+        }
+        for (const Mode& m : short_modes) {
+          interface_z += growth * m.amplitude *
+                         std::sin(m.kx * nx + m.ky * ny + m.phase);
+        }
+
+        // Signed distance to the interface in units of layer thickness.
+        const float signed_dist = (nz - interface_z) / thickness;
+
+        float value;
+        if (signed_dist <= -1.0f) {
+          value = config.light_gas_value;  // pure light gas
+        } else if (signed_dist >= 1.0f) {
+          value = config.heavy_gas_value;  // pure heavy gas
+        } else {
+          // Inside the mixing layer: smooth transition plus turbulence whose
+          // amplitude peaks at the interface and grows with time.
+          const float s = 0.5f * (signed_dist + 1.0f);  // [0, 1]
+          const float ramp = s * s * (3.0f - 2.0f * s);
+          const float gap = 1.0f - signed_dist * signed_dist;
+          const float envelope = gap * gap * gap;  // strongly core-concentrated
+          const float noise =
+              turbulence.fbm(noise_scale * nx + time_slide,
+                             noise_scale * ny - 0.5f * time_slide,
+                             noise_scale * nz + 0.25f * time_slide,
+                             config.noise_octaves);
+          const float turbulent_mix =
+              (0.20f + 0.78f * growth) * envelope * noise;
+          value = mid + half_span * (2.0f * ramp - 1.0f) +
+                  half_span * turbulent_mix;
+        }
+
+        *out = static_cast<std::uint8_t>(
+            std::clamp(value, 0.0f, 255.0f) + 0.5f);
+      }
+    }
+  }
+  return volume;
+}
+
+}  // namespace oociso::data

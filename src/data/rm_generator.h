@@ -1,0 +1,60 @@
+#pragma once
+// Synthetic Richtmyer-Meshkov-instability-like dataset generator.
+//
+// Stand-in for the 2.1 TB LLNL ASCI dataset the paper evaluates on
+// (2048x2048x1920 one-byte scalars, 270 time steps). The real simulation
+// shows two gases separated by a perturbed membrane: a shock passes through,
+// the interface develops bubbles and spikes seeded by superposed long- and
+// short-wavelength disturbances, and the mixing layer thickens and turns
+// turbulent over time.
+//
+// The generator reproduces the *span-space statistics* that the paper's
+// algorithms are sensitive to:
+//   * large homogeneous regions away from the mixing layer -> roughly half
+//     of all metacells are constant-valued and culled in preprocessing
+//     (the paper reports ~50% savings);
+//   * a mixing layer whose thickness and turbulence grow with the time
+//     step, so the active-cell count varies strongly with both isovalue
+//     and time;
+//   * one-byte scalars, so the number of distinct interval endpoints n is
+//     at most 256 while the number of metacells N is millions -- exactly
+//     the regime where the compact interval tree wins (Section 4).
+//
+// Determinism: identical (seed, time_step, dims) always produces the same
+// volume, bit for bit, on every platform.
+
+#include <cstdint>
+
+#include "core/volume.h"
+
+namespace oociso::data {
+
+struct RmConfig {
+  core::GridDims dims{256, 256, 240};  ///< paper's down-sampled size
+  std::uint64_t seed = 42;
+  int time_steps = 270;  ///< total steps in the series (paper: 270)
+
+  /// Densities of the two gases on the 0..255 scale.
+  float light_gas_value = 8.0f;
+  float heavy_gas_value = 240.0f;
+
+  /// Interface perturbation: counts of long/short wavelength modes across
+  /// the (x, y) plane and their relative amplitudes (fractions of nz).
+  int long_modes = 3;
+  int short_modes = 17;
+  float long_amplitude = 0.045f;
+  float short_amplitude = 0.015f;
+
+  /// Turbulent mixing-layer parameters. Thickness is a fraction of nz and
+  /// grows with time; noise octaves control fine-scale structure.
+  float base_thickness = 0.03f;
+  float final_thickness = 0.20f;
+  int noise_octaves = 5;
+};
+
+/// Generates the volume for one time step (0-based, < config.time_steps).
+/// Throws std::invalid_argument for an out-of-range step.
+[[nodiscard]] core::VolumeU8 generate_rm_timestep(const RmConfig& config,
+                                                  int time_step);
+
+}  // namespace oociso::data

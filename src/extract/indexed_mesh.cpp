@@ -1,0 +1,188 @@
+#include "extract/indexed_mesh.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace oociso::extract {
+namespace {
+
+/// Exact-bits position key (welding relies on bitwise-identical crossings).
+struct PositionKey {
+  std::uint32_t x;
+  std::uint32_t y;
+  std::uint32_t z;
+  bool operator==(const PositionKey&) const = default;
+};
+
+struct PositionKeyHash {
+  std::size_t operator()(const PositionKey& key) const {
+    std::uint64_t h = key.x;
+    h = h * 0x9E3779B97F4A7C15ULL ^ key.y;
+    h = h * 0x9E3779B97F4A7C15ULL ^ key.z;
+    return static_cast<std::size_t>(h ^ (h >> 31));
+  }
+};
+
+PositionKey key_of(const core::Vec3& p) {
+  PositionKey key{};
+  std::memcpy(&key.x, &p.x, 4);
+  std::memcpy(&key.y, &p.y, 4);
+  std::memcpy(&key.z, &p.z, 4);
+  // Normalize -0.0f to +0.0f so both weld together.
+  if (key.x == 0x80000000u) key.x = 0;
+  if (key.y == 0x80000000u) key.y = 0;
+  if (key.z == 0x80000000u) key.z = 0;
+  return key;
+}
+
+/// Union-find over vertex ids.
+class DisjointSet {
+ public:
+  explicit DisjointSet(std::size_t count) : parent_(count) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+  std::uint32_t find(std::uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::uint32_t a, std::uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent_[std::max(a, b)] = std::min(a, b);
+  }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+};
+
+/// Canonical undirected edge.
+std::pair<std::uint32_t, std::uint32_t> edge_key(std::uint32_t a,
+                                                 std::uint32_t b) {
+  return a < b ? std::pair{a, b} : std::pair{b, a};
+}
+
+}  // namespace
+
+IndexedMesh IndexedMesh::weld(const TriangleSoup& soup) {
+  IndexedMesh mesh;
+  std::unordered_map<PositionKey, std::uint32_t, PositionKeyHash> lookup;
+  lookup.reserve(soup.size() * 2);
+
+  auto intern = [&](const core::Vec3& p) {
+    const auto [it, inserted] = lookup.try_emplace(
+        key_of(p), static_cast<std::uint32_t>(mesh.positions_.size()));
+    if (inserted) mesh.positions_.push_back(p);
+    return it->second;
+  };
+
+  mesh.triangles_.reserve(soup.size());
+  for (const Triangle& tri : soup.triangles()) {
+    const std::uint32_t a = intern(tri.a);
+    const std::uint32_t b = intern(tri.b);
+    const std::uint32_t c = intern(tri.c);
+    if (a == b || b == c || a == c) continue;  // degenerate after welding
+    if (tri.area() < 1e-12f) continue;
+    mesh.triangles_.push_back({a, b, c});
+  }
+  return mesh;
+}
+
+const std::vector<core::Vec3>& IndexedMesh::vertex_normals() const {
+  if (normals_.size() == positions_.size()) return normals_;
+  normals_.assign(positions_.size(), core::Vec3{});
+  for (const IndexedTriangle& tri : triangles_) {
+    const core::Vec3 n =  // area-weighted: the raw cross product
+        (positions_[tri.b] - positions_[tri.a])
+            .cross(positions_[tri.c] - positions_[tri.a]);
+    normals_[tri.a] += n;
+    normals_[tri.b] += n;
+    normals_[tri.c] += n;
+  }
+  for (core::Vec3& n : normals_) n = n.normalized();
+  return normals_;
+}
+
+std::size_t IndexedMesh::connected_components() const {
+  if (positions_.empty()) return 0;
+  DisjointSet sets(positions_.size());
+  std::vector<bool> used(positions_.size(), false);
+  for (const IndexedTriangle& tri : triangles_) {
+    sets.unite(tri.a, tri.b);
+    sets.unite(tri.b, tri.c);
+    used[tri.a] = used[tri.b] = used[tri.c] = true;
+  }
+  std::size_t components = 0;
+  for (std::uint32_t v = 0; v < positions_.size(); ++v) {
+    if (used[v] && sets.find(v) == v) ++components;
+  }
+  return components;
+}
+
+std::size_t IndexedMesh::edge_count() const {
+  std::map<std::pair<std::uint32_t, std::uint32_t>, int> edges;
+  for (const IndexedTriangle& tri : triangles_) {
+    ++edges[edge_key(tri.a, tri.b)];
+    ++edges[edge_key(tri.b, tri.c)];
+    ++edges[edge_key(tri.c, tri.a)];
+  }
+  return edges.size();
+}
+
+std::int64_t IndexedMesh::euler_characteristic() const {
+  return static_cast<std::int64_t>(vertex_count()) -
+         static_cast<std::int64_t>(edge_count()) +
+         static_cast<std::int64_t>(triangle_count());
+}
+
+bool IndexedMesh::is_closed() const {
+  std::map<std::pair<std::uint32_t, std::uint32_t>, int> edges;
+  for (const IndexedTriangle& tri : triangles_) {
+    ++edges[edge_key(tri.a, tri.b)];
+    ++edges[edge_key(tri.b, tri.c)];
+    ++edges[edge_key(tri.c, tri.a)];
+  }
+  return std::all_of(edges.begin(), edges.end(),
+                     [](const auto& entry) { return entry.second == 2; });
+}
+
+double IndexedMesh::total_area() const {
+  double area = 0.0;
+  for (const IndexedTriangle& tri : triangles_) {
+    area += 0.5 * (positions_[tri.b] - positions_[tri.a])
+                      .cross(positions_[tri.c] - positions_[tri.a])
+                      .length();
+  }
+  return area;
+}
+
+void IndexedMesh::write_obj(const std::filesystem::path& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("IndexedMesh: cannot open " + path.string());
+  }
+  out << "# oociso indexed isosurface: " << vertex_count() << " vertices, "
+      << triangle_count() << " triangles\n";
+  for (const core::Vec3& p : positions_) {
+    out << "v " << p.x << ' ' << p.y << ' ' << p.z << '\n';
+  }
+  for (const core::Vec3& n : vertex_normals()) {
+    out << "vn " << n.x << ' ' << n.y << ' ' << n.z << '\n';
+  }
+  for (const IndexedTriangle& tri : triangles_) {
+    out << "f " << tri.a + 1 << "//" << tri.a + 1 << ' ' << tri.b + 1 << "//"
+        << tri.b + 1 << ' ' << tri.c + 1 << "//" << tri.c + 1 << '\n';
+  }
+  if (!out) {
+    throw std::runtime_error("IndexedMesh: write failed " + path.string());
+  }
+}
+
+}  // namespace oociso::extract

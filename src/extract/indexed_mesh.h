@@ -1,0 +1,76 @@
+#pragma once
+// Indexed (welded) meshes: post-processing of extracted triangle soups.
+//
+// Extraction emits independent triangles (three vertices each) because
+// that is what streams to the renderer with zero coordination. Downstream
+// consumers usually want shared-vertex connectivity: smaller files, smooth
+// per-vertex normals, and topology queries. IndexedMesh provides that:
+// soup vertices are welded by exact position (marching cubes/tetrahedra
+// compute each shared edge crossing identically in both incident cells, so
+// exact welding reconstructs the true connectivity), normals are
+// area-weighted vertex averages, and connected components come from a
+// union-find over the welded triangles.
+
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "core/vec3.h"
+#include "extract/mesh.h"
+
+namespace oociso::extract {
+
+class IndexedMesh {
+ public:
+  struct IndexedTriangle {
+    std::uint32_t a = 0;
+    std::uint32_t b = 0;
+    std::uint32_t c = 0;
+  };
+
+  IndexedMesh() = default;
+
+  /// Welds a soup into an indexed mesh. Degenerate triangles (repeated
+  /// welded vertices or ~zero area) are dropped.
+  static IndexedMesh weld(const TriangleSoup& soup);
+
+  [[nodiscard]] const std::vector<core::Vec3>& positions() const {
+    return positions_;
+  }
+  [[nodiscard]] const std::vector<IndexedTriangle>& triangles() const {
+    return triangles_;
+  }
+  [[nodiscard]] std::size_t vertex_count() const { return positions_.size(); }
+  [[nodiscard]] std::size_t triangle_count() const {
+    return triangles_.size();
+  }
+
+  /// Area-weighted per-vertex normals (unit length; zero for isolated
+  /// vertices). Computed lazily and cached.
+  [[nodiscard]] const std::vector<core::Vec3>& vertex_normals() const;
+
+  /// Number of edge-connected surface components.
+  [[nodiscard]] std::size_t connected_components() const;
+
+  /// Number of distinct undirected edges.
+  [[nodiscard]] std::size_t edge_count() const;
+
+  /// Euler characteristic V - E + F (2 per closed genus-0 component; 0 for
+  /// a torus). Meaningful for closed, manifold surfaces.
+  [[nodiscard]] std::int64_t euler_characteristic() const;
+
+  /// True when every edge is shared by exactly two triangles.
+  [[nodiscard]] bool is_closed() const;
+
+  [[nodiscard]] double total_area() const;
+
+  /// OBJ with shared vertices and per-vertex normals.
+  void write_obj(const std::filesystem::path& path) const;
+
+ private:
+  std::vector<core::Vec3> positions_;
+  std::vector<IndexedTriangle> triangles_;
+  mutable std::vector<core::Vec3> normals_;  // lazy cache
+};
+
+}  // namespace oociso::extract

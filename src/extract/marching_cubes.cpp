@@ -1,0 +1,136 @@
+#include "extract/marching_cubes.h"
+
+#include <cmath>
+
+#include "extract/mc_tables.h"
+
+namespace oociso::extract {
+namespace {
+
+/// Lexicographic position order; used to canonicalize interpolation
+/// direction so the two cells sharing an edge compute the SAME crossing,
+/// bit for bit (otherwise rounding opens hairline cracks that break exact
+/// vertex welding).
+bool position_less(const core::Vec3& a, const core::Vec3& b) {
+  if (a.x != b.x) return a.x < b.x;
+  if (a.y != b.y) return a.y < b.y;
+  return a.z < b.z;
+}
+
+/// Interpolated surface point on the edge between two corners, always
+/// evaluated from the lexicographically smaller endpoint. When both
+/// endpoint values coincide (possible only when both equal the isovalue),
+/// the midpoint is used.
+core::Vec3 edge_vertex(const core::Vec3& p1, const core::Vec3& p2, float v1,
+                       float v2, float isovalue) {
+  const bool swap = position_less(p2, p1);
+  const core::Vec3& pa = swap ? p2 : p1;
+  const core::Vec3& pb = swap ? p1 : p2;
+  const float va = swap ? v2 : v1;
+  const float vb = swap ? v1 : v2;
+  const float denom = vb - va;
+  if (std::abs(denom) < 1e-12f) return lerp(pa, pb, 0.5f);
+  const float t = (isovalue - va) / denom;
+  return lerp(pa, pb, t < 0.0f ? 0.0f : (t > 1.0f ? 1.0f : t));
+}
+
+}  // namespace
+
+std::size_t triangulate_cell(const std::array<float, 8>& values,
+                             const std::array<core::Vec3, 8>& corners,
+                             float isovalue, TriangleSoup& out) {
+  unsigned cube_index = 0;
+  for (unsigned i = 0; i < 8; ++i) {
+    if (values[i] < isovalue) cube_index |= 1u << i;
+  }
+  const std::uint16_t edges = kEdgeTable[cube_index];
+  if (edges == 0) return 0;
+
+  std::array<core::Vec3, 12> edge_points;
+  for (unsigned e = 0; e < 12; ++e) {
+    if (edges & (1u << e)) {
+      const auto a = static_cast<unsigned>(kEdgeCorners[e][0]);
+      const auto b = static_cast<unsigned>(kEdgeCorners[e][1]);
+      edge_points[e] =
+          edge_vertex(corners[a], corners[b], values[a], values[b], isovalue);
+    }
+  }
+
+  std::size_t count = 0;
+  const auto& tris = kTriTable[cube_index];
+  for (std::size_t i = 0; tris[i] != -1; i += 3) {
+    out.add(edge_points[static_cast<std::size_t>(tris[i])],
+            edge_points[static_cast<std::size_t>(tris[i + 1])],
+            edge_points[static_cast<std::size_t>(tris[i + 2])]);
+    ++count;
+  }
+  return count;
+}
+
+namespace {
+
+/// Shared cell loop: `value(x, y, z)` samples local coordinates, `origin`
+/// offsets emitted geometry into full-volume sample space.
+template <typename ValueFn>
+ExtractionStats run_cells(const core::GridDims& cells, const core::Coord3& origin,
+                          ValueFn&& value, float isovalue, TriangleSoup& out) {
+  ExtractionStats stats;
+  std::array<float, 8> values;
+  std::array<core::Vec3, 8> corners;
+  for (std::int32_t z = 0; z < cells.nz; ++z) {
+    for (std::int32_t y = 0; y < cells.ny; ++y) {
+      for (std::int32_t x = 0; x < cells.nx; ++x) {
+        ++stats.cells_visited;
+        for (unsigned i = 0; i < 8; ++i) {
+          const auto& offset = kCornerOffsets[i];
+          const std::int32_t cx = x + offset[0];
+          const std::int32_t cy = y + offset[1];
+          const std::int32_t cz = z + offset[2];
+          values[i] = value(cx, cy, cz);
+          corners[i] = {static_cast<float>(origin.x + cx),
+                        static_cast<float>(origin.y + cy),
+                        static_cast<float>(origin.z + cz)};
+        }
+        const std::size_t added =
+            triangulate_cell(values, corners, isovalue, out);
+        if (added > 0) {
+          ++stats.active_cells;
+          stats.triangles += added;
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace
+
+ExtractionStats extract_metacell(const metacell::DecodedMetacell& cell,
+                                 float isovalue, TriangleSoup& out) {
+  return run_cells(
+      cell.valid_cells, cell.sample_origin,
+      [&cell](std::int32_t x, std::int32_t y, std::int32_t z) {
+        return cell.sample(x, y, z);
+      },
+      isovalue, out);
+}
+
+template <core::VolumeScalar T>
+ExtractionStats extract_volume(const core::Volume<T>& volume, float isovalue,
+                               TriangleSoup& out) {
+  return run_cells(
+      volume.dims().cell_dims(), core::Coord3{0, 0, 0},
+      [&volume](std::int32_t x, std::int32_t y, std::int32_t z) {
+        return static_cast<float>(volume.at(x, y, z));
+      },
+      isovalue, out);
+}
+
+template ExtractionStats extract_volume<std::uint8_t>(
+    const core::Volume<std::uint8_t>&, float, TriangleSoup&);
+template ExtractionStats extract_volume<std::uint16_t>(
+    const core::Volume<std::uint16_t>&, float, TriangleSoup&);
+template ExtractionStats extract_volume<float>(const core::Volume<float>&,
+                                               float, TriangleSoup&);
+
+}  // namespace oociso::extract

@@ -1,0 +1,47 @@
+#pragma once
+// Marching-cubes triangulation (Lorensen & Cline 1987).
+//
+// The paper's pipeline brings one *active metacell* into memory at a time
+// and runs marching cubes over its unit cells; extract_metacell() is that
+// step. extract_volume() runs the same kernel over a whole in-memory volume
+// and serves as the in-core reference the out-of-core pipeline is tested
+// against (the two must produce identical triangle multisets).
+//
+// Vertex-inside convention: a corner is "inside" when value < isovalue.
+// Surface vertices are placed by linear interpolation along cell edges.
+// All emitted coordinates are in *sample-lattice* units of the full volume
+// (one cell == one unit), so per-metacell outputs compose seamlessly.
+
+#include <array>
+#include <cstdint>
+
+#include "core/vec3.h"
+#include "core/volume.h"
+#include "extract/mesh.h"
+#include "metacell/metacell.h"
+
+namespace oociso::extract {
+
+/// Triangulates one unit cell. `values[i]` and `corners[i]` follow the
+/// corner numbering in mc_tables.h. Returns the number of triangles added.
+std::size_t triangulate_cell(const std::array<float, 8>& values,
+                             const std::array<core::Vec3, 8>& corners,
+                             float isovalue, TriangleSoup& out);
+
+/// Statistics of one extraction pass.
+struct ExtractionStats {
+  std::uint64_t cells_visited = 0;
+  std::uint64_t active_cells = 0;  ///< cells that produced >= 1 triangle
+  std::uint64_t triangles = 0;
+};
+
+/// Runs marching cubes over the valid cells of a decoded metacell.
+ExtractionStats extract_metacell(const metacell::DecodedMetacell& cell,
+                                 float isovalue, TriangleSoup& out);
+
+/// In-core reference: marching cubes over every cell of a volume.
+template <core::VolumeScalar T>
+ExtractionStats extract_volume(const core::Volume<T>& volume, float isovalue,
+                               TriangleSoup& out);
+
+}  // namespace oociso::extract

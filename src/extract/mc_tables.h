@@ -1,0 +1,37 @@
+#pragma once
+// Marching-cubes lookup tables (Lorensen & Cline 1987, tables as published
+// by Paul Bourke, "Polygonising a scalar field").
+//
+// Corner numbering (unit cube, x right / y back / z up):
+//     v0=(0,0,0) v1=(1,0,0) v2=(1,1,0) v3=(0,1,0)
+//     v4=(0,0,1) v5=(1,0,1) v6=(1,1,1) v7=(0,1,1)
+// Edge numbering:
+//     e0=v0v1 e1=v1v2 e2=v2v3  e3=v3v0
+//     e4=v4v5 e5=v5v6 e6=v6v7  e7=v7v4
+//     e8=v0v4 e9=v1v5 e10=v2v6 e11=v3v7
+//
+// kEdgeTable[c] has bit e set iff edge e is crossed for corner-sign
+// configuration c (bit i of c set iff value[corner i] < isovalue).
+// kTriTable[c] lists up to 5 triangles as edge-index triples, -1 terminated.
+
+#include <array>
+#include <cstdint>
+
+namespace oociso::extract {
+
+inline constexpr std::array<std::array<std::int8_t, 2>, 12> kEdgeCorners = {{
+    {{0, 1}}, {{1, 2}}, {{2, 3}}, {{3, 0}},
+    {{4, 5}}, {{5, 6}}, {{6, 7}}, {{7, 4}},
+    {{0, 4}}, {{1, 5}}, {{2, 6}}, {{3, 7}},
+}};
+
+/// Unit-cube corner offsets in the numbering above.
+inline constexpr std::array<std::array<std::int8_t, 3>, 8> kCornerOffsets = {{
+    {{0, 0, 0}}, {{1, 0, 0}}, {{1, 1, 0}}, {{0, 1, 0}},
+    {{0, 0, 1}}, {{1, 0, 1}}, {{1, 1, 1}}, {{0, 1, 1}},
+}};
+
+extern const std::array<std::uint16_t, 256> kEdgeTable;
+extern const std::array<std::array<std::int8_t, 16>, 256> kTriTable;
+
+}  // namespace oociso::extract

@@ -1,0 +1,50 @@
+#include "extract/mesh.h"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+namespace oociso::extract {
+
+double TriangleSoup::total_area() const {
+  double area = 0.0;
+  for (const Triangle& tri : triangles_) area += tri.area();
+  return area;
+}
+
+bool TriangleSoup::bounds(core::Vec3& lo, core::Vec3& hi) const {
+  if (triangles_.empty()) return false;
+  lo = hi = triangles_.front().a;
+  auto grow = [&](const core::Vec3& p) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    lo.z = std::min(lo.z, p.z);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+    hi.z = std::max(hi.z, p.z);
+  };
+  for (const Triangle& tri : triangles_) {
+    grow(tri.a);
+    grow(tri.b);
+    grow(tri.c);
+  }
+  return true;
+}
+
+void write_obj(const TriangleSoup& soup, const std::filesystem::path& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("write_obj: cannot open " + path.string());
+  out << "# oociso isosurface, " << soup.size() << " triangles\n";
+  for (const Triangle& tri : soup.triangles()) {
+    for (const core::Vec3& p : {tri.a, tri.b, tri.c}) {
+      out << "v " << p.x << ' ' << p.y << ' ' << p.z << '\n';
+    }
+  }
+  for (std::size_t i = 0; i < soup.size(); ++i) {
+    const std::size_t base = 3 * i + 1;
+    out << "f " << base << ' ' << base + 1 << ' ' << base + 2 << '\n';
+  }
+  if (!out) throw std::runtime_error("write_obj: write failed " + path.string());
+}
+
+}  // namespace oociso::extract

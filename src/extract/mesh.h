@@ -1,0 +1,66 @@
+#pragma once
+// Triangle geometry produced by isosurface extraction.
+//
+// Extraction emits a triangle *soup* (three independent vertices per
+// triangle): the paper streams triangles straight to the GPU without
+// building shared-vertex connectivity, and the soup representation keeps
+// per-node extraction embarrassingly parallel.
+
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "core/vec3.h"
+
+namespace oociso::extract {
+
+struct Triangle {
+  core::Vec3 a;
+  core::Vec3 b;
+  core::Vec3 c;
+
+  /// Geometric (unnormalized) normal; zero for degenerate triangles.
+  [[nodiscard]] core::Vec3 raw_normal() const {
+    return (b - a).cross(c - a);
+  }
+  [[nodiscard]] float area() const { return 0.5f * raw_normal().length(); }
+};
+
+class TriangleSoup {
+ public:
+  void add(const Triangle& triangle) { triangles_.push_back(triangle); }
+  void add(const core::Vec3& a, const core::Vec3& b, const core::Vec3& c) {
+    triangles_.push_back({a, b, c});
+  }
+
+  void append(const TriangleSoup& other) {
+    triangles_.insert(triangles_.end(), other.triangles_.begin(),
+                      other.triangles_.end());
+  }
+
+  void clear() { triangles_.clear(); }
+  void reserve(std::size_t count) { triangles_.reserve(count); }
+
+  [[nodiscard]] std::size_t size() const { return triangles_.size(); }
+  [[nodiscard]] bool empty() const { return triangles_.empty(); }
+  [[nodiscard]] const std::vector<Triangle>& triangles() const {
+    return triangles_;
+  }
+  [[nodiscard]] std::vector<Triangle>& triangles() { return triangles_; }
+
+  /// Total surface area (useful as an isovalue-independent mesh checksum).
+  [[nodiscard]] double total_area() const;
+
+  /// Axis-aligned bounds; returns false (and leaves outputs untouched) for
+  /// an empty soup.
+  bool bounds(core::Vec3& lo, core::Vec3& hi) const;
+
+ private:
+  std::vector<Triangle> triangles_;
+};
+
+/// Writes Wavefront OBJ (positions only); throws std::runtime_error on I/O
+/// failure. Intended for examples and debugging, not bulk output.
+void write_obj(const TriangleSoup& soup, const std::filesystem::path& path);
+
+}  // namespace oociso::extract

@@ -1,0 +1,190 @@
+#include "index/bbio_tree.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace oociso::index {
+namespace {
+
+std::span<const std::byte> as_bytes(const std::vector<BbioTree::ListEntry>& v) {
+  return {reinterpret_cast<const std::byte*>(v.data()),
+          v.size() * sizeof(BbioTree::ListEntry)};
+}
+
+}  // namespace
+
+BbioTree::BbioTree(const std::vector<metacell::MetacellInfo>& infos,
+                   io::BlockDevice& index_device) {
+  interval_count_ = infos.size();
+  if (infos.empty()) return;
+
+  std::vector<core::ValueKey> endpoints;
+  endpoints.reserve(infos.size() * 2);
+  for (const auto& info : infos) {
+    endpoints.push_back(info.interval.vmin);
+    endpoints.push_back(info.interval.vmax);
+  }
+  std::sort(endpoints.begin(), endpoints.end());
+  endpoints.erase(std::unique(endpoints.begin(), endpoints.end()),
+                  endpoints.end());
+
+  root_ = build(0, endpoints.size() - 1, infos, endpoints, index_device);
+  index_device.flush();
+}
+
+std::int32_t BbioTree::build(std::size_t lo, std::size_t hi,
+                             std::vector<metacell::MetacellInfo> items,
+                             const std::vector<core::ValueKey>& endpoints,
+                             io::BlockDevice& index_device) {
+  if (items.empty()) return -1;
+  const std::size_t mid = lo + (hi - lo) / 2;
+  const core::ValueKey split = endpoints[mid];
+
+  std::vector<metacell::MetacellInfo> left_items;
+  std::vector<metacell::MetacellInfo> right_items;
+  std::vector<ListEntry> by_vmin;
+  std::vector<ListEntry> by_vmax;
+  for (const auto& info : items) {
+    if (info.interval.vmax < split) {
+      left_items.push_back(info);
+    } else if (info.interval.vmin > split) {
+      right_items.push_back(info);
+    } else {
+      by_vmin.push_back({info.interval.vmin, info.id});
+      by_vmax.push_back({info.interval.vmax, info.id});
+    }
+  }
+  items.clear();
+  items.shrink_to_fit();
+
+  std::sort(by_vmin.begin(), by_vmin.end(),
+            [](const ListEntry& a, const ListEntry& b) {
+              return a.key != b.key ? a.key < b.key : a.id < b.id;
+            });
+  std::sort(by_vmax.begin(), by_vmax.end(),
+            [](const ListEntry& a, const ListEntry& b) {
+              return a.key != b.key ? a.key > b.key : a.id < b.id;
+            });
+
+  Node node;
+  node.split = split;
+  node.count = static_cast<std::uint32_t>(by_vmin.size());
+  node.vmin_list_offset = index_device.append(as_bytes(by_vmin));
+  node.vmax_list_offset = index_device.append(as_bytes(by_vmax));
+  on_disk_bytes_ += 2 * by_vmin.size() * sizeof(ListEntry);
+
+  const auto index = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(node);
+  const std::int32_t left =
+      mid > lo ? build(lo, mid - 1, std::move(left_items), endpoints,
+                       index_device)
+               : -1;
+  const std::int32_t right =
+      mid < hi ? build(mid + 1, hi, std::move(right_items), endpoints,
+                       index_device)
+               : -1;
+  nodes_[static_cast<std::size_t>(index)].left = left;
+  nodes_[static_cast<std::size_t>(index)].right = right;
+  return index;
+}
+
+std::vector<std::uint32_t> BbioTree::query(core::ValueKey isovalue,
+                                           io::BlockDevice& index_device,
+                                           QueryStats* stats) const {
+  std::vector<std::uint32_t> ids;
+  QueryStats local;
+  // Entries are fetched from the device in batches of a few blocks, exactly
+  // like a block-paged list traversal.
+  const std::size_t batch =
+      std::max<std::size_t>(1, index_device.block_size() / sizeof(ListEntry));
+  std::vector<ListEntry> buffer(batch);
+
+  auto scan_list = [&](std::uint64_t offset, std::uint32_t count,
+                       auto&& qualifies) {
+    std::uint32_t done = 0;
+    while (done < count) {
+      const auto want = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+          batch, count - done));
+      index_device.read(offset + done * sizeof(ListEntry),
+                        {reinterpret_cast<std::byte*>(buffer.data()),
+                         want * sizeof(ListEntry)});
+      for (std::uint32_t i = 0; i < want; ++i) {
+        ++local.index_entries_read;
+        if (!qualifies(buffer[i].key)) return;
+        ids.push_back(buffer[i].id);
+      }
+      done += want;
+    }
+  };
+
+  std::int32_t current = root_;
+  while (current >= 0) {
+    const Node& node = nodes_[static_cast<std::size_t>(current)];
+    if (isovalue < node.split) {
+      scan_list(node.vmin_list_offset, node.count,
+                [isovalue](core::ValueKey key) { return key <= isovalue; });
+      current = node.left;
+    } else if (isovalue > node.split) {
+      scan_list(node.vmax_list_offset, node.count,
+                [isovalue](core::ValueKey key) { return key >= isovalue; });
+      current = node.right;
+    } else {
+      scan_list(node.vmin_list_offset, node.count,
+                [](core::ValueKey) { return true; });
+      break;
+    }
+  }
+  local.active_metacells = ids.size();
+  if (stats != nullptr) *stats = local;
+  return ids;
+}
+
+// ---------------------------------------------------------------------------
+// IdOrderStore
+// ---------------------------------------------------------------------------
+
+IdOrderStore::IdOrderStore(const std::vector<metacell::MetacellInfo>& infos,
+                           const metacell::MetacellSource& source,
+                           io::BlockDevice& device)
+    : record_size_(source.record_size()), base_offset_(device.size()) {
+  ids_.reserve(infos.size());
+  for (const auto& info : infos) ids_.push_back(info.id);
+  std::sort(ids_.begin(), ids_.end());
+
+  std::vector<std::byte> buffer;
+  constexpr std::size_t kFlushBytes = 1 << 20;
+  for (const std::uint32_t id : ids_) {
+    source.encode(id, buffer);
+    if (buffer.size() >= kFlushBytes) {
+      device.append(buffer);
+      buffer.clear();
+    }
+  }
+  if (!buffer.empty()) device.append(buffer);
+  device.flush();
+}
+
+std::size_t IdOrderStore::slot_of(std::uint32_t id) const {
+  const auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it == ids_.end() || *it != id) {
+    throw std::out_of_range("IdOrderStore: unknown metacell id");
+  }
+  return static_cast<std::size_t>(it - ids_.begin());
+}
+
+void IdOrderStore::read(
+    std::vector<std::uint32_t> ids, io::BlockDevice& device,
+    const std::function<void(std::span<const std::byte>)>& callback) const {
+  // Sorting gives the store its best case: monotone (though still gappy)
+  // offsets instead of random ones.
+  std::sort(ids.begin(), ids.end());
+  std::vector<std::byte> record(record_size_);
+  for (const std::uint32_t id : ids) {
+    const std::uint64_t offset =
+        base_offset_ + slot_of(id) * record_size_;
+    device.read(offset, record);
+    callback(record);
+  }
+}
+
+}  // namespace oociso::index

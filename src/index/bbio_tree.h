@@ -1,0 +1,116 @@
+#pragma once
+// BBIO-style external interval tree baseline (Chiang, Silva, Schroeder
+// 1998): the out-of-core comparator the paper measures itself against.
+//
+// The structure is a standard interval tree whose secondary lists live ON
+// DISK (they are Omega(N) and, unlike the compact tree, are not assumed to
+// fit in memory). The in-core part is only the node skeleton (split value,
+// children, list extents). A query walks the root-to-leaf path and reads
+// the qualifying prefix of each node's vmin- or vmax-sorted list from the
+// index device, paying block I/O for the index itself.
+//
+// The returned ids then address a metacell *store* laid out in id order —
+// the layout the BBIO pipeline uses so that metacells can be found without
+// the index. Active ids for a query are scattered across that store, which
+// is exactly the "less effective bulk data movement" the paper contrasts
+// with its vmax/vmin-sorted contiguous bricks.
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/interval.h"
+#include "io/block_device.h"
+#include "metacell/metacell.h"
+#include "metacell/source.h"
+
+namespace oociso::index {
+
+class BbioTree {
+ public:
+  /// On-disk secondary-list entry.
+  struct ListEntry {
+    core::ValueKey key = 0;
+    std::uint32_t id = 0;
+  };
+
+  struct Node {
+    core::ValueKey split = 0;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    std::uint64_t vmin_list_offset = 0;  ///< entries sorted by vmin asc
+    std::uint64_t vmax_list_offset = 0;  ///< entries sorted by vmax desc
+    std::uint32_t count = 0;             ///< intervals owned by the node
+  };
+
+  struct QueryStats {
+    std::uint64_t index_entries_read = 0;
+    std::uint64_t active_metacells = 0;
+  };
+
+  BbioTree() = default;
+
+  /// Builds the tree, writing both secondary lists of every node to
+  /// `index_device` (appended at its current end).
+  BbioTree(const std::vector<metacell::MetacellInfo>& infos,
+           io::BlockDevice& index_device);
+
+  /// Reads qualifying list prefixes from the index device; returns active
+  /// metacell ids.
+  [[nodiscard]] std::vector<std::uint32_t> query(core::ValueKey isovalue,
+                                                 io::BlockDevice& index_device,
+                                                 QueryStats* stats = nullptr)
+      const;
+
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+  [[nodiscard]] std::size_t interval_count() const { return interval_count_; }
+
+  /// Bytes of secondary lists on the index device (the Omega(N) part).
+  [[nodiscard]] std::uint64_t on_disk_bytes() const { return on_disk_bytes_; }
+
+  /// In-core skeleton footprint.
+  [[nodiscard]] std::size_t skeleton_bytes() const {
+    return sizeof(*this) + nodes_.size() * sizeof(Node);
+  }
+
+ private:
+  std::int32_t build(std::size_t lo, std::size_t hi,
+                     std::vector<metacell::MetacellInfo> items,
+                     const std::vector<core::ValueKey>& endpoints,
+                     io::BlockDevice& index_device);
+
+  std::vector<Node> nodes_;
+  std::int32_t root_ = -1;
+  std::size_t interval_count_ = 0;
+  std::uint64_t on_disk_bytes_ = 0;
+};
+
+/// Metacell store in id order — the data layout used alongside BbioTree.
+/// Provides the id -> record mapping for scattered active-cell reads.
+class IdOrderStore {
+ public:
+  /// Writes every metacell in `infos` (sorted by id) to the device.
+  IdOrderStore(const std::vector<metacell::MetacellInfo>& infos,
+               const metacell::MetacellSource& source,
+               io::BlockDevice& device);
+
+  /// Reads the records for the given ids (any order); ids are first sorted
+  /// to give the store its best case. Unknown ids throw std::out_of_range.
+  void read(std::vector<std::uint32_t> ids, io::BlockDevice& device,
+            const std::function<void(std::span<const std::byte>)>& callback)
+      const;
+
+  [[nodiscard]] std::size_t record_size() const { return record_size_; }
+  [[nodiscard]] std::uint64_t base_offset() const { return base_offset_; }
+
+ private:
+  /// Slot of an id within the store (ids ascending), or npos.
+  [[nodiscard]] std::size_t slot_of(std::uint32_t id) const;
+
+  std::vector<std::uint32_t> ids_;  ///< ascending; slot i holds ids_[i]
+  std::size_t record_size_ = 0;
+  std::uint64_t base_offset_ = 0;
+};
+
+}  // namespace oociso::index

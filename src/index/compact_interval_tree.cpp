@@ -1,0 +1,409 @@
+#include "index/compact_interval_tree.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "io/serial.h"
+
+namespace oociso::index {
+namespace {
+
+constexpr std::uint32_t kIndexMagic = 0x4F434954;  // "OCIT"
+constexpr std::uint32_t kIndexVersion = 1;
+
+/// Reads the vmin field of a serialized metacell record (it follows the
+/// 4-byte id; see metacell.h for the record layout).
+core::ValueKey record_vmin(std::span<const std::byte> record,
+                           core::ScalarKind kind) {
+  io::ByteReader reader(record);
+  reader.skip(sizeof(std::uint32_t));
+  switch (kind) {
+    case core::ScalarKind::kU8:
+      return static_cast<core::ValueKey>(reader.get<std::uint8_t>());
+    case core::ScalarKind::kU16:
+      return static_cast<core::ValueKey>(reader.get<std::uint16_t>());
+    case core::ScalarKind::kF32:
+      return reader.get<float>();
+  }
+  throw std::runtime_error("bad scalar kind in record");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Query planning
+// ---------------------------------------------------------------------------
+
+QueryPlan CompactIntervalTree::plan(core::ValueKey isovalue) const {
+  QueryPlan plan;
+  plan.isovalue = isovalue;
+  std::int32_t current = root_;
+  while (current >= 0) {
+    const CompactNode& node = nodes_[static_cast<std::size_t>(current)];
+    ++plan.nodes_visited;
+    if (isovalue > node.split) {
+      // Case 1: bricks are ordered by decreasing vmax; take the sequential
+      // run with vmax >= isovalue and read each fully.
+      for (std::uint32_t b = node.brick_begin; b < node.brick_end; ++b) {
+        const BrickEntry& brick = bricks_[b];
+        if (brick.vmax < isovalue) break;
+        plan.scans.push_back(BrickScan{brick.offset, brick.count, true});
+      }
+      current = node.right;
+    } else if (isovalue < node.split) {
+      // Case 2: every brick here has vmax >= split > isovalue; scan the
+      // vmin-sorted prefix of each brick that can contain active metacells.
+      for (std::uint32_t b = node.brick_begin; b < node.brick_end; ++b) {
+        const BrickEntry& brick = bricks_[b];
+        if (brick.min_vmin > isovalue) continue;  // no active cells: no I/O
+        plan.scans.push_back(BrickScan{brick.offset, brick.count, false});
+      }
+      current = node.left;
+    } else {
+      // isovalue == split: every metacell owned by this node is active, and
+      // no interval below this node can contain the isovalue.
+      for (std::uint32_t b = node.brick_begin; b < node.brick_end; ++b) {
+        const BrickEntry& brick = bricks_[b];
+        plan.scans.push_back(BrickScan{brick.offset, brick.count, true});
+      }
+      break;
+    }
+  }
+  return plan;
+}
+
+QueryStats execute_plan(
+    const QueryPlan& plan, core::ScalarKind kind, std::size_t record_size,
+    io::BlockDevice& device,
+    const std::function<void(std::span<const std::byte>)>& callback) {
+  QueryStats stats;
+  stats.nodes_visited = plan.nodes_visited;
+  if (record_size == 0) {
+    throw std::logic_error("execute_plan: empty index queried");
+  }
+
+  // Case-1 (full) scans read the whole brick in large sequential chunks.
+  // Case-2 (prefix) scans gallop: the first read is one block's worth of
+  // records and each subsequent read doubles, so a short active prefix
+  // costs O(prefix) blocks while a long one converges to bulk reads —
+  // keeping total I/O proportional to output (the T/B term).
+  const std::size_t full_chunk_records =
+      std::max<std::size_t>(1, (64 * device.block_size()) / record_size);
+  const std::size_t first_batch_records =
+      std::max<std::size_t>(1, device.block_size() / record_size);
+  const std::size_t max_batch_records =
+      std::max<std::size_t>(first_batch_records,
+                            (16 * device.block_size()) / record_size);
+  std::vector<std::byte> buffer;
+
+  for (const BrickScan& scan : plan.scans) {
+    ++stats.bricks_scanned;
+    std::uint64_t done = 0;
+    std::size_t batch =
+        scan.full ? full_chunk_records : first_batch_records;
+    bool stop = false;
+    while (done < scan.metacell_count && !stop) {
+      const std::size_t want = static_cast<std::size_t>(
+          std::min<std::uint64_t>(batch, scan.metacell_count - done));
+      buffer.resize(want * record_size);
+      device.read(scan.offset + done * record_size, buffer);
+      for (std::size_t r = 0; r < want; ++r) {
+        const std::span<const std::byte> record(buffer.data() + r * record_size,
+                                                record_size);
+        ++stats.records_fetched;
+        if (!scan.full && record_vmin(record, kind) > plan.isovalue) {
+          // End of the active prefix; the rest of the brick is inactive.
+          stop = true;
+          break;
+        }
+        ++stats.active_metacells;
+        callback(record);
+      }
+      done += want;
+      if (!scan.full) batch = std::min(batch * 2, max_batch_records);
+    }
+  }
+  return stats;
+}
+
+QueryStats CompactIntervalTree::execute(
+    const QueryPlan& plan, io::BlockDevice& device,
+    const std::function<void(std::span<const std::byte>)>& callback) const {
+  return execute_plan(plan, kind_, record_size_, device, callback);
+}
+
+QueryStats CompactIntervalTree::query(
+    core::ValueKey isovalue, io::BlockDevice& device,
+    const std::function<void(std::span<const std::byte>)>& callback) const {
+  return execute(plan(isovalue), device, callback);
+}
+
+std::size_t CompactIntervalTree::height() const {
+  // Iterative depth computation over the explicit child links.
+  if (root_ < 0) return 0;
+  std::size_t max_depth = 0;
+  std::vector<std::pair<std::int32_t, std::size_t>> stack{{root_, 1}};
+  while (!stack.empty()) {
+    const auto [node_index, depth] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, depth);
+    const CompactNode& node = nodes_[static_cast<std::size_t>(node_index)];
+    if (node.left >= 0) stack.emplace_back(node.left, depth + 1);
+    if (node.right >= 0) stack.emplace_back(node.right, depth + 1);
+  }
+  return max_depth;
+}
+
+// ---------------------------------------------------------------------------
+// Persistence
+// ---------------------------------------------------------------------------
+
+std::vector<std::byte> CompactIntervalTree::to_bytes() const {
+  std::vector<std::byte> out;
+  io::ByteWriter writer(out);
+  writer.put(kIndexMagic);
+  writer.put(kIndexVersion);
+  writer.put(static_cast<std::uint8_t>(kind_));
+  writer.put(static_cast<std::uint32_t>(record_size_));
+  writer.put(total_metacells_);
+  writer.put(root_);
+  writer.put(static_cast<std::uint32_t>(nodes_.size()));
+  writer.put(static_cast<std::uint32_t>(bricks_.size()));
+  for (const CompactNode& node : nodes_) writer.put(node);
+  for (const BrickEntry& brick : bricks_) writer.put(brick);
+  return out;
+}
+
+CompactIntervalTree CompactIntervalTree::from_bytes(
+    std::span<const std::byte> data) {
+  io::ByteReader reader(data);
+  if (reader.get<std::uint32_t>() != kIndexMagic) {
+    throw std::runtime_error("compact tree: bad magic");
+  }
+  if (reader.get<std::uint32_t>() != kIndexVersion) {
+    throw std::runtime_error("compact tree: unsupported version");
+  }
+  CompactIntervalTree tree;
+  tree.kind_ = static_cast<core::ScalarKind>(reader.get<std::uint8_t>());
+  tree.record_size_ = reader.get<std::uint32_t>();
+  tree.total_metacells_ = reader.get<std::uint64_t>();
+  tree.root_ = reader.get<std::int32_t>();
+  const auto node_count = reader.get<std::uint32_t>();
+  const auto brick_count = reader.get<std::uint32_t>();
+  tree.nodes_.reserve(node_count);
+  for (std::uint32_t i = 0; i < node_count; ++i) {
+    tree.nodes_.push_back(reader.get<CompactNode>());
+  }
+  tree.bricks_.reserve(brick_count);
+  for (std::uint32_t i = 0; i < brick_count; ++i) {
+    tree.bricks_.push_back(reader.get<BrickEntry>());
+  }
+  if (reader.remaining() != 0) {
+    throw std::runtime_error("compact tree: trailing bytes");
+  }
+  return tree;
+}
+
+// ---------------------------------------------------------------------------
+// Building
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using metacell::MetacellInfo;
+
+/// Shared (device-independent) shape of the tree plus, per node, the list
+/// of bricks as ranges into the node's sorted metacell array.
+struct ShapeNode {
+  core::ValueKey split = 0;
+  std::int32_t left = -1;
+  std::int32_t right = -1;
+  std::vector<MetacellInfo> metacells;  // sorted by (vmax desc, vmin asc, id)
+  // Brick boundaries: metacells[brick_start[i] .. brick_start[i+1]) share
+  // one vmax. brick_start.back() == metacells.size().
+  std::vector<std::uint32_t> brick_start;
+};
+
+class ShapeBuilder {
+ public:
+  explicit ShapeBuilder(std::vector<core::ValueKey> endpoints)
+      : endpoints_(std::move(endpoints)) {}
+
+  std::int32_t build(std::size_t lo, std::size_t hi,
+                     std::vector<MetacellInfo> items) {
+    if (items.empty()) return -1;
+    const std::size_t mid = lo + (hi - lo) / 2;
+    const core::ValueKey split = endpoints_[mid];
+
+    std::vector<MetacellInfo> left_items;
+    std::vector<MetacellInfo> right_items;
+    ShapeNode node;
+    node.split = split;
+    for (const MetacellInfo& info : items) {
+      if (info.interval.vmax < split) {
+        left_items.push_back(info);
+      } else if (info.interval.vmin > split) {
+        right_items.push_back(info);
+      } else {
+        node.metacells.push_back(info);
+      }
+    }
+    items.clear();
+    items.shrink_to_fit();
+
+    // Bricks: group by vmax in decreasing order; inside a brick, increasing
+    // vmin (ties broken by id for determinism).
+    std::sort(node.metacells.begin(), node.metacells.end(),
+              [](const MetacellInfo& a, const MetacellInfo& b) {
+                if (a.interval.vmax != b.interval.vmax) {
+                  return a.interval.vmax > b.interval.vmax;
+                }
+                if (a.interval.vmin != b.interval.vmin) {
+                  return a.interval.vmin < b.interval.vmin;
+                }
+                return a.id < b.id;
+              });
+    node.brick_start.push_back(0);
+    for (std::uint32_t i = 1; i < node.metacells.size(); ++i) {
+      if (node.metacells[i].interval.vmax !=
+          node.metacells[i - 1].interval.vmax) {
+        node.brick_start.push_back(i);
+      }
+    }
+    node.brick_start.push_back(
+        static_cast<std::uint32_t>(node.metacells.size()));
+
+    const auto index = static_cast<std::int32_t>(shape_.size());
+    shape_.push_back(std::move(node));
+    // (mid == lo means no endpoints remain on the left, and similarly right.)
+    const std::int32_t left =
+        mid > lo ? build(lo, mid - 1, std::move(left_items)) : -1;
+    const std::int32_t right =
+        mid < hi ? build(mid + 1, hi, std::move(right_items)) : -1;
+    shape_[static_cast<std::size_t>(index)].left = left;
+    shape_[static_cast<std::size_t>(index)].right = right;
+    return index;
+  }
+
+  std::vector<ShapeNode>& shape() { return shape_; }
+
+ private:
+  std::vector<core::ValueKey> endpoints_;
+  std::vector<ShapeNode> shape_;
+};
+
+}  // namespace
+
+CompactTreeBuilder::Result CompactTreeBuilder::build(
+    const std::vector<metacell::MetacellInfo>& infos,
+    const metacell::MetacellSource& source,
+    std::span<io::BlockDevice* const> devices) {
+  if (devices.empty()) {
+    throw std::invalid_argument("CompactTreeBuilder: no devices");
+  }
+  for (io::BlockDevice* device : devices) {
+    if (device == nullptr) {
+      throw std::invalid_argument("CompactTreeBuilder: null device");
+    }
+  }
+  const std::size_t p = devices.size();
+  const std::size_t record_size = source.record_size();
+
+  // Distinct endpoint values (the paper's n).
+  std::vector<core::ValueKey> endpoints;
+  endpoints.reserve(infos.size() * 2);
+  for (const auto& info : infos) {
+    endpoints.push_back(info.interval.vmin);
+    endpoints.push_back(info.interval.vmax);
+  }
+  std::sort(endpoints.begin(), endpoints.end());
+  endpoints.erase(std::unique(endpoints.begin(), endpoints.end()),
+                  endpoints.end());
+
+  Result result;
+  result.trees.resize(p);
+  for (auto& tree : result.trees) {
+    tree.kind_ = source.kind();
+    tree.record_size_ = record_size;
+  }
+  if (infos.empty()) return result;
+
+  ShapeBuilder shape_builder(endpoints);
+  const std::int32_t root =
+      shape_builder.build(0, endpoints.size() - 1, infos);
+  std::vector<ShapeNode>& shape = shape_builder.shape();
+
+  // Write bricks device by device... no: brick by brick, striping records
+  // round-robin. Records for one brick-stripe are encoded into a single
+  // buffer and appended with one call, so preprocessing I/O is sequential
+  // bulk writes on every disk.
+  std::vector<std::vector<std::byte>> stripe_buffers(p);
+  std::vector<std::uint64_t> next_offset(p);
+  for (std::size_t d = 0; d < p; ++d) next_offset[d] = devices[d]->size();
+  // The round-robin cursor continues across bricks rather than restarting
+  // at disk 0: with many metacells per brick this is the paper's striping,
+  // and with small bricks it removes the systematic bias that restarting
+  // would give the low-numbered disks (each brick still splits per-disk
+  // within one metacell of even).
+  std::size_t stripe_cursor = 0;
+
+  for (auto& tree : result.trees) {
+    tree.nodes_.resize(shape.size());
+    tree.root_ = root;
+  }
+
+  for (std::size_t s = 0; s < shape.size(); ++s) {
+    const ShapeNode& shape_node = shape[s];
+    for (std::size_t d = 0; d < p; ++d) {
+      CompactNode& node = result.trees[d].nodes_[s];
+      node.split = shape_node.split;
+      node.left = shape_node.left;
+      node.right = shape_node.right;
+      node.brick_begin =
+          static_cast<std::uint32_t>(result.trees[d].bricks_.size());
+    }
+
+    for (std::size_t b = 0; b + 1 < shape_node.brick_start.size(); ++b) {
+      const std::uint32_t begin = shape_node.brick_start[b];
+      const std::uint32_t end = shape_node.brick_start[b + 1];
+      if (begin == end) continue;
+      ++result.bricks_written;
+
+      for (auto& buffer : stripe_buffers) buffer.clear();
+      std::vector<std::uint32_t> stripe_counts(p, 0);
+      std::vector<core::ValueKey> stripe_min_vmin(p, 0);
+
+      for (std::uint32_t i = begin; i < end; ++i) {
+        const MetacellInfo& info = shape_node.metacells[i];
+        const std::size_t d = (stripe_cursor + (i - begin)) % p;
+        if (stripe_counts[d] == 0) stripe_min_vmin[d] = info.interval.vmin;
+        source.encode(info.id, stripe_buffers[d]);
+        ++stripe_counts[d];
+        ++result.metacells_written;
+      }
+      stripe_cursor = (stripe_cursor + (end - begin)) % p;
+
+      const core::ValueKey brick_vmax =
+          shape_node.metacells[begin].interval.vmax;
+      for (std::size_t d = 0; d < p; ++d) {
+        if (stripe_counts[d] == 0) continue;  // empty stripe: no entry at all
+        devices[d]->write(next_offset[d], stripe_buffers[d]);
+        result.trees[d].bricks_.push_back(BrickEntry{
+            brick_vmax, stripe_min_vmin[d], next_offset[d], stripe_counts[d]});
+        result.trees[d].total_metacells_ += stripe_counts[d];
+        next_offset[d] += stripe_buffers[d].size();
+        result.bytes_written += stripe_buffers[d].size();
+      }
+    }
+
+    for (std::size_t d = 0; d < p; ++d) {
+      result.trees[d].nodes_[s].brick_end =
+          static_cast<std::uint32_t>(result.trees[d].bricks_.size());
+    }
+  }
+
+  for (io::BlockDevice* device : devices) device->flush();
+  return result;
+}
+
+}  // namespace oociso::index

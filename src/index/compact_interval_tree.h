@@ -1,0 +1,178 @@
+#pragma once
+// The paper's contribution: the *compact interval tree* (Section 4) and its
+// brick disk layout, including the striped parallel variant (Section 5.1).
+//
+// Structure. Let n be the number of distinct endpoint values among all
+// metacell intervals. A binary tree is built over these endpoints: each node
+// holds the median (split) value of the endpoints in its range and owns the
+// intervals that contain the split. Unlike the standard interval tree, a
+// node does NOT store its intervals in two sorted lists. Instead, the
+// node's metacells are grouped by their vmax into *bricks*: all metacells
+// of a node with equal vmax are stored contiguously on disk, sorted by
+// increasing vmin; the node's bricks are stored contiguously in decreasing
+// vmax order. The node keeps only one small index entry per non-empty brick:
+//     { vmax, min vmin within the brick, disk offset, metacell count }
+// so the in-core structure is O(n log n) entries total, versus Omega(N)
+// (N = number of intervals) for the standard interval tree.
+//
+// Query (Section 5). Walk the root-to-leaf path for isovalue lambda. At a
+// node with split v_m:
+//   * lambda > v_m (Case 1): every owned metacell has vmin <= v_m < lambda,
+//     so the active ones are exactly those with vmax >= lambda: read bricks
+//     sequentially from the first (largest vmax) until vmax < lambda — one
+//     bulk, contiguous read.
+//   * lambda < v_m (Case 2): every owned metacell has vmax >= v_m > lambda,
+//     so the active ones are those with vmin <= lambda: scan each brick's
+//     vmin-sorted prefix, stopping at the first vmin > lambda; bricks whose
+//     stored min-vmin exceeds lambda are skipped with no I/O.
+//   * lambda == v_m: all owned metacells are active; read every brick fully.
+// Total I/O: O(log n + T/B) with the index in core.
+//
+// Parallel layout (Section 5.1). Each brick's vmin-sorted metacell list is
+// striped round-robin across the p local disks; every node of the cluster
+// keeps its own tree whose brick entries describe only the local stripe
+// (local count, local min-vmin, local offset). For any isovalue the active
+// prefix of each brick splits across disks with per-disk counts differing
+// by at most 1 per brick, which is the provable load-balance property.
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/interval.h"
+#include "io/block_device.h"
+#include "metacell/metacell.h"
+#include "metacell/source.h"
+
+namespace oociso::index {
+
+/// One index-list entry: a non-empty brick of metacells sharing a vmax.
+struct BrickEntry {
+  core::ValueKey vmax = 0;      ///< common vmax of the brick's metacells
+  core::ValueKey min_vmin = 0;  ///< smallest vmin in the (local) brick
+  std::uint64_t offset = 0;     ///< start of the brick on the local disk
+  std::uint32_t count = 0;      ///< metacells in the (local) brick
+};
+
+/// Binary-tree node over distinct endpoint values.
+struct CompactNode {
+  core::ValueKey split = 0;
+  std::int32_t left = -1;   ///< index into nodes(), -1 if none
+  std::int32_t right = -1;
+  std::uint32_t brick_begin = 0;  ///< [begin, end) into bricks()
+  std::uint32_t brick_end = 0;
+};
+
+/// One brick read produced by planning a query.
+struct BrickScan {
+  std::uint64_t offset = 0;
+  std::uint32_t metacell_count = 0;  ///< total metacells in the brick
+  bool full = false;  ///< read everything vs vmin-bounded prefix scan
+};
+
+struct QueryPlan {
+  std::vector<BrickScan> scans;
+  std::uint32_t nodes_visited = 0;
+  core::ValueKey isovalue = 0;
+};
+
+/// Result counters for one executed query.
+struct QueryStats {
+  std::uint64_t active_metacells = 0;   ///< records delivered to the callback
+  std::uint64_t records_fetched = 0;    ///< includes per-brick overshoot
+  std::uint64_t bricks_scanned = 0;
+  std::uint32_t nodes_visited = 0;
+};
+
+/// Executes a query plan against the brick device, invoking `callback` with
+/// each active metacell record. Shared by the in-core tree and the blocked
+/// external tree (external_tree.h); `plan.nodes_visited` is carried into
+/// the returned stats.
+QueryStats execute_plan(const QueryPlan& plan, core::ScalarKind kind,
+                        std::size_t record_size, io::BlockDevice& device,
+                        const std::function<void(std::span<const std::byte>)>&
+                            callback);
+
+/// In-core compact interval tree for one disk (one cluster node's stripe).
+class CompactIntervalTree {
+ public:
+  CompactIntervalTree() = default;
+
+  /// Plans the root-to-leaf walk for an isovalue; no I/O.
+  [[nodiscard]] QueryPlan plan(core::ValueKey isovalue) const;
+
+  /// Executes a plan against the brick device, invoking `callback` with each
+  /// active metacell's serialized record. Case-2 scans decode each record's
+  /// vmin field to stop past the active prefix.
+  QueryStats execute(const QueryPlan& plan, io::BlockDevice& device,
+                     const std::function<void(std::span<const std::byte>)>&
+                         callback) const;
+
+  /// plan() + execute().
+  QueryStats query(core::ValueKey isovalue, io::BlockDevice& device,
+                   const std::function<void(std::span<const std::byte>)>&
+                       callback) const;
+
+  // -- structure accessors ------------------------------------------------
+  [[nodiscard]] const std::vector<CompactNode>& nodes() const { return nodes_; }
+  [[nodiscard]] const std::vector<BrickEntry>& bricks() const { return bricks_; }
+  [[nodiscard]] std::int32_t root() const { return root_; }
+  [[nodiscard]] core::ScalarKind scalar_kind() const { return kind_; }
+  [[nodiscard]] std::size_t record_size() const { return record_size_; }
+  [[nodiscard]] std::uint64_t total_metacells() const {
+    return total_metacells_;
+  }
+
+  /// Number of index entries (the paper's O(n log n) size measure).
+  [[nodiscard]] std::size_t entry_count() const { return bricks_.size(); }
+
+  /// In-core footprint of the structure in bytes.
+  [[nodiscard]] std::size_t size_bytes() const {
+    return nodes_.size() * sizeof(CompactNode) +
+           bricks_.size() * sizeof(BrickEntry) + sizeof(*this);
+  }
+
+  [[nodiscard]] std::size_t height() const;
+
+  // -- persistence ----------------------------------------------------------
+  /// Serializes the in-core structure (not the bricks, which live on disk).
+  [[nodiscard]] std::vector<std::byte> to_bytes() const;
+  [[nodiscard]] static CompactIntervalTree from_bytes(
+      std::span<const std::byte> data);
+
+ private:
+  friend class CompactTreeBuilder;
+
+  std::vector<CompactNode> nodes_;
+  std::vector<BrickEntry> bricks_;
+  std::int32_t root_ = -1;
+  core::ScalarKind kind_ = core::ScalarKind::kU8;
+  std::size_t record_size_ = 0;
+  std::uint64_t total_metacells_ = 0;
+};
+
+/// Builds compact interval trees and writes the brick layout.
+///
+/// With p devices the metacells of every brick are striped round-robin and
+/// p trees are returned, tree i describing only device i's stripe. With one
+/// device this is the serial structure of Section 4.
+class CompactTreeBuilder {
+ public:
+  struct Result {
+    std::vector<CompactIntervalTree> trees;  ///< one per device
+    std::uint64_t bricks_written = 0;        ///< global (non-striped) bricks
+    std::uint64_t metacells_written = 0;
+    std::uint64_t bytes_written = 0;         ///< across all devices
+  };
+
+  /// `infos` are the (already culled) metacells with their intervals;
+  /// `source` serializes records; `devices` are the p local disks (all
+  /// non-null). Records are appended to each device starting at its current
+  /// end. Throws std::invalid_argument on empty device list.
+  static Result build(const std::vector<metacell::MetacellInfo>& infos,
+                      const metacell::MetacellSource& source,
+                      std::span<io::BlockDevice* const> devices);
+};
+
+}  // namespace oociso::index

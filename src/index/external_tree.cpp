@@ -1,0 +1,259 @@
+#include "index/external_tree.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <stdexcept>
+
+#include "io/serial.h"
+
+namespace oociso::index {
+namespace {
+
+constexpr std::uint32_t kNoBlock = 0xFFFFFFFF;
+
+struct Ref {
+  std::uint32_t block = kNoBlock;
+  std::uint16_t slot = 0;
+};
+
+/// Deserialized node of one index block.
+struct ParsedNode {
+  core::ValueKey split = 0;
+  Ref left;
+  Ref right;
+  std::vector<BrickEntry> bricks;
+};
+
+/// Serialized node size: split + 2 child refs + brick count + bricks.
+std::size_t node_bytes(std::size_t brick_count) {
+  return sizeof(float) + 2 * (sizeof(std::uint32_t) + sizeof(std::uint16_t)) +
+         sizeof(std::uint32_t) + brick_count * sizeof(BrickEntry);
+}
+
+std::vector<ParsedNode> parse_block(std::span<const std::byte> bytes) {
+  io::ByteReader reader(bytes);
+  const auto count = reader.get<std::uint32_t>();
+  std::vector<ParsedNode> nodes;
+  nodes.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ParsedNode node;
+    node.split = reader.get<float>();
+    node.left.block = reader.get<std::uint32_t>();
+    node.left.slot = reader.get<std::uint16_t>();
+    node.right.block = reader.get<std::uint32_t>();
+    node.right.slot = reader.get<std::uint16_t>();
+    const auto brick_count = reader.get<std::uint32_t>();
+    node.bricks.reserve(brick_count);
+    for (std::uint32_t b = 0; b < brick_count; ++b) {
+      node.bricks.push_back(reader.get<BrickEntry>());
+    }
+    nodes.push_back(std::move(node));
+  }
+  return nodes;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Build
+// ---------------------------------------------------------------------------
+
+ExternalCompactTree ExternalCompactTree::build(const CompactIntervalTree& tree,
+                                               io::BlockDevice& device,
+                                               std::uint32_t block_bytes) {
+  if (block_bytes < 64) {
+    throw std::invalid_argument("ExternalCompactTree: block too small");
+  }
+  ExternalCompactTree external;
+  external.block_bytes_ = block_bytes;
+  external.kind_ = tree.scalar_kind();
+  external.record_size_ = tree.record_size();
+  external.base_offset_ = device.size();
+  if (tree.root() < 0) return external;
+  external.empty_ = false;
+
+  const auto& nodes = tree.nodes();
+  const auto& bricks = tree.bricks();
+  auto brick_count_of = [&](std::int32_t n) {
+    const CompactNode& node = nodes[static_cast<std::size_t>(n)];
+    return static_cast<std::size_t>(node.brick_end - node.brick_begin);
+  };
+
+  // Phase 1: greedy BFS packing of tree nodes into blocks.
+  struct BlockPlan {
+    std::vector<std::int32_t> members;  // tree-node ids, slot == index
+  };
+  std::vector<BlockPlan> blocks;
+  std::map<std::int32_t, Ref> placement;  // tree node -> (block, slot)
+  std::uint32_t max_depth = 0;
+
+  // Iterative recursion over (subtree root, block depth).
+  std::vector<std::pair<std::int32_t, std::uint32_t>> pending{{tree.root(), 1}};
+  while (!pending.empty()) {
+    const auto [subtree_root, depth] = pending.back();
+    pending.pop_back();
+    max_depth = std::max(max_depth, depth);
+
+    const auto block_id = static_cast<std::uint32_t>(blocks.size());
+    blocks.emplace_back();
+    BlockPlan& block = blocks.back();
+    std::size_t used = sizeof(std::uint32_t);  // node-count header
+
+    std::deque<std::int32_t> frontier{subtree_root};
+    while (!frontier.empty()) {
+      const std::int32_t n = frontier.front();
+      const std::size_t cost = node_bytes(brick_count_of(n));
+      // The block takes the node if it fits, or if the block is still empty
+      // (an oversized node gets a block of its own, padded up).
+      if (used + cost > block_bytes && !block.members.empty()) break;
+      if (block.members.size() >= 0xFFFF) break;  // slot index is 16-bit
+      frontier.pop_front();
+      placement[n] = Ref{block_id,
+                         static_cast<std::uint16_t>(block.members.size())};
+      block.members.push_back(n);
+      used += cost;
+      const CompactNode& node = nodes[static_cast<std::size_t>(n)];
+      if (node.left >= 0) frontier.push_back(node.left);
+      if (node.right >= 0) frontier.push_back(node.right);
+    }
+    // Whatever remains in the frontier roots its own block one level down
+    // (children are only enqueued when their parent is placed, so every
+    // leftover node's parent lives in this block).
+    for (const std::int32_t overflow : frontier) {
+      pending.emplace_back(overflow, depth + 1);
+    }
+  }
+
+  // Phase 2: serialize blocks (padded to a block_bytes multiple) and append.
+  std::vector<std::byte> buffer;
+  std::uint64_t written = 0;
+  for (const BlockPlan& block : blocks) {
+    buffer.clear();
+    io::ByteWriter writer(buffer);
+    writer.put(static_cast<std::uint32_t>(block.members.size()));
+    for (const std::int32_t n : block.members) {
+      const CompactNode& node = nodes[static_cast<std::size_t>(n)];
+      writer.put(node.split);
+      const Ref left =
+          node.left >= 0 ? placement.at(node.left) : Ref{kNoBlock, 0};
+      const Ref right =
+          node.right >= 0 ? placement.at(node.right) : Ref{kNoBlock, 0};
+      writer.put(left.block);
+      writer.put(left.slot);
+      writer.put(right.block);
+      writer.put(right.slot);
+      writer.put(node.brick_end - node.brick_begin);
+      for (std::uint32_t b = node.brick_begin; b < node.brick_end; ++b) {
+        writer.put(bricks[b]);
+      }
+    }
+    // Pad to the block size (oversized nodes round up to a multiple).
+    const std::size_t padded =
+        (buffer.size() + block_bytes - 1) / block_bytes * block_bytes;
+    buffer.resize(padded);
+    device.write(external.base_offset_ + written, buffer);
+    external.block_offsets_.push_back(external.base_offset_ + written);
+    written += padded;
+  }
+  device.flush();
+
+  external.root_block_ = 0;
+  external.stats_.blocks = static_cast<std::uint32_t>(blocks.size());
+  external.stats_.bytes_written = written;
+  external.stats_.max_block_depth = max_depth;
+  return external;
+}
+
+// ---------------------------------------------------------------------------
+// Query walk
+// ---------------------------------------------------------------------------
+
+template <typename ReadFn>
+QueryPlan ExternalCompactTree::walk(core::ValueKey isovalue,
+                                    ReadFn&& read_block,
+                                    std::uint64_t* blocks_read) const {
+  QueryPlan plan;
+  plan.isovalue = isovalue;
+  std::uint64_t fetches = 0;
+  if (empty_) {
+    if (blocks_read != nullptr) *blocks_read = 0;
+    return plan;
+  }
+
+  std::uint32_t current_block = root_block_;
+  std::vector<ParsedNode> nodes = read_block(current_block);
+  ++fetches;
+  std::uint16_t slot = 0;
+
+  for (;;) {
+    const ParsedNode& node = nodes[slot];
+    ++plan.nodes_visited;
+    Ref next;
+    if (isovalue > node.split) {
+      for (const BrickEntry& brick : node.bricks) {
+        if (brick.vmax < isovalue) break;
+        plan.scans.push_back(BrickScan{brick.offset, brick.count, true});
+      }
+      next = node.right;
+    } else if (isovalue < node.split) {
+      for (const BrickEntry& brick : node.bricks) {
+        if (brick.min_vmin > isovalue) continue;
+        plan.scans.push_back(BrickScan{brick.offset, brick.count, false});
+      }
+      next = node.left;
+    } else {
+      for (const BrickEntry& brick : node.bricks) {
+        plan.scans.push_back(BrickScan{brick.offset, brick.count, true});
+      }
+      break;
+    }
+    if (next.block == kNoBlock) break;
+    if (next.block != current_block) {
+      current_block = next.block;
+      nodes = read_block(current_block);
+      ++fetches;
+    }
+    slot = next.slot;
+  }
+  if (blocks_read != nullptr) *blocks_read = fetches;
+  return plan;
+}
+
+QueryPlan ExternalCompactTree::plan(core::ValueKey isovalue,
+                                    io::BlockDevice& device,
+                                    std::uint64_t* blocks_read) const {
+  std::vector<std::byte> buffer(block_bytes_);
+  return walk(
+      isovalue,
+      [&](std::uint32_t block) {
+        const std::uint64_t offset = block_offsets_.at(block);
+        const std::uint64_t end = block + 1 < block_offsets_.size()
+                                      ? block_offsets_[block + 1]
+                                      : base_offset_ + stats_.bytes_written;
+        buffer.resize(static_cast<std::size_t>(end - offset));
+        device.read(offset, buffer);
+        return parse_block(buffer);
+      },
+      blocks_read);
+}
+
+QueryPlan ExternalCompactTree::plan(core::ValueKey isovalue,
+                                    io::BufferPool& pool,
+                                    std::uint64_t* blocks_read) const {
+  std::vector<std::byte> buffer(block_bytes_);
+  return walk(
+      isovalue,
+      [&](std::uint32_t block) {
+        const std::uint64_t offset = block_offsets_.at(block);
+        const std::uint64_t end = block + 1 < block_offsets_.size()
+                                      ? block_offsets_[block + 1]
+                                      : base_offset_ + stats_.bytes_written;
+        buffer.resize(static_cast<std::size_t>(end - offset));
+        pool.read(offset, buffer);
+        return parse_block(buffer);
+      },
+      blocks_read);
+}
+
+}  // namespace oociso::index

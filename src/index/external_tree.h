@@ -1,0 +1,81 @@
+#pragma once
+// Blocked external-memory variant of the compact interval tree
+// (paper Section 5, last paragraph): when the index itself does not fit in
+// main memory — e.g. float-valued scalar fields where the number of
+// distinct endpoints n is not bounded by the quantization — the binary
+// tree's nodes are grouped into disk blocks, reducing the *block* height
+// to O(log_B n). A query then reads O(log_B n) index blocks from disk and
+// produces exactly the same brick-scan plan as the in-core tree.
+//
+// Packing: top-down greedy BFS. Starting from a subtree root, nodes are
+// appended to the current block in breadth-first order until the block's
+// byte budget is exhausted; each frontier child then roots its own block,
+// recursively. This keeps every root-to-leaf path crossing at most
+// O(log_B n) blocks for a balanced tree while using variable-size nodes
+// (a node's serialized size includes its brick index list).
+//
+// Reads go through an optional BufferPool, making the M/B trade-off of the
+// external-memory model directly measurable (ablation A4).
+
+#include <cstdint>
+#include <vector>
+
+#include "index/compact_interval_tree.h"
+#include "io/buffer_pool.h"
+
+namespace oociso::index {
+
+class ExternalCompactTree {
+ public:
+  struct BuildStats {
+    std::uint32_t blocks = 0;
+    std::uint64_t bytes_written = 0;
+    std::uint32_t max_block_depth = 0;  ///< block-granular height
+  };
+
+  ExternalCompactTree() = default;
+
+  /// Serializes `tree`'s node structure into blocks of `block_bytes`,
+  /// appending them to `device`. The brick data itself is NOT copied: the
+  /// external tree references the same brick offsets (typically on another
+  /// device). Returns the external tree handle.
+  static ExternalCompactTree build(const CompactIntervalTree& tree,
+                                   io::BlockDevice& device,
+                                   std::uint32_t block_bytes = 4096);
+
+  /// Root-to-leaf walk reading index blocks from `device`; returns the
+  /// same plan the in-core tree would produce. `blocks_read` (if given)
+  /// receives the number of distinct index-block fetches.
+  [[nodiscard]] QueryPlan plan(core::ValueKey isovalue,
+                               io::BlockDevice& device,
+                               std::uint64_t* blocks_read = nullptr) const;
+
+  /// Same walk but through a block cache; repeated queries hit the pool's
+  /// resident blocks instead of the device.
+  [[nodiscard]] QueryPlan plan(core::ValueKey isovalue, io::BufferPool& pool,
+                               std::uint64_t* blocks_read = nullptr) const;
+
+  [[nodiscard]] const BuildStats& build_stats() const { return stats_; }
+  [[nodiscard]] core::ScalarKind scalar_kind() const { return kind_; }
+  [[nodiscard]] std::size_t record_size() const { return record_size_; }
+
+  /// Offset of the first index block on the device.
+  [[nodiscard]] std::uint64_t base_offset() const { return base_offset_; }
+
+ private:
+  /// Reads `length` bytes at `offset` via either backend.
+  template <typename ReadFn>
+  QueryPlan walk(core::ValueKey isovalue, ReadFn&& read_block,
+                 std::uint64_t* blocks_read) const;
+
+  std::uint64_t base_offset_ = 0;
+  std::vector<std::uint64_t> block_offsets_;  ///< device offset per block id
+  std::uint32_t block_bytes_ = 0;
+  std::uint32_t root_block_ = 0;
+  core::ScalarKind kind_ = core::ScalarKind::kU8;
+  std::size_t record_size_ = 0;
+  bool empty_ = true;
+  BuildStats stats_;
+};
+
+}  // namespace oociso::index

@@ -1,0 +1,135 @@
+#include "index/interval_tree.h"
+
+#include <algorithm>
+
+namespace oociso::index {
+
+IntervalTree::IntervalTree(const std::vector<metacell::MetacellInfo>& infos,
+                           std::size_t record_size) {
+  record_size_ = record_size;
+  interval_count_ = infos.size();
+  if (infos.empty()) return;
+
+  std::vector<core::ValueKey> endpoints;
+  endpoints.reserve(infos.size() * 2);
+  for (const auto& info : infos) {
+    endpoints.push_back(info.interval.vmin);
+    endpoints.push_back(info.interval.vmax);
+  }
+  std::sort(endpoints.begin(), endpoints.end());
+  endpoints.erase(std::unique(endpoints.begin(), endpoints.end()),
+                  endpoints.end());
+
+  root_ = build(0, endpoints.size() - 1, infos, endpoints);
+}
+
+std::int32_t IntervalTree::build(std::size_t lo, std::size_t hi,
+                                 std::vector<metacell::MetacellInfo> items,
+                                 const std::vector<core::ValueKey>& endpoints) {
+  if (items.empty()) return -1;
+  const std::size_t mid = lo + (hi - lo) / 2;
+  const core::ValueKey split = endpoints[mid];
+
+  Node node;
+  node.split = split;
+  std::vector<metacell::MetacellInfo> left_items;
+  std::vector<metacell::MetacellInfo> right_items;
+  for (const auto& info : items) {
+    if (info.interval.vmax < split) {
+      left_items.push_back(info);
+    } else if (info.interval.vmin > split) {
+      right_items.push_back(info);
+    } else {
+      const std::uint64_t offset = info.id * record_size_;
+      node.by_vmin.push_back({info.interval, info.id, offset});
+      node.by_vmax.push_back({info.interval, info.id, offset});
+    }
+  }
+  items.clear();
+  items.shrink_to_fit();
+
+  std::sort(node.by_vmin.begin(), node.by_vmin.end(),
+            [](const ListEntry& a, const ListEntry& b) {
+              return a.interval.vmin != b.interval.vmin
+                         ? a.interval.vmin < b.interval.vmin
+                         : a.id < b.id;
+            });
+  std::sort(node.by_vmax.begin(), node.by_vmax.end(),
+            [](const ListEntry& a, const ListEntry& b) {
+              return a.interval.vmax != b.interval.vmax
+                         ? a.interval.vmax > b.interval.vmax
+                         : a.id < b.id;
+            });
+
+  const auto index = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  const std::int32_t left =
+      mid > lo ? build(lo, mid - 1, std::move(left_items), endpoints) : -1;
+  const std::int32_t right =
+      mid < hi ? build(mid + 1, hi, std::move(right_items), endpoints) : -1;
+  nodes_[static_cast<std::size_t>(index)].left = left;
+  nodes_[static_cast<std::size_t>(index)].right = right;
+  return index;
+}
+
+std::vector<std::uint32_t> IntervalTree::query(core::ValueKey isovalue) const {
+  std::vector<std::uint32_t> ids;
+  last_entries_examined_ = 0;
+  std::int32_t current = root_;
+  while (current >= 0) {
+    const Node& node = nodes_[static_cast<std::size_t>(current)];
+    if (isovalue < node.split) {
+      for (const ListEntry& entry : node.by_vmin) {
+        ++last_entries_examined_;
+        if (entry.interval.vmin > isovalue) break;
+        ids.push_back(entry.id);
+      }
+      current = node.left;
+    } else if (isovalue > node.split) {
+      for (const ListEntry& entry : node.by_vmax) {
+        ++last_entries_examined_;
+        if (entry.interval.vmax < isovalue) break;
+        ids.push_back(entry.id);
+      }
+      current = node.right;
+    } else {
+      for (const ListEntry& entry : node.by_vmin) {
+        ++last_entries_examined_;
+        ids.push_back(entry.id);
+      }
+      break;
+    }
+  }
+  return ids;
+}
+
+std::size_t IntervalTree::entry_count() const {
+  std::size_t count = 0;
+  for (const Node& node : nodes_) {
+    count += node.by_vmin.size() + node.by_vmax.size();
+  }
+  return count;
+}
+
+std::size_t IntervalTree::size_bytes() const {
+  std::size_t bytes = sizeof(*this) + nodes_.size() * sizeof(Node);
+  bytes += entry_count() * sizeof(ListEntry);
+  return bytes;
+}
+
+std::size_t IntervalTree::height() const {
+  if (root_ < 0) return 0;
+  std::size_t max_depth = 0;
+  std::vector<std::pair<std::int32_t, std::size_t>> stack{{root_, 1}};
+  while (!stack.empty()) {
+    const auto [index, depth] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, depth);
+    const Node& node = nodes_[static_cast<std::size_t>(index)];
+    if (node.left >= 0) stack.emplace_back(node.left, depth + 1);
+    if (node.right >= 0) stack.emplace_back(node.right, depth + 1);
+  }
+  return max_depth;
+}
+
+}  // namespace oociso::index

@@ -1,0 +1,78 @@
+#pragma once
+// Range-space partition distribution baseline (Zhang, Bajaj, Blanke 2001).
+//
+// The scalar range is split into K equal intervals; a metacell whose
+// interval spans buckets (i = bucket(vmin), j = bucket(vmax)) maps to entry
+// (i, j) of a triangular matrix, and whole entries are dealt out to the p
+// processors round-robin. The paper (Section 2) points out the weakness
+// this repository's ablation A2 measures: all metacells of one entry land
+// on one processor, so an isovalue that activates few, heavily-populated
+// entries produces a badly unbalanced load — in contrast to per-metacell
+// brick striping, which balances for every isovalue.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/interval.h"
+#include "metacell/metacell.h"
+
+namespace oociso::index {
+
+class RangePartition {
+ public:
+  /// Distributes `infos` over `processors` using a K x K triangular matrix
+  /// (K defaults to 16 intervals, a typical choice in the original work).
+  RangePartition(const std::vector<metacell::MetacellInfo>& infos,
+                 std::uint32_t processors, std::uint32_t k = 16)
+      : k_(std::max<std::uint32_t>(k, 1)),
+        processors_(std::max<std::uint32_t>(processors, 1)) {
+    if (!infos.empty()) {
+      lo_ = infos.front().interval.vmin;
+      hi_ = infos.front().interval.vmax;
+      for (const auto& info : infos) {
+        lo_ = std::min(lo_, info.interval.vmin);
+        hi_ = std::max(hi_, info.interval.vmax);
+      }
+      if (hi_ <= lo_) hi_ = lo_ + 1;
+    }
+    assignment_.reserve(infos.size());
+    for (const auto& info : infos) {
+      const std::uint32_t entry = bucket_of(info.interval.vmin) * k_ +
+                                  bucket_of(info.interval.vmax);
+      assignment_.push_back(entry % processors_);
+    }
+  }
+
+  /// Processor assigned to infos[index].
+  [[nodiscard]] std::uint32_t owner(std::size_t index) const {
+    return assignment_[index];
+  }
+
+  /// Per-processor count of *active* metacells for an isovalue.
+  [[nodiscard]] std::vector<std::uint64_t> active_per_processor(
+      const std::vector<metacell::MetacellInfo>& infos,
+      core::ValueKey isovalue) const {
+    std::vector<std::uint64_t> counts(processors_, 0);
+    for (std::size_t i = 0; i < infos.size(); ++i) {
+      if (infos[i].interval.stabs(isovalue)) ++counts[assignment_[i]];
+    }
+    return counts;
+  }
+
+ private:
+  [[nodiscard]] std::uint32_t bucket_of(core::ValueKey value) const {
+    const auto scaled = static_cast<std::int64_t>(
+        (value - lo_) / (hi_ - lo_) * static_cast<core::ValueKey>(k_));
+    return static_cast<std::uint32_t>(
+        std::clamp<std::int64_t>(scaled, 0, static_cast<std::int64_t>(k_) - 1));
+  }
+
+  std::uint32_t k_;
+  std::uint32_t processors_;
+  core::ValueKey lo_ = 0;
+  core::ValueKey hi_ = 1;
+  std::vector<std::uint32_t> assignment_;
+};
+
+}  // namespace oociso::index

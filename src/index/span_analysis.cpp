@@ -1,0 +1,92 @@
+#include "index/span_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace oociso::index {
+
+SpanProfile::SpanProfile(const std::vector<metacell::MetacellInfo>& infos,
+                         std::uint32_t buckets) {
+  if (buckets == 0) {
+    throw std::invalid_argument("SpanProfile: need at least one bucket");
+  }
+  counts_.assign(buckets, 0);
+  if (infos.empty()) return;
+
+  lo_ = infos.front().interval.vmin;
+  hi_ = infos.front().interval.vmax;
+  for (const auto& info : infos) {
+    lo_ = std::min(lo_, info.interval.vmin);
+    hi_ = std::max(hi_, info.interval.vmax);
+  }
+  if (hi_ <= lo_) hi_ = lo_ + 1;
+
+  // Difference array: +1 where an interval starts stabbing, -1 after it
+  // stops; prefix sums give per-bucket active counts in O(N + buckets).
+  std::vector<std::int64_t> delta(buckets + 1, 0);
+  for (const auto& info : infos) {
+    const std::uint32_t first = bucket_of(info.interval.vmin);
+    const std::uint32_t last = bucket_of(info.interval.vmax);
+    ++delta[first];
+    --delta[last + 1];
+  }
+  std::int64_t running = 0;
+  for (std::uint32_t b = 0; b < buckets; ++b) {
+    running += delta[b];
+    counts_[b] = static_cast<std::uint64_t>(running);
+  }
+}
+
+std::uint32_t SpanProfile::bucket_of(core::ValueKey value) const {
+  const auto buckets = static_cast<core::ValueKey>(counts_.size());
+  const auto scaled =
+      static_cast<std::int64_t>((value - lo_) / (hi_ - lo_) * buckets);
+  return static_cast<std::uint32_t>(std::clamp<std::int64_t>(
+      scaled, 0, static_cast<std::int64_t>(counts_.size()) - 1));
+}
+
+std::uint64_t SpanProfile::active_estimate(core::ValueKey isovalue) const {
+  if (isovalue < lo_ || isovalue > hi_) return 0;
+  return counts_[bucket_of(isovalue)];
+}
+
+core::ValueKey SpanProfile::bucket_center(std::uint32_t bucket) const {
+  const auto buckets = static_cast<core::ValueKey>(counts_.size());
+  return lo_ + (hi_ - lo_) *
+                   (static_cast<core::ValueKey>(bucket) + 0.5f) / buckets;
+}
+
+std::vector<core::ValueKey> SpanProfile::suggest_isovalues(
+    std::uint32_t k) const {
+  std::vector<std::uint32_t> order(counts_.size());
+  for (std::uint32_t b = 0; b < order.size(); ++b) order[b] = b;
+  std::sort(order.begin(), order.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return counts_[a] != counts_[b] ? counts_[a] > counts_[b]
+                                              : a < b;
+            });
+
+  const auto min_separation =
+      static_cast<std::int64_t>(counts_.size() / 8 + 1);
+  std::vector<std::uint32_t> chosen;
+  for (const std::uint32_t bucket : order) {
+    if (counts_[bucket] == 0 || chosen.size() >= k) break;
+    const bool close_to_existing = std::any_of(
+        chosen.begin(), chosen.end(), [&](std::uint32_t existing) {
+          return std::abs(static_cast<std::int64_t>(existing) -
+                          static_cast<std::int64_t>(bucket)) < min_separation;
+        });
+    if (!close_to_existing) chosen.push_back(bucket);
+  }
+
+  std::sort(chosen.begin(), chosen.end());
+  std::vector<core::ValueKey> suggestions;
+  suggestions.reserve(chosen.size());
+  for (const std::uint32_t bucket : chosen) {
+    suggestions.push_back(bucket_center(bucket));
+  }
+  return suggestions;
+}
+
+}  // namespace oociso::index

@@ -1,0 +1,57 @@
+#pragma once
+// Span-space analysis: answering "which isovalues are interesting, and how
+// much will each cost?" without touching the data.
+//
+// The metacell intervals collected at preprocessing time determine, for
+// every isovalue, exactly how many metacells a query will read (and hence,
+// to first order, its I/O and triangulation cost). SpanProfile computes the
+// active-count function over the whole value range in O(N + buckets) via a
+// difference array — the basis for query cost prediction and for the
+// isovalue suggestions exposed by the exploration tooling.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/interval.h"
+#include "metacell/metacell.h"
+
+namespace oociso::index {
+
+class SpanProfile {
+ public:
+  /// Profiles `infos` over `buckets` equal value bins spanning the data's
+  /// endpoint range (at least one bucket; empty input gives a flat zero
+  /// profile).
+  explicit SpanProfile(const std::vector<metacell::MetacellInfo>& infos,
+                       std::uint32_t buckets = 256);
+
+  /// Number of metacells whose interval overlaps the bucket containing
+  /// `isovalue` — an upper bound on (and, up to endpoints falling inside
+  /// the bucket, equal to) the exact active count at any isovalue in the
+  /// bucket. With integer-valued data and one bucket per integer the
+  /// estimate is exact.
+  [[nodiscard]] std::uint64_t active_estimate(core::ValueKey isovalue) const;
+
+  /// Active counts per bucket.
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const {
+    return counts_;
+  }
+  [[nodiscard]] core::ValueKey bucket_center(std::uint32_t bucket) const;
+  [[nodiscard]] core::ValueKey lo() const { return lo_; }
+  [[nodiscard]] core::ValueKey hi() const { return hi_; }
+
+  /// Up to k isovalue suggestions: centers of the most active buckets,
+  /// greedily separated by at least one-eighth of the range so the
+  /// suggestions span distinct features rather than one peak.
+  [[nodiscard]] std::vector<core::ValueKey> suggest_isovalues(
+      std::uint32_t k) const;
+
+ private:
+  [[nodiscard]] std::uint32_t bucket_of(core::ValueKey value) const;
+
+  core::ValueKey lo_ = 0;
+  core::ValueKey hi_ = 1;
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace oociso::index

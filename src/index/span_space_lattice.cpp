@@ -1,0 +1,81 @@
+#include "index/span_space_lattice.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace oociso::index {
+
+SpanSpaceLattice::SpanSpaceLattice(
+    const std::vector<metacell::MetacellInfo>& infos, std::uint32_t resolution)
+    : resolution_(resolution), interval_count_(infos.size()) {
+  if (resolution == 0) {
+    throw std::invalid_argument("lattice resolution must be positive");
+  }
+  buckets_.resize(static_cast<std::size_t>(resolution) * resolution);
+  if (infos.empty()) return;
+
+  lo_ = infos.front().interval.vmin;
+  hi_ = infos.front().interval.vmax;
+  for (const auto& info : infos) {
+    lo_ = std::min(lo_, info.interval.vmin);
+    hi_ = std::max(hi_, info.interval.vmax);
+  }
+  if (hi_ <= lo_) hi_ = lo_ + 1;
+
+  for (const auto& info : infos) {
+    const std::uint32_t col = bucket_of(info.interval.vmin);
+    const std::uint32_t row = bucket_of(info.interval.vmax);
+    buckets_[static_cast<std::size_t>(row) * resolution_ + col].push_back(info);
+  }
+}
+
+std::uint32_t SpanSpaceLattice::bucket_of(core::ValueKey value) const {
+  const auto scaled = static_cast<std::int64_t>(
+      (value - lo_) / (hi_ - lo_) * static_cast<core::ValueKey>(resolution_));
+  return static_cast<std::uint32_t>(std::clamp<std::int64_t>(
+      scaled, 0, static_cast<std::int64_t>(resolution_) - 1));
+}
+
+std::vector<std::uint32_t> SpanSpaceLattice::query(
+    core::ValueKey isovalue, QueryCounters* counters) const {
+  std::vector<std::uint32_t> ids;
+  QueryCounters local;
+  const std::uint32_t q = bucket_of(isovalue);
+
+  // Interior region: col < q, row > q — wholly active, no per-interval test.
+  for (std::uint32_t row = q + 1; row < resolution_; ++row) {
+    for (std::uint32_t col = 0; col < q; ++col) {
+      const auto& cell = bucket(col, row);
+      if (cell.empty()) continue;
+      ++local.buckets_touched;
+      for (const auto& info : cell) ids.push_back(info.id);
+      local.reported += cell.size();
+    }
+  }
+  // Boundary column q (rows > q) and boundary row q (cols <= q): test each.
+  auto examine = [&](const std::vector<metacell::MetacellInfo>& cell) {
+    if (cell.empty()) return;
+    ++local.buckets_touched;
+    for (const auto& info : cell) {
+      ++local.examined;
+      if (info.interval.stabs(isovalue)) {
+        ids.push_back(info.id);
+        ++local.reported;
+      }
+    }
+  };
+  for (std::uint32_t row = q + 1; row < resolution_; ++row) examine(bucket(q, row));
+  for (std::uint32_t col = 0; col <= q; ++col) examine(bucket(col, q));
+
+  if (counters != nullptr) *counters = local;
+  return ids;
+}
+
+std::size_t SpanSpaceLattice::size_bytes() const {
+  std::size_t bytes = sizeof(*this) +
+                      buckets_.size() * sizeof(buckets_.front());
+  bytes += interval_count_ * sizeof(metacell::MetacellInfo);
+  return bytes;
+}
+
+}  // namespace oociso::index

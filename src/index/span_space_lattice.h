@@ -1,0 +1,53 @@
+#pragma once
+// ISSUE-style span-space lattice (Shen, Hansen, Livnat, Johnson 1996) —
+// the classic in-core span-space search baseline the paper builds on.
+//
+// Span space is partitioned into an L x L lattice of buckets over the value
+// range; interval (vmin, vmax) lands in bucket (col(vmin), row(vmax)). For
+// isovalue lambda in bucket q: buckets with col < q and row > q are wholly
+// active (reported without per-interval tests); the boundary column q and
+// boundary row q must be examined interval by interval.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/interval.h"
+#include "metacell/metacell.h"
+
+namespace oociso::index {
+
+class SpanSpaceLattice {
+ public:
+  struct QueryCounters {
+    std::uint64_t reported = 0;   ///< active intervals returned
+    std::uint64_t examined = 0;   ///< intervals individually tested
+    std::uint64_t buckets_touched = 0;
+  };
+
+  /// `resolution` is L; the value range is taken from the data.
+  SpanSpaceLattice(const std::vector<metacell::MetacellInfo>& infos,
+                   std::uint32_t resolution = 64);
+
+  [[nodiscard]] std::vector<std::uint32_t> query(core::ValueKey isovalue,
+                                                 QueryCounters* counters =
+                                                     nullptr) const;
+
+  [[nodiscard]] std::size_t interval_count() const { return interval_count_; }
+  [[nodiscard]] std::uint32_t resolution() const { return resolution_; }
+  [[nodiscard]] std::size_t size_bytes() const;
+
+ private:
+  [[nodiscard]] std::uint32_t bucket_of(core::ValueKey value) const;
+  [[nodiscard]] const std::vector<metacell::MetacellInfo>& bucket(
+      std::uint32_t col, std::uint32_t row) const {
+    return buckets_[static_cast<std::size_t>(row) * resolution_ + col];
+  }
+
+  std::uint32_t resolution_;
+  core::ValueKey lo_ = 0;
+  core::ValueKey hi_ = 1;
+  std::size_t interval_count_ = 0;
+  std::vector<std::vector<metacell::MetacellInfo>> buckets_;
+};
+
+}  // namespace oociso::index

@@ -1,0 +1,121 @@
+#include "io/buffer_pool.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace oociso::io {
+
+BufferPool::BufferPool(BlockDevice& device, std::size_t capacity_blocks)
+    : device_(device),
+      capacity_(capacity_blocks),
+      block_size_(device.block_size()),
+      logical_size_(device.size()) {
+  if (capacity_blocks == 0) {
+    throw std::invalid_argument("BufferPool needs at least one block");
+  }
+}
+
+BufferPool::~BufferPool() {
+  try {
+    flush();
+  } catch (...) {
+    // Destructors must not throw; data loss here is acceptable only because
+    // every production path calls flush() explicitly before teardown.
+  }
+}
+
+BufferPool::Frame& BufferPool::pin(std::uint64_t block_index) {
+  if (const auto it = map_.find(block_index); it != map_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return *it->second;
+  }
+  ++misses_;
+  if (map_.size() >= capacity_) evict_one();
+
+  Frame frame;
+  frame.block_index = block_index;
+  frame.data.assign(block_size_, std::byte{0});
+  // Fault in whatever part of this block already exists on the device.
+  const std::uint64_t start = block_index * block_size_;
+  const std::uint64_t device_size = device_.size();
+  if (start < device_size) {
+    const std::uint64_t valid = std::min(block_size_, device_size - start);
+    device_.read(start, std::span(frame.data.data(),
+                                  static_cast<std::size_t>(valid)));
+  }
+  lru_.push_front(std::move(frame));
+  map_.emplace(block_index, lru_.begin());
+  return lru_.front();
+}
+
+void BufferPool::evict_one() {
+  auto victim = std::prev(lru_.end());
+  write_back(*victim);
+  map_.erase(victim->block_index);
+  lru_.erase(victim);
+}
+
+void BufferPool::write_back(Frame& frame) {
+  if (!frame.dirty) return;
+  const std::uint64_t start = frame.block_index * block_size_;
+  // Only the portion within the logical size is meaningful; writing the
+  // full block would pad the device file past the logical end.
+  const std::uint64_t valid =
+      std::min<std::uint64_t>(block_size_,
+                              logical_size_ > start ? logical_size_ - start : 0);
+  if (valid > 0) {
+    device_.write(start, std::span(frame.data.data(),
+                                   static_cast<std::size_t>(valid)));
+  }
+  frame.dirty = false;
+}
+
+void BufferPool::read(std::uint64_t offset, std::span<std::byte> out) {
+  if (offset + out.size() > logical_size_) {
+    throw std::out_of_range("BufferPool: read past logical end");
+  }
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const std::uint64_t pos = offset + done;
+    const std::uint64_t block = pos / block_size_;
+    const std::uint64_t within = pos % block_size_;
+    const std::size_t chunk = static_cast<std::size_t>(
+        std::min<std::uint64_t>(block_size_ - within, out.size() - done));
+    Frame& frame = pin(block);
+    std::memcpy(out.data() + done, frame.data.data() + within, chunk);
+    done += chunk;
+  }
+}
+
+void BufferPool::write(std::uint64_t offset, std::span<const std::byte> data) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const std::uint64_t pos = offset + done;
+    const std::uint64_t block = pos / block_size_;
+    const std::uint64_t within = pos % block_size_;
+    const std::size_t chunk = static_cast<std::size_t>(
+        std::min<std::uint64_t>(block_size_ - within, data.size() - done));
+    Frame& frame = pin(block);
+    std::memcpy(frame.data.data() + within, data.data() + done, chunk);
+    frame.dirty = true;
+    done += chunk;
+    logical_size_ = std::max(logical_size_, pos + chunk);
+  }
+}
+
+void BufferPool::flush() {
+  // Flush in block order for sequential device access.
+  std::vector<Frame*> dirty;
+  for (Frame& frame : lru_) {
+    if (frame.dirty) dirty.push_back(&frame);
+  }
+  std::sort(dirty.begin(), dirty.end(), [](const Frame* a, const Frame* b) {
+    return a->block_index < b->block_index;
+  });
+  for (Frame* frame : dirty) write_back(*frame);
+  device_.flush();
+}
+
+}  // namespace oociso::io

@@ -1,0 +1,74 @@
+#pragma once
+// LRU block cache over a BlockDevice.
+//
+// The external-memory model assumes a main memory of M bytes caching blocks
+// of B bytes. BufferPool makes that explicit: reads go through a fixed-size
+// LRU cache of device blocks, writes are write-back (dirty blocks flushed on
+// eviction and on flush()). Cache hits perform no device I/O, so IoStats on
+// the underlying device reflect true out-of-core traffic.
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "io/block_device.h"
+
+namespace oociso::io {
+
+class BufferPool {
+ public:
+  /// `capacity_blocks` is M/B in model terms; must be >= 1.
+  BufferPool(BlockDevice& device, std::size_t capacity_blocks);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Cached byte-range read ([offset, offset+out.size()) must be within the
+  /// logical size, which covers both flushed and still-dirty data).
+  void read(std::uint64_t offset, std::span<std::byte> out);
+
+  /// Cached byte-range write (write-back).
+  void write(std::uint64_t offset, std::span<const std::byte> data);
+
+  /// Logical size including unflushed tail writes.
+  [[nodiscard]] std::uint64_t size() const { return logical_size_; }
+
+  /// Writes all dirty blocks back to the device.
+  void flush();
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::size_t capacity_blocks() const { return capacity_; }
+  [[nodiscard]] std::size_t resident_blocks() const { return map_.size(); }
+
+  [[nodiscard]] BlockDevice& device() { return device_; }
+
+ private:
+  struct Frame {
+    std::uint64_t block_index;
+    std::vector<std::byte> data;
+    bool dirty = false;
+  };
+  using LruList = std::list<Frame>;
+
+  /// Returns the frame for the block, faulting it in (and evicting the LRU
+  /// victim) as needed; moves it to the MRU position.
+  Frame& pin(std::uint64_t block_index);
+  void evict_one();
+  void write_back(Frame& frame);
+
+  BlockDevice& device_;
+  std::size_t capacity_;
+  std::uint64_t block_size_;
+  std::uint64_t logical_size_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<std::uint64_t, LruList::iterator> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace oociso::io

@@ -1,0 +1,82 @@
+#include "io/file_block_device.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <system_error>
+
+namespace oociso::io {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what,
+                              const std::filesystem::path& path) {
+  throw std::system_error(errno, std::generic_category(),
+                          what + ": " + path.string());
+}
+
+}  // namespace
+
+FileBlockDevice::FileBlockDevice(const std::filesystem::path& path, Mode mode,
+                                 std::uint64_t block_size,
+                                 std::uint64_t readahead_blocks)
+    : BlockDevice(block_size, readahead_blocks), path_(path) {
+  int flags = 0;
+  switch (mode) {
+    case Mode::kCreate: flags = O_RDWR | O_CREAT | O_TRUNC; break;
+    case Mode::kReadWrite: flags = O_RDWR; break;
+    case Mode::kReadOnly: flags = O_RDONLY; break;
+  }
+  fd_ = ::open(path.c_str(), flags, 0644);
+  if (fd_ < 0) throw_errno("FileBlockDevice: open failed", path);
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) {
+    ::close(fd_);
+    throw_errno("FileBlockDevice: fstat failed", path);
+  }
+  size_ = static_cast<std::uint64_t>(st.st_size);
+}
+
+FileBlockDevice::~FileBlockDevice() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void FileBlockDevice::flush() {
+  if (fd_ >= 0) ::fdatasync(fd_);
+}
+
+void FileBlockDevice::do_read(std::uint64_t offset, std::span<std::byte> out) {
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const ssize_t n = ::pread(fd_, out.data() + done, out.size() - done,
+                              static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("FileBlockDevice: pread failed", path_);
+    }
+    if (n == 0) {
+      throw std::out_of_range("FileBlockDevice: read past end of " +
+                              path_.string());
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+void FileBlockDevice::do_write(std::uint64_t offset,
+                               std::span<const std::byte> data) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::pwrite(fd_, data.data() + done, data.size() - done,
+                               static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("FileBlockDevice: pwrite failed", path_);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  size_ = std::max(size_, offset + data.size());
+}
+
+}  // namespace oociso::io

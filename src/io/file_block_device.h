@@ -1,0 +1,47 @@
+#pragma once
+// File-backed BlockDevice using POSIX pread/pwrite.
+//
+// Each simulated cluster node owns one FileBlockDevice as its "local disk";
+// the preprocessing stage writes brick files through it and the isosurface
+// query reads active metacells back through it, so every byte of the
+// out-of-core pipeline is visible to the I/O accounting layer.
+
+#include <filesystem>
+#include <string>
+
+#include "io/block_device.h"
+
+namespace oociso::io {
+
+class FileBlockDevice final : public BlockDevice {
+ public:
+  enum class Mode {
+    kCreate,    ///< create or truncate
+    kReadWrite, ///< open existing for read/write
+    kReadOnly,  ///< open existing read-only
+  };
+
+  /// Opens (or creates) the backing file; throws std::system_error on
+  /// failure.
+  FileBlockDevice(const std::filesystem::path& path, Mode mode,
+                  std::uint64_t block_size = 4096,
+                  std::uint64_t readahead_blocks = 12);
+  ~FileBlockDevice() override;
+
+  [[nodiscard]] std::uint64_t size() const override { return size_; }
+  void flush() override;
+
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+ protected:
+  void do_read(std::uint64_t offset, std::span<std::byte> out) override;
+  void do_write(std::uint64_t offset,
+                std::span<const std::byte> data) override;
+
+ private:
+  std::filesystem::path path_;
+  int fd_ = -1;
+  std::uint64_t size_ = 0;
+};
+
+}  // namespace oociso::io

@@ -1,0 +1,97 @@
+#pragma once
+// I/O accounting in units of disk blocks.
+//
+// The standard external-memory model (Aggarwal & Vitter) counts I/O
+// operations, each transferring one block of B contiguous bytes. Every read
+// and write issued through a BlockDevice is decomposed into the blocks it
+// touches, and classified as *sequential* (the block immediately following
+// the previously accessed one) or *seek* (any other block). The disk cost
+// model then charges bandwidth for all bytes and latency per seek, which is
+// how we reproduce the paper's 50 MB/s local-disk behaviour and verify the
+// O(log n + T/B) I/O bound of the compact interval tree.
+
+#include <cstdint>
+#include <ostream>
+
+namespace oociso::io {
+
+struct IoStats {
+  std::uint64_t read_ops = 0;     ///< block-granular read operations
+  std::uint64_t write_ops = 0;    ///< block-granular write operations
+  std::uint64_t bytes_read = 0;   ///< payload bytes read (not rounded to B)
+  std::uint64_t bytes_written = 0;
+  std::uint64_t blocks_read = 0;     ///< distinct blocks touched by reads
+  std::uint64_t blocks_written = 0;  ///< distinct blocks touched by writes
+  std::uint64_t seeks = 0;  ///< long/backward repositionings (reads+writes)
+  /// Blocks skipped by short *forward* jumps within the device's readahead
+  /// window. A spinning disk (and its readahead) passes over these at media
+  /// speed rather than performing a head seek, so the cost model charges
+  /// them at bandwidth. This is what lets the paper's brick scans sustain
+  /// the raw ~50 MB/s even though Case-2 prefix scans hop between bricks.
+  std::uint64_t skip_blocks = 0;
+
+  [[nodiscard]] std::uint64_t total_ops() const { return read_ops + write_ops; }
+  [[nodiscard]] std::uint64_t total_bytes() const {
+    return bytes_read + bytes_written;
+  }
+  [[nodiscard]] std::uint64_t total_blocks() const {
+    return blocks_read + blocks_written;
+  }
+
+  IoStats& operator+=(const IoStats& o) {
+    read_ops += o.read_ops;
+    write_ops += o.write_ops;
+    bytes_read += o.bytes_read;
+    bytes_written += o.bytes_written;
+    blocks_read += o.blocks_read;
+    blocks_written += o.blocks_written;
+    seeks += o.seeks;
+    skip_blocks += o.skip_blocks;
+    return *this;
+  }
+
+  friend IoStats operator+(IoStats a, const IoStats& b) { return a += b; }
+
+  /// Difference since an earlier snapshot (all counters are monotone).
+  [[nodiscard]] IoStats since(const IoStats& snapshot) const {
+    IoStats d;
+    d.read_ops = read_ops - snapshot.read_ops;
+    d.write_ops = write_ops - snapshot.write_ops;
+    d.bytes_read = bytes_read - snapshot.bytes_read;
+    d.bytes_written = bytes_written - snapshot.bytes_written;
+    d.blocks_read = blocks_read - snapshot.blocks_read;
+    d.blocks_written = blocks_written - snapshot.blocks_written;
+    d.seeks = seeks - snapshot.seeks;
+    d.skip_blocks = skip_blocks - snapshot.skip_blocks;
+    return d;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const IoStats& s) {
+  return os << "IoStats{ops=" << s.total_ops() << ", blocks=" << s.total_blocks()
+            << ", bytes=" << s.total_bytes() << ", seeks=" << s.seeks << '}';
+}
+
+/// Disk cost model: bandwidth + repositioning latency.
+///
+/// Defaults match the paper's platform: 50 MB/s local-disk transfer rate
+/// and 4 KiB blocks. Short forward jumps (within the device readahead
+/// window) are charged at bandwidth via `skip_blocks`; long or backward
+/// jumps pay `seek_seconds`, defaulting to a 1 ms short-stroke settle —
+/// the regime of an index scan within one file region (a full random
+/// stroke on a 2006 disk would be ~4-8 ms; ablations may set that).
+struct DiskModel {
+  std::uint64_t block_size = 4096;
+  double bandwidth_bytes_per_s = 50.0 * 1000 * 1000;
+  double seek_seconds = 0.001;
+
+  /// Modeled wall-clock seconds for the given I/O activity.
+  [[nodiscard]] double seconds(const IoStats& stats) const {
+    const double transfer =
+        static_cast<double>(stats.total_blocks() + stats.skip_blocks) *
+        static_cast<double>(block_size) / bandwidth_bytes_per_s;
+    return transfer + static_cast<double>(stats.seeks) * seek_seconds;
+  }
+};
+
+}  // namespace oociso::io

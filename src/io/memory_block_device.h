@@ -1,0 +1,41 @@
+#pragma once
+// In-memory BlockDevice backend. Used by unit tests and by benches that
+// isolate algorithmic I/O counts from real-disk noise; accounting is
+// identical to the file-backed device.
+
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "io/block_device.h"
+
+namespace oociso::io {
+
+class MemoryBlockDevice final : public BlockDevice {
+ public:
+  explicit MemoryBlockDevice(std::uint64_t block_size = 4096,
+                             std::uint64_t readahead_blocks = 12)
+      : BlockDevice(block_size, readahead_blocks) {}
+
+  [[nodiscard]] std::uint64_t size() const override { return bytes_.size(); }
+
+ protected:
+  void do_read(std::uint64_t offset, std::span<std::byte> out) override {
+    if (offset + out.size() > bytes_.size()) {
+      throw std::out_of_range("MemoryBlockDevice: read past end");
+    }
+    std::memcpy(out.data(), bytes_.data() + offset, out.size());
+  }
+
+  void do_write(std::uint64_t offset,
+                std::span<const std::byte> data) override {
+    const std::uint64_t end = offset + data.size();
+    if (end > bytes_.size()) bytes_.resize(end);
+    std::memcpy(bytes_.data() + offset, data.data(), data.size());
+  }
+
+ private:
+  std::vector<std::byte> bytes_;
+};
+
+}  // namespace oociso::io

@@ -1,0 +1,83 @@
+#pragma once
+// Little-endian binary (de)serialization of fixed-width records into byte
+// buffers. Used by the metacell and index layers for their on-disk formats.
+// All formats in this repository are explicitly little-endian; on the
+// platforms we target (x86-64, AArch64 Linux) this is a memcpy.
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+namespace oociso::io {
+
+static_assert(std::endian::native == std::endian::little,
+              "on-disk formats assume a little-endian host");
+
+/// Appends fixed-width values to a growing byte buffer.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<std::byte>& out) : out_(out) {}
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void put(const T& value) {
+    const auto* raw = reinterpret_cast<const std::byte*>(&value);
+    out_.insert(out_.end(), raw, raw + sizeof(T));
+  }
+
+  void put_bytes(std::span<const std::byte> bytes) {
+    out_.insert(out_.end(), bytes.begin(), bytes.end());
+  }
+
+  [[nodiscard]] std::size_t size() const { return out_.size(); }
+
+ private:
+  std::vector<std::byte>& out_;
+};
+
+/// Reads fixed-width values from a byte span with bounds checking.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> data) : data_(data) {}
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  [[nodiscard]] T get() {
+    if (pos_ + sizeof(T) > data_.size()) {
+      throw std::out_of_range("ByteReader: truncated record");
+    }
+    T value;
+    std::memcpy(&value, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  [[nodiscard]] std::span<const std::byte> get_bytes(std::size_t count) {
+    if (pos_ + count > data_.size()) {
+      throw std::out_of_range("ByteReader: truncated record");
+    }
+    auto view = data_.subspan(pos_, count);
+    pos_ += count;
+    return view;
+  }
+
+  void skip(std::size_t count) {
+    if (pos_ + count > data_.size()) {
+      throw std::out_of_range("ByteReader: skip past end");
+    }
+    pos_ += count;
+  }
+
+  [[nodiscard]] std::size_t position() const { return pos_; }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace oociso::io

@@ -1,0 +1,173 @@
+#include "metacell/metacell.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "io/serial.h"
+
+namespace oociso::metacell {
+
+namespace {
+
+core::GridDims checked_metacell_dims(core::GridDims volume_dims,
+                                     std::int32_t samples_per_side) {
+  if (samples_per_side < 2) {
+    throw std::invalid_argument("metacell needs >= 2 samples per side");
+  }
+  if (volume_dims.nx < 2 || volume_dims.ny < 2 || volume_dims.nz < 2) {
+    throw std::invalid_argument("volume too small for metacells");
+  }
+  return volume_dims.metacell_dims(samples_per_side - 1);
+}
+
+}  // namespace
+
+MetacellGeometry::MetacellGeometry(core::GridDims volume_dims,
+                                   std::int32_t samples_per_side)
+    : volume_dims_(volume_dims),
+      metacell_dims_(checked_metacell_dims(volume_dims, samples_per_side)),
+      samples_per_side_(samples_per_side) {
+  if (metacell_count() > std::uint64_t{1} << 32) {
+    throw std::invalid_argument("metacell grid exceeds 32-bit id space");
+  }
+}
+
+core::GridDims MetacellGeometry::valid_cells(std::uint32_t id) const {
+  const core::Coord3 origin = sample_origin(id);
+  const core::GridDims cells = volume_dims_.cell_dims();
+  const std::int32_t k = cells_per_side();
+  return {std::min(k, cells.nx - origin.x), std::min(k, cells.ny - origin.y),
+          std::min(k, cells.nz - origin.z)};
+}
+
+std::size_t record_size(core::ScalarKind kind, std::int32_t samples_per_side) {
+  const auto k = static_cast<std::size_t>(samples_per_side);
+  const std::size_t scalar = core::scalar_size(kind);
+  return sizeof(std::uint32_t) + scalar + scalar * k * k * k;
+}
+
+namespace {
+
+/// Visits the k^3 sample values of a metacell in x-fastest record order,
+/// clamping coordinates at the volume border (padding replicates the edge).
+template <core::VolumeScalar T, typename Visitor>
+void for_each_sample(const core::Volume<T>& volume,
+                     const MetacellGeometry& geometry, std::uint32_t id,
+                     Visitor&& visit) {
+  const core::Coord3 origin = geometry.sample_origin(id);
+  const core::GridDims& dims = volume.dims();
+  const std::int32_t k = geometry.samples_per_side();
+  for (std::int32_t z = 0; z < k; ++z) {
+    const std::int32_t sz = std::min(origin.z + z, dims.nz - 1);
+    for (std::int32_t y = 0; y < k; ++y) {
+      const std::int32_t sy = std::min(origin.y + y, dims.ny - 1);
+      const std::int32_t row_z = sz;
+      // The x run is contiguous up to the border; clamp the tail.
+      const T* row = &volume.samples()[dims.linear({0, sy, row_z})];
+      for (std::int32_t x = 0; x < k; ++x) {
+        const std::int32_t sx = std::min(origin.x + x, dims.nx - 1);
+        visit(row[sx]);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+template <core::VolumeScalar T>
+std::vector<MetacellInfo> scan_metacells(const core::Volume<T>& volume,
+                                         const MetacellGeometry& geometry,
+                                         bool cull_degenerate) {
+  if (volume.dims() != geometry.volume_dims()) {
+    throw std::invalid_argument("volume/geometry dimension mismatch");
+  }
+  std::vector<MetacellInfo> infos;
+  infos.reserve(geometry.metacell_count());
+  const auto count = static_cast<std::uint32_t>(geometry.metacell_count());
+  for (std::uint32_t id = 0; id < count; ++id) {
+    T lo = std::numeric_limits<T>::max();
+    T hi = std::numeric_limits<T>::lowest();
+    for_each_sample(volume, geometry, id, [&](T v) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    });
+    const core::ValueInterval interval{static_cast<core::ValueKey>(lo),
+                                       static_cast<core::ValueKey>(hi)};
+    if (cull_degenerate && interval.degenerate()) continue;
+    infos.push_back(MetacellInfo{id, interval});
+  }
+  return infos;
+}
+
+template <core::VolumeScalar T>
+void encode_metacell(const core::Volume<T>& volume,
+                     const MetacellGeometry& geometry, std::uint32_t id,
+                     std::vector<std::byte>& out) {
+  io::ByteWriter writer(out);
+  writer.put(id);
+  // First pass for vmin (the record stores it ahead of the samples so the
+  // query layer can stop a brick scan without decoding the payload).
+  T lo = std::numeric_limits<T>::max();
+  for_each_sample(volume, geometry, id, [&](T v) { lo = std::min(lo, v); });
+  writer.put(lo);
+  for_each_sample(volume, geometry, id, [&](T v) { writer.put(v); });
+}
+
+DecodedMetacell decode_metacell(std::span<const std::byte> record,
+                                core::ScalarKind kind,
+                                const MetacellGeometry& geometry) {
+  const std::int32_t k = geometry.samples_per_side();
+  if (record.size() != record_size(kind, k)) {
+    throw std::runtime_error("metacell record size mismatch");
+  }
+  io::ByteReader reader(record);
+  DecodedMetacell cell;
+  cell.id = reader.get<std::uint32_t>();
+  if (cell.id >= geometry.metacell_count()) {
+    throw std::runtime_error("metacell record has out-of-range id");
+  }
+  cell.sample_origin = geometry.sample_origin(cell.id);
+  cell.samples_per_side = k;
+  cell.valid_cells = geometry.valid_cells(cell.id);
+
+  auto read_scalar = [&]() -> float {
+    switch (kind) {
+      case core::ScalarKind::kU8:
+        return static_cast<float>(reader.get<std::uint8_t>());
+      case core::ScalarKind::kU16:
+        return static_cast<float>(reader.get<std::uint16_t>());
+      case core::ScalarKind::kF32:
+        return reader.get<float>();
+    }
+    throw std::runtime_error("bad scalar kind");
+  };
+
+  cell.vmin = read_scalar();
+  const auto total = static_cast<std::size_t>(k) * static_cast<std::size_t>(k) *
+                     static_cast<std::size_t>(k);
+  cell.samples.resize(total);
+  for (auto& sample : cell.samples) sample = read_scalar();
+  return cell;
+}
+
+// Explicit instantiations for the supported scalar kinds.
+template std::vector<MetacellInfo> scan_metacells<std::uint8_t>(
+    const core::Volume<std::uint8_t>&, const MetacellGeometry&, bool);
+template std::vector<MetacellInfo> scan_metacells<std::uint16_t>(
+    const core::Volume<std::uint16_t>&, const MetacellGeometry&, bool);
+template std::vector<MetacellInfo> scan_metacells<float>(
+    const core::Volume<float>&, const MetacellGeometry&, bool);
+
+template void encode_metacell<std::uint8_t>(const core::Volume<std::uint8_t>&,
+                                            const MetacellGeometry&,
+                                            std::uint32_t,
+                                            std::vector<std::byte>&);
+template void encode_metacell<std::uint16_t>(
+    const core::Volume<std::uint16_t>&, const MetacellGeometry&, std::uint32_t,
+    std::vector<std::byte>&);
+template void encode_metacell<float>(const core::Volume<float>&,
+                                     const MetacellGeometry&, std::uint32_t,
+                                     std::vector<std::byte>&);
+
+}  // namespace oociso::metacell

@@ -1,0 +1,42 @@
+#include "metacell/source.h"
+
+namespace oociso::metacell {
+namespace {
+
+/// Owns the volume and delegates to a VolumeMetacellSource over it.
+template <core::VolumeScalar T>
+class OwningSource final : public MetacellSource {
+ public:
+  OwningSource(core::Volume<T> volume, std::int32_t samples_per_side)
+      : volume_(std::move(volume)), inner_(volume_, samples_per_side) {}
+
+  [[nodiscard]] const MetacellGeometry& geometry() const override {
+    return inner_.geometry();
+  }
+  [[nodiscard]] core::ScalarKind kind() const override { return inner_.kind(); }
+  [[nodiscard]] std::vector<MetacellInfo> scan() const override {
+    return inner_.scan();
+  }
+  void encode(std::uint32_t id, std::vector<std::byte>& out) const override {
+    inner_.encode(id, out);
+  }
+
+ private:
+  core::Volume<T> volume_;
+  VolumeMetacellSource<T> inner_;
+};
+
+}  // namespace
+
+std::unique_ptr<MetacellSource> make_source(data::AnyVolume volume,
+                                            std::int32_t samples_per_side) {
+  return std::visit(
+      [samples_per_side](auto&& v) -> std::unique_ptr<MetacellSource> {
+        using T = typename std::decay_t<decltype(v)>::value_type;
+        return std::make_unique<OwningSource<T>>(std::move(v),
+                                                 samples_per_side);
+      },
+      std::move(volume));
+}
+
+}  // namespace oociso::metacell

@@ -1,0 +1,64 @@
+#pragma once
+// Type-erased metacell producer used by the preprocessing pipeline, so the
+// pipeline code is independent of the volume's scalar type.
+
+#include <memory>
+#include <vector>
+
+#include "data/datasets.h"
+#include "metacell/metacell.h"
+
+namespace oociso::metacell {
+
+class MetacellSource {
+ public:
+  virtual ~MetacellSource() = default;
+
+  [[nodiscard]] virtual const MetacellGeometry& geometry() const = 0;
+  [[nodiscard]] virtual core::ScalarKind kind() const = 0;
+
+  /// All non-degenerate metacells with their intervals.
+  [[nodiscard]] virtual std::vector<MetacellInfo> scan() const = 0;
+
+  /// Appends the serialized record for one metacell to `out`.
+  virtual void encode(std::uint32_t id, std::vector<std::byte>& out) const = 0;
+
+  /// Bytes of one serialized record. Virtual so non-metacell producers
+  /// (e.g. unstructured tet clusters) can define their own record format
+  /// while reusing the index builder unchanged.
+  [[nodiscard]] virtual std::size_t record_size() const {
+    return metacell::record_size(kind(), geometry().samples_per_side());
+  }
+};
+
+/// MetacellSource over an in-memory volume.
+template <core::VolumeScalar T>
+class VolumeMetacellSource final : public MetacellSource {
+ public:
+  VolumeMetacellSource(const core::Volume<T>& volume,
+                       std::int32_t samples_per_side)
+      : volume_(volume), geometry_(volume.dims(), samples_per_side) {}
+
+  [[nodiscard]] const MetacellGeometry& geometry() const override {
+    return geometry_;
+  }
+  [[nodiscard]] core::ScalarKind kind() const override {
+    return core::scalar_kind_of<T>();
+  }
+  [[nodiscard]] std::vector<MetacellInfo> scan() const override {
+    return scan_metacells(volume_, geometry_);
+  }
+  void encode(std::uint32_t id, std::vector<std::byte>& out) const override {
+    encode_metacell(volume_, geometry_, id, out);
+  }
+
+ private:
+  const core::Volume<T>& volume_;  ///< not owned; must outlive the source
+  MetacellGeometry geometry_;
+};
+
+/// Wraps an AnyVolume (keeps it alive) as a MetacellSource.
+[[nodiscard]] std::unique_ptr<MetacellSource> make_source(
+    data::AnyVolume volume, std::int32_t samples_per_side);
+
+}  // namespace oociso::metacell

@@ -1,0 +1,46 @@
+#include "parallel/cluster.h"
+
+#include <stdexcept>
+
+#include "io/file_block_device.h"
+#include "io/memory_block_device.h"
+
+namespace oociso::parallel {
+
+Cluster::Cluster(ClusterConfig config)
+    : config_(std::move(config)), pool_(config_.node_count) {
+  if (config_.node_count == 0) {
+    throw std::invalid_argument("Cluster: need at least one node");
+  }
+  disks_.reserve(config_.node_count);
+  for (std::size_t i = 0; i < config_.node_count; ++i) {
+    if (config_.in_memory) {
+      disks_.push_back(
+          std::make_unique<io::MemoryBlockDevice>(config_.disk.block_size));
+    } else {
+      if (config_.storage_dir.empty()) {
+        throw std::invalid_argument("Cluster: storage_dir required");
+      }
+      const auto node_dir = config_.storage_dir / ("node" + std::to_string(i));
+      std::filesystem::create_directories(node_dir);
+      const auto mode = config_.open_existing
+                            ? io::FileBlockDevice::Mode::kReadWrite
+                            : io::FileBlockDevice::Mode::kCreate;
+      disks_.push_back(std::make_unique<io::FileBlockDevice>(
+          node_dir / "bricks.dat", mode, config_.disk.block_size));
+    }
+  }
+}
+
+std::vector<io::BlockDevice*> Cluster::disk_pointers() {
+  std::vector<io::BlockDevice*> pointers;
+  pointers.reserve(disks_.size());
+  for (auto& disk : disks_) pointers.push_back(disk.get());
+  return pointers;
+}
+
+void Cluster::run(const std::function<void(std::size_t)>& node_program) {
+  parallel_for(pool_, disks_.size(), node_program);
+}
+
+}  // namespace oociso::parallel

@@ -1,0 +1,71 @@
+#pragma once
+// Simulated visualization cluster (paper Section 6 platform).
+//
+// p nodes, each owning a private local disk (a BlockDevice of its own,
+// file-backed under a per-node directory or in-memory for tests), connected
+// by a modeled interconnect. Node programs execute concurrently on a thread
+// pool; their disk and network *costs* come from the calibrated models so
+// the reported times have the multi-node shape of the paper's testbed (see
+// DESIGN.md, substitution table).
+
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "io/block_device.h"
+#include "io/io_stats.h"
+#include "parallel/cost_model.h"
+#include "parallel/thread_pool.h"
+
+namespace oociso::parallel {
+
+struct ClusterConfig {
+  std::size_t node_count = 1;
+  io::DiskModel disk;          ///< defaults: 50 MB/s, 4 KiB blocks, 4 ms seek
+  NetworkModel network;        ///< defaults: 10 Gb/s, 10 us
+  bool in_memory = false;      ///< MemoryBlockDevice instead of files
+  /// Open existing per-node brick files read/write instead of truncating —
+  /// used to reattach to a preprocessed dataset (see pipeline/bundle.h).
+  bool open_existing = false;
+  std::filesystem::path storage_dir;  ///< required unless in_memory
+};
+
+class Cluster {
+ public:
+  /// Creates the per-node disks ("<storage_dir>/node<i>/bricks.dat").
+  /// Throws std::invalid_argument for zero nodes or a missing storage dir
+  /// in file-backed mode.
+  explicit Cluster(ClusterConfig config);
+
+  [[nodiscard]] std::size_t size() const { return disks_.size(); }
+  [[nodiscard]] const ClusterConfig& config() const { return config_; }
+
+  [[nodiscard]] io::BlockDevice& disk(std::size_t node) {
+    return *disks_.at(node);
+  }
+
+  /// Raw pointers to all node disks, in node order (for builder APIs).
+  [[nodiscard]] std::vector<io::BlockDevice*> disk_pointers();
+
+  /// Runs `node_program(i)` for every node concurrently and waits.
+  void run(const std::function<void(std::size_t node)>& node_program);
+
+  /// Modeled seconds for node-local I/O activity.
+  [[nodiscard]] double disk_seconds(const io::IoStats& stats) const {
+    return config_.disk.seconds(stats);
+  }
+
+  /// Modeled seconds for a node moving `bytes` in `messages` messages.
+  [[nodiscard]] double network_seconds(std::uint64_t messages,
+                                       std::uint64_t bytes) const {
+    return config_.network.seconds(messages, bytes);
+  }
+
+ private:
+  ClusterConfig config_;
+  std::vector<std::unique_ptr<io::BlockDevice>> disks_;
+  ThreadPool pool_;
+};
+
+}  // namespace oociso::parallel

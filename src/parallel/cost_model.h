@@ -1,0 +1,25 @@
+#pragma once
+// Interconnect cost model for the simulated cluster.
+//
+// Defaults follow the paper's platform: 10 Gb/s InfiniBand with
+// microsecond-class latency. Together with io::DiskModel (50 MB/s local
+// disks) these models supply the multi-node wall-clock shape on a
+// single-host run; see DESIGN.md section 1 for the substitution rationale.
+
+#include <cstdint>
+
+namespace oociso::parallel {
+
+struct NetworkModel {
+  double latency_seconds = 10e-6;
+  double bandwidth_bytes_per_s = 10.0e9 / 8.0;  // 10 Gb/s
+
+  /// Modeled time for a node to move `bytes` in `messages` messages.
+  [[nodiscard]] double seconds(std::uint64_t messages,
+                               std::uint64_t bytes) const {
+    return static_cast<double>(messages) * latency_seconds +
+           static_cast<double>(bytes) / bandwidth_bytes_per_s;
+  }
+};
+
+}  // namespace oociso::parallel

@@ -1,0 +1,61 @@
+#pragma once
+// Fixed-size worker pool. Node programs of the simulated cluster run as
+// pool tasks, giving real concurrent execution of the per-node code paths
+// (the virtual-time ledgers, not wall time, provide the multi-node timing
+// shape — see DESIGN.md).
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace oociso::parallel {
+
+class ThreadPool {
+ public:
+  /// Spawns `worker_count` workers (>= 1 enforced).
+  explicit ThreadPool(std::size_t worker_count);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; the future reports its result or exception.
+  template <typename F>
+  auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto packaged =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
+    std::future<R> result = packaged->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      if (stopping_) {
+        throw std::runtime_error("ThreadPool: submit after shutdown");
+      }
+      queue_.emplace([packaged] { (*packaged)(); });
+    }
+    wake_.notify_one();
+    return result;
+  }
+
+  [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+};
+
+/// Runs fn(0) .. fn(count-1) concurrently on the pool and waits for all;
+/// the first raised exception (lowest index) is rethrown.
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace oociso::parallel

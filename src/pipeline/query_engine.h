@@ -1,0 +1,101 @@
+#pragma once
+// Parallel isosurface query (paper Section 5.1 + the measurement
+// methodology of Section 7).
+//
+// For a given isovalue, every node — concurrently and with no communication:
+//   1. walks its local compact interval tree and reads its stripe of the
+//      active metacells from its local disk   (AMC retrieval),
+//   2. runs marching cubes over them           (triangulation),
+//   3. rasterizes its triangles locally        (rendering);
+// then the p framebuffers are z-composited (sort-last) into the display
+// image — the only communication in the whole query.
+//
+// Timing: AMC retrieval is priced by the cluster's disk model from the
+// exact block I/O the query performed; triangulation and rendering are
+// measured CPU time on the node's own thread; compositing is priced by the
+// interconnect model from the schedule's traffic plus measured merge CPU.
+// The query's completion time is the BSP max over nodes per phase — the
+// same metric the paper reports in Tables 2-5.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "compositing/sort_last.h"
+#include "extract/mesh.h"
+#include "pipeline/preprocess.h"
+#include "parallel/time_ledger.h"
+#include "render/framebuffer.h"
+
+namespace oociso::pipeline {
+
+enum class CompositeSchedule { kBinarySwap, kDirectSend };
+
+struct QueryOptions {
+  bool render = true;
+  std::int32_t image_width = 512;
+  std::int32_t image_height = 512;
+  CompositeSchedule schedule = CompositeSchedule::kBinarySwap;
+  bool keep_triangles = false;  ///< merge per-node soups into the report
+  bool keep_image = false;      ///< keep the composited framebuffer
+};
+
+struct NodeReport {
+  std::uint64_t active_metacells = 0;
+  std::uint64_t records_fetched = 0;  ///< incl. Case-2 overshoot
+  std::uint64_t triangles = 0;
+  io::IoStats io;                    ///< this query's block I/O on the node
+  double io_model_seconds = 0.0;     ///< disk-model price of `io`
+  double io_wall_seconds = 0.0;      ///< host wall time of the reads
+  double triangulation_seconds = 0.0;
+  double rendering_seconds = 0.0;
+};
+
+struct QueryReport {
+  core::ValueKey isovalue = 0;
+  std::vector<NodeReport> nodes;
+  parallel::ClusterTimes times;
+  compositing::TrafficStats composite_traffic;
+  double composite_model_seconds = 0.0;
+
+  std::optional<extract::TriangleSoup> triangles_out;
+  std::optional<render::Framebuffer> image;
+
+  [[nodiscard]] std::uint64_t total_active_metacells() const {
+    std::uint64_t total = 0;
+    for (const auto& node : nodes) total += node.active_metacells;
+    return total;
+  }
+  [[nodiscard]] std::uint64_t total_triangles() const {
+    std::uint64_t total = 0;
+    for (const auto& node : nodes) total += node.triangles;
+    return total;
+  }
+  /// BSP completion time (modeled I/O + measured CPU + modeled network).
+  [[nodiscard]] double completion_seconds() const {
+    return times.completion_seconds();
+  }
+  /// The paper's headline metric, millions of triangles per second.
+  [[nodiscard]] double mtri_per_second() const {
+    const double seconds = completion_seconds();
+    return seconds > 0.0
+               ? static_cast<double>(total_triangles()) / seconds / 1e6
+               : 0.0;
+  }
+};
+
+/// Runs isovalue queries against a preprocessed, striped dataset.
+class QueryEngine {
+ public:
+  /// `result` must outlive the engine; `cluster` provides disks and models.
+  QueryEngine(parallel::Cluster& cluster, const PreprocessResult& result);
+
+  [[nodiscard]] QueryReport run(core::ValueKey isovalue,
+                                const QueryOptions& options = {});
+
+ private:
+  parallel::Cluster& cluster_;
+  const PreprocessResult& data_;
+};
+
+}  // namespace oociso::pipeline

@@ -1,0 +1,44 @@
+#include "pipeline/timevarying.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "metacell/source.h"
+
+namespace oociso::pipeline {
+
+void TimeVaryingEngine::preprocess_steps(int first, int count) {
+  for (int step = first; step < first + count; ++step) {
+    if (std::find(step_ids_.begin(), step_ids_.end(), step) !=
+        step_ids_.end()) {
+      throw std::invalid_argument("time step already preprocessed");
+    }
+    const auto source = metacell::make_source(provider_(step),
+                                              samples_per_side_);
+    PreprocessConfig config;
+    config.samples_per_side = samples_per_side_;
+    step_data_.push_back(preprocess(*source, cluster_, config));
+    step_ids_.push_back(step);
+  }
+}
+
+const PreprocessResult& TimeVaryingEngine::step_data(int step) const {
+  for (std::size_t i = 0; i < step_ids_.size(); ++i) {
+    if (step_ids_[i] == step) return step_data_[i];
+  }
+  throw std::out_of_range("time step not preprocessed");
+}
+
+QueryReport TimeVaryingEngine::query(int step, core::ValueKey isovalue,
+                                     const QueryOptions& options) {
+  QueryEngine engine(cluster_, step_data(step));
+  return engine.run(isovalue, options);
+}
+
+std::uint64_t TimeVaryingEngine::total_index_bytes() const {
+  std::uint64_t bytes = 0;
+  for (const auto& data : step_data_) bytes += data.index_bytes();
+  return bytes;
+}
+
+}  // namespace oociso::pipeline

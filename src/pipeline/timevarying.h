@@ -1,0 +1,54 @@
+#pragma once
+// Time-varying extension (paper Section 5.2, evaluated in Table 8).
+//
+// Each time step gets its own compact interval tree; all the per-step
+// trees stay in core (their total size is O(m * n log n) — 1.6 MB for the
+// full 270-step RM dataset), while every step's bricks append to the same
+// per-node disks. Querying (step, isovalue) selects the step's index and
+// runs the standard parallel query.
+
+#include <functional>
+#include <vector>
+
+#include "data/datasets.h"
+#include "pipeline/query_engine.h"
+
+namespace oociso::pipeline {
+
+class TimeVaryingEngine {
+ public:
+  /// Produces the volume for a given time step (deterministically).
+  using VolumeProvider = std::function<data::AnyVolume(int step)>;
+
+  TimeVaryingEngine(parallel::Cluster& cluster, VolumeProvider provider,
+                    std::int32_t samples_per_side = 9)
+      : cluster_(cluster),
+        provider_(std::move(provider)),
+        samples_per_side_(samples_per_side) {}
+
+  /// Preprocesses steps [first, first+count) in order; each step's bricks
+  /// land after the previous step's on every node disk.
+  void preprocess_steps(int first, int count);
+
+  /// Steps preprocessed so far, in preprocess order.
+  [[nodiscard]] const std::vector<int>& steps() const { return step_ids_; }
+
+  [[nodiscard]] const PreprocessResult& step_data(int step) const;
+
+  /// Runs the parallel query against one preprocessed step.
+  [[nodiscard]] QueryReport query(int step, core::ValueKey isovalue,
+                                  const QueryOptions& options = {});
+
+  /// Total in-core index bytes across all steps and nodes (the quantity
+  /// Section 5.2 argues stays small).
+  [[nodiscard]] std::uint64_t total_index_bytes() const;
+
+ private:
+  parallel::Cluster& cluster_;
+  VolumeProvider provider_;
+  std::int32_t samples_per_side_;
+  std::vector<int> step_ids_;
+  std::vector<PreprocessResult> step_data_;
+};
+
+}  // namespace oociso::pipeline

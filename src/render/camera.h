@@ -1,0 +1,78 @@
+#pragma once
+// Minimal look-at perspective camera for the software rasterizer.
+//
+// project() maps world space -> screen pixels + view-space depth. Depth is
+// the distance along the view direction (not 1/z), so depths from different
+// nodes composite correctly with a plain min comparison.
+
+#include <cmath>
+#include <optional>
+
+#include "core/vec3.h"
+
+namespace oociso::render {
+
+struct ProjectedVertex {
+  float x = 0;      ///< pixel coordinates (can be off-screen)
+  float y = 0;
+  float depth = 0;  ///< view-space z, > 0 in front of the camera
+};
+
+class Camera {
+ public:
+  /// `vertical_fov_deg` is the full vertical field of view.
+  Camera(const core::Vec3& eye, const core::Vec3& target, const core::Vec3& up,
+         float vertical_fov_deg, std::int32_t screen_width,
+         std::int32_t screen_height, float near_plane = 0.1f)
+      : eye_(eye),
+        width_(static_cast<float>(screen_width)),
+        height_(static_cast<float>(screen_height)),
+        near_(near_plane) {
+    forward_ = (target - eye).normalized();
+    right_ = forward_.cross(up).normalized();
+    up_ = right_.cross(forward_);
+    const float fov_rad = vertical_fov_deg * 3.14159265358979323846f / 180.0f;
+    // Pixels per unit of tan(angle): scale such that the full fov spans the
+    // screen height.
+    focal_ = (height_ * 0.5f) / std::tan(fov_rad * 0.5f);
+  }
+
+  /// Returns nothing when the point is on or behind the near plane.
+  [[nodiscard]] std::optional<ProjectedVertex> project(
+      const core::Vec3& world) const {
+    const core::Vec3 v = world - eye_;
+    const float depth = v.dot(forward_);
+    if (depth <= near_) return std::nullopt;
+    const float sx = v.dot(right_) / depth * focal_ + width_ * 0.5f;
+    const float sy = -v.dot(up_) / depth * focal_ + height_ * 0.5f;
+    return ProjectedVertex{sx, sy, depth};
+  }
+
+  [[nodiscard]] const core::Vec3& eye() const { return eye_; }
+  [[nodiscard]] const core::Vec3& forward() const { return forward_; }
+
+  /// Convenience: a camera looking at the center of a volume of the given
+  /// dimensions from an oblique direction that frames it fully.
+  static Camera framing_volume(float nx, float ny, float nz,
+                               std::int32_t screen_width,
+                               std::int32_t screen_height) {
+    const core::Vec3 center{nx * 0.5f, ny * 0.5f, nz * 0.5f};
+    const float radius = std::sqrt(nx * nx + ny * ny + nz * nz) * 0.5f;
+    const core::Vec3 direction = core::Vec3{1.0f, 0.8f, 0.6f}.normalized();
+    const core::Vec3 eye = center + direction * (radius * 2.2f);
+    return Camera(eye, center, {0.0f, 0.0f, 1.0f}, 45.0f, screen_width,
+                  screen_height);
+  }
+
+ private:
+  core::Vec3 eye_;
+  core::Vec3 forward_;
+  core::Vec3 right_;
+  core::Vec3 up_;
+  float width_;
+  float height_;
+  float near_;
+  float focal_ = 1.0f;
+};
+
+}  // namespace oociso::render

@@ -1,0 +1,51 @@
+#include "render/framebuffer.h"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace oociso::render {
+
+Framebuffer::Framebuffer(std::int32_t width, std::int32_t height)
+    : width_(width), height_(height) {
+  if (width <= 0 || height <= 0) {
+    throw std::invalid_argument("Framebuffer dimensions must be positive");
+  }
+  color_.resize(pixel_count());
+  depth_.resize(pixel_count(), kFarDepth);
+}
+
+void Framebuffer::clear(Rgb background) {
+  std::fill(color_.begin(), color_.end(), background);
+  std::fill(depth_.begin(), depth_.end(), kFarDepth);
+}
+
+void Framebuffer::composite_min_depth(const Framebuffer& other) {
+  if (other.width_ != width_ || other.height_ != height_) {
+    throw std::invalid_argument("composite: framebuffer size mismatch");
+  }
+  for (std::size_t i = 0; i < depth_.size(); ++i) {
+    if (other.depth_[i] < depth_[i]) {
+      depth_[i] = other.depth_[i];
+      color_[i] = other.color_[i];
+    }
+  }
+}
+
+std::size_t Framebuffer::covered_pixels() const {
+  std::size_t covered = 0;
+  for (const float d : depth_) {
+    if (d < kFarDepth) ++covered;
+  }
+  return covered;
+}
+
+void Framebuffer::write_ppm(const std::filesystem::path& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("write_ppm: cannot open " + path.string());
+  out << "P6\n" << width_ << ' ' << height_ << "\n255\n";
+  out.write(reinterpret_cast<const char*>(color_.data()),
+            static_cast<std::streamsize>(color_.size() * sizeof(Rgb)));
+  if (!out) throw std::runtime_error("write_ppm: write failed " + path.string());
+}
+
+}  // namespace oociso::render

@@ -1,0 +1,88 @@
+#pragma once
+// Color + depth framebuffer — the unit of the sort-last compositing phase.
+//
+// Every cluster node rasterizes its local triangles into one of these;
+// compositing merges framebuffers pixel-by-pixel keeping the nearer depth,
+// which is exactly the z-buffer merge the paper performs over InfiniBand.
+
+#include <cstdint>
+#include <filesystem>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace oociso::render {
+
+struct Rgb {
+  std::uint8_t r = 0;
+  std::uint8_t g = 0;
+  std::uint8_t b = 0;
+
+  constexpr bool operator==(const Rgb&) const = default;
+};
+
+class Framebuffer {
+ public:
+  static constexpr float kFarDepth = std::numeric_limits<float>::infinity();
+
+  Framebuffer(std::int32_t width, std::int32_t height);
+
+  [[nodiscard]] std::int32_t width() const { return width_; }
+  [[nodiscard]] std::int32_t height() const { return height_; }
+  [[nodiscard]] std::size_t pixel_count() const {
+    return static_cast<std::size_t>(width_) * static_cast<std::size_t>(height_);
+  }
+
+  void clear(Rgb background = {0, 0, 0});
+
+  [[nodiscard]] std::size_t index(std::int32_t x, std::int32_t y) const {
+    return static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+           static_cast<std::size_t>(x);
+  }
+
+  [[nodiscard]] Rgb color_at(std::int32_t x, std::int32_t y) const {
+    return color_[index(x, y)];
+  }
+  [[nodiscard]] float depth_at(std::int32_t x, std::int32_t y) const {
+    return depth_[index(x, y)];
+  }
+
+  /// Depth-tested write: stores the fragment iff it is nearer than what the
+  /// pixel holds. Returns true when the fragment won.
+  bool plot(std::int32_t x, std::int32_t y, float depth, Rgb color) {
+    const std::size_t i = index(x, y);
+    if (depth >= depth_[i]) return false;
+    depth_[i] = depth;
+    color_[i] = color;
+    return true;
+  }
+
+  [[nodiscard]] std::span<const Rgb> colors() const { return color_; }
+  [[nodiscard]] std::span<const float> depths() const { return depth_; }
+  [[nodiscard]] std::span<Rgb> colors() { return color_; }
+  [[nodiscard]] std::span<float> depths() { return depth_; }
+
+  /// Z-merges `other` into this buffer (both must have equal dimensions):
+  /// each pixel keeps the nearer fragment. The core sort-last operation.
+  void composite_min_depth(const Framebuffer& other);
+
+  /// Number of pixels covered by geometry (depth < far).
+  [[nodiscard]] std::size_t covered_pixels() const;
+
+  /// Bytes a node must ship per pixel region during compositing
+  /// (color + depth), used by the interconnect cost model.
+  [[nodiscard]] static constexpr std::size_t bytes_per_pixel() {
+    return sizeof(Rgb) + sizeof(float);
+  }
+
+  /// Writes a binary PPM (P6) image of the color plane.
+  void write_ppm(const std::filesystem::path& path) const;
+
+ private:
+  std::int32_t width_;
+  std::int32_t height_;
+  std::vector<Rgb> color_;
+  std::vector<float> depth_;
+};
+
+}  // namespace oociso::render

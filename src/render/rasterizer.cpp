@@ -1,0 +1,96 @@
+#include "render/rasterizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace oociso::render {
+namespace {
+
+float edge_function(const ProjectedVertex& a, const ProjectedVertex& b,
+                    float px, float py) {
+  return (px - a.x) * (b.y - a.y) - (py - a.y) * (b.x - a.x);
+}
+
+}  // namespace
+
+bool Rasterizer::draw(const extract::Triangle& triangle, const Camera& camera,
+                      Framebuffer& target) {
+  ++stats_.triangles_submitted;
+
+  const auto pa = camera.project(triangle.a);
+  const auto pb = camera.project(triangle.b);
+  const auto pc = camera.project(triangle.c);
+  // Near-plane clipping is conservative: a triangle with any vertex behind
+  // the near plane is dropped (isosurface geometry sits well inside the
+  // volume for the framing cameras used here).
+  if (!pa || !pb || !pc) return false;
+
+  // Shading: Lambert with a headlight (light along the view direction);
+  // two-sided so winding does not matter for a triangle soup.
+  const core::Vec3 normal = triangle.raw_normal().normalized();
+  const float lambert = std::abs(normal.dot(camera.forward()));
+  const float shade = 0.25f + 0.75f * lambert;  // ambient + diffuse
+  const Rgb color{
+      static_cast<std::uint8_t>(static_cast<float>(base_color_.r) * shade),
+      static_cast<std::uint8_t>(static_cast<float>(base_color_.g) * shade),
+      static_cast<std::uint8_t>(static_cast<float>(base_color_.b) * shade)};
+
+  // Screen-space bounding box clamped to the framebuffer.
+  const float min_xf = std::min({pa->x, pb->x, pc->x});
+  const float max_xf = std::max({pa->x, pb->x, pc->x});
+  const float min_yf = std::min({pa->y, pb->y, pc->y});
+  const float max_yf = std::max({pa->y, pb->y, pc->y});
+  const std::int32_t min_x =
+      std::max<std::int32_t>(0, static_cast<std::int32_t>(std::floor(min_xf)));
+  const std::int32_t max_x = std::min<std::int32_t>(
+      target.width() - 1, static_cast<std::int32_t>(std::ceil(max_xf)));
+  const std::int32_t min_y =
+      std::max<std::int32_t>(0, static_cast<std::int32_t>(std::floor(min_yf)));
+  const std::int32_t max_y = std::min<std::int32_t>(
+      target.height() - 1, static_cast<std::int32_t>(std::ceil(max_yf)));
+  if (min_x > max_x || min_y > max_y) return false;
+
+  const float area = edge_function(*pa, *pb, pc->x, pc->y);
+  if (std::abs(area) < 1e-12f) return false;  // degenerate in screen space
+  const float inv_area = 1.0f / area;
+
+  ++stats_.triangles_rasterized;
+  bool wrote = false;
+  for (std::int32_t y = min_y; y <= max_y; ++y) {
+    const float py = static_cast<float>(y) + 0.5f;
+    for (std::int32_t x = min_x; x <= max_x; ++x) {
+      const float px = static_cast<float>(x) + 0.5f;
+      // Barycentric weights via edge functions; sign-normalized by the
+      // total area so back-facing triangles rasterize too.
+      const float w0 = edge_function(*pb, *pc, px, py) * inv_area;
+      const float w1 = edge_function(*pc, *pa, px, py) * inv_area;
+      const float w2 = edge_function(*pa, *pb, px, py) * inv_area;
+      ++stats_.fragments_tested;
+      if (w0 < 0.0f || w1 < 0.0f || w2 < 0.0f) continue;
+      const float depth = w0 * pa->depth + w1 * pb->depth + w2 * pc->depth;
+      if (target.plot(x, y, depth, color)) {
+        ++stats_.fragments_written;
+        wrote = true;
+      }
+    }
+  }
+  return wrote;
+}
+
+RasterStats Rasterizer::draw(const extract::TriangleSoup& soup,
+                             const Camera& camera, Framebuffer& target) {
+  const RasterStats before = stats_;
+  for (const extract::Triangle& triangle : soup.triangles()) {
+    draw(triangle, camera, target);
+  }
+  RasterStats delta;
+  delta.triangles_submitted =
+      stats_.triangles_submitted - before.triangles_submitted;
+  delta.triangles_rasterized =
+      stats_.triangles_rasterized - before.triangles_rasterized;
+  delta.fragments_tested = stats_.fragments_tested - before.fragments_tested;
+  delta.fragments_written = stats_.fragments_written - before.fragments_written;
+  return delta;
+}
+
+}  // namespace oociso::render

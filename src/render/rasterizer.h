@@ -1,0 +1,47 @@
+#pragma once
+// Z-buffered software triangle rasterizer with Lambertian shading.
+//
+// Stands in for the per-node GPU of the paper's cluster: each simulated
+// node rasterizes its locally extracted triangles into its own framebuffer
+// before sort-last compositing. Edge-function rasterization, one light
+// headlight shading, no perspective-correct interpolation (depth is
+// interpolated affinely, adequate for opaque isosurfaces at these scales).
+
+#include <cstdint>
+
+#include "extract/mesh.h"
+#include "render/camera.h"
+#include "render/framebuffer.h"
+
+namespace oociso::render {
+
+struct RasterStats {
+  std::uint64_t triangles_submitted = 0;
+  std::uint64_t triangles_rasterized = 0;  ///< after culling/clipping
+  std::uint64_t fragments_tested = 0;
+  std::uint64_t fragments_written = 0;
+};
+
+class Rasterizer {
+ public:
+  /// `base_color` tints the shaded surface.
+  explicit Rasterizer(Rgb base_color = {208, 208, 224})
+      : base_color_(base_color) {}
+
+  /// Rasterizes one triangle; returns true if any fragment was written.
+  bool draw(const extract::Triangle& triangle, const Camera& camera,
+            Framebuffer& target);
+
+  /// Rasterizes a whole soup.
+  RasterStats draw(const extract::TriangleSoup& soup, const Camera& camera,
+                   Framebuffer& target);
+
+  [[nodiscard]] const RasterStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = RasterStats{}; }
+
+ private:
+  Rgb base_color_;
+  RasterStats stats_;
+};
+
+}  // namespace oociso::render

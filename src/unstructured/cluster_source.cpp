@@ -1,0 +1,154 @@
+#include "unstructured/cluster_source.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "io/serial.h"
+
+namespace oociso::unstructured {
+namespace {
+
+/// Spreads the low 10 bits of x so they occupy every third bit.
+constexpr std::uint32_t spread_bits(std::uint32_t x) {
+  x &= 0x3FF;
+  x = (x | (x << 16)) & 0x030000FF;
+  x = (x | (x << 8)) & 0x0300F00F;
+  x = (x | (x << 4)) & 0x030C30C3;
+  x = (x | (x << 2)) & 0x09249249;
+  return x;
+}
+
+}  // namespace
+
+std::uint32_t morton_code(const core::Vec3& p) {
+  auto quantize = [](float v) {
+    const float clamped = v < 0.0f ? 0.0f : (v > 1.0f ? 1.0f : v);
+    return static_cast<std::uint32_t>(clamped * 1023.0f);
+  };
+  return spread_bits(quantize(p.x)) | (spread_bits(quantize(p.y)) << 1) |
+         (spread_bits(quantize(p.z)) << 2);
+}
+
+std::size_t cluster_record_size(std::uint32_t tets_per_cluster) {
+  return sizeof(std::uint32_t) + sizeof(float) +
+         static_cast<std::size_t>(tets_per_cluster) * 4 * 4 * sizeof(float);
+}
+
+TetClusterSource::TetClusterSource(const TetMesh& mesh,
+                                   std::uint32_t tets_per_cluster)
+    : mesh_(mesh), tets_per_cluster_(tets_per_cluster) {
+  if (tets_per_cluster == 0) {
+    throw std::invalid_argument("TetClusterSource: cluster arity must be > 0");
+  }
+  // Morton-order the tets so clusters are spatially compact.
+  order_.resize(mesh.tet_count());
+  for (std::uint32_t i = 0; i < order_.size(); ++i) order_[i] = i;
+  std::vector<std::uint32_t> codes(mesh.tet_count());
+  for (std::size_t t = 0; t < mesh.tet_count(); ++t) {
+    codes[t] = morton_code(mesh.tet_centroid(t));
+  }
+  std::sort(order_.begin(), order_.end(),
+            [&codes](std::uint32_t a, std::uint32_t b) {
+              return codes[a] != codes[b] ? codes[a] < codes[b] : a < b;
+            });
+
+  // Cluster intervals; degenerate clusters (constant field over every tet)
+  // are culled exactly like constant metacells.
+  const auto cluster_count = static_cast<std::uint32_t>(
+      (order_.size() + tets_per_cluster - 1) / tets_per_cluster);
+  cluster_count_total_ = cluster_count;
+  for (std::uint32_t c = 0; c < cluster_count; ++c) {
+    core::ValueKey lo = std::numeric_limits<core::ValueKey>::max();
+    core::ValueKey hi = std::numeric_limits<core::ValueKey>::lowest();
+    for (const std::uint32_t tet : cluster_tets_internal(c)) {
+      const core::ValueInterval interval = mesh_.tet_interval(tet);
+      lo = std::min(lo, interval.vmin);
+      hi = std::max(hi, interval.vmax);
+    }
+    if (lo == hi) continue;
+    cluster_infos_.push_back({c, {lo, hi}});
+  }
+}
+
+std::span<const std::uint32_t> TetClusterSource::cluster_tets(
+    std::uint32_t id) const {
+  return cluster_tets_internal(id);
+}
+
+std::span<const std::uint32_t> TetClusterSource::cluster_tets_internal(
+    std::uint32_t id) const {
+  const std::size_t begin =
+      static_cast<std::size_t>(id) * tets_per_cluster_;
+  if (begin >= order_.size()) {
+    throw std::out_of_range("TetClusterSource: cluster id out of range");
+  }
+  const std::size_t count =
+      std::min<std::size_t>(tets_per_cluster_, order_.size() - begin);
+  return {order_.data() + begin, count};
+}
+
+std::vector<metacell::MetacellInfo> TetClusterSource::scan() const {
+  return cluster_infos_;
+}
+
+std::size_t TetClusterSource::record_size() const {
+  return cluster_record_size(tets_per_cluster_);
+}
+
+void TetClusterSource::encode(std::uint32_t id,
+                              std::vector<std::byte>& out) const {
+  const auto tets = cluster_tets_internal(id);
+  float vmin = std::numeric_limits<float>::max();
+  for (const std::uint32_t tet : tets) {
+    vmin = std::min(vmin, mesh_.tet_interval(tet).vmin);
+  }
+
+  io::ByteWriter writer(out);
+  writer.put(id);
+  writer.put(vmin);
+  for (const std::uint32_t tet : tets) {
+    for (const std::uint32_t v : mesh_.tets()[tet]) {
+      const TetVertex& vertex = mesh_.vertex(v);
+      writer.put(vertex.position.x);
+      writer.put(vertex.position.y);
+      writer.put(vertex.position.z);
+      writer.put(vertex.value);
+    }
+  }
+  // Pad the tail cluster with NaN-valued degenerate tets: NaN compares
+  // false against every isovalue, so padding never emits geometry.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  for (std::size_t i = tets.size(); i < tets_per_cluster_; ++i) {
+    for (int j = 0; j < 16; ++j) writer.put(nan);
+  }
+}
+
+std::vector<PackedTet> decode_cluster(std::span<const std::byte> record,
+                                      std::uint32_t tets_per_cluster) {
+  if (record.size() != cluster_record_size(tets_per_cluster)) {
+    throw std::runtime_error("cluster record size mismatch");
+  }
+  io::ByteReader reader(record);
+  reader.skip(sizeof(std::uint32_t));  // id
+  reader.skip(sizeof(float));          // vmin
+  std::vector<PackedTet> tets;
+  tets.reserve(tets_per_cluster);
+  for (std::uint32_t t = 0; t < tets_per_cluster; ++t) {
+    PackedTet tet;
+    bool padding = false;
+    for (int v = 0; v < 4; ++v) {
+      tet.corners[static_cast<std::size_t>(v)].x = reader.get<float>();
+      tet.corners[static_cast<std::size_t>(v)].y = reader.get<float>();
+      tet.corners[static_cast<std::size_t>(v)].z = reader.get<float>();
+      const float value = reader.get<float>();
+      tet.values[static_cast<std::size_t>(v)] = value;
+      if (std::isnan(value)) padding = true;
+    }
+    if (!padding) tets.push_back(tet);
+  }
+  return tets;
+}
+
+}  // namespace oociso::unstructured

@@ -1,0 +1,88 @@
+#pragma once
+// Tet clusters: the unstructured analog of metacells.
+//
+// The index layer never looks inside a record — it only needs each unit's
+// (vmin, vmax) interval and a fixed record size. For unstructured grids the
+// unit is a *cluster* of spatially neighboring tets: tets are ordered by
+// the Morton code of their centroids (so clusters are compact in space,
+// like the metacells' subcubes) and chunked into fixed-size groups.
+//
+// Record layout (f32 scalars, fixed size):
+//   u32   cluster id
+//   f32   vmin of the cluster            (the Case-2 stop field)
+//   tets_per_cluster x 4 vertices x (x, y, z, value) f32
+// The final cluster is padded with NaN-valued degenerate tets, which can
+// never produce geometry for any isovalue.
+
+#include <cstdint>
+#include <vector>
+
+#include "metacell/source.h"
+#include "unstructured/tet_mesh.h"
+
+namespace oociso::unstructured {
+
+/// One tet decoded from a cluster record.
+struct PackedTet {
+  std::array<core::Vec3, 4> corners;
+  std::array<float, 4> values;
+};
+
+/// MetacellSource over a tet mesh; drives CompactTreeBuilder unchanged.
+class TetClusterSource final : public metacell::MetacellSource {
+ public:
+  /// Clusters `mesh` (which must outlive the source). `tets_per_cluster`
+  /// sizes the record; 11 tets ~ 709 bytes, in the paper's metacell range.
+  TetClusterSource(const TetMesh& mesh, std::uint32_t tets_per_cluster = 11);
+
+  [[nodiscard]] const metacell::MetacellGeometry& geometry() const override {
+    return placeholder_geometry_;  // structured-only concept; see record_size
+  }
+  [[nodiscard]] core::ScalarKind kind() const override {
+    return core::ScalarKind::kF32;
+  }
+  [[nodiscard]] std::vector<metacell::MetacellInfo> scan() const override;
+  void encode(std::uint32_t id, std::vector<std::byte>& out) const override;
+  [[nodiscard]] std::size_t record_size() const override;
+
+  [[nodiscard]] std::uint32_t tets_per_cluster() const {
+    return tets_per_cluster_;
+  }
+  [[nodiscard]] std::uint32_t cluster_count() const {
+    return static_cast<std::uint32_t>(cluster_infos_.size());
+  }
+
+  /// Tets of one cluster (mesh indices, Morton order).
+  [[nodiscard]] std::span<const std::uint32_t> cluster_tets(
+      std::uint32_t id) const;
+
+  /// Clusters before degenerate culling (ceil(tets / arity)).
+  [[nodiscard]] std::uint32_t total_clusters() const {
+    return cluster_count_total_;
+  }
+
+ private:
+  [[nodiscard]] std::span<const std::uint32_t> cluster_tets_internal(
+      std::uint32_t id) const;
+
+  const TetMesh& mesh_;
+  std::uint32_t tets_per_cluster_;
+  std::vector<std::uint32_t> order_;  ///< tet indices in Morton order
+  std::vector<metacell::MetacellInfo> cluster_infos_;
+  std::uint32_t cluster_count_total_ = 0;
+  metacell::MetacellGeometry placeholder_geometry_;
+};
+
+/// Record size for a given cluster arity.
+[[nodiscard]] std::size_t cluster_record_size(std::uint32_t tets_per_cluster);
+
+/// Decodes a cluster record; padding tets are skipped. Throws
+/// std::runtime_error on size mismatch.
+[[nodiscard]] std::vector<PackedTet> decode_cluster(
+    std::span<const std::byte> record, std::uint32_t tets_per_cluster);
+
+/// Morton code (10 bits per axis) of a point in the unit cube; exposed for
+/// tests.
+[[nodiscard]] std::uint32_t morton_code(const core::Vec3& p);
+
+}  // namespace oociso::unstructured

@@ -1,0 +1,103 @@
+#include "unstructured/marching_tets.h"
+
+#include <cmath>
+
+namespace oociso::unstructured {
+namespace {
+
+bool position_less(const core::Vec3& a, const core::Vec3& b) {
+  if (a.x != b.x) return a.x < b.x;
+  if (a.y != b.y) return a.y < b.y;
+  return a.z < b.z;
+}
+
+/// Crossing point on an edge, always interpolated from the
+/// lexicographically smaller endpoint so neighboring tets that share the
+/// edge produce bitwise-identical vertices (crack-free exact welding).
+core::Vec3 edge_point(const core::Vec3& p1, const core::Vec3& p2, float v1,
+                      float v2, float isovalue) {
+  const bool swap = position_less(p2, p1);
+  const core::Vec3& pa = swap ? p2 : p1;
+  const core::Vec3& pb = swap ? p1 : p2;
+  const float va = swap ? v2 : v1;
+  const float vb = swap ? v1 : v2;
+  const float denom = vb - va;
+  if (std::abs(denom) < 1e-12f) return lerp(pa, pb, 0.5f);
+  const float t = (isovalue - va) / denom;
+  return lerp(pa, pb, t < 0.0f ? 0.0f : (t > 1.0f ? 1.0f : t));
+}
+
+}  // namespace
+
+std::size_t triangulate_tet(const std::array<core::Vec3, 4>& corners,
+                            const std::array<float, 4>& values, float isovalue,
+                            extract::TriangleSoup& out) {
+  unsigned inside_mask = 0;
+  for (unsigned i = 0; i < 4; ++i) {
+    if (values[i] < isovalue) inside_mask |= 1u << i;
+  }
+  if (inside_mask == 0 || inside_mask == 0xF) return 0;
+
+  // Partition the corner indices by side.
+  std::array<unsigned, 4> inside{};
+  std::array<unsigned, 4> outside{};
+  unsigned inside_count = 0;
+  unsigned outside_count = 0;
+  for (unsigned i = 0; i < 4; ++i) {
+    if (inside_mask & (1u << i)) inside[inside_count++] = i;
+    else outside[outside_count++] = i;
+  }
+
+  auto cross = [&](unsigned a, unsigned b) {
+    return edge_point(corners[a], corners[b], values[a], values[b], isovalue);
+  };
+
+  if (inside_count == 1 || inside_count == 3) {
+    // One corner separated (the lone corner is inside for count 1, outside
+    // for count 3): one triangle on its three incident edges.
+    const unsigned lone = inside_count == 1 ? inside[0] : outside[0];
+    const auto& others = inside_count == 1 ? outside : inside;
+    out.add(cross(lone, others[0]), cross(lone, others[1]),
+            cross(lone, others[2]));
+    return 1;
+  }
+
+  // Two-and-two: the four crossed edges form a quad; walk it in the ring
+  // order (a0c0, a0c1, a1c1, a1c0) where consecutive corners share a tet
+  // vertex, and split into two triangles.
+  const unsigned a0 = inside[0];
+  const unsigned a1 = inside[1];
+  const unsigned c0 = outside[0];
+  const unsigned c1 = outside[1];
+  const core::Vec3 q0 = cross(a0, c0);
+  const core::Vec3 q1 = cross(a0, c1);
+  const core::Vec3 q2 = cross(a1, c1);
+  const core::Vec3 q3 = cross(a1, c0);
+  out.add(q0, q1, q2);
+  out.add(q0, q2, q3);
+  return 2;
+}
+
+extract::ExtractionStats extract_tet_mesh(const TetMesh& mesh, float isovalue,
+                                          extract::TriangleSoup& out) {
+  extract::ExtractionStats stats;
+  std::array<core::Vec3, 4> corners;
+  std::array<float, 4> values;
+  for (std::size_t t = 0; t < mesh.tet_count(); ++t) {
+    ++stats.cells_visited;
+    const Tetrahedron& tet = mesh.tets()[t];
+    for (int i = 0; i < 4; ++i) {
+      const TetVertex& v = mesh.vertex(tet[static_cast<std::size_t>(i)]);
+      corners[static_cast<std::size_t>(i)] = v.position;
+      values[static_cast<std::size_t>(i)] = v.value;
+    }
+    const std::size_t added = triangulate_tet(corners, values, isovalue, out);
+    if (added > 0) {
+      ++stats.active_cells;
+      stats.triangles += added;
+    }
+  }
+  return stats;
+}
+
+}  // namespace oociso::unstructured

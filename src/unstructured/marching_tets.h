@@ -1,0 +1,32 @@
+#pragma once
+// Marching tetrahedra: isosurface triangulation of a single tet.
+//
+// A tet has 16 corner-sign configurations; the non-trivial ones produce
+// either one triangle (one vertex separated) or two (two-and-two split).
+// Unlike marching cubes there are no ambiguous cases, so the extracted
+// surface is watertight across conforming tet faces by construction.
+
+#include <array>
+#include <cstdint>
+
+#include "core/vec3.h"
+#include "extract/marching_cubes.h"
+#include "extract/mesh.h"
+#include "unstructured/tet_mesh.h"
+
+namespace oociso::unstructured {
+
+/// Triangulates one tet given its corner positions and values; the corner
+/// order matches Tetrahedron's. Returns the number of triangles added
+/// (0, 1, or 2). Convention matches marching cubes: a corner is "inside"
+/// when value < isovalue.
+std::size_t triangulate_tet(const std::array<core::Vec3, 4>& corners,
+                            const std::array<float, 4>& values, float isovalue,
+                            extract::TriangleSoup& out);
+
+/// Extracts the full isosurface of a mesh (the in-core reference the
+/// out-of-core unstructured pipeline is tested against).
+extract::ExtractionStats extract_tet_mesh(const TetMesh& mesh, float isovalue,
+                                          extract::TriangleSoup& out);
+
+}  // namespace oociso::unstructured

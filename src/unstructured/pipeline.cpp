@@ -1,0 +1,97 @@
+#include "unstructured/pipeline.h"
+
+#include "render/camera.h"
+#include "render/rasterizer.h"
+#include "util/timer.h"
+
+namespace oociso::unstructured {
+
+TetPreprocessResult preprocess_tets(const TetMesh& mesh,
+                                    parallel::Cluster& cluster,
+                                    std::uint32_t tets_per_cluster) {
+  const TetClusterSource source(mesh, tets_per_cluster);
+  const auto infos = source.scan();
+  auto devices = cluster.disk_pointers();
+  index::CompactTreeBuilder::Result built =
+      index::CompactTreeBuilder::build(infos, source, devices);
+
+  return TetPreprocessResult{
+      .trees = std::move(built.trees),
+      .tets_per_cluster = tets_per_cluster,
+      .total_clusters = source.total_clusters(),
+      .kept_clusters = infos.size(),
+      .bytes_written = built.bytes_written,
+  };
+}
+
+TetQueryReport query_tets(parallel::Cluster& cluster,
+                          const TetPreprocessResult& prep,
+                          core::ValueKey isovalue,
+                          const TetQueryOptions& options) {
+  if (prep.trees.size() != cluster.size()) {
+    throw std::invalid_argument(
+        "query_tets: preprocess node count differs from cluster");
+  }
+  const std::size_t p = cluster.size();
+  TetQueryReport report;
+  report.isovalue = isovalue;
+  report.nodes.resize(p);
+  report.times.per_node.resize(p);
+
+  // The generator meshes the unit cube; frame it.
+  const render::Camera camera = render::Camera::framing_volume(
+      1.0f, 1.0f, 1.0f, options.image_size, options.image_size);
+
+  std::vector<extract::TriangleSoup> soups(p);
+  std::vector<render::Framebuffer> frames;
+  frames.reserve(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    frames.emplace_back(options.image_size, options.image_size);
+  }
+
+  cluster.run([&](std::size_t node) {
+    TetNodeReport& node_report = report.nodes[node];
+    parallel::TimeLedger& ledger = report.times.per_node[node];
+    io::BlockDevice& disk = cluster.disk(node);
+    const index::CompactIntervalTree& tree = prep.trees[node];
+
+    const io::IoStats io_before = disk.stats();
+    util::ThreadCpuTimer cpu_timer;
+    tree.query(isovalue, disk, [&](std::span<const std::byte> record) {
+      ++node_report.active_clusters;
+      const auto tets = decode_cluster(record, prep.tets_per_cluster);
+      for (const PackedTet& tet : tets) {
+        node_report.triangles +=
+            triangulate_tet(tet.corners, tet.values, isovalue, soups[node]);
+      }
+    });
+    if (options.render) {
+      render::Rasterizer rasterizer;
+      rasterizer.draw(soups[node], camera, frames[node]);
+    }
+    node_report.cpu_seconds = cpu_timer.seconds();
+    node_report.io_model_seconds =
+        cluster.disk_seconds(disk.stats().since(io_before));
+    ledger.add(parallel::Phase::kAmcRetrieval, node_report.io_model_seconds);
+    ledger.add(parallel::Phase::kTriangulation, node_report.cpu_seconds);
+  });
+
+  if (options.render) {
+    compositing::CompositeResult composite = compositing::binary_swap(frames);
+    const double network_seconds = cluster.network_seconds(
+        composite.traffic.rounds, composite.traffic.max_node_bytes);
+    for (auto& ledger : report.times.per_node) {
+      ledger.add(parallel::Phase::kCompositing, network_seconds);
+    }
+    if (options.keep_image) report.image = std::move(composite.image);
+  }
+
+  if (options.keep_triangles) {
+    extract::TriangleSoup merged;
+    for (const auto& soup : soups) merged.append(soup);
+    report.triangles_out = std::move(merged);
+  }
+  return report;
+}
+
+}  // namespace oociso::unstructured

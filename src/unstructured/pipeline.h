@@ -1,0 +1,81 @@
+#pragma once
+// Out-of-core unstructured isosurface pipeline: the same preprocess/query
+// machinery as the structured case (compact interval trees, striped brick
+// layout, per-node extraction, optional sort-last rendering), driven by tet
+// clusters instead of metacells.
+
+#include <optional>
+
+#include "compositing/sort_last.h"
+#include "index/compact_interval_tree.h"
+#include "parallel/cluster.h"
+#include "parallel/time_ledger.h"
+#include "render/framebuffer.h"
+#include "unstructured/cluster_source.h"
+#include "unstructured/marching_tets.h"
+
+namespace oociso::unstructured {
+
+struct TetPreprocessResult {
+  std::vector<index::CompactIntervalTree> trees;  ///< one per node
+  std::uint32_t tets_per_cluster = 0;
+  std::uint64_t total_clusters = 0;
+  std::uint64_t kept_clusters = 0;
+  std::uint64_t bytes_written = 0;
+
+  [[nodiscard]] double culled_fraction() const {
+    return total_clusters == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(kept_clusters) /
+                           static_cast<double>(total_clusters);
+  }
+};
+
+/// Clusters, indexes, and stripes a tet mesh over the cluster's disks.
+[[nodiscard]] TetPreprocessResult preprocess_tets(
+    const TetMesh& mesh, parallel::Cluster& cluster,
+    std::uint32_t tets_per_cluster = 11);
+
+struct TetQueryOptions {
+  bool render = false;
+  std::int32_t image_size = 512;
+  bool keep_triangles = false;
+  bool keep_image = false;
+};
+
+struct TetNodeReport {
+  std::uint64_t active_clusters = 0;
+  std::uint64_t triangles = 0;
+  double io_model_seconds = 0.0;
+  double cpu_seconds = 0.0;  ///< decode + marching tets (+ rendering)
+};
+
+struct TetQueryReport {
+  core::ValueKey isovalue = 0;
+  std::vector<TetNodeReport> nodes;
+  parallel::ClusterTimes times;
+  std::optional<extract::TriangleSoup> triangles_out;
+  std::optional<render::Framebuffer> image;
+
+  [[nodiscard]] std::uint64_t total_triangles() const {
+    std::uint64_t total = 0;
+    for (const auto& node : nodes) total += node.triangles;
+    return total;
+  }
+  [[nodiscard]] std::uint64_t total_active_clusters() const {
+    std::uint64_t total = 0;
+    for (const auto& node : nodes) total += node.active_clusters;
+    return total;
+  }
+  [[nodiscard]] double completion_seconds() const {
+    return times.completion_seconds();
+  }
+};
+
+/// Parallel isosurface query over a preprocessed tet dataset.
+[[nodiscard]] TetQueryReport query_tets(parallel::Cluster& cluster,
+                                        const TetPreprocessResult& prep,
+                                        core::ValueKey isovalue,
+                                        const TetQueryOptions& options = {});
+
+}  // namespace oociso::unstructured

@@ -1,0 +1,177 @@
+#include "unstructured/tet_mesh.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "core/grid.h"
+#include "data/noise.h"
+#include "util/rng.h"
+
+namespace oociso::unstructured {
+
+TetMesh::TetMesh(std::vector<TetVertex> vertices, std::vector<Tetrahedron> tets)
+    : vertices_(std::move(vertices)), tets_(std::move(tets)) {
+  for (const Tetrahedron& tet : tets_) {
+    for (const std::uint32_t v : tet) {
+      if (v >= vertices_.size()) {
+        throw std::invalid_argument("TetMesh: vertex index out of range");
+      }
+    }
+  }
+}
+
+core::ValueInterval TetMesh::tet_interval(std::size_t tet) const {
+  const Tetrahedron& t = tets_[tet];
+  float lo = vertices_[t[0]].value;
+  float hi = lo;
+  for (int i = 1; i < 4; ++i) {
+    lo = std::min(lo, vertices_[t[i]].value);
+    hi = std::max(hi, vertices_[t[i]].value);
+  }
+  return {lo, hi};
+}
+
+core::Vec3 TetMesh::tet_centroid(std::size_t tet) const {
+  const Tetrahedron& t = tets_[tet];
+  core::Vec3 sum{};
+  for (const std::uint32_t v : t) sum += vertices_[v].position;
+  return sum / 4.0f;
+}
+
+double TetMesh::tet_volume(std::size_t tet) const {
+  const Tetrahedron& t = tets_[tet];
+  const core::Vec3 a = vertices_[t[1]].position - vertices_[t[0]].position;
+  const core::Vec3 b = vertices_[t[2]].position - vertices_[t[0]].position;
+  const core::Vec3 c = vertices_[t[3]].position - vertices_[t[0]].position;
+  return static_cast<double>(a.cross(b).dot(c)) / 6.0;
+}
+
+double TetMesh::total_volume() const {
+  double volume = 0.0;
+  for (std::size_t i = 0; i < tets_.size(); ++i) {
+    volume += std::abs(tet_volume(i));
+  }
+  return volume;
+}
+
+core::ValueInterval TetMesh::value_range() const {
+  if (vertices_.empty()) return {0, 0};
+  float lo = vertices_.front().value;
+  float hi = lo;
+  for (const TetVertex& v : vertices_) {
+    lo = std::min(lo, v.value);
+    hi = std::max(hi, v.value);
+  }
+  return {lo, hi};
+}
+
+namespace {
+
+float evaluate_field(TetField field, const core::Vec3& p,
+                     const data::ValueNoise& noise) {
+  switch (field) {
+    case TetField::kSphere: {
+      const core::Vec3 center{0.5f, 0.5f, 0.5f};
+      const float d = (p - center).length();
+      return std::clamp(255.0f * (1.0f - d * 2.0f / std::sqrt(3.0f)), 0.0f,
+                        255.0f);
+    }
+    case TetField::kGyroid: {
+      constexpr float k = 2.0f * std::numbers::pi_v<float> * 3.0f;
+      const float g = std::sin(k * p.x) * std::cos(k * p.y) +
+                      std::sin(k * p.y) * std::cos(k * p.z) +
+                      std::sin(k * p.z) * std::cos(k * p.x);
+      return std::clamp(127.5f + g * 42.5f, 0.0f, 255.0f);
+    }
+    case TetField::kMixing: {
+      // Two-gas mixing layer around z = 0.5 with turbulence, mirroring the
+      // structured RM analog so the unstructured demo shows the same
+      // span-space character (large constant regions + active interface).
+      const float signed_dist = (p.z - 0.5f) / 0.15f;
+      if (signed_dist <= -1.0f) return 8.0f;
+      if (signed_dist >= 1.0f) return 240.0f;
+      const float s = 0.5f * (signed_dist + 1.0f);
+      const float ramp = s * s * (3.0f - 2.0f * s);
+      const float gap = 1.0f - signed_dist * signed_dist;
+      const float turb =
+          gap * gap * noise.fbm(20.0f * p.x, 20.0f * p.y, 20.0f * p.z, 4);
+      return std::clamp(124.0f + 116.0f * (2.0f * ramp - 1.0f) + 110.0f * turb,
+                        0.0f, 255.0f);
+    }
+  }
+  return 0.0f;
+}
+
+}  // namespace
+
+TetMesh make_tet_mesh(const TetGridConfig& config, TetField field) {
+  if (config.cells < 1) {
+    throw std::invalid_argument("make_tet_mesh: need at least one cell");
+  }
+  const std::int32_t n = config.cells + 1;  // lattice points per axis
+  const core::GridDims lattice{n, n, n};
+  util::Xoshiro256 rng(config.seed, /*stream=*/3);
+  const data::ValueNoise noise(config.seed ^ 0x5445544D45534831ULL);
+
+  // Jittered lattice vertices; boundary vertices stay on the boundary so
+  // the mesh tiles the unit cube exactly.
+  std::vector<TetVertex> vertices;
+  vertices.reserve(lattice.count());
+  const float h = 1.0f / static_cast<float>(config.cells);
+  for (std::int32_t z = 0; z < n; ++z) {
+    for (std::int32_t y = 0; y < n; ++y) {
+      for (std::int32_t x = 0; x < n; ++x) {
+        auto jitter = [&](std::int32_t c) {
+          if (c == 0 || c == n - 1) return 0.0f;
+          return static_cast<float>(rng.uniform(-0.5, 0.5)) * config.jitter * h;
+        };
+        core::Vec3 p{static_cast<float>(x) * h + jitter(x),
+                     static_cast<float>(y) * h + jitter(y),
+                     static_cast<float>(z) * h + jitter(z)};
+        vertices.push_back({p, evaluate_field(field, p, noise)});
+      }
+    }
+  }
+
+  // Five-tet decomposition of each cell, parity-alternated so neighboring
+  // cells' diagonals agree (the standard "5-tet with flip" tiling).
+  std::vector<Tetrahedron> tets;
+  tets.reserve(static_cast<std::size_t>(config.cells) * config.cells *
+               config.cells * 5);
+  auto vid = [&](std::int32_t x, std::int32_t y, std::int32_t z) {
+    return static_cast<std::uint32_t>(lattice.linear({x, y, z}));
+  };
+  for (std::int32_t z = 0; z < config.cells; ++z) {
+    for (std::int32_t y = 0; y < config.cells; ++y) {
+      for (std::int32_t x = 0; x < config.cells; ++x) {
+        // Cube corners c[i] with i = bit pattern (x, y, z).
+        const std::uint32_t c000 = vid(x, y, z);
+        const std::uint32_t c100 = vid(x + 1, y, z);
+        const std::uint32_t c010 = vid(x, y + 1, z);
+        const std::uint32_t c110 = vid(x + 1, y + 1, z);
+        const std::uint32_t c001 = vid(x, y, z + 1);
+        const std::uint32_t c101 = vid(x + 1, y, z + 1);
+        const std::uint32_t c011 = vid(x, y + 1, z + 1);
+        const std::uint32_t c111 = vid(x + 1, y + 1, z + 1);
+        if ((x + y + z) % 2 == 0) {
+          tets.push_back({c000, c100, c010, c001});
+          tets.push_back({c100, c110, c010, c111});
+          tets.push_back({c100, c101, c111, c001});
+          tets.push_back({c010, c011, c001, c111});
+          tets.push_back({c100, c010, c001, c111});  // central tet
+        } else {
+          tets.push_back({c001, c101, c011, c000});
+          tets.push_back({c101, c111, c011, c110});
+          tets.push_back({c101, c100, c110, c000});
+          tets.push_back({c011, c010, c000, c110});
+          tets.push_back({c101, c011, c000, c110});  // central tet
+        }
+      }
+    }
+  }
+  return TetMesh(std::move(vertices), std::move(tets));
+}
+
+}  // namespace oociso::unstructured

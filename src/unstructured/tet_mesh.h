@@ -1,0 +1,85 @@
+#pragma once
+// Unstructured tetrahedral meshes.
+//
+// The paper states its algorithm "can handle both structured and
+// unstructured grids": the index operates on (vmin, vmax) intervals of
+// *clusters* of cells and never looks inside them. This module supplies the
+// unstructured substrate: a tet mesh with per-vertex scalars, plus the
+// synthetic generator used by tests and the unstructured demo (a jittered
+// tetrahedralization of a box, so the mesh is genuinely irregular while
+// the scalar field stays analytic and verifiable).
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/interval.h"
+#include "core/vec3.h"
+
+namespace oociso::unstructured {
+
+struct TetVertex {
+  core::Vec3 position;
+  float value = 0.0f;
+};
+
+/// Four indices into the mesh's vertex array.
+using Tetrahedron = std::array<std::uint32_t, 4>;
+
+class TetMesh {
+ public:
+  TetMesh() = default;
+  TetMesh(std::vector<TetVertex> vertices, std::vector<Tetrahedron> tets);
+
+  [[nodiscard]] const std::vector<TetVertex>& vertices() const {
+    return vertices_;
+  }
+  [[nodiscard]] const std::vector<Tetrahedron>& tets() const { return tets_; }
+  [[nodiscard]] std::size_t tet_count() const { return tets_.size(); }
+
+  [[nodiscard]] const TetVertex& vertex(std::uint32_t index) const {
+    return vertices_[index];
+  }
+
+  /// Scalar interval of one tet.
+  [[nodiscard]] core::ValueInterval tet_interval(std::size_t tet) const;
+
+  /// Centroid of one tet (used for spatial clustering).
+  [[nodiscard]] core::Vec3 tet_centroid(std::size_t tet) const;
+
+  /// Signed volume of one tet (orientation-dependent).
+  [[nodiscard]] double tet_volume(std::size_t tet) const;
+
+  /// Total unsigned volume (a mesh checksum used by tests).
+  [[nodiscard]] double total_volume() const;
+
+  /// Scalar range over all vertices.
+  [[nodiscard]] core::ValueInterval value_range() const;
+
+ private:
+  std::vector<TetVertex> vertices_;
+  std::vector<Tetrahedron> tets_;
+};
+
+struct TetGridConfig {
+  /// Cells per axis of the box that gets tetrahedralized (5 tets per cell).
+  std::int32_t cells = 16;
+  std::uint64_t seed = 42;
+  /// Vertex jitter as a fraction of the cell size (0 = regular lattice).
+  float jitter = 0.35f;
+};
+
+/// Field evaluated at (normalized) positions to produce vertex scalars.
+enum class TetField {
+  kSphere,  ///< radial distance field (analytic reference)
+  kGyroid,  ///< triply periodic field
+  kMixing,  ///< RM-like mixing layer (matches data::generate_rm_timestep's
+            ///< character: homogeneous slabs + turbulent interface)
+};
+
+/// Deterministically tetrahedralizes a jittered box lattice: 5 tets per
+/// cell, ~cells^3*5 tets, scalars in [0, 255].
+[[nodiscard]] TetMesh make_tet_mesh(const TetGridConfig& config,
+                                    TetField field = TetField::kSphere);
+
+}  // namespace oociso::unstructured

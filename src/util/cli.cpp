@@ -1,0 +1,86 @@
+#include "util/cli.h"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace oociso::util {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!arg.starts_with("--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    if (arg.empty()) {
+      // "--" terminates flag parsing; remainder is positional.
+      for (int j = i + 1; j < argc; ++j) positional_.emplace_back(argv[j]);
+      break;
+    }
+    const auto eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      flags_.emplace(std::string(arg.substr(0, eq)),
+                     std::string(arg.substr(eq + 1)));
+      continue;
+    }
+    // "--name value" form, unless the next token is another flag or missing,
+    // in which case the flag is boolean-true.
+    if (i + 1 < argc && std::string_view(argv[i + 1]).starts_with("--") == false) {
+      flags_.emplace(std::string(arg), std::string(argv[i + 1]));
+      ++i;
+    } else {
+      flags_.emplace(std::string(arg), "true");
+    }
+  }
+}
+
+std::string CliArgs::get(std::string_view name, std::string_view fallback) const {
+  const auto it = flags_.find(name);
+  return it != flags_.end() ? it->second : std::string(fallback);
+}
+
+std::int64_t CliArgs::get_int(std::string_view name, std::int64_t fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  std::int64_t value = 0;
+  const auto& text = it->second;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    throw std::invalid_argument("flag --" + std::string(name) +
+                                " expects an integer, got '" + text + "'");
+  }
+  return value;
+}
+
+double CliArgs::get_double(std::string_view name, double fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(it->second, &consumed);
+    if (consumed != it->second.size()) throw std::invalid_argument("trailing");
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + std::string(name) +
+                                " expects a number, got '" + it->second + "'");
+  }
+}
+
+bool CliArgs::get_bool(std::string_view name, bool fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  const auto& text = it->second;
+  if (text == "true" || text == "1" || text == "yes" || text == "on") return true;
+  if (text == "false" || text == "0" || text == "no" || text == "off") return false;
+  throw std::invalid_argument("flag --" + std::string(name) +
+                              " expects a boolean, got '" + text + "'");
+}
+
+bool CliArgs::has(std::string_view name) const {
+  return flags_.find(name) != flags_.end();
+}
+
+}  // namespace oociso::util

@@ -1,0 +1,44 @@
+#pragma once
+// Minimal command-line flag parser shared by the benchmark harnesses and
+// example programs. Flags use --name=value or --name value syntax; every
+// flag has a default so all binaries run stand-alone with no arguments.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oociso::util {
+
+class CliArgs {
+ public:
+  /// Parses argv; throws std::invalid_argument on malformed flags.
+  CliArgs(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get(std::string_view name,
+                                std::string_view fallback) const;
+  [[nodiscard]] std::int64_t get_int(std::string_view name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(std::string_view name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(std::string_view name, bool fallback) const;
+
+  [[nodiscard]] bool has(std::string_view name) const;
+
+  /// Positional (non-flag) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// Program name (argv[0]).
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string, std::less<>> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace oociso::util

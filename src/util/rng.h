@@ -1,0 +1,90 @@
+#pragma once
+// Deterministic random number generation.
+//
+// All synthetic-data generators in this repository derive their randomness
+// from these engines so that every dataset, test, and benchmark is exactly
+// reproducible from a (seed, stream) pair. std::mt19937 is deliberately
+// avoided: its state is large and its seeding is easy to get subtly wrong;
+// splitmix64/xoshiro256** are the standard small, high-quality choices.
+
+#include <array>
+#include <cstdint>
+
+namespace oociso::util {
+
+/// splitmix64 — used to expand a single 64-bit seed into independent streams.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x2006'0426'1515'0001ULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  /// Derives an independent stream: same seed + different stream id gives an
+  /// uncorrelated sequence (used for per-timestep / per-node generators).
+  Xoshiro256(std::uint64_t seed, std::uint64_t stream) {
+    std::uint64_t sm = seed ^ (0x9E3779B97F4A7C15ULL * (stream + 1));
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t bounded(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    // 128-bit multiply-shift; rejection loop removes the bias.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace oociso::util

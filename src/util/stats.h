@@ -1,0 +1,116 @@
+#pragma once
+// Streaming summary statistics and load-imbalance metrics.
+//
+// Load balance is the central claim of the paper's parallel scheme
+// (Tables 6-7): for any isovalue the per-node active-metacell and triangle
+// counts should be nearly equal. `imbalance()` quantifies that as
+// (max - mean) / mean, the standard HPC definition (0 == perfectly balanced).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace oociso::util {
+
+/// Welford's online mean/variance accumulator with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const { return count_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const {
+    return count_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  [[nodiscard]] double max() const {
+    return count_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// (max - mean) / mean over per-node work amounts; 0 means perfect balance.
+/// Returns 0 for empty input or all-zero work.
+template <typename T>
+[[nodiscard]] double imbalance(std::span<const T> per_node_work) {
+  if (per_node_work.empty()) return 0.0;
+  double sum = 0.0;
+  double max = 0.0;
+  for (const T& w : per_node_work) {
+    const auto value = static_cast<double>(w);
+    sum += value;
+    max = std::max(max, value);
+  }
+  const double mean = sum / static_cast<double>(per_node_work.size());
+  if (mean <= 0.0) return 0.0;
+  return (max - mean) / mean;
+}
+
+template <typename T>
+[[nodiscard]] double imbalance(const std::vector<T>& per_node_work) {
+  return imbalance(std::span<const T>(per_node_work));
+}
+
+/// Fixed-width histogram over [lo, hi); values outside are clamped into the
+/// first/last bin. Used to characterize scalar-field and span-space
+/// distributions of the synthetic datasets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins)
+      : lo_(lo), hi_(hi), counts_(bins, 0) {}
+
+  void add(double x) {
+    const auto bins = static_cast<double>(counts_.size());
+    auto bin = static_cast<std::int64_t>((x - lo_) / (hi_ - lo_) * bins);
+    bin = std::clamp<std::int64_t>(bin, 0,
+                                   static_cast<std::int64_t>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(bin)];
+    ++total_;
+  }
+
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::span<const std::uint64_t> counts() const {
+    return counts_;
+  }
+  [[nodiscard]] double bin_lo(std::size_t bin) const {
+    return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                     static_cast<double>(counts_.size());
+  }
+
+  /// Fraction of samples in the given bin.
+  [[nodiscard]] double fraction(std::size_t bin) const {
+    return total_ ? static_cast<double>(counts_.at(bin)) /
+                        static_cast<double>(total_)
+                  : 0.0;
+  }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace oociso::util

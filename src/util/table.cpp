@@ -1,0 +1,151 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace oociso::util {
+
+Table::Table(std::vector<std::string> headers, Align default_align)
+    : headers_(std::move(headers)),
+      aligns_(headers_.size(), default_align) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("Table requires at least one column");
+  }
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table row has " + std::to_string(cells.size()) +
+                                " cells, expected " +
+                                std::to_string(headers_.size()));
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_separator() { rows_.emplace_back(); }
+
+void Table::set_align(std::size_t column, Align align) {
+  aligns_.at(column) = align;
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  if (!caption_.empty()) out << caption_ << '\n';
+
+  auto emit_cell = [&](const std::string& text, std::size_t c) {
+    const auto pad = widths[c] - text.size();
+    if (aligns_[c] == Align::kRight) out << std::string(pad, ' ') << text;
+    else out << text << std::string(pad, ' ');
+  };
+  auto emit_rule = [&] {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      out << std::string(widths[c] + 2, '-');
+      out << (c + 1 < widths.size() ? "+" : "");
+    }
+    out << '\n';
+  };
+
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << ' ';
+    emit_cell(headers_[c], c);
+    out << (c + 1 < headers_.size() ? " |" : " ");
+  }
+  out << '\n';
+  emit_rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      emit_rule();
+      continue;
+    }
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << ' ';
+      emit_cell(row[c], c);
+      out << (c + 1 < row.size() ? " |" : " ");
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string Table::render_csv() const {
+  auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string quoted = "\"";
+    for (char ch : cell) {
+      if (ch == '"') quoted += '"';
+      quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  std::ostringstream out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << escape(headers_[c]) << (c + 1 < headers_.size() ? "," : "");
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    if (row.empty()) continue;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << escape(row[c]) << (c + 1 < row.size() ? "," : "");
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string fixed(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  return buffer;
+}
+
+std::string human_bytes(std::uint64_t bytes) {
+  static constexpr const char* kUnits[] = {"B",   "KiB", "MiB",
+                                           "GiB", "TiB", "PiB"};
+  double value = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (value >= 1024.0 && unit + 1 < std::size(kUnits)) {
+    value /= 1024.0;
+    ++unit;
+  }
+  if (unit == 0) return std::to_string(bytes) + " B";
+  return fixed(value, value < 10 ? 2 : 1) + " " + kUnits[unit];
+}
+
+std::string with_commas(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string result;
+  result.reserve(digits.size() + digits.size() / 3);
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) result += ',';
+    result += *it;
+    ++count;
+  }
+  std::reverse(result.begin(), result.end());
+  return result;
+}
+
+std::string human_seconds(double seconds) {
+  if (seconds < 0.0) return "-" + human_seconds(-seconds);
+  if (seconds < 1e-3) return fixed(seconds * 1e6, 1) + " us";
+  if (seconds < 1.0) return fixed(seconds * 1e3, 1) + " ms";
+  if (seconds < 120.0) return fixed(seconds, 2) + " s";
+  return fixed(seconds / 60.0, 1) + " min";
+}
+
+}  // namespace oociso::util

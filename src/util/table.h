@@ -1,0 +1,66 @@
+#pragma once
+// Plain-text table formatter used by the benchmark harnesses to print the
+// paper's tables in the same row/column layout the paper reports.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oociso::util {
+
+/// Column alignment within a table cell.
+enum class Align { kLeft, kRight };
+
+/// Builds and renders a fixed-column text table.
+///
+/// Usage:
+///   Table t({"isovalue", "AMC", "triangles", "MTri/s"});
+///   t.add_row({"70", "123456", "12.3M", "3.9"});
+///   std::cout << t.render();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers,
+                 Align default_align = Align::kRight);
+
+  /// Sets a caption rendered above the table (e.g. "Table 2: ...").
+  void set_caption(std::string caption) { caption_ = std::move(caption); }
+
+  /// Adds a data row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Adds a horizontal separator row.
+  void add_separator();
+
+  /// Overrides alignment for one column.
+  void set_align(std::size_t column, Align align);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const { return headers_.size(); }
+
+  /// Renders the table with a header rule and column padding.
+  [[nodiscard]] std::string render() const;
+
+  /// Renders as comma-separated values (headers first), for plotting.
+  [[nodiscard]] std::string render_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+  std::vector<Align> aligns_;
+  std::string caption_;
+};
+
+/// Formats with fixed decimals, e.g. fixed(3.14159, 2) == "3.14".
+[[nodiscard]] std::string fixed(double value, int decimals);
+
+/// Formats a byte count with binary units, e.g. "3.83 GiB", "6.2 KiB".
+[[nodiscard]] std::string human_bytes(std::uint64_t bytes);
+
+/// Formats a count with thousands separators, e.g. "5,592,802".
+[[nodiscard]] std::string with_commas(std::uint64_t value);
+
+/// Formats seconds adaptively ("412 ms", "3.21 s", "31.5 min").
+[[nodiscard]] std::string human_seconds(double seconds);
+
+}  // namespace oociso::util

@@ -1,0 +1,42 @@
+#include "util/temp_dir.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <system_error>
+
+namespace oociso::util {
+namespace {
+
+std::uint64_t next_unique_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+TempDir::TempDir(const std::string& prefix) {
+  const auto base = std::filesystem::temp_directory_path();
+  // PID + process-wide counter keeps concurrent tests from colliding.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    auto candidate = base / (prefix + "-" + std::to_string(::getpid()) + "-" +
+                             std::to_string(next_unique_id()));
+    std::error_code ec;
+    if (std::filesystem::create_directory(candidate, ec) && !ec) {
+      path_ = std::move(candidate);
+      return;
+    }
+  }
+  throw std::filesystem::filesystem_error(
+      "TempDir: could not create a unique directory", base,
+      std::make_error_code(std::errc::file_exists));
+}
+
+TempDir::~TempDir() {
+  if (path_.empty()) return;
+  std::error_code ec;  // best-effort cleanup; never throw from a destructor
+  std::filesystem::remove_all(path_, ec);
+}
+
+}  // namespace oociso::util

@@ -1,0 +1,36 @@
+#pragma once
+// RAII temporary directory, used by tests and benches for "local disk"
+// backing files. Removed recursively on destruction.
+
+#include <filesystem>
+#include <string>
+
+namespace oociso::util {
+
+class TempDir {
+ public:
+  /// Creates a fresh directory under the system temp path with the given
+  /// prefix; throws std::filesystem::filesystem_error on failure.
+  explicit TempDir(const std::string& prefix = "oociso");
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+  TempDir(TempDir&& other) noexcept : path_(std::move(other.path_)) {
+    other.path_.clear();
+  }
+  TempDir& operator=(TempDir&&) = delete;
+
+  ~TempDir();
+
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+  /// Convenience: path to a file inside the directory.
+  [[nodiscard]] std::filesystem::path file(const std::string& name) const {
+    return path_ / name;
+  }
+
+ private:
+  std::filesystem::path path_;
+};
+
+}  // namespace oociso::util

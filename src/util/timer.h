@@ -1,0 +1,97 @@
+#pragma once
+// Wall-clock timing utilities used by the benchmark harnesses and the
+// per-node time ledgers. All durations are reported in seconds as double.
+
+#include <ctime>
+
+#include <chrono>
+#include <cstdint>
+
+namespace oociso::util {
+
+/// Monotonic wall-clock stopwatch.
+///
+/// Started on construction; `restart()` resets the origin, `seconds()`
+/// reports the elapsed time without stopping.
+class WallTimer {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  WallTimer() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] std::uint64_t nanoseconds() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  clock::time_point start_;
+};
+
+/// Per-thread CPU stopwatch (CLOCK_THREAD_CPUTIME_ID).
+///
+/// The per-node work phases of the simulated cluster are measured with this
+/// clock rather than wall time: node programs run as concurrent threads that
+/// may share physical cores, and wall time would charge each node for time
+/// spent descheduled. Thread CPU time measures exactly the work the node
+/// itself performed, which is what the per-node ledgers (and the paper's
+/// per-node tables) need.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() : start_(now()) {}
+
+  void restart() { start_ = now(); }
+
+  [[nodiscard]] double seconds() const { return now() - start_; }
+
+ private:
+  static double now() {
+    timespec ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+
+  double start_;
+};
+
+/// Accumulates elapsed time across multiple start/stop windows.
+/// Useful for separating phase costs (I/O vs triangulation vs rendering)
+/// inside a single query.
+class PhaseTimer {
+ public:
+  void start() { timer_.restart(); }
+  void stop() { total_ += timer_.seconds(); }
+
+  /// Adds externally-computed (e.g. modeled) time to this phase.
+  void add(double seconds) { total_ += seconds; }
+
+  void reset() { total_ = 0.0; }
+  [[nodiscard]] double seconds() const { return total_; }
+
+ private:
+  WallTimer timer_;
+  double total_ = 0.0;
+};
+
+/// RAII guard that adds the scope's duration into a PhaseTimer.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(PhaseTimer& phase) : phase_(phase) { phase_.start(); }
+  ~ScopedPhase() { phase_.stop(); }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseTimer& phase_;
+};
+
+}  // namespace oociso::util

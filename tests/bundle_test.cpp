@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "data/rm_generator.h"
+#include "metacell/source.h"
+#include "pipeline/bundle.h"
+#include "pipeline/query_engine.h"
+#include "util/temp_dir.h"
+
+namespace oociso::pipeline {
+namespace {
+
+data::RmConfig small_rm() {
+  data::RmConfig config;
+  config.dims = {40, 40, 36};
+  return config;
+}
+
+TEST(Bundle, PreprocessSaveReopenLoadQuery) {
+  util::TempDir storage("oociso-bundle");
+  const auto volume = data::generate_rm_timestep(small_rm(), 210);
+
+  // Session 1: preprocess, query, save.
+  std::uint64_t reference_triangles = 0;
+  std::uint64_t reference_amc = 0;
+  {
+    parallel::ClusterConfig config;
+    config.node_count = 3;
+    config.storage_dir = storage.path();
+    parallel::Cluster cluster(config);
+    const auto source = metacell::make_source(volume, 9);
+    const PreprocessResult prep = preprocess(*source, cluster);
+    QueryEngine engine(cluster, prep);
+    QueryOptions options;
+    options.render = false;
+    const QueryReport report = engine.run(128.0f, options);
+    reference_triangles = report.total_triangles();
+    reference_amc = report.total_active_metacells();
+    ASSERT_GT(reference_triangles, 0u);
+    save_bundle(prep, storage.path());
+  }
+
+  // Session 2: reattach to the same storage, load, query identically.
+  {
+    parallel::ClusterConfig config;
+    config.node_count = 3;
+    config.storage_dir = storage.path();
+    config.open_existing = true;
+    parallel::Cluster cluster(config);
+    for (std::size_t i = 0; i < 3; ++i) {
+      ASSERT_GT(cluster.disk(i).size(), 0u) << "brick file lost";
+    }
+    const PreprocessResult prep = load_bundle(storage.path());
+    ASSERT_EQ(prep.trees.size(), 3u);
+    QueryEngine engine(cluster, prep);
+    QueryOptions options;
+    options.render = false;
+    const QueryReport report = engine.run(128.0f, options);
+    EXPECT_EQ(report.total_triangles(), reference_triangles);
+    EXPECT_EQ(report.total_active_metacells(), reference_amc);
+  }
+}
+
+TEST(Bundle, PreservesMetadata) {
+  util::TempDir storage("oociso-bundle-meta");
+  const auto volume = data::generate_rm_timestep(small_rm(), 100);
+  parallel::ClusterConfig config;
+  config.node_count = 2;
+  config.storage_dir = storage.path();
+  parallel::Cluster cluster(config);
+  const auto source = metacell::make_source(volume, 9);
+  const PreprocessResult prep = preprocess(*source, cluster);
+  save_bundle(prep, storage.path());
+
+  const PreprocessResult loaded = load_bundle(storage.path());
+  EXPECT_EQ(loaded.kind, prep.kind);
+  EXPECT_EQ(loaded.geometry.volume_dims(), prep.geometry.volume_dims());
+  EXPECT_EQ(loaded.geometry.samples_per_side(), 9);
+  EXPECT_EQ(loaded.total_metacells, prep.total_metacells);
+  EXPECT_EQ(loaded.kept_metacells, prep.kept_metacells);
+  EXPECT_EQ(loaded.bricks, prep.bricks);
+  EXPECT_EQ(loaded.bytes_written, prep.bytes_written);
+  EXPECT_EQ(loaded.raw_bytes, prep.raw_bytes);
+  EXPECT_EQ(loaded.index_bytes(), prep.index_bytes());
+}
+
+TEST(Bundle, RejectsMissingAndCorrupt) {
+  util::TempDir dir("oociso-bundle-bad");
+  EXPECT_THROW(load_bundle(dir.path()), std::runtime_error);
+  std::ofstream(dir.file("index.oocb"), std::ios::binary) << "garbage";
+  EXPECT_THROW(load_bundle(dir.path()), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace oociso::pipeline

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compositing/sort_last.h"
+#include "util/rng.h"
+
+namespace oociso::compositing {
+namespace {
+
+using render::Framebuffer;
+using render::Rgb;
+
+/// Random framebuffer with a given coverage fraction.
+Framebuffer random_frame(std::int32_t w, std::int32_t h, std::uint64_t seed,
+                         double coverage = 0.5) {
+  util::Xoshiro256 rng(seed);
+  Framebuffer fb(w, h);
+  for (std::int32_t y = 0; y < h; ++y) {
+    for (std::int32_t x = 0; x < w; ++x) {
+      if (rng.uniform() < coverage) {
+        fb.plot(x, y, static_cast<float>(rng.uniform(1.0, 100.0)),
+                {static_cast<std::uint8_t>(rng.bounded(256)),
+                 static_cast<std::uint8_t>(rng.bounded(256)),
+                 static_cast<std::uint8_t>(rng.bounded(256))});
+      }
+    }
+  }
+  return fb;
+}
+
+std::vector<Framebuffer> random_frames(std::size_t p, std::uint64_t seed) {
+  std::vector<Framebuffer> frames;
+  for (std::size_t i = 0; i < p; ++i) {
+    frames.push_back(random_frame(32, 24, seed + i));
+  }
+  return frames;
+}
+
+bool images_equal(const Framebuffer& a, const Framebuffer& b) {
+  if (a.width() != b.width() || a.height() != b.height()) return false;
+  for (std::int32_t y = 0; y < a.height(); ++y) {
+    for (std::int32_t x = 0; x < a.width(); ++x) {
+      if (a.color_at(x, y) != b.color_at(x, y)) return false;
+      const float da = a.depth_at(x, y);
+      const float db = b.depth_at(x, y);
+      if (da != db && !(std::isinf(da) && std::isinf(db))) return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(DirectSend, SingleNodeIsIdentity) {
+  auto frames = random_frames(1, 10);
+  const CompositeResult result = direct_send(frames);
+  EXPECT_TRUE(images_equal(result.image, frames[0]));
+  EXPECT_EQ(result.traffic.bytes_total, 0u);
+  EXPECT_EQ(result.traffic.rounds, 0u);
+}
+
+TEST(DirectSend, MergesByDepth) {
+  std::vector<Framebuffer> frames;
+  frames.emplace_back(2, 1);
+  frames.emplace_back(2, 1);
+  frames[0].plot(0, 0, 5.0f, {255, 0, 0});
+  frames[1].plot(0, 0, 3.0f, {0, 255, 0});  // nearer
+  frames[1].plot(1, 0, 9.0f, {0, 0, 255});
+  const CompositeResult result = direct_send(frames);
+  EXPECT_EQ(result.image.color_at(0, 0), (Rgb{0, 255, 0}));
+  EXPECT_EQ(result.image.color_at(1, 0), (Rgb{0, 0, 255}));
+}
+
+TEST(DirectSend, TrafficScalesWithNodes) {
+  const auto frames = random_frames(4, 20);
+  const CompositeResult result = direct_send(frames);
+  const std::uint64_t per_buffer =
+      frames[0].pixel_count() * Framebuffer::bytes_per_pixel();
+  EXPECT_EQ(result.traffic.bytes_total, 3 * per_buffer);
+  EXPECT_EQ(result.traffic.messages, 3u);
+}
+
+class BinarySwapEquivalence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BinarySwapEquivalence, MatchesDirectSend) {
+  const std::size_t p = GetParam();
+  const auto frames = random_frames(p, 100 + p);
+  const CompositeResult reference = direct_send(frames);
+  const CompositeResult swapped = binary_swap(frames);
+  EXPECT_TRUE(images_equal(reference.image, swapped.image)) << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(PSweep, BinarySwapEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 16),
+                         [](const auto& param_info) {
+                           return "p" + std::to_string(param_info.param);
+                         });
+
+TEST(BinarySwap, PerNodeTrafficIsBounded) {
+  // The point of binary swap: the heaviest node moves ~2 buffers' worth of
+  // bytes regardless of p, versus (p-1) buffers for direct send's display
+  // node.
+  const auto frames = random_frames(8, 42);
+  const std::uint64_t per_buffer =
+      frames[0].pixel_count() * Framebuffer::bytes_per_pixel();
+
+  const CompositeResult swapped = binary_swap(frames);
+  EXPECT_LE(swapped.traffic.max_node_bytes, 3 * per_buffer);
+
+  const CompositeResult direct = direct_send(frames);
+  EXPECT_EQ(direct.traffic.max_node_bytes, 7 * per_buffer);
+  EXPECT_LT(swapped.traffic.max_node_bytes, direct.traffic.max_node_bytes);
+}
+
+TEST(BinarySwap, RoundsAreLogarithmic) {
+  const auto frames = random_frames(8, 77);
+  const CompositeResult result = binary_swap(frames);
+  EXPECT_EQ(result.traffic.rounds, 4u);  // 3 swap stages + gather
+}
+
+TEST(BinarySwap, EmptyCoverageStaysEmpty) {
+  std::vector<Framebuffer> frames;
+  for (int i = 0; i < 4; ++i) frames.emplace_back(16, 16);
+  const CompositeResult result = binary_swap(frames);
+  EXPECT_EQ(result.image.covered_pixels(), 0u);
+}
+
+TEST(Compositing, RejectsEmptyAndMismatched) {
+  EXPECT_THROW(direct_send({}), std::invalid_argument);
+  EXPECT_THROW(binary_swap({}), std::invalid_argument);
+  std::vector<Framebuffer> mismatched;
+  mismatched.emplace_back(4, 4);
+  mismatched.emplace_back(5, 4);
+  EXPECT_THROW(direct_send(mismatched), std::invalid_argument);
+  EXPECT_THROW(binary_swap(mismatched), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oociso::compositing

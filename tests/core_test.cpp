@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "core/grid.h"
+#include "core/interval.h"
+#include "core/vec3.h"
+#include "core/volume.h"
+
+namespace oociso::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// GridDims / Coord3
+// ---------------------------------------------------------------------------
+
+TEST(Grid, LinearIsXFastest) {
+  const GridDims dims{4, 3, 2};
+  EXPECT_EQ(dims.linear({0, 0, 0}), 0u);
+  EXPECT_EQ(dims.linear({1, 0, 0}), 1u);
+  EXPECT_EQ(dims.linear({0, 1, 0}), 4u);
+  EXPECT_EQ(dims.linear({0, 0, 1}), 12u);
+  EXPECT_EQ(dims.linear({3, 2, 1}), dims.count() - 1);
+}
+
+TEST(Grid, CoordRoundTrip) {
+  const GridDims dims{5, 7, 3};
+  for (std::uint64_t i = 0; i < dims.count(); ++i) {
+    EXPECT_EQ(dims.linear(dims.coord(i)), i);
+  }
+}
+
+TEST(Grid, Contains) {
+  const GridDims dims{2, 2, 2};
+  EXPECT_TRUE(dims.contains({0, 0, 0}));
+  EXPECT_TRUE(dims.contains({1, 1, 1}));
+  EXPECT_FALSE(dims.contains({2, 0, 0}));
+  EXPECT_FALSE(dims.contains({0, -1, 0}));
+}
+
+TEST(Grid, CellDims) {
+  EXPECT_EQ((GridDims{9, 9, 9}.cell_dims()), (GridDims{8, 8, 8}));
+  EXPECT_EQ((GridDims{1, 5, 5}.cell_dims()).nx, 0);
+}
+
+TEST(Grid, MetacellDimsMatchPaper) {
+  // 2048x2048x1920 samples with 8-cell metacells -> 256x256x240 metacells.
+  const GridDims rm{2048, 2048, 1920};
+  EXPECT_EQ(rm.metacell_dims(8), (GridDims{256, 256, 240}));
+}
+
+TEST(Grid, MetacellDimsCeil) {
+  // 10 samples = 9 cells; 9/4 rounds up to 3 metacells.
+  const GridDims dims{10, 10, 10};
+  EXPECT_EQ(dims.metacell_dims(4), (GridDims{3, 3, 3}));
+}
+
+// ---------------------------------------------------------------------------
+// ValueInterval
+// ---------------------------------------------------------------------------
+
+TEST(Interval, StabsIsClosed) {
+  const ValueInterval iv{10, 20};
+  EXPECT_TRUE(iv.stabs(10));
+  EXPECT_TRUE(iv.stabs(15));
+  EXPECT_TRUE(iv.stabs(20));
+  EXPECT_FALSE(iv.stabs(9.99f));
+  EXPECT_FALSE(iv.stabs(20.01f));
+}
+
+TEST(Interval, DegenerateAndHull) {
+  EXPECT_TRUE((ValueInterval{5, 5}).degenerate());
+  EXPECT_FALSE((ValueInterval{5, 6}).degenerate());
+  const ValueInterval hull = ValueInterval{1, 4}.hull({3, 9});
+  EXPECT_EQ(hull, (ValueInterval{1, 9}));
+}
+
+// ---------------------------------------------------------------------------
+// Vec3
+// ---------------------------------------------------------------------------
+
+TEST(Vec3Math, DotCrossLength) {
+  const Vec3 x{1, 0, 0};
+  const Vec3 y{0, 1, 0};
+  EXPECT_FLOAT_EQ(x.dot(y), 0.0f);
+  EXPECT_EQ(x.cross(y), (Vec3{0, 0, 1}));
+  EXPECT_FLOAT_EQ((Vec3{3, 4, 0}).length(), 5.0f);
+}
+
+TEST(Vec3Math, NormalizedHandlesZero) {
+  EXPECT_EQ((Vec3{}).normalized(), (Vec3{}));
+  const Vec3 n = Vec3{0, 0, 2}.normalized();
+  EXPECT_FLOAT_EQ(n.length(), 1.0f);
+}
+
+TEST(Vec3Math, Lerp) {
+  const Vec3 mid = lerp({0, 0, 0}, {2, 4, 6}, 0.5f);
+  EXPECT_EQ(mid, (Vec3{1, 2, 3}));
+}
+
+// ---------------------------------------------------------------------------
+// Volume
+// ---------------------------------------------------------------------------
+
+TEST(VolumeTest, FillAndAccess) {
+  VolumeU8 v({3, 3, 3}, std::uint8_t{7});
+  EXPECT_EQ(v.at(1, 1, 1), 7);
+  v.at(2, 0, 1) = 42;
+  EXPECT_EQ(v.at({2, 0, 1}), 42);
+}
+
+TEST(VolumeTest, RejectsBadDims) {
+  EXPECT_THROW(VolumeU8({0, 3, 3}), std::invalid_argument);
+  EXPECT_THROW(VolumeU8({3, 3, 3}, std::vector<std::uint8_t>(5)),
+               std::invalid_argument);
+}
+
+TEST(VolumeTest, ValueRange) {
+  VolumeU8 v({2, 2, 2}, std::uint8_t{9});
+  v.at(0, 0, 0) = 1;
+  v.at(1, 1, 1) = 200;
+  EXPECT_EQ(v.value_range(), (ValueInterval{1, 200}));
+}
+
+TEST(VolumeTest, ClampedSampling) {
+  VolumeU8 v({2, 2, 2}, std::uint8_t{0});
+  v.at(1, 1, 1) = 50;
+  EXPECT_EQ(v.at_clamped({5, 5, 5}), 50);
+  EXPECT_EQ(v.at_clamped({-1, -1, -1}), 0);
+}
+
+TEST(VolumeTest, Subvolume) {
+  VolumeU8 v({4, 4, 4});
+  for (std::uint64_t i = 0; i < v.sample_count(); ++i) {
+    v.samples()[i] = static_cast<std::uint8_t>(i);
+  }
+  const VolumeU8 sub = v.subvolume({1, 1, 1}, {2, 2, 2});
+  EXPECT_EQ(sub.dims(), (GridDims{2, 2, 2}));
+  for (std::int32_t z = 0; z < 2; ++z) {
+    for (std::int32_t y = 0; y < 2; ++y) {
+      for (std::int32_t x = 0; x < 2; ++x) {
+        EXPECT_EQ(sub.at(x, y, z), v.at(x + 1, y + 1, z + 1));
+      }
+    }
+  }
+}
+
+TEST(ScalarKindTest, SizesAndNames) {
+  EXPECT_EQ(scalar_size(ScalarKind::kU8), 1u);
+  EXPECT_EQ(scalar_size(ScalarKind::kU16), 2u);
+  EXPECT_EQ(scalar_size(ScalarKind::kF32), 4u);
+  EXPECT_STREQ(scalar_name(ScalarKind::kU16), "u16");
+  EXPECT_EQ(scalar_kind_of<std::uint8_t>(), ScalarKind::kU8);
+  EXPECT_EQ(scalar_kind_of<float>(), ScalarKind::kF32);
+}
+
+}  // namespace
+}  // namespace oociso::core

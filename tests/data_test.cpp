@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+
+#include "data/analytic_fields.h"
+#include "data/datasets.h"
+#include "data/noise.h"
+#include "data/raw_io.h"
+#include "data/rm_generator.h"
+#include "metacell/metacell.h"
+#include "util/temp_dir.h"
+
+namespace oociso::data {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ValueNoise
+// ---------------------------------------------------------------------------
+
+TEST(Noise, DeterministicPerSeed) {
+  const ValueNoise a(11);
+  const ValueNoise b(11);
+  const ValueNoise c(12);
+  EXPECT_EQ(a.sample(1.5f, 2.5f, 3.5f), b.sample(1.5f, 2.5f, 3.5f));
+  EXPECT_NE(a.sample(1.5f, 2.5f, 3.5f), c.sample(1.5f, 2.5f, 3.5f));
+}
+
+TEST(Noise, BoundedOutput) {
+  const ValueNoise noise(7);
+  for (int i = 0; i < 500; ++i) {
+    const float x = static_cast<float>(i) * 0.173f;
+    const float v = noise.fbm(x, x * 0.7f, x * 1.3f, 4);
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(Noise, SmoothBetweenLatticePoints) {
+  const ValueNoise noise(7);
+  // Value noise is continuous: nearby samples must be close.
+  const float a = noise.sample(3.50f, 4.50f, 5.50f);
+  const float b = noise.sample(3.51f, 4.50f, 5.50f);
+  EXPECT_LT(std::abs(a - b), 0.2f);
+}
+
+TEST(Noise, NotConstant) {
+  const ValueNoise noise(7);
+  float lo = 1e9f;
+  float hi = -1e9f;
+  for (int i = 0; i < 200; ++i) {
+    const float v = noise.sample(static_cast<float>(i) * 0.37f, 0.2f, 0.9f);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_GT(hi - lo, 0.3f);
+}
+
+// ---------------------------------------------------------------------------
+// RM generator
+// ---------------------------------------------------------------------------
+
+RmConfig small_rm() {
+  RmConfig config;
+  config.dims = {64, 64, 60};
+  config.time_steps = 270;
+  return config;
+}
+
+TEST(RmGenerator, Deterministic) {
+  const auto a = generate_rm_timestep(small_rm(), 100);
+  const auto b = generate_rm_timestep(small_rm(), 100);
+  EXPECT_TRUE(std::equal(a.samples().begin(), a.samples().end(),
+                         b.samples().begin()));
+}
+
+TEST(RmGenerator, StepsDiffer) {
+  const auto a = generate_rm_timestep(small_rm(), 50);
+  const auto b = generate_rm_timestep(small_rm(), 200);
+  EXPECT_FALSE(std::equal(a.samples().begin(), a.samples().end(),
+                          b.samples().begin()));
+}
+
+TEST(RmGenerator, RejectsOutOfRangeStep) {
+  EXPECT_THROW(generate_rm_timestep(small_rm(), -1), std::invalid_argument);
+  EXPECT_THROW(generate_rm_timestep(small_rm(), 270), std::invalid_argument);
+}
+
+TEST(RmGenerator, TwoGasRegionsPresent) {
+  const RmConfig config = small_rm();
+  const auto volume = generate_rm_timestep(config, 100);
+  // Bottom slab is pure light gas, top slab pure heavy gas.
+  EXPECT_EQ(volume.at(5, 5, 0),
+            static_cast<std::uint8_t>(config.light_gas_value));
+  EXPECT_EQ(volume.at(5, 5, config.dims.nz - 1),
+            static_cast<std::uint8_t>(config.heavy_gas_value));
+}
+
+TEST(RmGenerator, SubstantialFractionOfMetacellsIsConstant) {
+  // The paper reports ~50% of RM metacells are constant-valued; the
+  // synthetic analog must be in the same regime (large homogeneous slabs).
+  const auto volume = generate_rm_timestep(small_rm(), 100);
+  const metacell::MetacellGeometry geometry(volume.dims(), 9);
+  const auto kept = metacell::scan_metacells(volume, geometry);
+  const double culled = 1.0 - static_cast<double>(kept.size()) /
+                                  static_cast<double>(geometry.metacell_count());
+  EXPECT_GT(culled, 0.25);
+  EXPECT_LT(culled, 0.85);
+}
+
+TEST(RmGenerator, MixingLayerGrowsOverTime) {
+  // The active (non-constant) metacell count should grow as the instability
+  // develops.
+  const RmConfig config = small_rm();
+  const auto early = generate_rm_timestep(config, 20);
+  const auto late = generate_rm_timestep(config, 260);
+  const metacell::MetacellGeometry geometry(config.dims, 9);
+  const auto early_kept = metacell::scan_metacells(early, geometry);
+  const auto late_kept = metacell::scan_metacells(late, geometry);
+  EXPECT_GT(late_kept.size(), early_kept.size());
+}
+
+// ---------------------------------------------------------------------------
+// Analytic fields
+// ---------------------------------------------------------------------------
+
+TEST(AnalyticFields, SphereFieldIsRadiallyMonotone) {
+  const auto volume = make_sphere_field({33, 33, 33});
+  const auto center = volume.at(16, 16, 16);
+  const auto edge = volume.at(0, 16, 16);
+  const auto corner = volume.at(0, 0, 0);
+  EXPECT_GT(center, edge);
+  EXPECT_GT(edge, corner);
+}
+
+TEST(AnalyticFields, GyroidUsesFullRangeSymmetrically) {
+  const auto volume = make_gyroid_field({48, 48, 48});
+  const auto range = volume.value_range();
+  EXPECT_LE(range.vmin, 64);
+  EXPECT_GE(range.vmax, 191);
+}
+
+TEST(AnalyticFields, CtHeadHas12BitRange) {
+  const auto volume = make_ct_head_field({32, 32, 32});
+  const auto range = volume.value_range();
+  EXPECT_LE(range.vmax, 4095);
+  EXPECT_GT(range.vmax, 2000);  // bone shell present
+}
+
+TEST(AnalyticFields, PressureAndVelocityAreNonTrivial) {
+  const auto pressure = make_pressure_field({24, 24, 24});
+  const auto velocity = make_velocity_field({24, 24, 24});
+  EXPECT_FALSE(pressure.value_range().degenerate());
+  EXPECT_FALSE(velocity.value_range().degenerate());
+}
+
+TEST(AnalyticFields, BunnyHasInsideAndOutside) {
+  const auto volume = make_bunny_field({48, 48, 48});
+  const auto range = volume.value_range();
+  EXPECT_EQ(range.vmax, 255);  // deep inside the body
+  EXPECT_LT(range.vmin, 64);   // far outside
+}
+
+// ---------------------------------------------------------------------------
+// Dataset registry
+// ---------------------------------------------------------------------------
+
+TEST(Datasets, RegistryListsTable1Sets) {
+  const auto infos = table1_datasets();
+  ASSERT_EQ(infos.size(), 6u);
+  EXPECT_EQ(infos.back().name, "rm");
+  EXPECT_EQ(infos.back().full_dims, (core::GridDims{2048, 2048, 1920}));
+}
+
+TEST(Datasets, MakeDatasetHonorsDownscaleAndKind) {
+  const AnyVolume bunny = make_dataset("bunny", 8);
+  EXPECT_EQ(kind_of(bunny), core::ScalarKind::kU8);
+  EXPECT_EQ(dims_of(bunny), (core::GridDims{64, 64, 45}));
+
+  const AnyVolume brain = make_dataset("mrbrain", 8);
+  EXPECT_EQ(kind_of(brain), core::ScalarKind::kU16);
+}
+
+TEST(Datasets, UnknownNameThrows) {
+  EXPECT_THROW(make_dataset("nope"), std::invalid_argument);
+  EXPECT_THROW(make_dataset("bunny", 0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Raw volume I/O
+// ---------------------------------------------------------------------------
+
+TEST(RawIo, RoundTripU8) {
+  util::TempDir dir;
+  const auto path = dir.file("vol.oocv");
+  const AnyVolume original = make_dataset("bunny", 16);
+  write_volume(original, path);
+  const AnyVolume loaded = read_volume(path);
+  ASSERT_EQ(kind_of(loaded), core::ScalarKind::kU8);
+  const auto& a = std::get<core::VolumeU8>(original);
+  const auto& b = std::get<core::VolumeU8>(loaded);
+  EXPECT_EQ(a.dims(), b.dims());
+  EXPECT_TRUE(std::equal(a.samples().begin(), a.samples().end(),
+                         b.samples().begin()));
+}
+
+TEST(RawIo, RoundTripU16) {
+  util::TempDir dir;
+  const auto path = dir.file("vol16.oocv");
+  const AnyVolume original = make_dataset("pressure", 16);
+  write_volume(original, path);
+  const AnyVolume loaded = read_volume(path);
+  ASSERT_EQ(kind_of(loaded), core::ScalarKind::kU16);
+  const auto& a = std::get<core::VolumeU16>(original);
+  const auto& b = std::get<core::VolumeU16>(loaded);
+  EXPECT_TRUE(std::equal(a.samples().begin(), a.samples().end(),
+                         b.samples().begin()));
+}
+
+TEST(RawIo, RejectsGarbage) {
+  util::TempDir dir;
+  const auto path = dir.file("garbage.oocv");
+  std::ofstream(path) << "this is not a volume";
+  EXPECT_THROW(read_volume(path), std::runtime_error);
+  EXPECT_THROW(read_volume(dir.file("missing.oocv")), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace oociso::data

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "index/compact_interval_tree.h"
+#include "index/external_tree.h"
+#include "io/buffer_pool.h"
+#include "io/memory_block_device.h"
+#include "io/serial.h"
+#include "util/rng.h"
+
+namespace oociso::index {
+namespace {
+
+using metacell::MetacellInfo;
+
+/// Minimal controlled source (mirrors index_test's FakeSource).
+class FakeSource final : public metacell::MetacellSource {
+ public:
+  explicit FakeSource(const std::vector<MetacellInfo>& infos)
+      : geometry_({1026, 3, 3}, 2) {
+    for (const auto& info : infos) by_id_[info.id] = info.interval;
+  }
+  [[nodiscard]] const metacell::MetacellGeometry& geometry() const override {
+    return geometry_;
+  }
+  [[nodiscard]] core::ScalarKind kind() const override {
+    return core::ScalarKind::kU8;
+  }
+  [[nodiscard]] std::vector<MetacellInfo> scan() const override { return {}; }
+  void encode(std::uint32_t id, std::vector<std::byte>& out) const override {
+    const core::ValueInterval interval = by_id_.at(id);
+    io::ByteWriter writer(out);
+    writer.put(id);
+    writer.put(static_cast<std::uint8_t>(interval.vmin));
+    writer.put(static_cast<std::uint8_t>(interval.vmin));
+    for (int i = 0; i < 7; ++i) {
+      writer.put(static_cast<std::uint8_t>(interval.vmax));
+    }
+  }
+
+ private:
+  std::map<std::uint32_t, core::ValueInterval> by_id_;
+  metacell::MetacellGeometry geometry_;
+};
+
+std::vector<MetacellInfo> random_intervals(std::size_t count,
+                                           std::uint32_t alphabet,
+                                           std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<MetacellInfo> infos;
+  for (std::size_t i = 0; i < count; ++i) {
+    auto a = static_cast<core::ValueKey>(rng.bounded(alphabet));
+    auto b = static_cast<core::ValueKey>(rng.bounded(alphabet));
+    if (a > b) std::swap(a, b);
+    if (a == b) b += 1;
+    infos.push_back({static_cast<std::uint32_t>(i), {a, b}});
+  }
+  return infos;
+}
+
+struct Fixture {
+  std::unique_ptr<io::MemoryBlockDevice> brick_device;
+  std::unique_ptr<io::MemoryBlockDevice> index_device;
+  CompactIntervalTree in_core;
+  ExternalCompactTree external;
+};
+
+Fixture make_fixture(const std::vector<MetacellInfo>& infos,
+                     std::uint32_t index_block_bytes = 512) {
+  Fixture fixture;
+  fixture.brick_device = std::make_unique<io::MemoryBlockDevice>(512);
+  fixture.index_device = std::make_unique<io::MemoryBlockDevice>(512);
+  const FakeSource source(infos);
+  io::BlockDevice* brick_ptr = fixture.brick_device.get();
+  auto built = CompactTreeBuilder::build(infos, source, {&brick_ptr, 1});
+  fixture.in_core = std::move(built.trees[0]);
+  fixture.external = ExternalCompactTree::build(
+      fixture.in_core, *fixture.index_device, index_block_bytes);
+  return fixture;
+}
+
+bool plans_equal(const QueryPlan& a, const QueryPlan& b) {
+  if (a.scans.size() != b.scans.size()) return false;
+  if (a.nodes_visited != b.nodes_visited) return false;
+  for (std::size_t i = 0; i < a.scans.size(); ++i) {
+    if (a.scans[i].offset != b.scans[i].offset ||
+        a.scans[i].metacell_count != b.scans[i].metacell_count ||
+        a.scans[i].full != b.scans[i].full) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+
+class ExternalTreeEquivalence
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::uint32_t>> {};
+
+TEST_P(ExternalTreeEquivalence, PlansMatchInCoreTreeEverywhere) {
+  const auto [count, block_bytes] = GetParam();
+  const auto infos = random_intervals(count, 120, 7 + count);
+  Fixture fixture = make_fixture(infos, block_bytes);
+
+  for (std::uint32_t v = 0; v <= 121; ++v) {
+    const auto isovalue = static_cast<core::ValueKey>(v);
+    const QueryPlan reference = fixture.in_core.plan(isovalue);
+    const QueryPlan external =
+        fixture.external.plan(isovalue, *fixture.index_device);
+    EXPECT_TRUE(plans_equal(reference, external)) << "isovalue " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExternalTreeEquivalence,
+    ::testing::Values(std::pair{std::size_t{1}, 512u},
+                      std::pair{std::size_t{50}, 512u},
+                      std::pair{std::size_t{500}, 256u},
+                      std::pair{std::size_t{2000}, 128u},  // tiny blocks
+                      std::pair{std::size_t{2000}, 4096u}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.first) + "_b" +
+             std::to_string(info.param.second);
+    });
+
+TEST(ExternalTree, ExecutesThroughSharedPlanExecutor) {
+  const auto infos = random_intervals(800, 60, 11);
+  Fixture fixture = make_fixture(infos);
+
+  for (const float isovalue : {12.0f, 30.0f, 55.0f}) {
+    const QueryPlan plan =
+        fixture.external.plan(isovalue, *fixture.index_device);
+    std::set<std::uint32_t> delivered;
+    execute_plan(plan, fixture.external.scalar_kind(),
+                 fixture.external.record_size(), *fixture.brick_device,
+                 [&](std::span<const std::byte> record) {
+                   io::ByteReader reader(record);
+                   delivered.insert(reader.get<std::uint32_t>());
+                 });
+    std::set<std::uint32_t> expected;
+    for (const auto& info : infos) {
+      if (info.interval.stabs(isovalue)) expected.insert(info.id);
+    }
+    EXPECT_EQ(delivered, expected) << isovalue;
+  }
+}
+
+TEST(ExternalTree, BlockReadsAreLogarithmicInBlocks) {
+  const auto infos = random_intervals(5000, 250, 13);
+  Fixture fixture = make_fixture(infos, 256);  // force many small blocks
+  ASSERT_GT(fixture.external.build_stats().blocks, 4u);
+
+  for (const float isovalue : {10.0f, 100.0f, 240.0f}) {
+    std::uint64_t blocks_read = 0;
+    (void)fixture.external.plan(isovalue, *fixture.index_device, &blocks_read);
+    EXPECT_GE(blocks_read, 1u);
+    EXPECT_LE(blocks_read, fixture.external.build_stats().max_block_depth);
+  }
+  // The blocked tree is strictly shallower (in blocks) than the binary tree
+  // is in nodes, unless blocks hold single nodes.
+  EXPECT_LE(fixture.external.build_stats().max_block_depth,
+            fixture.in_core.height());
+}
+
+TEST(ExternalTree, LargerBlocksMeanFewerReads) {
+  const auto infos = random_intervals(5000, 250, 17);
+  Fixture small = make_fixture(infos, 128);
+  Fixture large = make_fixture(infos, 8192);
+
+  std::uint64_t small_reads = 0;
+  std::uint64_t large_reads = 0;
+  (void)small.external.plan(125.0f, *small.index_device, &small_reads);
+  (void)large.external.plan(125.0f, *large.index_device, &large_reads);
+  EXPECT_LT(large_reads, small_reads);
+}
+
+TEST(ExternalTree, BufferPoolCachesRepeatedWalks) {
+  const auto infos = random_intervals(3000, 200, 19);
+  Fixture fixture = make_fixture(infos, 256);
+
+  io::BufferPool pool(*fixture.index_device, /*capacity_blocks=*/256);
+  fixture.index_device->reset_stats();
+
+  std::uint64_t first_reads = 0;
+  (void)fixture.external.plan(77.0f, pool, &first_reads);
+  const auto misses_after_first = pool.misses();
+  EXPECT_GT(misses_after_first, 0u);
+
+  // The same walk again: every index block is resident.
+  (void)fixture.external.plan(77.0f, pool, nullptr);
+  EXPECT_EQ(pool.misses(), misses_after_first);
+  EXPECT_GT(pool.hits(), 0u);
+}
+
+TEST(ExternalTree, EmptyTreeYieldsEmptyPlan) {
+  Fixture fixture = make_fixture({});
+  std::uint64_t reads = 99;
+  const QueryPlan plan =
+      fixture.external.plan(5.0f, *fixture.index_device, &reads);
+  EXPECT_TRUE(plan.scans.empty());
+  EXPECT_EQ(reads, 0u);
+  EXPECT_EQ(fixture.external.build_stats().blocks, 0u);
+}
+
+TEST(ExternalTree, RejectsAbsurdBlockSize) {
+  const auto infos = random_intervals(10, 8, 23);
+  const FakeSource source(infos);
+  io::MemoryBlockDevice brick_device(512);
+  io::BlockDevice* ptr = &brick_device;
+  auto built = CompactTreeBuilder::build(infos, source, {&ptr, 1});
+  io::MemoryBlockDevice index_device(512);
+  EXPECT_THROW(ExternalCompactTree::build(built.trees[0], index_device, 16),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oociso::index

@@ -1,0 +1,311 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <numbers>
+
+#include "data/analytic_fields.h"
+#include "extract/marching_cubes.h"
+#include "extract/mc_tables.h"
+#include "extract/mesh.h"
+#include "metacell/metacell.h"
+#include "metacell/source.h"
+#include "util/temp_dir.h"
+
+namespace oociso::extract {
+namespace {
+
+using core::Vec3;
+
+const std::array<Vec3, 8> kUnitCorners = [] {
+  std::array<Vec3, 8> corners;
+  for (std::size_t i = 0; i < 8; ++i) {
+    corners[i] = {static_cast<float>(kCornerOffsets[i][0]),
+                  static_cast<float>(kCornerOffsets[i][1]),
+                  static_cast<float>(kCornerOffsets[i][2])};
+  }
+  return corners;
+}();
+
+// ---------------------------------------------------------------------------
+// Table invariants
+// ---------------------------------------------------------------------------
+
+TEST(McTables, ComplementSymmetry) {
+  // Inverting inside/outside flips no crossed edge: edgeTable[c] == [~c].
+  for (unsigned c = 0; c < 256; ++c) {
+    EXPECT_EQ(kEdgeTable[c], kEdgeTable[255 - c]) << "case " << c;
+  }
+}
+
+TEST(McTables, TriTableUsesOnlyCrossedEdges) {
+  for (unsigned c = 0; c < 256; ++c) {
+    for (std::size_t i = 0; i < 16 && kTriTable[c][i] != -1; ++i) {
+      const auto edge = static_cast<unsigned>(kTriTable[c][i]);
+      ASSERT_LT(edge, 12u);
+      EXPECT_TRUE(kEdgeTable[c] & (1u << edge))
+          << "case " << c << " uses un-crossed edge " << edge;
+    }
+  }
+}
+
+TEST(McTables, EveryCrossedEdgeIsUsed) {
+  for (unsigned c = 0; c < 256; ++c) {
+    std::uint16_t used = 0;
+    for (std::size_t i = 0; i < 16 && kTriTable[c][i] != -1; ++i) {
+      used |= static_cast<std::uint16_t>(
+          1u << static_cast<unsigned>(kTriTable[c][i]));
+    }
+    EXPECT_EQ(used, kEdgeTable[c]) << "case " << c;
+  }
+}
+
+TEST(McTables, TriangleCountsMatchLiterature) {
+  // 0 triangles only for the two trivial cases; never more than 5.
+  for (unsigned c = 0; c < 256; ++c) {
+    std::size_t count = 0;
+    while (count * 3 < 16 && kTriTable[c][count * 3] != -1) ++count;
+    if (c == 0 || c == 255) {
+      EXPECT_EQ(count, 0u);
+    } else {
+      EXPECT_GE(count, 1u) << "case " << c;
+      EXPECT_LE(count, 5u) << "case " << c;
+    }
+  }
+}
+
+TEST(McTables, EdgeBitsMatchCornerSignChanges) {
+  // Edge e is crossed iff its two corners are on opposite sides.
+  for (unsigned c = 0; c < 256; ++c) {
+    for (unsigned e = 0; e < 12; ++e) {
+      const bool a_in = (c >> static_cast<unsigned>(kEdgeCorners[e][0])) & 1u;
+      const bool b_in = (c >> static_cast<unsigned>(kEdgeCorners[e][1])) & 1u;
+      const bool crossed = (kEdgeTable[c] >> e) & 1u;
+      EXPECT_EQ(crossed, a_in != b_in) << "case " << c << " edge " << e;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Single-cell triangulation
+// ---------------------------------------------------------------------------
+
+TEST(Cell, NoCrossingNoTriangles) {
+  TriangleSoup soup;
+  EXPECT_EQ(triangulate_cell({0, 0, 0, 0, 0, 0, 0, 0}, kUnitCorners, 128.0f,
+                             soup),
+            0u);
+  EXPECT_EQ(triangulate_cell({255, 255, 255, 255, 255, 255, 255, 255},
+                             kUnitCorners, 128.0f, soup),
+            0u);
+  EXPECT_TRUE(soup.empty());
+}
+
+TEST(Cell, SingleCornerGivesOneTriangle) {
+  std::array<float, 8> values{};
+  values.fill(200.0f);
+  values[0] = 0.0f;  // corner v0 below isovalue
+  TriangleSoup soup;
+  EXPECT_EQ(triangulate_cell(values, kUnitCorners, 100.0f, soup), 1u);
+  ASSERT_EQ(soup.size(), 1u);
+  // The triangle's vertices sit on the three edges incident to v0, at the
+  // midpoint (isovalue 100 is the midpoint of 0..200).
+  for (const Vec3& v : {soup.triangles()[0].a, soup.triangles()[0].b,
+                        soup.triangles()[0].c}) {
+    EXPECT_NEAR(v.x + v.y + v.z, 0.5f, 1e-5f);
+  }
+}
+
+TEST(Cell, InterpolationPosition) {
+  std::array<float, 8> values{};
+  values.fill(0.0f);
+  values[0] = 100.0f;  // only v0 above... below convention: v0 NOT < iso
+  TriangleSoup soup;
+  // Isovalue 25: crossing sits at t = 25/100 from v0 along each edge.
+  EXPECT_EQ(triangulate_cell(values, kUnitCorners, 25.0f, soup), 1u);
+  for (const Vec3& v : {soup.triangles()[0].a, soup.triangles()[0].b,
+                        soup.triangles()[0].c}) {
+    EXPECT_NEAR(v.x + v.y + v.z, 0.75f, 1e-5f);
+  }
+}
+
+TEST(Cell, SingleCornerComplementPairsMatch) {
+  // Unambiguous complement pairs (one corner in vs seven corners in) must
+  // produce the same single triangle. (General complements can legally
+  // differ — the classic marching-cubes ambiguity.)
+  for (std::size_t corner = 0; corner < 8; ++corner) {
+    std::array<float, 8> values{};
+    values.fill(90.0f);
+    values[corner] = 10.0f;
+    std::array<float, 8> flipped;
+    for (std::size_t i = 0; i < 8; ++i) flipped[i] = 100.0f - values[i];
+
+    TriangleSoup a;
+    TriangleSoup b;
+    EXPECT_EQ(triangulate_cell(values, kUnitCorners, 50.0f, a), 1u);
+    EXPECT_EQ(triangulate_cell(flipped, kUnitCorners, 50.0f, b), 1u);
+    EXPECT_NEAR(a.total_area(), b.total_area(), 1e-5) << "corner " << corner;
+  }
+}
+
+TEST(Cell, DegenerateEqualValuesAtIsovalue) {
+  // All corners exactly at the isovalue: no corner is strictly below, so no
+  // geometry — and in particular no crash from zero-length interpolation.
+  std::array<float, 8> values{};
+  values.fill(50.0f);
+  TriangleSoup soup;
+  EXPECT_EQ(triangulate_cell(values, kUnitCorners, 50.0f, soup), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Volume extraction
+// ---------------------------------------------------------------------------
+
+TEST(VolumeExtract, SphereAreaMatchesAnalytic) {
+  // The 'distance to center' field's isosurface is a sphere whose radius
+  // follows from the quantization; compare areas within a tolerance that
+  // admits the mesh's faceting error.
+  const std::int32_t n = 64;
+  const auto volume = data::make_sphere_field({n, n, n});
+  TriangleSoup soup;
+  const auto stats = extract_volume(volume, 128.0f, soup);
+  EXPECT_GT(stats.triangles, 1000u);
+  EXPECT_EQ(stats.triangles, soup.size());
+
+  // value = 255 * (1 - d * 2/sqrt(3)), value 128 -> d ~ 0.2887 of the cube,
+  // radius in lattice units = d * (n-1).
+  const double radius = (1.0 - 128.0 / 255.0) * std::sqrt(3.0) / 2.0 * (n - 1);
+  const double analytic_area = 4.0 * std::numbers::pi * radius * radius;
+  EXPECT_NEAR(soup.total_area(), analytic_area, analytic_area * 0.05);
+}
+
+TEST(VolumeExtract, BoundsInsideVolume) {
+  const auto volume = data::make_gyroid_field({32, 32, 32});
+  TriangleSoup soup;
+  extract_volume(volume, 128.0f, soup);
+  Vec3 lo;
+  Vec3 hi;
+  ASSERT_TRUE(soup.bounds(lo, hi));
+  EXPECT_GE(lo.x, 0.0f);
+  EXPECT_LE(hi.x, 31.0f);
+  EXPECT_GE(lo.z, 0.0f);
+  EXPECT_LE(hi.z, 31.0f);
+}
+
+TEST(VolumeExtract, ActiveCellCountsAreConsistent) {
+  const auto volume = data::make_gyroid_field({24, 24, 24});
+  TriangleSoup soup;
+  const auto stats = extract_volume(volume, 100.0f, soup);
+  EXPECT_EQ(stats.cells_visited, 23u * 23u * 23u);
+  EXPECT_LE(stats.active_cells, stats.cells_visited);
+  EXPECT_GE(stats.triangles, stats.active_cells);      // >=1 tri per active
+  EXPECT_LE(stats.triangles, stats.active_cells * 5);  // <=5 tris per cell
+}
+
+TEST(VolumeExtract, EmptyIsovalueOutsideRange) {
+  const auto volume = data::make_sphere_field({16, 16, 16});
+  TriangleSoup soup;
+  const auto stats = extract_volume(volume, 300.0f, soup);
+  EXPECT_EQ(stats.triangles, 0u);
+  EXPECT_TRUE(soup.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Metacell extraction == volume extraction
+// ---------------------------------------------------------------------------
+
+TEST(MetacellExtract, MatchesVolumeExtraction) {
+  const auto volume = data::make_gyroid_field({25, 25, 25});
+  const float isovalue = 128.0f;
+
+  TriangleSoup reference;
+  extract_volume(volume, isovalue, reference);
+
+  // Extract via encoded metacells (the out-of-core unit) and compare the
+  // triangle multiset through an order-independent checksum.
+  const metacell::MetacellGeometry geometry(volume.dims(), 9);
+  TriangleSoup via_metacells;
+  std::vector<std::byte> bytes;
+  for (std::uint32_t id = 0; id < geometry.metacell_count(); ++id) {
+    bytes.clear();
+    metacell::encode_metacell(volume, geometry, id, bytes);
+    const auto cell =
+        metacell::decode_metacell(bytes, core::ScalarKind::kU8, geometry);
+    extract_metacell(cell, isovalue, via_metacells);
+  }
+
+  ASSERT_EQ(via_metacells.size(), reference.size());
+  EXPECT_NEAR(via_metacells.total_area(), reference.total_area(), 1e-3);
+
+  auto centroid_sum = [](const TriangleSoup& soup) {
+    Vec3 sum{};
+    for (const Triangle& tri : soup.triangles()) {
+      sum += (tri.a + tri.b + tri.c) / 3.0f;
+    }
+    return sum;
+  };
+  const Vec3 a = centroid_sum(reference);
+  const Vec3 b = centroid_sum(via_metacells);
+  EXPECT_NEAR(a.x, b.x, 0.5f);
+  EXPECT_NEAR(a.y, b.y, 0.5f);
+  EXPECT_NEAR(a.z, b.z, 0.5f);
+}
+
+TEST(MetacellExtract, BorderMetacellEmitsNoDuplicates) {
+  // A 14^3 volume tiles into 2^3 metacells with clamped padding; padding
+  // cells must NOT produce geometry, so total cells visited across all
+  // metacells equals the volume's cell count.
+  const auto volume = data::make_sphere_field({14, 14, 14});
+  const metacell::MetacellGeometry geometry(volume.dims(), 9);
+  std::uint64_t cells = 0;
+  std::vector<std::byte> bytes;
+  TriangleSoup soup;
+  for (std::uint32_t id = 0; id < geometry.metacell_count(); ++id) {
+    bytes.clear();
+    metacell::encode_metacell(volume, geometry, id, bytes);
+    const auto cell =
+        metacell::decode_metacell(bytes, core::ScalarKind::kU8, geometry);
+    cells += extract_metacell(cell, 128.0f, soup).cells_visited;
+  }
+  EXPECT_EQ(cells, 13u * 13u * 13u);
+}
+
+// ---------------------------------------------------------------------------
+// Mesh utilities
+// ---------------------------------------------------------------------------
+
+TEST(Mesh, AreaAndAppend) {
+  TriangleSoup soup;
+  soup.add({{0, 0, 0}, {1, 0, 0}, {0, 1, 0}});  // area 0.5
+  EXPECT_DOUBLE_EQ(soup.total_area(), 0.5);
+  TriangleSoup other;
+  other.add({{0, 0, 1}, {2, 0, 1}, {0, 2, 1}});  // area 2
+  soup.append(other);
+  EXPECT_EQ(soup.size(), 2u);
+  EXPECT_DOUBLE_EQ(soup.total_area(), 2.5);
+}
+
+TEST(Mesh, EmptyBounds) {
+  TriangleSoup soup;
+  Vec3 lo;
+  Vec3 hi;
+  EXPECT_FALSE(soup.bounds(lo, hi));
+}
+
+TEST(Mesh, ObjWriterOutput) {
+  util::TempDir dir;
+  TriangleSoup soup;
+  soup.add({{0, 0, 0}, {1, 0, 0}, {0, 1, 0}});
+  const auto path = dir.file("tri.obj");
+  write_obj(soup, path);
+
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("v 0 0 0"), std::string::npos);
+  EXPECT_NE(text.find("f 1 2 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace oociso::extract

@@ -1,0 +1,585 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "index/bbio_tree.h"
+#include "index/compact_interval_tree.h"
+#include "index/interval_tree.h"
+#include "index/range_partition.h"
+#include "index/span_space_lattice.h"
+#include "io/memory_block_device.h"
+#include "io/serial.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace oociso::index {
+namespace {
+
+using metacell::MetacellInfo;
+
+// ---------------------------------------------------------------------------
+// Test scaffolding: a metacell source with fully controlled intervals.
+// ---------------------------------------------------------------------------
+
+/// Serves synthetic metacells whose records are tiny (k=2 -> 13 bytes for
+/// u8) and whose vmin field matches an arbitrary prescribed interval, so
+/// index structures can be driven with exact span-space distributions.
+class FakeSource final : public metacell::MetacellSource {
+ public:
+  explicit FakeSource(std::vector<MetacellInfo> infos)
+      : infos_sorted_(std::move(infos)),
+        geometry_({1026, 3, 3}, 2) {  // 1025x2x2 cells -> 2050 ids available
+    std::sort(infos_sorted_.begin(), infos_sorted_.end(),
+              [](const MetacellInfo& a, const MetacellInfo& b) {
+                return a.id < b.id;
+              });
+    for (const auto& info : infos_sorted_) by_id_[info.id] = info.interval;
+  }
+
+  [[nodiscard]] const metacell::MetacellGeometry& geometry() const override {
+    return geometry_;
+  }
+  [[nodiscard]] core::ScalarKind kind() const override {
+    return core::ScalarKind::kU8;
+  }
+  [[nodiscard]] std::vector<MetacellInfo> scan() const override {
+    return infos_sorted_;
+  }
+  void encode(std::uint32_t id, std::vector<std::byte>& out) const override {
+    const core::ValueInterval interval = by_id_.at(id);
+    io::ByteWriter writer(out);
+    writer.put(id);
+    writer.put(static_cast<std::uint8_t>(interval.vmin));
+    // 2^3 payload samples realizing exactly (vmin, vmax).
+    writer.put(static_cast<std::uint8_t>(interval.vmin));
+    for (int i = 0; i < 7; ++i) {
+      writer.put(static_cast<std::uint8_t>(interval.vmax));
+    }
+  }
+
+ private:
+  std::vector<MetacellInfo> infos_sorted_;
+  std::map<std::uint32_t, core::ValueInterval> by_id_;
+  metacell::MetacellGeometry geometry_;
+};
+
+std::vector<MetacellInfo> random_intervals(std::size_t count,
+                                           std::uint32_t alphabet,
+                                           std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<MetacellInfo> infos;
+  infos.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto a = static_cast<core::ValueKey>(rng.bounded(alphabet));
+    auto b = static_cast<core::ValueKey>(rng.bounded(alphabet));
+    if (a > b) std::swap(a, b);
+    if (a == b) b += 1;  // culled metacells never reach the index
+    infos.push_back({static_cast<std::uint32_t>(i), {a, b}});
+  }
+  return infos;
+}
+
+std::set<std::uint32_t> brute_force(const std::vector<MetacellInfo>& infos,
+                                    core::ValueKey isovalue) {
+  std::set<std::uint32_t> ids;
+  for (const auto& info : infos) {
+    if (info.interval.stabs(isovalue)) ids.insert(info.id);
+  }
+  return ids;
+}
+
+std::uint32_t record_id(std::span<const std::byte> record) {
+  io::ByteReader reader(record);
+  return reader.get<std::uint32_t>();
+}
+
+/// Builds the striped layout over `p` in-memory devices.
+struct Built {
+  std::vector<std::unique_ptr<io::MemoryBlockDevice>> devices;
+  CompactTreeBuilder::Result result;
+};
+
+Built build_striped(const std::vector<MetacellInfo>& infos, std::size_t p,
+                    const FakeSource& source) {
+  Built built;
+  std::vector<io::BlockDevice*> pointers;
+  for (std::size_t i = 0; i < p; ++i) {
+    built.devices.push_back(std::make_unique<io::MemoryBlockDevice>(512));
+    pointers.push_back(built.devices.back().get());
+  }
+  built.result = CompactTreeBuilder::build(infos, source, pointers);
+  return built;
+}
+
+std::set<std::uint32_t> query_all_nodes(Built& built,
+                                        core::ValueKey isovalue,
+                                        std::vector<QueryStats>* stats_out =
+                                            nullptr) {
+  std::set<std::uint32_t> ids;
+  for (std::size_t d = 0; d < built.devices.size(); ++d) {
+    const QueryStats stats = built.result.trees[d].query(
+        isovalue, *built.devices[d], [&](std::span<const std::byte> record) {
+          const auto [it, inserted] = ids.insert(record_id(record));
+          EXPECT_TRUE(inserted) << "metacell delivered twice";
+        });
+    if (stats_out != nullptr) stats_out->push_back(stats);
+  }
+  return ids;
+}
+
+// ---------------------------------------------------------------------------
+// CompactIntervalTree: correctness
+// ---------------------------------------------------------------------------
+
+struct TreeCase {
+  std::size_t intervals;
+  std::uint32_t alphabet;
+  std::size_t nodes;
+};
+
+class CompactTreeCorrectness : public ::testing::TestWithParam<TreeCase> {};
+
+TEST_P(CompactTreeCorrectness, MatchesBruteForceEverywhere) {
+  const TreeCase param = GetParam();
+  const auto infos =
+      random_intervals(param.intervals, param.alphabet, /*seed=*/777);
+  const FakeSource source(infos);
+  Built built = build_striped(infos, param.nodes, source);
+
+  // Every value of the alphabet, plus sentinels outside the range.
+  for (std::uint32_t v = 0; v <= param.alphabet + 1; ++v) {
+    const auto isovalue = static_cast<core::ValueKey>(v);
+    const auto expected = brute_force(infos, isovalue);
+    const auto actual = query_all_nodes(built, isovalue);
+    EXPECT_EQ(actual, expected) << "isovalue " << v;
+  }
+  EXPECT_EQ(query_all_nodes(built, -5.0f).size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CompactTreeCorrectness,
+    ::testing::Values(TreeCase{1, 4, 1}, TreeCase{10, 4, 1},
+                      TreeCase{100, 8, 1}, TreeCase{500, 16, 1},
+                      TreeCase{500, 200, 1}, TreeCase{1000, 16, 2},
+                      TreeCase{1000, 16, 4}, TreeCase{1000, 200, 8},
+                      TreeCase{2000, 32, 3}, TreeCase{777, 7, 5}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.intervals) + "_a" +
+             std::to_string(info.param.alphabet) + "_p" +
+             std::to_string(info.param.nodes);
+    });
+
+TEST(CompactTree, EmptyInputQueriesCleanly) {
+  const FakeSource source({});
+  Built built = build_striped({}, 2, source);
+  EXPECT_EQ(built.result.trees[0].nodes().size(), 0u);
+  // Trees with no nodes have no record size; plan is empty and execute on
+  // an empty plan is rejected as a logic error.
+  EXPECT_TRUE(built.result.trees[0].plan(5.0f).scans.empty());
+}
+
+TEST(CompactTree, AllIdenticalIntervals) {
+  std::vector<MetacellInfo> infos;
+  for (std::uint32_t i = 0; i < 50; ++i) infos.push_back({i, {10, 20}});
+  const FakeSource source(infos);
+  Built built = build_striped(infos, 3, source);
+
+  EXPECT_EQ(query_all_nodes(built, 15.0f).size(), 50u);
+  EXPECT_EQ(query_all_nodes(built, 10.0f).size(), 50u);
+  EXPECT_EQ(query_all_nodes(built, 20.0f).size(), 50u);
+  EXPECT_EQ(query_all_nodes(built, 9.0f).size(), 0u);
+  EXPECT_EQ(query_all_nodes(built, 21.0f).size(), 0u);
+  // One brick only: all intervals share (vmin, vmax).
+  EXPECT_EQ(built.result.bricks_written, 1u);
+}
+
+TEST(CompactTree, NestedIntervalsCase1And2) {
+  // Intervals nested around 50; exercises both walk directions explicitly.
+  std::vector<MetacellInfo> infos;
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    infos.push_back({i, {static_cast<core::ValueKey>(50 - i - 1),
+                         static_cast<core::ValueKey>(50 + i + 1)}});
+  }
+  const FakeSource source(infos);
+  Built built = build_striped(infos, 1, source);
+  for (const float isovalue : {30.0f, 45.0f, 50.0f, 55.0f, 70.0f}) {
+    EXPECT_EQ(query_all_nodes(built, isovalue),
+              brute_force(infos, isovalue));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CompactIntervalTree: structural properties
+// ---------------------------------------------------------------------------
+
+TEST(CompactTree, EntryCountIsNLogNBounded) {
+  const auto infos = random_intervals(5000, 128, 31);
+  const FakeSource source(infos);
+  Built built = build_striped(infos, 1, source);
+  const CompactIntervalTree& tree = built.result.trees[0];
+
+  // Count distinct endpoints n.
+  std::set<core::ValueKey> endpoints;
+  for (const auto& info : infos) {
+    endpoints.insert(info.interval.vmin);
+    endpoints.insert(info.interval.vmax);
+  }
+  const std::size_t n = endpoints.size();
+  // <= n/2 entries per level, height <= ceil(log2 n) + 1.
+  EXPECT_LE(tree.entry_count(), (n / 2 + 1) * tree.height());
+  // And dramatically fewer entries than intervals in this N >> n regime.
+  EXPECT_LT(tree.entry_count(), infos.size() / 2);
+}
+
+TEST(CompactTree, HeightIsLogarithmic) {
+  const auto infos = random_intervals(4000, 256, 5);
+  const FakeSource source(infos);
+  Built built = build_striped(infos, 1, source);
+  // n <= 256 endpoints -> height <= 9 (log2 256 + 1).
+  EXPECT_LE(built.result.trees[0].height(), 9u);
+}
+
+TEST(CompactTree, BricksAreSortedWithinNodes) {
+  const auto infos = random_intervals(1000, 32, 9);
+  const FakeSource source(infos);
+  Built built = build_striped(infos, 1, source);
+  const CompactIntervalTree& tree = built.result.trees[0];
+  for (const CompactNode& node : tree.nodes()) {
+    for (std::uint32_t b = node.brick_begin + 1; b < node.brick_end; ++b) {
+      EXPECT_GT(tree.bricks()[b - 1].vmax, tree.bricks()[b].vmax);
+    }
+  }
+}
+
+TEST(CompactTree, NodeBricksAreContiguousOnDisk) {
+  // Case-1 reads are sequential because a node's bricks are laid out back
+  // to back in plan order.
+  const auto infos = random_intervals(800, 24, 13);
+  const FakeSource source(infos);
+  Built built = build_striped(infos, 1, source);
+  const CompactIntervalTree& tree = built.result.trees[0];
+  const std::size_t record = tree.record_size();
+  for (const CompactNode& node : tree.nodes()) {
+    for (std::uint32_t b = node.brick_begin + 1; b < node.brick_end; ++b) {
+      const BrickEntry& prev = tree.bricks()[b - 1];
+      EXPECT_EQ(prev.offset + prev.count * record, tree.bricks()[b].offset);
+    }
+  }
+}
+
+TEST(CompactTree, PrefixOvershootIsAtMostOnePerBrick) {
+  const auto infos = random_intervals(3000, 64, 17);
+  const FakeSource source(infos);
+  Built built = build_striped(infos, 1, source);
+  for (const float isovalue : {5.0f, 20.0f, 33.0f, 50.0f, 63.0f}) {
+    std::vector<QueryStats> stats;
+    query_all_nodes(built, isovalue, &stats);
+    ASSERT_EQ(stats.size(), 1u);
+    EXPECT_LE(stats[0].records_fetched - stats[0].active_metacells,
+              stats[0].bricks_scanned);
+  }
+}
+
+TEST(CompactTree, IoIsProportionalToOutput) {
+  // Blocks read <= output blocks + O(1) per scanned brick (the T/B term of
+  // the I/O bound plus bounded per-brick overhead).
+  const auto infos = random_intervals(4000, 64, 23);
+  const FakeSource source(infos);
+  Built built = build_striped(infos, 1, source);
+  io::MemoryBlockDevice& device = *built.devices[0];
+  const CompactIntervalTree& tree = built.result.trees[0];
+
+  for (const float isovalue : {10.0f, 32.0f, 55.0f}) {
+    device.reset_stats();
+    std::uint64_t active = 0;
+    const QueryStats stats =
+        tree.query(isovalue, device, [&](auto) { ++active; });
+    const std::uint64_t output_bytes = active * tree.record_size();
+    const std::uint64_t output_blocks =
+        (output_bytes + device.block_size() - 1) / device.block_size();
+    // Batched reads re-touch at most a couple of boundary blocks per brick.
+    EXPECT_LE(device.stats().blocks_read,
+              2 * output_blocks + 8 * stats.bricks_scanned + 8);
+  }
+}
+
+TEST(CompactTree, PersistenceRoundTrip) {
+  const auto infos = random_intervals(600, 40, 29);
+  const FakeSource source(infos);
+  Built built = build_striped(infos, 2, source);
+  for (std::size_t d = 0; d < 2; ++d) {
+    const CompactIntervalTree& original = built.result.trees[d];
+    const auto bytes = original.to_bytes();
+    const CompactIntervalTree restored =
+        CompactIntervalTree::from_bytes(bytes);
+    EXPECT_EQ(restored.root(), original.root());
+    EXPECT_EQ(restored.nodes().size(), original.nodes().size());
+    EXPECT_EQ(restored.bricks().size(), original.bricks().size());
+    EXPECT_EQ(restored.record_size(), original.record_size());
+    EXPECT_EQ(restored.total_metacells(), original.total_metacells());
+
+    // Restored tree answers queries identically.
+    for (const float isovalue : {7.0f, 21.0f, 39.0f}) {
+      std::set<std::uint32_t> a;
+      std::set<std::uint32_t> b;
+      original.query(isovalue, *built.devices[d],
+                     [&](auto record) { a.insert(record_id(record)); });
+      restored.query(isovalue, *built.devices[d],
+                     [&](auto record) { b.insert(record_id(record)); });
+      EXPECT_EQ(a, b);
+    }
+  }
+}
+
+TEST(CompactTree, PersistenceRejectsCorruptInput) {
+  const auto infos = random_intervals(100, 16, 3);
+  const FakeSource source(infos);
+  Built built = build_striped(infos, 1, source);
+  auto bytes = built.result.trees[0].to_bytes();
+  bytes[0] = std::byte{0x00};  // break the magic
+  EXPECT_THROW(CompactIntervalTree::from_bytes(bytes), std::runtime_error);
+  EXPECT_THROW(CompactIntervalTree::from_bytes(std::vector<std::byte>(3)),
+               std::out_of_range);
+}
+
+TEST(CompactTree, BuilderRejectsBadDevices) {
+  const FakeSource source({});
+  EXPECT_THROW(CompactTreeBuilder::build({}, source, {}),
+               std::invalid_argument);
+  std::vector<io::BlockDevice*> with_null{nullptr};
+  EXPECT_THROW(CompactTreeBuilder::build({}, source, with_null),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Striping: the provable load-balance property (paper Section 5.1)
+// ---------------------------------------------------------------------------
+
+TEST(Striping, PerNodeCountsDifferByAtMostBricksScanned) {
+  const auto infos = random_intervals(6000, 48, 41);
+  for (const std::size_t p : {2u, 4u, 8u}) {
+    const FakeSource source(infos);
+    Built built = build_striped(infos, p, source);
+    for (const float isovalue : {8.0f, 24.0f, 40.0f}) {
+      std::vector<std::uint64_t> per_node;
+      std::uint64_t max_bricks = 0;
+      for (std::size_t d = 0; d < p; ++d) {
+        const QueryStats stats = built.result.trees[d].query(
+            isovalue, *built.devices[d], [](auto) {});
+        per_node.push_back(stats.active_metacells);
+        max_bricks = std::max(max_bricks, stats.bricks_scanned);
+      }
+      const auto [lo, hi] =
+          std::minmax_element(per_node.begin(), per_node.end());
+      // Round-robin striping puts each brick's active prefix within 1 of
+      // even across nodes; summed over scanned bricks that bounds the gap.
+      EXPECT_LE(*hi - *lo, max_bricks + 1)
+          << "p=" << p << " iso=" << isovalue;
+    }
+  }
+}
+
+TEST(Striping, TotalWorkMatchesSerial) {
+  // Total metacells written and total active across nodes equal the serial
+  // case: parallelization adds no work (paper's claim).
+  const auto infos = random_intervals(2500, 32, 47);
+  const FakeSource source(infos);
+  Built serial = build_striped(infos, 1, source);
+  Built parallel = build_striped(infos, 4, source);
+  EXPECT_EQ(serial.result.metacells_written,
+            parallel.result.metacells_written);
+  EXPECT_EQ(serial.result.bytes_written, parallel.result.bytes_written);
+
+  for (const float isovalue : {10.0f, 25.0f}) {
+    EXPECT_EQ(query_all_nodes(serial, isovalue),
+              query_all_nodes(parallel, isovalue));
+  }
+}
+
+TEST(Striping, ImbalanceStaysSmall) {
+  const auto infos = random_intervals(20000, 100, 53);
+  const FakeSource source(infos);
+  Built built = build_striped(infos, 4, source);
+  for (const float isovalue : {20.0f, 50.0f, 80.0f}) {
+    std::vector<std::uint64_t> per_node;
+    for (std::size_t d = 0; d < 4; ++d) {
+      const QueryStats stats = built.result.trees[d].query(
+          isovalue, *built.devices[d], [](auto) {});
+      per_node.push_back(stats.active_metacells);
+    }
+    EXPECT_LT(util::imbalance(per_node), 0.05) << "iso=" << isovalue;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Standard interval tree baseline
+// ---------------------------------------------------------------------------
+
+class IntervalTreeCorrectness
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::uint32_t>> {
+};
+
+TEST_P(IntervalTreeCorrectness, MatchesBruteForce) {
+  const auto [count, alphabet] = GetParam();
+  const auto infos = random_intervals(count, alphabet, 61);
+  const IntervalTree tree(infos);
+  for (std::uint32_t v = 0; v <= alphabet; ++v) {
+    const auto isovalue = static_cast<core::ValueKey>(v);
+    const auto ids = tree.query(isovalue);
+    const std::set<std::uint32_t> got(ids.begin(), ids.end());
+    EXPECT_EQ(got.size(), ids.size()) << "duplicate ids";
+    EXPECT_EQ(got, brute_force(infos, isovalue)) << "isovalue " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IntervalTreeCorrectness,
+                         ::testing::Values(std::pair{std::size_t{1}, 4u},
+                                           std::pair{std::size_t{50}, 8u},
+                                           std::pair{std::size_t{500}, 16u},
+                                           std::pair{std::size_t{1500}, 150u}));
+
+TEST(IntervalTreeBaseline, EntryCountIsTwiceIntervals) {
+  const auto infos = random_intervals(1234, 32, 67);
+  const IntervalTree tree(infos);
+  EXPECT_EQ(tree.entry_count(), 2 * infos.size());
+}
+
+TEST(IntervalTreeBaseline, OutputSensitiveExamination) {
+  const auto infos = random_intervals(2000, 64, 71);
+  const IntervalTree tree(infos);
+  const auto ids = tree.query(33.0f);
+  // Overshoot <= 1 entry per visited node; height bounds visited nodes.
+  EXPECT_LE(tree.last_entries_examined(), ids.size() + tree.height());
+}
+
+TEST(IndexSizes, CompactBeatsStandardWhenNExceedsN) {
+  // u8-style regime: huge N, tiny n — Table 1's headline comparison.
+  const auto infos = random_intervals(50000, 64, 73);
+  const FakeSource source(infos);
+  Built built = build_striped(infos, 1, source);
+  const IntervalTree standard(infos);
+  EXPECT_LT(built.result.trees[0].entry_count() * 10,
+            standard.entry_count());
+  EXPECT_LT(built.result.trees[0].size_bytes(), standard.size_bytes() / 10);
+}
+
+// ---------------------------------------------------------------------------
+// Span-space lattice baseline
+// ---------------------------------------------------------------------------
+
+TEST(Lattice, MatchesBruteForce) {
+  const auto infos = random_intervals(1500, 100, 79);
+  const SpanSpaceLattice lattice(infos, 32);
+  for (const float isovalue : {0.0f, 13.0f, 50.0f, 99.0f}) {
+    const auto ids = lattice.query(isovalue);
+    const std::set<std::uint32_t> got(ids.begin(), ids.end());
+    EXPECT_EQ(got, brute_force(infos, isovalue));
+  }
+}
+
+TEST(Lattice, CountersAreConsistent) {
+  const auto infos = random_intervals(1500, 100, 83);
+  const SpanSpaceLattice lattice(infos, 32);
+  SpanSpaceLattice::QueryCounters counters;
+  const auto ids = lattice.query(42.0f, &counters);
+  EXPECT_EQ(counters.reported, ids.size());
+  EXPECT_LE(counters.examined, infos.size());
+  // Only boundary buckets are examined individually; the interior is free.
+  EXPECT_LT(counters.examined, counters.reported + infos.size() / 4);
+}
+
+TEST(Lattice, ResolutionOneDegeneratesToScan) {
+  const auto infos = random_intervals(200, 16, 89);
+  const SpanSpaceLattice lattice(infos, 1);
+  for (const float isovalue : {3.0f, 9.0f}) {
+    const auto ids = lattice.query(isovalue);
+    EXPECT_EQ(std::set<std::uint32_t>(ids.begin(), ids.end()),
+              brute_force(infos, isovalue));
+  }
+}
+
+TEST(Lattice, RejectsZeroResolution) {
+  EXPECT_THROW(SpanSpaceLattice({}, 0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// BBIO external tree + id-order store baseline
+// ---------------------------------------------------------------------------
+
+TEST(Bbio, MatchesBruteForce) {
+  const auto infos = random_intervals(1200, 48, 97);
+  io::MemoryBlockDevice index_device(512);
+  const BbioTree tree(infos, index_device);
+  for (const float isovalue : {5.0f, 24.0f, 47.0f}) {
+    const auto ids = tree.query(isovalue, index_device);
+    EXPECT_EQ(std::set<std::uint32_t>(ids.begin(), ids.end()),
+              brute_force(infos, isovalue));
+  }
+}
+
+TEST(Bbio, IndexListsLiveOnDisk) {
+  const auto infos = random_intervals(1000, 32, 101);
+  io::MemoryBlockDevice index_device(512);
+  const BbioTree tree(infos, index_device);
+  EXPECT_EQ(tree.on_disk_bytes(),
+            2 * infos.size() * sizeof(BbioTree::ListEntry));
+  EXPECT_EQ(index_device.size(), tree.on_disk_bytes());
+  // Querying pays index I/O — the cost the compact tree avoids entirely.
+  index_device.reset_stats();
+  BbioTree::QueryStats stats;
+  tree.query(16.0f, index_device, &stats);
+  EXPECT_GT(index_device.stats().read_ops, 0u);
+  EXPECT_GE(stats.index_entries_read, stats.active_metacells);
+}
+
+TEST(IdStore, ReadsRequestedRecords) {
+  const auto infos = random_intervals(300, 20, 103);
+  const FakeSource source(infos);
+  io::MemoryBlockDevice device(512);
+  const IdOrderStore store(infos, source, device);
+
+  std::vector<std::uint32_t> want{infos[5].id, infos[100].id, infos[250].id};
+  std::set<std::uint32_t> got;
+  store.read(want, device, [&](std::span<const std::byte> record) {
+    got.insert(record_id(record));
+  });
+  EXPECT_EQ(got, std::set<std::uint32_t>(want.begin(), want.end()));
+}
+
+TEST(IdStore, UnknownIdThrows) {
+  const auto infos = random_intervals(10, 8, 107);
+  const FakeSource source(infos);
+  io::MemoryBlockDevice device(512);
+  const IdOrderStore store(infos, source, device);
+  EXPECT_THROW(store.read({9999}, device, [](auto) {}), std::out_of_range);
+}
+
+// ---------------------------------------------------------------------------
+// Range-partition distribution baseline
+// ---------------------------------------------------------------------------
+
+TEST(RangePartitionTest, ConservesActiveCells) {
+  const auto infos = random_intervals(3000, 64, 109);
+  const RangePartition partition(infos, 4);
+  for (const float isovalue : {10.0f, 32.0f, 60.0f}) {
+    const auto per_node = partition.active_per_processor(infos, isovalue);
+    std::uint64_t total = 0;
+    for (const auto count : per_node) total += count;
+    EXPECT_EQ(total, brute_force(infos, isovalue).size());
+  }
+}
+
+TEST(RangePartitionTest, CanBeBadlyUnbalanced) {
+  // All intervals identical: they map to ONE matrix entry, hence one
+  // processor — the paper's criticism of range-space partitioning.
+  std::vector<MetacellInfo> infos;
+  for (std::uint32_t i = 0; i < 1000; ++i) infos.push_back({i, {10, 50}});
+  const RangePartition partition(infos, 4);
+  const auto per_node = partition.active_per_processor(infos, 30.0f);
+  EXPECT_GT(util::imbalance(per_node), 2.5);  // ~all on one node
+}
+
+}  // namespace
+}  // namespace oociso::index

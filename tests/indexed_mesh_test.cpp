@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "data/analytic_fields.h"
+#include "extract/indexed_mesh.h"
+#include "extract/marching_cubes.h"
+#include "unstructured/marching_tets.h"
+#include "unstructured/tet_mesh.h"
+#include "util/temp_dir.h"
+
+namespace oociso::extract {
+namespace {
+
+using core::Vec3;
+
+TriangleSoup two_triangles_sharing_an_edge() {
+  TriangleSoup soup;
+  soup.add({{0, 0, 0}, {1, 0, 0}, {0, 1, 0}});
+  soup.add({{1, 0, 0}, {1, 1, 0}, {0, 1, 0}});
+  return soup;
+}
+
+TEST(Weld, SharedVerticesMerge) {
+  const IndexedMesh mesh = IndexedMesh::weld(two_triangles_sharing_an_edge());
+  EXPECT_EQ(mesh.vertex_count(), 4u);  // 6 soup vertices -> 4 welded
+  EXPECT_EQ(mesh.triangle_count(), 2u);
+  EXPECT_EQ(mesh.edge_count(), 5u);
+  EXPECT_EQ(mesh.connected_components(), 1u);
+}
+
+TEST(Weld, DropsDegenerateTriangles) {
+  TriangleSoup soup;
+  soup.add({{0, 0, 0}, {0, 0, 0}, {1, 0, 0}});          // repeated vertex
+  soup.add({{0, 0, 0}, {1, 0, 0}, {2, 0, 0}});          // collinear
+  soup.add({{0, 0, 0}, {1, 0, 0}, {0, 1, 0}});          // valid
+  const IndexedMesh mesh = IndexedMesh::weld(soup);
+  EXPECT_EQ(mesh.triangle_count(), 1u);
+}
+
+TEST(Weld, NegativeZeroWeldsWithPositiveZero) {
+  TriangleSoup soup;
+  soup.add({{0.0f, 0, 0}, {1, 0, 0}, {0, 1, 0}});
+  soup.add({{-0.0f, 0, 0}, {0, 1, 0}, {0, 0, 1}});
+  const IndexedMesh mesh = IndexedMesh::weld(soup);
+  EXPECT_EQ(mesh.vertex_count(), 4u);  // (+-0,0,0) merged; (0,1,0) shared
+}
+
+TEST(Weld, EmptySoup) {
+  const IndexedMesh mesh = IndexedMesh::weld({});
+  EXPECT_EQ(mesh.vertex_count(), 0u);
+  EXPECT_EQ(mesh.connected_components(), 0u);
+}
+
+TEST(Normals, FlatPatchPointsOneWay) {
+  const IndexedMesh mesh = IndexedMesh::weld(two_triangles_sharing_an_edge());
+  for (const Vec3& n : mesh.vertex_normals()) {
+    EXPECT_NEAR(std::abs(n.z), 1.0f, 1e-6f);
+    EXPECT_NEAR(n.x, 0.0f, 1e-6f);
+  }
+}
+
+TEST(Topology, McSphereIsClosedGenusZero) {
+  // A marching-cubes sphere welds into one closed component with Euler
+  // characteristic 2 — the strongest cheap correctness check of both the
+  // extraction tables and exact welding.
+  const auto volume = data::make_sphere_field({40, 40, 40});
+  TriangleSoup soup;
+  extract_volume(volume, 126.5f, soup);  // off-integer iso: no exact hits
+  const IndexedMesh mesh = IndexedMesh::weld(soup);
+  EXPECT_EQ(mesh.connected_components(), 1u);
+  EXPECT_TRUE(mesh.is_closed());
+  EXPECT_EQ(mesh.euler_characteristic(), 2);
+}
+
+TEST(Topology, McTorusHasEulerZero) {
+  const auto volume = data::make_torus_field({48, 48, 48});
+  TriangleSoup soup;
+  extract_volume(volume, 200.5f, soup);
+  const IndexedMesh mesh = IndexedMesh::weld(soup);
+  ASSERT_GT(mesh.triangle_count(), 100u);
+  EXPECT_EQ(mesh.connected_components(), 1u);
+  EXPECT_TRUE(mesh.is_closed());
+  EXPECT_EQ(mesh.euler_characteristic(), 0);
+}
+
+TEST(Topology, MarchingTetsSphereIsClosed) {
+  const auto mesh_in = unstructured::make_tet_mesh(
+      {.cells = 10, .seed = 3, .jitter = 0.3f},
+      unstructured::TetField::kSphere);
+  TriangleSoup soup;
+  unstructured::extract_tet_mesh(mesh_in, 126.3f, soup);
+  const IndexedMesh mesh = IndexedMesh::weld(soup);
+  EXPECT_EQ(mesh.connected_components(), 1u);
+  EXPECT_TRUE(mesh.is_closed());
+  EXPECT_EQ(mesh.euler_characteristic(), 2);
+}
+
+TEST(Topology, AreaSurvivesWelding) {
+  const auto volume = data::make_gyroid_field({32, 32, 32});
+  TriangleSoup soup;
+  extract_volume(volume, 128.0f, soup);
+  const IndexedMesh mesh = IndexedMesh::weld(soup);
+  EXPECT_NEAR(mesh.total_area(), soup.total_area(), soup.total_area() * 1e-4);
+}
+
+TEST(ObjOutput, ContainsNormalsAndSharedIndices) {
+  util::TempDir dir;
+  const IndexedMesh mesh = IndexedMesh::weld(two_triangles_sharing_an_edge());
+  const auto path = dir.file("mesh.obj");
+  mesh.write_obj(path);
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("vn "), std::string::npos);
+  EXPECT_NE(text.find("//"), std::string::npos);
+  // 4 welded position lines, not 6.
+  std::size_t position_lines = 0;
+  std::istringstream lines(text);
+  for (std::string line; std::getline(lines, line);) {
+    if (line.rfind("v ", 0) == 0) ++position_lines;
+  }
+  EXPECT_EQ(position_lines, mesh.vertex_count());
+}
+
+}  // namespace
+}  // namespace oociso::extract

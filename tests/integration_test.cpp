@@ -1,0 +1,192 @@
+// Cross-feature integration scenarios: each test strings several
+// subsystems together the way a deployment would.
+
+#include <gtest/gtest.h>
+
+#include "compositing/tiled_display.h"
+#include "data/raw_io.h"
+#include "data/rm_generator.h"
+#include "extract/indexed_mesh.h"
+#include "extract/marching_cubes.h"
+#include "index/external_tree.h"
+#include "io/memory_block_device.h"
+#include "index/span_analysis.h"
+#include "metacell/source.h"
+#include "pipeline/bundle.h"
+#include "pipeline/ooc_preprocess.h"
+#include "pipeline/query_engine.h"
+#include "util/temp_dir.h"
+
+namespace oociso {
+namespace {
+
+data::RmConfig small_rm() {
+  data::RmConfig config;
+  config.dims = {40, 40, 36};
+  return config;
+}
+
+// Scenario: preprocess out of core, persist the bundle, reattach in a new
+// "session", and query — the full deployment loop with no in-memory path.
+TEST(Integration, OocPreprocessThenBundleThenReattachedQuery) {
+  util::TempDir dir("oociso-int-loop");
+  const auto volume = data::generate_rm_timestep(small_rm(), 240);
+  const auto volume_file = dir.file("volume.oocv");
+  data::write_volume(data::AnyVolume(volume), volume_file);
+
+  const auto storage = dir.path() / "storage";
+  std::filesystem::create_directories(storage);
+  {
+    parallel::ClusterConfig config;
+    config.node_count = 3;
+    config.storage_dir = storage;
+    parallel::Cluster cluster(config);
+    const auto ooc = pipeline::preprocess_out_of_core(
+        volume_file, cluster, dir.path() / "scratch");
+    pipeline::save_bundle(ooc.result, storage);
+  }
+
+  parallel::ClusterConfig config;
+  config.node_count = 3;
+  config.storage_dir = storage;
+  config.open_existing = true;
+  parallel::Cluster cluster(config);
+  const pipeline::PreprocessResult prep = pipeline::load_bundle(storage);
+  pipeline::QueryEngine engine(cluster, prep);
+
+  extract::TriangleSoup reference;
+  extract::extract_volume(volume, 128.0f, reference);
+  pipeline::QueryOptions options;
+  options.render = false;
+  EXPECT_EQ(engine.run(128.0f, options).total_triangles(), reference.size());
+}
+
+// Scenario: a bundle-loaded tree round-trips through the blocked external
+// form and still plans identically — index persistence composes with the
+// out-of-core index fallback.
+TEST(Integration, BundledTreeSurvivesExternalBlocking) {
+  util::TempDir dir("oociso-int-ext");
+  const auto volume = data::generate_rm_timestep(small_rm(), 130);
+  const auto storage = dir.path() / "storage";
+  std::filesystem::create_directories(storage);
+
+  parallel::ClusterConfig config;
+  config.node_count = 2;
+  config.storage_dir = storage;
+  parallel::Cluster cluster(config);
+  const auto source = metacell::make_source(volume, 9);
+  const pipeline::PreprocessResult prep = pipeline::preprocess(*source, cluster);
+  pipeline::save_bundle(prep, storage);
+  const pipeline::PreprocessResult loaded = pipeline::load_bundle(storage);
+
+  for (std::size_t node = 0; node < 2; ++node) {
+    io::MemoryBlockDevice index_device(512);
+    const index::ExternalCompactTree external =
+        index::ExternalCompactTree::build(loaded.trees[node], index_device,
+                                          512);
+    for (const float isovalue : {50.0f, 128.0f, 210.0f}) {
+      const auto in_core = loaded.trees[node].plan(isovalue);
+      const auto blocked = external.plan(isovalue, index_device);
+      ASSERT_EQ(in_core.scans.size(), blocked.scans.size()) << isovalue;
+      for (std::size_t i = 0; i < in_core.scans.size(); ++i) {
+        EXPECT_EQ(in_core.scans[i].offset, blocked.scans[i].offset);
+        EXPECT_EQ(in_core.scans[i].full, blocked.scans[i].full);
+      }
+    }
+  }
+}
+
+// Scenario: a span profile's suggestions drive real queries, and its cost
+// estimate ranks them correctly against the measured active counts.
+TEST(Integration, ProfileSuggestionsPredictQueryCosts) {
+  const auto volume = data::generate_rm_timestep(small_rm(), 220);
+  parallel::ClusterConfig config;
+  config.node_count = 2;
+  config.in_memory = true;
+  parallel::Cluster cluster(config);
+  const auto source = metacell::make_source(volume, 9);
+  const auto infos = source->scan();
+  const pipeline::PreprocessResult prep = pipeline::preprocess(*source, cluster);
+  pipeline::QueryEngine engine(cluster, prep);
+
+  const index::SpanProfile profile(infos, 256);
+  pipeline::QueryOptions options;
+  options.render = false;
+  for (const float isovalue : profile.suggest_isovalues(3)) {
+    const auto report = engine.run(isovalue, options);
+    EXPECT_GT(report.total_triangles(), 0u) << isovalue;
+    // The bucket estimate bounds the measured active count from above and
+    // stays within bucket-granularity slack of it.
+    EXPECT_GE(profile.active_estimate(isovalue) + 2,
+              report.total_active_metacells());
+    EXPECT_NEAR(
+        static_cast<double>(profile.active_estimate(isovalue)),
+        static_cast<double>(report.total_active_metacells()),
+        std::max(8.0, 0.15 * static_cast<double>(
+                                 report.total_active_metacells())));
+  }
+}
+
+// Scenario: render per node, composite to a 2x2 display wall, and verify
+// the wall shows exactly what a single display would.
+TEST(Integration, QueryImageRoutesToDisplayWall) {
+  const auto volume = data::generate_rm_timestep(small_rm(), 190);
+  parallel::ClusterConfig config;
+  config.node_count = 4;
+  config.in_memory = true;
+  parallel::Cluster cluster(config);
+  const auto source = metacell::make_source(volume, 9);
+  const pipeline::PreprocessResult prep = pipeline::preprocess(*source, cluster);
+  pipeline::QueryEngine engine(cluster, prep);
+
+  pipeline::QueryOptions options;
+  options.keep_image = true;
+  options.image_width = options.image_height = 96;
+  const pipeline::QueryReport report = engine.run(140.0f, options);
+  ASSERT_TRUE(report.image.has_value());
+  ASSERT_GT(report.image->covered_pixels(), 0u);
+
+  const std::vector<render::Framebuffer> frames{*report.image};
+  const auto tiled =
+      compositing::composite_to_tiles(frames, compositing::TileLayout{2, 2});
+  const render::Framebuffer wall = compositing::assemble(tiled, 96, 96);
+  for (std::int32_t y = 0; y < 96; ++y) {
+    for (std::int32_t x = 0; x < 96; ++x) {
+      ASSERT_EQ(wall.color_at(x, y), report.image->color_at(x, y));
+    }
+  }
+}
+
+// Scenario: weld a full parallel query's soup and check surface sanity on
+// the welded mesh (area preserved, plausible topology for a mixing layer).
+TEST(Integration, ParallelQueryWeldsIntoSaneMesh) {
+  const auto volume = data::generate_rm_timestep(small_rm(), 250);
+  parallel::ClusterConfig config;
+  config.node_count = 4;
+  config.in_memory = true;
+  parallel::Cluster cluster(config);
+  const auto source = metacell::make_source(volume, 9);
+  const pipeline::PreprocessResult prep = pipeline::preprocess(*source, cluster);
+  pipeline::QueryEngine engine(cluster, prep);
+
+  pipeline::QueryOptions options;
+  options.render = false;
+  options.keep_triangles = true;
+  const pipeline::QueryReport report = engine.run(126.5f, options);
+  ASSERT_GT(report.total_triangles(), 1000u);
+
+  const extract::IndexedMesh mesh =
+      extract::IndexedMesh::weld(*report.triangles_out);
+  EXPECT_LT(mesh.vertex_count(), 3 * mesh.triangle_count());  // real sharing
+  EXPECT_NEAR(mesh.total_area(), report.triangles_out->total_area(),
+              report.triangles_out->total_area() * 1e-4);
+  EXPECT_GE(mesh.connected_components(), 1u);
+  // Normals exist and are unit length where defined.
+  for (const core::Vec3& n : mesh.vertex_normals()) {
+    const float len = n.length();
+    EXPECT_TRUE(len == 0.0f || std::abs(len - 1.0f) < 1e-3f);
+  }
+}
+
+}  // namespace
+}  // namespace oociso

@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+#include "io/buffer_pool.h"
+#include "io/file_block_device.h"
+#include "io/io_stats.h"
+#include "io/memory_block_device.h"
+#include "io/serial.h"
+#include "util/temp_dir.h"
+
+namespace oociso::io {
+namespace {
+
+std::vector<std::byte> make_bytes(std::size_t count, int start = 0) {
+  std::vector<std::byte> bytes(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    bytes[i] = static_cast<std::byte>((start + static_cast<int>(i)) & 0xFF);
+  }
+  return bytes;
+}
+
+// ---------------------------------------------------------------------------
+// MemoryBlockDevice + accounting
+// ---------------------------------------------------------------------------
+
+TEST(MemoryDevice, WriteReadRoundTrip) {
+  MemoryBlockDevice device(64);
+  const auto data = make_bytes(100);
+  device.write(0, data);
+  std::vector<std::byte> back(100);
+  device.read(0, back);
+  EXPECT_EQ(back, data);
+  EXPECT_EQ(device.size(), 100u);
+}
+
+TEST(MemoryDevice, AppendReturnsOffset) {
+  MemoryBlockDevice device(64);
+  EXPECT_EQ(device.append(make_bytes(10)), 0u);
+  EXPECT_EQ(device.append(make_bytes(10)), 10u);
+  EXPECT_EQ(device.size(), 20u);
+}
+
+TEST(MemoryDevice, ReadPastEndThrows) {
+  MemoryBlockDevice device(64);
+  device.write(0, make_bytes(8));
+  std::vector<std::byte> buffer(16);
+  EXPECT_THROW(device.read(0, buffer), std::out_of_range);
+}
+
+TEST(IoAccounting, BlockCountsAndOps) {
+  MemoryBlockDevice device(100);
+  device.write(0, make_bytes(250));  // blocks 0,1,2
+  EXPECT_EQ(device.stats().write_ops, 1u);
+  EXPECT_EQ(device.stats().blocks_written, 3u);
+  EXPECT_EQ(device.stats().bytes_written, 250u);
+
+  std::vector<std::byte> buffer(50);
+  device.read(90, buffer);  // spans blocks 0-1
+  EXPECT_EQ(device.stats().read_ops, 1u);
+  EXPECT_EQ(device.stats().blocks_read, 2u);
+}
+
+TEST(IoAccounting, SeeksOnlyOnNonSequentialAccess) {
+  MemoryBlockDevice device(100, /*readahead_blocks=*/0);
+  device.write(0, make_bytes(1000));  // first access: 1 seek
+  EXPECT_EQ(device.stats().seeks, 1u);
+
+  std::vector<std::byte> buffer(100);
+  device.read(0, buffer);  // jump back to block 0: seek
+  EXPECT_EQ(device.stats().seeks, 2u);
+  device.read(100, buffer);  // next block: sequential
+  device.read(200, buffer);  // next block: sequential
+  EXPECT_EQ(device.stats().seeks, 2u);
+  device.read(700, buffer);  // jump: seek
+  EXPECT_EQ(device.stats().seeks, 3u);
+}
+
+TEST(IoAccounting, ForwardSkipsWithinReadaheadAreNotSeeks) {
+  MemoryBlockDevice device(100, /*readahead_blocks=*/4);
+  device.write(0, make_bytes(1000));  // blocks 0..9, 1 seek
+  std::vector<std::byte> buffer(100);
+  device.read(0, buffer);    // backward: seek
+  device.read(300, buffer);  // forward gap of 2 blocks <= window: skip
+  EXPECT_EQ(device.stats().seeks, 2u);
+  EXPECT_EQ(device.stats().skip_blocks, 2u);
+  device.read(900, buffer);  // forward gap of 5 blocks > window: seek
+  EXPECT_EQ(device.stats().seeks, 3u);
+  EXPECT_EQ(device.stats().skip_blocks, 2u);
+}
+
+TEST(IoAccounting, ZeroLengthIsFree) {
+  MemoryBlockDevice device(64);
+  device.write(0, {});
+  EXPECT_EQ(device.stats().total_ops(), 0u);
+}
+
+TEST(IoAccounting, SinceSnapshot) {
+  MemoryBlockDevice device(64);
+  device.write(0, make_bytes(64));
+  const IoStats snapshot = device.stats();
+  device.write(64, make_bytes(64));
+  const IoStats delta = device.stats().since(snapshot);
+  EXPECT_EQ(delta.write_ops, 1u);
+  EXPECT_EQ(delta.bytes_written, 64u);
+}
+
+TEST(DiskModelTest, PricesBandwidthAndSeeks) {
+  DiskModel model;
+  model.block_size = 4096;
+  model.bandwidth_bytes_per_s = 50e6;
+  model.seek_seconds = 0.004;
+  IoStats stats;
+  stats.blocks_read = 1000;
+  stats.seeks = 10;
+  stats.skip_blocks = 24;  // forward skips are charged at bandwidth
+  const double expected = (1000.0 + 24.0) * 4096.0 / 50e6 + 10 * 0.004;
+  EXPECT_DOUBLE_EQ(model.seconds(stats), expected);
+}
+
+// ---------------------------------------------------------------------------
+// FileBlockDevice
+// ---------------------------------------------------------------------------
+
+TEST(FileDevice, RoundTripAndReopen) {
+  util::TempDir dir;
+  const auto path = dir.file("device.dat");
+  const auto data = make_bytes(5000, 3);
+  {
+    FileBlockDevice device(path, FileBlockDevice::Mode::kCreate);
+    device.write(100, data);
+    device.flush();
+    EXPECT_EQ(device.size(), 5100u);
+  }
+  {
+    FileBlockDevice device(path, FileBlockDevice::Mode::kReadOnly);
+    EXPECT_EQ(device.size(), 5100u);
+    std::vector<std::byte> back(5000);
+    device.read(100, back);
+    EXPECT_EQ(back, data);
+  }
+}
+
+TEST(FileDevice, CreateTruncates) {
+  util::TempDir dir;
+  const auto path = dir.file("device.dat");
+  {
+    FileBlockDevice device(path, FileBlockDevice::Mode::kCreate);
+    device.write(0, make_bytes(100));
+  }
+  FileBlockDevice device(path, FileBlockDevice::Mode::kCreate);
+  EXPECT_EQ(device.size(), 0u);
+}
+
+TEST(FileDevice, OpenMissingThrows) {
+  util::TempDir dir;
+  EXPECT_THROW(
+      FileBlockDevice(dir.file("missing"), FileBlockDevice::Mode::kReadOnly),
+      std::system_error);
+}
+
+// ---------------------------------------------------------------------------
+// BufferPool
+// ---------------------------------------------------------------------------
+
+TEST(BufferPoolTest, ReadThroughAndHit) {
+  MemoryBlockDevice device(64);
+  device.write(0, make_bytes(256));
+  device.reset_stats();
+
+  BufferPool pool(device, 4);
+  std::vector<std::byte> buffer(64);
+  pool.read(0, buffer);
+  EXPECT_EQ(pool.misses(), 1u);
+  pool.read(0, buffer);  // same block: cache hit, no device I/O
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(device.stats().read_ops, 1u);
+}
+
+TEST(BufferPoolTest, EvictionWritesBackDirty) {
+  MemoryBlockDevice device(64);
+  BufferPool pool(device, 2);
+  // Write three blocks through a 2-block pool: block 0 must be evicted and
+  // land on the device.
+  pool.write(0, make_bytes(64, 1));
+  pool.write(64, make_bytes(64, 2));
+  pool.write(128, make_bytes(64, 3));
+  EXPECT_GE(device.stats().write_ops, 1u);
+
+  std::vector<std::byte> back(64);
+  device.read(0, back);
+  EXPECT_EQ(back, make_bytes(64, 1));
+}
+
+TEST(BufferPoolTest, FlushPersistsEverything) {
+  MemoryBlockDevice device(64);
+  BufferPool pool(device, 8);
+  const auto data = make_bytes(300, 9);
+  pool.write(10, data);
+  pool.flush();
+  std::vector<std::byte> back(300);
+  device.read(10, back);
+  EXPECT_EQ(back, data);
+  EXPECT_EQ(device.size(), 310u);
+}
+
+TEST(BufferPoolTest, ReadBackUnflushedWrites) {
+  MemoryBlockDevice device(64);
+  BufferPool pool(device, 8);
+  const auto data = make_bytes(100, 5);
+  pool.write(30, data);
+  std::vector<std::byte> back(100);
+  pool.read(30, back);
+  EXPECT_EQ(back, data);
+}
+
+TEST(BufferPoolTest, ReadPastLogicalEndThrows) {
+  MemoryBlockDevice device(64);
+  BufferPool pool(device, 2);
+  pool.write(0, make_bytes(10));
+  std::vector<std::byte> buffer(20);
+  EXPECT_THROW(pool.read(0, buffer), std::out_of_range);
+}
+
+TEST(BufferPoolTest, LruEvictsColdestBlock) {
+  MemoryBlockDevice device(64);
+  device.write(0, make_bytes(64 * 3));
+  device.reset_stats();
+
+  BufferPool pool(device, 2);
+  std::vector<std::byte> buffer(64);
+  pool.read(0, buffer);     // miss: cache {0}
+  pool.read(64, buffer);    // miss: cache {0,1}
+  pool.read(0, buffer);     // hit: 0 becomes MRU
+  pool.read(128, buffer);   // miss: evicts 1 (LRU)
+  pool.read(0, buffer);     // hit: still cached
+  EXPECT_EQ(pool.hits(), 2u);
+  EXPECT_EQ(pool.misses(), 3u);
+}
+
+TEST(BufferPoolTest, ZeroCapacityRejected) {
+  MemoryBlockDevice device(64);
+  EXPECT_THROW(BufferPool(device, 0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// serial
+// ---------------------------------------------------------------------------
+
+TEST(Serial, RoundTrip) {
+  std::vector<std::byte> bytes;
+  ByteWriter writer(bytes);
+  writer.put<std::uint32_t>(0xDEADBEEF);
+  writer.put<float>(3.5f);
+  writer.put<std::uint8_t>(7);
+
+  ByteReader reader(bytes);
+  EXPECT_EQ(reader.get<std::uint32_t>(), 0xDEADBEEFu);
+  EXPECT_FLOAT_EQ(reader.get<float>(), 3.5f);
+  EXPECT_EQ(reader.get<std::uint8_t>(), 7);
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(Serial, TruncatedReadThrows) {
+  std::vector<std::byte> bytes(3);
+  ByteReader reader(bytes);
+  EXPECT_THROW(reader.get<std::uint32_t>(), std::out_of_range);
+}
+
+TEST(Serial, SkipAndPosition) {
+  std::vector<std::byte> bytes(10);
+  ByteReader reader(bytes);
+  reader.skip(4);
+  EXPECT_EQ(reader.position(), 4u);
+  EXPECT_THROW(reader.skip(7), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace oociso::io

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "data/analytic_fields.h"
+#include "metacell/metacell.h"
+#include "metacell/source.h"
+
+namespace oociso::metacell {
+namespace {
+
+using core::Coord3;
+using core::GridDims;
+using core::VolumeU8;
+
+// ---------------------------------------------------------------------------
+// MetacellGeometry
+// ---------------------------------------------------------------------------
+
+TEST(Geometry, PaperDimensions) {
+  // 2048^2 x 1920 one-byte samples with 9-sample metacells -> 256x256x240.
+  const MetacellGeometry geometry({2048, 2048, 1920}, 9);
+  EXPECT_EQ(geometry.metacell_dims(), (GridDims{256, 256, 240}));
+  EXPECT_EQ(geometry.metacell_count(), 256u * 256u * 240u);
+  EXPECT_EQ(geometry.cells_per_side(), 8);
+}
+
+TEST(Geometry, PaperRecordSize) {
+  // 4-byte id + 1-byte vmin + 9^3 one-byte samples = 734 bytes (Section 7).
+  EXPECT_EQ(record_size(core::ScalarKind::kU8, 9), 734u);
+}
+
+TEST(Geometry, SampleOriginAndIds) {
+  const MetacellGeometry geometry({17, 17, 17}, 9);
+  EXPECT_EQ(geometry.metacell_dims(), (GridDims{2, 2, 2}));
+  EXPECT_EQ(geometry.sample_origin(0), (Coord3{0, 0, 0}));
+  const std::uint32_t last = geometry.id({1, 1, 1});
+  EXPECT_EQ(geometry.sample_origin(last), (Coord3{8, 8, 8}));
+}
+
+TEST(Geometry, ValidCellsClippedAtBorder) {
+  // 14 samples = 13 cells: first metacell gets 8 cells, second gets 5.
+  const MetacellGeometry geometry({14, 14, 14}, 9);
+  EXPECT_EQ(geometry.metacell_dims(), (GridDims{2, 2, 2}));
+  EXPECT_EQ(geometry.valid_cells(0), (GridDims{8, 8, 8}));
+  const std::uint32_t last = geometry.id({1, 1, 1});
+  EXPECT_EQ(geometry.valid_cells(last), (GridDims{5, 5, 5}));
+}
+
+TEST(Geometry, RejectsInvalidConfig) {
+  EXPECT_THROW(MetacellGeometry({16, 16, 16}, 1), std::invalid_argument);
+  EXPECT_THROW(MetacellGeometry({1, 16, 16}, 9), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// scan_metacells
+// ---------------------------------------------------------------------------
+
+TEST(Scan, CullsConstantMetacells) {
+  VolumeU8 volume({17, 17, 17}, std::uint8_t{42});  // fully constant
+  const MetacellGeometry geometry(volume.dims(), 9);
+  EXPECT_TRUE(scan_metacells(volume, geometry).empty());
+  EXPECT_EQ(scan_metacells(volume, geometry, /*cull=*/false).size(),
+            geometry.metacell_count());
+}
+
+TEST(Scan, IntervalsAreCorrect) {
+  VolumeU8 volume({17, 17, 17}, std::uint8_t{10});
+  volume.at(2, 3, 4) = 200;  // inside metacell (0,0,0)
+  const MetacellGeometry geometry(volume.dims(), 9);
+  const auto infos = scan_metacells(volume, geometry);
+  ASSERT_EQ(infos.size(), 1u);
+  EXPECT_EQ(infos[0].id, geometry.id({0, 0, 0}));
+  EXPECT_EQ(infos[0].interval, (core::ValueInterval{10, 200}));
+}
+
+TEST(Scan, SharedBoundarySampleAffectsBothNeighbors) {
+  // Sample x=8 is the overlap plane between metacells (0,..) and (1,..).
+  VolumeU8 volume({17, 17, 17}, std::uint8_t{10});
+  volume.at(8, 0, 0) = 99;
+  const MetacellGeometry geometry(volume.dims(), 9);
+  const auto infos = scan_metacells(volume, geometry);
+  ASSERT_EQ(infos.size(), 2u);
+  EXPECT_EQ(infos[0].interval.vmax, 99);
+  EXPECT_EQ(infos[1].interval.vmax, 99);
+}
+
+TEST(Scan, DimensionMismatchThrows) {
+  VolumeU8 volume({17, 17, 17});
+  const MetacellGeometry other({25, 25, 25}, 9);
+  EXPECT_THROW(scan_metacells(volume, other), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// encode / decode
+// ---------------------------------------------------------------------------
+
+TEST(Codec, RoundTripInterior) {
+  const auto volume = data::make_gyroid_field({33, 33, 33});
+  const MetacellGeometry geometry(volume.dims(), 9);
+  const std::uint32_t id = geometry.id({1, 2, 0});
+
+  std::vector<std::byte> bytes;
+  encode_metacell(volume, geometry, id, bytes);
+  EXPECT_EQ(bytes.size(), record_size(core::ScalarKind::kU8, 9));
+
+  const DecodedMetacell cell =
+      decode_metacell(bytes, core::ScalarKind::kU8, geometry);
+  EXPECT_EQ(cell.id, id);
+  EXPECT_EQ(cell.sample_origin, (Coord3{8, 16, 0}));
+  EXPECT_EQ(cell.samples_per_side, 9);
+
+  // Every decoded sample matches the source volume.
+  float vmin = 1e9f;
+  for (std::int32_t z = 0; z < 9; ++z) {
+    for (std::int32_t y = 0; y < 9; ++y) {
+      for (std::int32_t x = 0; x < 9; ++x) {
+        const float expected = static_cast<float>(
+            volume.at(cell.sample_origin.x + x, cell.sample_origin.y + y,
+                      cell.sample_origin.z + z));
+        EXPECT_EQ(cell.sample(x, y, z), expected);
+        vmin = std::min(vmin, expected);
+      }
+    }
+  }
+  EXPECT_EQ(cell.vmin, vmin);
+}
+
+TEST(Codec, BorderMetacellClampsPadding) {
+  const auto volume = data::make_sphere_field({14, 14, 14});
+  const MetacellGeometry geometry(volume.dims(), 9);
+  const std::uint32_t id = geometry.id({1, 1, 1});
+
+  std::vector<std::byte> bytes;
+  encode_metacell(volume, geometry, id, bytes);
+  const DecodedMetacell cell =
+      decode_metacell(bytes, core::ScalarKind::kU8, geometry);
+  EXPECT_EQ(cell.valid_cells, (GridDims{5, 5, 5}));
+  // Padding replicates the border sample.
+  EXPECT_EQ(cell.sample(8, 8, 8), cell.sample(5, 5, 5));
+}
+
+TEST(Codec, RoundTripU16) {
+  const auto volume = data::make_ct_head_field({17, 17, 17});
+  const MetacellGeometry geometry(volume.dims(), 9);
+  std::vector<std::byte> bytes;
+  encode_metacell(volume, geometry, 0, bytes);
+  EXPECT_EQ(bytes.size(), record_size(core::ScalarKind::kU16, 9));
+  const DecodedMetacell cell =
+      decode_metacell(bytes, core::ScalarKind::kU16, geometry);
+  EXPECT_EQ(cell.sample(3, 3, 3), static_cast<float>(volume.at(3, 3, 3)));
+}
+
+TEST(Codec, RejectsWrongSize) {
+  const MetacellGeometry geometry({17, 17, 17}, 9);
+  std::vector<std::byte> bytes(10);
+  EXPECT_THROW(decode_metacell(bytes, core::ScalarKind::kU8, geometry),
+               std::runtime_error);
+}
+
+TEST(Codec, RejectsOutOfRangeId) {
+  const MetacellGeometry geometry({17, 17, 17}, 9);
+  std::vector<std::byte> bytes(record_size(core::ScalarKind::kU8, 9),
+                               std::byte{0xFF});  // id = 0xFFFFFFFF
+  EXPECT_THROW(decode_metacell(bytes, core::ScalarKind::kU8, geometry),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// MetacellSource
+// ---------------------------------------------------------------------------
+
+TEST(Source, OwningSourceMatchesDirectScan) {
+  auto volume = data::make_gyroid_field({25, 25, 25});
+  const MetacellGeometry geometry(volume.dims(), 9);
+  const auto direct = scan_metacells(volume, geometry);
+
+  const auto source = make_source(data::AnyVolume(std::move(volume)), 9);
+  EXPECT_EQ(source->kind(), core::ScalarKind::kU8);
+  EXPECT_EQ(source->geometry().metacell_dims(), geometry.metacell_dims());
+  const auto scanned = source->scan();
+  ASSERT_EQ(scanned.size(), direct.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(scanned[i].id, direct[i].id);
+    EXPECT_EQ(scanned[i].interval, direct[i].interval);
+  }
+}
+
+TEST(Source, RecordSizeMatchesKind) {
+  const auto u16_source =
+      make_source(data::make_dataset("mrbrain", 16), 9);
+  EXPECT_EQ(u16_source->record_size(),
+            record_size(core::ScalarKind::kU16, 9));
+}
+
+}  // namespace
+}  // namespace oociso::metacell

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "data/raw_io.h"
+#include "extract/marching_cubes.h"
+#include "data/rm_generator.h"
+#include "metacell/source.h"
+#include "pipeline/ooc_preprocess.h"
+#include "pipeline/query_engine.h"
+#include "util/temp_dir.h"
+
+namespace oociso::pipeline {
+namespace {
+
+data::RmConfig small_rm() {
+  data::RmConfig config;
+  config.dims = {40, 40, 36};
+  return config;
+}
+
+parallel::Cluster make_cluster(std::size_t nodes,
+                               const std::filesystem::path& dir) {
+  parallel::ClusterConfig config;
+  config.node_count = nodes;
+  config.storage_dir = dir;
+  return parallel::Cluster(config);
+}
+
+TEST(OocPreprocess, MatchesInMemoryPreprocessExactly) {
+  util::TempDir dir("oociso-ooc");
+  const auto volume = data::generate_rm_timestep(small_rm(), 230);
+  const auto volume_file = dir.file("volume.oocv");
+  data::write_volume(data::AnyVolume(volume), volume_file);
+
+  // Reference: in-memory preprocess.
+  std::filesystem::create_directories(dir.path() / "mem");
+  auto memory_cluster = make_cluster(2, dir.path() / "mem");
+  const auto source = metacell::make_source(volume, 9);
+  const PreprocessResult reference = preprocess(*source, memory_cluster);
+
+  // Out-of-core preprocess over the file.
+  std::filesystem::create_directories(dir.path() / "ooc");
+  auto ooc_cluster = make_cluster(2, dir.path() / "ooc");
+  const OocPreprocessResult ooc = preprocess_out_of_core(
+      volume_file, ooc_cluster, dir.path() / "scratch");
+
+  // Identical aggregate layout...
+  EXPECT_EQ(ooc.result.kept_metacells, reference.kept_metacells);
+  EXPECT_EQ(ooc.result.total_metacells, reference.total_metacells);
+  EXPECT_EQ(ooc.result.bricks, reference.bricks);
+  EXPECT_EQ(ooc.result.bytes_written, reference.bytes_written);
+  // ...and bit-identical brick files per node.
+  for (std::size_t node = 0; node < 2; ++node) {
+    const std::uint64_t size = memory_cluster.disk(node).size();
+    ASSERT_EQ(ooc_cluster.disk(node).size(), size);
+    std::vector<std::byte> a(size);
+    std::vector<std::byte> b(size);
+    memory_cluster.disk(node).read(0, a);
+    ooc_cluster.disk(node).read(0, b);
+    EXPECT_EQ(a, b) << "node " << node;
+  }
+}
+
+TEST(OocPreprocess, QueriesMatchReferencePipeline) {
+  util::TempDir dir("oociso-ooc-q");
+  const auto volume = data::generate_rm_timestep(small_rm(), 120);
+  const auto volume_file = dir.file("volume.oocv");
+  data::write_volume(data::AnyVolume(volume), volume_file);
+
+  std::filesystem::create_directories(dir.path() / "cluster");
+  auto cluster = make_cluster(3, dir.path() / "cluster");
+  const OocPreprocessResult ooc =
+      preprocess_out_of_core(volume_file, cluster, dir.path() / "scratch");
+
+  QueryEngine engine(cluster, ooc.result);
+  QueryOptions options;
+  options.render = false;
+  for (const float isovalue : {60.0f, 128.0f, 200.0f}) {
+    extract::TriangleSoup soup;
+    extract::extract_volume(volume, isovalue, soup);
+    const QueryReport report = engine.run(isovalue, options);
+    EXPECT_EQ(report.total_triangles(), soup.size()) << isovalue;
+  }
+}
+
+TEST(OocPreprocess, ScanPassIsSequential) {
+  util::TempDir dir("oociso-ooc-seq");
+  const auto volume = data::generate_rm_timestep(small_rm(), 150);
+  const auto volume_file = dir.file("volume.oocv");
+  data::write_volume(data::AnyVolume(volume), volume_file);
+
+  std::filesystem::create_directories(dir.path() / "cluster");
+  auto cluster = make_cluster(1, dir.path() / "cluster");
+  const OocPreprocessResult ooc =
+      preprocess_out_of_core(volume_file, cluster, dir.path() / "scratch");
+
+  // One slab read per metacell layer; each steps back one overlap row, so
+  // seeks stay bounded by the layer count (plus the first access).
+  const metacell::MetacellGeometry geometry({40, 40, 36}, 9);
+  EXPECT_LE(ooc.scan_io.seeks,
+            static_cast<std::uint64_t>(geometry.metacell_dims().nz) + 1);
+  // Volume bytes are read once, plus the k-th overlap row per layer.
+  const std::uint64_t raw = 40ull * 40 * 36;
+  EXPECT_GE(ooc.scan_io.bytes_read, raw);
+  EXPECT_LE(ooc.scan_io.bytes_read, raw + raw / 4);
+}
+
+TEST(OocPreprocess, WorksWithU16Volumes) {
+  util::TempDir dir("oociso-ooc-u16");
+  const auto volume = std::get<core::VolumeU16>(data::make_dataset("mrbrain", 8));
+  const auto volume_file = dir.file("volume.oocv");
+  data::write_volume(data::AnyVolume(volume), volume_file);
+
+  std::filesystem::create_directories(dir.path() / "cluster");
+  auto cluster = make_cluster(2, dir.path() / "cluster");
+  const OocPreprocessResult ooc =
+      preprocess_out_of_core(volume_file, cluster, dir.path() / "scratch");
+  EXPECT_EQ(ooc.result.kind, core::ScalarKind::kU16);
+  EXPECT_GT(ooc.result.kept_metacells, 0u);
+
+  // Cross-check one query against the in-core reference.
+  QueryEngine engine(cluster, ooc.result);
+  QueryOptions options;
+  options.render = false;
+  extract::TriangleSoup soup;
+  extract::extract_volume(volume, 1800.0f, soup);
+  EXPECT_EQ(engine.run(1800.0f, options).total_triangles(), soup.size());
+}
+
+TEST(OocPreprocess, RejectsGarbageFile) {
+  util::TempDir dir("oociso-ooc-bad");
+  std::ofstream(dir.file("junk.oocv"), std::ios::binary)
+      << "not a volume at all, sorry";
+  std::filesystem::create_directories(dir.path() / "cluster");
+  auto cluster = make_cluster(1, dir.path() / "cluster");
+  EXPECT_THROW(preprocess_out_of_core(dir.file("junk.oocv"), cluster,
+                                      dir.path() / "scratch"),
+               std::runtime_error);
+}
+
+TEST(OocPreprocess, ScratchIsRemovedOnSuccess) {
+  util::TempDir dir("oociso-ooc-clean");
+  const auto volume = data::generate_rm_timestep(small_rm(), 60);
+  const auto volume_file = dir.file("volume.oocv");
+  data::write_volume(data::AnyVolume(volume), volume_file);
+  std::filesystem::create_directories(dir.path() / "cluster");
+  auto cluster = make_cluster(1, dir.path() / "cluster");
+  (void)preprocess_out_of_core(volume_file, cluster, dir.path() / "scratch");
+  EXPECT_FALSE(
+      std::filesystem::exists(dir.path() / "scratch" / "records.scratch"));
+}
+
+}  // namespace
+}  // namespace oociso::pipeline

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "parallel/cluster.h"
+#include "parallel/cost_model.h"
+#include "parallel/thread_pool.h"
+#include "parallel/time_ledger.h"
+#include "util/temp_dir.h"
+
+namespace oociso::parallel {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPoolTest, ReturnsValues) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPoolTest, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto future = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::mutex mutex;
+  std::set<std::size_t> seen;
+  parallel_for(pool, 20, [&](std::size_t i) {
+    std::lock_guard lock(mutex);
+    seen.insert(i);
+  });
+  EXPECT_EQ(seen.size(), 20u);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrows) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(pool, 8,
+                            [](std::size_t i) {
+                              if (i == 3) throw std::logic_error("bad index");
+                            }),
+               std::logic_error);
+}
+
+TEST(ThreadPoolTest, MinimumOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 1u);
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Cost models
+// ---------------------------------------------------------------------------
+
+TEST(NetworkModelTest, PricesLatencyAndBandwidth) {
+  NetworkModel model;
+  model.latency_seconds = 1e-5;
+  model.bandwidth_bytes_per_s = 1e9;
+  EXPECT_DOUBLE_EQ(model.seconds(10, 2'000'000'000), 1e-4 + 2.0);
+  EXPECT_DOUBLE_EQ(model.seconds(0, 0), 0.0);
+}
+
+TEST(NetworkModelTest, DefaultIsTenGigabit) {
+  const NetworkModel model;
+  // 1.25 GB at 10 Gb/s == 1 s of transfer.
+  EXPECT_NEAR(model.seconds(0, 1'250'000'000), 1.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// TimeLedger
+// ---------------------------------------------------------------------------
+
+TEST(TimeLedgerTest, AccumulatesPerPhase) {
+  TimeLedger ledger;
+  ledger.add(Phase::kAmcRetrieval, 1.0);
+  ledger.add(Phase::kAmcRetrieval, 0.5);
+  ledger.add(Phase::kTriangulation, 2.0);
+  EXPECT_DOUBLE_EQ(ledger.get(Phase::kAmcRetrieval), 1.5);
+  EXPECT_DOUBLE_EQ(ledger.total(), 3.5);
+  ledger.reset();
+  EXPECT_DOUBLE_EQ(ledger.total(), 0.0);
+}
+
+TEST(ClusterTimesTest, CompletionIsMaxPerPhase) {
+  ClusterTimes times;
+  times.per_node.resize(2);
+  times.per_node[0].add(Phase::kAmcRetrieval, 1.0);
+  times.per_node[0].add(Phase::kTriangulation, 1.0);
+  times.per_node[1].add(Phase::kAmcRetrieval, 3.0);
+  times.per_node[1].add(Phase::kTriangulation, 0.5);
+  // Barrier semantics: max(1,3) + max(1,0.5) = 4.
+  EXPECT_DOUBLE_EQ(times.completion_seconds(), 4.0);
+  EXPECT_DOUBLE_EQ(times.total_work_seconds(), 5.5);
+  EXPECT_DOUBLE_EQ(times.max_phase(Phase::kAmcRetrieval), 3.0);
+  EXPECT_DOUBLE_EQ(times.sum_phase(Phase::kTriangulation), 1.5);
+}
+
+TEST(PhaseNames, AreHumanReadable) {
+  EXPECT_EQ(phase_name(Phase::kAmcRetrieval), "amc-retrieval");
+  EXPECT_EQ(phase_name(Phase::kCompositing), "compositing");
+}
+
+// ---------------------------------------------------------------------------
+// Cluster
+// ---------------------------------------------------------------------------
+
+TEST(ClusterTest, InMemoryNodesHaveIndependentDisks) {
+  ClusterConfig config;
+  config.node_count = 3;
+  config.in_memory = true;
+  Cluster cluster(config);
+  ASSERT_EQ(cluster.size(), 3u);
+
+  const std::byte data[4] = {std::byte{1}, std::byte{2}, std::byte{3},
+                             std::byte{4}};
+  cluster.disk(0).write(0, data);
+  EXPECT_EQ(cluster.disk(0).size(), 4u);
+  EXPECT_EQ(cluster.disk(1).size(), 0u);
+}
+
+TEST(ClusterTest, FileBackedCreatesPerNodeDirectories) {
+  util::TempDir dir;
+  ClusterConfig config;
+  config.node_count = 2;
+  config.storage_dir = dir.path();
+  Cluster cluster(config);
+  EXPECT_TRUE(std::filesystem::exists(dir.path() / "node0" / "bricks.dat"));
+  EXPECT_TRUE(std::filesystem::exists(dir.path() / "node1" / "bricks.dat"));
+}
+
+TEST(ClusterTest, RunExecutesEveryNodeOnce) {
+  ClusterConfig config;
+  config.node_count = 4;
+  config.in_memory = true;
+  Cluster cluster(config);
+  std::mutex mutex;
+  std::multiset<std::size_t> visits;
+  cluster.run([&](std::size_t node) {
+    std::lock_guard lock(mutex);
+    visits.insert(node);
+  });
+  EXPECT_EQ(visits.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(visits.count(i), 1u);
+}
+
+TEST(ClusterTest, RejectsBadConfig) {
+  ClusterConfig empty;
+  empty.node_count = 0;
+  empty.in_memory = true;
+  EXPECT_THROW(Cluster{empty}, std::invalid_argument);
+
+  ClusterConfig no_dir;
+  no_dir.node_count = 1;
+  EXPECT_THROW(Cluster{no_dir}, std::invalid_argument);
+}
+
+TEST(ClusterTest, CostHelpersUseConfiguredModels) {
+  ClusterConfig config;
+  config.node_count = 1;
+  config.in_memory = true;
+  config.disk.bandwidth_bytes_per_s = 100.0;
+  config.disk.block_size = 10;
+  config.disk.seek_seconds = 0.0;
+  Cluster cluster(config);
+  io::IoStats stats;
+  stats.blocks_read = 5;  // 50 bytes at 100 B/s
+  EXPECT_DOUBLE_EQ(cluster.disk_seconds(stats), 0.5);
+  EXPECT_GT(cluster.network_seconds(1, 1'000'000), 0.0);
+}
+
+}  // namespace
+}  // namespace oociso::parallel

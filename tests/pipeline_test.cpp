@@ -1,0 +1,338 @@
+#include <gtest/gtest.h>
+
+#include "data/analytic_fields.h"
+#include "data/rm_generator.h"
+#include "extract/marching_cubes.h"
+#include "metacell/source.h"
+#include "pipeline/query_engine.h"
+#include "pipeline/timevarying.h"
+#include "util/stats.h"
+#include "util/temp_dir.h"
+
+namespace oociso::pipeline {
+namespace {
+
+parallel::Cluster make_cluster(std::size_t nodes) {
+  parallel::ClusterConfig config;
+  config.node_count = nodes;
+  config.in_memory = true;
+  return parallel::Cluster(config);
+}
+
+data::RmConfig small_rm() {
+  data::RmConfig config;
+  config.dims = {48, 48, 44};
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// Preprocess
+// ---------------------------------------------------------------------------
+
+TEST(Preprocess, CullsAndWritesBricks) {
+  auto cluster = make_cluster(1);
+  const auto volume = data::generate_rm_timestep(small_rm(), 150);
+  const auto source = metacell::make_source(volume, 9);
+  const PreprocessResult result = preprocess(*source, cluster);
+
+  EXPECT_EQ(result.total_metacells, 6u * 6u * 6u);
+  EXPECT_LT(result.kept_metacells, result.total_metacells);
+  EXPECT_GT(result.culled_fraction(), 0.1);
+  // Brick bytes == kept metacells x record size.
+  EXPECT_EQ(result.bytes_written, result.kept_metacells * 734u);
+  EXPECT_EQ(cluster.disk(0).size(), result.bytes_written);
+  // The in-core index is tiny relative to the data (u8: n <= 256).
+  EXPECT_LT(result.index_bytes(), 64u * 1024u);
+}
+
+TEST(Preprocess, StripingConservesBytes) {
+  const auto volume = data::generate_rm_timestep(small_rm(), 150);
+  auto serial = make_cluster(1);
+  auto striped = make_cluster(4);
+  const auto source = metacell::make_source(volume, 9);
+  const PreprocessResult a = preprocess(*source, serial);
+  const PreprocessResult b = preprocess(*source, striped);
+  EXPECT_EQ(a.bytes_written, b.bytes_written);
+  EXPECT_EQ(a.kept_metacells, b.kept_metacells);
+  std::uint64_t striped_bytes = 0;
+  for (std::size_t i = 0; i < 4; ++i) striped_bytes += striped.disk(i).size();
+  EXPECT_EQ(striped_bytes, b.bytes_written);
+}
+
+TEST(Preprocess, RejectsMismatchedMetacellSize) {
+  auto cluster = make_cluster(1);
+  const auto source =
+      metacell::make_source(data::make_sphere_field({32, 32, 32}), 5);
+  PreprocessConfig config;
+  config.samples_per_side = 9;  // source was built with 5
+  EXPECT_THROW(preprocess(*source, cluster, config), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// QueryEngine: out-of-core result == in-core reference
+// ---------------------------------------------------------------------------
+
+class PipelineMatchesReference : public ::testing::TestWithParam<std::size_t> {
+};
+
+TEST_P(PipelineMatchesReference, TrianglesAndAreaIdentical) {
+  const std::size_t nodes = GetParam();
+  const auto volume = data::generate_rm_timestep(small_rm(), 200);
+  auto cluster = make_cluster(nodes);
+  const auto source = metacell::make_source(volume, 9);
+  const PreprocessResult prep = preprocess(*source, cluster);
+  QueryEngine engine(cluster, prep);
+
+  for (const float isovalue : {60.0f, 128.0f, 190.0f}) {
+    extract::TriangleSoup reference;
+    extract::extract_volume(volume, isovalue, reference);
+
+    QueryOptions options;
+    options.render = false;
+    options.keep_triangles = true;
+    const QueryReport report = engine.run(isovalue, options);
+
+    EXPECT_EQ(report.total_triangles(), reference.size())
+        << "nodes=" << nodes << " iso=" << isovalue;
+    ASSERT_TRUE(report.triangles_out.has_value());
+    EXPECT_EQ(report.triangles_out->size(), reference.size());
+    EXPECT_NEAR(report.triangles_out->total_area(), reference.total_area(),
+                reference.total_area() * 1e-6 + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NodeSweep, PipelineMatchesReference,
+                         ::testing::Values(1, 2, 3, 4, 8),
+                         [](const auto& info) {
+                           return "p" + std::to_string(info.param);
+                         });
+
+TEST(QueryEngineTest, ActiveMetacellsMatchBruteForce) {
+  const auto volume = data::generate_rm_timestep(small_rm(), 150);
+  auto cluster = make_cluster(2);
+  const auto source = metacell::make_source(volume, 9);
+  const auto infos = source->scan();
+  const PreprocessResult prep = preprocess(*source, cluster);
+  QueryEngine engine(cluster, prep);
+
+  QueryOptions options;
+  options.render = false;
+  for (const float isovalue : {40.0f, 128.0f, 220.0f}) {
+    std::uint64_t expected = 0;
+    for (const auto& info : infos) {
+      if (info.interval.stabs(isovalue)) ++expected;
+    }
+    const QueryReport report = engine.run(isovalue, options);
+    EXPECT_EQ(report.total_active_metacells(), expected) << isovalue;
+  }
+}
+
+TEST(QueryEngineTest, ReportAccountingIsConsistent) {
+  const auto volume = data::generate_rm_timestep(small_rm(), 180);
+  auto cluster = make_cluster(3);
+  const auto source = metacell::make_source(volume, 9);
+  const PreprocessResult prep = preprocess(*source, cluster);
+  QueryEngine engine(cluster, prep);
+
+  QueryOptions options;
+  options.keep_triangles = true;
+  options.keep_image = true;
+  const QueryReport report = engine.run(128.0f, options);
+
+  ASSERT_EQ(report.nodes.size(), 3u);
+  std::uint64_t sum_amc = 0;
+  std::uint64_t sum_triangles = 0;
+  for (const auto& node : report.nodes) {
+    sum_amc += node.active_metacells;
+    sum_triangles += node.triangles;
+    EXPECT_LE(node.active_metacells, node.records_fetched);
+    EXPECT_GT(node.io.bytes_read, 0u);
+    EXPECT_GT(node.io_model_seconds, 0.0);
+  }
+  EXPECT_EQ(report.total_active_metacells(), sum_amc);
+  EXPECT_EQ(report.total_triangles(), sum_triangles);
+  EXPECT_EQ(report.triangles_out->size(), sum_triangles);
+  EXPECT_GT(report.completion_seconds(), 0.0);
+  EXPECT_GT(report.mtri_per_second(), 0.0);
+  EXPECT_GT(report.composite_traffic.bytes_total, 0u);
+  ASSERT_TRUE(report.image.has_value());
+  EXPECT_GT(report.image->covered_pixels(), 0u);
+}
+
+TEST(QueryEngineTest, ParallelImageMatchesSerialImage) {
+  const auto volume = data::generate_rm_timestep(small_rm(), 150);
+  QueryOptions options;
+  options.keep_image = true;
+  options.image_width = 128;
+  options.image_height = 128;
+
+  auto serial_cluster = make_cluster(1);
+  const auto source = metacell::make_source(volume, 9);
+  const PreprocessResult serial_prep = preprocess(*source, serial_cluster);
+  QueryEngine serial_engine(serial_cluster, serial_prep);
+  const QueryReport serial = serial_engine.run(128.0f, options);
+
+  auto parallel_cluster = make_cluster(4);
+  const PreprocessResult parallel_prep =
+      preprocess(*source, parallel_cluster);
+  QueryEngine parallel_engine(parallel_cluster, parallel_prep);
+  const QueryReport parallel = parallel_engine.run(128.0f, options);
+
+  // Same triangles, rasterized per node then z-merged, must reproduce the
+  // serial image except where equal-depth fragments tie; allow a sliver.
+  ASSERT_TRUE(serial.image && parallel.image);
+  std::size_t differing = 0;
+  for (std::int32_t y = 0; y < 128; ++y) {
+    for (std::int32_t x = 0; x < 128; ++x) {
+      if (serial.image->color_at(x, y) != parallel.image->color_at(x, y)) {
+        ++differing;
+      }
+    }
+  }
+  EXPECT_LE(differing, serial.image->pixel_count() / 200);
+}
+
+TEST(QueryEngineTest, LoadBalanceAcrossIsovalues) {
+  // The paper's Tables 6-7: per-node AMC and triangle counts are nearly
+  // equal for every isovalue.
+  const auto volume = data::generate_rm_timestep(small_rm(), 220);
+  auto cluster = make_cluster(4);
+  const auto source = metacell::make_source(volume, 9);
+  const PreprocessResult prep = preprocess(*source, cluster);
+  QueryEngine engine(cluster, prep);
+
+  QueryOptions options;
+  options.render = false;
+  for (const float isovalue : {50.0f, 100.0f, 150.0f, 200.0f}) {
+    const QueryReport report = engine.run(isovalue, options);
+    if (report.total_active_metacells() < 100) continue;  // too few to judge
+    std::vector<std::uint64_t> amc;
+    for (const auto& node : report.nodes) amc.push_back(node.active_metacells);
+    EXPECT_LT(util::imbalance(amc), 0.10) << "iso=" << isovalue;
+  }
+}
+
+TEST(QueryEngineTest, RejectsMismatchedCluster) {
+  const auto volume = data::make_sphere_field({24, 24, 24});
+  auto build_cluster = make_cluster(2);
+  const auto source = metacell::make_source(volume, 9);
+  const PreprocessResult prep = preprocess(*source, build_cluster);
+  auto other_cluster = make_cluster(3);
+  EXPECT_THROW(QueryEngine(other_cluster, prep), std::invalid_argument);
+}
+
+TEST(QueryEngineTest, EmptyIsovalueProducesNothing) {
+  const auto volume = data::make_sphere_field({24, 24, 24});
+  auto cluster = make_cluster(2);
+  const auto source = metacell::make_source(volume, 9);
+  const PreprocessResult prep = preprocess(*source, cluster);
+  QueryEngine engine(cluster, prep);
+  QueryOptions options;
+  options.render = false;
+  const QueryReport report = engine.run(300.0f, options);
+  EXPECT_EQ(report.total_active_metacells(), 0u);
+  EXPECT_EQ(report.total_triangles(), 0u);
+}
+
+TEST(QueryEngineTest, CompositeSchedulesProduceSameImage) {
+  const auto volume = data::generate_rm_timestep(small_rm(), 150);
+  auto cluster = make_cluster(4);
+  const auto source = metacell::make_source(volume, 9);
+  const PreprocessResult prep = preprocess(*source, cluster);
+  QueryEngine engine(cluster, prep);
+
+  QueryOptions options;
+  options.keep_image = true;
+  options.image_width = options.image_height = 96;
+  options.schedule = CompositeSchedule::kBinarySwap;
+  const QueryReport swap = engine.run(128.0f, options);
+  options.schedule = CompositeSchedule::kDirectSend;
+  const QueryReport direct = engine.run(128.0f, options);
+
+  ASSERT_TRUE(swap.image && direct.image);
+  for (std::int32_t y = 0; y < 96; ++y) {
+    for (std::int32_t x = 0; x < 96; ++x) {
+      ASSERT_EQ(swap.image->color_at(x, y), direct.image->color_at(x, y))
+          << "pixel (" << x << ", " << y << ")";
+    }
+  }
+  // Direct send concentrates (p-1) buffers on the display node; binary swap
+  // caps per-node traffic near two buffers.
+  EXPECT_LT(swap.composite_traffic.max_node_bytes,
+            direct.composite_traffic.max_node_bytes);
+}
+
+TEST(QueryEngineTest, FloatVolumesWorkEndToEnd) {
+  // f32 scalar path: build a float field, run the full out-of-core pipeline.
+  const core::GridDims dims{24, 24, 20};
+  core::VolumeF32 volume(dims);
+  for (std::int32_t z = 0; z < dims.nz; ++z) {
+    for (std::int32_t y = 0; y < dims.ny; ++y) {
+      for (std::int32_t x = 0; x < dims.nx; ++x) {
+        volume.at(x, y, z) =
+            0.5f * static_cast<float>(x) + 0.25f * static_cast<float>(y) +
+            0.125f * static_cast<float>(z);  // non-integer values
+      }
+    }
+  }
+  extract::TriangleSoup reference;
+  extract::extract_volume(volume, 7.3f, reference);
+  ASSERT_GT(reference.size(), 0u);
+
+  auto cluster = make_cluster(2);
+  const metacell::VolumeMetacellSource<float> source(volume, 9);
+  const PreprocessResult prep = preprocess(source, cluster);
+  EXPECT_EQ(prep.kind, core::ScalarKind::kF32);
+  QueryEngine engine(cluster, prep);
+  QueryOptions options;
+  options.render = false;
+  EXPECT_EQ(engine.run(7.3f, options).total_triangles(), reference.size());
+}
+
+// ---------------------------------------------------------------------------
+// Time-varying engine
+// ---------------------------------------------------------------------------
+
+TEST(TimeVarying, PerStepQueriesMatchSingleStepPipelines) {
+  data::RmConfig rm = small_rm();
+  auto cluster = make_cluster(2);
+  TimeVaryingEngine engine(
+      cluster, [&rm](int step) { return data::generate_rm_timestep(rm, step); });
+  engine.preprocess_steps(100, 3);
+  ASSERT_EQ(engine.steps().size(), 3u);
+
+  QueryOptions options;
+  options.render = false;
+  for (const int step : {100, 101, 102}) {
+    const QueryReport report = engine.query(step, 128.0f, options);
+
+    // Reference: a fresh single-step pipeline.
+    const auto volume = data::generate_rm_timestep(rm, step);
+    extract::TriangleSoup reference;
+    extract::extract_volume(volume, 128.0f, reference);
+    EXPECT_EQ(report.total_triangles(), reference.size()) << "step " << step;
+  }
+}
+
+TEST(TimeVarying, IndexStaysSmallAcrossSteps) {
+  data::RmConfig rm = small_rm();
+  auto cluster = make_cluster(2);
+  TimeVaryingEngine engine(
+      cluster, [&rm](int step) { return data::generate_rm_timestep(rm, step); });
+  engine.preprocess_steps(50, 4);
+  // Four steps, two nodes: well under a megabyte (Section 5.2's argument).
+  EXPECT_LT(engine.total_index_bytes(), 1u << 20);
+}
+
+TEST(TimeVarying, UnknownStepThrows) {
+  data::RmConfig rm = small_rm();
+  auto cluster = make_cluster(1);
+  TimeVaryingEngine engine(
+      cluster, [&rm](int step) { return data::generate_rm_timestep(rm, step); });
+  engine.preprocess_steps(10, 1);
+  EXPECT_THROW(engine.query(11, 100.0f), std::out_of_range);
+  EXPECT_THROW(engine.preprocess_steps(10, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oociso::pipeline

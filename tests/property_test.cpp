@@ -1,0 +1,214 @@
+// Property-based suites: the pipeline's end-to-end invariants swept over
+// datasets, isovalues, node counts, and metacell sizes via parameterized
+// gtest. Each property is the repository-level statement of one of the
+// paper's claims (correctness, I/O proportionality, balance, no extra work).
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <set>
+
+#include "data/analytic_fields.h"
+#include "data/rm_generator.h"
+#include "extract/marching_cubes.h"
+#include "io/serial.h"
+#include "metacell/source.h"
+#include "pipeline/query_engine.h"
+#include "util/stats.h"
+
+namespace oociso {
+namespace {
+
+using pipeline::PreprocessResult;
+using pipeline::QueryEngine;
+using pipeline::QueryOptions;
+using pipeline::QueryReport;
+
+core::VolumeU8 make_field(const std::string& name) {
+  const core::GridDims dims{40, 40, 36};
+  if (name == "sphere") return data::make_sphere_field(dims);
+  if (name == "gyroid") return data::make_gyroid_field(dims);
+  if (name == "torus") return data::make_torus_field(dims);
+  data::RmConfig rm;
+  rm.dims = dims;
+  return data::generate_rm_timestep(rm, 170);
+}
+
+parallel::Cluster make_cluster(std::size_t nodes) {
+  parallel::ClusterConfig config;
+  config.node_count = nodes;
+  config.in_memory = true;
+  return parallel::Cluster(config);
+}
+
+struct PropertyCase {
+  std::string field;
+  std::size_t nodes;
+  std::int32_t samples_per_side;
+  float isovalue;
+};
+
+std::string case_name(const ::testing::TestParamInfo<PropertyCase>& info) {
+  return info.param.field + "_p" + std::to_string(info.param.nodes) + "_k" +
+         std::to_string(info.param.samples_per_side) + "_iso" +
+         std::to_string(static_cast<int>(info.param.isovalue));
+}
+
+class PipelineProperty : public ::testing::TestWithParam<PropertyCase> {
+ protected:
+  void SetUp() override {
+    const PropertyCase& param = GetParam();
+    volume_ = make_field(param.field);
+    cluster_.emplace(make_cluster_config(param.nodes));
+    source_ = metacell::make_source(volume_, param.samples_per_side);
+    pipeline::PreprocessConfig config;
+    config.samples_per_side = param.samples_per_side;
+    prep_.emplace(pipeline::preprocess(*source_, *cluster_, config));
+  }
+
+  static parallel::ClusterConfig make_cluster_config(std::size_t nodes) {
+    parallel::ClusterConfig config;
+    config.node_count = nodes;
+    config.in_memory = true;
+    return config;
+  }
+
+  core::VolumeU8 volume_{core::GridDims{2, 2, 2}};
+  std::optional<parallel::Cluster> cluster_;
+  std::unique_ptr<metacell::MetacellSource> source_;
+  std::optional<PreprocessResult> prep_;
+};
+
+// Property 1 (correctness): the out-of-core pipeline produces exactly the
+// triangles of the in-core marching-cubes reference.
+TEST_P(PipelineProperty, MatchesInCoreReference) {
+  QueryEngine engine(*cluster_, *prep_);
+  QueryOptions options;
+  options.render = false;
+  options.keep_triangles = true;
+  const QueryReport report = engine.run(GetParam().isovalue, options);
+
+  extract::TriangleSoup reference;
+  extract::extract_volume(volume_, GetParam().isovalue, reference);
+  EXPECT_EQ(report.total_triangles(), reference.size());
+  EXPECT_NEAR(report.triangles_out->total_area(), reference.total_area(),
+              reference.total_area() * 1e-6 + 1e-6);
+}
+
+// Property 2 (exact retrieval): every active metacell is delivered exactly
+// once across all nodes, and nothing inactive is delivered.
+TEST_P(PipelineProperty, DeliversActiveSetExactlyOnce) {
+  const float isovalue = GetParam().isovalue;
+  std::set<std::uint32_t> expected;
+  for (const auto& info : source_->scan()) {
+    if (info.interval.stabs(isovalue)) expected.insert(info.id);
+  }
+
+  std::set<std::uint32_t> delivered;
+  for (std::size_t d = 0; d < cluster_->size(); ++d) {
+    prep_->trees[d].query(
+        isovalue, cluster_->disk(d), [&](std::span<const std::byte> record) {
+          io::ByteReader reader(record);
+          const auto [it, inserted] =
+              delivered.insert(reader.get<std::uint32_t>());
+          EXPECT_TRUE(inserted) << "duplicate delivery";
+        });
+  }
+  EXPECT_EQ(delivered, expected);
+}
+
+// Property 3 (I/O proportionality): per-node overshoot is bounded by the
+// bricks scanned — the O(T/B + log n) bound's additive term.
+TEST_P(PipelineProperty, OvershootBoundedByBricks) {
+  const float isovalue = GetParam().isovalue;
+  for (std::size_t d = 0; d < cluster_->size(); ++d) {
+    const index::QueryStats stats =
+        prep_->trees[d].query(isovalue, cluster_->disk(d), [](auto) {});
+    EXPECT_LE(stats.records_fetched - stats.active_metacells,
+              stats.bricks_scanned);
+  }
+}
+
+// Property 4 (balance): per-node active counts differ by at most the
+// number of bricks on the query path (+1).
+TEST_P(PipelineProperty, NodeCountsNearlyEqual) {
+  const float isovalue = GetParam().isovalue;
+  std::vector<std::uint64_t> per_node;
+  std::uint64_t max_bricks = 0;
+  for (std::size_t d = 0; d < cluster_->size(); ++d) {
+    const index::QueryStats stats =
+        prep_->trees[d].query(isovalue, cluster_->disk(d), [](auto) {});
+    per_node.push_back(stats.active_metacells);
+    max_bricks = std::max(max_bricks, stats.bricks_scanned);
+  }
+  const auto [lo, hi] = std::minmax_element(per_node.begin(), per_node.end());
+  EXPECT_LE(*hi - *lo, max_bricks + 1);
+}
+
+// Property 5 (no extra work): total metacells delivered across p nodes
+// equals the serial delivery count.
+TEST_P(PipelineProperty, TotalWorkEqualsSerial) {
+  const float isovalue = GetParam().isovalue;
+  std::uint64_t parallel_total = 0;
+  for (std::size_t d = 0; d < cluster_->size(); ++d) {
+    parallel_total += prep_->trees[d]
+                          .query(isovalue, cluster_->disk(d), [](auto) {})
+                          .active_metacells;
+  }
+
+  auto serial_cluster = make_cluster(1);
+  const PreprocessResult serial_prep =
+      pipeline::preprocess(*source_, serial_cluster,
+                           {GetParam().samples_per_side, true});
+  const std::uint64_t serial_total =
+      serial_prep.trees[0]
+          .query(isovalue, serial_cluster.disk(0), [](auto) {})
+          .active_metacells;
+  EXPECT_EQ(parallel_total, serial_total);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PipelineProperty,
+    ::testing::Values(
+        PropertyCase{"sphere", 1, 9, 128.0f},
+        PropertyCase{"sphere", 4, 9, 80.0f},
+        PropertyCase{"gyroid", 2, 9, 128.0f},
+        PropertyCase{"gyroid", 4, 5, 100.0f},
+        PropertyCase{"gyroid", 3, 17, 150.0f},
+        PropertyCase{"torus", 2, 9, 200.0f},
+        PropertyCase{"rm", 1, 9, 70.0f},
+        PropertyCase{"rm", 4, 9, 128.0f},
+        PropertyCase{"rm", 8, 9, 190.0f},
+        PropertyCase{"rm", 5, 5, 60.0f}),
+    case_name);
+
+// ---------------------------------------------------------------------------
+// Isovalue sweep invariants on one fixed configuration
+// ---------------------------------------------------------------------------
+
+class IsovalueSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(IsovalueSweep, PipelineMatchesReferenceEverywhere) {
+  static const core::VolumeU8 volume = make_field("rm");
+  static auto cluster = make_cluster(2);
+  static const auto source = metacell::make_source(volume, 9);
+  static const PreprocessResult prep = [&] {
+    return pipeline::preprocess(*source, cluster);
+  }();
+
+  const auto isovalue = static_cast<float>(GetParam());
+  QueryEngine engine(cluster, prep);
+  QueryOptions options;
+  options.render = false;
+  const QueryReport report = engine.run(isovalue, options);
+
+  extract::TriangleSoup reference;
+  extract::extract_volume(volume, isovalue, reference);
+  EXPECT_EQ(report.total_triangles(), reference.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRange, IsovalueSweep,
+                         ::testing::Range(10, 211, 20));  // paper's 10..210
+
+}  // namespace
+}  // namespace oociso

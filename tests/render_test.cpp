@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "render/camera.h"
+#include "render/framebuffer.h"
+#include "render/rasterizer.h"
+#include "util/temp_dir.h"
+
+namespace oociso::render {
+namespace {
+
+using core::Vec3;
+
+// ---------------------------------------------------------------------------
+// Framebuffer
+// ---------------------------------------------------------------------------
+
+TEST(FramebufferTest, StartsCleared) {
+  Framebuffer fb(8, 8);
+  EXPECT_EQ(fb.covered_pixels(), 0u);
+  EXPECT_EQ(fb.depth_at(3, 3), Framebuffer::kFarDepth);
+  EXPECT_EQ(fb.color_at(3, 3), (Rgb{0, 0, 0}));
+}
+
+TEST(FramebufferTest, PlotRespectsDepth) {
+  Framebuffer fb(4, 4);
+  EXPECT_TRUE(fb.plot(1, 1, 5.0f, {10, 0, 0}));
+  EXPECT_FALSE(fb.plot(1, 1, 7.0f, {0, 10, 0}));  // farther: rejected
+  EXPECT_TRUE(fb.plot(1, 1, 2.0f, {0, 0, 10}));   // nearer: wins
+  EXPECT_EQ(fb.color_at(1, 1), (Rgb{0, 0, 10}));
+  EXPECT_FLOAT_EQ(fb.depth_at(1, 1), 2.0f);
+  EXPECT_EQ(fb.covered_pixels(), 1u);
+}
+
+TEST(FramebufferTest, CompositeKeepsNearer) {
+  Framebuffer a(2, 2);
+  Framebuffer b(2, 2);
+  a.plot(0, 0, 1.0f, {255, 0, 0});
+  b.plot(0, 0, 2.0f, {0, 255, 0});
+  b.plot(1, 1, 3.0f, {0, 0, 255});
+  a.composite_min_depth(b);
+  EXPECT_EQ(a.color_at(0, 0), (Rgb{255, 0, 0}));  // a was nearer
+  EXPECT_EQ(a.color_at(1, 1), (Rgb{0, 0, 255}));  // only b covered
+}
+
+TEST(FramebufferTest, CompositeRejectsSizeMismatch) {
+  Framebuffer a(2, 2);
+  Framebuffer b(3, 2);
+  EXPECT_THROW(a.composite_min_depth(b), std::invalid_argument);
+}
+
+TEST(FramebufferTest, RejectsBadDimensions) {
+  EXPECT_THROW(Framebuffer(0, 5), std::invalid_argument);
+  EXPECT_THROW(Framebuffer(5, -1), std::invalid_argument);
+}
+
+TEST(FramebufferTest, PpmOutput) {
+  util::TempDir dir;
+  Framebuffer fb(3, 2);
+  fb.plot(0, 0, 1.0f, {1, 2, 3});
+  const auto path = dir.file("img.ppm");
+  fb.write_ppm(path);
+
+  std::ifstream in(path, std::ios::binary);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "P6");
+  std::getline(in, header);
+  EXPECT_EQ(header, "3 2");
+  // Header "P6\n3 2\n255\n" is 11 bytes; payload is w*h*3.
+  EXPECT_EQ(std::filesystem::file_size(path), 11u + 3u * 2u * 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Camera
+// ---------------------------------------------------------------------------
+
+TEST(CameraTest, CenterProjectsToScreenCenter) {
+  const Camera camera({0, 0, -10}, {0, 0, 0}, {0, 1, 0}, 45.0f, 200, 100);
+  const auto projected = camera.project({0, 0, 0});
+  ASSERT_TRUE(projected.has_value());
+  EXPECT_NEAR(projected->x, 100.0f, 1e-3f);
+  EXPECT_NEAR(projected->y, 50.0f, 1e-3f);
+  EXPECT_NEAR(projected->depth, 10.0f, 1e-4f);
+}
+
+TEST(CameraTest, BehindCameraIsRejected) {
+  const Camera camera({0, 0, -10}, {0, 0, 0}, {0, 1, 0}, 45.0f, 200, 100);
+  EXPECT_FALSE(camera.project({0, 0, -20}).has_value());
+  EXPECT_FALSE(camera.project({0, 0, -10}).has_value());  // at the eye
+}
+
+TEST(CameraTest, DepthOrderingPreserved) {
+  const Camera camera({0, 0, -10}, {0, 0, 0}, {0, 1, 0}, 45.0f, 200, 100);
+  const auto near = camera.project({0, 0, -2});
+  const auto far = camera.project({0, 0, 5});
+  ASSERT_TRUE(near && far);
+  EXPECT_LT(near->depth, far->depth);
+}
+
+TEST(CameraTest, FramingVolumeSeesAllCorners) {
+  const Camera camera = Camera::framing_volume(64, 64, 60, 512, 512);
+  for (const Vec3 corner : {Vec3{0, 0, 0}, Vec3{64, 0, 0}, Vec3{0, 64, 0},
+                            Vec3{0, 0, 60}, Vec3{64, 64, 60}}) {
+    const auto projected = camera.project(corner);
+    ASSERT_TRUE(projected.has_value());
+    EXPECT_GE(projected->x, 0.0f);
+    EXPECT_LT(projected->x, 512.0f);
+    EXPECT_GE(projected->y, 0.0f);
+    EXPECT_LT(projected->y, 512.0f);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rasterizer
+// ---------------------------------------------------------------------------
+
+TEST(RasterizerTest, TriangleCoversExpectedPixels) {
+  const Camera camera({0, 0, -10}, {0, 0, 0}, {0, 1, 0}, 45.0f, 100, 100);
+  Framebuffer fb(100, 100);
+  Rasterizer rasterizer;
+  // A big triangle facing the camera around the origin.
+  const extract::Triangle triangle{{-3, -3, 0}, {3, -3, 0}, {0, 4, 0}};
+  EXPECT_TRUE(rasterizer.draw(triangle, camera, fb));
+  EXPECT_GT(fb.covered_pixels(), 100u);
+  // The centroid pixel is covered at the right depth.
+  EXPECT_NEAR(fb.depth_at(50, 50), 10.0f, 0.01f);
+}
+
+TEST(RasterizerTest, WindingDoesNotMatter) {
+  const Camera camera({0, 0, -10}, {0, 0, 0}, {0, 1, 0}, 45.0f, 64, 64);
+  const extract::Triangle ccw{{-2, -2, 0}, {2, -2, 0}, {0, 3, 0}};
+  const extract::Triangle cw{{-2, -2, 0}, {0, 3, 0}, {2, -2, 0}};
+  Framebuffer fb_ccw(64, 64);
+  Framebuffer fb_cw(64, 64);
+  Rasterizer rasterizer;
+  rasterizer.draw(ccw, camera, fb_ccw);
+  rasterizer.draw(cw, camera, fb_cw);
+  EXPECT_EQ(fb_ccw.covered_pixels(), fb_cw.covered_pixels());
+}
+
+TEST(RasterizerTest, NearerTriangleOccludes) {
+  const Camera camera({0, 0, -10}, {0, 0, 0}, {0, 1, 0}, 45.0f, 64, 64);
+  Framebuffer fb(64, 64);
+  Rasterizer far_pass({255, 0, 0});
+  Rasterizer near_pass({0, 255, 0});
+  far_pass.draw({{-2, -2, 2}, {2, -2, 2}, {0, 3, 2}}, camera, fb);
+  near_pass.draw({{-2, -2, -2}, {2, -2, -2}, {0, 3, -2}}, camera, fb);
+  // Center pixel took the nearer (green-tinted) fragment.
+  EXPECT_EQ(fb.color_at(32, 32).r, 0);
+  EXPECT_GT(fb.color_at(32, 32).g, 0);
+}
+
+TEST(RasterizerTest, OffscreenTriangleIsFree) {
+  const Camera camera({0, 0, -10}, {0, 0, 0}, {0, 1, 0}, 45.0f, 64, 64);
+  Framebuffer fb(64, 64);
+  Rasterizer rasterizer;
+  EXPECT_FALSE(
+      rasterizer.draw({{100, 100, 0}, {101, 100, 0}, {100, 101, 0}}, camera, fb));
+  EXPECT_EQ(fb.covered_pixels(), 0u);
+}
+
+TEST(RasterizerTest, BehindCameraIsDropped) {
+  const Camera camera({0, 0, -10}, {0, 0, 0}, {0, 1, 0}, 45.0f, 64, 64);
+  Framebuffer fb(64, 64);
+  Rasterizer rasterizer;
+  EXPECT_FALSE(
+      rasterizer.draw({{0, 0, -20}, {1, 0, -20}, {0, 1, -20}}, camera, fb));
+  EXPECT_EQ(rasterizer.stats().triangles_rasterized, 0u);
+  EXPECT_EQ(rasterizer.stats().triangles_submitted, 1u);
+}
+
+TEST(RasterizerTest, DegenerateTriangleIsDropped) {
+  const Camera camera({0, 0, -10}, {0, 0, 0}, {0, 1, 0}, 45.0f, 64, 64);
+  Framebuffer fb(64, 64);
+  Rasterizer rasterizer;
+  EXPECT_FALSE(rasterizer.draw({{0, 0, 0}, {0, 0, 0}, {0, 0, 0}}, camera, fb));
+}
+
+TEST(RasterizerTest, SoupStatsAccumulate) {
+  const Camera camera({0, 0, -10}, {0, 0, 0}, {0, 1, 0}, 45.0f, 64, 64);
+  Framebuffer fb(64, 64);
+  extract::TriangleSoup soup;
+  soup.add({{-2, -2, 0}, {2, -2, 0}, {0, 3, 0}});
+  soup.add({{0, 0, -20}, {1, 0, -20}, {0, 1, -20}});  // dropped
+  Rasterizer rasterizer;
+  const RasterStats stats = rasterizer.draw(soup, camera, fb);
+  EXPECT_EQ(stats.triangles_submitted, 2u);
+  EXPECT_EQ(stats.triangles_rasterized, 1u);
+  EXPECT_GT(stats.fragments_written, 0u);
+}
+
+}  // namespace
+}  // namespace oociso::render

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "data/rm_generator.h"
+#include "index/span_analysis.h"
+#include "metacell/source.h"
+#include "util/rng.h"
+
+namespace oociso::index {
+namespace {
+
+using metacell::MetacellInfo;
+
+std::vector<MetacellInfo> random_intervals(std::size_t count,
+                                           std::uint32_t alphabet,
+                                           std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<MetacellInfo> infos;
+  for (std::size_t i = 0; i < count; ++i) {
+    auto a = static_cast<core::ValueKey>(rng.bounded(alphabet));
+    auto b = static_cast<core::ValueKey>(rng.bounded(alphabet));
+    if (a > b) std::swap(a, b);
+    if (a == b) b += 1;
+    infos.push_back({static_cast<std::uint32_t>(i), {a, b}});
+  }
+  return infos;
+}
+
+std::uint64_t brute_count(const std::vector<MetacellInfo>& infos,
+                          core::ValueKey isovalue) {
+  std::uint64_t count = 0;
+  for (const auto& info : infos) {
+    if (info.interval.stabs(isovalue)) ++count;
+  }
+  return count;
+}
+
+TEST(SpanProfileTest, BucketCountsSandwichThePointCounts) {
+  // counts_[b] is the number of intervals overlapping bucket b — an upper
+  // bound for every isovalue inside the bucket, tight up to the intervals
+  // whose endpoint falls strictly inside the bucket.
+  const auto infos = random_intervals(2000, 100, 11);
+  const std::uint32_t buckets = 200;
+  const SpanProfile profile(infos, buckets);
+  const core::ValueKey width = (profile.hi() - profile.lo()) /
+                               static_cast<core::ValueKey>(buckets);
+  for (std::uint32_t b = 0; b < buckets; b += 7) {
+    const core::ValueKey center = profile.bucket_center(b);
+    const std::uint64_t exact = brute_count(infos, center);
+    const std::uint64_t estimate = profile.active_estimate(center);
+    EXPECT_GE(estimate, exact) << "bucket " << b;
+
+    // Slack: intervals with an endpoint inside this bucket.
+    const core::ValueKey bucket_lo = profile.lo() + width * static_cast<core::ValueKey>(b);
+    const core::ValueKey bucket_hi = bucket_lo + width;
+    std::uint64_t slack = 0;
+    for (const auto& info : infos) {
+      const bool vmin_inside =
+          info.interval.vmin >= bucket_lo && info.interval.vmin < bucket_hi;
+      const bool vmax_inside =
+          info.interval.vmax >= bucket_lo && info.interval.vmax < bucket_hi;
+      if (vmin_inside || vmax_inside) ++slack;
+    }
+    EXPECT_LE(estimate, exact + slack) << "bucket " << b;
+  }
+}
+
+TEST(SpanProfileTest, OutOfRangeIsZero) {
+  const auto infos = random_intervals(100, 50, 3);
+  const SpanProfile profile(infos);
+  EXPECT_EQ(profile.active_estimate(-10.0f), 0u);
+  EXPECT_EQ(profile.active_estimate(1000.0f), 0u);
+}
+
+TEST(SpanProfileTest, EmptyInputIsFlatZero) {
+  const SpanProfile profile({}, 16);
+  EXPECT_EQ(profile.counts().size(), 16u);
+  for (const auto count : profile.counts()) EXPECT_EQ(count, 0u);
+  EXPECT_TRUE(profile.suggest_isovalues(4).empty());
+}
+
+TEST(SpanProfileTest, RejectsZeroBuckets) {
+  EXPECT_THROW(SpanProfile({}, 0), std::invalid_argument);
+}
+
+TEST(SpanProfileTest, SuggestionsAreActiveAndSeparated) {
+  const auto volume = data::generate_rm_timestep(
+      {.dims = {64, 64, 60}, .seed = 42}, 200);
+  const auto source = metacell::make_source(volume, 9);
+  const auto infos = source->scan();
+  const SpanProfile profile(infos, 256);
+
+  const auto suggestions = profile.suggest_isovalues(4);
+  ASSERT_GE(suggestions.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(suggestions.begin(), suggestions.end()));
+  for (std::size_t i = 0; i < suggestions.size(); ++i) {
+    EXPECT_GT(profile.active_estimate(suggestions[i]), 0u);
+    if (i > 0) {
+      EXPECT_GT(suggestions[i] - suggestions[i - 1],
+                (profile.hi() - profile.lo()) / 16.0f);
+    }
+  }
+  // The top suggestion should be near the activity peak.
+  std::uint64_t best = 0;
+  for (const auto s : suggestions) {
+    best = std::max(best, profile.active_estimate(s));
+  }
+  const std::uint64_t global_max =
+      *std::max_element(profile.counts().begin(), profile.counts().end());
+  EXPECT_EQ(best, global_max);
+}
+
+TEST(SpanProfileTest, SuggestionCountIsBounded) {
+  const auto infos = random_intervals(500, 64, 17);
+  const SpanProfile profile(infos, 64);
+  EXPECT_LE(profile.suggest_isovalues(3).size(), 3u);
+  EXPECT_LE(profile.suggest_isovalues(100).size(), 9u);  // separation-bound
+}
+
+TEST(SpanProfileTest, ActiveEstimatePredictsQueryCost) {
+  // The profile's estimate equals the exact per-isovalue active count the
+  // index will deliver — it is the query cost predictor.
+  const auto volume = data::generate_rm_timestep(
+      {.dims = {48, 48, 44}, .seed = 42}, 150);
+  const auto source = metacell::make_source(volume, 9);
+  const auto infos = source->scan();
+  const SpanProfile profile(infos, 512);
+  for (const float isovalue : {40.0f, 100.0f, 180.0f}) {
+    // Estimate uses the bucket containing the isovalue: allow the bucket-
+    // granularity slack of intervals starting/ending inside the bucket.
+    const auto exact = brute_count(infos, isovalue);
+    const auto estimate = profile.active_estimate(isovalue);
+    EXPECT_NEAR(static_cast<double>(estimate), static_cast<double>(exact),
+                std::max(4.0, 0.1 * static_cast<double>(exact)));
+  }
+}
+
+}  // namespace
+}  // namespace oociso::index

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "compositing/sort_last.h"
+#include "compositing/tiled_display.h"
+#include "util/rng.h"
+
+namespace oociso::compositing {
+namespace {
+
+using render::Framebuffer;
+
+Framebuffer random_frame(std::int32_t w, std::int32_t h, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  Framebuffer fb(w, h);
+  for (std::int32_t y = 0; y < h; ++y) {
+    for (std::int32_t x = 0; x < w; ++x) {
+      if (rng.uniform() < 0.5) {
+        fb.plot(x, y, static_cast<float>(rng.uniform(1.0, 50.0)),
+                {static_cast<std::uint8_t>(rng.bounded(256)),
+                 static_cast<std::uint8_t>(rng.bounded(256)), 7});
+      }
+    }
+  }
+  return fb;
+}
+
+bool images_equal(const Framebuffer& a, const Framebuffer& b) {
+  if (a.width() != b.width() || a.height() != b.height()) return false;
+  for (std::int32_t y = 0; y < a.height(); ++y) {
+    for (std::int32_t x = 0; x < a.width(); ++x) {
+      if (a.color_at(x, y) != b.color_at(x, y)) return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(TileLayoutTest, RectsPartitionTheDisplay) {
+  const TileLayout layout{3, 4};
+  std::uint64_t covered = 0;
+  for (std::int32_t t = 0; t < layout.tile_count(); ++t) {
+    const auto rect = layout.tile_rect(t, 101, 67);  // deliberately uneven
+    EXPECT_GT(rect.width(), 0);
+    EXPECT_GT(rect.height(), 0);
+    covered += rect.pixels();
+  }
+  EXPECT_EQ(covered, 101u * 67u);
+}
+
+TEST(TileLayoutTest, LastRowColumnAbsorbRemainder) {
+  const TileLayout layout{2, 2};
+  const auto last = layout.tile_rect(3, 101, 67);
+  EXPECT_EQ(last.x1, 101);
+  EXPECT_EQ(last.y1, 67);
+  EXPECT_EQ(last.width(), 51);   // 101 - 50
+  EXPECT_EQ(last.height(), 34);  // 67 - 33
+}
+
+class TiledEqualsSortLast
+    : public ::testing::TestWithParam<std::pair<std::int32_t, std::int32_t>> {};
+
+TEST_P(TiledEqualsSortLast, AssembledWallMatchesDirectSend) {
+  const auto [rows, cols] = GetParam();
+  std::vector<Framebuffer> frames;
+  for (int i = 0; i < 5; ++i) frames.push_back(random_frame(64, 48, 40 + i));
+
+  const CompositeResult reference = direct_send(frames);
+  const TiledDisplayResult tiled =
+      composite_to_tiles(frames, TileLayout{rows, cols});
+  ASSERT_EQ(tiled.tiles.size(),
+            static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols));
+  const Framebuffer wall = assemble(tiled, 64, 48);
+  EXPECT_TRUE(images_equal(reference.image, wall))
+      << rows << "x" << cols << " wall differs from sort-last reference";
+}
+
+INSTANTIATE_TEST_SUITE_P(Layouts, TiledEqualsSortLast,
+                         ::testing::Values(std::pair{1, 1}, std::pair{2, 2},
+                                           std::pair{1, 4}, std::pair{4, 1},
+                                           std::pair{3, 3}),
+                         [](const auto& info) {
+                           return std::to_string(info.param.first) + "x" +
+                                  std::to_string(info.param.second);
+                         });
+
+TEST(TiledTraffic, AccountsEveryRoutedRegion) {
+  std::vector<Framebuffer> frames;
+  for (int i = 0; i < 4; ++i) frames.push_back(random_frame(32, 32, i));
+  const TiledDisplayResult tiled = composite_to_tiles(frames, TileLayout{2, 2});
+
+  // Every render node ships its whole framebuffer (split across tiles).
+  const std::uint64_t per_node =
+      32ull * 32ull * Framebuffer::bytes_per_pixel();
+  EXPECT_EQ(tiled.traffic.bytes_total, 4 * per_node);
+  EXPECT_EQ(tiled.traffic.messages, 16u);  // 4 nodes x 4 tiles
+  EXPECT_EQ(tiled.traffic.rounds, 1u);
+  // The busiest participant is a display node receiving p tile-regions.
+  EXPECT_EQ(tiled.traffic.max_node_bytes, per_node);
+}
+
+TEST(TiledErrors, RejectBadInputs) {
+  EXPECT_THROW(composite_to_tiles({}, TileLayout{2, 2}),
+               std::invalid_argument);
+  std::vector<Framebuffer> tiny;
+  tiny.emplace_back(2, 2);
+  EXPECT_THROW(composite_to_tiles(tiny, TileLayout{4, 4}),
+               std::invalid_argument);
+  EXPECT_THROW(composite_to_tiles(tiny, TileLayout{0, 2}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oociso::compositing

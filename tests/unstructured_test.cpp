@@ -1,0 +1,351 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <set>
+
+#include "io/serial.h"
+#include "unstructured/cluster_source.h"
+#include "unstructured/marching_tets.h"
+#include "unstructured/pipeline.h"
+#include "unstructured/tet_mesh.h"
+
+namespace oociso::unstructured {
+namespace {
+
+using core::Vec3;
+
+// ---------------------------------------------------------------------------
+// TetMesh + generator
+// ---------------------------------------------------------------------------
+
+TEST(TetMeshTest, GeneratorTilesUnitCube) {
+  // 5 tets per cell must tile the cube exactly: total volume == 1.
+  for (const float jitter : {0.0f, 0.35f}) {
+    TetGridConfig config;
+    config.cells = 6;
+    config.jitter = jitter;
+    const TetMesh mesh = make_tet_mesh(config);
+    EXPECT_EQ(mesh.tet_count(), 6u * 6u * 6u * 5u);
+    EXPECT_NEAR(mesh.total_volume(), 1.0, 1e-4) << "jitter " << jitter;
+  }
+}
+
+TEST(TetMeshTest, JitteredTetsStayNonDegenerate) {
+  TetGridConfig config;
+  config.cells = 8;
+  config.jitter = 0.35f;
+  const TetMesh mesh = make_tet_mesh(config);
+  for (std::size_t t = 0; t < mesh.tet_count(); ++t) {
+    EXPECT_GT(std::abs(mesh.tet_volume(t)), 1e-9) << "tet " << t;
+  }
+}
+
+TEST(TetMeshTest, Deterministic) {
+  TetGridConfig config;
+  config.cells = 5;
+  const TetMesh a = make_tet_mesh(config, TetField::kMixing);
+  const TetMesh b = make_tet_mesh(config, TetField::kMixing);
+  ASSERT_EQ(a.vertices().size(), b.vertices().size());
+  for (std::size_t i = 0; i < a.vertices().size(); ++i) {
+    EXPECT_EQ(a.vertices()[i].position, b.vertices()[i].position);
+    EXPECT_EQ(a.vertices()[i].value, b.vertices()[i].value);
+  }
+}
+
+TEST(TetMeshTest, IntervalAndRange) {
+  const TetMesh mesh = make_tet_mesh({.cells = 4, .seed = 1, .jitter = 0.2f});
+  const auto range = mesh.value_range();
+  for (std::size_t t = 0; t < mesh.tet_count(); ++t) {
+    const auto interval = mesh.tet_interval(t);
+    EXPECT_LE(interval.vmin, interval.vmax);
+    EXPECT_GE(interval.vmin, range.vmin);
+    EXPECT_LE(interval.vmax, range.vmax);
+  }
+}
+
+TEST(TetMeshTest, RejectsBadIndices) {
+  std::vector<TetVertex> vertices(3);
+  EXPECT_THROW(TetMesh(vertices, {{0, 1, 2, 3}}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Marching tetrahedra
+// ---------------------------------------------------------------------------
+
+const std::array<Vec3, 4> kRefTet = {Vec3{0, 0, 0}, Vec3{1, 0, 0},
+                                     Vec3{0, 1, 0}, Vec3{0, 0, 1}};
+
+TEST(MarchingTets, TrivialCasesProduceNothing) {
+  extract::TriangleSoup soup;
+  EXPECT_EQ(triangulate_tet(kRefTet, {0, 0, 0, 0}, 10.0f, soup), 0u);
+  EXPECT_EQ(triangulate_tet(kRefTet, {20, 20, 20, 20}, 10.0f, soup), 0u);
+  EXPECT_TRUE(soup.empty());
+}
+
+TEST(MarchingTets, SingleCornerCases) {
+  // Each lone corner below the isovalue yields exactly one triangle.
+  for (std::size_t lone = 0; lone < 4; ++lone) {
+    std::array<float, 4> values{};
+    values.fill(100.0f);
+    values[lone] = 0.0f;
+    extract::TriangleSoup soup;
+    EXPECT_EQ(triangulate_tet(kRefTet, values, 50.0f, soup), 1u);
+    EXPECT_GT(soup.total_area(), 0.0);
+  }
+}
+
+TEST(MarchingTets, ThreeCornerCasesMirrorSingle) {
+  // Complementary configurations produce the same cut (same area).
+  for (std::size_t lone = 0; lone < 4; ++lone) {
+    std::array<float, 4> single{};
+    single.fill(100.0f);
+    single[lone] = 0.0f;
+    std::array<float, 4> triple{};
+    triple.fill(0.0f);
+    triple[lone] = 100.0f;
+
+    extract::TriangleSoup a;
+    extract::TriangleSoup b;
+    EXPECT_EQ(triangulate_tet(kRefTet, single, 50.0f, a), 1u);
+    EXPECT_EQ(triangulate_tet(kRefTet, triple, 50.0f, b), 1u);
+    EXPECT_NEAR(a.total_area(), b.total_area(), 1e-6);
+  }
+}
+
+TEST(MarchingTets, TwoTwoCaseGivesPlanarQuad) {
+  // Values split by z: the cut of the reference tet at z = 0.5.
+  const std::array<float, 4> values = {0.0f, 0.0f, 0.0f, 100.0f};
+  // inside = {0,1,2} (below 50)... that's a 3-1 case; craft a true 2-2:
+  const std::array<float, 4> two_two = {0.0f, 0.0f, 100.0f, 100.0f};
+  extract::TriangleSoup soup;
+  EXPECT_EQ(triangulate_tet(kRefTet, two_two, 50.0f, soup), 2u);
+  // All four quad vertices sit at the midpoints of the crossed edges; the
+  // quad must be planar here (area of the two triangles > 0).
+  EXPECT_GT(soup.total_area(), 0.0);
+
+  extract::TriangleSoup single;
+  EXPECT_EQ(triangulate_tet(kRefTet, values, 50.0f, single), 1u);
+}
+
+TEST(MarchingTets, SphereAreaMatchesAnalytic) {
+  // The kSphere field's isosurface is a sphere; compare extracted area with
+  // the analytic value (tolerance covers faceting + jitter).
+  TetGridConfig config;
+  config.cells = 24;
+  config.jitter = 0.3f;
+  const TetMesh mesh = make_tet_mesh(config, TetField::kSphere);
+  extract::TriangleSoup soup;
+  const auto stats = extract_tet_mesh(mesh, 128.0f, soup);
+  EXPECT_GT(stats.triangles, 500u);
+  EXPECT_EQ(stats.triangles, soup.size());
+
+  const double radius = (1.0 - 128.0 / 255.0) * std::sqrt(3.0) / 2.0;
+  const double analytic = 4.0 * std::numbers::pi * radius * radius;
+  EXPECT_NEAR(soup.total_area(), analytic, analytic * 0.05);
+}
+
+TEST(MarchingTets, WatertightAcrossSharedFaces) {
+  // Every interior edge of the extracted surface must be shared by exactly
+  // two triangles (MT has no ambiguous cases). Quantized vertex keys make
+  // exact matching robust.
+  const TetMesh mesh =
+      make_tet_mesh({.cells = 6, .seed = 3, .jitter = 0.3f}, TetField::kSphere);
+  extract::TriangleSoup soup;
+  extract_tet_mesh(mesh, 128.0f, soup);
+  ASSERT_GT(soup.size(), 0u);
+
+  auto key = [](const Vec3& v) {
+    auto q = [](float x) { return static_cast<std::int64_t>(std::llround(x * 1e6)); };
+    return std::tuple(q(v.x), q(v.y), q(v.z));
+  };
+  std::map<std::tuple<std::tuple<std::int64_t, std::int64_t, std::int64_t>,
+                      std::tuple<std::int64_t, std::int64_t, std::int64_t>>,
+           int>
+      edge_use;
+  for (const auto& tri : soup.triangles()) {
+    if (tri.area() < 1e-12f) continue;  // cut passed exactly through a vertex
+    const std::array<Vec3, 3> v{tri.a, tri.b, tri.c};
+    for (int e = 0; e < 3; ++e) {
+      auto k1 = key(v[static_cast<std::size_t>(e)]);
+      auto k2 = key(v[static_cast<std::size_t>((e + 1) % 3)]);
+      if (k2 < k1) std::swap(k1, k2);
+      if (k1 == k2) continue;  // degenerate edge from an exactly-cut corner
+      ++edge_use[{k1, k2}];
+    }
+  }
+  std::size_t boundary = 0;
+  for (const auto& [edge, uses] : edge_use) {
+    if (uses == 1) ++boundary;  // surface may exit through the cube boundary
+    else EXPECT_EQ(uses, 2);
+  }
+  // The sphere is interior: only edges of triangles adjacent to exact
+  // vertex cuts may be unmatched, a vanishing fraction.
+  EXPECT_LT(boundary, edge_use.size() / 50 + 8);
+}
+
+// ---------------------------------------------------------------------------
+// Clustering
+// ---------------------------------------------------------------------------
+
+TEST(TetCluster, MortonCodesOrderSpatially) {
+  EXPECT_EQ(morton_code({0, 0, 0}), 0u);
+  EXPECT_LT(morton_code({0.1f, 0.1f, 0.1f}), morton_code({0.9f, 0.9f, 0.9f}));
+}
+
+TEST(TetCluster, CoversEveryTetExactlyOnce) {
+  const TetMesh mesh = make_tet_mesh({.cells = 5, .seed = 9, .jitter = 0.3f});
+  const TetClusterSource source(mesh, 11);
+  std::set<std::uint32_t> seen;
+  for (std::uint32_t c = 0; c < source.total_clusters(); ++c) {
+    for (const std::uint32_t tet : source.cluster_tets(c)) {
+      EXPECT_TRUE(seen.insert(tet).second) << "tet " << tet << " duplicated";
+    }
+  }
+  EXPECT_EQ(seen.size(), mesh.tet_count());
+}
+
+TEST(TetCluster, RecordRoundTrip) {
+  const TetMesh mesh = make_tet_mesh({.cells = 4, .seed = 2, .jitter = 0.25f},
+                                     TetField::kGyroid);
+  const TetClusterSource source(mesh, 7);
+  ASSERT_GT(source.cluster_count(), 0u);
+  const auto infos = source.scan();
+
+  std::vector<std::byte> record;
+  source.encode(infos.front().id, record);
+  EXPECT_EQ(record.size(), cluster_record_size(7));
+
+  const auto tets = decode_cluster(record, 7);
+  const auto expected = source.cluster_tets(infos.front().id);
+  ASSERT_EQ(tets.size(), expected.size());
+  for (std::size_t i = 0; i < tets.size(); ++i) {
+    const Tetrahedron& reference = mesh.tets()[expected[i]];
+    for (std::size_t v = 0; v < 4; ++v) {
+      EXPECT_EQ(tets[i].corners[v], mesh.vertex(reference[v]).position);
+      EXPECT_EQ(tets[i].values[v], mesh.vertex(reference[v]).value);
+    }
+  }
+}
+
+TEST(TetCluster, PaddingNeverEmitsGeometry) {
+  // A final partial cluster is padded with NaN tets; decoding drops them.
+  const TetMesh mesh = make_tet_mesh({.cells = 3, .seed = 5, .jitter = 0.2f});
+  const std::uint32_t arity = 13;  // 135 tets -> last cluster partial
+  ASSERT_NE(mesh.tet_count() % arity, 0u);
+  const TetClusterSource source(mesh, arity);
+  const auto infos = source.scan();
+  const std::uint32_t last_id = source.total_clusters() - 1;
+  std::vector<std::byte> record;
+  source.encode(last_id, record);
+  const auto tets = decode_cluster(record, arity);
+  EXPECT_EQ(tets.size(), mesh.tet_count() % arity);
+}
+
+TEST(TetCluster, IntervalsMatchBruteForce) {
+  const TetMesh mesh = make_tet_mesh({.cells = 5, .seed = 7, .jitter = 0.3f},
+                                     TetField::kMixing);
+  const TetClusterSource source(mesh, 11);
+  for (const auto& info : source.scan()) {
+    core::ValueKey lo = 1e30f;
+    core::ValueKey hi = -1e30f;
+    for (const std::uint32_t tet : source.cluster_tets(info.id)) {
+      const auto interval = mesh.tet_interval(tet);
+      lo = std::min(lo, interval.vmin);
+      hi = std::max(hi, interval.vmax);
+    }
+    EXPECT_EQ(info.interval, (core::ValueInterval{lo, hi}));
+  }
+}
+
+TEST(TetCluster, MixingFieldCullsHomogeneousClusters) {
+  const TetMesh mesh = make_tet_mesh({.cells = 10, .seed = 4, .jitter = 0.3f},
+                                     TetField::kMixing);
+  const TetClusterSource source(mesh, 11);
+  EXPECT_LT(source.cluster_count(), source.total_clusters());
+}
+
+// ---------------------------------------------------------------------------
+// Out-of-core unstructured pipeline
+// ---------------------------------------------------------------------------
+
+parallel::Cluster make_cluster(std::size_t nodes) {
+  parallel::ClusterConfig config;
+  config.node_count = nodes;
+  config.in_memory = true;
+  return parallel::Cluster(config);
+}
+
+class TetPipeline : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TetPipeline, MatchesInCoreReference) {
+  const std::size_t nodes = GetParam();
+  const TetMesh mesh = make_tet_mesh({.cells = 10, .seed = 6, .jitter = 0.3f},
+                                     TetField::kMixing);
+  auto cluster = make_cluster(nodes);
+  const TetPreprocessResult prep = preprocess_tets(mesh, cluster);
+
+  for (const float isovalue : {60.0f, 124.0f, 200.0f}) {
+    extract::TriangleSoup reference;
+    extract_tet_mesh(mesh, isovalue, reference);
+
+    TetQueryOptions options;
+    options.keep_triangles = true;
+    const TetQueryReport report =
+        query_tets(cluster, prep, isovalue, options);
+    EXPECT_EQ(report.total_triangles(), reference.size())
+        << "nodes=" << nodes << " iso=" << isovalue;
+    EXPECT_NEAR(report.triangles_out->total_area(), reference.total_area(),
+                reference.total_area() * 1e-5 + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NodeSweep, TetPipeline, ::testing::Values(1, 2, 4, 8),
+                         [](const auto& info) {
+                           return "p" + std::to_string(info.param);
+                         });
+
+TEST(TetPipelineBalance, ClustersSpreadEvenly) {
+  const TetMesh mesh = make_tet_mesh({.cells = 12, .seed = 8, .jitter = 0.3f},
+                                     TetField::kMixing);
+  auto cluster = make_cluster(4);
+  const TetPreprocessResult prep = preprocess_tets(mesh, cluster);
+  const TetQueryReport report = query_tets(cluster, prep, 124.0f);
+  ASSERT_GT(report.total_active_clusters(), 50u);
+
+  std::uint64_t lo = ~0ull;
+  std::uint64_t hi = 0;
+  for (const auto& node : report.nodes) {
+    lo = std::min(lo, node.active_clusters);
+    hi = std::max(hi, node.active_clusters);
+  }
+  EXPECT_LE(hi - lo, 64u);  // within bricks-on-path of even
+  EXPECT_LT(static_cast<double>(hi - lo) /
+                static_cast<double>(report.total_active_clusters() / 4),
+            0.15);
+}
+
+TEST(TetPipelineRender, ProducesCoveredImage) {
+  const TetMesh mesh = make_tet_mesh({.cells = 8, .seed = 2, .jitter = 0.25f},
+                                     TetField::kSphere);
+  auto cluster = make_cluster(2);
+  const TetPreprocessResult prep = preprocess_tets(mesh, cluster);
+  TetQueryOptions options;
+  options.render = true;
+  options.keep_image = true;
+  options.image_size = 128;
+  const TetQueryReport report = query_tets(cluster, prep, 128.0f, options);
+  ASSERT_TRUE(report.image.has_value());
+  EXPECT_GT(report.image->covered_pixels(), 100u);
+}
+
+TEST(TetPipelineErrors, MismatchedClusterRejected) {
+  const TetMesh mesh = make_tet_mesh({.cells = 4, .seed = 1, .jitter = 0.2f});
+  auto build_cluster = make_cluster(2);
+  const TetPreprocessResult prep = preprocess_tets(mesh, build_cluster);
+  auto other = make_cluster(3);
+  EXPECT_THROW(query_tets(other, prep, 100.0f), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oociso::unstructured

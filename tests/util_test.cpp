@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/temp_dir.h"
+#include "util/timer.h"
+
+namespace oociso::util {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(Rng, SameSeedSameSequence) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, StreamsAreIndependent) {
+  Xoshiro256 a(7, 0);
+  Xoshiro256 b(7, 1);
+  EXPECT_NE(a(), b());
+}
+
+TEST(Rng, UniformIsInUnitInterval) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BoundedStaysInBound) {
+  Xoshiro256 rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.bounded(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+}
+
+TEST(Rng, BoundedZeroIsZero) {
+  Xoshiro256 rng(5);
+  EXPECT_EQ(rng.bounded(0), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats stats;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(x);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_EQ(stats.count(), 8u);
+}
+
+TEST(Imbalance, PerfectBalanceIsZero) {
+  const std::vector<std::uint64_t> work{100, 100, 100, 100};
+  EXPECT_DOUBLE_EQ(imbalance(work), 0.0);
+}
+
+TEST(Imbalance, SingleLoadedNode) {
+  const std::vector<std::uint64_t> work{400, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(imbalance(work), 3.0);  // max 400, mean 100
+}
+
+TEST(Imbalance, EmptyAndZeroAreZero) {
+  EXPECT_DOUBLE_EQ(imbalance(std::vector<std::uint64_t>{}), 0.0);
+  EXPECT_DOUBLE_EQ(imbalance(std::vector<std::uint64_t>{0, 0}), 0.0);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-5.0);   // clamps to first bin
+  h.add(100.0);  // clamps to last bin
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.counts()[0], 2u);
+  EXPECT_EQ(h.counts()[9], 2u);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// Table formatting
+// ---------------------------------------------------------------------------
+
+TEST(Table, RendersAllCells) {
+  Table t({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  const std::string text = t.render();
+  EXPECT_NE(text.find("333"), std::string::npos);
+  EXPECT_NE(text.find("bb"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, CsvEscapesCommas) {
+  Table t({"x"});
+  t.add_row({"a,b"});
+  EXPECT_NE(t.render_csv().find("\"a,b\""), std::string::npos);
+}
+
+TEST(Format, HumanBytes) {
+  EXPECT_EQ(human_bytes(512), "512 B");
+  EXPECT_EQ(human_bytes(2048), "2.00 KiB");
+  EXPECT_EQ(human_bytes(3ull << 30), "3.00 GiB");
+}
+
+TEST(Format, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(5592802), "5,592,802");
+}
+
+TEST(Format, HumanSeconds) {
+  EXPECT_EQ(human_seconds(0.0005), "500.0 us");
+  EXPECT_EQ(human_seconds(0.25), "250.0 ms");
+  EXPECT_EQ(human_seconds(3.5), "3.50 s");
+  EXPECT_EQ(human_seconds(600.0), "10.0 min");
+}
+
+// ---------------------------------------------------------------------------
+// Cli
+// ---------------------------------------------------------------------------
+
+TEST(Cli, ParsesEqualsAndSpaceForms) {
+  const char* argv[] = {"prog", "--iso=70", "--nodes", "4", "--verbose"};
+  const CliArgs args(5, argv);
+  EXPECT_EQ(args.get_int("iso", 0), 70);
+  EXPECT_EQ(args.get_int("nodes", 0), 4);
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_EQ(args.get_int("missing", 9), 9);
+}
+
+TEST(Cli, PositionalAndDoubleDash) {
+  const char* argv[] = {"prog", "input.dat", "--", "--not-a-flag"};
+  const CliArgs args(4, argv);
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.dat");
+  EXPECT_EQ(args.positional()[1], "--not-a-flag");
+}
+
+TEST(Cli, RejectsMalformedNumbers) {
+  const char* argv[] = {"prog", "--iso=abc"};
+  const CliArgs args(2, argv);
+  EXPECT_THROW(args.get_int("iso", 0), std::invalid_argument);
+  EXPECT_THROW(args.get_double("iso", 0), std::invalid_argument);
+}
+
+TEST(Cli, ParsesDoublesAndBools) {
+  const char* argv[] = {"prog", "--rate=3.5", "--flag=off"};
+  const CliArgs args(3, argv);
+  EXPECT_DOUBLE_EQ(args.get_double("rate", 0), 3.5);
+  EXPECT_FALSE(args.get_bool("flag", true));
+}
+
+// ---------------------------------------------------------------------------
+// TempDir / timers
+// ---------------------------------------------------------------------------
+
+TEST(TempDir, CreatesAndRemoves) {
+  std::filesystem::path where;
+  {
+    TempDir dir("oociso-test");
+    where = dir.path();
+    EXPECT_TRUE(std::filesystem::exists(where));
+    std::ofstream(dir.file("x.txt")) << "hello";
+    EXPECT_TRUE(std::filesystem::exists(where / "x.txt"));
+  }
+  EXPECT_FALSE(std::filesystem::exists(where));
+}
+
+TEST(TempDir, UniquePaths) {
+  TempDir a("same-prefix");
+  TempDir b("same-prefix");
+  EXPECT_NE(a.path(), b.path());
+}
+
+TEST(Timers, PhaseAccumulates) {
+  PhaseTimer phase;
+  phase.add(0.5);
+  phase.add(0.25);
+  EXPECT_DOUBLE_EQ(phase.seconds(), 0.75);
+  phase.reset();
+  EXPECT_DOUBLE_EQ(phase.seconds(), 0.0);
+}
+
+TEST(Timers, WallTimerMonotone) {
+  WallTimer timer;
+  const double t1 = timer.seconds();
+  const double t2 = timer.seconds();
+  EXPECT_GE(t2, t1);
+  EXPECT_GE(t1, 0.0);
+}
+
+}  // namespace
+}  // namespace oociso::util

@@ -1,0 +1,264 @@
+// oociso command-line tool: generate / preprocess / query / info.
+//
+//   oociso generate   --dataset rm --step 250 --dims 128 --out vol.oocv
+//   oociso preprocess --volume vol.oocv --storage ./store --nodes 4 [--ooc]
+//   oociso query      --storage ./store --nodes 4 --iso 190
+//                     [--obj surface.obj] [--image frame.ppm] [--weld]
+//   oociso info       --storage ./store
+//
+// `preprocess` writes the striped brick files plus a bundle (index.oocb)
+// under the storage directory; `query` and `info` reattach to it, so the
+// expensive pass runs once per dataset.
+
+#include <filesystem>
+#include <iostream>
+
+#include "data/datasets.h"
+#include "data/raw_io.h"
+#include "data/rm_generator.h"
+#include "extract/indexed_mesh.h"
+#include "index/span_analysis.h"
+#include "metacell/source.h"
+#include "pipeline/bundle.h"
+#include "pipeline/ooc_preprocess.h"
+#include "pipeline/query_engine.h"
+#include "util/cli.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace oociso;
+
+int usage() {
+  std::cerr <<
+      R"(usage: oociso <command> [flags]
+
+commands:
+  generate    synthesize a dataset volume file (.oocv)
+                --dataset rm|bunny|mrbrain|cthead|pressure|velocity (rm)
+                --dims N (128, rm only)  --step S (250, rm only)
+                --seed X (42)  --downscale N (8, non-rm)  --out FILE
+  preprocess  build the striped brick layout + index bundle
+                --volume FILE  --storage DIR  --nodes P (4)
+                --metacell K (9)  --ooc (stream; never load the volume)
+  query       run an isovalue query against a preprocessed storage dir
+                --storage DIR  --nodes P (4)  --iso V (128)
+                --obj FILE  --image FILE  --imagesize N (512)  --weld
+  info        print bundle statistics
+                --storage DIR
+  suggest     profile a volume's span space and suggest isovalues
+                --volume FILE  --metacell K (9)  --count N (5)
+)";
+  return 2;
+}
+
+parallel::Cluster open_cluster(const std::filesystem::path& storage,
+                               std::size_t nodes, bool existing) {
+  parallel::ClusterConfig config;
+  config.node_count = nodes;
+  config.storage_dir = storage;
+  config.open_existing = existing;
+  return parallel::Cluster(config);
+}
+
+int cmd_generate(const util::CliArgs& args) {
+  const std::string dataset = args.get("dataset", "rm");
+  const std::string out = args.get("out", dataset + ".oocv");
+
+  data::AnyVolume volume = [&]() -> data::AnyVolume {
+    if (dataset == "rm") {
+      data::RmConfig config;
+      const auto dims = static_cast<std::int32_t>(args.get_int("dims", 128));
+      config.dims = {dims, dims, dims * 15 / 16};
+      config.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+      return data::generate_rm_timestep(
+          config, static_cast<int>(args.get_int("step", 250)));
+    }
+    return data::make_dataset(
+        dataset, static_cast<std::int32_t>(args.get_int("downscale", 8)));
+  }();
+
+  data::write_volume(volume, out);
+  std::cout << "wrote " << out << ": " << data::dims_of(volume) << " "
+            << core::scalar_name(data::kind_of(volume)) << "\n";
+  return 0;
+}
+
+int cmd_preprocess(const util::CliArgs& args) {
+  const std::string volume_file = args.get("volume", "");
+  const std::string storage = args.get("storage", "");
+  if (volume_file.empty() || storage.empty()) return usage();
+  const auto nodes = static_cast<std::size_t>(args.get_int("nodes", 4));
+  const auto k = static_cast<std::int32_t>(args.get_int("metacell", 9));
+
+  std::filesystem::create_directories(storage);
+  auto cluster = open_cluster(storage, nodes, /*existing=*/false);
+
+  util::WallTimer timer;
+  pipeline::PreprocessResult prep = [&] {
+    if (args.get_bool("ooc", false)) {
+      pipeline::OocPreprocessConfig config;
+      config.samples_per_side = k;
+      return pipeline::preprocess_out_of_core(
+                 volume_file, cluster,
+                 std::filesystem::path(storage) / "scratch", config)
+          .result;
+    }
+    const auto source = metacell::make_source(data::read_volume(volume_file), k);
+    pipeline::PreprocessConfig config;
+    config.samples_per_side = k;
+    return pipeline::preprocess(*source, cluster, config);
+  }();
+  pipeline::save_bundle(prep, storage);
+
+  std::cout << "preprocessed " << volume_file << " -> " << storage << " ("
+            << nodes << " node disks) in " << util::human_seconds(timer.seconds())
+            << "\n  metacells: " << util::with_commas(prep.kept_metacells)
+            << " of " << util::with_commas(prep.total_metacells) << " kept ("
+            << util::fixed(100.0 * prep.culled_fraction(), 1)
+            << "% culled)\n  bricks: " << util::human_bytes(prep.bytes_written)
+            << " (raw volume " << util::human_bytes(prep.raw_bytes)
+            << ")\n  index: " << util::human_bytes(prep.index_bytes())
+            << " in-core, saved to bundle\n";
+  return 0;
+}
+
+int cmd_query(const util::CliArgs& args) {
+  const std::string storage = args.get("storage", "");
+  if (storage.empty()) return usage();
+  const auto nodes = static_cast<std::size_t>(args.get_int("nodes", 4));
+  const auto isovalue = static_cast<float>(args.get_double("iso", 128.0));
+
+  auto cluster = open_cluster(storage, nodes, /*existing=*/true);
+  const pipeline::PreprocessResult prep = pipeline::load_bundle(storage);
+  if (prep.trees.size() != nodes) {
+    std::cerr << "error: bundle was preprocessed for " << prep.trees.size()
+              << " nodes; pass --nodes " << prep.trees.size() << "\n";
+    return 1;
+  }
+
+  pipeline::QueryEngine engine(cluster, prep);
+  pipeline::QueryOptions options;
+  options.image_width = options.image_height =
+      static_cast<std::int32_t>(args.get_int("imagesize", 512));
+  options.keep_image = args.has("image");
+  options.keep_triangles = args.has("obj");
+  options.render = options.keep_image;
+
+  const pipeline::QueryReport report = engine.run(isovalue, options);
+  std::cout << "isovalue " << isovalue << ": "
+            << util::with_commas(report.total_active_metacells())
+            << " active metacells, "
+            << util::with_commas(report.total_triangles()) << " triangles, "
+            << util::human_seconds(report.completion_seconds())
+            << " modeled completion ("
+            << util::fixed(report.mtri_per_second(), 2) << " MTri/s)\n";
+
+  if (options.keep_triangles) {
+    const std::string obj = args.get("obj", "surface.obj");
+    if (args.get_bool("weld", false)) {
+      const auto mesh = extract::IndexedMesh::weld(*report.triangles_out);
+      mesh.write_obj(obj);
+      std::cout << "wrote " << obj << " (" << util::with_commas(mesh.vertex_count())
+                << " welded vertices, " << mesh.connected_components()
+                << " components)\n";
+    } else {
+      extract::write_obj(*report.triangles_out, obj);
+      std::cout << "wrote " << obj << " (triangle soup)\n";
+    }
+  }
+  if (options.keep_image) {
+    const std::string image = args.get("image", "frame.ppm");
+    report.image->write_ppm(image);
+    std::cout << "wrote " << image << "\n";
+  }
+  return 0;
+}
+
+int cmd_info(const util::CliArgs& args) {
+  const std::string storage = args.get("storage", "");
+  if (storage.empty()) return usage();
+  const pipeline::PreprocessResult prep = pipeline::load_bundle(storage);
+
+  util::Table table({"property", "value"});
+  table.set_align(0, util::Align::kLeft);
+  table.set_align(1, util::Align::kLeft);
+  std::ostringstream dims;
+  dims << prep.geometry.volume_dims();
+  std::ostringstream mdims;
+  mdims << prep.geometry.metacell_dims();
+  table.add_row({"volume", dims.str() + " " + core::scalar_name(prep.kind)});
+  table.add_row({"metacells", mdims.str() + " of " +
+                                  std::to_string(prep.geometry.samples_per_side()) +
+                                  "^3 samples"});
+  table.add_row({"kept", util::with_commas(prep.kept_metacells) + " of " +
+                             util::with_commas(prep.total_metacells) + " (" +
+                             util::fixed(100.0 * prep.culled_fraction(), 1) +
+                             "% culled)"});
+  table.add_row({"bricks on disk", util::human_bytes(prep.bytes_written)});
+  table.add_row({"node count", std::to_string(prep.trees.size())});
+  table.add_row({"index in-core", util::human_bytes(prep.index_bytes())});
+  for (std::size_t i = 0; i < prep.trees.size(); ++i) {
+    table.add_row({"  node " + std::to_string(i),
+                   util::with_commas(prep.trees[i].entry_count()) +
+                       " brick entries, " +
+                       util::with_commas(prep.trees[i].total_metacells()) +
+                       " metacells"});
+  }
+  std::cout << table.render();
+  return 0;
+}
+
+int cmd_suggest(const util::CliArgs& args) {
+  const std::string volume_file = args.get("volume", "");
+  if (volume_file.empty()) return usage();
+  const auto k = static_cast<std::int32_t>(args.get_int("metacell", 9));
+  const auto count = static_cast<std::uint32_t>(args.get_int("count", 5));
+
+  const auto source = metacell::make_source(data::read_volume(volume_file), k);
+  const auto infos = source->scan();
+  const index::SpanProfile profile(infos, 256);
+
+  // Coarse activity histogram as a text sparkline.
+  const auto& counts = profile.counts();
+  std::uint64_t peak = 1;
+  for (const auto c : counts) peak = std::max(peak, c);
+  std::cout << "span-space activity over [" << profile.lo() << ", "
+            << profile.hi() << "] (" << util::with_commas(infos.size())
+            << " metacells):\n";
+  static constexpr const char* kBars[] = {" ", ".", ":", "-", "=", "+",
+                                          "*", "#"};
+  std::cout << "  ";
+  for (std::size_t b = 0; b < counts.size(); b += 4) {
+    const auto level = static_cast<std::size_t>(
+        counts[b] * 7 / peak);
+    std::cout << kBars[level];
+  }
+  std::cout << "\n\nsuggested isovalues (distinct activity peaks):\n";
+  for (const auto isovalue : profile.suggest_isovalues(count)) {
+    std::cout << "  " << util::fixed(isovalue, 1) << "  (~"
+              << util::with_commas(profile.active_estimate(isovalue))
+              << " active metacells)\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const util::CliArgs args(argc - 1, argv + 1);
+  try {
+    if (command == "generate") return cmd_generate(args);
+    if (command == "preprocess") return cmd_preprocess(args);
+    if (command == "query") return cmd_query(args);
+    if (command == "info") return cmd_info(args);
+    if (command == "suggest") return cmd_suggest(args);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
