@@ -109,17 +109,25 @@ void print_nodes_table(const std::string& caption, const BenchSetup& setup,
                        Prepared& prepared,
                        const std::vector<pipeline::QueryReport>& reports) {
   util::Table table({"isovalue", "active MC", "triangles", "AMC I/O (s)",
-                     "triangulate (s)", "render (s)", "total (s)", "MTri/s"});
+                     "triangulate (s)", "overlap (s)", "render (s)",
+                     "total (s)", "MTri/s"});
   table.set_caption(caption);
 
   for (const auto& report : reports) {
     const auto& times = report.times;
+    // What the per-node retrieval/triangulation pipeline hid relative to
+    // running the two phases with a barrier between them (0 when serial).
+    const double overlap_hidden =
+        times.max_phase(parallel::Phase::kAmcRetrieval) +
+        times.max_phase(parallel::Phase::kTriangulation) -
+        times.extraction_completion_seconds();
     table.add_row({
         util::fixed(report.isovalue, 0),
         util::with_commas(report.total_active_metacells()),
         mtri(report.total_triangles()),
         util::fixed(times.max_phase(parallel::Phase::kAmcRetrieval), 3),
         util::fixed(times.max_phase(parallel::Phase::kTriangulation), 3),
+        util::fixed(overlap_hidden, 3),
         util::fixed(times.max_phase(parallel::Phase::kRendering) +
                         times.max_phase(parallel::Phase::kCompositing),
                     3),

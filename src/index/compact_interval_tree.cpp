@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "index/retrieval_stream.h"
 #include "io/serial.h"
 
 namespace oociso::index {
@@ -10,23 +11,6 @@ namespace {
 
 constexpr std::uint32_t kIndexMagic = 0x4F434954;  // "OCIT"
 constexpr std::uint32_t kIndexVersion = 1;
-
-/// Reads the vmin field of a serialized metacell record (it follows the
-/// 4-byte id; see metacell.h for the record layout).
-core::ValueKey record_vmin(std::span<const std::byte> record,
-                           core::ScalarKind kind) {
-  io::ByteReader reader(record);
-  reader.skip(sizeof(std::uint32_t));
-  switch (kind) {
-    case core::ScalarKind::kU8:
-      return static_cast<core::ValueKey>(reader.get<std::uint8_t>());
-    case core::ScalarKind::kU16:
-      return static_cast<core::ValueKey>(reader.get<std::uint16_t>());
-    case core::ScalarKind::kF32:
-      return reader.get<float>();
-  }
-  throw std::runtime_error("bad scalar kind in record");
-}
 
 }  // namespace
 
@@ -76,54 +60,16 @@ QueryStats execute_plan(
     const QueryPlan& plan, core::ScalarKind kind, std::size_t record_size,
     io::BlockDevice& device,
     const std::function<void(std::span<const std::byte>)>& callback) {
-  QueryStats stats;
-  stats.nodes_visited = plan.nodes_visited;
-  if (record_size == 0) {
+  if (record_size == 0 && !plan.scans.empty()) {
     throw std::logic_error("execute_plan: empty index queried");
   }
-
-  // Case-1 (full) scans read the whole brick in large sequential chunks.
-  // Case-2 (prefix) scans gallop: the first read is one block's worth of
-  // records and each subsequent read doubles, so a short active prefix
-  // costs O(prefix) blocks while a long one converges to bulk reads —
-  // keeping total I/O proportional to output (the T/B term).
-  const std::size_t full_chunk_records =
-      std::max<std::size_t>(1, (64 * device.block_size()) / record_size);
-  const std::size_t first_batch_records =
-      std::max<std::size_t>(1, device.block_size() / record_size);
-  const std::size_t max_batch_records =
-      std::max<std::size_t>(first_batch_records,
-                            (16 * device.block_size()) / record_size);
-  std::vector<std::byte> buffer;
-
-  for (const BrickScan& scan : plan.scans) {
-    ++stats.bricks_scanned;
-    std::uint64_t done = 0;
-    std::size_t batch =
-        scan.full ? full_chunk_records : first_batch_records;
-    bool stop = false;
-    while (done < scan.metacell_count && !stop) {
-      const std::size_t want = static_cast<std::size_t>(
-          std::min<std::uint64_t>(batch, scan.metacell_count - done));
-      buffer.resize(want * record_size);
-      device.read(scan.offset + done * record_size, buffer);
-      for (std::size_t r = 0; r < want; ++r) {
-        const std::span<const std::byte> record(buffer.data() + r * record_size,
-                                                record_size);
-        ++stats.records_fetched;
-        if (!scan.full && record_vmin(record, kind) > plan.isovalue) {
-          // End of the active prefix; the rest of the brick is inactive.
-          stop = true;
-          break;
-        }
-        ++stats.active_metacells;
-        callback(record);
-      }
-      done += want;
-      if (!scan.full) batch = std::min(batch * 2, max_batch_records);
+  RetrievalStream stream(plan, kind, record_size, device);
+  while (std::optional<RecordBatch> batch = stream.next()) {
+    for (std::size_t r = 0; r < batch->record_count; ++r) {
+      callback(batch->record(r));
     }
   }
-  return stats;
+  return stream.stats();
 }
 
 QueryStats CompactIntervalTree::execute(

@@ -86,9 +86,11 @@ struct QueryStats {
 };
 
 /// Executes a query plan against the brick device, invoking `callback` with
-/// each active metacell record. Shared by the in-core tree and the blocked
-/// external tree (external_tree.h); `plan.nodes_visited` is carried into
-/// the returned stats.
+/// each active metacell record. A convenience wrapper over RetrievalStream
+/// (retrieval_stream.h) — the stream is the single retrieval path shared by
+/// the in-core tree, the blocked external tree (external_tree.h), and the
+/// structured/unstructured query engines; `plan.nodes_visited` is carried
+/// into the returned stats.
 QueryStats execute_plan(const QueryPlan& plan, core::ScalarKind kind,
                         std::size_t record_size, io::BlockDevice& device,
                         const std::function<void(std::span<const std::byte>)>&
@@ -104,7 +106,9 @@ class CompactIntervalTree {
 
   /// Executes a plan against the brick device, invoking `callback` with each
   /// active metacell's serialized record. Case-2 scans decode each record's
-  /// vmin field to stop past the active prefix.
+  /// vmin field to stop past the active prefix. Implemented on top of the
+  /// batched RetrievalStream; pull-based consumers should open a stream
+  /// directly (see retrieval_stream.h).
   QueryStats execute(const QueryPlan& plan, io::BlockDevice& device,
                      const std::function<void(std::span<const std::byte>)>&
                          callback) const;

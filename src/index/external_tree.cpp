@@ -238,6 +238,20 @@ QueryPlan ExternalCompactTree::plan(core::ValueKey isovalue,
       blocks_read);
 }
 
+RetrievalStream ExternalCompactTree::open_stream(
+    core::ValueKey isovalue, io::BlockDevice& index_device,
+    io::BlockDevice& brick_device, std::uint64_t* blocks_read) const {
+  return RetrievalStream(plan(isovalue, index_device, blocks_read), kind_,
+                         record_size_, brick_device);
+}
+
+RetrievalStream ExternalCompactTree::open_stream(
+    core::ValueKey isovalue, io::BufferPool& index_pool,
+    io::BlockDevice& brick_device, std::uint64_t* blocks_read) const {
+  return RetrievalStream(plan(isovalue, index_pool, blocks_read), kind_,
+                         record_size_, brick_device);
+}
+
 QueryPlan ExternalCompactTree::plan(core::ValueKey isovalue,
                                     io::BufferPool& pool,
                                     std::uint64_t* blocks_read) const {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "index/compact_interval_tree.h"
+#include "index/retrieval_stream.h"
 #include "io/buffer_pool.h"
 
 namespace oociso::index {
@@ -54,6 +55,20 @@ class ExternalCompactTree {
   /// resident blocks instead of the device.
   [[nodiscard]] QueryPlan plan(core::ValueKey isovalue, io::BufferPool& pool,
                                std::uint64_t* blocks_read = nullptr) const;
+
+  /// Plans on the index device and opens the shared retrieval stream over
+  /// `brick_device` — the same pull-based consumption path as the in-core
+  /// tree (see retrieval_stream.h).
+  [[nodiscard]] RetrievalStream open_stream(
+      core::ValueKey isovalue, io::BlockDevice& index_device,
+      io::BlockDevice& brick_device,
+      std::uint64_t* blocks_read = nullptr) const;
+
+  /// Same, with the index walk served through a block cache.
+  [[nodiscard]] RetrievalStream open_stream(
+      core::ValueKey isovalue, io::BufferPool& index_pool,
+      io::BlockDevice& brick_device,
+      std::uint64_t* blocks_read = nullptr) const;
 
   [[nodiscard]] const BuildStats& build_stats() const { return stats_; }
   [[nodiscard]] core::ScalarKind scalar_kind() const { return kind_; }

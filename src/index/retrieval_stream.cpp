@@ -1,0 +1,112 @@
+#include "index/retrieval_stream.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "io/serial.h"
+#include "util/timer.h"
+
+namespace oociso::index {
+namespace {
+
+/// Reads the vmin field of a serialized metacell record (it follows the
+/// 4-byte id; see metacell.h for the record layout).
+core::ValueKey record_vmin(std::span<const std::byte> record,
+                           core::ScalarKind kind) {
+  io::ByteReader reader(record);
+  reader.skip(sizeof(std::uint32_t));
+  switch (kind) {
+    case core::ScalarKind::kU8:
+      return static_cast<core::ValueKey>(reader.get<std::uint8_t>());
+    case core::ScalarKind::kU16:
+      return static_cast<core::ValueKey>(reader.get<std::uint16_t>());
+    case core::ScalarKind::kF32:
+      return reader.get<float>();
+  }
+  throw std::runtime_error("bad scalar kind in record");
+}
+
+}  // namespace
+
+RetrievalStream::RetrievalStream(QueryPlan plan, core::ScalarKind kind,
+                                 std::size_t record_size,
+                                 io::BlockDevice& device)
+    : plan_(std::move(plan)),
+      kind_(kind),
+      record_size_(record_size),
+      device_(device) {
+  stats_.nodes_visited = plan_.nodes_visited;
+  if (record_size_ == 0) {
+    if (!plan_.scans.empty()) {
+      throw std::logic_error("RetrievalStream: empty index queried");
+    }
+    return;
+  }
+  // Case-1 (full) scans read the whole brick in large sequential chunks.
+  // Case-2 (prefix) scans gallop: the first read is one block's worth of
+  // records and each subsequent read doubles, so a short active prefix
+  // costs O(prefix) blocks while a long one converges to bulk reads —
+  // keeping total I/O proportional to output (the T/B term).
+  full_chunk_records_ = std::max<std::size_t>(
+      1, (64 * device_.block_size()) / record_size_);
+  first_batch_records_ =
+      std::max<std::size_t>(1, device_.block_size() / record_size_);
+  max_batch_records_ = std::max<std::size_t>(
+      first_batch_records_, (16 * device_.block_size()) / record_size_);
+}
+
+std::optional<RecordBatch> RetrievalStream::next() {
+  while (scan_index_ < plan_.scans.size()) {
+    const BrickScan& scan = plan_.scans[scan_index_];
+    if (!scan_entered_) {
+      ++stats_.bricks_scanned;
+      scan_entered_ = true;
+      scan_done_ = 0;
+      scan_stopped_ = false;
+      scan_batch_ = scan.full ? full_chunk_records_ : first_batch_records_;
+    }
+    if (scan_stopped_ || scan_done_ >= scan.metacell_count) {
+      ++scan_index_;
+      scan_entered_ = false;
+      continue;
+    }
+
+    const std::size_t want = static_cast<std::size_t>(
+        std::min<std::uint64_t>(scan_batch_, scan.metacell_count - scan_done_));
+    RecordBatch batch;
+    batch.record_size = record_size_;
+    batch.data.resize(want * record_size_);
+
+    const io::IoStats io_before = device_.stats();
+    const util::WallTimer read_timer;
+    device_.read(scan.offset + scan_done_ * record_size_, batch.data);
+    batch.io_seconds = read_timer.seconds();
+    batch.io = device_.stats().since(io_before);
+    io_wall_seconds_ += batch.io_seconds;
+
+    std::size_t active = 0;
+    for (std::size_t r = 0; r < want; ++r) {
+      ++batch.records_fetched;
+      ++stats_.records_fetched;
+      if (!scan.full &&
+          record_vmin(batch.record(r), kind_) > plan_.isovalue) {
+        // End of the active prefix; the rest of the brick is inactive.
+        scan_stopped_ = true;
+        break;
+      }
+      ++active;
+      ++stats_.active_metacells;
+    }
+    batch.data.resize(active * record_size_);
+    batch.record_count = active;
+
+    scan_done_ += want;
+    if (!scan.full) {
+      scan_batch_ = std::min(scan_batch_ * 2, max_batch_records_);
+    }
+    return batch;
+  }
+  return std::nullopt;
+}
+
+}  // namespace oociso::index

@@ -1,0 +1,116 @@
+#pragma once
+// Pull-based batched retrieval of active metacell records (the single
+// consumption path for every index variant).
+//
+// A RetrievalStream executes a QueryPlan one device read at a time: each
+// call to next() performs at most one BlockDevice::read (a full-brick chunk
+// or a galloping Case-2 prefix probe — the same access pattern as the old
+// callback-based execute()) and yields the batch of active records it
+// produced. Pulling instead of calling back gives consumers two things the
+// callback model could not:
+//
+//   1. Sound phase timing. Time blocked in a device read is invisible to a
+//      thread-CPU clock (CLOCK_THREAD_CPUTIME_ID does not advance while the
+//      thread sleeps in pread), so the old interleaved re-marking trick
+//      systematically under-reported I/O wall time on file-backed clusters.
+//      The stream times each device read with a monotonic wall clock
+//      (io_wall_seconds()), leaving consumers free to time decoding and
+//      triangulation with the thread-CPU clock — two clean, non-interleaved
+//      measurements.
+//
+//   2. Overlap. Batches own their bytes, so an I/O stage can prefetch the
+//      next batch on one thread while a compute stage triangulates the
+//      current one on another (see parallel/pipeline.h and the query
+//      engines), which is how per-node completion drops from io + cpu to
+//      max(io, cpu) + fill.
+//
+// Case-2 (prefix) scans decode each record's vmin inside the stream and
+// trim the batch at the end of the active prefix, so consumers only ever
+// see active records.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "index/compact_interval_tree.h"
+#include "io/block_device.h"
+#include "io/io_stats.h"
+
+namespace oociso::index {
+
+/// One contiguous run of active records produced by a single device read.
+/// The batch owns its bytes so it can safely cross a pipeline queue.
+struct RecordBatch {
+  std::vector<std::byte> data;        ///< active records, tightly packed
+  std::size_t record_size = 0;        ///< bytes per record
+  std::size_t record_count = 0;       ///< active records in `data`
+  std::uint64_t records_fetched = 0;  ///< records read, incl. trimmed overshoot
+  io::IoStats io;                     ///< device I/O performed for this batch
+  double io_seconds = 0.0;            ///< wall clock spent inside device reads
+
+  /// Record `i` of the batch.
+  [[nodiscard]] std::span<const std::byte> record(std::size_t i) const {
+    return {data.data() + i * record_size, record_size};
+  }
+};
+
+class RetrievalStream {
+ public:
+  /// The stream copies the plan's scan list; `device` must outlive the
+  /// stream. Throws std::logic_error when `record_size` is zero but the
+  /// plan has scans (an empty index queried).
+  RetrievalStream(QueryPlan plan, core::ScalarKind kind,
+                  std::size_t record_size, io::BlockDevice& device);
+
+  /// Produces the next batch, performing exactly one device read, or
+  /// std::nullopt once the plan is exhausted. A returned batch may hold
+  /// zero active records (a Case-2 probe that found the prefix already
+  /// ended); its I/O is still accounted.
+  [[nodiscard]] std::optional<RecordBatch> next();
+
+  /// Running query counters; complete once next() has returned nullopt.
+  [[nodiscard]] const QueryStats& stats() const { return stats_; }
+
+  /// Total wall-clock seconds spent inside device reads so far. This is
+  /// the sound io-time measurement: a monotonic clock around each read,
+  /// nothing else in the window.
+  [[nodiscard]] double io_wall_seconds() const { return io_wall_seconds_; }
+
+  /// True once every scan of the plan has been consumed.
+  [[nodiscard]] bool exhausted() const {
+    return scan_index_ >= plan_.scans.size();
+  }
+
+ private:
+  QueryPlan plan_;
+  core::ScalarKind kind_;
+  std::size_t record_size_;
+  io::BlockDevice& device_;
+
+  // Galloping schedule (see execute_plan's original comment): full scans
+  // read large fixed chunks; prefix scans start at one block's worth of
+  // records and double per read, capped.
+  std::size_t full_chunk_records_ = 1;
+  std::size_t first_batch_records_ = 1;
+  std::size_t max_batch_records_ = 1;
+
+  std::size_t scan_index_ = 0;     ///< current scan within the plan
+  std::uint64_t scan_done_ = 0;    ///< records consumed of the current scan
+  std::size_t scan_batch_ = 0;     ///< next read size for the current scan
+  bool scan_entered_ = false;      ///< bricks_scanned charged for this scan
+  bool scan_stopped_ = false;      ///< Case-2 prefix ended early
+
+  QueryStats stats_;
+  double io_wall_seconds_ = 0.0;
+};
+
+/// Convenience: plan the isovalue on an in-core tree and open the stream
+/// over its brick device.
+[[nodiscard]] inline RetrievalStream open_stream(
+    const CompactIntervalTree& tree, core::ValueKey isovalue,
+    io::BlockDevice& device) {
+  return RetrievalStream(tree.plan(isovalue), tree.scalar_kind(),
+                         tree.record_size(), device);
+}
+
+}  // namespace oociso::index

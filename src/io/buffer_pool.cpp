@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <stdexcept>
+#include <string>
 
 namespace oociso::io {
 
@@ -51,10 +52,71 @@ BufferPool::Frame& BufferPool::pin(std::uint64_t block_index) {
 }
 
 void BufferPool::evict_one() {
-  auto victim = std::prev(lru_.end());
+  // First unpinned frame from the LRU end; a pinned frame's bytes are
+  // observable through a live PinnedBlock, so evicting it would dangle.
+  auto victim = lru_.end();
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    if (it->pins == 0) {
+      victim = std::prev(it.base());
+      break;
+    }
+  }
+  if (victim == lru_.end()) {
+    throw std::runtime_error(
+        "BufferPool: cannot fault a block in — every resident frame is "
+        "pinned (capacity " +
+        std::to_string(capacity_) + ")");
+  }
   write_back(*victim);
   map_.erase(victim->block_index);
   lru_.erase(victim);
+}
+
+BufferPool::PinnedBlock BufferPool::pin_block(std::uint64_t block_index) {
+  Frame& frame = pin(block_index);
+  ++frame.pins;
+  return PinnedBlock(*this, frame);
+}
+
+BufferPool::PinnedBlock::~PinnedBlock() {
+  if (frame_ != nullptr) --frame_->pins;
+}
+
+std::uint64_t BufferPool::PinnedBlock::block_index() const {
+  return frame_->block_index;
+}
+
+std::span<std::byte> BufferPool::PinnedBlock::data() {
+  return {frame_->data.data(), frame_->data.size()};
+}
+
+std::span<const std::byte> BufferPool::PinnedBlock::data() const {
+  return {frame_->data.data(), frame_->data.size()};
+}
+
+void BufferPool::PinnedBlock::mark_dirty() {
+  frame_->dirty = true;
+  // Writes through a pin may extend the file: anything in this block is
+  // meaningful up to its end once dirtied.
+  pool_->logical_size_ =
+      std::max(pool_->logical_size_,
+               (frame_->block_index + 1) * pool_->block_size_);
+}
+
+std::size_t BufferPool::dirty_blocks() const {
+  std::size_t count = 0;
+  for (const Frame& frame : lru_) {
+    if (frame.dirty) ++count;
+  }
+  return count;
+}
+
+std::size_t BufferPool::pinned_blocks() const {
+  std::size_t count = 0;
+  for (const Frame& frame : lru_) {
+    if (frame.pins > 0) ++count;
+  }
+  return count;
 }
 
 void BufferPool::write_back(Frame& frame) {

@@ -19,13 +19,54 @@
 namespace oociso::io {
 
 class BufferPool {
+ private:
+  struct Frame {
+    std::uint64_t block_index;
+    std::vector<std::byte> data;
+    bool dirty = false;
+    int pins = 0;  ///< live PinnedBlock handles; > 0 blocks eviction
+  };
+
  public:
+  /// RAII pin on one cached block. While the handle lives the frame cannot
+  /// be evicted, so data() stays valid across further pool operations —
+  /// the unguarded internal Frame& used to dangle as soon as another
+  /// access faulted a block in at capacity.
+  class PinnedBlock {
+   public:
+    PinnedBlock(PinnedBlock&& other) noexcept
+        : pool_(other.pool_), frame_(other.frame_) {
+      other.frame_ = nullptr;
+    }
+    PinnedBlock(const PinnedBlock&) = delete;
+    PinnedBlock& operator=(const PinnedBlock&) = delete;
+    PinnedBlock& operator=(PinnedBlock&&) = delete;
+    ~PinnedBlock();
+
+    [[nodiscard]] std::uint64_t block_index() const;
+    [[nodiscard]] std::span<std::byte> data();
+    [[nodiscard]] std::span<const std::byte> data() const;
+    /// Schedules the block for write-back (the caller mutated data()).
+    void mark_dirty();
+
+   private:
+    friend class BufferPool;
+    PinnedBlock(BufferPool& pool, Frame& frame)
+        : pool_(&pool), frame_(&frame) {}
+    BufferPool* pool_;
+    Frame* frame_;  ///< list nodes are address-stable; null after move
+  };
+
   /// `capacity_blocks` is M/B in model terms; must be >= 1.
   BufferPool(BlockDevice& device, std::size_t capacity_blocks);
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Faults the block in (evicting an unpinned victim if needed) and pins
+  /// it. Throws std::runtime_error when the pool is full of pinned blocks.
+  [[nodiscard]] PinnedBlock pin_block(std::uint64_t block_index);
 
   /// Cached byte-range read ([offset, offset+out.size()) must be within the
   /// logical size, which covers both flushed and still-dirty data).
@@ -44,15 +85,14 @@ class BufferPool {
   [[nodiscard]] std::uint64_t misses() const { return misses_; }
   [[nodiscard]] std::size_t capacity_blocks() const { return capacity_; }
   [[nodiscard]] std::size_t resident_blocks() const { return map_.size(); }
+  /// Resident blocks whose contents have not been written back yet.
+  [[nodiscard]] std::size_t dirty_blocks() const;
+  /// Resident blocks currently held by a PinnedBlock.
+  [[nodiscard]] std::size_t pinned_blocks() const;
 
   [[nodiscard]] BlockDevice& device() { return device_; }
 
  private:
-  struct Frame {
-    std::uint64_t block_index;
-    std::vector<std::byte> data;
-    bool dirty = false;
-  };
   using LruList = std::list<Frame>;
 
   /// Returns the frame for the block, faulting it in (and evicting the LRU

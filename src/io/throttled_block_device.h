@@ -1,0 +1,61 @@
+#pragma once
+// Delay-injecting BlockDevice decorator, for timing tests.
+//
+// Wraps another device and sleeps for a fixed wall-clock delay before every
+// read (and optionally every write) it forwards. Because the inner device is
+// reached through its public read()/write(), the wrapper keeps its own
+// IoStats consistent with the inner device's while making "time blocked in
+// a device read" large and deterministic — exactly what a regression test
+// for I/O wall-time attribution needs: a thread-CPU clock will NOT observe
+// the injected sleep, a monotonic wall clock around the read will.
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "io/block_device.h"
+
+namespace oociso::io {
+
+class ThrottledBlockDevice final : public BlockDevice {
+ public:
+  /// `inner` must outlive the wrapper. `read_delay` is slept before every
+  /// forwarded read, `write_delay` before every forwarded write.
+  ThrottledBlockDevice(BlockDevice& inner,
+                       std::chrono::nanoseconds read_delay,
+                       std::chrono::nanoseconds write_delay =
+                           std::chrono::nanoseconds{0})
+      : BlockDevice(inner.block_size()),
+        inner_(inner),
+        read_delay_(read_delay),
+        write_delay_(write_delay) {}
+
+  [[nodiscard]] std::uint64_t size() const override { return inner_.size(); }
+  void flush() override { inner_.flush(); }
+
+  [[nodiscard]] std::uint64_t reads() const { return reads_; }
+  [[nodiscard]] std::uint64_t writes() const { return writes_; }
+
+ protected:
+  void do_read(std::uint64_t offset, std::span<std::byte> out) override {
+    ++reads_;
+    if (read_delay_.count() > 0) std::this_thread::sleep_for(read_delay_);
+    inner_.read(offset, out);
+  }
+
+  void do_write(std::uint64_t offset,
+                std::span<const std::byte> data) override {
+    ++writes_;
+    if (write_delay_.count() > 0) std::this_thread::sleep_for(write_delay_);
+    inner_.write(offset, data);
+  }
+
+ private:
+  BlockDevice& inner_;
+  std::chrono::nanoseconds read_delay_;
+  std::chrono::nanoseconds write_delay_;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace oociso::io

@@ -23,11 +23,19 @@ Cluster::Cluster(ClusterConfig config)
       }
       const auto node_dir = config_.storage_dir / ("node" + std::to_string(i));
       std::filesystem::create_directories(node_dir);
+      const auto brick_path = node_dir / "bricks.dat";
+      if (config_.open_existing && !std::filesystem::exists(brick_path)) {
+        // Don't let the raw ENOENT from ::open surface — name the node and
+        // the path so a half-copied bundle is diagnosable.
+        throw std::runtime_error(
+            "Cluster: open_existing requested but node " + std::to_string(i) +
+            " has no brick store at " + brick_path.string());
+      }
       const auto mode = config_.open_existing
                             ? io::FileBlockDevice::Mode::kReadWrite
                             : io::FileBlockDevice::Mode::kCreate;
       disks_.push_back(std::make_unique<io::FileBlockDevice>(
-          node_dir / "bricks.dat", mode, config_.disk.block_size));
+          brick_path, mode, config_.disk.block_size));
     }
   }
 }

@@ -1,0 +1,122 @@
+#pragma once
+// Two-stage producer/consumer pipeline primitives.
+//
+// The query engines overlap a node's AMC retrieval I/O with its decoding +
+// marching-cubes work: an I/O stage pulls batches from a RetrievalStream
+// and pushes them through a bounded queue while the compute stage drains
+// them on the node's own thread. The queue is deliberately small — it
+// bounds memory to capacity batches and keeps the producer at most a few
+// reads ahead (prefetch, not full buffering), so per-node completion is
+// max(io, cpu) + fill rather than io + cpu.
+//
+// Thread-safety: BoundedQueue is a plain mutex + condition-variable queue,
+// safe for any number of producers/consumers (the pipelines use exactly one
+// of each). produce_consume() owns the producer thread's lifetime and
+// propagates exceptions from either stage to the caller.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
+namespace oociso::parallel {
+
+/// Fixed-capacity blocking queue. push() blocks while full; pop() blocks
+/// while empty; close() wakes everyone and makes further push() calls
+/// return false and pop() return nullopt once drained.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Blocks until there is room (or the queue is closed). Returns false —
+  /// dropping the item — iff the queue was closed.
+  bool push(T item) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available; nullopt once closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Idempotent; unblocks all waiters. Items already queued remain
+  /// poppable (close-then-drain).
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+/// Runs `produce(push)` on a dedicated thread while `consume(item)` drains
+/// the queue on the calling thread.
+///
+/// `produce` receives a callable `bool push(T)`; it should stop producing
+/// when push returns false (consumer aborted). `consume` is invoked once
+/// per item in FIFO order. Exceptions: a consumer exception closes the
+/// queue (unblocking the producer), the producer thread is joined, and the
+/// consumer's exception propagates; a producer exception is rethrown after
+/// the consumer drains whatever was queued. The producer thread never
+/// outlives this call.
+template <typename T, typename ProduceFn, typename ConsumeFn>
+void produce_consume(std::size_t queue_capacity, ProduceFn&& produce,
+                     ConsumeFn&& consume) {
+  BoundedQueue<T> queue(queue_capacity);
+  std::exception_ptr producer_error;
+
+  std::thread producer([&] {
+    try {
+      produce([&queue](T item) { return queue.push(std::move(item)); });
+    } catch (...) {
+      producer_error = std::current_exception();
+    }
+    queue.close();
+  });
+
+  try {
+    while (std::optional<T> item = queue.pop()) {
+      consume(*item);
+    }
+  } catch (...) {
+    queue.close();  // unblock a producer stuck in push()
+    producer.join();
+    throw;
+  }
+  producer.join();
+  if (producer_error) std::rethrow_exception(producer_error);
+}
+
+}  // namespace oociso::parallel

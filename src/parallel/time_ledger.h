@@ -7,6 +7,15 @@
 // models, CPU phases from measured wall time — and the cluster-level
 // summary takes the max over nodes per phase, which is the parallel
 // completion time under the BSP view the paper uses.
+//
+// Overlapped extraction. The pipelined query engines run AMC retrieval and
+// triangulation as a per-node producer/consumer pair (parallel/pipeline.h)
+// rather than as barrier-separated phases. The ledger can record the pair
+// as *overlapped*: each phase is still charged in full for per-phase
+// reporting (the Table 2-5 columns), but completion-oriented totals count
+// the pipelined window max(io, cpu) + residue, where the residue is the
+// pipeline fill (the first batch's I/O, which nothing can hide). The
+// difference io + cpu − window is exposed as overlap_saved().
 
 #include <algorithm>
 #include <array>
@@ -41,32 +50,96 @@ class TimeLedger {
   void add(Phase phase, double seconds) {
     times_[static_cast<std::size_t>(phase)] += seconds;
   }
+
+  /// Records one pipelined retrieval+triangulation run: `io_seconds` goes
+  /// to kAmcRetrieval and `cpu_seconds` to kTriangulation in full, and the
+  /// overlap window max(io, cpu) + residue is what extraction_seconds()
+  /// (and cluster completion) will count. `residue_seconds` is the
+  /// non-overlappable part — the pipeline fill, i.e. the I/O of the first
+  /// batch the compute stage had to wait for.
+  void add_extraction_overlapped(double io_seconds, double cpu_seconds,
+                                 double residue_seconds = 0.0) {
+    add(Phase::kAmcRetrieval, io_seconds);
+    add(Phase::kTriangulation, cpu_seconds);
+    extraction_overlapped_ = true;
+    const double window =
+        std::max(io_seconds, cpu_seconds) + std::max(residue_seconds, 0.0);
+    overlap_saved_ += std::max(0.0, io_seconds + cpu_seconds - window);
+  }
+
   [[nodiscard]] double get(Phase phase) const {
     return times_[static_cast<std::size_t>(phase)];
   }
+
+  /// Seconds the retrieval/triangulation overlap hid relative to running
+  /// the two phases back to back; 0 when nothing was overlapped.
+  [[nodiscard]] double overlap_saved() const { return overlap_saved_; }
+
+  /// True when any extraction on this ledger ran pipelined.
+  [[nodiscard]] bool extraction_overlapped() const {
+    return extraction_overlapped_;
+  }
+
+  /// This node's retrieval+triangulation span: the serial sum, minus what
+  /// the pipeline overlapped away.
+  [[nodiscard]] double extraction_seconds() const {
+    return get(Phase::kAmcRetrieval) + get(Phase::kTriangulation) -
+           overlap_saved_;
+  }
+
+  /// Total *work* across phases. Overlap hides time, it does not remove
+  /// work, so this stays the gross sum (the paper's "no overhead relative
+  /// to the serial algorithm" comparison); span-oriented callers want
+  /// extraction_seconds().
   [[nodiscard]] double total() const {
     double sum = 0.0;
     for (const double t : times_) sum += t;
     return sum;
   }
-  void reset() { times_.fill(0.0); }
+
+  void reset() {
+    times_.fill(0.0);
+    overlap_saved_ = 0.0;
+    extraction_overlapped_ = false;
+  }
 
  private:
   std::array<double, static_cast<std::size_t>(Phase::kCount)> times_{};
+  double overlap_saved_ = 0.0;
+  bool extraction_overlapped_ = false;
 };
 
 /// Summary over the per-node ledgers of one parallel query.
 struct ClusterTimes {
   std::vector<TimeLedger> per_node;
 
-  /// BSP completion time: every phase is a barrier, so the cluster finishes
-  /// a phase when its slowest node does.
-  [[nodiscard]] double completion_seconds() const {
-    double total = 0.0;
-    for (std::size_t p = 0; p < static_cast<std::size_t>(Phase::kCount); ++p) {
-      total += max_phase(static_cast<Phase>(p));
+  /// Completion time of the extraction stage (retrieval + triangulation).
+  /// When the engines pipelined the two phases there is no barrier between
+  /// them on a node, so the stage ends when the slowest node's *pipelined
+  /// window* does: max over nodes of (io + cpu − overlap_saved). With no
+  /// overlap recorded anywhere this falls back to the strict BSP view,
+  /// max(io over nodes) + max(cpu over nodes).
+  [[nodiscard]] double extraction_completion_seconds() const {
+    bool any_overlap = false;
+    for (const TimeLedger& ledger : per_node) {
+      if (ledger.extraction_overlapped()) any_overlap = true;
     }
-    return total;
+    if (!any_overlap) {
+      return max_phase(Phase::kAmcRetrieval) + max_phase(Phase::kTriangulation);
+    }
+    double slowest = 0.0;
+    for (const TimeLedger& ledger : per_node) {
+      slowest = std::max(slowest, ledger.extraction_seconds());
+    }
+    return slowest;
+  }
+
+  /// Cluster completion time: the pipelined extraction window plus the
+  /// barrier (max-over-nodes) rendering and compositing phases — the
+  /// metric the paper's Tables 2-5 report.
+  [[nodiscard]] double completion_seconds() const {
+    return extraction_completion_seconds() + max_phase(Phase::kRendering) +
+           max_phase(Phase::kCompositing);
   }
 
   [[nodiscard]] double max_phase(Phase phase) const {

@@ -1,8 +1,12 @@
 #include "pipeline/query_engine.h"
 
+#include <optional>
 #include <stdexcept>
+#include <utility>
 
 #include "extract/marching_cubes.h"
+#include "index/retrieval_stream.h"
+#include "parallel/pipeline.h"
 #include "render/camera.h"
 #include "render/rasterizer.h"
 #include "util/timer.h"
@@ -45,44 +49,71 @@ QueryReport QueryEngine::run(core::ValueKey isovalue,
     io::BlockDevice& disk = cluster_.disk(node);
     const index::CompactIntervalTree& tree = data_.trees[node];
 
-    // Retrieval and triangulation are interleaved per metacell (the paper
-    // streams metacells through marching cubes); the two phases are timed
-    // separately around the I/O call and the decode+triangulate work.
-    // Thread-CPU clocks keep concurrent node threads from charging each
-    // other for descheduled time (see util::ThreadCpuTimer).
+    // The stream performs every device read and times it with a monotonic
+    // wall clock; this thread only ever decodes and triangulates, timed
+    // with a thread-CPU clock (which keeps concurrent node threads from
+    // charging each other for descheduled time — and, unlike the old
+    // interleaved re-marking, never has a blocking read inside its window).
     const io::IoStats io_before = disk.stats();
-    double io_wall = 0.0;
-    double cpu_wall = 0.0;
-    util::ThreadCpuTimer stopwatch;
+    index::RetrievalStream stream = index::open_stream(tree, isovalue, disk);
 
-    const index::QueryPlan plan = tree.plan(isovalue);
-    stopwatch.restart();
-    double last_mark = 0.0;
-    const index::QueryStats stats = tree.execute(
-        plan, disk, [&](std::span<const std::byte> record) {
-          // execute() calls back between reads: time since the last mark is
-          // I/O + decode; split by re-marking around the CPU work.
-          const double at_callback = stopwatch.seconds();
-          io_wall += at_callback - last_mark;
-          const metacell::DecodedMetacell cell =
-              metacell::decode_metacell(record, data_.kind, data_.geometry);
-          const extract::ExtractionStats cell_stats =
-              extract::extract_metacell(cell, isovalue, soups[node]);
-          node_report.triangles += cell_stats.triangles;
-          last_mark = stopwatch.seconds();
-          cpu_wall += last_mark - at_callback;
-        });
-    io_wall += stopwatch.seconds() - last_mark;
+    double cpu_seconds = 0.0;
+    util::ThreadCpuTimer cpu_timer;
+    auto consume = [&](const index::RecordBatch& batch) {
+      cpu_timer.restart();
+      for (std::size_t r = 0; r < batch.record_count; ++r) {
+        const metacell::DecodedMetacell cell = metacell::decode_metacell(
+            batch.record(r), data_.kind, data_.geometry);
+        const extract::ExtractionStats cell_stats =
+            extract::extract_metacell(cell, isovalue, soups[node]);
+        node_report.triangles += cell_stats.triangles;
+      }
+      cpu_seconds += cpu_timer.seconds();
+    };
 
+    // Only the producer side touches `stream` (and through it the node's
+    // disk) while the pipeline runs; it is joined before the stats below
+    // are read. The fill is captured on the producer side for the same
+    // reason and read only after the join.
+    io::IoStats fill_io;
+    if (options.overlap_io_compute) {
+      bool first_batch = true;
+      parallel::produce_consume<index::RecordBatch>(
+          options.pipeline_depth,
+          [&](auto&& push) {
+            while (std::optional<index::RecordBatch> batch = stream.next()) {
+              if (first_batch) {
+                fill_io = batch->io;
+                first_batch = false;
+              }
+              if (!push(std::move(*batch))) break;
+            }
+          },
+          consume);
+    } else {
+      while (std::optional<index::RecordBatch> batch = stream.next()) {
+        consume(*batch);
+      }
+    }
+
+    const index::QueryStats& stats = stream.stats();
     node_report.active_metacells = stats.active_metacells;
     node_report.records_fetched = stats.records_fetched;
     node_report.io = disk.stats().since(io_before);
     node_report.io_model_seconds = cluster_.disk_seconds(node_report.io);
-    node_report.io_wall_seconds = io_wall;
-    node_report.triangulation_seconds = cpu_wall;
+    node_report.io_wall_seconds = stream.io_wall_seconds();
+    node_report.triangulation_seconds = cpu_seconds;
 
-    ledger.add(parallel::Phase::kAmcRetrieval, node_report.io_model_seconds);
-    ledger.add(parallel::Phase::kTriangulation, cpu_wall);
+    if (options.overlap_io_compute) {
+      node_report.pipeline_fill_seconds = cluster_.disk_seconds(fill_io);
+      ledger.add_extraction_overlapped(node_report.io_model_seconds,
+                                       cpu_seconds,
+                                       node_report.pipeline_fill_seconds);
+      node_report.overlap_saved_seconds = ledger.overlap_saved();
+    } else {
+      ledger.add(parallel::Phase::kAmcRetrieval, node_report.io_model_seconds);
+      ledger.add(parallel::Phase::kTriangulation, cpu_seconds);
+    }
 
     if (options.render) {
       util::ThreadCpuTimer render_timer;

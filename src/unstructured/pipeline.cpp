@@ -1,5 +1,10 @@
 #include "unstructured/pipeline.h"
 
+#include <optional>
+#include <utility>
+
+#include "index/retrieval_stream.h"
+#include "parallel/pipeline.h"
 #include "render/camera.h"
 #include "render/rasterizer.h"
 #include "util/timer.h"
@@ -55,25 +60,71 @@ TetQueryReport query_tets(parallel::Cluster& cluster,
     io::BlockDevice& disk = cluster.disk(node);
     const index::CompactIntervalTree& tree = prep.trees[node];
 
+    // Same split as the structured engine: the stream times device reads
+    // with a wall clock on the producer side; this thread only decodes and
+    // runs marching tets, timed with the thread-CPU clock.
     const io::IoStats io_before = disk.stats();
+    index::RetrievalStream stream = index::open_stream(tree, isovalue, disk);
+
+    double cpu_seconds = 0.0;
     util::ThreadCpuTimer cpu_timer;
-    tree.query(isovalue, disk, [&](std::span<const std::byte> record) {
-      ++node_report.active_clusters;
-      const auto tets = decode_cluster(record, prep.tets_per_cluster);
-      for (const PackedTet& tet : tets) {
-        node_report.triangles +=
-            triangulate_tet(tet.corners, tet.values, isovalue, soups[node]);
+    auto consume = [&](const index::RecordBatch& batch) {
+      cpu_timer.restart();
+      for (std::size_t r = 0; r < batch.record_count; ++r) {
+        ++node_report.active_clusters;
+        const auto tets =
+            decode_cluster(batch.record(r), prep.tets_per_cluster);
+        for (const PackedTet& tet : tets) {
+          node_report.triangles += triangulate_tet(tet.corners, tet.values,
+                                                   isovalue, soups[node]);
+        }
       }
-    });
-    if (options.render) {
-      render::Rasterizer rasterizer;
-      rasterizer.draw(soups[node], camera, frames[node]);
+      cpu_seconds += cpu_timer.seconds();
+    };
+
+    io::IoStats fill_io;
+    if (options.overlap_io_compute) {
+      bool first_batch = true;
+      parallel::produce_consume<index::RecordBatch>(
+          options.pipeline_depth,
+          [&](auto&& push) {
+            while (std::optional<index::RecordBatch> batch = stream.next()) {
+              if (first_batch) {
+                fill_io = batch->io;
+                first_batch = false;
+              }
+              if (!push(std::move(*batch))) break;
+            }
+          },
+          consume);
+    } else {
+      while (std::optional<index::RecordBatch> batch = stream.next()) {
+        consume(*batch);
+      }
     }
-    node_report.cpu_seconds = cpu_timer.seconds();
+
+    node_report.cpu_seconds = cpu_seconds;
     node_report.io_model_seconds =
         cluster.disk_seconds(disk.stats().since(io_before));
-    ledger.add(parallel::Phase::kAmcRetrieval, node_report.io_model_seconds);
-    ledger.add(parallel::Phase::kTriangulation, node_report.cpu_seconds);
+    node_report.io_wall_seconds = stream.io_wall_seconds();
+
+    if (options.overlap_io_compute) {
+      ledger.add_extraction_overlapped(node_report.io_model_seconds,
+                                       cpu_seconds,
+                                       cluster.disk_seconds(fill_io));
+      node_report.overlap_saved_seconds = ledger.overlap_saved();
+    } else {
+      ledger.add(parallel::Phase::kAmcRetrieval, node_report.io_model_seconds);
+      ledger.add(parallel::Phase::kTriangulation, node_report.cpu_seconds);
+    }
+
+    if (options.render) {
+      util::ThreadCpuTimer render_timer;
+      render::Rasterizer rasterizer;
+      rasterizer.draw(soups[node], camera, frames[node]);
+      node_report.render_seconds = render_timer.seconds();
+      ledger.add(parallel::Phase::kRendering, node_report.render_seconds);
+    }
   });
 
   if (options.render) {

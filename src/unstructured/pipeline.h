@@ -41,13 +41,22 @@ struct TetQueryOptions {
   std::int32_t image_size = 512;
   bool keep_triangles = false;
   bool keep_image = false;
+  /// Pipeline each node's cluster retrieval with its marching-tets work
+  /// (same producer/consumer scheme as the structured query engine).
+  bool overlap_io_compute = true;
+  std::size_t pipeline_depth = 4;  ///< bounded-queue depth, in batches
 };
 
 struct TetNodeReport {
   std::uint64_t active_clusters = 0;
   std::uint64_t triangles = 0;
   double io_model_seconds = 0.0;
-  double cpu_seconds = 0.0;  ///< decode + marching tets (+ rendering)
+  double io_wall_seconds = 0.0;  ///< wall clock inside device reads
+  double cpu_seconds = 0.0;      ///< decode + marching tets
+  double render_seconds = 0.0;
+  /// Modeled seconds the retrieval/triangulation pipeline hid on this
+  /// node; 0 when the query ran serial.
+  double overlap_saved_seconds = 0.0;
 };
 
 struct TetQueryReport {

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <fstream>
+#include <string>
 
 #include "data/rm_generator.h"
 #include "metacell/source.h"
@@ -90,6 +92,38 @@ TEST(Bundle, RejectsMissingAndCorrupt) {
   EXPECT_THROW(load_bundle(dir.path()), std::runtime_error);
   std::ofstream(dir.file("index.oocb"), std::ios::binary) << "garbage";
   EXPECT_THROW(load_bundle(dir.path()), std::runtime_error);
+}
+
+TEST(Bundle, ReattachWithMissingBrickStoreNamesTheNode) {
+  util::TempDir storage("oociso-bundle-lost");
+  const auto volume = data::generate_rm_timestep(small_rm(), 150);
+  {
+    parallel::ClusterConfig config;
+    config.node_count = 3;
+    config.storage_dir = storage.path();
+    parallel::Cluster cluster(config);
+    const auto source = metacell::make_source(volume, 9);
+    save_bundle(preprocess(*source, cluster), storage.path());
+  }
+
+  // A half-copied bundle: node 1's brick file vanished between sessions.
+  const auto lost = storage.path() / "node1" / "bricks.dat";
+  ASSERT_TRUE(std::filesystem::remove(lost));
+
+  parallel::ClusterConfig config;
+  config.node_count = 3;
+  config.storage_dir = storage.path();
+  config.open_existing = true;
+  try {
+    parallel::Cluster cluster(config);
+    FAIL() << "expected reattach to a gutted store to throw";
+  } catch (const std::runtime_error& error) {
+    // Not the raw ENOENT from ::open: the message names the node and the
+    // path the reattach expected.
+    const std::string message = error.what();
+    EXPECT_NE(message.find("node 1"), std::string::npos) << message;
+    EXPECT_NE(message.find(lost.string()), std::string::npos) << message;
+  }
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <optional>
 #include <set>
 
 #include "index/compact_interval_tree.h"
@@ -125,25 +126,56 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(info.param.second);
     });
 
-TEST(ExternalTree, ExecutesThroughSharedPlanExecutor) {
+TEST(ExternalTree, ExecutesThroughSharedRetrievalStream) {
   const auto infos = random_intervals(800, 60, 11);
   Fixture fixture = make_fixture(infos);
 
   for (const float isovalue : {12.0f, 30.0f, 55.0f}) {
-    const QueryPlan plan =
-        fixture.external.plan(isovalue, *fixture.index_device);
+    std::uint64_t blocks_read = 0;
+    RetrievalStream stream = fixture.external.open_stream(
+        isovalue, *fixture.index_device, *fixture.brick_device, &blocks_read);
     std::set<std::uint32_t> delivered;
-    execute_plan(plan, fixture.external.scalar_kind(),
-                 fixture.external.record_size(), *fixture.brick_device,
-                 [&](std::span<const std::byte> record) {
-                   io::ByteReader reader(record);
-                   delivered.insert(reader.get<std::uint32_t>());
-                 });
+    while (std::optional<RecordBatch> batch = stream.next()) {
+      for (std::size_t r = 0; r < batch->record_count; ++r) {
+        io::ByteReader reader(batch->record(r));
+        delivered.insert(reader.get<std::uint32_t>());
+      }
+    }
+    EXPECT_GE(blocks_read, 1u);
     std::set<std::uint32_t> expected;
     for (const auto& info : infos) {
       if (info.interval.stabs(isovalue)) expected.insert(info.id);
     }
     EXPECT_EQ(delivered, expected) << isovalue;
+    EXPECT_EQ(stream.stats().active_metacells, expected.size()) << isovalue;
+  }
+}
+
+TEST(ExternalTree, StreamThroughBufferPoolMatchesDirect) {
+  const auto infos = random_intervals(600, 80, 19);
+  Fixture fixture = make_fixture(infos, 256);
+
+  io::BufferPool pool(*fixture.index_device, 4);
+  for (const float isovalue : {20.0f, 45.0f}) {
+    RetrievalStream direct = fixture.external.open_stream(
+        isovalue, *fixture.index_device, *fixture.brick_device);
+    RetrievalStream cached = fixture.external.open_stream(
+        isovalue, pool, *fixture.brick_device);
+    std::set<std::uint32_t> from_direct;
+    std::set<std::uint32_t> from_cached;
+    while (std::optional<RecordBatch> batch = direct.next()) {
+      for (std::size_t r = 0; r < batch->record_count; ++r) {
+        io::ByteReader reader(batch->record(r));
+        from_direct.insert(reader.get<std::uint32_t>());
+      }
+    }
+    while (std::optional<RecordBatch> batch = cached.next()) {
+      for (std::size_t r = 0; r < batch->record_count; ++r) {
+        io::ByteReader reader(batch->record(r));
+        from_cached.insert(reader.get<std::uint32_t>());
+      }
+    }
+    EXPECT_EQ(from_direct, from_cached) << isovalue;
   }
 }
 

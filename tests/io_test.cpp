@@ -1,14 +1,19 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <numeric>
+#include <utility>
 
 #include "io/buffer_pool.h"
 #include "io/file_block_device.h"
 #include "io/io_stats.h"
 #include "io/memory_block_device.h"
 #include "io/serial.h"
+#include "io/throttled_block_device.h"
 #include "util/temp_dir.h"
+#include "util/timer.h"
 
 namespace oociso::io {
 namespace {
@@ -242,6 +247,170 @@ TEST(BufferPoolTest, LruEvictsColdestBlock) {
 TEST(BufferPoolTest, ZeroCapacityRejected) {
   MemoryBlockDevice device(64);
   EXPECT_THROW(BufferPool(device, 0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// BufferPool pinning. Before the pin guard, pin() handed out a bare Frame&
+// that the next faulting access could evict — at capacity 1 the reference
+// dangled as soon as any other block was touched. A PinnedBlock now blocks
+// eviction of its frame for as long as it lives.
+// ---------------------------------------------------------------------------
+
+TEST(BufferPoolPinTest, PinnedFrameSurvivesCompetingAccessAtCapacityOne) {
+  MemoryBlockDevice device(64);
+  device.write(0, make_bytes(128, 1));
+  BufferPool pool(device, 1);
+
+  auto pinned = pool.pin_block(0);
+  const std::vector<std::byte> before(pinned.data().begin(),
+                                      pinned.data().end());
+
+  // The old failure: this would evict block 0 to fault block 1 in, leaving
+  // `pinned` pointing at freed frame memory. Now the pool has no evictable
+  // victim and must refuse.
+  std::vector<std::byte> buffer(64);
+  EXPECT_THROW(pool.read(64, buffer), std::runtime_error);
+  EXPECT_THROW((void)pool.pin_block(1), std::runtime_error);
+
+  // The pinned bytes are untouched and still valid.
+  const std::vector<std::byte> after(pinned.data().begin(),
+                                     pinned.data().end());
+  EXPECT_EQ(after, before);
+  EXPECT_EQ(pool.pinned_blocks(), 1u);
+
+  // Re-pinning the same resident block is fine (no fault needed).
+  {
+    auto again = pool.pin_block(0);
+    EXPECT_EQ(again.block_index(), 0u);
+  }
+  EXPECT_EQ(pool.pinned_blocks(), 1u);
+}
+
+TEST(BufferPoolPinTest, ReleasedPinAllowsEvictionAgain) {
+  MemoryBlockDevice device(64);
+  device.write(0, make_bytes(128, 1));
+  BufferPool pool(device, 1);
+  {
+    auto pinned = pool.pin_block(0);
+  }
+  std::vector<std::byte> buffer(64);
+  pool.read(64, buffer);  // evicts the now-unpinned block 0
+  EXPECT_EQ(buffer, make_bytes(64, 1 + 64));
+  EXPECT_EQ(pool.pinned_blocks(), 0u);
+}
+
+TEST(BufferPoolPinTest, DirtyPinnedWritesReachTheDevice) {
+  MemoryBlockDevice device(64);
+  BufferPool pool(device, 2);
+  {
+    auto pinned = pool.pin_block(0);
+    const auto payload = make_bytes(64, 7);
+    std::memcpy(pinned.data().data(), payload.data(), payload.size());
+    pinned.mark_dirty();
+  }
+  pool.flush();
+  std::vector<std::byte> back(64);
+  device.read(0, back);
+  EXPECT_EQ(back, make_bytes(64, 7));
+  EXPECT_EQ(pool.dirty_blocks(), 0u);
+}
+
+TEST(BufferPoolPinTest, MovedFromPinReleasesOnlyOnce) {
+  MemoryBlockDevice device(64);
+  device.write(0, make_bytes(64));
+  BufferPool pool(device, 1);
+  auto pinned = pool.pin_block(0);
+  auto moved = std::move(pinned);
+  EXPECT_EQ(pool.pinned_blocks(), 1u);
+  {
+    const auto sink = std::move(moved);
+  }
+  EXPECT_EQ(pool.pinned_blocks(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// BufferPool round-trip property: arbitrary interleavings of reads, writes
+// past the logical end, and evictions under pressure must leave the pool
+// byte-identical to an in-memory reference, both through the warm pool and
+// through a fresh pool after flush().
+// ---------------------------------------------------------------------------
+
+TEST(BufferPoolPropertyTest, RandomOpsRoundTripThroughFlush) {
+  constexpr std::uint64_t kBlock = 64;
+  constexpr std::size_t kCapacity = 3;  // small: constant eviction pressure
+  constexpr std::size_t kOps = 2000;
+  constexpr std::uint64_t kMaxOffset = kBlock * 40;
+
+  MemoryBlockDevice device(kBlock);
+  BufferPool pool(device, kCapacity);
+  std::vector<std::byte> reference;  // mirror of the logical contents
+
+  std::uint64_t state = 88172645463325252ull;  // xorshift64
+  auto rng = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+
+  for (std::size_t op = 0; op < kOps; ++op) {
+    const std::uint64_t offset = rng() % kMaxOffset;
+    const std::size_t length = 1 + static_cast<std::size_t>(rng() % 150);
+    if (rng() % 2 == 0 || pool.size() == 0) {
+      // Write, often extending the logical end mid-block.
+      const auto data = make_bytes(length, static_cast<int>(rng() % 251));
+      pool.write(offset, data);
+      if (offset + length > reference.size()) {
+        reference.resize(offset + length, std::byte{0});
+      }
+      std::memcpy(reference.data() + offset, data.data(), length);
+    } else if (pool.size() > 0) {
+      // Read somewhere inside the logical size; must match the mirror.
+      const std::uint64_t max_start = pool.size() - 1;
+      const std::uint64_t start = rng() % (max_start + 1);
+      const std::size_t count = static_cast<std::size_t>(
+          std::min<std::uint64_t>(length, pool.size() - start));
+      std::vector<std::byte> got(count);
+      pool.read(start, got);
+      ASSERT_EQ(0, std::memcmp(got.data(), reference.data() + start, count))
+          << "op " << op << " offset " << start;
+    }
+  }
+
+  ASSERT_EQ(pool.size(), reference.size());
+  pool.flush();
+  EXPECT_EQ(pool.dirty_blocks(), 0u);  // flush leaves nothing dirty
+  EXPECT_EQ(device.size(), reference.size());
+
+  // A fresh pool over the flushed device sees identical bytes.
+  BufferPool reopened(device, kCapacity);
+  std::vector<std::byte> all(reference.size());
+  reopened.read(0, all);
+  EXPECT_EQ(all, reference);
+}
+
+// ---------------------------------------------------------------------------
+// ThrottledBlockDevice
+// ---------------------------------------------------------------------------
+
+TEST(ThrottledDevice, ForwardsBytesAndInjectsWallDelay) {
+  MemoryBlockDevice inner(64);
+  const auto data = make_bytes(128, 3);
+  inner.write(0, data);
+
+  ThrottledBlockDevice slow(inner, std::chrono::milliseconds(5));
+  EXPECT_EQ(slow.size(), 128u);
+
+  std::vector<std::byte> back(128);
+  const util::WallTimer timer;
+  slow.read(0, back);
+  EXPECT_GE(timer.seconds(), 0.005);
+  EXPECT_EQ(back, data);
+  EXPECT_EQ(slow.reads(), 1u);
+
+  slow.write(128, data);
+  EXPECT_EQ(inner.size(), 256u);
+  EXPECT_EQ(slow.writes(), 1u);
 }
 
 // ---------------------------------------------------------------------------

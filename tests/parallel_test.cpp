@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "parallel/cluster.h"
 #include "parallel/cost_model.h"
+#include "parallel/pipeline.h"
 #include "parallel/thread_pool.h"
 #include "parallel/time_ledger.h"
 #include "util/temp_dir.h"
@@ -115,6 +119,143 @@ TEST(ClusterTimesTest, CompletionIsMaxPerPhase) {
 TEST(PhaseNames, AreHumanReadable) {
   EXPECT_EQ(phase_name(Phase::kAmcRetrieval), "amc-retrieval");
   EXPECT_EQ(phase_name(Phase::kCompositing), "compositing");
+}
+
+TEST(TimeLedgerTest, OverlappedExtractionChargesPhasesInFull) {
+  TimeLedger ledger;
+  ledger.add_extraction_overlapped(/*io=*/3.0, /*cpu=*/2.0, /*residue=*/0.5);
+  // Per-phase reporting is unchanged by overlap...
+  EXPECT_DOUBLE_EQ(ledger.get(Phase::kAmcRetrieval), 3.0);
+  EXPECT_DOUBLE_EQ(ledger.get(Phase::kTriangulation), 2.0);
+  EXPECT_DOUBLE_EQ(ledger.total(), 5.0);  // work is not reduced
+  // ...but the node's extraction span is the pipelined window.
+  EXPECT_TRUE(ledger.extraction_overlapped());
+  EXPECT_DOUBLE_EQ(ledger.overlap_saved(), 5.0 - (3.0 + 0.5));
+  EXPECT_DOUBLE_EQ(ledger.extraction_seconds(), 3.5);
+}
+
+TEST(TimeLedgerTest, OverlapNeverInflatesTheWindow) {
+  // Degenerate pipelines (residue larger than the hideable part) must not
+  // produce negative savings.
+  TimeLedger ledger;
+  ledger.add_extraction_overlapped(/*io=*/1.0, /*cpu=*/0.1, /*residue=*/5.0);
+  EXPECT_DOUBLE_EQ(ledger.overlap_saved(), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.extraction_seconds(), 1.1);
+  ledger.reset();
+  EXPECT_FALSE(ledger.extraction_overlapped());
+  EXPECT_DOUBLE_EQ(ledger.overlap_saved(), 0.0);
+}
+
+TEST(ClusterTimesTest, OverlappedCompletionIsMaxOfNodeWindows) {
+  ClusterTimes times;
+  times.per_node.resize(2);
+  // Node 0: io 3, cpu 2, fill 0.5 -> window 3.5. Node 1: io 1, cpu 4,
+  // fill 0.25 -> window 4.25.
+  times.per_node[0].add_extraction_overlapped(3.0, 2.0, 0.5);
+  times.per_node[1].add_extraction_overlapped(1.0, 4.0, 0.25);
+  EXPECT_DOUBLE_EQ(times.extraction_completion_seconds(), 4.25);
+  // Strictly better than the barrier view max(3,1) + max(2,4) = 7, and the
+  // work totals still see the full phase times.
+  EXPECT_LT(times.extraction_completion_seconds(),
+            times.max_phase(Phase::kAmcRetrieval) +
+                times.max_phase(Phase::kTriangulation));
+  EXPECT_DOUBLE_EQ(times.total_work_seconds(), 10.0);
+  times.per_node[0].add(Phase::kRendering, 1.0);
+  EXPECT_DOUBLE_EQ(times.completion_seconds(), 5.25);
+}
+
+// ---------------------------------------------------------------------------
+// BoundedQueue / produce_consume
+// ---------------------------------------------------------------------------
+
+TEST(BoundedQueueTest, DeliversInOrderAcrossThreads) {
+  BoundedQueue<int> queue(3);
+  std::vector<int> received;
+  std::thread producer([&queue] {
+    for (int i = 0; i < 100; ++i) EXPECT_TRUE(queue.push(i));
+    queue.close();
+  });
+  while (std::optional<int> item = queue.pop()) received.push_back(*item);
+  producer.join();
+  ASSERT_EQ(received.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(received[static_cast<std::size_t>(i)], i);
+}
+
+TEST(BoundedQueueTest, CapacityBoundsProducerLead) {
+  BoundedQueue<int> queue(2);
+  std::atomic<int> pushed{0};
+  std::thread producer([&] {
+    for (int i = 0; i < 10; ++i) {
+      queue.push(i);
+      ++pushed;
+    }
+    queue.close();
+  });
+  // Give the producer time to run ahead as far as the queue allows: it can
+  // complete at most capacity pushes (plus one in-flight) without a pop.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_LE(pushed.load(), 3);
+  while (queue.pop().has_value()) {
+  }
+  producer.join();
+  EXPECT_EQ(pushed.load(), 10);
+}
+
+TEST(BoundedQueueTest, CloseUnblocksPushAndDrainsItems) {
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.push(7));
+  std::thread closer([&queue] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    queue.close();
+  });
+  EXPECT_FALSE(queue.push(8));  // was blocked on a full queue, then closed
+  closer.join();
+  EXPECT_EQ(queue.pop(), std::optional<int>(7));  // close-then-drain
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(ProduceConsumeTest, RunsAllItemsThroughBothStages) {
+  std::vector<int> consumed;
+  produce_consume<int>(
+      4,
+      [](auto&& push) {
+        for (int i = 0; i < 256; ++i) {
+          if (!push(i)) return;
+        }
+      },
+      [&consumed](int item) { consumed.push_back(item); });
+  ASSERT_EQ(consumed.size(), 256u);
+  for (int i = 0; i < 256; ++i) EXPECT_EQ(consumed[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ProduceConsumeTest, ProducerExceptionPropagates) {
+  int consumed = 0;
+  EXPECT_THROW(produce_consume<int>(
+                   2,
+                   [](auto&& push) {
+                     push(1);
+                     throw std::runtime_error("producer died");
+                   },
+                   [&consumed](int) { ++consumed; }),
+               std::runtime_error);
+  EXPECT_EQ(consumed, 1);  // queued items still drain before the rethrow
+}
+
+TEST(ProduceConsumeTest, ConsumerExceptionUnblocksProducer) {
+  std::atomic<bool> producer_finished{false};
+  EXPECT_THROW(produce_consume<int>(
+                   1,
+                   [&](auto&& push) {
+                     for (int i = 0; i < 1000; ++i) {
+                       if (!push(i)) break;  // queue closed by the failure
+                     }
+                     producer_finished = true;
+                   },
+                   [](int item) {
+                     if (item == 3) throw std::logic_error("consumer died");
+                   }),
+               std::logic_error);
+  EXPECT_TRUE(producer_finished.load());
 }
 
 // ---------------------------------------------------------------------------

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "data/analytic_fields.h"
 #include "data/rm_generator.h"
 #include "extract/marching_cubes.h"
@@ -157,6 +159,58 @@ TEST(QueryEngineTest, ReportAccountingIsConsistent) {
   EXPECT_GT(report.composite_traffic.bytes_total, 0u);
   ASSERT_TRUE(report.image.has_value());
   EXPECT_GT(report.image->covered_pixels(), 0u);
+}
+
+TEST(QueryEngineTest, OverlappedAndSerialPipelinesProduceIdenticalResults) {
+  const auto volume = data::generate_rm_timestep(small_rm(), 200);
+  auto cluster = make_cluster(3);
+  const auto source = metacell::make_source(volume, 9);
+  const PreprocessResult prep = preprocess(*source, cluster);
+  QueryEngine engine(cluster, prep);
+
+  for (const float isovalue : {80.0f, 128.0f}) {
+    QueryOptions overlapped;
+    overlapped.render = false;
+    overlapped.keep_triangles = true;
+    overlapped.overlap_io_compute = true;
+    QueryOptions serial = overlapped;
+    serial.overlap_io_compute = false;
+
+    const QueryReport a = engine.run(isovalue, overlapped);
+    const QueryReport b = engine.run(isovalue, serial);
+
+    // The pipeline changes scheduling, never results or device traffic.
+    EXPECT_EQ(a.total_triangles(), b.total_triangles());
+    EXPECT_EQ(a.total_active_metacells(), b.total_active_metacells());
+    EXPECT_NEAR(a.triangles_out->total_area(), b.triangles_out->total_area(),
+                b.triangles_out->total_area() * 1e-9 + 1e-9);
+    ASSERT_EQ(a.nodes.size(), b.nodes.size());
+    for (std::size_t n = 0; n < a.nodes.size(); ++n) {
+      EXPECT_EQ(a.nodes[n].io.blocks_read, b.nodes[n].io.blocks_read);
+      EXPECT_EQ(a.nodes[n].io.seeks, b.nodes[n].io.seeks);
+      EXPECT_DOUBLE_EQ(a.nodes[n].io_model_seconds,
+                       b.nodes[n].io_model_seconds);
+      // Overlap accounting only appears in the overlapped run, and never
+      // claims to hide more than the smaller phase.
+      EXPECT_GE(a.nodes[n].overlap_saved_seconds, 0.0);
+      EXPECT_LE(a.nodes[n].overlap_saved_seconds,
+                std::min(a.nodes[n].io_model_seconds,
+                         a.nodes[n].triangulation_seconds) + 1e-12);
+      EXPECT_DOUBLE_EQ(b.nodes[n].overlap_saved_seconds, 0.0);
+      EXPECT_GT(a.nodes[n].io_wall_seconds, 0.0);
+    }
+    for (const auto& ledger : a.times.per_node) {
+      EXPECT_TRUE(ledger.extraction_overlapped());
+    }
+    for (const auto& ledger : b.times.per_node) {
+      EXPECT_FALSE(ledger.extraction_overlapped());
+    }
+    // The overlapped extraction window can never exceed the barrier view
+    // of the same phase times.
+    EXPECT_LE(a.times.extraction_completion_seconds(),
+              a.times.max_phase(parallel::Phase::kAmcRetrieval) +
+                  a.times.max_phase(parallel::Phase::kTriangulation) + 1e-12);
+  }
 }
 
 TEST(QueryEngineTest, ParallelImageMatchesSerialImage) {

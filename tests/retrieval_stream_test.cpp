@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "index/compact_interval_tree.h"
+#include "index/retrieval_stream.h"
+#include "io/memory_block_device.h"
+#include "io/serial.h"
+#include "io/throttled_block_device.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace oociso::index {
+namespace {
+
+using metacell::MetacellInfo;
+
+/// Same controlled source as index_test: tiny u8 records whose vmin/vmax
+/// match a prescribed interval exactly.
+class FakeSource final : public metacell::MetacellSource {
+ public:
+  explicit FakeSource(std::vector<MetacellInfo> infos)
+      : infos_sorted_(std::move(infos)), geometry_({1026, 3, 3}, 2) {
+    std::sort(infos_sorted_.begin(), infos_sorted_.end(),
+              [](const MetacellInfo& a, const MetacellInfo& b) {
+                return a.id < b.id;
+              });
+    for (const auto& info : infos_sorted_) by_id_[info.id] = info.interval;
+  }
+
+  [[nodiscard]] const metacell::MetacellGeometry& geometry() const override {
+    return geometry_;
+  }
+  [[nodiscard]] core::ScalarKind kind() const override {
+    return core::ScalarKind::kU8;
+  }
+  [[nodiscard]] std::vector<MetacellInfo> scan() const override {
+    return infos_sorted_;
+  }
+  void encode(std::uint32_t id, std::vector<std::byte>& out) const override {
+    const core::ValueInterval interval = by_id_.at(id);
+    io::ByteWriter writer(out);
+    writer.put(id);
+    writer.put(static_cast<std::uint8_t>(interval.vmin));
+    writer.put(static_cast<std::uint8_t>(interval.vmin));
+    for (int i = 0; i < 7; ++i) {
+      writer.put(static_cast<std::uint8_t>(interval.vmax));
+    }
+  }
+
+ private:
+  std::vector<MetacellInfo> infos_sorted_;
+  std::map<std::uint32_t, core::ValueInterval> by_id_;
+  metacell::MetacellGeometry geometry_;
+};
+
+std::vector<MetacellInfo> random_intervals(std::size_t count,
+                                           std::uint32_t alphabet,
+                                           std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<MetacellInfo> infos;
+  infos.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto a = static_cast<core::ValueKey>(rng.bounded(alphabet));
+    auto b = static_cast<core::ValueKey>(rng.bounded(alphabet));
+    if (a > b) std::swap(a, b);
+    if (a == b) b += 1;
+    infos.push_back({static_cast<std::uint32_t>(i), {a, b}});
+  }
+  return infos;
+}
+
+struct Built {
+  std::unique_ptr<io::MemoryBlockDevice> device;
+  CompactIntervalTree tree;
+};
+
+Built build_one(const std::vector<MetacellInfo>& infos) {
+  Built built;
+  built.device = std::make_unique<io::MemoryBlockDevice>(512);
+  const FakeSource source(infos);
+  io::BlockDevice* pointer = built.device.get();
+  auto result = CompactTreeBuilder::build(infos, source, {&pointer, 1});
+  built.tree = std::move(result.trees[0]);
+  return built;
+}
+
+std::uint32_t record_id(std::span<const std::byte> record) {
+  io::ByteReader reader(record);
+  return reader.get<std::uint32_t>();
+}
+
+std::set<std::uint32_t> brute_force(const std::vector<MetacellInfo>& infos,
+                                    core::ValueKey isovalue) {
+  std::set<std::uint32_t> ids;
+  for (const auto& info : infos) {
+    if (info.interval.stabs(isovalue)) ids.insert(info.id);
+  }
+  return ids;
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(RetrievalStream, MatchesCallbackExecuteExactly) {
+  const auto infos = random_intervals(3000, 200, 3);
+  Built streamed = build_one(infos);
+  Built callback = build_one(infos);
+
+  for (std::uint32_t v = 0; v <= 201; v += 7) {
+    const auto isovalue = static_cast<core::ValueKey>(v);
+
+    std::vector<std::uint32_t> via_callback;
+    const QueryStats reference = callback.tree.query(
+        isovalue, *callback.device,
+        [&](std::span<const std::byte> record) {
+          via_callback.push_back(record_id(record));
+        });
+
+    std::vector<std::uint32_t> via_stream;
+    RetrievalStream stream = open_stream(streamed.tree, isovalue,
+                                         *streamed.device);
+    while (std::optional<RecordBatch> batch = stream.next()) {
+      EXPECT_EQ(batch->record_size, streamed.tree.record_size());
+      for (std::size_t r = 0; r < batch->record_count; ++r) {
+        via_stream.push_back(record_id(batch->record(r)));
+      }
+    }
+
+    // Same records in the same order, same query counters, and — because
+    // the stream preserves the galloping read schedule — the same device
+    // traffic, so modeled I/O costs are unchanged.
+    EXPECT_EQ(via_stream, via_callback) << "isovalue " << v;
+    EXPECT_EQ(stream.stats().active_metacells, reference.active_metacells);
+    EXPECT_EQ(stream.stats().records_fetched, reference.records_fetched);
+    EXPECT_EQ(stream.stats().bricks_scanned, reference.bricks_scanned);
+    EXPECT_TRUE(stream.exhausted());
+  }
+  EXPECT_EQ(streamed.device->stats().read_ops, callback.device->stats().read_ops);
+  EXPECT_EQ(streamed.device->stats().blocks_read,
+            callback.device->stats().blocks_read);
+  EXPECT_EQ(streamed.device->stats().seeks, callback.device->stats().seeks);
+}
+
+TEST(RetrievalStream, FindsAllActiveMetacells) {
+  const auto infos = random_intervals(1500, 120, 9);
+  Built built = build_one(infos);
+
+  for (const float isovalue : {1.0f, 33.0f, 60.5f, 119.0f}) {
+    std::set<std::uint32_t> delivered;
+    RetrievalStream stream = open_stream(built.tree, isovalue, *built.device);
+    while (std::optional<RecordBatch> batch = stream.next()) {
+      for (std::size_t r = 0; r < batch->record_count; ++r) {
+        delivered.insert(record_id(batch->record(r)));
+      }
+    }
+    EXPECT_EQ(delivered, brute_force(infos, isovalue)) << isovalue;
+  }
+}
+
+TEST(RetrievalStream, BatchIoAddsUpToDeviceTraffic) {
+  const auto infos = random_intervals(2000, 150, 21);
+  Built built = build_one(infos);
+
+  const io::IoStats before = built.device->stats();
+  RetrievalStream stream = open_stream(built.tree, 75.0f, *built.device);
+  io::IoStats batch_sum;
+  double batch_seconds = 0.0;
+  while (std::optional<RecordBatch> batch = stream.next()) {
+    batch_sum += batch->io;
+    batch_seconds += batch->io_seconds;
+  }
+  const io::IoStats device_delta = built.device->stats().since(before);
+  EXPECT_EQ(batch_sum.read_ops, device_delta.read_ops);
+  EXPECT_EQ(batch_sum.blocks_read, device_delta.blocks_read);
+  EXPECT_EQ(batch_sum.bytes_read, device_delta.bytes_read);
+  EXPECT_DOUBLE_EQ(batch_seconds, stream.io_wall_seconds());
+}
+
+TEST(RetrievalStream, EmptyIndexQueriedThrows) {
+  Built built = build_one(random_intervals(50, 40, 5));
+  QueryPlan plan = built.tree.plan(20.0f);
+  ASSERT_FALSE(plan.scans.empty());
+  EXPECT_THROW(RetrievalStream(std::move(plan), core::ScalarKind::kU8,
+                               /*record_size=*/0, *built.device),
+               std::logic_error);
+}
+
+TEST(RetrievalStream, EmptyPlanYieldsNothing) {
+  Built built = build_one(random_intervals(50, 40, 5));
+  // Isovalue outside every interval: the planner returns no scans.
+  RetrievalStream stream = open_stream(built.tree, 1000.0f, *built.device);
+  EXPECT_TRUE(stream.exhausted());
+  EXPECT_FALSE(stream.next().has_value());
+  EXPECT_DOUBLE_EQ(stream.io_wall_seconds(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// The I/O-attribution regression (the bug this stream replaced): time spent
+// blocked in a device read is invisible to a thread-CPU clock, so the old
+// callback consumer — which timed I/O by re-marking a ThreadCpuTimer around
+// the callback — systematically under-reported I/O wall time. The stream
+// times each read with a monotonic clock instead.
+// ---------------------------------------------------------------------------
+
+TEST(RetrievalStream, IoWallTimeSeesInjectedDeviceDelay) {
+  const auto infos = random_intervals(800, 100, 13);
+  Built built = build_one(infos);
+
+  constexpr auto kDelay = std::chrono::milliseconds(2);
+  io::ThrottledBlockDevice slow(*built.device, kDelay);
+
+  util::ThreadCpuTimer cpu_clock;
+  RetrievalStream stream = open_stream(built.tree, 50.0f, slow);
+  std::uint64_t records = 0;
+  while (std::optional<RecordBatch> batch = stream.next()) {
+    records += batch->record_count;
+  }
+  const double cpu_seconds = cpu_clock.seconds();
+
+  ASSERT_GT(stream.stats().active_metacells, 0u);
+  ASSERT_GT(slow.reads(), 0u);
+  const double injected =
+      static_cast<double>(slow.reads()) *
+      std::chrono::duration<double>(kDelay).count();
+
+  // The monotonic measurement must cover every injected sleep...
+  EXPECT_GE(stream.io_wall_seconds(), injected);
+  // ...while the thread-CPU clock (the old measurement) cannot see it:
+  // sleeping consumes no CPU, so it reports far less than the true wall
+  // time. Half is a generous bound — the real decode work here is tiny.
+  EXPECT_LT(cpu_seconds, injected * 0.5);
+  EXPECT_EQ(records, stream.stats().active_metacells);
+}
+
+}  // namespace
+}  // namespace oociso::index
