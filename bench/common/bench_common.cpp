@@ -25,6 +25,10 @@ BenchSetup BenchSetup::from_cli(int argc, char** argv, int default_dims) {
   setup.file_backed = !args.get_bool("memory", false);
   setup.reps = static_cast<int>(args.get_int("reps", 3));
   if (setup.reps < 1) throw std::invalid_argument("--reps must be >= 1");
+  const std::string fault_spec = args.get("inject-faults", "");
+  if (!fault_spec.empty()) {
+    setup.inject_faults = io::FaultConfig::parse(fault_spec);
+  }
   for (int isovalue = 10; isovalue <= 210; isovalue += 20) {
     setup.isovalues.push_back(static_cast<float>(isovalue));
   }
@@ -76,6 +80,7 @@ std::vector<pipeline::QueryReport> run_sweep(Prepared& prepared,
   options.render = render;
   options.image_width = setup.image_size;
   options.image_height = setup.image_size;
+  options.inject_faults = setup.inject_faults;
 
   std::vector<pipeline::QueryReport> reports;
   reports.reserve(setup.isovalues.size());
@@ -91,6 +96,24 @@ std::vector<pipeline::QueryReport> run_sweep(Prepared& prepared,
       }
     }
     reports.push_back(std::move(best));
+  }
+  if (setup.inject_faults.has_value()) {
+    index::RetrievalFaults faults;
+    std::uint32_t failovers = 0;
+    bool degraded = false;
+    for (const auto& report : reports) {
+      faults.merge(report.total_retrieval_faults());
+      failovers += report.total_failovers();
+      degraded = degraded || report.degraded;
+    }
+    std::cout << "# faults (seed " << setup.inject_faults->seed << ", rate "
+              << setup.inject_faults->read_failure_rate << "): "
+              << faults.transient_errors << " transient, "
+              << faults.checksum_failures << " checksum, " << faults.retries
+              << " retries (+" << util::human_seconds(
+                     faults.backoff_modeled_seconds)
+              << " modeled backoff), " << failovers << " failovers"
+              << (degraded ? " — DEGRADED sweep" : "") << "\n";
   }
   return reports;
 }

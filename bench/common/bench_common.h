@@ -13,8 +13,14 @@
 //   --memory       use in-memory disks instead of file-backed ones
 //   --image N      framebuffer size for rendering phases (default 512)
 //   --reps N       repetitions per query; fastest kept (default 3)
+//   --inject-faults SEED,RATE
+//                  deterministic transient read faults on every node disk;
+//                  absorbed by retry/backoff (modeled seconds appear in the
+//                  AMC column), failed nodes fail over to peers. A fault
+//                  summary line is printed after the sweep.
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -34,6 +40,8 @@ struct BenchSetup {
   bool file_backed = true;
   std::int32_t scale = 1;
   int reps = 3;  ///< repetitions per isovalue; the fastest run is kept
+  /// --inject-faults <seed,rate>: fault-inject every node disk per query.
+  std::optional<io::FaultConfig> inject_faults;
 
   /// `default_dims` sets the base volume width when --dims is not given;
   /// the speedup figures default larger so per-node work at 8 nodes stays

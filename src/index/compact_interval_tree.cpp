@@ -5,12 +5,21 @@
 
 #include "index/retrieval_stream.h"
 #include "io/serial.h"
+#include "util/crc32.h"
 
 namespace oociso::index {
 namespace {
 
 constexpr std::uint32_t kIndexMagic = 0x4F434954;  // "OCIT"
-constexpr std::uint32_t kIndexVersion = 1;
+// v2: BrickEntry gained crc_begin and the serialization carries the
+// per-chunk CRC32 array guarding the brick payload (see DESIGN.md §8).
+constexpr std::uint32_t kIndexVersion = 2;
+
+/// Chunks a brick of `count` records splits into for checksumming.
+constexpr std::uint32_t chunk_count(std::uint32_t count,
+                                    std::uint32_t chunk_records) {
+  return chunk_records == 0 ? 0 : (count + chunk_records - 1) / chunk_records;
+}
 
 }  // namespace
 
@@ -21,6 +30,18 @@ constexpr std::uint32_t kIndexVersion = 1;
 QueryPlan CompactIntervalTree::plan(core::ValueKey isovalue) const {
   QueryPlan plan;
   plan.isovalue = isovalue;
+  plan.crc_chunk_records = crc_chunk_records_;
+  // Scans view the tree's checksum array; the tree outlives its plans.
+  const auto scan_of = [&](const BrickEntry& brick, bool full) {
+    BrickScan scan{brick.offset, brick.count, full};
+    if (crc_chunk_records_ > 0) {
+      scan.chunk_crcs = std::span(chunk_crcs_)
+                            .subspan(brick.crc_begin,
+                                     chunk_count(brick.count,
+                                                 crc_chunk_records_));
+    }
+    return scan;
+  };
   std::int32_t current = root_;
   while (current >= 0) {
     const CompactNode& node = nodes_[static_cast<std::size_t>(current)];
@@ -31,7 +52,7 @@ QueryPlan CompactIntervalTree::plan(core::ValueKey isovalue) const {
       for (std::uint32_t b = node.brick_begin; b < node.brick_end; ++b) {
         const BrickEntry& brick = bricks_[b];
         if (brick.vmax < isovalue) break;
-        plan.scans.push_back(BrickScan{brick.offset, brick.count, true});
+        plan.scans.push_back(scan_of(brick, true));
       }
       current = node.right;
     } else if (isovalue < node.split) {
@@ -40,15 +61,14 @@ QueryPlan CompactIntervalTree::plan(core::ValueKey isovalue) const {
       for (std::uint32_t b = node.brick_begin; b < node.brick_end; ++b) {
         const BrickEntry& brick = bricks_[b];
         if (brick.min_vmin > isovalue) continue;  // no active cells: no I/O
-        plan.scans.push_back(BrickScan{brick.offset, brick.count, false});
+        plan.scans.push_back(scan_of(brick, false));
       }
       current = node.left;
     } else {
       // isovalue == split: every metacell owned by this node is active, and
       // no interval below this node can contain the isovalue.
       for (std::uint32_t b = node.brick_begin; b < node.brick_end; ++b) {
-        const BrickEntry& brick = bricks_[b];
-        plan.scans.push_back(BrickScan{brick.offset, brick.count, true});
+        plan.scans.push_back(scan_of(bricks_[b], true));
       }
       break;
     }
@@ -113,10 +133,13 @@ std::vector<std::byte> CompactIntervalTree::to_bytes() const {
   writer.put(static_cast<std::uint32_t>(record_size_));
   writer.put(total_metacells_);
   writer.put(root_);
+  writer.put(crc_chunk_records_);
   writer.put(static_cast<std::uint32_t>(nodes_.size()));
   writer.put(static_cast<std::uint32_t>(bricks_.size()));
+  writer.put(static_cast<std::uint32_t>(chunk_crcs_.size()));
   for (const CompactNode& node : nodes_) writer.put(node);
   for (const BrickEntry& brick : bricks_) writer.put(brick);
+  for (const std::uint32_t crc : chunk_crcs_) writer.put(crc);
   return out;
 }
 
@@ -134,8 +157,10 @@ CompactIntervalTree CompactIntervalTree::from_bytes(
   tree.record_size_ = reader.get<std::uint32_t>();
   tree.total_metacells_ = reader.get<std::uint64_t>();
   tree.root_ = reader.get<std::int32_t>();
+  tree.crc_chunk_records_ = reader.get<std::uint32_t>();
   const auto node_count = reader.get<std::uint32_t>();
   const auto brick_count = reader.get<std::uint32_t>();
+  const auto crc_count = reader.get<std::uint32_t>();
   tree.nodes_.reserve(node_count);
   for (std::uint32_t i = 0; i < node_count; ++i) {
     tree.nodes_.push_back(reader.get<CompactNode>());
@@ -143,6 +168,21 @@ CompactIntervalTree CompactIntervalTree::from_bytes(
   tree.bricks_.reserve(brick_count);
   for (std::uint32_t i = 0; i < brick_count; ++i) {
     tree.bricks_.push_back(reader.get<BrickEntry>());
+  }
+  tree.chunk_crcs_.reserve(crc_count);
+  for (std::uint32_t i = 0; i < crc_count; ++i) {
+    tree.chunk_crcs_.push_back(reader.get<std::uint32_t>());
+  }
+  // Checksum bookkeeping must be self-consistent or verification would
+  // index out of bounds.
+  for (const BrickEntry& brick : tree.bricks_) {
+    const std::uint64_t end =
+        static_cast<std::uint64_t>(brick.crc_begin) +
+        chunk_count(brick.count, tree.crc_chunk_records_);
+    if (tree.crc_chunk_records_ > 0 && end > tree.chunk_crcs_.size()) {
+      throw std::runtime_error("compact tree: brick checksum range out of "
+                               "bounds");
+    }
   }
   if (reader.remaining() != 0) {
     throw std::runtime_error("compact tree: trailing bytes");
@@ -268,9 +308,18 @@ CompactTreeBuilder::Result CompactTreeBuilder::build(
 
   Result result;
   result.trees.resize(p);
-  for (auto& tree : result.trees) {
+  for (std::size_t d = 0; d < p; ++d) {
+    CompactIntervalTree& tree = result.trees[d];
     tree.kind_ = source.kind();
     tree.record_size_ = record_size;
+    // Checksum chunk = one device block's worth of records, which is also
+    // the retrieval gallop's base read unit — every batch read covers whole
+    // chunks, so each transfer is verified before any record is consumed.
+    tree.crc_chunk_records_ =
+        record_size == 0
+            ? 0
+            : static_cast<std::uint32_t>(std::max<std::uint64_t>(
+                  1, devices[d]->block_size() / record_size));
   }
   if (infos.empty()) return result;
 
@@ -334,9 +383,25 @@ CompactTreeBuilder::Result CompactTreeBuilder::build(
       for (std::size_t d = 0; d < p; ++d) {
         if (stripe_counts[d] == 0) continue;  // empty stripe: no entry at all
         devices[d]->write(next_offset[d], stripe_buffers[d]);
-        result.trees[d].bricks_.push_back(BrickEntry{
-            brick_vmax, stripe_min_vmin[d], next_offset[d], stripe_counts[d]});
-        result.trees[d].total_metacells_ += stripe_counts[d];
+        CompactIntervalTree& tree = result.trees[d];
+        BrickEntry entry{brick_vmax, stripe_min_vmin[d], next_offset[d],
+                         stripe_counts[d]};
+        // Checksum the stripe chunk by chunk from the write buffer — the
+        // CRCs cover exactly the bytes that just went to the media.
+        entry.crc_begin = static_cast<std::uint32_t>(tree.chunk_crcs_.size());
+        const std::uint32_t chunk_records = tree.crc_chunk_records_;
+        for (std::uint32_t r = 0; r < stripe_counts[d]; r += chunk_records) {
+          const std::size_t chunk_bytes =
+              static_cast<std::size_t>(
+                  std::min(chunk_records, stripe_counts[d] - r)) *
+              record_size;
+          tree.chunk_crcs_.push_back(util::crc32(
+              std::span(stripe_buffers[d])
+                  .subspan(static_cast<std::size_t>(r) * record_size,
+                           chunk_bytes)));
+        }
+        tree.bricks_.push_back(entry);
+        tree.total_metacells_ += stripe_counts[d];
         next_offset[d] += stripe_buffers[d].size();
         result.bytes_written += stripe_buffers[d].size();
       }

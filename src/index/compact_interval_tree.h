@@ -53,6 +53,10 @@ struct BrickEntry {
   core::ValueKey min_vmin = 0;  ///< smallest vmin in the (local) brick
   std::uint64_t offset = 0;     ///< start of the brick on the local disk
   std::uint32_t count = 0;      ///< metacells in the (local) brick
+  /// First of this brick's chunk checksums in the tree's CRC array (see
+  /// CompactIntervalTree::chunk_crcs(); the chunk count follows from
+  /// `count` and the tree's crc_chunk_records()).
+  std::uint32_t crc_begin = 0;
 };
 
 /// Binary-tree node over distinct endpoint values.
@@ -69,12 +73,19 @@ struct BrickScan {
   std::uint64_t offset = 0;
   std::uint32_t metacell_count = 0;  ///< total metacells in the brick
   bool full = false;  ///< read everything vs vmin-bounded prefix scan
+  /// Expected CRC32 per chunk of `QueryPlan::crc_chunk_records` records
+  /// (last chunk ragged). Views the owning tree's array — the tree must
+  /// outlive the plan. Empty when the index carries no checksums (e.g. a
+  /// plan walked out of the blocked external tree).
+  std::span<const std::uint32_t> chunk_crcs{};
 };
 
 struct QueryPlan {
   std::vector<BrickScan> scans;
   std::uint32_t nodes_visited = 0;
   core::ValueKey isovalue = 0;
+  /// Records per checksummed chunk; 0 when the scans carry no checksums.
+  std::uint32_t crc_chunk_records = 0;
 };
 
 /// Result counters for one executed query.
@@ -128,13 +139,25 @@ class CompactIntervalTree {
     return total_metacells_;
   }
 
+  /// Records per checksummed brick chunk (fixed at build time from the
+  /// device block size); 0 for an index built without checksums.
+  [[nodiscard]] std::uint32_t crc_chunk_records() const {
+    return crc_chunk_records_;
+  }
+  /// Per-chunk CRC32s, indexed via BrickEntry::crc_begin.
+  [[nodiscard]] const std::vector<std::uint32_t>& chunk_crcs() const {
+    return chunk_crcs_;
+  }
+
   /// Number of index entries (the paper's O(n log n) size measure).
   [[nodiscard]] std::size_t entry_count() const { return bricks_.size(); }
 
-  /// In-core footprint of the structure in bytes.
+  /// In-core footprint of the structure in bytes (checksums included —
+  /// they are resident alongside the brick entries).
   [[nodiscard]] std::size_t size_bytes() const {
     return nodes_.size() * sizeof(CompactNode) +
-           bricks_.size() * sizeof(BrickEntry) + sizeof(*this);
+           bricks_.size() * sizeof(BrickEntry) +
+           chunk_crcs_.size() * sizeof(std::uint32_t) + sizeof(*this);
   }
 
   [[nodiscard]] std::size_t height() const;
@@ -150,10 +173,12 @@ class CompactIntervalTree {
 
   std::vector<CompactNode> nodes_;
   std::vector<BrickEntry> bricks_;
+  std::vector<std::uint32_t> chunk_crcs_;  ///< per-brick-chunk checksums
   std::int32_t root_ = -1;
   core::ScalarKind kind_ = core::ScalarKind::kU8;
   std::size_t record_size_ = 0;
   std::uint64_t total_metacells_ = 0;
+  std::uint32_t crc_chunk_records_ = 0;
 };
 
 /// Builds compact interval trees and writes the brick layout.

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
+#include "io/io_error.h"
 #include "io/serial.h"
+#include "util/crc32.h"
 #include "util/timer.h"
 
 namespace oociso::index {
@@ -30,11 +33,13 @@ core::ValueKey record_vmin(std::span<const std::byte> record,
 
 RetrievalStream::RetrievalStream(QueryPlan plan, core::ScalarKind kind,
                                  std::size_t record_size,
-                                 io::BlockDevice& device)
+                                 io::BlockDevice& device,
+                                 RetrievalOptions options)
     : plan_(std::move(plan)),
       kind_(kind),
       record_size_(record_size),
-      device_(device) {
+      device_(device),
+      options_(options) {
   stats_.nodes_visited = plan_.nodes_visited;
   if (record_size_ == 0) {
     if (!plan_.scans.empty()) {
@@ -47,12 +52,61 @@ RetrievalStream::RetrievalStream(QueryPlan plan, core::ScalarKind kind,
   // records and each subsequent read doubles, so a short active prefix
   // costs O(prefix) blocks while a long one converges to bulk reads —
   // keeping total I/O proportional to output (the T/B term).
-  full_chunk_records_ = std::max<std::size_t>(
-      1, (64 * device_.block_size()) / record_size_);
-  first_batch_records_ =
-      std::max<std::size_t>(1, device_.block_size() / record_size_);
-  max_batch_records_ = std::max<std::size_t>(
-      first_batch_records_, (16 * device_.block_size()) / record_size_);
+  //
+  // All read sizes are multiples of the checksum chunk (one block's worth
+  // of records for an index built against this device), so every batch
+  // covers whole chunks and can be verified before any record is consumed
+  // — the verification granularity never changes the access pattern.
+  const std::size_t chunk_base =
+      plan_.crc_chunk_records > 0
+          ? plan_.crc_chunk_records
+          : std::max<std::size_t>(1, device_.block_size() / record_size_);
+  const auto round_to_chunks = [chunk_base](std::size_t records) {
+    return std::max<std::size_t>(chunk_base, records / chunk_base * chunk_base);
+  };
+  full_chunk_records_ =
+      round_to_chunks((64 * device_.block_size()) / record_size_);
+  first_batch_records_ = chunk_base;
+  max_batch_records_ = round_to_chunks(std::max<std::size_t>(
+      first_batch_records_, (16 * device_.block_size()) / record_size_));
+}
+
+void RetrievalStream::verify_batch(const BrickScan& scan,
+                                   std::uint64_t first_record,
+                                   std::span<const std::byte> data) const {
+  if (!options_.verify_checksums || plan_.crc_chunk_records == 0 ||
+      scan.chunk_crcs.empty()) {
+    return;
+  }
+  // Reads are chunk-aligned (first_record is a multiple of the chunk size)
+  // and end either on a chunk boundary or at the brick end, so the batch
+  // covers whole chunks — including the ragged final one.
+  const std::uint64_t base = plan_.crc_chunk_records;
+  const std::size_t batch_records = data.size() / record_size_;
+  std::uint64_t chunk = first_record / base;
+  std::size_t done = 0;
+  while (done < batch_records) {
+    const auto chunk_records = static_cast<std::size_t>(std::min<std::uint64_t>(
+        base, scan.metacell_count - (first_record + done)));
+    if (chunk >= scan.chunk_crcs.size()) {
+      throw std::logic_error("RetrievalStream: chunk index out of range");
+    }
+    const std::uint32_t actual =
+        util::crc32(data.subspan(done * record_size_,
+                                 chunk_records * record_size_));
+    if (actual != scan.chunk_crcs[chunk]) {
+      // Retriable: an in-flight corruption clears on re-read; persistent
+      // media damage keeps failing and exhausts the retry budget loudly.
+      throw io::IoError(
+          io::IoError::Kind::kCorruption, /*retriable=*/true,
+          "checksum mismatch in brick at offset " +
+              std::to_string(scan.offset) + ", chunk " + std::to_string(chunk) +
+              " (records " + std::to_string(first_record + done) + ".." +
+              std::to_string(first_record + done + chunk_records - 1) + ")");
+    }
+    done += chunk_records;
+    ++chunk;
+  }
 }
 
 std::optional<RecordBatch> RetrievalStream::next() {
@@ -77,10 +131,35 @@ std::optional<RecordBatch> RetrievalStream::next() {
     batch.record_size = record_size_;
     batch.data.resize(want * record_size_);
 
+    // Bounded retry: a retriable fault (transient device error or a chunk
+    // checksum mismatch) repeats the read after modeled backoff; anything
+    // else — or an exhausted budget — propagates to the consumer.
     const io::IoStats io_before = device_.stats();
-    const util::WallTimer read_timer;
-    device_.read(scan.offset + scan_done_ * record_size_, batch.data);
-    batch.io_seconds = read_timer.seconds();
+    int failures = 0;
+    for (;;) {
+      const util::WallTimer read_timer;
+      try {
+        device_.read(scan.offset + scan_done_ * record_size_, batch.data);
+        verify_batch(scan, scan_done_, batch.data);
+        batch.io_seconds += read_timer.seconds();
+        break;
+      } catch (const io::IoError& error) {
+        batch.io_seconds += read_timer.seconds();
+        if (error.kind() == io::IoError::Kind::kCorruption) {
+          ++faults_.checksum_failures;
+        } else {
+          ++faults_.transient_errors;
+        }
+        ++failures;
+        if (!error.retriable() || failures >= options_.retry.max_attempts) {
+          io_wall_seconds_ += batch.io_seconds;
+          throw;
+        }
+        ++faults_.retries;
+        faults_.backoff_modeled_seconds +=
+            options_.retry.backoff_seconds(failures - 1);
+      }
+    }
     batch.io = device_.stats().since(io_before);
     io_wall_seconds_ += batch.io_seconds;
 

@@ -30,11 +30,13 @@
 
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "index/compact_interval_tree.h"
 #include "io/block_device.h"
 #include "io/io_stats.h"
+#include "io/retry_policy.h"
 
 namespace oociso::index {
 
@@ -54,13 +56,42 @@ struct RecordBatch {
   }
 };
 
+/// Fault-handling counters for one stream (see RetrievalOptions).
+struct RetrievalFaults {
+  std::uint64_t transient_errors = 0;   ///< retriable device read failures seen
+  std::uint64_t checksum_failures = 0;  ///< chunk CRC mismatches detected
+  std::uint64_t retries = 0;            ///< read attempts repeated after a fault
+  /// Modeled (not slept) exponential-backoff seconds accumulated across
+  /// retries; charged to the time model, never to measured wall time.
+  double backoff_modeled_seconds = 0.0;
+
+  void merge(const RetrievalFaults& other) {
+    transient_errors += other.transient_errors;
+    checksum_failures += other.checksum_failures;
+    retries += other.retries;
+    backoff_modeled_seconds += other.backoff_modeled_seconds;
+  }
+};
+
+struct RetrievalOptions {
+  /// Bounded retry with exponential backoff for retriable io::IoError
+  /// (transient device failures and in-flight corruption). A read that
+  /// still fails after max_attempts rethrows the last error.
+  io::RetryPolicy retry{};
+  /// Verify each checksummed chunk against the plan's expected CRC32s
+  /// before any record of the batch is handed to the consumer. Plans
+  /// without checksums (crc_chunk_records == 0) are never verified.
+  bool verify_checksums = true;
+};
+
 class RetrievalStream {
  public:
   /// The stream copies the plan's scan list; `device` must outlive the
   /// stream. Throws std::logic_error when `record_size` is zero but the
   /// plan has scans (an empty index queried).
   RetrievalStream(QueryPlan plan, core::ScalarKind kind,
-                  std::size_t record_size, io::BlockDevice& device);
+                  std::size_t record_size, io::BlockDevice& device,
+                  RetrievalOptions options = {});
 
   /// Produces the next batch, performing exactly one device read, or
   /// std::nullopt once the plan is exhausted. A returned batch may hold
@@ -81,11 +112,21 @@ class RetrievalStream {
     return scan_index_ >= plan_.scans.size();
   }
 
+  /// Faults absorbed (and, for the last error of an exhausted read, about
+  /// to be rethrown) so far.
+  [[nodiscard]] const RetrievalFaults& faults() const { return faults_; }
+
  private:
+  /// Verifies every checksummed chunk covered by the batch; throws a
+  /// retriable io::IoError(kCorruption) on the first mismatch.
+  void verify_batch(const BrickScan& scan, std::uint64_t first_record,
+                    std::span<const std::byte> data) const;
+
   QueryPlan plan_;
   core::ScalarKind kind_;
   std::size_t record_size_;
   io::BlockDevice& device_;
+  RetrievalOptions options_;
 
   // Galloping schedule (see execute_plan's original comment): full scans
   // read large fixed chunks; prefix scans start at one block's worth of
@@ -101,6 +142,7 @@ class RetrievalStream {
   bool scan_stopped_ = false;      ///< Case-2 prefix ended early
 
   QueryStats stats_;
+  RetrievalFaults faults_;
   double io_wall_seconds_ = 0.0;
 };
 
@@ -108,9 +150,9 @@ class RetrievalStream {
 /// over its brick device.
 [[nodiscard]] inline RetrievalStream open_stream(
     const CompactIntervalTree& tree, core::ValueKey isovalue,
-    io::BlockDevice& device) {
+    io::BlockDevice& device, RetrievalOptions options = {}) {
   return RetrievalStream(tree.plan(isovalue), tree.scalar_kind(),
-                         tree.record_size(), device);
+                         tree.record_size(), device, std::move(options));
 }
 
 }  // namespace oociso::index

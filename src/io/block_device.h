@@ -67,6 +67,9 @@ class BlockDevice {
   virtual void flush() {}
 
   [[nodiscard]] std::uint64_t block_size() const { return block_size_; }
+  [[nodiscard]] std::uint64_t readahead_blocks() const {
+    return readahead_blocks_;
+  }
   [[nodiscard]] const IoStats& stats() const { return stats_; }
   void reset_stats() { stats_ = IoStats{}; }
 

@@ -1,0 +1,126 @@
+#include "io/fault_injection.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "util/rng.h"
+
+namespace oociso::io {
+namespace {
+
+// Channels keep the per-ordinal decisions independent of one another: the
+// failure draw for read k must not perturb the corruption draw for the same
+// read, or rates would interact.
+enum Channel : std::uint64_t {
+  kChannelReadFail = 0,
+  kChannelReadCorrupt = 1,
+  kChannelReadStall = 2,
+  kChannelWriteTorn = 3,
+  kChannelCount = 4,
+};
+
+/// Independent deterministic stream for (seed, ordinal, channel).
+util::Xoshiro256 stream_for(std::uint64_t seed, std::uint64_t ordinal,
+                            Channel channel) {
+  return util::Xoshiro256(seed, ordinal * kChannelCount + channel);
+}
+
+bool decide(std::uint64_t seed, std::uint64_t ordinal, Channel channel,
+            double rate) {
+  if (rate <= 0.0) return false;
+  return stream_for(seed, ordinal, channel).uniform() < rate;
+}
+
+bool listed(const std::vector<std::uint64_t>& ordinals, std::uint64_t k) {
+  return std::find(ordinals.begin(), ordinals.end(), k) != ordinals.end();
+}
+
+}  // namespace
+
+FaultConfig FaultConfig::parse(std::string_view spec) {
+  const std::size_t comma = spec.find(',');
+  if (comma == std::string_view::npos || comma == 0 ||
+      comma + 1 >= spec.size()) {
+    throw std::invalid_argument(
+        "--inject-faults expects <seed,rate>, got '" + std::string(spec) + "'");
+  }
+  FaultConfig config;
+  const std::string_view seed_part = spec.substr(0, comma);
+  const auto [seed_end, seed_ec] = std::from_chars(
+      seed_part.data(), seed_part.data() + seed_part.size(), config.seed);
+  if (seed_ec != std::errc{} || seed_end != seed_part.data() + seed_part.size()) {
+    throw std::invalid_argument("--inject-faults: bad seed in '" +
+                                std::string(spec) + "'");
+  }
+  // std::from_chars for double is not universally available; strtod via a
+  // NUL-terminated copy is.
+  const std::string rate_part(spec.substr(comma + 1));
+  char* rate_end = nullptr;
+  config.read_failure_rate = std::strtod(rate_part.c_str(), &rate_end);
+  if (rate_end != rate_part.c_str() + rate_part.size() ||
+      config.read_failure_rate < 0.0 || config.read_failure_rate > 1.0) {
+    throw std::invalid_argument("--inject-faults: bad rate in '" +
+                                std::string(spec) + "'");
+  }
+  return config;
+}
+
+bool FaultInjectingBlockDevice::read_fails(const FaultConfig& config,
+                                           std::uint64_t k) {
+  return config.fail_all_reads || listed(config.fail_reads, k) ||
+         decide(config.seed, k, kChannelReadFail, config.read_failure_rate);
+}
+
+bool FaultInjectingBlockDevice::read_corrupts(const FaultConfig& config,
+                                              std::uint64_t k) {
+  return listed(config.corrupt_reads, k) ||
+         decide(config.seed, k, kChannelReadCorrupt,
+                config.read_corruption_rate);
+}
+
+void FaultInjectingBlockDevice::do_read(std::uint64_t offset,
+                                        std::span<std::byte> out) {
+  const std::uint64_t k = injected_.reads++;
+  if (read_fails(config_, k)) {
+    ++injected_.read_failures;
+    throw IoError(IoError::Kind::kTransient, /*retriable=*/true,
+                  "injected transient read failure (read #" +
+                      std::to_string(k) + ")");
+  }
+  if (decide(config_.seed, k, kChannelReadStall, config_.stall_rate)) {
+    ++injected_.stalls;
+    injected_.stall_modeled_seconds += config_.stall_seconds;
+  }
+  inner_.read(offset, out);
+  if (!out.empty() && read_corrupts(config_, k)) {
+    // Flip one deterministic bit, as if the transfer went bad in flight:
+    // the backing store stays clean, so a re-read returns good bytes.
+    util::Xoshiro256 rng = stream_for(config_.seed, k, kChannelReadCorrupt);
+    rng();  // skip the draw decide() consumed
+    const std::uint64_t position = rng.bounded(out.size());
+    const auto bit = static_cast<int>(rng.bounded(8));
+    out[position] ^= static_cast<std::byte>(1 << bit);
+    ++injected_.corrupted_reads;
+  }
+}
+
+void FaultInjectingBlockDevice::do_write(std::uint64_t offset,
+                                         std::span<const std::byte> data) {
+  const std::uint64_t k = injected_.writes++;
+  if (decide(config_.seed, k, kChannelWriteTorn, config_.write_torn_rate)) {
+    // A torn write: only a prefix reaches the media before the error.
+    ++injected_.torn_writes;
+    const std::size_t torn = data.size() / 2;
+    if (torn > 0) inner_.write(offset, data.first(torn));
+    throw IoError(IoError::Kind::kTornWrite, /*retriable=*/true,
+                  "injected torn write (write #" + std::to_string(k) + ", " +
+                      std::to_string(torn) + " of " +
+                      std::to_string(data.size()) + " bytes transferred)");
+  }
+  inner_.write(offset, data);
+}
+
+}  // namespace oociso::io

@@ -1,0 +1,101 @@
+#pragma once
+// Deterministic fault-injecting BlockDevice decorator.
+//
+// Wraps another device (composable with ThrottledBlockDevice — decorators
+// stack through the public read()/write() of the inner device) and injects
+// the failure modes a 16-node cluster of commodity local disks actually
+// exhibits:
+//   * transient read failures  — a retriable io::IoError before the inner
+//     device is touched (the read can simply be re-issued);
+//   * silent corruption        — the inner read succeeds but one bit of the
+//     returned buffer is flipped, as if the transfer went bad in flight
+//     (only a checksum can catch this; a re-read returns clean bytes);
+//   * torn writes              — only a prefix of the data reaches the
+//     inner device before a retriable error is thrown;
+//   * stalls                   — modeled latency spikes, accumulated as
+//     virtual seconds rather than slept, so benches stay deterministic.
+//
+// Determinism: every decision is a pure function of (seed, operation
+// ordinal, channel) via the repo's counter-seeded Xoshiro256 streams — the
+// k-th read of a device with seed S always sees the same fate, regardless
+// of thread interleaving or what earlier operations did. Same seed, same
+// access sequence => same fault schedule, which is what makes
+// retry/failover tests and `--inject-faults <seed,rate>` bench runs
+// reproducible. Explicit ordinal lists (`fail_reads`, `corrupt_reads`)
+// pin individual operations for tests that need an exact schedule.
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "io/block_device.h"
+#include "io/io_error.h"
+
+namespace oociso::io {
+
+struct FaultConfig {
+  std::uint64_t seed = 1;
+  double read_failure_rate = 0.0;     ///< P(transient error) per read
+  double read_corruption_rate = 0.0;  ///< P(one flipped bit) per read
+  double write_torn_rate = 0.0;       ///< P(short write + error) per write
+  double stall_rate = 0.0;            ///< P(latency spike) per read
+  double stall_seconds = 0.0;         ///< modeled length of one stall
+  /// Every read fails (a dead disk / dead node program). Used by the query
+  /// engine's `dead_nodes` to force retry exhaustion and failover.
+  bool fail_all_reads = false;
+  /// Read ordinals (0-based, per device) that fail / arrive corrupted in
+  /// addition to the rate-driven schedule — exact placement for tests.
+  std::vector<std::uint64_t> fail_reads;
+  std::vector<std::uint64_t> corrupt_reads;
+
+  /// Parses the CLI/bench `--inject-faults <seed,rate>` spec: `seed` feeds
+  /// the schedule, `rate` becomes read_failure_rate. Throws
+  /// std::invalid_argument on malformed input.
+  [[nodiscard]] static FaultConfig parse(std::string_view spec);
+};
+
+/// What the injector actually did, for cross-checking detection counts.
+struct InjectedFaults {
+  std::uint64_t reads = 0;   ///< operations seen (= next read ordinal)
+  std::uint64_t writes = 0;
+  std::uint64_t read_failures = 0;
+  std::uint64_t corrupted_reads = 0;
+  std::uint64_t torn_writes = 0;
+  std::uint64_t stalls = 0;
+  double stall_modeled_seconds = 0.0;
+};
+
+class FaultInjectingBlockDevice final : public BlockDevice {
+ public:
+  /// `inner` must outlive the wrapper.
+  FaultInjectingBlockDevice(BlockDevice& inner, FaultConfig config)
+      : BlockDevice(inner.block_size(), inner.readahead_blocks()),
+        inner_(inner),
+        config_(std::move(config)) {}
+
+  [[nodiscard]] std::uint64_t size() const override { return inner_.size(); }
+  void flush() override { inner_.flush(); }
+
+  [[nodiscard]] const FaultConfig& config() const { return config_; }
+  [[nodiscard]] const InjectedFaults& injected() const { return injected_; }
+
+  /// Schedule predicates: whether read ordinal `k` under `config` fails /
+  /// arrives corrupted. Tests use these to predict the exact fault
+  /// schedule a run will see.
+  [[nodiscard]] static bool read_fails(const FaultConfig& config,
+                                       std::uint64_t k);
+  [[nodiscard]] static bool read_corrupts(const FaultConfig& config,
+                                          std::uint64_t k);
+
+ protected:
+  void do_read(std::uint64_t offset, std::span<std::byte> out) override;
+  void do_write(std::uint64_t offset,
+                std::span<const std::byte> data) override;
+
+ private:
+  BlockDevice& inner_;
+  FaultConfig config_;
+  InjectedFaults injected_;
+};
+
+}  // namespace oociso::io

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <string>
 #include <system_error>
 
 namespace oociso::io {
@@ -73,6 +74,13 @@ void FileBlockDevice::do_write(std::uint64_t offset,
     if (n < 0) {
       if (errno == EINTR) continue;
       throw_errno("FileBlockDevice: pwrite failed", path_);
+    }
+    if (n == 0) {
+      // A zero-byte pwrite for a non-empty request makes no progress;
+      // looping on it would spin forever. Surface it like do_read does.
+      throw std::runtime_error("FileBlockDevice: pwrite wrote 0 of " +
+                               std::to_string(data.size() - done) +
+                               " remaining bytes to " + path_.string());
     }
     done += static_cast<std::size_t>(n);
   }

@@ -1,0 +1,38 @@
+#pragma once
+// Typed I/O failures for the fault-tolerant retrieval path.
+//
+// A plain std::system_error from a device gives a caller no way to decide
+// whether retrying is sane. IoError classifies the failure — a transient
+// read error (the disk hiccuped; the same read may succeed), detected
+// corruption (a checksum mismatch; a re-read may return clean bytes if the
+// corruption happened in transit), or a torn write (a partial transfer that
+// must be re-issued in full) — and carries an explicit retriable flag the
+// RetryPolicy consults. Anything that is not an IoError (ENOENT, a read
+// past the device end, a logic error) is treated as fatal by the retry
+// machinery and propagates immediately.
+
+#include <stdexcept>
+#include <string>
+
+namespace oociso::io {
+
+class IoError : public std::runtime_error {
+ public:
+  enum class Kind {
+    kTransient,   ///< the operation failed but left no bad state behind
+    kCorruption,  ///< data arrived but failed its checksum
+    kTornWrite,   ///< a write transferred only a prefix of its bytes
+  };
+
+  IoError(Kind kind, bool retriable, const std::string& what)
+      : std::runtime_error(what), kind_(kind), retriable_(retriable) {}
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool retriable() const { return retriable_; }
+
+ private:
+  Kind kind_;
+  bool retriable_;
+};
+
+}  // namespace oociso::io

@@ -1,0 +1,35 @@
+#pragma once
+// Read-only forwarding view over another device. Used for failover: when a
+// node program dies, a healthy peer reopens the dead node's brick store
+// through this wrapper (in-memory clusters have no file to reopen), so the
+// takeover can never scribble on the store it is trying to salvage.
+
+#include <stdexcept>
+
+#include "io/block_device.h"
+
+namespace oociso::io {
+
+class ReadOnlyBlockDevice final : public BlockDevice {
+ public:
+  /// `inner` must outlive the wrapper.
+  explicit ReadOnlyBlockDevice(BlockDevice& inner)
+      : BlockDevice(inner.block_size(), inner.readahead_blocks()),
+        inner_(inner) {}
+
+  [[nodiscard]] std::uint64_t size() const override { return inner_.size(); }
+  void flush() override {}
+
+ protected:
+  void do_read(std::uint64_t offset, std::span<std::byte> out) override {
+    inner_.read(offset, out);
+  }
+  void do_write(std::uint64_t, std::span<const std::byte>) override {
+    throw std::logic_error("ReadOnlyBlockDevice: write refused");
+  }
+
+ private:
+  BlockDevice& inner_;
+};
+
+}  // namespace oociso::io

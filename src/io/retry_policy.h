@@ -1,0 +1,33 @@
+#pragma once
+// Bounded-attempt retry with exponential backoff for retriable I/O errors.
+//
+// The policy is pure arithmetic: it says how many attempts an operation
+// gets and how long to back off before attempt k. The backoff is *modeled*
+// seconds, not a real sleep — the simulated cluster charges it to the
+// node's TimeLedger exactly like disk-model seconds, so a query under
+// fault injection reports a deterministic, reproducible completion time
+// (see EXPERIMENTS.md, degraded-mode timing semantics).
+
+#include <algorithm>
+
+namespace oociso::io {
+
+struct RetryPolicy {
+  /// Total tries for one operation, including the first (>= 1 enforced by
+  /// users; 1 means "never retry").
+  int max_attempts = 4;
+  /// Backoff charged before the first retry; each further retry doubles it
+  /// (multiplier below).
+  double backoff_start_seconds = 0.001;
+  double backoff_multiplier = 2.0;
+
+  /// Modeled backoff before retry number `retry_index` (0-based: the wait
+  /// between the first failure and the second attempt is index 0).
+  [[nodiscard]] double backoff_seconds(int retry_index) const {
+    double backoff = backoff_start_seconds;
+    for (int i = 0; i < retry_index; ++i) backoff *= backoff_multiplier;
+    return std::max(backoff, 0.0);
+  }
+};
+
+}  // namespace oociso::io

@@ -4,6 +4,7 @@
 
 #include "io/file_block_device.h"
 #include "io/memory_block_device.h"
+#include "io/read_only_block_device.h"
 
 namespace oociso::parallel {
 
@@ -49,6 +50,22 @@ std::vector<io::BlockDevice*> Cluster::disk_pointers() {
 
 void Cluster::run(const std::function<void(std::size_t)>& node_program) {
   parallel_for(pool_, disks_.size(), node_program);
+}
+
+std::vector<std::exception_ptr> Cluster::run_collect(
+    const std::function<void(std::size_t)>& node_program) {
+  return parallel_for_collect(pool_, disks_.size(), node_program);
+}
+
+std::unique_ptr<io::BlockDevice> Cluster::open_readonly(std::size_t node) {
+  if (config_.in_memory) {
+    return std::make_unique<io::ReadOnlyBlockDevice>(*disks_.at(node));
+  }
+  const auto brick_path = config_.storage_dir /
+                          ("node" + std::to_string(node)) / "bricks.dat";
+  return std::make_unique<io::FileBlockDevice>(
+      brick_path, io::FileBlockDevice::Mode::kReadOnly,
+      config_.disk.block_size);
 }
 
 }  // namespace oociso::parallel

@@ -8,6 +8,7 @@
 // the reported times have the multi-node shape of the paper's testbed (see
 // DESIGN.md, substitution table).
 
+#include <exception>
 #include <filesystem>
 #include <functional>
 #include <memory>
@@ -50,6 +51,20 @@ class Cluster {
 
   /// Runs `node_program(i)` for every node concurrently and waits.
   void run(const std::function<void(std::size_t node)>& node_program);
+
+  /// Like run(), but collects instead of throws: returns one
+  /// std::exception_ptr per node (null for nodes that completed), so a
+  /// caller can fail over the dead nodes' work to healthy peers.
+  [[nodiscard]] std::vector<std::exception_ptr> run_collect(
+      const std::function<void(std::size_t node)>& node_program);
+
+  /// Reopens `node`'s brick store read-only, independently of the node's
+  /// own device handle — the failover path by which a healthy peer takes
+  /// over a dead node's stripe. File-backed clusters open the file afresh;
+  /// in-memory clusters return a read-only view of the node's device. The
+  /// cluster must outlive the returned device.
+  [[nodiscard]] std::unique_ptr<io::BlockDevice> open_readonly(
+      std::size_t node);
 
   /// Modeled seconds for node-local I/O activity.
   [[nodiscard]] double disk_seconds(const io::IoStats& stats) const {

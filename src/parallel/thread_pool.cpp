@@ -1,6 +1,8 @@
 #include "parallel/thread_pool.h"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 namespace oociso::parallel {
 
@@ -37,21 +39,47 @@ void ThreadPool::worker_loop() {
 
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& fn) {
+  const std::vector<std::exception_ptr> errors =
+      parallel_for_collect(pool, count, fn);
+  std::exception_ptr first_error;
+  std::size_t failed = 0;
+  for (const std::exception_ptr& error : errors) {
+    if (!error) continue;
+    ++failed;
+    if (!first_error) first_error = error;
+  }
+  if (!first_error) return;
+  if (failed == 1) std::rethrow_exception(first_error);
+  // Several tasks failed but only one exception can propagate; note the
+  // swallowed failures in the message so they don't vanish silently.
+  try {
+    std::rethrow_exception(first_error);
+  } catch (const std::exception& error) {
+    throw std::runtime_error(std::string(error.what()) + " (and " +
+                             std::to_string(failed - 1) +
+                             " other parallel task(s) also failed)");
+  }
+  // Non-std exceptions fall through the catch above and propagate as-is.
+}
+
+std::vector<std::exception_ptr> parallel_for_collect(
+    ThreadPool& pool, std::size_t count,
+    const std::function<void(std::size_t)>& fn) {
   std::vector<std::future<void>> futures;
   futures.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     futures.push_back(pool.submit([&fn, i] { fn(i); }));
   }
-  // Wait on all before rethrowing so no task references dead stack frames.
-  std::exception_ptr first_error;
-  for (auto& future : futures) {
+  // Wait on all before returning so no task references dead stack frames.
+  std::vector<std::exception_ptr> errors(count);
+  for (std::size_t i = 0; i < count; ++i) {
     try {
-      future.get();
+      futures[i].get();
     } catch (...) {
-      if (!first_error) first_error = std::current_exception();
+      errors[i] = std::current_exception();
     }
   }
-  if (first_error) std::rethrow_exception(first_error);
+  return errors;
 }
 
 }  // namespace oociso::parallel

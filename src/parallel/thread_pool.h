@@ -5,6 +5,7 @@
 // shape — see DESIGN.md).
 
 #include <condition_variable>
+#include <exception>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -54,8 +55,18 @@ class ThreadPool {
 };
 
 /// Runs fn(0) .. fn(count-1) concurrently on the pool and waits for all;
-/// the first raised exception (lowest index) is rethrown.
+/// the first raised exception (lowest index) is rethrown. When more than
+/// one task failed, the rethrown std::exception's message is extended with
+/// how many other tasks also failed, so the swallowed errors leave a trace.
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& fn);
+
+/// Like parallel_for, but never throws for task errors: returns one
+/// std::exception_ptr per index (null for the tasks that succeeded), so the
+/// caller can degrade gracefully instead of losing all completed work to
+/// one failed peer.
+[[nodiscard]] std::vector<std::exception_ptr> parallel_for_collect(
+    ThreadPool& pool, std::size_t count,
+    const std::function<void(std::size_t)>& fn);
 
 }  // namespace oociso::parallel

@@ -1,27 +1,36 @@
 #include "pipeline/bundle.h"
 
 #include <fstream>
+#include <string>
 
 #include "io/serial.h"
+#include "util/crc32.h"
 
 namespace oociso::pipeline {
 namespace {
 
 constexpr std::uint32_t kBundleMagic = 0x4F4F4342;  // "OOCB"
-constexpr std::uint32_t kBundleVersion = 1;
+// v2: header carries the payload length and a CRC32 over the payload, so a
+// truncated or bit-rotted manifest is rejected before any field is trusted.
+constexpr std::uint32_t kBundleVersion = 2;
 
 std::filesystem::path bundle_path(const std::filesystem::path& dir) {
   return dir / "index.oocb";
+}
+
+[[noreturn]] void malformed(const std::string& what, std::size_t offset) {
+  throw std::runtime_error("load_bundle: " + what + " (at byte offset " +
+                           std::to_string(offset) + ")");
 }
 
 }  // namespace
 
 void save_bundle(const PreprocessResult& result,
                  const std::filesystem::path& dir) {
-  std::vector<std::byte> bytes;
-  io::ByteWriter writer(bytes);
-  writer.put(kBundleMagic);
-  writer.put(kBundleVersion);
+  // Serialize the payload first; the header then carries its length and
+  // CRC32 so readers can validate the whole manifest up front.
+  std::vector<std::byte> payload;
+  io::ByteWriter writer(payload);
   writer.put(static_cast<std::uint8_t>(result.kind));
   writer.put(result.geometry.samples_per_side());
   const core::GridDims dims = result.geometry.volume_dims();
@@ -38,6 +47,14 @@ void save_bundle(const PreprocessResult& result,
     writer.put(static_cast<std::uint32_t>(tree_bytes.size()));
     writer.put_bytes(tree_bytes);
   }
+
+  std::vector<std::byte> bytes;
+  io::ByteWriter header(bytes);
+  header.put(kBundleMagic);
+  header.put(kBundleVersion);
+  header.put(util::crc32(std::span<const std::byte>(payload)));
+  header.put(static_cast<std::uint64_t>(payload.size()));
+  header.put_bytes(payload);
 
   std::ofstream out(bundle_path(dir), std::ios::binary | std::ios::trunc);
   if (!out) {
@@ -60,14 +77,35 @@ PreprocessResult load_bundle(const std::filesystem::path& dir) {
   const std::string raw((std::istreambuf_iterator<char>(in)),
                         std::istreambuf_iterator<char>());
   const auto bytes = std::as_bytes(std::span(raw.data(), raw.size()));
-  io::ByteReader reader(bytes);
+  io::ByteReader header(bytes);
 
-  if (reader.get<std::uint32_t>() != kBundleMagic) {
-    throw std::runtime_error("load_bundle: bad magic");
+  if (bytes.size() < 2 * sizeof(std::uint32_t)) {
+    malformed("file shorter than the fixed header", bytes.size());
   }
-  if (reader.get<std::uint32_t>() != kBundleVersion) {
-    throw std::runtime_error("load_bundle: unsupported version");
+  if (header.get<std::uint32_t>() != kBundleMagic) {
+    malformed("bad magic", 0);
   }
+  const auto version = header.get<std::uint32_t>();
+  if (version != kBundleVersion) {
+    malformed("unsupported version " + std::to_string(version),
+              sizeof(std::uint32_t));
+  }
+  const auto expected_crc = header.get<std::uint32_t>();
+  const auto payload_bytes = header.get<std::uint64_t>();
+  if (payload_bytes != header.remaining()) {
+    malformed("header claims " + std::to_string(payload_bytes) +
+                  " payload bytes but " + std::to_string(header.remaining()) +
+                  " follow",
+              header.position());
+  }
+  const auto payload = header.get_bytes(header.remaining());
+  if (util::crc32(payload) != expected_crc) {
+    malformed("payload checksum mismatch", 2 * sizeof(std::uint32_t));
+  }
+
+  // Reported offsets below are file-absolute: payload position + header.
+  const std::size_t payload_start = header.position() - payload.size();
+  io::ByteReader reader(payload);
   const auto kind = static_cast<core::ScalarKind>(reader.get<std::uint8_t>());
   const auto samples_per_side = reader.get<std::int32_t>();
   core::GridDims dims;
@@ -89,12 +127,26 @@ PreprocessResult load_bundle(const std::filesystem::path& dir) {
   const auto node_count = reader.get<std::uint32_t>();
   result.trees.reserve(node_count);
   for (std::uint32_t i = 0; i < node_count; ++i) {
+    const std::size_t section_at = payload_start + reader.position();
     const auto length = reader.get<std::uint32_t>();
-    result.trees.push_back(
-        index::CompactIntervalTree::from_bytes(reader.get_bytes(length)));
+    if (length > reader.remaining()) {
+      malformed("node " + std::to_string(i) + " tree section claims " +
+                    std::to_string(length) + " bytes but only " +
+                    std::to_string(reader.remaining()) + " remain",
+                section_at);
+    }
+    try {
+      result.trees.push_back(
+          index::CompactIntervalTree::from_bytes(reader.get_bytes(length)));
+    } catch (const std::exception& error) {
+      malformed("node " + std::to_string(i) +
+                    " tree failed to deserialize: " + error.what(),
+                section_at);
+    }
   }
   if (reader.remaining() != 0) {
-    throw std::runtime_error("load_bundle: trailing bytes");
+    malformed("trailing bytes after last tree",
+              payload_start + reader.position());
   }
   return result;
 }

@@ -9,12 +9,17 @@
 // `ClusterConfig::open_existing` and loading the bundle restores a fully
 // queryable state without touching the volume data again.
 //
-// Bundle file layout ("OOCB", little-endian):
-//   u32 magic, u32 version
-//   u8  scalar kind, i32 samples_per_side, i32 nx, ny, nz (volume dims)
-//   u64 total_metacells, u64 kept_metacells, u64 bricks, u64 bytes_written
-//   u32 node_count, then per node: u32 byte length + CompactIntervalTree
-//   serialization (see compact_interval_tree.h).
+// Bundle file layout ("OOCB" v2, little-endian):
+//   u32 magic, u32 version, u32 payload CRC32, u64 payload byte count
+//   payload:
+//     u8  scalar kind, i32 samples_per_side, i32 nx, ny, nz (volume dims)
+//     u64 total_metacells, u64 kept_metacells, u64 bricks, u64 bytes_written
+//     u32 node_count, then per node: u32 byte length + CompactIntervalTree
+//     serialization (see compact_interval_tree.h).
+// The header CRC + length let the loader reject truncated or bit-rotted
+// manifests before trusting any field; per-section lengths are validated
+// against the remaining bytes and malformed input is reported with the
+// file byte offset of the bad section.
 
 #include <filesystem>
 

@@ -1,5 +1,7 @@
 #include "pipeline/query_engine.h"
 
+#include <algorithm>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <utility>
@@ -42,20 +44,48 @@ QueryReport QueryEngine::run(core::ValueKey isovalue,
     frames.emplace_back(options.image_width, options.image_height);
   }
 
-  // ---- per-node phase: AMC retrieval, triangulation, rendering ----------
-  cluster_.run([&](std::size_t node) {
+  // Per-query fault injectors: created fresh each run so read ordinals
+  // restart at 0 and the schedule depends only on the options.
+  std::vector<std::unique_ptr<io::FaultInjectingBlockDevice>> injectors(p);
+  if (options.inject_faults.has_value() || !options.dead_nodes.empty()) {
+    for (std::size_t i = 0; i < p; ++i) {
+      io::FaultConfig config =
+          options.inject_faults.value_or(io::FaultConfig{});
+      // Golden-ratio stride decorrelates the per-node schedules while
+      // keeping them derivable from the single user-facing seed.
+      config.seed += 0x9E3779B97F4A7C15ULL * i;
+      if (std::find(options.dead_nodes.begin(), options.dead_nodes.end(), i) !=
+          options.dead_nodes.end()) {
+        config.fail_all_reads = true;
+      }
+      injectors[i] = std::make_unique<io::FaultInjectingBlockDevice>(
+          cluster_.disk(i), std::move(config));
+    }
+  }
+
+  // Extraction of one node's stripe against `device`, charging `ledger`.
+  // Runs on the node's own program normally, and again on a healthy peer
+  // (serially, against a read-only reopen of the store) after a failure —
+  // which is why the accumulated mesh state is reset on entry and the
+  // FaultReport counters are merged rather than overwritten.
+  auto extract_stripe = [&](std::size_t node, io::BlockDevice& device,
+                            const io::FaultInjectingBlockDevice* injector,
+                            parallel::TimeLedger& ledger, bool overlap) {
     NodeReport& node_report = report.nodes[node];
-    parallel::TimeLedger& ledger = report.times.per_node[node];
-    io::BlockDevice& disk = cluster_.disk(node);
     const index::CompactIntervalTree& tree = data_.trees[node];
+    soups[node].clear();
+    node_report.triangles = 0;
+    const double stalls_before =
+        injector ? injector->injected().stall_modeled_seconds : 0.0;
 
     // The stream performs every device read and times it with a monotonic
     // wall clock; this thread only ever decodes and triangulates, timed
     // with a thread-CPU clock (which keeps concurrent node threads from
     // charging each other for descheduled time — and, unlike the old
     // interleaved re-marking, never has a blocking read inside its window).
-    const io::IoStats io_before = disk.stats();
-    index::RetrievalStream stream = index::open_stream(tree, isovalue, disk);
+    const io::IoStats io_before = device.stats();
+    index::RetrievalStream stream =
+        index::open_stream(tree, isovalue, device, options.retrieval);
 
     double cpu_seconds = 0.0;
     util::ThreadCpuTimer cpu_timer;
@@ -76,53 +106,136 @@ QueryReport QueryEngine::run(core::ValueKey isovalue,
     // are read. The fill is captured on the producer side for the same
     // reason and read only after the join.
     io::IoStats fill_io;
-    if (options.overlap_io_compute) {
-      bool first_batch = true;
-      parallel::produce_consume<index::RecordBatch>(
-          options.pipeline_depth,
-          [&](auto&& push) {
-            while (std::optional<index::RecordBatch> batch = stream.next()) {
-              if (first_batch) {
-                fill_io = batch->io;
-                first_batch = false;
+    try {
+      if (overlap) {
+        bool first_batch = true;
+        parallel::produce_consume<index::RecordBatch>(
+            options.pipeline_depth,
+            [&](auto&& push) {
+              while (std::optional<index::RecordBatch> batch = stream.next()) {
+                if (first_batch) {
+                  fill_io = batch->io;
+                  first_batch = false;
+                }
+                if (!push(std::move(*batch))) break;
               }
-              if (!push(std::move(*batch))) break;
-            }
-          },
-          consume);
-    } else {
-      while (std::optional<index::RecordBatch> batch = stream.next()) {
-        consume(*batch);
+            },
+            consume);
+      } else {
+        while (std::optional<index::RecordBatch> batch = stream.next()) {
+          consume(*batch);
+        }
       }
+    } catch (...) {
+      // Keep what the stream absorbed before the fatal error — the report
+      // should show the retries that led up to the exhaustion.
+      node_report.faults.retrieval.merge(stream.faults());
+      throw;
     }
+    node_report.faults.retrieval.merge(stream.faults());
 
     const index::QueryStats& stats = stream.stats();
     node_report.active_metacells = stats.active_metacells;
     node_report.records_fetched = stats.records_fetched;
-    node_report.io = disk.stats().since(io_before);
+    node_report.io = device.stats().since(io_before);
     node_report.io_model_seconds = cluster_.disk_seconds(node_report.io);
     node_report.io_wall_seconds = stream.io_wall_seconds();
     node_report.triangulation_seconds = cpu_seconds;
 
-    if (options.overlap_io_compute) {
+    // Backoff and stall penalties are modeled I/O-side delay: they widen
+    // this execution's retrieval charge (and with it the pipelined window),
+    // but io_model_seconds above stays the pure disk price of the blocks.
+    const double stall_seconds =
+        injector ? injector->injected().stall_modeled_seconds - stalls_before
+                 : 0.0;
+    const double retrieval_charge = node_report.io_model_seconds +
+                                    stream.faults().backoff_modeled_seconds +
+                                    stall_seconds;
+    if (overlap) {
       node_report.pipeline_fill_seconds = cluster_.disk_seconds(fill_io);
-      ledger.add_extraction_overlapped(node_report.io_model_seconds,
-                                       cpu_seconds,
+      ledger.add_extraction_overlapped(retrieval_charge, cpu_seconds,
                                        node_report.pipeline_fill_seconds);
       node_report.overlap_saved_seconds = ledger.overlap_saved();
     } else {
-      ledger.add(parallel::Phase::kAmcRetrieval, node_report.io_model_seconds);
+      ledger.add(parallel::Phase::kAmcRetrieval, retrieval_charge);
       ledger.add(parallel::Phase::kTriangulation, cpu_seconds);
     }
+  };
 
-    if (options.render) {
-      util::ThreadCpuTimer render_timer;
-      render::Rasterizer rasterizer;
-      rasterizer.draw(soups[node], camera, frames[node]);
-      node_report.rendering_seconds = render_timer.seconds();
-      ledger.add(parallel::Phase::kRendering, node_report.rendering_seconds);
+  auto render_stripe = [&](std::size_t node, parallel::TimeLedger& ledger) {
+    if (!options.render) return;
+    NodeReport& node_report = report.nodes[node];
+    frames[node] = render::Framebuffer(options.image_width,
+                                       options.image_height);
+    util::ThreadCpuTimer render_timer;
+    render::Rasterizer rasterizer;
+    rasterizer.draw(soups[node], camera, frames[node]);
+    node_report.rendering_seconds = render_timer.seconds();
+    ledger.add(parallel::Phase::kRendering, node_report.rendering_seconds);
+  };
+
+  // ---- per-node phase: AMC retrieval, triangulation, rendering ----------
+  const std::vector<std::exception_ptr> node_errors =
+      cluster_.run_collect([&](std::size_t node) {
+        io::BlockDevice& device =
+            injectors[node] ? *injectors[node] : cluster_.disk(node);
+        extract_stripe(node, device, injectors[node].get(),
+                       report.times.per_node[node],
+                       options.overlap_io_compute);
+        report.nodes[node].faults.executed_by =
+            static_cast<std::int32_t>(node);
+        render_stripe(node, report.times.per_node[node]);
+      });
+
+  // ---- failover: healthy peers take over dead nodes' stripes ------------
+  for (std::size_t node = 0; node < p; ++node) {
+    if (!node_errors[node]) continue;
+    if (!options.failover) std::rethrow_exception(node_errors[node]);
+    try {
+      std::rethrow_exception(node_errors[node]);
+    } catch (const std::exception& error) {
+      report.nodes[node].faults.error = error.what();
+    } catch (...) {
+      report.nodes[node].faults.error = "unknown error";
     }
-  });
+    // Nearest healthy successor takes over; with every node dead there is
+    // nobody left to degrade onto, so the first failure propagates.
+    std::size_t peer = p;
+    for (std::size_t step = 1; step < p; ++step) {
+      const std::size_t candidate = (node + step) % p;
+      if (!node_errors[candidate]) {
+        peer = candidate;
+        break;
+      }
+    }
+    if (peer == p) std::rethrow_exception(node_errors[node]);
+
+    // The peer re-runs the stripe serially against a fresh read-only
+    // handle of the dead node's store — bypassing both the dead node's
+    // device handle and its fault injector. The takeover work (and its
+    // rendering) is charged to the peer's ledger: it happens after the
+    // peer's own stripe, which is exactly what degrades completion time.
+    const std::unique_ptr<io::BlockDevice> store = cluster_.open_readonly(node);
+    extract_stripe(node, *store, nullptr, report.times.per_node[peer],
+                   /*overlap=*/false);
+    render_stripe(node, report.times.per_node[peer]);
+    NodeReport& node_report = report.nodes[node];
+    ++node_report.faults.failovers;
+    node_report.faults.executed_by = static_cast<std::int32_t>(peer);
+    report.degraded = true;
+  }
+
+  // What each injector actually did, for cross-checking the detection
+  // counters above (a verified stream must have caught every corruption).
+  for (std::size_t node = 0; node < p; ++node) {
+    if (!injectors[node]) continue;
+    const io::InjectedFaults& injected = injectors[node]->injected();
+    FaultReport& faults = report.nodes[node].faults;
+    faults.injected_read_failures = injected.read_failures;
+    faults.injected_corrupted_reads = injected.corrupted_reads;
+    faults.injected_stalls = injected.stalls;
+    faults.stall_modeled_seconds = injected.stall_modeled_seconds;
+  }
 
   // ---- compositing (the only communication) ------------------------------
   if (options.render) {

@@ -29,10 +29,13 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "compositing/sort_last.h"
 #include "extract/mesh.h"
+#include "index/retrieval_stream.h"
+#include "io/fault_injection.h"
 #include "pipeline/preprocess.h"
 #include "parallel/time_ledger.h"
 #include "render/framebuffer.h"
@@ -54,6 +57,46 @@ struct QueryOptions {
   /// Bounded-queue depth of the per-node pipeline, in batches. Bounds
   /// prefetch memory; 0 is clamped to 1 (fully synchronous hand-off).
   std::size_t pipeline_depth = 4;
+
+  // ---- fault tolerance ----------------------------------------------------
+  /// Wrap every node's disk in a FaultInjectingBlockDevice for this query.
+  /// Node i derives its schedule seed as `seed + 0x9E3779B97F4A7C15 * i` so
+  /// the nodes see independent fault sequences; read ordinals restart at 0
+  /// each run, making the schedule a pure function of the options.
+  std::optional<io::FaultConfig> inject_faults;
+  /// Nodes whose disks fail every read this query (a dead node program):
+  /// they exhaust the retry budget and, with `failover`, a healthy peer
+  /// takes over their stripe.
+  std::vector<std::size_t> dead_nodes;
+  /// Retry policy and checksum verification applied to every node's
+  /// retrieval stream.
+  index::RetrievalOptions retrieval;
+  /// Re-execute a failed node's stripe on a healthy peer against a fresh
+  /// read-only handle of the node's brick store (see Cluster::open_readonly)
+  /// instead of failing the whole query. The mesh stays bit-identical; the
+  /// report is flagged degraded. With `false`, the first node error is
+  /// rethrown after all nodes settle.
+  bool failover = true;
+};
+
+/// Per-node fault-handling outcome for one query. All-zero (with
+/// executed_by == the node itself) on a clean run.
+struct FaultReport {
+  /// Faults the node's retrieval stream saw and absorbed (or, for the last
+  /// error of an exhausted retry budget, propagated).
+  index::RetrievalFaults retrieval;
+  // What the node's injector actually did — zero without inject_faults.
+  std::uint64_t injected_read_failures = 0;
+  std::uint64_t injected_corrupted_reads = 0;
+  std::uint64_t injected_stalls = 0;
+  double stall_modeled_seconds = 0.0;  ///< modeled latency spikes absorbed
+  /// Times this node's stripe had to be re-executed by a peer.
+  std::uint32_t failovers = 0;
+  /// Node whose program finally produced this stripe's mesh (== the node
+  /// itself unless it failed over); -1 when the stripe was never produced.
+  std::int32_t executed_by = -1;
+  /// Message of the error that killed the node's own program, if any.
+  std::string error;
 };
 
 struct NodeReport {
@@ -71,10 +114,15 @@ struct NodeReport {
   /// Modeled I/O of the first batch — the pipeline fill the compute stage
   /// had to wait for.
   double pipeline_fill_seconds = 0.0;
+  FaultReport faults;
 };
 
 struct QueryReport {
   core::ValueKey isovalue = 0;
+  /// True when at least one node's program failed and its stripe was
+  /// produced by a peer: the mesh is complete and bit-identical to a clean
+  /// run, but the timing reflects the serialized takeover.
+  bool degraded = false;
   std::vector<NodeReport> nodes;
   parallel::ClusterTimes times;
   compositing::TrafficStats composite_traffic;
@@ -91,6 +139,18 @@ struct QueryReport {
   [[nodiscard]] std::uint64_t total_triangles() const {
     std::uint64_t total = 0;
     for (const auto& node : nodes) total += node.triangles;
+    return total;
+  }
+  /// Cluster-wide fault summary (retrieval counters summed over nodes;
+  /// failovers summed over stripes).
+  [[nodiscard]] index::RetrievalFaults total_retrieval_faults() const {
+    index::RetrievalFaults total;
+    for (const auto& node : nodes) total.merge(node.faults.retrieval);
+    return total;
+  }
+  [[nodiscard]] std::uint32_t total_failovers() const {
+    std::uint32_t total = 0;
+    for (const auto& node : nodes) total += node.faults.failovers;
     return total;
   }
   /// Cluster completion time: the extraction window (pipelined per-node

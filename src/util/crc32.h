@@ -1,0 +1,61 @@
+#pragma once
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), the checksum guarding every
+// brick chunk and the bundle header against silent corruption.
+//
+// Implemented table-driven and incrementally: crc32_update() can be fed a
+// stream of spans (the brick builder checksums each stripe buffer as it is
+// written; the retrieval path re-checksums each chunk as it is read), and
+// the one-shot crc32() wraps init/update/final for whole buffers. CRC32
+// detects all single-bit and all burst errors up to 32 bits — exactly the
+// flipped-bit / torn-transfer faults the fault model injects.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace oociso::util {
+
+namespace detail {
+
+consteval std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    make_crc32_table();
+
+}  // namespace detail
+
+/// Starting state for an incremental CRC (the standard ~0 preset).
+[[nodiscard]] constexpr std::uint32_t crc32_init() { return 0xFFFFFFFFu; }
+
+/// Folds `data` into a running CRC state.
+[[nodiscard]] inline std::uint32_t crc32_update(
+    std::uint32_t state, std::span<const std::byte> data) {
+  for (const std::byte b : data) {
+    state = (state >> 8) ^
+            detail::kCrc32Table[(state ^ static_cast<std::uint32_t>(b)) & 0xFF];
+  }
+  return state;
+}
+
+/// Final xor; the value to store or compare.
+[[nodiscard]] constexpr std::uint32_t crc32_final(std::uint32_t state) {
+  return state ^ 0xFFFFFFFFu;
+}
+
+/// One-shot CRC-32 of a buffer.
+[[nodiscard]] inline std::uint32_t crc32(std::span<const std::byte> data) {
+  return crc32_final(crc32_update(crc32_init(), data));
+}
+
+}  // namespace oociso::util

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -92,6 +93,71 @@ TEST(Bundle, RejectsMissingAndCorrupt) {
   EXPECT_THROW(load_bundle(dir.path()), std::runtime_error);
   std::ofstream(dir.file("index.oocb"), std::ios::binary) << "garbage";
   EXPECT_THROW(load_bundle(dir.path()), std::runtime_error);
+}
+
+// Saves a minimal bundle into `storage` and returns the manifest path.
+std::filesystem::path save_small_bundle(util::TempDir& storage) {
+  const auto volume = data::generate_rm_timestep(small_rm(), 100);
+  parallel::ClusterConfig config;
+  config.node_count = 2;
+  config.storage_dir = storage.path();
+  parallel::Cluster cluster(config);
+  const auto source = metacell::make_source(volume, 9);
+  save_bundle(preprocess(*source, cluster), storage.path());
+  return storage.path() / "index.oocb";
+}
+
+void flip_byte(const std::filesystem::path& path, std::uint64_t offset) {
+  std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(file) << path;
+  file.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  file.get(byte);
+  byte = static_cast<char>(byte ^ 0x20);
+  file.seekp(static_cast<std::streamoff>(offset));
+  file.put(byte);
+}
+
+TEST(Bundle, FlippedPayloadByteIsRejectedByHeaderCrc) {
+  util::TempDir storage("oociso-bundle-rot");
+  const auto manifest = save_small_bundle(storage);
+
+  // One flipped bit/byte anywhere in the payload must trip the header CRC
+  // before any payload field is trusted. Probe a few spots: right after the
+  // 20-byte header, mid-file, and the last byte.
+  const auto size = std::filesystem::file_size(manifest);
+  for (const std::uint64_t offset :
+       {std::uint64_t{20}, size / 2, size - 1}) {
+    flip_byte(manifest, offset);
+    try {
+      (void)load_bundle(storage.path());
+      FAIL() << "accepted a bundle with a flipped byte at " << offset;
+    } catch (const std::runtime_error& error) {
+      const std::string message = error.what();
+      EXPECT_NE(message.find("payload checksum mismatch"), std::string::npos)
+          << message;
+      EXPECT_NE(message.find("byte offset"), std::string::npos) << message;
+    }
+    flip_byte(manifest, offset);  // restore
+  }
+  EXPECT_NO_THROW((void)load_bundle(storage.path()));  // restored == valid
+}
+
+TEST(Bundle, TruncatedManifestReportsTheLengthMismatch) {
+  util::TempDir storage("oociso-bundle-trunc");
+  const auto manifest = save_small_bundle(storage);
+  const auto size = std::filesystem::file_size(manifest);
+  std::filesystem::resize_file(manifest, size - 10);
+  try {
+    (void)load_bundle(storage.path());
+    FAIL() << "accepted a truncated bundle";
+  } catch (const std::runtime_error& error) {
+    // The header's payload length no longer matches the bytes that follow;
+    // the error names both counts and the offending offset.
+    const std::string message = error.what();
+    EXPECT_NE(message.find("payload bytes but"), std::string::npos) << message;
+    EXPECT_NE(message.find("byte offset"), std::string::npos) << message;
+  }
 }
 
 TEST(Bundle, ReattachWithMissingBrickStoreNamesTheNode) {

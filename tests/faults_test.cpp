@@ -1,0 +1,684 @@
+// Fault-tolerant query execution: deterministic injection, checksummed
+// bricks, retry/backoff, and per-node failover. Carries the ctest label
+// `faults` so CI can run the robustness suite on its own.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "data/rm_generator.h"
+#include "index/compact_interval_tree.h"
+#include "index/retrieval_stream.h"
+#include "io/fault_injection.h"
+#include "io/io_error.h"
+#include "io/memory_block_device.h"
+#include "io/retry_policy.h"
+#include "io/serial.h"
+#include "metacell/source.h"
+#include "parallel/cluster.h"
+#include "parallel/thread_pool.h"
+#include "pipeline/query_engine.h"
+#include "util/crc32.h"
+#include "util/rng.h"
+#include "util/temp_dir.h"
+
+namespace oociso {
+namespace {
+
+using metacell::MetacellInfo;
+
+// ---------------------------------------------------------------------------
+// CRC32 primitive
+// ---------------------------------------------------------------------------
+
+std::vector<std::byte> to_bytes(std::string_view text) {
+  std::vector<std::byte> bytes(text.size());
+  std::memcpy(bytes.data(), text.data(), text.size());
+  return bytes;
+}
+
+TEST(Crc32, MatchesKnownVector) {
+  // The IEEE 802.3 check value for "123456789".
+  EXPECT_EQ(util::crc32(std::span<const std::byte>(to_bytes("123456789"))),
+            0xCBF43926u);
+  EXPECT_EQ(util::crc32(std::span<const std::byte>()), 0u);
+}
+
+TEST(Crc32, IncrementalEqualsOneShot) {
+  const auto bytes = to_bytes("the quick brown fox jumps over the lazy dog");
+  std::uint32_t state = util::crc32_init();
+  for (std::size_t i = 0; i < bytes.size(); i += 7) {
+    state = util::crc32_update(
+        state, std::span(bytes).subspan(i, std::min<std::size_t>(
+                                               7, bytes.size() - i)));
+  }
+  EXPECT_EQ(util::crc32_final(state),
+            util::crc32(std::span<const std::byte>(bytes)));
+}
+
+TEST(Crc32, DetectsEverySingleBitFlip) {
+  auto bytes = to_bytes("checksummed brick chunk payload");
+  const std::uint32_t clean = util::crc32(std::span<const std::byte>(bytes));
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      bytes[i] ^= static_cast<std::byte>(1 << bit);
+      EXPECT_NE(util::crc32(std::span<const std::byte>(bytes)), clean);
+      bytes[i] ^= static_cast<std::byte>(1 << bit);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RetryPolicy and FaultConfig parsing
+// ---------------------------------------------------------------------------
+
+TEST(RetryPolicy, BackoffGrowsExponentially) {
+  const io::RetryPolicy policy{
+      .max_attempts = 5, .backoff_start_seconds = 0.25,
+      .backoff_multiplier = 2.0};
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(0), 0.25);
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(1), 0.5);
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(3), 2.0);
+}
+
+TEST(FaultConfigParse, AcceptsSeedCommaRate) {
+  const io::FaultConfig config = io::FaultConfig::parse("17,0.001");
+  EXPECT_EQ(config.seed, 17u);
+  EXPECT_DOUBLE_EQ(config.read_failure_rate, 0.001);
+}
+
+TEST(FaultConfigParse, RejectsMalformedSpecs) {
+  EXPECT_THROW(io::FaultConfig::parse(""), std::invalid_argument);
+  EXPECT_THROW(io::FaultConfig::parse("17"), std::invalid_argument);
+  EXPECT_THROW(io::FaultConfig::parse("17,"), std::invalid_argument);
+  EXPECT_THROW(io::FaultConfig::parse(",0.5"), std::invalid_argument);
+  EXPECT_THROW(io::FaultConfig::parse("x,0.5"), std::invalid_argument);
+  EXPECT_THROW(io::FaultConfig::parse("17,1.5"), std::invalid_argument);
+  EXPECT_THROW(io::FaultConfig::parse("17,-0.1"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjectingBlockDevice
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjector, ScheduleIsDeterministicAndPredicted) {
+  io::MemoryBlockDevice inner(512);
+  std::vector<std::byte> payload(8 * 512);
+  util::Xoshiro256 rng(7);
+  for (auto& byte : payload) byte = static_cast<std::byte>(rng.bounded(256));
+  inner.write(0, payload);
+
+  io::FaultConfig config;
+  config.seed = 99;
+  config.read_failure_rate = 0.2;
+  config.read_corruption_rate = 0.2;
+
+  // Fate of read k: 0 = clean, 1 = corrupted in flight, 2 = failed.
+  auto run_schedule = [&] {
+    io::FaultInjectingBlockDevice device(inner, config);
+    std::vector<int> fates;
+    std::vector<std::byte> buffer(512);
+    for (int k = 0; k < 50; ++k) {
+      const std::uint64_t offset = (static_cast<std::uint64_t>(k) % 8) * 512;
+      try {
+        device.read(offset, buffer);
+        const bool corrupted =
+            std::memcmp(buffer.data(), payload.data() + offset, 512) != 0;
+        if (corrupted) {
+          // Exactly one flipped bit, and the backing store stayed clean.
+          int flipped = 0;
+          for (std::size_t i = 0; i < 512; ++i) {
+            flipped += std::popcount(static_cast<unsigned>(
+                buffer[i] ^ payload[offset + i]));
+          }
+          EXPECT_EQ(flipped, 1) << "read " << k;
+        }
+        fates.push_back(corrupted ? 1 : 0);
+      } catch (const io::IoError& error) {
+        EXPECT_EQ(error.kind(), io::IoError::Kind::kTransient);
+        EXPECT_TRUE(error.retriable());
+        fates.push_back(2);
+      }
+    }
+    return fates;
+  };
+
+  const std::vector<int> first = run_schedule();
+  const std::vector<int> second = run_schedule();
+  EXPECT_EQ(first, second);  // same seed, same access sequence, same fates
+
+  int clean = 0, corrupted = 0, failed = 0;
+  for (int k = 0; k < 50; ++k) {
+    const auto ordinal = static_cast<std::uint64_t>(k);
+    const int expected =
+        io::FaultInjectingBlockDevice::read_fails(config, ordinal)       ? 2
+        : io::FaultInjectingBlockDevice::read_corrupts(config, ordinal)  ? 1
+                                                                         : 0;
+    EXPECT_EQ(first[static_cast<std::size_t>(k)], expected) << "read " << k;
+    (expected == 0 ? clean : expected == 1 ? corrupted : failed) += 1;
+  }
+  // At rate 0.2 over 50 reads all three fates must appear.
+  EXPECT_GT(clean, 0);
+  EXPECT_GT(corrupted, 0);
+  EXPECT_GT(failed, 0);
+}
+
+TEST(FaultInjector, ExplicitOrdinalsOverrideRates) {
+  io::MemoryBlockDevice inner(512);
+  inner.write(0, std::vector<std::byte>(1024, std::byte{0x5A}));
+  io::FaultConfig config;
+  config.fail_reads = {1};
+  io::FaultInjectingBlockDevice device(inner, config);
+
+  std::vector<std::byte> buffer(256);
+  EXPECT_NO_THROW(device.read(0, buffer));     // read 0
+  EXPECT_THROW(device.read(0, buffer), io::IoError);  // read 1, pinned
+  EXPECT_NO_THROW(device.read(0, buffer));     // read 2
+  EXPECT_EQ(device.injected().read_failures, 1u);
+}
+
+TEST(FaultInjector, TornWriteTransfersHalfThenThrows) {
+  io::MemoryBlockDevice inner(512);
+  io::FaultConfig config;
+  config.write_torn_rate = 1.0;
+  io::FaultInjectingBlockDevice device(inner, config);
+
+  const std::vector<std::byte> data(100, std::byte{0x77});
+  try {
+    device.write(0, data);
+    FAIL() << "torn write did not throw";
+  } catch (const io::IoError& error) {
+    EXPECT_EQ(error.kind(), io::IoError::Kind::kTornWrite);
+  }
+  EXPECT_EQ(inner.size(), 50u);  // only the prefix reached the media
+  EXPECT_EQ(device.injected().torn_writes, 1u);
+}
+
+TEST(FaultInjector, DeadDeviceFailsEveryRead) {
+  io::MemoryBlockDevice inner(512);
+  inner.write(0, std::vector<std::byte>(512, std::byte{0}));
+  io::FaultConfig config;
+  config.fail_all_reads = true;
+  io::FaultInjectingBlockDevice device(inner, config);
+  std::vector<std::byte> buffer(64);
+  for (int k = 0; k < 5; ++k) {
+    EXPECT_THROW(device.read(0, buffer), io::IoError);
+  }
+  EXPECT_EQ(device.injected().read_failures, 5u);
+}
+
+// ---------------------------------------------------------------------------
+// RetrievalStream: verification + retry against a real brick layout
+// ---------------------------------------------------------------------------
+
+/// Controlled source (same shape as retrieval_stream_test's): tiny u8
+/// records whose vmin/vmax match a prescribed interval exactly.
+class FakeSource final : public metacell::MetacellSource {
+ public:
+  explicit FakeSource(std::vector<MetacellInfo> infos)
+      : infos_sorted_(std::move(infos)), geometry_({1026, 3, 3}, 2) {
+    std::sort(infos_sorted_.begin(), infos_sorted_.end(),
+              [](const MetacellInfo& a, const MetacellInfo& b) {
+                return a.id < b.id;
+              });
+    for (const auto& info : infos_sorted_) by_id_[info.id] = info.interval;
+  }
+
+  [[nodiscard]] const metacell::MetacellGeometry& geometry() const override {
+    return geometry_;
+  }
+  [[nodiscard]] core::ScalarKind kind() const override {
+    return core::ScalarKind::kU8;
+  }
+  [[nodiscard]] std::vector<MetacellInfo> scan() const override {
+    return infos_sorted_;
+  }
+  void encode(std::uint32_t id, std::vector<std::byte>& out) const override {
+    const core::ValueInterval interval = by_id_.at(id);
+    io::ByteWriter writer(out);
+    writer.put(id);
+    writer.put(static_cast<std::uint8_t>(interval.vmin));
+    writer.put(static_cast<std::uint8_t>(interval.vmin));
+    for (int i = 0; i < 7; ++i) {
+      writer.put(static_cast<std::uint8_t>(interval.vmax));
+    }
+  }
+
+ private:
+  std::vector<MetacellInfo> infos_sorted_;
+  std::map<std::uint32_t, core::ValueInterval> by_id_;
+  metacell::MetacellGeometry geometry_;
+};
+
+std::vector<MetacellInfo> random_intervals(std::size_t count,
+                                           std::uint32_t alphabet,
+                                           std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<MetacellInfo> infos;
+  infos.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto a = static_cast<core::ValueKey>(rng.bounded(alphabet));
+    auto b = static_cast<core::ValueKey>(rng.bounded(alphabet));
+    if (a > b) std::swap(a, b);
+    if (a == b) b += 1;
+    infos.push_back({static_cast<std::uint32_t>(i), {a, b}});
+  }
+  return infos;
+}
+
+struct Built {
+  std::unique_ptr<io::MemoryBlockDevice> device;
+  index::CompactIntervalTree tree;
+};
+
+Built build_one(const std::vector<MetacellInfo>& infos) {
+  Built built;
+  built.device = std::make_unique<io::MemoryBlockDevice>(512);
+  const FakeSource source(infos);
+  io::BlockDevice* pointer = built.device.get();
+  auto result = index::CompactTreeBuilder::build(infos, source, {&pointer, 1});
+  built.tree = std::move(result.trees[0]);
+  return built;
+}
+
+std::vector<std::uint32_t> drain_ids(index::RetrievalStream& stream) {
+  std::vector<std::uint32_t> ids;
+  while (std::optional<index::RecordBatch> batch = stream.next()) {
+    for (std::size_t r = 0; r < batch->record_count; ++r) {
+      io::ByteReader reader(batch->record(r));
+      ids.push_back(reader.get<std::uint32_t>());
+    }
+  }
+  return ids;
+}
+
+TEST(ChecksummedIndex, BuilderPersistsChunkCrcsThroughSerialization) {
+  Built built = build_one(random_intervals(800, 120, 3));
+  EXPECT_GT(built.tree.crc_chunk_records(), 0u);
+  EXPECT_FALSE(built.tree.chunk_crcs().empty());
+
+  const index::CompactIntervalTree reloaded =
+      index::CompactIntervalTree::from_bytes(built.tree.to_bytes());
+  EXPECT_EQ(reloaded.crc_chunk_records(), built.tree.crc_chunk_records());
+  EXPECT_EQ(reloaded.chunk_crcs(), built.tree.chunk_crcs());
+
+  const index::QueryPlan plan = built.tree.plan(60.0f);
+  ASSERT_FALSE(plan.scans.empty());
+  EXPECT_EQ(plan.crc_chunk_records, built.tree.crc_chunk_records());
+  for (const auto& scan : plan.scans) {
+    EXPECT_FALSE(scan.chunk_crcs.empty());
+  }
+}
+
+TEST(VerifiedStream, AbsorbsTransientFaultWithOneRetry) {
+  Built built = build_one(random_intervals(600, 100, 11));
+  index::RetrievalStream clean_stream =
+      index::open_stream(built.tree, 50.0f, *built.device);
+  const std::vector<std::uint32_t> expected = drain_ids(clean_stream);
+  ASSERT_FALSE(expected.empty());
+
+  io::FaultConfig config;
+  config.fail_reads = {0};  // first device read of the query fails once
+  io::FaultInjectingBlockDevice device(*built.device, config);
+  index::RetrievalStream stream =
+      index::open_stream(built.tree, 50.0f, device);
+  EXPECT_EQ(drain_ids(stream), expected);
+
+  EXPECT_EQ(stream.faults().transient_errors, 1u);
+  EXPECT_EQ(stream.faults().retries, 1u);
+  EXPECT_EQ(stream.faults().checksum_failures, 0u);
+  const io::RetryPolicy policy;
+  EXPECT_DOUBLE_EQ(stream.faults().backoff_modeled_seconds,
+                   policy.backoff_seconds(0));
+}
+
+TEST(VerifiedStream, ExhaustedRetriesPropagateTheError) {
+  Built built = build_one(random_intervals(400, 80, 17));
+  io::FaultConfig config;
+  config.fail_all_reads = true;
+  io::FaultInjectingBlockDevice device(*built.device, config);
+
+  index::RetrievalOptions options;
+  options.retry.max_attempts = 3;
+  index::RetrievalStream stream =
+      index::open_stream(built.tree, 40.0f, device, options);
+  try {
+    (void)drain_ids(stream);
+    FAIL() << "exhausted retries did not propagate";
+  } catch (const io::IoError& error) {
+    EXPECT_EQ(error.kind(), io::IoError::Kind::kTransient);
+  }
+  // max_attempts reads attempted; all but the last were retried.
+  EXPECT_EQ(stream.faults().transient_errors, 3u);
+  EXPECT_EQ(stream.faults().retries, 2u);
+  EXPECT_EQ(device.injected().read_failures, 3u);
+}
+
+TEST(VerifiedStream, AbsorbsInFlightCorruptionByRereading) {
+  Built built = build_one(random_intervals(600, 100, 23));
+  index::RetrievalStream clean_stream =
+      index::open_stream(built.tree, 50.0f, *built.device);
+  const std::vector<std::uint32_t> expected = drain_ids(clean_stream);
+  ASSERT_FALSE(expected.empty());
+
+  io::FaultConfig config;
+  config.corrupt_reads = {0};  // one bit of the first read flips in flight
+  io::FaultInjectingBlockDevice device(*built.device, config);
+  index::RetrievalStream stream =
+      index::open_stream(built.tree, 50.0f, device);
+  EXPECT_EQ(drain_ids(stream), expected);  // re-read returned clean bytes
+
+  EXPECT_EQ(stream.faults().checksum_failures, 1u);
+  EXPECT_EQ(stream.faults().retries, 1u);
+  EXPECT_EQ(device.injected().corrupted_reads, 1u);
+}
+
+TEST(VerifiedStream, PersistentCorruptionExhaustsRetriesLoudly) {
+  Built built = build_one(random_intervals(500, 90, 31));
+  const index::QueryPlan plan = built.tree.plan(45.0f);
+  ASSERT_FALSE(plan.scans.empty());
+
+  // Flip one bit *in the store itself*: every re-read returns the same bad
+  // byte, so retries cannot help and the error must surface.
+  std::vector<std::byte> byte(1);
+  built.device->read(plan.scans[0].offset, byte);
+  byte[0] ^= std::byte{0x10};
+  built.device->write(plan.scans[0].offset, byte);
+
+  index::RetrievalOptions options;
+  options.retry.max_attempts = 4;
+  index::RetrievalStream stream(built.tree.plan(45.0f),
+                                built.tree.scalar_kind(),
+                                built.tree.record_size(), *built.device,
+                                options);
+  try {
+    (void)drain_ids(stream);
+    FAIL() << "persistent corruption went undetected";
+  } catch (const io::IoError& error) {
+    EXPECT_EQ(error.kind(), io::IoError::Kind::kCorruption);
+    EXPECT_NE(std::string(error.what()).find("checksum mismatch"),
+              std::string::npos);
+  }
+  EXPECT_EQ(stream.faults().checksum_failures, 4u);
+
+  // The same store read without verification delivers the bad bytes
+  // silently — which is exactly why verification defaults to on.
+  index::RetrievalOptions unverified;
+  unverified.verify_checksums = false;
+  index::RetrievalStream blind(built.tree.plan(45.0f),
+                               built.tree.scalar_kind(),
+                               built.tree.record_size(), *built.device,
+                               unverified);
+  EXPECT_NO_THROW((void)drain_ids(blind));
+  EXPECT_EQ(blind.faults().checksum_failures, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Error-collecting parallel execution
+// ---------------------------------------------------------------------------
+
+TEST(ParallelForCollect, ReturnsOnePointerPerIndex) {
+  parallel::ThreadPool pool(4);
+  const std::vector<std::exception_ptr> errors =
+      parallel::parallel_for_collect(pool, 5, [](std::size_t i) {
+        if (i == 1 || i == 3) {
+          throw std::runtime_error("task " + std::to_string(i) + " died");
+        }
+      });
+  ASSERT_EQ(errors.size(), 5u);
+  for (const std::size_t i : {0u, 2u, 4u}) EXPECT_FALSE(errors[i]) << i;
+  for (const std::size_t i : {1u, 3u}) {
+    ASSERT_TRUE(errors[i]) << i;
+    try {
+      std::rethrow_exception(errors[i]);
+    } catch (const std::runtime_error& error) {
+      EXPECT_EQ(std::string(error.what()),
+                "task " + std::to_string(i) + " died");
+    }
+  }
+}
+
+TEST(ParallelFor, SingleFailureRethrowsUnchanged) {
+  parallel::ThreadPool pool(2);
+  try {
+    parallel::parallel_for(pool, 4, [](std::size_t i) {
+      if (i == 2) throw std::invalid_argument("just me");
+    });
+    FAIL() << "did not throw";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_EQ(std::string(error.what()), "just me");
+  }
+}
+
+TEST(ParallelFor, MultiFailureMessageCountsTheOthers) {
+  parallel::ThreadPool pool(4);
+  try {
+    parallel::parallel_for(pool, 6, [](std::size_t i) {
+      if (i % 2 == 0) {
+        throw std::runtime_error("task " + std::to_string(i) + " died");
+      }
+    });
+    FAIL() << "did not throw";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("task 0 died"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 other parallel task(s) also failed"),
+              std::string::npos)
+        << what;
+  }
+}
+
+TEST(Cluster, OpenReadonlyServesReadsAndRefusesWrites) {
+  parallel::ClusterConfig config;
+  config.node_count = 2;
+  config.in_memory = true;
+  parallel::Cluster cluster(config);
+  const std::vector<std::byte> payload(256, std::byte{0x42});
+  cluster.disk(1).write(0, payload);
+
+  const std::unique_ptr<io::BlockDevice> store = cluster.open_readonly(1);
+  EXPECT_EQ(store->size(), cluster.disk(1).size());
+  std::vector<std::byte> buffer(256);
+  store->read(0, buffer);
+  EXPECT_EQ(buffer, payload);
+  EXPECT_THROW(store->write(0, payload), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Query-engine failover
+// ---------------------------------------------------------------------------
+
+parallel::Cluster make_cluster(std::size_t nodes) {
+  parallel::ClusterConfig config;
+  config.node_count = nodes;
+  config.in_memory = true;
+  return parallel::Cluster(config);
+}
+
+data::RmConfig small_rm() {
+  data::RmConfig config;
+  config.dims = {48, 48, 44};
+  return config;
+}
+
+bool same_triangles(const extract::TriangleSoup& a,
+                    const extract::TriangleSoup& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.triangles().data(), b.triangles().data(),
+                      a.size() * sizeof(extract::Triangle)) == 0);
+}
+
+// The acceptance scenario: an 8-node in-memory query under seeded faults —
+// transient failures at rate 1e-3, at least one corrupted brick read, and
+// one node whose disk is dead (exhausts its retry budget) — completes with
+// a bit-identical mesh, the degraded flag set, and exact fault counts.
+TEST(Failover, EightNodeSeededFaultsProduceBitIdenticalMesh) {
+  const auto volume = data::generate_rm_timestep(small_rm(), 200);
+  auto cluster = make_cluster(8);
+  const auto source = metacell::make_source(volume, 9);
+  const pipeline::PreprocessResult prep =
+      pipeline::preprocess(*source, cluster);
+  pipeline::QueryEngine engine(cluster, prep);
+
+  pipeline::QueryOptions clean;
+  clean.render = false;
+  clean.keep_triangles = true;
+  const pipeline::QueryReport reference = engine.run(128.0f, clean);
+  ASSERT_GT(reference.total_triangles(), 0u);
+  EXPECT_FALSE(reference.degraded);
+
+  pipeline::QueryOptions faulty = clean;
+  io::FaultConfig faults;
+  faults.seed = 2026;
+  faults.read_failure_rate = 1e-3;
+  faults.corrupt_reads = {1};  // every surviving node's read #1 flips a bit
+  faulty.inject_faults = faults;
+  faulty.dead_nodes = {3};
+  const pipeline::QueryReport report = engine.run(128.0f, faulty);
+
+  // The mesh is complete and bit-identical to the clean run.
+  ASSERT_TRUE(report.triangles_out && reference.triangles_out);
+  EXPECT_TRUE(same_triangles(*report.triangles_out, *reference.triangles_out));
+  EXPECT_EQ(report.total_active_metacells(),
+            reference.total_active_metacells());
+  EXPECT_TRUE(report.degraded);
+  EXPECT_EQ(report.total_failovers(), 1u);
+
+  // The dead node exhausted its retry budget and node 4 took over.
+  const auto attempts =
+      static_cast<std::uint64_t>(faulty.retrieval.retry.max_attempts);
+  const pipeline::FaultReport& dead = report.nodes[3].faults;
+  EXPECT_EQ(dead.failovers, 1u);
+  EXPECT_EQ(dead.executed_by, 4);
+  EXPECT_FALSE(dead.error.empty());
+  EXPECT_EQ(dead.retrieval.transient_errors, attempts);
+  EXPECT_EQ(dead.retrieval.retries, attempts - 1);
+  EXPECT_EQ(dead.injected_read_failures, attempts);
+
+  // Exact cross-check on every node: everything the injector did was seen
+  // (and, on surviving nodes, absorbed at one retry per fault).
+  std::uint64_t corrupted_total = 0;
+  for (std::size_t node = 0; node < 8; ++node) {
+    const pipeline::FaultReport& node_faults = report.nodes[node].faults;
+    EXPECT_EQ(node_faults.retrieval.transient_errors,
+              node_faults.injected_read_failures)
+        << "node " << node;
+    EXPECT_EQ(node_faults.retrieval.checksum_failures,
+              node_faults.injected_corrupted_reads)
+        << "node " << node;
+    corrupted_total += node_faults.injected_corrupted_reads;
+    if (node == 3) continue;
+    EXPECT_EQ(node_faults.failovers, 0u) << "node " << node;
+    EXPECT_EQ(node_faults.executed_by, static_cast<std::int32_t>(node));
+    EXPECT_TRUE(node_faults.error.empty()) << "node " << node;
+    EXPECT_EQ(node_faults.retrieval.retries,
+              node_faults.retrieval.transient_errors +
+                  node_faults.retrieval.checksum_failures)
+        << "node " << node;
+  }
+  EXPECT_GE(corrupted_total, 1u);  // ">= 1 corrupted brick read" held
+}
+
+TEST(Failover, FileBackedPeerReopensTheStore) {
+  util::TempDir storage("oociso-faults");
+  parallel::ClusterConfig config;
+  config.node_count = 2;
+  config.storage_dir = storage.path();
+  parallel::Cluster cluster(config);
+
+  const auto volume = data::generate_rm_timestep(small_rm(), 150);
+  const auto source = metacell::make_source(volume, 9);
+  const pipeline::PreprocessResult prep =
+      pipeline::preprocess(*source, cluster);
+  pipeline::QueryEngine engine(cluster, prep);
+
+  pipeline::QueryOptions clean;
+  clean.render = false;
+  clean.keep_triangles = true;
+  const pipeline::QueryReport reference = engine.run(128.0f, clean);
+
+  pipeline::QueryOptions faulty = clean;
+  faulty.dead_nodes = {1};
+  const pipeline::QueryReport report = engine.run(128.0f, faulty);
+  EXPECT_TRUE(report.degraded);
+  EXPECT_EQ(report.nodes[1].faults.executed_by, 0);
+  EXPECT_TRUE(same_triangles(*report.triangles_out, *reference.triangles_out));
+}
+
+TEST(Failover, DisabledFailoverRethrowsTheNodeError) {
+  const auto volume = data::generate_rm_timestep(small_rm(), 150);
+  auto cluster = make_cluster(2);
+  const auto source = metacell::make_source(volume, 9);
+  const pipeline::PreprocessResult prep =
+      pipeline::preprocess(*source, cluster);
+  pipeline::QueryEngine engine(cluster, prep);
+
+  pipeline::QueryOptions options;
+  options.render = false;
+  options.dead_nodes = {0};
+  options.failover = false;
+  EXPECT_THROW(engine.run(128.0f, options), io::IoError);
+}
+
+TEST(Failover, AllNodesDeadPropagatesTheFirstError) {
+  const auto volume = data::generate_rm_timestep(small_rm(), 150);
+  auto cluster = make_cluster(2);
+  const auto source = metacell::make_source(volume, 9);
+  const pipeline::PreprocessResult prep =
+      pipeline::preprocess(*source, cluster);
+  pipeline::QueryEngine engine(cluster, prep);
+
+  pipeline::QueryOptions options;
+  options.render = false;
+  options.dead_nodes = {0, 1};
+  EXPECT_THROW(engine.run(128.0f, options), io::IoError);
+}
+
+TEST(Failover, BackoffAndStallsWidenModeledCompletionOnly) {
+  const auto volume = data::generate_rm_timestep(small_rm(), 200);
+  auto cluster = make_cluster(4);
+  const auto source = metacell::make_source(volume, 9);
+  const pipeline::PreprocessResult prep =
+      pipeline::preprocess(*source, cluster);
+  pipeline::QueryEngine engine(cluster, prep);
+
+  pipeline::QueryOptions clean;
+  clean.render = false;
+  clean.keep_triangles = true;
+  clean.overlap_io_compute = false;  // deterministic modeled completion
+  const pipeline::QueryReport reference = engine.run(128.0f, clean);
+
+  pipeline::QueryOptions faulty = clean;
+  io::FaultConfig faults;
+  faults.seed = 5;
+  faults.stall_rate = 1.0;  // every read stalls (modeled, never slept)
+  faults.stall_seconds = 0.010;
+  faulty.inject_faults = faults;
+  const pipeline::QueryReport report = engine.run(128.0f, faulty);
+
+  EXPECT_TRUE(same_triangles(*report.triangles_out, *reference.triangles_out));
+  EXPECT_FALSE(report.degraded);
+  // Same disk blocks, same pure disk price...
+  for (std::size_t node = 0; node < 4; ++node) {
+    EXPECT_EQ(report.nodes[node].io.blocks_read,
+              reference.nodes[node].io.blocks_read);
+    EXPECT_DOUBLE_EQ(report.nodes[node].io_model_seconds,
+                     reference.nodes[node].io_model_seconds);
+    EXPECT_GT(report.nodes[node].faults.stall_modeled_seconds, 0.0);
+  }
+  // ...but the stall penalty widens the modeled retrieval phase.
+  EXPECT_GT(report.times.max_phase(parallel::Phase::kAmcRetrieval),
+            reference.times.max_phase(parallel::Phase::kAmcRetrieval));
+}
+
+}  // namespace
+}  // namespace oociso

@@ -45,6 +45,8 @@ commands:
   query       run an isovalue query against a preprocessed storage dir
                 --storage DIR  --nodes P (4)  --iso V (128)
                 --obj FILE  --image FILE  --imagesize N (512)  --weld
+                --inject-faults SEED,RATE (deterministic transient read
+                faults; retried with backoff, failed nodes fail over)
   info        print bundle statistics
                 --storage DIR
   suggest     profile a volume's span space and suggest isovalues
@@ -145,6 +147,10 @@ int cmd_query(const util::CliArgs& args) {
   options.keep_image = args.has("image");
   options.keep_triangles = args.has("obj");
   options.render = options.keep_image;
+  const std::string fault_spec = args.get("inject-faults", "");
+  if (!fault_spec.empty()) {
+    options.inject_faults = io::FaultConfig::parse(fault_spec);
+  }
 
   const pipeline::QueryReport report = engine.run(isovalue, options);
   std::cout << "isovalue " << isovalue << ": "
@@ -154,6 +160,23 @@ int cmd_query(const util::CliArgs& args) {
             << util::human_seconds(report.completion_seconds())
             << " modeled completion ("
             << util::fixed(report.mtri_per_second(), 2) << " MTri/s)\n";
+  if (!fault_spec.empty() || report.degraded) {
+    const index::RetrievalFaults faults = report.total_retrieval_faults();
+    std::cout << "faults: " << faults.transient_errors << " transient, "
+              << faults.checksum_failures << " checksum, " << faults.retries
+              << " retries (+"
+              << util::human_seconds(faults.backoff_modeled_seconds)
+              << " modeled backoff), " << report.total_failovers()
+              << " failovers"
+              << (report.degraded ? " — DEGRADED (peer takeover)" : "")
+              << "\n";
+    for (std::size_t i = 0; i < report.nodes.size(); ++i) {
+      const pipeline::FaultReport& nf = report.nodes[i].faults;
+      if (nf.error.empty()) continue;
+      std::cout << "  node " << i << " failed (" << nf.error
+                << "); stripe executed by node " << nf.executed_by << "\n";
+    }
+  }
 
   if (options.keep_triangles) {
     const std::string obj = args.get("obj", "surface.obj");
