@@ -19,14 +19,28 @@ int main(int argc, char** argv) {
   std::cout << "== Figure 6: speedups vs isovalue for p = 2, 4, 8 ==\n";
 
   std::vector<std::vector<double>> completion;
+  // With --json the per-p runs must outlive the loop for write_bench_json.
+  std::vector<bench::Prepared> kept;
+  std::vector<std::vector<pipeline::QueryReport>> kept_reports;
   for (const std::size_t p : node_counts) {
     bench::Prepared prepared = bench::prepare_rm(setup, p);
-    const auto reports = bench::run_sweep(prepared, setup);
+    auto reports = bench::run_sweep(prepared, setup);
     std::vector<double> row;
     for (const auto& report : reports) {
       row.push_back(report.completion_seconds());
     }
     completion.push_back(std::move(row));
+    if (!setup.json_path.empty()) {
+      kept.push_back(std::move(prepared));
+      kept_reports.push_back(std::move(reports));
+    }
+  }
+  if (!setup.json_path.empty()) {
+    std::vector<bench::JsonRun> runs;
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+      runs.push_back({node_counts[i], kept[i], kept_reports[i]});
+    }
+    bench::write_bench_json(setup.json_path, "fig6_speedups", setup, runs);
   }
 
   util::Table table({"isovalue", "speedup p=2", "speedup p=4", "speedup p=8"});

@@ -151,6 +151,51 @@ void BM_ExtractMetacell(benchmark::State& state) {
 }
 BENCHMARK(BM_ExtractMetacell);
 
+void BM_ExtractMetacellPercell(benchmark::State& state) {
+  const auto volume = data::make_gyroid_field({17, 17, 17});
+  const metacell::MetacellGeometry geometry(volume.dims(), 9);
+  std::vector<std::byte> record;
+  metacell::encode_metacell(volume, geometry, 0, record);
+  const auto cell =
+      metacell::decode_metacell(record, core::ScalarKind::kU8, geometry);
+  extract::TriangleSoup soup;
+  for (auto _ : state) {
+    soup.clear();
+    const auto stats = extract::extract_metacell_percell(cell, 128.0f, soup);
+    benchmark::DoNotOptimize(stats.triangles);
+  }
+  state.SetItemsProcessed(state.iterations() * 512);  // cells per metacell
+}
+BENCHMARK(BM_ExtractMetacellPercell);
+
+void BM_ExtractVolume(benchmark::State& state) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  const auto volume = data::make_gyroid_field({n, n, n});
+  extract::TriangleSoup soup;
+  for (auto _ : state) {
+    soup.clear();
+    const auto stats = extract::extract_volume(volume, 128.0f, soup);
+    benchmark::DoNotOptimize(stats.triangles);
+  }
+  const auto cells = static_cast<std::int64_t>((n - 1) * (n - 1) * (n - 1));
+  state.SetItemsProcessed(state.iterations() * cells);
+}
+BENCHMARK(BM_ExtractVolume)->Arg(17)->Arg(33)->Arg(65);
+
+void BM_ExtractVolumePercell(benchmark::State& state) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  const auto volume = data::make_gyroid_field({n, n, n});
+  extract::TriangleSoup soup;
+  for (auto _ : state) {
+    soup.clear();
+    const auto stats = extract::extract_volume_percell(volume, 128.0f, soup);
+    benchmark::DoNotOptimize(stats.triangles);
+  }
+  const auto cells = static_cast<std::int64_t>((n - 1) * (n - 1) * (n - 1));
+  state.SetItemsProcessed(state.iterations() * cells);
+}
+BENCHMARK(BM_ExtractVolumePercell)->Arg(17)->Arg(33)->Arg(65);
+
 void BM_DecodeMetacell(benchmark::State& state) {
   const auto volume = data::make_gyroid_field({17, 17, 17});
   const metacell::MetacellGeometry geometry(volume.dims(), 9);

@@ -14,6 +14,7 @@
 #include <set>
 #include <sstream>
 
+#include "common/bench_common.h"
 #include "data/datasets.h"
 #include "index/compact_interval_tree.h"
 #include "index/interval_tree.h"
@@ -27,9 +28,16 @@ int main(int argc, char** argv) {
   const util::CliArgs args(argc, argv);
   const auto downscale =
       static_cast<std::int32_t>(args.get_int("downscale", 4));
+  const std::string json_path = args.get("json", "");
 
   std::cout << "== Table 1: index structure sizes, compact vs standard "
                "interval tree ==\n";
+  bench::JsonWriter json;
+  json.begin_object()
+      .member("bench", "table1_index_sizes")
+      .member("schema_version", std::uint64_t{1})
+      .member("downscale", static_cast<std::int64_t>(downscale));
+  json.key("datasets").begin_array();
   util::Table table({"dataset", "dims", "type", "metacells N", "endpoints n",
                      "compact entries", "compact size", "standard entries",
                      "standard size", "ratio"});
@@ -73,8 +81,25 @@ int main(int argc, char** argv) {
                    util::with_commas(standard.entry_count()),
                    util::human_bytes(standard.size_bytes()),
                    util::fixed(ratio, 1) + "x"});
+    json.begin_object()
+        .member("name", std::string_view(info.name))
+        .member("dims", dims.str())
+        .member("kind", std::string_view(core::scalar_name(info.kind)))
+        .member("metacells", std::uint64_t{infos.size()})
+        .member("endpoints", std::uint64_t{endpoints.size()})
+        .member("compact_entries", std::uint64_t{compact.entry_count()})
+        .member("compact_bytes", std::uint64_t{compact.size_bytes()})
+        .member("standard_entries", std::uint64_t{standard.entry_count()})
+        .member("standard_bytes", std::uint64_t{standard.size_bytes()})
+        .member("ratio", ratio)
+        .end_object();
   }
   std::cout << table.render() << "\n";
+  json.end_array().end_object();
+  if (!json_path.empty()) {
+    json.save(json_path);
+    std::cout << "# wrote " << json_path << "\n";
+  }
 
   using bench_check = bool;
   auto shape_check = [](const std::string& claim, bench_check pass) {

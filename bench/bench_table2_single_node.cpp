@@ -21,6 +21,8 @@ int main(int argc, char** argv) {
   bench::Prepared prepared = bench::prepare_rm(setup, /*nodes=*/1);
   const auto reports = bench::run_sweep(prepared, setup);
   bench::print_nodes_table("Table 2 (1 node)", setup, prepared, reports);
+  const bench::JsonRun runs[] = {{1, prepared, reports}};
+  bench::write_bench_json(setup.json_path, "table2_single_node", setup, runs);
 
   // Table 2-specific shape: the preprocessed dataset is roughly half the
   // raw size (paper: 3.828 GB vs 7.5 GB).

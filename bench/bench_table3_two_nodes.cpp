@@ -16,5 +16,7 @@ int main(int argc, char** argv) {
   bench::Prepared prepared = bench::prepare_rm(setup, /*nodes=*/2);
   const auto reports = bench::run_sweep(prepared, setup);
   bench::print_nodes_table("Table 3 (2 nodes)", setup, prepared, reports);
+  const bench::JsonRun runs[] = {{2, prepared, reports}};
+  bench::write_bench_json(setup.json_path, "table3_two_nodes", setup, runs);
   return 0;
 }

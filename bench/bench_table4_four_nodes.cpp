@@ -16,5 +16,7 @@ int main(int argc, char** argv) {
   bench::Prepared prepared = bench::prepare_rm(setup, /*nodes=*/4);
   const auto reports = bench::run_sweep(prepared, setup);
   bench::print_nodes_table("Table 4 (4 nodes)", setup, prepared, reports);
+  const bench::JsonRun runs[] = {{4, prepared, reports}};
+  bench::write_bench_json(setup.json_path, "table4_four_nodes", setup, runs);
   return 0;
 }

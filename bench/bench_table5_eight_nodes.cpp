@@ -16,5 +16,7 @@ int main(int argc, char** argv) {
   bench::Prepared prepared = bench::prepare_rm(setup, /*nodes=*/8);
   const auto reports = bench::run_sweep(prepared, setup);
   bench::print_nodes_table("Table 5 (8 nodes)", setup, prepared, reports);
+  const bench::JsonRun runs[] = {{8, prepared, reports}};
+  bench::write_bench_json(setup.json_path, "table5_eight_nodes", setup, runs);
   return 0;
 }

@@ -42,5 +42,8 @@ int main(int argc, char** argv) {
       "active metacells are balanced within 2% on every isovalue "
       "(worst: " + util::fixed(100.0 * worst_imbalance, 2) + "%)",
       worst_imbalance < 0.02);
+  const bench::JsonRun runs[] = {{4, prepared, reports}};
+  bench::write_bench_json(setup.json_path, "table6_amc_distribution", setup,
+                          runs);
   return 0;
 }

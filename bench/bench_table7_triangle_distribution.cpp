@@ -41,5 +41,8 @@ int main(int argc, char** argv) {
       "triangle counts are balanced within 5% on every isovalue "
       "(worst: " + util::fixed(100.0 * worst_imbalance, 2) + "%)",
       worst_imbalance < 0.05);
+  const bench::JsonRun runs[] = {{4, prepared, reports}};
+  bench::write_bench_json(setup.json_path, "table7_triangle_distribution",
+                          setup, runs);
   return 0;
 }

@@ -36,8 +36,9 @@ int main(int argc, char** argv) {
 
   util::WallTimer preprocess_timer;
   engine.preprocess_steps(first_step, step_count);
+  const double preprocess_seconds = preprocess_timer.seconds();
   std::cout << "# preprocessed " << step_count << " steps in "
-            << util::human_seconds(preprocess_timer.seconds())
+            << util::human_seconds(preprocess_seconds)
             << "; total in-core index "
             << util::human_bytes(engine.total_index_bytes()) << "\n";
 
@@ -46,20 +47,47 @@ int main(int argc, char** argv) {
   table.set_caption("Table 8 (per-step query at isovalue " +
                     util::fixed(isovalue, 0) + ")");
 
-  pipeline::QueryOptions options;
-  options.image_width = setup.image_size;
-  options.image_height = setup.image_size;
+  const pipeline::QueryOptions options = setup.query_options();
   std::vector<std::uint64_t> triangle_series;
+  std::vector<pipeline::QueryReport> reports;  // kept for --json
   for (int step = first_step; step < first_step + step_count; ++step) {
-    const pipeline::QueryReport report = engine.query(step, isovalue, options);
+    pipeline::QueryReport report = engine.query(step, isovalue, options);
     triangle_series.push_back(report.total_triangles());
     table.add_row({std::to_string(step),
                    util::with_commas(report.total_active_metacells()),
                    util::with_commas(report.total_triangles()),
                    util::fixed(report.completion_seconds(), 3),
                    util::fixed(report.mtri_per_second(), 2)});
+    if (!setup.json_path.empty()) reports.push_back(std::move(report));
   }
   std::cout << table.render() << "\n";
+
+  if (!setup.json_path.empty()) {
+    // Per-step document: the shared per-query schema, keyed by time step.
+    bench::JsonWriter json;
+    json.begin_object()
+        .member("bench", "table8_time_varying")
+        .member("schema_version", std::uint64_t{1})
+        .member("isovalue", static_cast<double>(isovalue))
+        .member("first_step", static_cast<std::int64_t>(first_step))
+        .member("steps", static_cast<std::int64_t>(step_count))
+        .member("nodes", std::uint64_t{4})
+        .member("total_index_bytes",
+                std::uint64_t{engine.total_index_bytes()})
+        .member("preprocess_s", preprocess_seconds);
+    json.key("queries").begin_array();
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      json.begin_object().member(
+          "time_step", static_cast<std::int64_t>(first_step) +
+                           static_cast<std::int64_t>(i));
+      json.key("report");
+      bench::append_report_json(json, reports[i]);
+      json.end_object();
+    }
+    json.end_array().end_object();
+    json.save(setup.json_path);
+    std::cout << "# wrote " << setup.json_path << "\n";
+  }
 
   // Shape: the whole multi-step index stays tiny (paper: 1.6 MB for 270
   // full-resolution steps), and the active set evolves smoothly across

@@ -18,10 +18,21 @@
 //                  absorbed by retry/backoff (modeled seconds appear in the
 //                  AMC column), failed nodes fail over to peers. A fault
 //                  summary line is printed after the sweep.
+//   --json PATH    also write the sweep machine-readably (setup, per-query
+//                  QueryReport, per-node IoStats); see write_bench_json
+//   --readahead N  per-node pipeline queue depth in batches (default 4)
+//   --no-coalesce  execute plans brick by brick in plan order (the legacy
+//                  baseline for the scheduler A/B, see DESIGN §9.1)
+//   --coalesce-gap BYTES
+//                  largest gap a coalesced read may bridge (default: the
+//                  device readahead window)
 
+#include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "data/rm_generator.h"
@@ -42,11 +53,26 @@ struct BenchSetup {
   int reps = 3;  ///< repetitions per isovalue; the fastest run is kept
   /// --inject-faults <seed,rate>: fault-inject every node disk per query.
   std::optional<io::FaultConfig> inject_faults;
+  /// --json PATH: also write the results machine-readably (see
+  /// write_bench_json); empty = off.
+  std::string json_path;
+  /// --readahead N: per-node pipeline depth, in record batches.
+  std::size_t readahead_batches = 4;
+  /// --no-coalesce: execute plans brick by brick (the legacy baseline)
+  /// instead of through the offset-sorting, run-coalescing scheduler.
+  bool coalesce = true;
+  /// --coalesce-gap BYTES: largest gap a coalesced read bridges; -1 = the
+  /// device readahead window.
+  std::int64_t coalesce_gap = -1;
 
   /// `default_dims` sets the base volume width when --dims is not given;
   /// the speedup figures default larger so per-node work at 8 nodes stays
   /// out of the fixed-cost regime.
   static BenchSetup from_cli(int argc, char** argv, int default_dims = 256);
+
+  /// QueryOptions reflecting this setup's knobs (faults, readahead,
+  /// coalescing); benches that build their own options start here.
+  [[nodiscard]] pipeline::QueryOptions query_options() const;
 };
 
 /// A cluster with the RM-analog time step preprocessed onto its disks.
@@ -76,5 +102,63 @@ void print_nodes_table(const std::string& caption, const BenchSetup& setup,
 
 /// Prints a PASS/FAIL shape-check line and returns pass.
 bool shape_check(const std::string& claim, bool pass);
+
+// ---- machine-readable output (--json) -------------------------------------
+
+/// Minimal streaming JSON builder: explicit begin/end nesting, automatic
+/// comma placement, standard escaping, round-trippable doubles. No
+/// dependency — the benches only ever *write* JSON.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(std::string_view name);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::string_view v);
+  /// Keeps string literals out of the bool overload.
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  /// key + value in one call.
+  template <typename T>
+  JsonWriter& member(std::string_view name, T v) {
+    key(name);
+    return value(v);
+  }
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+  /// Writes the document to `path`; throws std::runtime_error on failure.
+  void save(const std::string& path) const;
+
+ private:
+  void comma();
+  void append_string(std::string_view v);
+  std::string out_;
+  std::vector<bool> has_items_;  ///< per open scope
+  bool pending_key_ = false;
+};
+
+/// One sweep at a node count, for write_bench_json.
+struct JsonRun {
+  std::size_t nodes = 0;
+  const Prepared& prepared;
+  const std::vector<pipeline::QueryReport>& reports;
+};
+
+/// Writes the standard BENCH_*.json document: the setup, the dataset /
+/// preprocess summary, and per run one entry per isovalue with modeled and
+/// measured times, aggregated IoStats, triangle counts, and a small
+/// per-node breakdown. Shared by every table/figure bench; benches with
+/// extra structure (time-varying, dataset sizes) build on JsonWriter
+/// directly.
+void write_bench_json(const std::string& path, std::string_view bench,
+                      const BenchSetup& setup, std::span<const JsonRun> runs);
+
+/// Appends one QueryReport as a JSON object to an open array/writer scope.
+/// Exposed for benches that assemble custom documents (e.g. per time step).
+void append_report_json(JsonWriter& json, const pipeline::QueryReport& report);
 
 }  // namespace oociso::bench

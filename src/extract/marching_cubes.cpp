@@ -1,6 +1,8 @@
 #include "extract/marching_cubes.h"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "extract/mc_tables.h"
 
@@ -69,11 +71,190 @@ std::size_t triangulate_cell(const std::array<float, 8>& values,
 
 namespace {
 
-/// Shared cell loop: `value(x, y, z)` samples local coordinates, `origin`
-/// offsets emitted geometry into full-volume sample space.
+/// Reusable buffers of the incremental kernel. Thread-local so concurrent
+/// extraction stripes neither share state nor reallocate per metacell —
+/// resize() below is a no-op once a thread has processed its first cell of
+/// a given size.
+struct IncrementalScratch {
+  std::array<std::vector<float>, 2> planes;  ///< sample planes z and z+1
+  // Edge-crossing caches: x/y edges live in a sample plane (two rolling
+  // copies, the top one becoming the bottom one on slab advance), z edges
+  // connect the two planes (cleared every slab).
+  std::array<std::vector<core::Vec3>, 2> x_points;
+  std::array<std::vector<std::uint8_t>, 2> x_valid;
+  std::array<std::vector<core::Vec3>, 2> y_points;
+  std::array<std::vector<std::uint8_t>, 2> y_valid;
+  std::vector<core::Vec3> z_points;
+  std::vector<std::uint8_t> z_valid;
+};
+
+/// Incremental cell loop: `value(x, y, z)` samples local coordinates once
+/// per sample into a rolling two-plane buffer, and every edge crossing is
+/// interpolated exactly once, then reused by all incident cells. `origin`
+/// offsets emitted geometry into full-volume sample space. The crossing
+/// computation is the same canonical edge_vertex as triangulate_cell, and
+/// triangles are emitted in the same cell/table order, so the output is
+/// bit-identical to running triangulate_cell per cell.
 template <typename ValueFn>
 ExtractionStats run_cells(const core::GridDims& cells, const core::Coord3& origin,
                           ValueFn&& value, float isovalue, TriangleSoup& out) {
+  ExtractionStats stats;
+  const std::int32_t nx = cells.nx;
+  const std::int32_t ny = cells.ny;
+  const std::int32_t nz = cells.nz;
+  if (nx <= 0 || ny <= 0 || nz <= 0) return stats;
+
+  const std::size_t sx = static_cast<std::size_t>(nx) + 1;  // samples per row
+  const std::size_t sy = static_cast<std::size_t>(ny) + 1;  // rows per plane
+  const std::size_t plane_samples = sx * sy;
+  const std::size_t x_edges = static_cast<std::size_t>(nx) * sy;
+  const std::size_t y_edges = sx * static_cast<std::size_t>(ny);
+
+  static thread_local IncrementalScratch scratch;
+  for (int p = 0; p < 2; ++p) {
+    scratch.planes[p].resize(plane_samples);
+    scratch.x_points[p].resize(x_edges);
+    scratch.y_points[p].resize(y_edges);
+    scratch.x_valid[p].resize(x_edges);
+    scratch.y_valid[p].resize(y_edges);
+  }
+  scratch.z_points.resize(plane_samples);
+
+  const auto fill_plane = [&](std::vector<float>& plane, std::int32_t z) {
+    std::size_t i = 0;
+    for (std::int32_t y = 0; y <= ny; ++y) {
+      for (std::int32_t x = 0; x <= nx; ++x) {
+        plane[i++] = value(x, y, z);
+      }
+    }
+  };
+
+  int bot = 0;
+  fill_plane(scratch.planes[bot], 0);
+  std::fill(scratch.x_valid[bot].begin(), scratch.x_valid[bot].end(),
+            std::uint8_t{0});
+  std::fill(scratch.y_valid[bot].begin(), scratch.y_valid[bot].end(),
+            std::uint8_t{0});
+
+  for (std::int32_t z = 0; z < nz; ++z) {
+    const int top = 1 - bot;
+    fill_plane(scratch.planes[top], z + 1);
+    std::fill(scratch.x_valid[top].begin(), scratch.x_valid[top].end(),
+              std::uint8_t{0});
+    std::fill(scratch.y_valid[top].begin(), scratch.y_valid[top].end(),
+              std::uint8_t{0});
+    scratch.z_valid.assign(plane_samples, 0);
+    const float* bplane = scratch.planes[bot].data();
+    const float* tplane = scratch.planes[top].data();
+
+    for (std::int32_t y = 0; y < ny; ++y) {
+      for (std::int32_t x = 0; x < nx; ++x) {
+        ++stats.cells_visited;
+        const std::size_t p00 =
+            static_cast<std::size_t>(x) + sx * static_cast<std::size_t>(y);
+        const std::array<float, 8> values = {
+            bplane[p00],      bplane[p00 + 1], bplane[p00 + 1 + sx],
+            bplane[p00 + sx], tplane[p00],     tplane[p00 + 1],
+            tplane[p00 + 1 + sx], tplane[p00 + sx]};
+        unsigned cube_index = 0;
+        for (unsigned i = 0; i < 8; ++i) {
+          if (values[i] < isovalue) cube_index |= 1u << i;
+        }
+        const std::uint16_t edges = kEdgeTable[cube_index];
+        if (edges == 0) continue;
+
+        std::array<core::Vec3, 8> corners;
+        for (unsigned i = 0; i < 8; ++i) {
+          const auto& offset = kCornerOffsets[i];
+          corners[i] = {static_cast<float>(origin.x + x + offset[0]),
+                        static_cast<float>(origin.y + y + offset[1]),
+                        static_cast<float>(origin.z + z + offset[2])};
+        }
+
+        std::array<core::Vec3, 12> edge_points;
+        const auto fetch = [&](unsigned e, std::vector<core::Vec3>& points,
+                               std::vector<std::uint8_t>& valid,
+                               std::size_t index) {
+          if (!valid[index]) {
+            const auto a = static_cast<unsigned>(kEdgeCorners[e][0]);
+            const auto b = static_cast<unsigned>(kEdgeCorners[e][1]);
+            points[index] = edge_vertex(corners[a], corners[b], values[a],
+                                        values[b], isovalue);
+            valid[index] = 1;
+          }
+          edge_points[e] = points[index];
+        };
+        // Cache slots by edge orientation: x edges index (x, y) row-major
+        // with nx per row, y edges (x, y) with sx per row, z edges share
+        // the sample-plane indexing.
+        const std::size_t xi0 =
+            static_cast<std::size_t>(x) +
+            static_cast<std::size_t>(nx) * static_cast<std::size_t>(y);
+        const std::size_t xi1 = xi0 + static_cast<std::size_t>(nx);
+        const std::size_t yi0 = p00;
+        if (edges & (1u << 0)) {
+          fetch(0, scratch.x_points[bot], scratch.x_valid[bot], xi0);
+        }
+        if (edges & (1u << 1)) {
+          fetch(1, scratch.y_points[bot], scratch.y_valid[bot], yi0 + 1);
+        }
+        if (edges & (1u << 2)) {
+          fetch(2, scratch.x_points[bot], scratch.x_valid[bot], xi1);
+        }
+        if (edges & (1u << 3)) {
+          fetch(3, scratch.y_points[bot], scratch.y_valid[bot], yi0);
+        }
+        if (edges & (1u << 4)) {
+          fetch(4, scratch.x_points[top], scratch.x_valid[top], xi0);
+        }
+        if (edges & (1u << 5)) {
+          fetch(5, scratch.y_points[top], scratch.y_valid[top], yi0 + 1);
+        }
+        if (edges & (1u << 6)) {
+          fetch(6, scratch.x_points[top], scratch.x_valid[top], xi1);
+        }
+        if (edges & (1u << 7)) {
+          fetch(7, scratch.y_points[top], scratch.y_valid[top], yi0);
+        }
+        if (edges & (1u << 8)) {
+          fetch(8, scratch.z_points, scratch.z_valid, p00);
+        }
+        if (edges & (1u << 9)) {
+          fetch(9, scratch.z_points, scratch.z_valid, p00 + 1);
+        }
+        if (edges & (1u << 10)) {
+          fetch(10, scratch.z_points, scratch.z_valid, p00 + 1 + sx);
+        }
+        if (edges & (1u << 11)) {
+          fetch(11, scratch.z_points, scratch.z_valid, p00 + sx);
+        }
+
+        std::size_t added = 0;
+        const auto& tris = kTriTable[cube_index];
+        for (std::size_t i = 0; tris[i] != -1; i += 3) {
+          out.add(edge_points[static_cast<std::size_t>(tris[i])],
+                  edge_points[static_cast<std::size_t>(tris[i + 1])],
+                  edge_points[static_cast<std::size_t>(tris[i + 2])]);
+          ++added;
+        }
+        if (added > 0) {
+          ++stats.active_cells;
+          stats.triangles += added;
+        }
+      }
+    }
+    bot = top;
+  }
+  return stats;
+}
+
+/// Per-cell reference loop: every corner fetched per cell, every crossing
+/// interpolated per cell. Ground truth for the bit-identical equivalence
+/// tests and the bench_micro baseline.
+template <typename ValueFn>
+ExtractionStats run_cells_percell(const core::GridDims& cells,
+                                  const core::Coord3& origin, ValueFn&& value,
+                                  float isovalue, TriangleSoup& out) {
   ExtractionStats stats;
   std::array<float, 8> values;
   std::array<core::Vec3, 8> corners;
@@ -126,11 +307,38 @@ ExtractionStats extract_volume(const core::Volume<T>& volume, float isovalue,
       isovalue, out);
 }
 
+ExtractionStats extract_metacell_percell(const metacell::DecodedMetacell& cell,
+                                         float isovalue, TriangleSoup& out) {
+  return run_cells_percell(
+      cell.valid_cells, cell.sample_origin,
+      [&cell](std::int32_t x, std::int32_t y, std::int32_t z) {
+        return cell.sample(x, y, z);
+      },
+      isovalue, out);
+}
+
+template <core::VolumeScalar T>
+ExtractionStats extract_volume_percell(const core::Volume<T>& volume,
+                                       float isovalue, TriangleSoup& out) {
+  return run_cells_percell(
+      volume.dims().cell_dims(), core::Coord3{0, 0, 0},
+      [&volume](std::int32_t x, std::int32_t y, std::int32_t z) {
+        return static_cast<float>(volume.at(x, y, z));
+      },
+      isovalue, out);
+}
+
 template ExtractionStats extract_volume<std::uint8_t>(
     const core::Volume<std::uint8_t>&, float, TriangleSoup&);
 template ExtractionStats extract_volume<std::uint16_t>(
     const core::Volume<std::uint16_t>&, float, TriangleSoup&);
 template ExtractionStats extract_volume<float>(const core::Volume<float>&,
                                                float, TriangleSoup&);
+template ExtractionStats extract_volume_percell<std::uint8_t>(
+    const core::Volume<std::uint8_t>&, float, TriangleSoup&);
+template ExtractionStats extract_volume_percell<std::uint16_t>(
+    const core::Volume<std::uint16_t>&, float, TriangleSoup&);
+template ExtractionStats extract_volume_percell<float>(
+    const core::Volume<float>&, float, TriangleSoup&);
 
 }  // namespace oociso::extract

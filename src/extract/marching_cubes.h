@@ -36,12 +36,32 @@ struct ExtractionStats {
 };
 
 /// Runs marching cubes over the valid cells of a decoded metacell.
+///
+/// Incremental kernel: samples are staged into a rolling two-plane buffer
+/// (each sample fetched once instead of up to 8×) and edge crossings are
+/// memoized in per-plane caches (each crossing interpolated exactly once
+/// and reused by the up-to-4 incident cells). Interpolation stays the
+/// canonical lexicographic edge_vertex, so the emitted triangle sequence is
+/// bit-identical to the per-cell reference kernel below.
 ExtractionStats extract_metacell(const metacell::DecodedMetacell& cell,
                                  float isovalue, TriangleSoup& out);
 
-/// In-core reference: marching cubes over every cell of a volume.
+/// In-core reference: marching cubes over every cell of a volume
+/// (incremental kernel, identical output to the per-cell variant).
 template <core::VolumeScalar T>
 ExtractionStats extract_volume(const core::Volume<T>& volume, float isovalue,
                                TriangleSoup& out);
+
+/// Per-cell reference kernel: triangulate_cell on every cell, fetching all
+/// 8 corners each time. Kept as the ground truth the incremental kernel is
+/// tested against (bit-identical triangles) and as the bench_micro
+/// baseline; not used by the query pipelines.
+ExtractionStats extract_metacell_percell(const metacell::DecodedMetacell& cell,
+                                         float isovalue, TriangleSoup& out);
+
+/// Per-cell reference over a whole volume (see extract_metacell_percell).
+template <core::VolumeScalar T>
+ExtractionStats extract_volume_percell(const core::Volume<T>& volume,
+                                       float isovalue, TriangleSoup& out);
 
 }  // namespace oociso::extract

@@ -95,7 +95,17 @@ QueryStats execute_plan(
 QueryStats CompactIntervalTree::execute(
     const QueryPlan& plan, io::BlockDevice& device,
     const std::function<void(std::span<const std::byte>)>& callback) const {
-  return execute_plan(plan, kind_, record_size_, device, callback);
+  // Unlike the free execute_plan, the tree can hand the scheduler its brick
+  // directory, so coalesced reads may bridge gaps between planned bricks
+  // with full checksum cover.
+  RetrievalStream stream(plan, kind_, record_size_, device, {},
+                         BrickDirectory{bricks_, chunk_crcs_});
+  while (std::optional<RecordBatch> batch = stream.next()) {
+    for (std::size_t r = 0; r < batch->record_count; ++r) {
+      callback(batch->record(r));
+    }
+  }
+  return stream.stats();
 }
 
 QueryStats CompactIntervalTree::query(

@@ -86,6 +86,15 @@ struct QueryPlan {
   core::ValueKey isovalue = 0;
   /// Records per checksummed chunk; 0 when the scans carry no checksums.
   std::uint32_t crc_chunk_records = 0;
+
+  /// Sum of the planned scans' metacell counts — an upper bound on the
+  /// records the query will deliver (Case-2 prefix scans stop early), tight
+  /// enough to pre-size output containers.
+  [[nodiscard]] std::uint64_t total_records() const {
+    std::uint64_t total = 0;
+    for (const BrickScan& scan : scans) total += scan.metacell_count;
+    return total;
+  }
 };
 
 /// Result counters for one executed query.

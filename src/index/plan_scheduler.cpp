@@ -1,0 +1,276 @@
+#include "index/plan_scheduler.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace oociso::index {
+namespace {
+
+/// Number of CRC chunks a brick of `count` records splits into.
+std::uint64_t chunk_count(std::uint64_t count, std::size_t chunk_records) {
+  return chunk_records == 0 ? 0 : (count + chunk_records - 1) / chunk_records;
+}
+
+/// A run member before packing: a whole planned scan or a whole gap brick.
+struct RunPiece {
+  std::int32_t scan_index = -1;
+  std::uint64_t offset = 0;
+  std::uint32_t record_count = 0;
+  std::span<const std::uint32_t> chunk_crcs{};
+};
+
+/// Packs one densely-tiled run of pieces into reads of whole per-brick
+/// chunks, splitting whenever the next chunk would push a non-empty read
+/// past `max_read_records`.
+class ReadPacker {
+ public:
+  ReadPacker(const ScheduleParams& params, ScheduledPlan& out)
+      : params_(params), out_(out) {}
+
+  void pack_run(std::span<const RunPiece> run) {
+    for (const RunPiece& piece : run) {
+      std::uint32_t done = 0;
+      while (done < piece.record_count) {
+        const auto chunk = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(params_.chunk_records,
+                                    piece.record_count - done));
+        if (read_.record_count > 0 &&
+            read_.record_count + chunk > params_.max_read_records) {
+          flush();
+        }
+        if (read_.slices.empty()) {
+          read_.offset = piece.offset +
+                         static_cast<std::uint64_t>(done) * params_.record_size;
+        }
+        append_chunk(piece, done, chunk);
+        done += chunk;
+      }
+    }
+    flush();
+  }
+
+ private:
+  void append_chunk(const RunPiece& piece, std::uint32_t first,
+                    std::uint32_t count) {
+    if (!read_.slices.empty()) {
+      ReadSlice& last = read_.slices.back();
+      if (last.scan_index == piece.scan_index &&
+          last.chunk_crcs.data() == piece.chunk_crcs.data() &&
+          last.first_record + last.record_count == first) {
+        last.record_count += count;
+        read_.record_count += count;
+        return;
+      }
+    }
+    ReadSlice slice;
+    slice.scan_index = piece.scan_index;
+    slice.first_record = first;
+    slice.record_count = count;
+    slice.brick_records = piece.record_count;
+    slice.chunk_crcs = piece.chunk_crcs;
+    read_.slices.push_back(slice);
+    read_.record_count += count;
+  }
+
+  void flush() {
+    if (read_.slices.empty()) return;
+    ScheduledItem item;
+    item.read = std::move(read_);
+    out_.items.push_back(std::move(item));
+    ++out_.sequential_reads;
+    read_ = ScheduledRead{};
+  }
+
+  const ScheduleParams& params_;
+  ScheduledPlan& out_;
+  ScheduledRead read_;
+};
+
+/// Sorted view of the directory for gap resolution.
+class GapResolver {
+ public:
+  GapResolver(const BrickDirectory& directory, const ScheduleParams& params)
+      : directory_(directory), params_(params) {
+    order_.reserve(directory.bricks.size());
+    for (std::size_t i = 0; i < directory.bricks.size(); ++i) {
+      order_.push_back(static_cast<std::uint32_t>(i));
+    }
+    std::sort(order_.begin(), order_.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return directory.bricks[a].offset < directory.bricks[b].offset;
+              });
+  }
+
+  /// Tiles [offset, offset + bytes) with whole directory bricks. Returns
+  /// false (leaving `out` untouched) when the region is not exactly covered.
+  bool resolve(std::uint64_t offset, std::uint64_t bytes,
+               std::vector<RunPiece>& out) const {
+    const std::size_t before = out.size();
+    auto it = std::lower_bound(
+        order_.begin(), order_.end(), offset,
+        [&](std::uint32_t i, std::uint64_t value) {
+          return directory_.bricks[i].offset < value;
+        });
+    std::uint64_t cursor = offset;
+    const std::uint64_t end = offset + bytes;
+    while (cursor < end) {
+      if (it == order_.end() || directory_.bricks[*it].offset != cursor) {
+        out.resize(before);
+        return false;
+      }
+      const BrickEntry& brick = directory_.bricks[*it];
+      RunPiece piece;
+      piece.scan_index = -1;
+      piece.offset = brick.offset;
+      piece.record_count = brick.count;
+      const std::uint64_t chunks =
+          chunk_count(brick.count, params_.chunk_records);
+      if (brick.crc_begin + chunks > directory_.chunk_crcs.size()) {
+        out.resize(before);
+        return false;
+      }
+      piece.chunk_crcs = directory_.chunk_crcs.subspan(
+          brick.crc_begin, static_cast<std::size_t>(chunks));
+      out.push_back(piece);
+      cursor += static_cast<std::uint64_t>(brick.count) * params_.record_size;
+      ++it;
+    }
+    return cursor == end;
+  }
+
+ private:
+  const BrickDirectory& directory_;
+  const ScheduleParams& params_;
+  std::vector<std::uint32_t> order_;
+};
+
+RunPiece piece_of_scan(const QueryPlan& plan, std::size_t scan_index) {
+  const BrickScan& scan = plan.scans[scan_index];
+  RunPiece piece;
+  piece.scan_index = static_cast<std::int32_t>(scan_index);
+  piece.offset = scan.offset;
+  piece.record_count = scan.metacell_count;
+  piece.chunk_crcs = scan.chunk_crcs;
+  return piece;
+}
+
+}  // namespace
+
+ScheduledPlan schedule_plan(const QueryPlan& plan,
+                            const ScheduleParams& params,
+                            const BrickDirectory& directory) {
+  ScheduledPlan out;
+  if (plan.scans.empty()) return out;
+  if (params.record_size == 0 || params.chunk_records == 0 ||
+      params.max_read_records < params.chunk_records) {
+    throw std::logic_error("schedule_plan: bad packing parameters");
+  }
+
+  if (!params.coalesce) {
+    // Legacy order: one brick at a time, exactly as planned.
+    ReadPacker packer(params, out);
+    for (std::size_t s = 0; s < plan.scans.size(); ++s) {
+      if (plan.scans[s].full) {
+        const RunPiece piece = piece_of_scan(plan, s);
+        packer.pack_run({&piece, 1});
+      } else {
+        ScheduledItem item;
+        item.prefix_scan = static_cast<std::int32_t>(s);
+        out.items.push_back(std::move(item));
+      }
+    }
+    return out;
+  }
+
+  std::vector<std::size_t> fulls;
+  std::vector<std::size_t> prefixes;
+  for (std::size_t s = 0; s < plan.scans.size(); ++s) {
+    (plan.scans[s].full ? fulls : prefixes).push_back(s);
+  }
+  const auto by_offset = [&](std::size_t a, std::size_t b) {
+    return plan.scans[a].offset != plan.scans[b].offset
+               ? plan.scans[a].offset < plan.scans[b].offset
+               : a < b;
+  };
+  std::sort(fulls.begin(), fulls.end(), by_offset);
+  std::sort(prefixes.begin(), prefixes.end(), by_offset);
+
+  const GapResolver resolver(directory, params);
+  ReadPacker packer(params, out);
+  std::vector<RunPiece> run;
+  std::uint64_t run_end = 0;
+  std::size_t run_scans = 0;
+  const auto flush_run = [&] {
+    if (run.empty()) return;
+    if (run_scans > 1) out.coalesced_scans += run_scans;
+    packer.pack_run(run);
+    run.clear();
+    run_scans = 0;
+  };
+
+  std::size_t next_prefix = 0;
+  const auto emit_prefixes_before = [&](std::uint64_t offset) {
+    // Keep the schedule monotone on disk: a Case-2 brick sitting before the
+    // next full brick is galloped in place (flushing the run) rather than
+    // deferred to a backward-seeking second pass.
+    while (next_prefix < prefixes.size() &&
+           plan.scans[prefixes[next_prefix]].offset < offset) {
+      flush_run();
+      ScheduledItem item;
+      item.prefix_scan = static_cast<std::int32_t>(prefixes[next_prefix]);
+      out.items.push_back(std::move(item));
+      ++next_prefix;
+    }
+  };
+
+  for (const std::size_t s : fulls) {
+    const BrickScan& scan = plan.scans[s];
+    emit_prefixes_before(scan.offset);
+    if (!run.empty()) {
+      bool joined = false;
+      if (scan.offset >= run_end) {
+        const std::uint64_t gap = scan.offset - run_end;
+        if (gap == 0) {
+          joined = true;
+        } else if (gap <= params.max_gap_bytes &&
+                   gap % params.record_size == 0) {
+          // Bridge the gap with the unplanned bricks occupying it; when
+          // verification needs CRC cover and the directory cannot supply
+          // it, fall through and break the run instead.
+          const std::size_t before = run.size();
+          if (resolver.resolve(run_end, gap, run)) {
+            out.bridged_gap_bytes += gap;
+            joined = true;
+          } else if (!params.require_crc_cover) {
+            run.resize(before);
+            RunPiece filler;
+            filler.scan_index = -1;
+            filler.offset = run_end;
+            filler.record_count =
+                static_cast<std::uint32_t>(gap / params.record_size);
+            run.push_back(filler);
+            out.bridged_gap_bytes += gap;
+            joined = true;
+          }
+        }
+      }
+      if (!joined) flush_run();
+    }
+    run.push_back(piece_of_scan(plan, s));
+    ++run_scans;
+    run_end = scan.offset +
+              static_cast<std::uint64_t>(scan.metacell_count) *
+                  params.record_size;
+  }
+  flush_run();
+
+  while (next_prefix < prefixes.size()) {
+    ScheduledItem item;
+    item.prefix_scan = static_cast<std::int32_t>(prefixes[next_prefix]);
+    out.items.push_back(std::move(item));
+    ++next_prefix;
+  }
+  return out;
+}
+
+}  // namespace oociso::index

@@ -1,0 +1,119 @@
+#pragma once
+// Plan-aware I/O scheduling for QueryPlan brick scans.
+//
+// The tree's planner emits scans in root-to-leaf order, which is value
+// order, not disk order: executing them directly costs one read (and often
+// one seek) per brick even when the bricks sit millimeters apart on the
+// platter. The scheduler turns a plan into the cheapest read sequence the
+// device model admits:
+//
+//   * Case-1 (full-brick) scans are sorted by device offset and runs whose
+//     byte gaps fit a readahead-sized window are *coalesced* into single
+//     large reads — one BlockDevice::read covering several bricks, so
+//     IoStats::read_ops and seeks drop to one per run instead of one per
+//     brick. The bytes bridged inside a gap are whole *unplanned* bricks
+//     (the brick layout is densely packed); they are read, verified when
+//     checksums demand it, and discarded — never surfaced as records.
+//   * Case-2 (galloping prefix) scans cannot be pre-sized — their extent
+//     depends on record contents — so they are left as prefix items,
+//     merged into the sweep at their disk position so the whole schedule
+//     stays offset-monotone (one forward pass, no second-pass seeks).
+//
+// Checksums. Reads are packed from whole per-brick CRC chunks: a read
+// starts and splits only on chunk boundaries of the brick it lands in, so
+// every transferred byte is coverable by the plan's (or the directory's)
+// CRC32s and the stream can verify a transfer before consuming any of it.
+// When verification is required and a gap cannot be exactly tiled by
+// directory bricks, the run is broken at that gap instead of bridging it —
+// coalescing never widens the undetected-corruption surface.
+//
+// With `coalesce = false` the scheduler reproduces the legacy per-brick
+// execution exactly (plan order, one brick per read sequence), which is
+// the A/B baseline the equivalence tests and the seek/read_op measurements
+// compare against.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "index/compact_interval_tree.h"
+
+namespace oociso::index {
+
+/// In-core brick directory of the index the plan was walked from. Lets the
+/// scheduler resolve the bytes *between* two planned bricks into the
+/// unplanned bricks occupying them (the layout is densely packed), so a
+/// bridged gap stays CRC-verifiable. Both spans view the owning tree and
+/// must outlive the schedule.
+struct BrickDirectory {
+  std::span<const BrickEntry> bricks{};
+  std::span<const std::uint32_t> chunk_crcs{};
+};
+
+struct ScheduleParams {
+  std::size_t record_size = 0;
+  /// Records per checksummed chunk — the atomic packing unit. Reads begin
+  /// and split only on per-brick multiples of this.
+  std::size_t chunk_records = 1;
+  /// Cap on records per sequential read (coalesced or not); always at
+  /// least one chunk.
+  std::size_t max_read_records = 1;
+  /// Largest byte gap a coalesced read may bridge. 0 restricts coalescing
+  /// to exactly adjacent bricks.
+  std::uint64_t max_gap_bytes = 0;
+  /// Sort full scans by offset and merge near-contiguous runs. When false
+  /// the plan executes brick by brick in plan order (legacy behavior).
+  bool coalesce = true;
+  /// Gap bytes must be CRC-coverable via the directory (set when the plan
+  /// carries checksums and the stream verifies them); a gap that cannot be
+  /// tiled by directory bricks breaks the run instead of being bridged.
+  bool require_crc_cover = false;
+};
+
+/// One contiguous piece of a scheduled read: a (part of a) planned brick
+/// scan, or a whole unplanned gap brick that is verified and discarded.
+struct ReadSlice {
+  std::int32_t scan_index = -1;    ///< into plan.scans; -1 = gap filler
+  std::uint64_t first_record = 0;  ///< within the owning brick (chunk-aligned)
+  std::uint32_t record_count = 0;
+  std::uint32_t brick_records = 0;  ///< owning brick's total (ragged chunks)
+  /// The owning brick's chunk CRC32s; empty when unknown (then the slice
+  /// cannot be verified — the scheduler only emits that for unchecksummed
+  /// plans or with require_crc_cover off).
+  std::span<const std::uint32_t> chunk_crcs{};
+};
+
+/// One BlockDevice::read: `record_count * record_size` bytes at `offset`,
+/// densely tiled by `slices` in offset order.
+struct ScheduledRead {
+  std::uint64_t offset = 0;
+  std::uint64_t record_count = 0;
+  std::vector<ReadSlice> slices;
+};
+
+/// Either a pre-packed sequential read or a Case-2 prefix scan left to the
+/// stream's galloping executor.
+struct ScheduledItem {
+  std::int32_t prefix_scan = -1;  ///< plan scan index; -1 means `read`
+  ScheduledRead read;
+
+  [[nodiscard]] bool is_prefix() const { return prefix_scan >= 0; }
+};
+
+struct ScheduledPlan {
+  std::vector<ScheduledItem> items;
+  // Scheduling outcome counters (diagnostics; not part of QueryStats).
+  std::uint64_t sequential_reads = 0;  ///< pre-packed reads emitted
+  std::uint64_t coalesced_scans = 0;   ///< full scans sharing a read with another
+  std::uint64_t bridged_gap_bytes = 0; ///< gap bytes read only to be discarded
+};
+
+/// Schedules `plan` for execution. `params.record_size` must be non-zero
+/// when the plan has scans. The returned slices view `directory.chunk_crcs`
+/// and the plan's own scan CRC spans; the index structures must outlive
+/// the schedule.
+[[nodiscard]] ScheduledPlan schedule_plan(const QueryPlan& plan,
+                                          const ScheduleParams& params,
+                                          const BrickDirectory& directory = {});
+
+}  // namespace oociso::index

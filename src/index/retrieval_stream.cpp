@@ -1,6 +1,7 @@
 #include "index/retrieval_stream.h"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 #include <string>
 
@@ -34,7 +35,8 @@ core::ValueKey record_vmin(std::span<const std::byte> record,
 RetrievalStream::RetrievalStream(QueryPlan plan, core::ScalarKind kind,
                                  std::size_t record_size,
                                  io::BlockDevice& device,
-                                 RetrievalOptions options)
+                                 RetrievalOptions options,
+                                 BrickDirectory directory)
     : plan_(std::move(plan)),
       kind_(kind),
       record_size_(record_size),
@@ -47,11 +49,12 @@ RetrievalStream::RetrievalStream(QueryPlan plan, core::ScalarKind kind,
     }
     return;
   }
-  // Case-1 (full) scans read the whole brick in large sequential chunks.
-  // Case-2 (prefix) scans gallop: the first read is one block's worth of
-  // records and each subsequent read doubles, so a short active prefix
-  // costs O(prefix) blocks while a long one converges to bulk reads —
-  // keeping total I/O proportional to output (the T/B term).
+  // Case-1 (full) scans read in large sequential chunks (coalesced across
+  // bricks by the scheduler). Case-2 (prefix) scans gallop: the first read
+  // is one block's worth of records and each subsequent read doubles, so a
+  // short active prefix costs O(prefix) blocks while a long one converges
+  // to bulk reads — keeping total I/O proportional to output (the T/B
+  // term).
   //
   // All read sizes are multiples of the checksum chunk (one block's worth
   // of records for an index built against this device), so every batch
@@ -69,121 +72,212 @@ RetrievalStream::RetrievalStream(QueryPlan plan, core::ScalarKind kind,
   first_batch_records_ = chunk_base;
   max_batch_records_ = round_to_chunks(std::max<std::size_t>(
       first_batch_records_, (16 * device_.block_size()) / record_size_));
+  chunk_records_ = chunk_base;
+
+  ScheduleParams params;
+  params.record_size = record_size_;
+  params.chunk_records = chunk_records_;
+  params.max_read_records = full_chunk_records_;
+  params.max_gap_bytes =
+      options_.coalesce_gap_bytes < 0
+          ? static_cast<std::uint64_t>(device_.readahead_blocks()) *
+                device_.block_size()
+          : static_cast<std::uint64_t>(options_.coalesce_gap_bytes);
+  params.coalesce = options_.coalesce;
+  // Bridged gap bytes must stay as verifiable as planned bytes; when the
+  // directory cannot prove a gap's checksums the scheduler keeps the seek.
+  params.require_crc_cover =
+      options_.verify_checksums && plan_.crc_chunk_records > 0;
+  schedule_ = schedule_plan(plan_, params, directory);
 }
 
-void RetrievalStream::verify_batch(const BrickScan& scan,
-                                   std::uint64_t first_record,
-                                   std::span<const std::byte> data) const {
+void RetrievalStream::verify_slice(const ReadSlice& slice,
+                                   std::uint64_t brick_offset,
+                                   std::span<const std::byte> data,
+                                   std::size_t data_offset) const {
   if (!options_.verify_checksums || plan_.crc_chunk_records == 0 ||
-      scan.chunk_crcs.empty()) {
+      slice.chunk_crcs.empty()) {
     return;
   }
-  // Reads are chunk-aligned (first_record is a multiple of the chunk size)
-  // and end either on a chunk boundary or at the brick end, so the batch
-  // covers whole chunks — including the ragged final one.
+  // Reads are chunk-aligned within each brick (slice.first_record is a
+  // multiple of the chunk size) and end either on a chunk boundary or at
+  // the brick end, so the slice covers whole chunks — including the ragged
+  // final one.
   const std::uint64_t base = plan_.crc_chunk_records;
-  const std::size_t batch_records = data.size() / record_size_;
-  std::uint64_t chunk = first_record / base;
-  std::size_t done = 0;
-  while (done < batch_records) {
+  std::uint64_t chunk = slice.first_record / base;
+  std::uint64_t done = 0;
+  while (done < slice.record_count) {
     const auto chunk_records = static_cast<std::size_t>(std::min<std::uint64_t>(
-        base, scan.metacell_count - (first_record + done)));
-    if (chunk >= scan.chunk_crcs.size()) {
+        base, slice.brick_records - (slice.first_record + done)));
+    if (chunk >= slice.chunk_crcs.size()) {
       throw std::logic_error("RetrievalStream: chunk index out of range");
     }
-    const std::uint32_t actual =
-        util::crc32(data.subspan(done * record_size_,
-                                 chunk_records * record_size_));
-    if (actual != scan.chunk_crcs[chunk]) {
+    const std::uint32_t actual = util::crc32(
+        data.subspan(data_offset + static_cast<std::size_t>(done) * record_size_,
+                     chunk_records * record_size_));
+    if (actual != slice.chunk_crcs[chunk]) {
       // Retriable: an in-flight corruption clears on re-read; persistent
       // media damage keeps failing and exhausts the retry budget loudly.
       throw io::IoError(
           io::IoError::Kind::kCorruption, /*retriable=*/true,
           "checksum mismatch in brick at offset " +
-              std::to_string(scan.offset) + ", chunk " + std::to_string(chunk) +
-              " (records " + std::to_string(first_record + done) + ".." +
-              std::to_string(first_record + done + chunk_records - 1) + ")");
+              std::to_string(brick_offset) + ", chunk " + std::to_string(chunk) +
+              " (records " + std::to_string(slice.first_record + done) + ".." +
+              std::to_string(slice.first_record + done + chunk_records - 1) +
+              ")");
     }
     done += chunk_records;
     ++chunk;
   }
 }
 
+template <typename VerifyFn>
+void RetrievalStream::read_with_retry(std::uint64_t offset, RecordBatch& batch,
+                                      VerifyFn&& verify) {
+  // Bounded retry: a retriable fault (transient device error or a chunk
+  // checksum mismatch) repeats the read after modeled backoff; anything
+  // else — or an exhausted budget — propagates to the consumer.
+  int failures = 0;
+  for (;;) {
+    const util::WallTimer read_timer;
+    try {
+      device_.read(offset, batch.data);
+      verify(std::span<const std::byte>(batch.data));
+      batch.io_seconds += read_timer.seconds();
+      break;
+    } catch (const io::IoError& error) {
+      batch.io_seconds += read_timer.seconds();
+      if (error.kind() == io::IoError::Kind::kCorruption) {
+        ++faults_.checksum_failures;
+      } else {
+        ++faults_.transient_errors;
+      }
+      ++failures;
+      if (!error.retriable() || failures >= options_.retry.max_attempts) {
+        io_wall_seconds_ += batch.io_seconds;
+        throw;
+      }
+      ++faults_.retries;
+      faults_.backoff_modeled_seconds +=
+          options_.retry.backoff_seconds(failures - 1);
+    }
+  }
+  io_wall_seconds_ += batch.io_seconds;
+}
+
+RecordBatch RetrievalStream::execute_read(const ScheduledRead& read) {
+  RecordBatch batch;
+  batch.record_size = record_size_;
+  batch.data.resize(static_cast<std::size_t>(read.record_count) * record_size_);
+
+  const io::IoStats io_before = device_.stats();
+  read_with_retry(read.offset, batch, [&](std::span<const std::byte> data) {
+    // Verify every slice — bridged gap bricks included — before any record
+    // of the transfer is consumed, so a corrupted read never splits into a
+    // half-accepted batch.
+    std::size_t pos = 0;
+    for (const ReadSlice& slice : read.slices) {
+      const std::uint64_t brick_offset =
+          read.offset + pos -
+          static_cast<std::uint64_t>(slice.first_record) * record_size_;
+      verify_slice(slice, brick_offset, data, pos);
+      pos += static_cast<std::size_t>(slice.record_count) * record_size_;
+    }
+  });
+  batch.io = device_.stats().since(io_before);
+
+  // Compact the planned scans' records to the front; gap bytes were only
+  // read to keep the head moving and are dropped without entering any
+  // query counter.
+  std::size_t src = 0;
+  std::size_t dst = 0;
+  for (const ReadSlice& slice : read.slices) {
+    const std::size_t bytes =
+        static_cast<std::size_t>(slice.record_count) * record_size_;
+    if (slice.scan_index >= 0) {
+      if (dst != src) {
+        std::memmove(batch.data.data() + dst, batch.data.data() + src, bytes);
+      }
+      dst += bytes;
+      batch.records_fetched += slice.record_count;
+      stats_.records_fetched += slice.record_count;
+      stats_.active_metacells += slice.record_count;
+      if (slice.first_record == 0) ++stats_.bricks_scanned;
+    }
+    src += bytes;
+  }
+  batch.data.resize(dst);
+  batch.record_count = dst / record_size_;
+  return batch;
+}
+
+std::optional<RecordBatch> RetrievalStream::gallop_prefix(
+    const BrickScan& scan) {
+  if (!scan_entered_) {
+    ++stats_.bricks_scanned;
+    scan_entered_ = true;
+    scan_done_ = 0;
+    scan_stopped_ = false;
+    scan_batch_ = first_batch_records_;
+  }
+  if (scan_stopped_ || scan_done_ >= scan.metacell_count) {
+    scan_entered_ = false;
+    return std::nullopt;
+  }
+
+  const std::size_t want = static_cast<std::size_t>(
+      std::min<std::uint64_t>(scan_batch_, scan.metacell_count - scan_done_));
+  RecordBatch batch;
+  batch.record_size = record_size_;
+  batch.data.resize(want * record_size_);
+
+  ReadSlice slice;
+  slice.first_record = scan_done_;
+  slice.record_count = static_cast<std::uint32_t>(want);
+  slice.brick_records = scan.metacell_count;
+  slice.chunk_crcs = scan.chunk_crcs;
+
+  const io::IoStats io_before = device_.stats();
+  read_with_retry(scan.offset + scan_done_ * record_size_, batch,
+                  [&](std::span<const std::byte> data) {
+                    verify_slice(slice, scan.offset, data, 0);
+                  });
+  batch.io = device_.stats().since(io_before);
+
+  std::size_t active = 0;
+  for (std::size_t r = 0; r < want; ++r) {
+    ++batch.records_fetched;
+    ++stats_.records_fetched;
+    if (record_vmin(batch.record(r), kind_) > plan_.isovalue) {
+      // End of the active prefix; the rest of the brick is inactive.
+      scan_stopped_ = true;
+      break;
+    }
+    ++active;
+    ++stats_.active_metacells;
+  }
+  batch.data.resize(active * record_size_);
+  batch.record_count = active;
+
+  scan_done_ += want;
+  scan_batch_ = std::min(scan_batch_ * 2, max_batch_records_);
+  return batch;
+}
+
 std::optional<RecordBatch> RetrievalStream::next() {
-  while (scan_index_ < plan_.scans.size()) {
-    const BrickScan& scan = plan_.scans[scan_index_];
-    if (!scan_entered_) {
-      ++stats_.bricks_scanned;
-      scan_entered_ = true;
-      scan_done_ = 0;
-      scan_stopped_ = false;
-      scan_batch_ = scan.full ? full_chunk_records_ : first_batch_records_;
+  while (item_index_ < schedule_.items.size()) {
+    const ScheduledItem& item = schedule_.items[item_index_];
+    if (!item.is_prefix()) {
+      RecordBatch batch = execute_read(item.read);
+      ++item_index_;
+      return batch;
     }
-    if (scan_stopped_ || scan_done_ >= scan.metacell_count) {
-      ++scan_index_;
-      scan_entered_ = false;
-      continue;
+    if (std::optional<RecordBatch> batch =
+            gallop_prefix(plan_.scans[static_cast<std::size_t>(
+                item.prefix_scan)])) {
+      return batch;
     }
-
-    const std::size_t want = static_cast<std::size_t>(
-        std::min<std::uint64_t>(scan_batch_, scan.metacell_count - scan_done_));
-    RecordBatch batch;
-    batch.record_size = record_size_;
-    batch.data.resize(want * record_size_);
-
-    // Bounded retry: a retriable fault (transient device error or a chunk
-    // checksum mismatch) repeats the read after modeled backoff; anything
-    // else — or an exhausted budget — propagates to the consumer.
-    const io::IoStats io_before = device_.stats();
-    int failures = 0;
-    for (;;) {
-      const util::WallTimer read_timer;
-      try {
-        device_.read(scan.offset + scan_done_ * record_size_, batch.data);
-        verify_batch(scan, scan_done_, batch.data);
-        batch.io_seconds += read_timer.seconds();
-        break;
-      } catch (const io::IoError& error) {
-        batch.io_seconds += read_timer.seconds();
-        if (error.kind() == io::IoError::Kind::kCorruption) {
-          ++faults_.checksum_failures;
-        } else {
-          ++faults_.transient_errors;
-        }
-        ++failures;
-        if (!error.retriable() || failures >= options_.retry.max_attempts) {
-          io_wall_seconds_ += batch.io_seconds;
-          throw;
-        }
-        ++faults_.retries;
-        faults_.backoff_modeled_seconds +=
-            options_.retry.backoff_seconds(failures - 1);
-      }
-    }
-    batch.io = device_.stats().since(io_before);
-    io_wall_seconds_ += batch.io_seconds;
-
-    std::size_t active = 0;
-    for (std::size_t r = 0; r < want; ++r) {
-      ++batch.records_fetched;
-      ++stats_.records_fetched;
-      if (!scan.full &&
-          record_vmin(batch.record(r), kind_) > plan_.isovalue) {
-        // End of the active prefix; the rest of the brick is inactive.
-        scan_stopped_ = true;
-        break;
-      }
-      ++active;
-      ++stats_.active_metacells;
-    }
-    batch.data.resize(active * record_size_);
-    batch.record_count = active;
-
-    scan_done_ += want;
-    if (!scan.full) {
-      scan_batch_ = std::min(scan_batch_ * 2, max_batch_records_);
-    }
-    return batch;
+    ++item_index_;
   }
   return std::nullopt;
 }

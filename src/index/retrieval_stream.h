@@ -2,12 +2,15 @@
 // Pull-based batched retrieval of active metacell records (the single
 // consumption path for every index variant).
 //
-// A RetrievalStream executes a QueryPlan one device read at a time: each
-// call to next() performs at most one BlockDevice::read (a full-brick chunk
-// or a galloping Case-2 prefix probe — the same access pattern as the old
-// callback-based execute()) and yields the batch of active records it
-// produced. Pulling instead of calling back gives consumers two things the
-// callback model could not:
+// A RetrievalStream executes a QueryPlan through the plan scheduler
+// (plan_scheduler.h): full-brick scans are sorted by device offset and
+// near-contiguous runs are coalesced into single large reads, with the
+// Case-2 galloping prefix scans merged in at their disk position so the
+// whole schedule is one forward sweep. Each call to
+// next() performs exactly one BlockDevice::read — possibly covering
+// several bricks — and yields the batch of active records it produced.
+// Pulling instead of calling back gives consumers two things the callback
+// model could not:
 //
 //   1. Sound phase timing. Time blocked in a device read is invisible to a
 //      thread-CPU clock (CLOCK_THREAD_CPUTIME_ID does not advance while the
@@ -22,11 +25,13 @@
 //      next batch on one thread while a compute stage triangulates the
 //      current one on another (see parallel/pipeline.h and the query
 //      engines), which is how per-node completion drops from io + cpu to
-//      max(io, cpu) + fill.
+//      the bounded-pipeline window.
 //
 // Case-2 (prefix) scans decode each record's vmin inside the stream and
 // trim the batch at the end of the active prefix, so consumers only ever
-// see active records.
+// see active records. Gap bytes bridged by a coalesced read are verified
+// (when the plan carries checksums) and discarded — they appear in the
+// device IoStats but never in QueryStats or in a batch.
 
 #include <cstdint>
 #include <optional>
@@ -34,6 +39,7 @@
 #include <vector>
 
 #include "index/compact_interval_tree.h"
+#include "index/plan_scheduler.h"
 #include "io/block_device.h"
 #include "io/io_stats.h"
 #include "io/retry_policy.h"
@@ -82,16 +88,31 @@ struct RetrievalOptions {
   /// before any record of the batch is handed to the consumer. Plans
   /// without checksums (crc_chunk_records == 0) are never verified.
   bool verify_checksums = true;
+  /// Offset-sort the plan's full-brick scans and coalesce near-contiguous
+  /// runs into single large reads (see plan_scheduler.h). With false the
+  /// stream reproduces the legacy one-read-per-brick execution in plan
+  /// order — the A/B baseline for the seek/read_op measurements.
+  bool coalesce = true;
+  /// Largest byte gap a coalesced read may bridge; gap bytes are read,
+  /// verified when checksummed, and discarded. Negative means automatic:
+  /// the device's readahead window (readahead_blocks * block_size), the
+  /// span the cost model already charges at bandwidth instead of a seek.
+  std::int64_t coalesce_gap_bytes = -1;
 };
 
 class RetrievalStream {
  public:
   /// The stream copies the plan's scan list; `device` must outlive the
-  /// stream. Throws std::logic_error when `record_size` is zero but the
-  /// plan has scans (an empty index queried).
+  /// stream. `directory`, when given, is the brick table of the index the
+  /// plan came from — it lets the scheduler bridge gaps between planned
+  /// bricks while keeping every transferred byte CRC-verifiable (the
+  /// directory's spans must outlive the stream). Throws std::logic_error
+  /// when `record_size` is zero but the plan has scans (an empty index
+  /// queried).
   RetrievalStream(QueryPlan plan, core::ScalarKind kind,
                   std::size_t record_size, io::BlockDevice& device,
-                  RetrievalOptions options = {});
+                  RetrievalOptions options = {},
+                  BrickDirectory directory = {});
 
   /// Produces the next batch, performing exactly one device read, or
   /// std::nullopt once the plan is exhausted. A returned batch may hold
@@ -100,6 +121,8 @@ class RetrievalStream {
   [[nodiscard]] std::optional<RecordBatch> next();
 
   /// Running query counters; complete once next() has returned nullopt.
+  /// Identical for the coalesced and the legacy schedule — gap bytes are
+  /// not records fetched.
   [[nodiscard]] const QueryStats& stats() const { return stats_; }
 
   /// Total wall-clock seconds spent inside device reads so far. This is
@@ -107,39 +130,61 @@ class RetrievalStream {
   /// nothing else in the window.
   [[nodiscard]] double io_wall_seconds() const { return io_wall_seconds_; }
 
-  /// True once every scan of the plan has been consumed.
+  /// True once every scheduled item of the plan has been consumed.
   [[nodiscard]] bool exhausted() const {
-    return scan_index_ >= plan_.scans.size();
+    return item_index_ >= schedule_.items.size();
   }
 
   /// Faults absorbed (and, for the last error of an exhausted read, about
   /// to be rethrown) so far.
   [[nodiscard]] const RetrievalFaults& faults() const { return faults_; }
 
+  /// How the plan was scheduled (read coalescing diagnostics).
+  [[nodiscard]] const ScheduledPlan& schedule() const { return schedule_; }
+
  private:
-  /// Verifies every checksummed chunk covered by the batch; throws a
-  /// retriable io::IoError(kCorruption) on the first mismatch.
-  void verify_batch(const BrickScan& scan, std::uint64_t first_record,
-                    std::span<const std::byte> data) const;
+  /// Performs one pre-packed sequential read: reads, verifies every slice,
+  /// then compacts the planned scans' records to the front of the batch
+  /// (gap bytes are dropped).
+  [[nodiscard]] RecordBatch execute_read(const ScheduledRead& read);
+
+  /// One galloping probe of the Case-2 prefix scan `scan`; returns the
+  /// batch, or nullopt when the scan is complete (advance to next item).
+  [[nodiscard]] std::optional<RecordBatch> gallop_prefix(const BrickScan& scan);
+
+  /// Reads into `data` with bounded retry and wall-clock accounting;
+  /// `verify` is invoked inside the retry loop after each read attempt.
+  template <typename VerifyFn>
+  void read_with_retry(std::uint64_t offset, RecordBatch& batch,
+                       VerifyFn&& verify);
+
+  /// Verifies the checksummed chunks of one slice of `data` starting at
+  /// byte `data_offset`; throws a retriable io::IoError(kCorruption) on the
+  /// first mismatch.
+  void verify_slice(const ReadSlice& slice, std::uint64_t device_offset,
+                    std::span<const std::byte> data,
+                    std::size_t data_offset) const;
 
   QueryPlan plan_;
   core::ScalarKind kind_;
   std::size_t record_size_;
   io::BlockDevice& device_;
   RetrievalOptions options_;
+  ScheduledPlan schedule_;
 
-  // Galloping schedule (see execute_plan's original comment): full scans
-  // read large fixed chunks; prefix scans start at one block's worth of
-  // records and double per read, capped.
+  // Read-size parameters (see the constructor): sequential reads are packed
+  // up to full_chunk_records_; prefix scans start at one chunk's worth of
+  // records and double per read, capped at max_batch_records_.
+  std::size_t chunk_records_ = 1;
   std::size_t full_chunk_records_ = 1;
   std::size_t first_batch_records_ = 1;
   std::size_t max_batch_records_ = 1;
 
-  std::size_t scan_index_ = 0;     ///< current scan within the plan
-  std::uint64_t scan_done_ = 0;    ///< records consumed of the current scan
-  std::size_t scan_batch_ = 0;     ///< next read size for the current scan
-  bool scan_entered_ = false;      ///< bricks_scanned charged for this scan
-  bool scan_stopped_ = false;      ///< Case-2 prefix ended early
+  std::size_t item_index_ = 0;   ///< current item within the schedule
+  std::uint64_t scan_done_ = 0;  ///< records consumed of the current prefix
+  std::size_t scan_batch_ = 0;   ///< next read size for the current prefix
+  bool scan_entered_ = false;    ///< bricks_scanned charged for this prefix
+  bool scan_stopped_ = false;    ///< Case-2 prefix ended early
 
   QueryStats stats_;
   RetrievalFaults faults_;
@@ -147,12 +192,14 @@ class RetrievalStream {
 };
 
 /// Convenience: plan the isovalue on an in-core tree and open the stream
-/// over its brick device.
+/// over its brick device. Passing the tree's brick directory lets the
+/// scheduler coalesce across gaps with full checksum cover.
 [[nodiscard]] inline RetrievalStream open_stream(
     const CompactIntervalTree& tree, core::ValueKey isovalue,
     io::BlockDevice& device, RetrievalOptions options = {}) {
   return RetrievalStream(tree.plan(isovalue), tree.scalar_kind(),
-                         tree.record_size(), device, std::move(options));
+                         tree.record_size(), device, std::move(options),
+                         BrickDirectory{tree.bricks(), tree.chunk_crcs()});
 }
 
 }  // namespace oociso::index

@@ -117,19 +117,25 @@ void encode_metacell(const core::Volume<T>& volume,
 DecodedMetacell decode_metacell(std::span<const std::byte> record,
                                 core::ScalarKind kind,
                                 const MetacellGeometry& geometry) {
+  DecodedMetacell cell;
+  decode_metacell(record, kind, geometry, cell);
+  return cell;
+}
+
+void decode_metacell(std::span<const std::byte> record, core::ScalarKind kind,
+                     const MetacellGeometry& geometry, DecodedMetacell& out) {
   const std::int32_t k = geometry.samples_per_side();
   if (record.size() != record_size(kind, k)) {
     throw std::runtime_error("metacell record size mismatch");
   }
   io::ByteReader reader(record);
-  DecodedMetacell cell;
-  cell.id = reader.get<std::uint32_t>();
-  if (cell.id >= geometry.metacell_count()) {
+  out.id = reader.get<std::uint32_t>();
+  if (out.id >= geometry.metacell_count()) {
     throw std::runtime_error("metacell record has out-of-range id");
   }
-  cell.sample_origin = geometry.sample_origin(cell.id);
-  cell.samples_per_side = k;
-  cell.valid_cells = geometry.valid_cells(cell.id);
+  out.sample_origin = geometry.sample_origin(out.id);
+  out.samples_per_side = k;
+  out.valid_cells = geometry.valid_cells(out.id);
 
   auto read_scalar = [&]() -> float {
     switch (kind) {
@@ -143,12 +149,11 @@ DecodedMetacell decode_metacell(std::span<const std::byte> record,
     throw std::runtime_error("bad scalar kind");
   };
 
-  cell.vmin = read_scalar();
+  out.vmin = read_scalar();
   const auto total = static_cast<std::size_t>(k) * static_cast<std::size_t>(k) *
                      static_cast<std::size_t>(k);
-  cell.samples.resize(total);
-  for (auto& sample : cell.samples) sample = read_scalar();
-  return cell;
+  out.samples.resize(total);
+  for (auto& sample : out.samples) sample = read_scalar();
 }
 
 // Explicit instantiations for the supported scalar kinds.

@@ -130,4 +130,10 @@ void encode_metacell(const core::Volume<T>& volume,
                                               core::ScalarKind kind,
                                               const MetacellGeometry& geometry);
 
+/// In-place variant for hot loops: decodes into `out`, reusing its samples
+/// allocation across records of the same geometry (the extraction loop
+/// decodes hundreds of thousands of equally-sized records back to back).
+void decode_metacell(std::span<const std::byte> record, core::ScalarKind kind,
+                     const MetacellGeometry& geometry, DecodedMetacell& out);
+
 }  // namespace oociso::metacell

@@ -67,6 +67,49 @@ class TimeLedger {
     overlap_saved_ += std::max(0.0, io_seconds + cpu_seconds - window);
   }
 
+  /// Records one pipelined retrieval+triangulation run from its per-batch
+  /// times, simulating the bounded producer/consumer queue the engines
+  /// actually run (parallel/pipeline.h): the producer may run at most
+  /// `queue_capacity` batches ahead of the consumer, so a deeper queue hides
+  /// more I/O jitter behind compute and the charged window shrinks toward
+  /// max(io, cpu) — the add_extraction_overlapped() limit — while capacity 1
+  /// degrades toward lock-step alternation. `extra_io_seconds` is modeled
+  /// I/O time with no batch of its own (retry backoff, stall charges); it
+  /// is spread over the batches pro rata. Phase totals are charged in full,
+  /// exactly like add_extraction_overlapped().
+  void add_extraction_pipelined(std::span<const double> io_batches,
+                                std::span<const double> cpu_batches,
+                                std::size_t queue_capacity,
+                                double extra_io_seconds = 0.0) {
+    const std::size_t n = std::min(io_batches.size(), cpu_batches.size());
+    double io_sum = 0.0;
+    double cpu_sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      io_sum += io_batches[i];
+      cpu_sum += cpu_batches[i];
+    }
+    const double extra = std::max(extra_io_seconds, 0.0);
+    const double scale = io_sum > 0.0 ? (io_sum + extra) / io_sum : 1.0;
+    const std::size_t capacity = std::max<std::size_t>(1, queue_capacity);
+    // Event-driven queue simulation. pop[i] is when batch i leaves the
+    // queue; the producer stalls (backpressure) until a slot frees.
+    std::vector<double> pop(n, 0.0);
+    double produced_prev = 0.0;
+    double consume_done = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double push = produced_prev + io_batches[i] * scale;
+      if (i >= capacity) push = std::max(push, pop[i - capacity]);
+      produced_prev = push;
+      pop[i] = std::max(push, consume_done);
+      consume_done = pop[i] + cpu_batches[i];
+    }
+    const double window = n > 0 ? consume_done : extra;
+    add(Phase::kAmcRetrieval, io_sum + extra);
+    add(Phase::kTriangulation, cpu_sum);
+    extraction_overlapped_ = true;
+    overlap_saved_ += std::max(0.0, io_sum + extra + cpu_sum - window);
+  }
+
   [[nodiscard]] double get(Phase phase) const {
     return times_[static_cast<std::size_t>(phase)];
   }

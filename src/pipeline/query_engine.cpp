@@ -84,21 +84,43 @@ QueryReport QueryEngine::run(core::ValueKey isovalue,
     // charging each other for descheduled time — and, unlike the old
     // interleaved re-marking, never has a blocking read inside its window).
     const io::IoStats io_before = device.stats();
-    index::RetrievalStream stream =
-        index::open_stream(tree, isovalue, device, options.retrieval);
+    index::QueryPlan plan = tree.plan(isovalue);
+    // Pre-size the node's soup from the plan: the surface crosses roughly
+    // one cell layer of each active metacell, ~2 triangles per crossed
+    // cell. An estimate — reserve, not resize — but it absorbs the large
+    // early regrowths of the append loop.
+    const auto side =
+        static_cast<std::uint64_t>(data_.geometry.cells_per_side());
+    soups[node].reserve(
+        static_cast<std::size_t>(plan.total_records() * 2 * side * side));
+    index::RetrievalStream stream(
+        std::move(plan), tree.scalar_kind(), tree.record_size(), device,
+        options.retrieval,
+        index::BrickDirectory{tree.bricks(), tree.chunk_crcs()});
+
+    // Per-batch modeled I/O and measured CPU, in arrival order, for the
+    // ledger's bounded-queue charge below.
+    std::vector<double> io_batches;
+    std::vector<double> cpu_batches;
+    io_batches.reserve(stream.schedule().items.size() + 8);
+    cpu_batches.reserve(stream.schedule().items.size() + 8);
 
     double cpu_seconds = 0.0;
     util::ThreadCpuTimer cpu_timer;
+    metacell::DecodedMetacell cell;  // scratch reused across records
     auto consume = [&](const index::RecordBatch& batch) {
       cpu_timer.restart();
       for (std::size_t r = 0; r < batch.record_count; ++r) {
-        const metacell::DecodedMetacell cell = metacell::decode_metacell(
-            batch.record(r), data_.kind, data_.geometry);
+        metacell::decode_metacell(batch.record(r), data_.kind, data_.geometry,
+                                  cell);
         const extract::ExtractionStats cell_stats =
             extract::extract_metacell(cell, isovalue, soups[node]);
         node_report.triangles += cell_stats.triangles;
       }
-      cpu_seconds += cpu_timer.seconds();
+      const double batch_cpu = cpu_timer.seconds();
+      cpu_seconds += batch_cpu;
+      io_batches.push_back(cluster_.disk_seconds(batch.io));
+      cpu_batches.push_back(batch_cpu);
     };
 
     // Only the producer side touches `stream` (and through it the node's
@@ -110,7 +132,7 @@ QueryReport QueryEngine::run(core::ValueKey isovalue,
       if (overlap) {
         bool first_batch = true;
         parallel::produce_consume<index::RecordBatch>(
-            options.pipeline_depth,
+            options.readahead_batches,
             [&](auto&& push) {
               while (std::optional<index::RecordBatch> batch = stream.next()) {
                 if (first_batch) {
@@ -148,16 +170,19 @@ QueryReport QueryEngine::run(core::ValueKey isovalue,
     const double stall_seconds =
         injector ? injector->injected().stall_modeled_seconds - stalls_before
                  : 0.0;
-    const double retrieval_charge = node_report.io_model_seconds +
-                                    stream.faults().backoff_modeled_seconds +
-                                    stall_seconds;
+    const double extra_io =
+        stream.faults().backoff_modeled_seconds + stall_seconds;
     if (overlap) {
       node_report.pipeline_fill_seconds = cluster_.disk_seconds(fill_io);
-      ledger.add_extraction_overlapped(retrieval_charge, cpu_seconds,
-                                       node_report.pipeline_fill_seconds);
+      // Charge the window the bounded queue actually admits: per-batch
+      // times through a queue of readahead_batches slots, rather than the
+      // max(io, cpu) + fill ideal (which a depth-1 queue cannot reach).
+      ledger.add_extraction_pipelined(io_batches, cpu_batches,
+                                      options.readahead_batches, extra_io);
       node_report.overlap_saved_seconds = ledger.overlap_saved();
     } else {
-      ledger.add(parallel::Phase::kAmcRetrieval, retrieval_charge);
+      ledger.add(parallel::Phase::kAmcRetrieval,
+                 node_report.io_model_seconds + extra_io);
       ledger.add(parallel::Phase::kTriangulation, cpu_seconds);
     }
   };

@@ -54,9 +54,12 @@ struct QueryOptions {
   /// Pipeline each node's retrieval with its triangulation (prefetch the
   /// next record batch while marching cubes runs on the current one).
   bool overlap_io_compute = true;
-  /// Bounded-queue depth of the per-node pipeline, in batches. Bounds
-  /// prefetch memory; 0 is clamped to 1 (fully synchronous hand-off).
-  std::size_t pipeline_depth = 4;
+  /// Bounded-queue depth of the per-node pipeline: how many record batches
+  /// the I/O stage may read ahead of triangulation. Bounds prefetch memory;
+  /// 0 is clamped to 1 (fully synchronous hand-off). Deeper readahead hides
+  /// more I/O jitter, and the ledger charges it faithfully from the
+  /// per-batch times (TimeLedger::add_extraction_pipelined).
+  std::size_t readahead_batches = 4;
 
   // ---- fault tolerance ----------------------------------------------------
   /// Wrap every node's disk in a FaultInjectingBlockDevice for this query.

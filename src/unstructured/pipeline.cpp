@@ -64,7 +64,18 @@ TetQueryReport query_tets(parallel::Cluster& cluster,
     // with a wall clock on the producer side; this thread only decodes and
     // runs marching tets, timed with the thread-CPU clock.
     const io::IoStats io_before = disk.stats();
-    index::RetrievalStream stream = index::open_stream(tree, isovalue, disk);
+    index::QueryPlan plan = tree.plan(isovalue);
+    // Pre-size from the plan: roughly one triangle per planned tet.
+    soups[node].reserve(static_cast<std::size_t>(plan.total_records() *
+                                                 prep.tets_per_cluster));
+    index::RetrievalStream stream(
+        std::move(plan), tree.scalar_kind(), tree.record_size(), disk, {},
+        index::BrickDirectory{tree.bricks(), tree.chunk_crcs()});
+
+    std::vector<double> io_batches;
+    std::vector<double> cpu_batches;
+    io_batches.reserve(stream.schedule().items.size() + 8);
+    cpu_batches.reserve(stream.schedule().items.size() + 8);
 
     double cpu_seconds = 0.0;
     util::ThreadCpuTimer cpu_timer;
@@ -79,20 +90,17 @@ TetQueryReport query_tets(parallel::Cluster& cluster,
                                                    isovalue, soups[node]);
         }
       }
-      cpu_seconds += cpu_timer.seconds();
+      const double batch_cpu = cpu_timer.seconds();
+      cpu_seconds += batch_cpu;
+      io_batches.push_back(cluster.disk_seconds(batch.io));
+      cpu_batches.push_back(batch_cpu);
     };
 
-    io::IoStats fill_io;
     if (options.overlap_io_compute) {
-      bool first_batch = true;
       parallel::produce_consume<index::RecordBatch>(
-          options.pipeline_depth,
+          options.readahead_batches,
           [&](auto&& push) {
             while (std::optional<index::RecordBatch> batch = stream.next()) {
-              if (first_batch) {
-                fill_io = batch->io;
-                first_batch = false;
-              }
               if (!push(std::move(*batch))) break;
             }
           },
@@ -109,9 +117,8 @@ TetQueryReport query_tets(parallel::Cluster& cluster,
     node_report.io_wall_seconds = stream.io_wall_seconds();
 
     if (options.overlap_io_compute) {
-      ledger.add_extraction_overlapped(node_report.io_model_seconds,
-                                       cpu_seconds,
-                                       cluster.disk_seconds(fill_io));
+      ledger.add_extraction_pipelined(io_batches, cpu_batches,
+                                      options.readahead_batches);
       node_report.overlap_saved_seconds = ledger.overlap_saved();
     } else {
       ledger.add(parallel::Phase::kAmcRetrieval, node_report.io_model_seconds);

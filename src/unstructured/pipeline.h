@@ -44,7 +44,9 @@ struct TetQueryOptions {
   /// Pipeline each node's cluster retrieval with its marching-tets work
   /// (same producer/consumer scheme as the structured query engine).
   bool overlap_io_compute = true;
-  std::size_t pipeline_depth = 4;  ///< bounded-queue depth, in batches
+  /// Bounded-queue depth: record batches the I/O stage may read ahead of
+  /// the marching-tets stage (0 clamps to 1).
+  std::size_t readahead_batches = 4;
 };
 
 struct TetNodeReport {

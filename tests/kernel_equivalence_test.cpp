@@ -1,0 +1,161 @@
+// The incremental marching-cubes kernel (rolling sample planes + shared-
+// edge vertex caches) must be a pure optimization: for every input it has
+// to emit the exact triangle sequence of the per-cell reference kernel,
+// bit for bit. These tests sweep all 256 cube configurations and randomized
+// volumes in every supported scalar kind.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <vector>
+
+#include "core/volume.h"
+#include "extract/marching_cubes.h"
+#include "metacell/metacell.h"
+#include "util/rng.h"
+
+namespace oociso::extract {
+namespace {
+
+/// Byte-exact equality of two triangle sequences (same count, same order,
+/// same float bits).
+::testing::AssertionResult bit_identical(const TriangleSoup& a,
+                                         const TriangleSoup& b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure()
+           << "triangle counts differ: " << a.size() << " vs " << b.size();
+  }
+  if (a.size() > 0 &&
+      std::memcmp(a.triangles().data(), b.triangles().data(),
+                  a.size() * sizeof(Triangle)) != 0) {
+    return ::testing::AssertionFailure() << "triangle bytes differ";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+void expect_stats_equal(const ExtractionStats& a, const ExtractionStats& b) {
+  EXPECT_EQ(a.cells_visited, b.cells_visited);
+  EXPECT_EQ(a.active_cells, b.active_cells);
+  EXPECT_EQ(a.triangles, b.triangles);
+}
+
+// Corner numbering of mc_tables.h: v0=(0,0,0) v1=(1,0,0) v2=(1,1,0)
+// v3=(0,1,0) v4=(0,0,1) v5=(1,0,1) v6=(1,1,1) v7=(0,1,1).
+constexpr std::array<std::array<std::int32_t, 3>, 8> kCorner = {{
+    {0, 0, 0}, {1, 0, 0}, {1, 1, 0}, {0, 1, 0},
+    {0, 0, 1}, {1, 0, 1}, {1, 1, 1}, {0, 1, 1},
+}};
+
+TEST(IncrementalKernel, MatchesPerCellOnAll256CubeCases) {
+  // One unit cell; inside means value < isovalue, so a set bit gets a value
+  // below 100 and a clear bit one above. Non-round values exercise real
+  // interpolation on every crossing edge.
+  for (unsigned cube = 0; cube < 256; ++cube) {
+    core::Volume<float> volume({2, 2, 2});
+    for (unsigned c = 0; c < 8; ++c) {
+      const float value = (cube & (1u << c)) != 0 ? 37.5f : 181.25f;
+      volume.at(kCorner[c][0], kCorner[c][1], kCorner[c][2]) = value;
+    }
+
+    TriangleSoup incremental;
+    TriangleSoup percell;
+    const ExtractionStats a = extract_volume(volume, 100.0f, incremental);
+    const ExtractionStats b = extract_volume_percell(volume, 100.0f, percell);
+
+    EXPECT_TRUE(bit_identical(incremental, percell)) << "cube case " << cube;
+    expect_stats_equal(a, b);
+  }
+}
+
+template <typename T>
+core::Volume<T> random_volume(core::GridDims dims, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  core::Volume<T> volume(dims);
+  for (std::int32_t z = 0; z < dims.nz; ++z) {
+    for (std::int32_t y = 0; y < dims.ny; ++y) {
+      for (std::int32_t x = 0; x < dims.nx; ++x) {
+        if constexpr (std::is_floating_point_v<T>) {
+          volume.at(x, y, z) =
+              static_cast<T>(rng.bounded(100000)) / T{391.0};
+        } else {
+          volume.at(x, y, z) = static_cast<T>(
+              rng.bounded(std::uint32_t{1}
+                          << (8 * static_cast<unsigned>(sizeof(T)))));
+        }
+      }
+    }
+  }
+  return volume;
+}
+
+template <typename T>
+void check_random_volumes(float lo, float hi) {
+  const core::GridDims shapes[] = {{13, 11, 9}, {2, 2, 2}, {5, 2, 7}};
+  std::uint64_t seed = 1000;
+  for (const core::GridDims& dims : shapes) {
+    const core::Volume<T> volume = random_volume<T>(dims, seed++);
+    std::uint64_t produced = 0;
+    for (int step = 0; step <= 4; ++step) {
+      const float isovalue =
+          lo + (hi - lo) * static_cast<float>(step) / 4.0f;
+      TriangleSoup incremental;
+      TriangleSoup percell;
+      const ExtractionStats a = extract_volume(volume, isovalue, incremental);
+      const ExtractionStats b =
+          extract_volume_percell(volume, isovalue, percell);
+      EXPECT_TRUE(bit_identical(incremental, percell))
+          << dims.nx << "x" << dims.ny << "x" << dims.nz << " iso "
+          << isovalue;
+      expect_stats_equal(a, b);
+      produced += a.triangles;
+    }
+    // The sweep has to exercise real geometry, not compare empty soups.
+    EXPECT_GT(produced, 0u);
+  }
+}
+
+TEST(IncrementalKernel, MatchesPerCellOnRandomU8Volumes) {
+  check_random_volumes<std::uint8_t>(10.0f, 240.0f);
+}
+
+TEST(IncrementalKernel, MatchesPerCellOnRandomU16Volumes) {
+  check_random_volumes<std::uint16_t>(1000.0f, 64000.0f);
+}
+
+TEST(IncrementalKernel, MatchesPerCellOnRandomFloatVolumes) {
+  check_random_volumes<float>(10.0f, 245.0f);
+}
+
+TEST(IncrementalKernel, MatchesPerCellOnMetacells) {
+  // Metacell path: partial valid-cell extents (boundary metacells) and a
+  // non-zero sample origin must translate identically in both kernels.
+  util::Xoshiro256 rng(4242);
+  for (int trial = 0; trial < 16; ++trial) {
+    metacell::DecodedMetacell cell;
+    cell.id = static_cast<std::uint32_t>(trial);
+    cell.samples_per_side = 9;
+    cell.sample_origin = {8 * (trial % 3), 8 * (trial % 2), 8 * (trial % 5)};
+    cell.valid_cells = {1 + static_cast<std::int32_t>(rng.bounded(8)),
+                        1 + static_cast<std::int32_t>(rng.bounded(8)),
+                        1 + static_cast<std::int32_t>(rng.bounded(8))};
+    cell.samples.resize(9 * 9 * 9);
+    for (float& sample : cell.samples) {
+      sample = static_cast<float>(rng.bounded(256));
+    }
+
+    for (const float isovalue : {40.0f, 127.5f, 200.0f}) {
+      TriangleSoup incremental;
+      TriangleSoup percell;
+      const ExtractionStats a = extract_metacell(cell, isovalue, incremental);
+      const ExtractionStats b =
+          extract_metacell_percell(cell, isovalue, percell);
+      EXPECT_TRUE(bit_identical(incremental, percell))
+          << "trial " << trial << " iso " << isovalue;
+      expect_stats_equal(a, b);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace oociso::extract

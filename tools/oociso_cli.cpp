@@ -45,6 +45,10 @@ commands:
   query       run an isovalue query against a preprocessed storage dir
                 --storage DIR  --nodes P (4)  --iso V (128)
                 --obj FILE  --image FILE  --imagesize N (512)  --weld
+                --readahead N (4, record batches prefetched per node)
+                --no-coalesce (per-brick reads; disable the I/O scheduler)
+                --coalesce-gap BYTES (largest bridged gap; -1 = device
+                readahead window)
                 --inject-faults SEED,RATE (deterministic transient read
                 faults; retried with backoff, failed nodes fail over)
   info        print bundle statistics
@@ -147,6 +151,10 @@ int cmd_query(const util::CliArgs& args) {
   options.keep_image = args.has("image");
   options.keep_triangles = args.has("obj");
   options.render = options.keep_image;
+  options.readahead_batches =
+      static_cast<std::size_t>(args.get_int("readahead", 4));
+  options.retrieval.coalesce = !args.get_bool("no-coalesce", false);
+  options.retrieval.coalesce_gap_bytes = args.get_int("coalesce-gap", -1);
   const std::string fault_spec = args.get("inject-faults", "");
   if (!fault_spec.empty()) {
     options.inject_faults = io::FaultConfig::parse(fault_spec);
