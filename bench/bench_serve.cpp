@@ -1,0 +1,162 @@
+// Concurrent serving benchmark: the paper's isovalue sweep replayed as
+// simultaneous client requests against a QueryServer. Pass 1 runs on cold
+// per-node pools (concurrent queries single-flight their overlapping
+// reads), pass 2 repeats the sweep warm. Reported per pass: wall time,
+// physical read_ops, and the pool hit/miss/wait ledger; shape checks pin
+// the serving-layer claims — bit-identical results, dedup below the
+// logical fetch count, and a strictly cheaper warm pass.
+//
+// Extra flags (on top of the common ones in bench_common.h):
+//   --concurrency Q    queries admitted at once (default 8)
+//   --cache-blocks M   per-node pool frames (default 16384)
+//   --passes N         sweep repetitions; pass 2+ is warm (default 2)
+// --inject-faults applies at the cluster level, under the pools.
+
+#include <cstring>
+#include <iostream>
+
+#include "common/bench_common.h"
+#include "serve/query_server.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace oociso;
+  const util::CliArgs args(argc, argv);
+  const bench::BenchSetup setup = bench::BenchSetup::from_cli(argc, argv);
+  const auto concurrency =
+      static_cast<std::size_t>(args.get_int("concurrency", 8));
+  const auto cache_blocks =
+      static_cast<std::size_t>(args.get_int("cache-blocks", 16384));
+  const int passes = static_cast<int>(args.get_int("passes", 2));
+
+  std::cout << "== Concurrent serving: " << setup.isovalues.size()
+            << "-isovalue sweep, " << concurrency
+            << " queries in flight, 4 nodes, " << cache_blocks
+            << " cache frames/node ==\n";
+
+  bench::Prepared prepared = bench::prepare_rm(setup, 4);
+
+  // Serial uncached baseline — the bit-identity reference and the read_ops
+  // yardstick the shared pools must beat.
+  pipeline::QueryOptions serial_options = setup.query_options();
+  serial_options.render = false;
+  serial_options.keep_triangles = true;
+  std::vector<extract::TriangleSoup> reference;
+  std::uint64_t serial_read_ops = 0;
+  {
+    pipeline::QueryEngine engine(*prepared.cluster, prepared.prep);
+    util::WallTimer timer;
+    for (const float isovalue : setup.isovalues) {
+      pipeline::QueryReport report = engine.run(isovalue, serial_options);
+      for (const auto& node : report.nodes) {
+        serial_read_ops += node.io.read_ops;
+      }
+      reference.push_back(std::move(*report.triangles_out));
+    }
+    std::cout << "# serial uncached sweep: "
+              << util::human_seconds(timer.seconds()) << " wall, "
+              << util::with_commas(serial_read_ops) << " read_ops\n";
+  }
+
+  serve::ServeOptions serve_options;
+  serve_options.max_concurrent_queries = concurrency;
+  serve_options.cache_capacity_blocks = cache_blocks;
+  serve_options.inject_faults = setup.inject_faults;
+  serve_options.query = setup.query_options();
+  serve_options.query.inject_faults.reset();  // cluster-level instead
+  serve_options.query.render = false;
+  serve_options.query.keep_triangles = true;
+  serve::QueryServer server(*prepared.cluster, prepared.prep, serve_options);
+
+  util::Table table({"pass", "wall (s)", "read_ops", "hit blocks",
+                     "miss blocks", "wait blocks"});
+  table.set_caption("Sweep passes through the shared pools (pass 2+ warm)");
+
+  bool identical = true;
+  std::vector<std::uint64_t> pass_read_ops;
+  std::vector<std::vector<pipeline::QueryReport>> pass_reports;
+  for (int pass = 0; pass < passes; ++pass) {
+    util::WallTimer timer;
+    std::vector<pipeline::QueryReport> reports =
+        server.serve(setup.isovalues);
+    const double wall = timer.seconds();
+
+    std::uint64_t read_ops = 0;
+    io::CacheReadStats cache;
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      for (const auto& node : reports[i].nodes) {
+        read_ops += node.io.read_ops;
+      }
+      cache.merge(reports[i].total_cache());
+      identical =
+          identical && reports[i].triangles_out->size() == reference[i].size() &&
+          (reference[i].empty() ||
+           std::memcmp(reports[i].triangles_out->triangles().data(),
+                       reference[i].triangles().data(),
+                       reference[i].size() * sizeof(extract::Triangle)) == 0);
+    }
+    pass_read_ops.push_back(read_ops);
+    table.add_row({std::to_string(pass), util::fixed(wall, 3),
+                   util::with_commas(read_ops),
+                   util::with_commas(cache.hit_blocks),
+                   util::with_commas(cache.miss_blocks),
+                   util::with_commas(cache.wait_blocks)});
+    pass_reports.push_back(std::move(reports));
+  }
+  std::cout << table.render() << "\n";
+
+  const io::CacheCounters counters = server.cache_counters();
+  std::cout << "# pool ledger: " << util::with_commas(counters.fetches)
+            << " fetches = " << util::with_commas(counters.hits) << " hits + "
+            << util::with_commas(counters.misses) << " misses + "
+            << util::with_commas(counters.waits) << " waits; "
+            << util::with_commas(counters.evictions) << " evictions, peak "
+            << server.peak_in_flight() << " in flight\n";
+
+  if (!setup.json_path.empty()) {
+    bench::JsonWriter json;
+    json.begin_object()
+        .member("bench", "serve")
+        .member("schema_version", std::uint64_t{1})
+        .member("nodes", std::uint64_t{4})
+        .member("concurrency", static_cast<std::uint64_t>(concurrency))
+        .member("cache_blocks_per_node",
+                static_cast<std::uint64_t>(cache_blocks))
+        .member("serial_read_ops", serial_read_ops);
+    json.key("cache").begin_object()
+        .member("fetches", counters.fetches)
+        .member("hits", counters.hits)
+        .member("misses", counters.misses)
+        .member("waits", counters.waits)
+        .member("evictions", counters.evictions)
+        .end_object();
+    json.key("passes").begin_array();
+    for (std::size_t pass = 0; pass < pass_reports.size(); ++pass) {
+      json.begin_object()
+          .member("pass", static_cast<std::uint64_t>(pass))
+          .member("read_ops", pass_read_ops[pass]);
+      json.key("queries").begin_array();
+      for (const pipeline::QueryReport& report : pass_reports[pass]) {
+        bench::append_report_json(json, report);
+      }
+      json.end_array().end_object();
+    }
+    json.end_array().end_object();
+    json.save(setup.json_path);
+    std::cout << "# wrote " << setup.json_path << "\n";
+  }
+
+  bench::shape_check(
+      "every concurrent pass is bit-identical to the serial uncached sweep",
+      identical);
+  bench::shape_check("pool ledger balances (hits + misses + waits == fetches)",
+                     counters.hits + counters.misses + counters.waits ==
+                         counters.fetches);
+  bench::shape_check(
+      "cross-query dedup: physical misses stay below logical fetches",
+      counters.misses < counters.fetches);
+  bench::shape_check(
+      "warm pass reads strictly fewer blocks than the cold pass",
+      passes < 2 || pass_read_ops.back() < pass_read_ops.front());
+  return 0;
+}

@@ -62,6 +62,68 @@ int main(int argc, char** argv) {
   }
   std::cout << table.render() << "\n";
 
+  // ---- warm vs cold through the shared per-node pools ---------------------
+  // Each step is queried twice back to back through the cluster's shared
+  // brick caches: the first (cold) pass faults its blocks in, the repeat
+  // runs warm — the interactive-session pattern a time-varying browser
+  // produces when the user scrubs back and forth. Per-query inject_faults
+  // cannot compose with the pools, so the cached A/B always runs clean.
+  const auto cache_blocks = static_cast<std::size_t>(
+      args.get_int("cache-blocks", 16384));
+  engine.enable_shared_cache(cache_blocks);
+  pipeline::QueryOptions cached = options;
+  cached.inject_faults.reset();
+
+  util::Table cache_table({"time step", "cold read_ops", "warm read_ops",
+                           "warm hits", "cold time (s)", "warm time (s)"});
+  cache_table.set_caption(
+      "Warm vs cold per-step query through the shared brick cache (" +
+      std::to_string(cache_blocks) + " frames/node)");
+  const auto total_read_ops = [](const pipeline::QueryReport& report) {
+    std::uint64_t ops = 0;
+    for (const auto& node : report.nodes) ops += node.io.read_ops;
+    return ops;
+  };
+  std::uint64_t cold_ops_total = 0;
+  std::uint64_t warm_ops_total = 0;
+  bool warm_identical = true;
+  std::vector<pipeline::QueryReport> cold_reports;
+  std::vector<pipeline::QueryReport> warm_reports;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(step_count); ++i) {
+    const int step = first_step + static_cast<int>(i);
+    pipeline::QueryReport cold = engine.query(step, isovalue, cached);
+    pipeline::QueryReport warm = engine.query(step, isovalue, cached);
+    warm_identical =
+        warm_identical &&
+        warm.total_triangles() == cold.total_triangles() &&
+        warm.total_triangles() == triangle_series[i] &&
+        warm.total_active_metacells() == cold.total_active_metacells();
+    cold_ops_total += total_read_ops(cold);
+    warm_ops_total += total_read_ops(warm);
+    cache_table.add_row({std::to_string(step),
+                         util::with_commas(total_read_ops(cold)),
+                         util::with_commas(total_read_ops(warm)),
+                         util::with_commas(warm.total_cache().hit_blocks),
+                         util::fixed(cold.completion_seconds(), 3),
+                         util::fixed(warm.completion_seconds(), 3)});
+    if (!setup.json_path.empty()) {
+      cold_reports.push_back(std::move(cold));
+      warm_reports.push_back(std::move(warm));
+    }
+  }
+  std::cout << cache_table.render() << "\n";
+  std::cout << "# cache totals: cold " << util::with_commas(cold_ops_total)
+            << " read_ops -> warm " << util::with_commas(warm_ops_total)
+            << " read_ops ("
+            << util::fixed(cold_ops_total > 0
+                               ? 100.0 * (1.0 - static_cast<double>(
+                                                    warm_ops_total) /
+                                                    static_cast<double>(
+                                                        cold_ops_total))
+                               : 0.0,
+                           1)
+            << "% fewer)\n";
+
   if (!setup.json_path.empty()) {
     // Per-step document: the shared per-query schema, keyed by time step.
     bench::JsonWriter json;
@@ -82,6 +144,25 @@ int main(int argc, char** argv) {
                            static_cast<std::int64_t>(i));
       json.key("report");
       bench::append_report_json(json, reports[i]);
+      json.end_object();
+    }
+    json.end_array();
+    // The cached A/B: per step, the cold fault-in pass and the warm repeat
+    // (full reports, so read_ops and the cache block counters are both
+    // machine-readable for the EXPERIMENTS.md delta).
+    json.member("cache_blocks_per_node",
+                static_cast<std::uint64_t>(cache_blocks));
+    json.key("cache_passes").begin_array();
+    for (std::size_t i = 0; i < cold_reports.size(); ++i) {
+      json.begin_object().member(
+          "time_step", static_cast<std::int64_t>(first_step) +
+                           static_cast<std::int64_t>(i));
+      json.member("cold_read_ops", total_read_ops(cold_reports[i]));
+      json.member("warm_read_ops", total_read_ops(warm_reports[i]));
+      json.key("cold");
+      bench::append_report_json(json, cold_reports[i]);
+      json.key("warm");
+      bench::append_report_json(json, warm_reports[i]);
       json.end_object();
     }
     json.end_array().end_object();
@@ -105,5 +186,13 @@ int main(int argc, char** argv) {
   bench::shape_check(
       "triangle counts vary smoothly across consecutive steps (<35% jumps)",
       smooth);
+  bench::shape_check(
+      "warm repeat through the shared cache reads strictly fewer blocks "
+      "than the cold pass",
+      warm_ops_total < cold_ops_total);
+  bench::shape_check(
+      "warm-cache results identical to cold and uncached runs "
+      "(triangles and active metacells)",
+      warm_identical);
   return 0;
 }

@@ -366,6 +366,15 @@ void append_report_json(JsonWriter& json, const pipeline::QueryReport& report) {
       .member("mtri_per_second", report.mtri_per_second());
   json.key("io");
   append_io_json(json, io_total);
+  // Shared-pool accounting; all zeros for uncached queries, kept in the
+  // schema unconditionally so consumers can diff warm vs cold runs.
+  const io::CacheReadStats cache_total = report.total_cache();
+  json.key("cache").begin_object()
+      .member("hit_blocks", cache_total.hit_blocks)
+      .member("miss_blocks", cache_total.miss_blocks)
+      .member("wait_blocks", cache_total.wait_blocks)
+      .member("evictions", cache_total.evictions)
+      .end_object();
   json.key("times").begin_object()
       .member("amc_retrieval_s",
               times.max_phase(parallel::Phase::kAmcRetrieval))
@@ -392,6 +401,12 @@ void append_report_json(JsonWriter& json, const pipeline::QueryReport& report) {
         .member("overlap_saved_s", node.overlap_saved_seconds);
     json.key("io");
     append_io_json(json, node.io);
+    json.key("cache").begin_object()
+        .member("hit_blocks", node.cache.hit_blocks)
+        .member("miss_blocks", node.cache.miss_blocks)
+        .member("wait_blocks", node.cache.wait_blocks)
+        .member("evictions", node.cache.evictions)
+        .end_object();
     json.end_object();
   }
   json.end_array();

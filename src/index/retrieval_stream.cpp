@@ -36,12 +36,14 @@ RetrievalStream::RetrievalStream(QueryPlan plan, core::ScalarKind kind,
                                  std::size_t record_size,
                                  io::BlockDevice& device,
                                  RetrievalOptions options,
-                                 BrickDirectory directory)
+                                 BrickDirectory directory,
+                                 io::SharedBufferPool* cache)
     : plan_(std::move(plan)),
       kind_(kind),
       record_size_(record_size),
       device_(device),
-      options_(options) {
+      options_(options),
+      cache_(cache) {
   stats_.nodes_visited = plan_.nodes_visited;
   if (record_size_ == 0) {
     if (!plan_.scans.empty()) {
@@ -141,7 +143,13 @@ void RetrievalStream::read_with_retry(std::uint64_t offset, RecordBatch& batch,
   for (;;) {
     const util::WallTimer read_timer;
     try {
-      device_.read(offset, batch.data);
+      if (cache_ != nullptr) {
+        // The wall window includes time blocked on another stream's
+        // in-flight read of the same blocks — honest I/O wait either way.
+        cache_->read(offset, batch.data, batch.cache);
+      } else {
+        device_.read(offset, batch.data);
+      }
       verify(std::span<const std::byte>(batch.data));
       batch.io_seconds += read_timer.seconds();
       break;
@@ -149,12 +157,17 @@ void RetrievalStream::read_with_retry(std::uint64_t offset, RecordBatch& batch,
       batch.io_seconds += read_timer.seconds();
       if (error.kind() == io::IoError::Kind::kCorruption) {
         ++faults_.checksum_failures;
+        // The corrupted transfer may now be resident in the shared cache;
+        // drop the covered frames so the retry re-reads the device instead
+        // of being served the same bad bytes until the budget runs out.
+        if (cache_ != nullptr) cache_->invalidate(offset, batch.data.size());
       } else {
         ++faults_.transient_errors;
       }
       ++failures;
       if (!error.retriable() || failures >= options_.retry.max_attempts) {
         io_wall_seconds_ += batch.io_seconds;
+        cache_stats_.merge(batch.cache);
         throw;
       }
       ++faults_.retries;
@@ -163,6 +176,7 @@ void RetrievalStream::read_with_retry(std::uint64_t offset, RecordBatch& batch,
     }
   }
   io_wall_seconds_ += batch.io_seconds;
+  cache_stats_.merge(batch.cache);
 }
 
 RecordBatch RetrievalStream::execute_read(const ScheduledRead& read) {
@@ -170,7 +184,10 @@ RecordBatch RetrievalStream::execute_read(const ScheduledRead& read) {
   batch.record_size = record_size_;
   batch.data.resize(static_cast<std::size_t>(read.record_count) * record_size_);
 
-  const io::IoStats io_before = device_.stats();
+  // A shared device's IoStats cannot be snapshotted per stream; the cache
+  // path attributes physical I/O through the per-call CacheReadStats.
+  const io::IoStats io_before =
+      cache_ != nullptr ? io::IoStats{} : device_.stats();
   read_with_retry(read.offset, batch, [&](std::span<const std::byte> data) {
     // Verify every slice — bridged gap bricks included — before any record
     // of the transfer is consumed, so a corrupted read never splits into a
@@ -184,7 +201,8 @@ RecordBatch RetrievalStream::execute_read(const ScheduledRead& read) {
       pos += static_cast<std::size_t>(slice.record_count) * record_size_;
     }
   });
-  batch.io = device_.stats().since(io_before);
+  batch.io = cache_ != nullptr ? batch.cache.device_io
+                               : device_.stats().since(io_before);
 
   // Compact the planned scans' records to the front; gap bytes were only
   // read to keep the head moving and are dropped without entering any
@@ -237,12 +255,14 @@ std::optional<RecordBatch> RetrievalStream::gallop_prefix(
   slice.brick_records = scan.metacell_count;
   slice.chunk_crcs = scan.chunk_crcs;
 
-  const io::IoStats io_before = device_.stats();
+  const io::IoStats io_before =
+      cache_ != nullptr ? io::IoStats{} : device_.stats();
   read_with_retry(scan.offset + scan_done_ * record_size_, batch,
                   [&](std::span<const std::byte> data) {
                     verify_slice(slice, scan.offset, data, 0);
                   });
-  batch.io = device_.stats().since(io_before);
+  batch.io = cache_ != nullptr ? batch.cache.device_io
+                               : device_.stats().since(io_before);
 
   std::size_t active = 0;
   for (std::size_t r = 0; r < want; ++r) {

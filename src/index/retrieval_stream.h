@@ -43,6 +43,7 @@
 #include "io/block_device.h"
 #include "io/io_stats.h"
 #include "io/retry_policy.h"
+#include "io/shared_buffer_pool.h"
 
 namespace oociso::index {
 
@@ -54,6 +55,10 @@ struct RecordBatch {
   std::size_t record_count = 0;       ///< active records in `data`
   std::uint64_t records_fetched = 0;  ///< records read, incl. trimmed overshoot
   io::IoStats io;                     ///< device I/O performed for this batch
+  /// Shared-cache accounting when the stream reads through a pool (zeros
+  /// otherwise); `io` above is then the physical device I/O this batch's
+  /// misses triggered, not the logical bytes it consumed.
+  io::CacheReadStats cache;
   double io_seconds = 0.0;            ///< wall clock spent inside device reads
 
   /// Record `i` of the batch.
@@ -109,10 +114,19 @@ class RetrievalStream {
   /// directory's spans must outlive the stream). Throws std::logic_error
   /// when `record_size` is zero but the plan has scans (an empty index
   /// queried).
+  /// `cache`, when given, routes every read through the shared per-node
+  /// pool instead of `device`: warm frames cost no device I/O, cold ones
+  /// are faulted in with single-flight dedup across concurrent streams,
+  /// and every slice is still CRC-verified inside the retry loop — a
+  /// cached corrupted transfer is invalidated so the retry re-reads the
+  /// device. `device` is then only consulted for its geometry (block size,
+  /// readahead window) and must be the pool's underlying device (or share
+  /// its geometry).
   RetrievalStream(QueryPlan plan, core::ScalarKind kind,
                   std::size_t record_size, io::BlockDevice& device,
                   RetrievalOptions options = {},
-                  BrickDirectory directory = {});
+                  BrickDirectory directory = {},
+                  io::SharedBufferPool* cache = nullptr);
 
   /// Produces the next batch, performing exactly one device read, or
   /// std::nullopt once the plan is exhausted. A returned batch may hold
@@ -142,6 +156,12 @@ class RetrievalStream {
   /// How the plan was scheduled (read coalescing diagnostics).
   [[nodiscard]] const ScheduledPlan& schedule() const { return schedule_; }
 
+  /// Shared-cache accounting accumulated across all batches (zeros when
+  /// the stream reads the device directly); complete after exhaustion.
+  [[nodiscard]] const io::CacheReadStats& cache_stats() const {
+    return cache_stats_;
+  }
+
  private:
   /// Performs one pre-packed sequential read: reads, verifies every slice,
   /// then compacts the planned scans' records to the front of the batch
@@ -170,6 +190,7 @@ class RetrievalStream {
   std::size_t record_size_;
   io::BlockDevice& device_;
   RetrievalOptions options_;
+  io::SharedBufferPool* cache_;
   ScheduledPlan schedule_;
 
   // Read-size parameters (see the constructor): sequential reads are packed
@@ -188,6 +209,7 @@ class RetrievalStream {
 
   QueryStats stats_;
   RetrievalFaults faults_;
+  io::CacheReadStats cache_stats_;
   double io_wall_seconds_ = 0.0;
 };
 

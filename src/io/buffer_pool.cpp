@@ -70,6 +70,7 @@ void BufferPool::evict_one() {
   write_back(*victim);
   map_.erase(victim->block_index);
   lru_.erase(victim);
+  ++evictions_;
 }
 
 BufferPool::PinnedBlock BufferPool::pin_block(std::uint64_t block_index) {

@@ -83,6 +83,9 @@ class BufferPool {
 
   [[nodiscard]] std::uint64_t hits() const { return hits_; }
   [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  /// Frames displaced by capacity pressure (hits + misses counts fetches;
+  /// evictions says how many of the missed frames pushed a victim out).
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
   [[nodiscard]] std::size_t capacity_blocks() const { return capacity_; }
   [[nodiscard]] std::size_t resident_blocks() const { return map_.size(); }
   /// Resident blocks whose contents have not been written back yet.
@@ -109,6 +112,7 @@ class BufferPool {
   std::unordered_map<std::uint64_t, LruList::iterator> map_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace oociso::io

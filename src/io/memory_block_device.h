@@ -24,11 +24,13 @@ class MemoryBlockDevice final : public BlockDevice {
     if (offset + out.size() > bytes_.size()) {
       throw std::out_of_range("MemoryBlockDevice: read past end");
     }
+    if (out.empty()) return;  // empty spans may carry a null data()
     std::memcpy(out.data(), bytes_.data() + offset, out.size());
   }
 
   void do_write(std::uint64_t offset,
                 std::span<const std::byte> data) override {
+    if (data.empty()) return;  // empty spans may carry a null data()
     const std::uint64_t end = offset + data.size();
     if (end > bytes_.size()) bytes_.resize(end);
     std::memcpy(bytes_.data() + offset, data.data(), data.size());

@@ -1,0 +1,184 @@
+#include "io/shared_buffer_pool.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace oociso::io {
+
+SharedBufferPool::SharedBufferPool(BlockDevice& device,
+                                   std::size_t capacity_blocks)
+    : device_(device),
+      capacity_(capacity_blocks),
+      block_size_(device.block_size()) {
+  if (capacity_blocks == 0) {
+    throw std::invalid_argument("SharedBufferPool needs at least one block");
+  }
+}
+
+std::vector<std::byte> SharedBufferPool::read_run(std::uint64_t first_block,
+                                                  std::size_t count,
+                                                  CacheReadStats& stats) {
+  std::vector<std::byte> bytes(count * block_size_, std::byte{0});
+  const std::uint64_t start = first_block * block_size_;
+  std::lock_guard device_lock(device_mutex_);
+  // size() is read under the device lock so appended data (fresh offsets,
+  // see the header) is seen consistently with the read below.
+  const std::uint64_t device_size = device_.size();
+  if (start < device_size) {
+    const std::uint64_t valid =
+        std::min<std::uint64_t>(bytes.size(), device_size - start);
+    const IoStats before = device_.stats();
+    device_.read(start,
+                 std::span(bytes.data(), static_cast<std::size_t>(valid)));
+    stats.device_io += device_.stats().since(before);
+  }
+  return bytes;
+}
+
+void SharedBufferPool::evict_to_capacity(std::unique_lock<std::mutex>& lock,
+                                         CacheReadStats& stats) {
+  (void)lock;  // must be held; eviction only mutates map_/lru_/counters_
+  while (lru_.size() > capacity_) {
+    const std::uint64_t victim = lru_.back();
+    lru_.pop_back();
+    map_.erase(victim);  // readers mid-copy hold the frame's shared_ptr
+    ++counters_.evictions;
+    ++stats.evictions;
+  }
+}
+
+void SharedBufferPool::read(std::uint64_t offset, std::span<std::byte> out,
+                            CacheReadStats& stats) {
+  std::size_t done = 0;
+  std::unique_lock lock(mutex_);
+  while (done < out.size()) {
+    const std::uint64_t pos = offset + done;
+    const std::uint64_t block = pos / block_size_;
+    const std::uint64_t within = pos % block_size_;
+    const std::size_t chunk = static_cast<std::size_t>(
+        std::min<std::uint64_t>(block_size_ - within, out.size() - done));
+
+    bool waited = false;
+    auto it = map_.find(block);
+    while (it != map_.end() && it->second.data == nullptr) {
+      // Single flight: another caller's device read covers this block.
+      waited = true;
+      loaded_.wait(lock);
+      it = map_.find(block);
+    }
+
+    if (it != map_.end()) {
+      // Resident: copy outside the lock — the shared_ptr keeps the bytes
+      // alive even if the frame is evicted meanwhile.
+      const std::shared_ptr<const std::vector<std::byte>> data =
+          it->second.data;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      ++counters_.fetches;
+      if (waited) {
+        ++counters_.waits;
+        ++stats.wait_blocks;
+      } else {
+        ++counters_.hits;
+        ++stats.hit_blocks;
+      }
+      lock.unlock();
+      std::memcpy(out.data() + done,
+                  data->data() + static_cast<std::size_t>(within), chunk);
+      lock.lock();
+      done += chunk;
+      continue;
+    }
+
+    // Miss: claim this block plus every further block this request needs
+    // that is also absent, so one device read covers the contiguous run (a
+    // cold coalesced scheduler read stays a single device operation).
+    const std::uint64_t run_end_byte = offset + out.size();
+    const std::uint64_t last_needed = (run_end_byte - 1) / block_size_;
+    std::size_t run = 1;
+    while (block + run <= last_needed &&
+           map_.find(block + run) == map_.end()) {
+      ++run;
+    }
+    for (std::size_t i = 0; i < run; ++i) {
+      map_.emplace(block + i, Frame{nullptr, lru_.end()});
+    }
+    lock.unlock();
+
+    std::vector<std::byte> bytes;
+    try {
+      bytes = read_run(block, run, stats);
+    } catch (...) {
+      // Un-claim: erase our placeholders so a waiter re-claims and retries
+      // the fault itself; the error goes to the caller who performed the
+      // read (whose retry policy owns it).
+      lock.lock();
+      for (std::size_t i = 0; i < run; ++i) map_.erase(block + i);
+      loaded_.notify_all();
+      throw;
+    }
+
+    // The run buffer already holds everything this request needs from the
+    // claimed blocks; serve it directly and publish the frames.
+    const std::size_t run_offset = static_cast<std::size_t>(within);
+    const std::size_t take = std::min<std::size_t>(
+        out.size() - done, run * static_cast<std::size_t>(block_size_) -
+                               run_offset);
+    std::memcpy(out.data() + done, bytes.data() + run_offset, take);
+
+    lock.lock();
+    for (std::size_t i = 0; i < run; ++i) {
+      Frame& frame = map_.at(block + i);
+      frame.data = std::make_shared<const std::vector<std::byte>>(
+          bytes.begin() +
+              static_cast<std::ptrdiff_t>(i * static_cast<std::size_t>(
+                                                  block_size_)),
+          bytes.begin() +
+              static_cast<std::ptrdiff_t>((i + 1) * static_cast<std::size_t>(
+                                                        block_size_)));
+      lru_.push_front(block + i);
+      frame.lru_pos = lru_.begin();
+      ++counters_.fetches;
+      ++counters_.misses;
+      ++stats.miss_blocks;
+    }
+    loaded_.notify_all();
+    evict_to_capacity(lock, stats);
+    done += take;
+  }
+}
+
+void SharedBufferPool::invalidate(std::uint64_t offset, std::uint64_t length) {
+  if (length == 0) return;
+  const std::uint64_t first = offset / block_size_;
+  const std::uint64_t last = (offset + length - 1) / block_size_;
+  std::lock_guard lock(mutex_);
+  for (std::uint64_t block = first; block <= last; ++block) {
+    const auto it = map_.find(block);
+    if (it == map_.end() || it->second.data == nullptr) continue;
+    lru_.erase(it->second.lru_pos);
+    map_.erase(it);
+    ++counters_.invalidated;
+  }
+}
+
+void SharedBufferPool::clear() {
+  std::lock_guard lock(mutex_);
+  for (const std::uint64_t block : lru_) {
+    map_.erase(block);
+    ++counters_.invalidated;
+  }
+  lru_.clear();
+}
+
+CacheCounters SharedBufferPool::counters() const {
+  std::lock_guard lock(mutex_);
+  return counters_;
+}
+
+std::size_t SharedBufferPool::resident_blocks() const {
+  std::lock_guard lock(mutex_);
+  return lru_.size();
+}
+
+}  // namespace oociso::io

@@ -1,0 +1,149 @@
+#pragma once
+// Thread-safe shared block cache with single-flight read deduplication.
+//
+// BufferPool (buffer_pool.h) gives one query exclusive, write-back caching;
+// SharedBufferPool is its serving-side sibling: many concurrent queries
+// read the same immutable brick store through one per-node cache, so
+// overlapping span-space plans and repeated isovalue sweeps hit warm
+// frames instead of re-reading the device. Two properties matter:
+//
+//   1. Single flight. When several queries want a block that is not
+//      resident, exactly one performs the device read; the others block on
+//      the in-flight frame and reuse it (the loser pins the winner's frame
+//      via the frame's shared_ptr). Contiguous missing blocks of one
+//      request are faulted in with a single device read, so a scheduler's
+//      coalesced large read stays one device operation on a cold cache.
+//   2. Honest attribution. The underlying BlockDevice is not thread-safe
+//      and its IoStats cannot be snapshotted per query once shared; every
+//      read() therefore accumulates its own CacheReadStats — the physical
+//      device I/O *this call* triggered plus hit/miss/wait/eviction counts
+//      — which the retrieval stream rolls up into per-query reports.
+//
+// The pool is read-only: it never writes the device, and it assumes no
+// concurrent writer mutates cached ranges (brick stores are immutable
+// after preprocessing; data appended later occupies fresh offsets and is
+// simply faulted in on first use). A consumer that detects a corrupted
+// transfer (chunk CRC mismatch) calls invalidate() so its retry re-reads
+// the device instead of being served the same bad bytes forever.
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "io/block_device.h"
+
+namespace oociso::io {
+
+/// Accounting for SharedBufferPool::read calls, accumulated into the
+/// caller-provided struct (so one struct can cover a retry loop or a whole
+/// stream without touching shared device counters).
+struct CacheReadStats {
+  std::uint64_t hit_blocks = 0;   ///< blocks served from resident frames
+  std::uint64_t miss_blocks = 0;  ///< blocks this caller faulted in
+  std::uint64_t wait_blocks = 0;  ///< blocks reused from another caller's
+                                  ///< in-flight read (single-flight dedup)
+  std::uint64_t evictions = 0;    ///< victims this caller's fault-ins evicted
+  IoStats device_io;              ///< physical device I/O this caller performed
+
+  void merge(const CacheReadStats& other) {
+    hit_blocks += other.hit_blocks;
+    miss_blocks += other.miss_blocks;
+    wait_blocks += other.wait_blocks;
+    evictions += other.evictions;
+    device_io += other.device_io;
+  }
+};
+
+/// Cumulative pool-level counters across all callers. Every resolved block
+/// access is exactly one of hit / miss / wait, so
+/// `hits + misses + waits == fetches` always holds.
+struct CacheCounters {
+  std::uint64_t fetches = 0;      ///< block accesses resolved
+  std::uint64_t hits = 0;         ///< resolved from a resident frame
+  std::uint64_t misses = 0;       ///< resolved by a device read of the caller
+  std::uint64_t waits = 0;        ///< resolved by waiting on another's read
+  std::uint64_t evictions = 0;    ///< frames displaced by capacity pressure
+  std::uint64_t invalidated = 0;  ///< frames dropped by invalidate()/clear()
+
+  void merge(const CacheCounters& other) {
+    fetches += other.fetches;
+    hits += other.hits;
+    misses += other.misses;
+    waits += other.waits;
+    evictions += other.evictions;
+    invalidated += other.invalidated;
+  }
+};
+
+class SharedBufferPool {
+ public:
+  /// `capacity_blocks` bounds resident *ready* frames (M/B in model terms);
+  /// must be >= 1. `device` must outlive the pool, and all access to it
+  /// must go through the pool while the pool is in use (the pool serializes
+  /// device reads internally; the device itself is not thread-safe).
+  SharedBufferPool(BlockDevice& device, std::size_t capacity_blocks);
+
+  SharedBufferPool(const SharedBufferPool&) = delete;
+  SharedBufferPool& operator=(const SharedBufferPool&) = delete;
+
+  /// Cached byte-range read. [offset, offset + out.size()) must lie within
+  /// the device. Thread-safe; accounting for this call is *added* to
+  /// `stats`. Device errors (e.g. injected transients) propagate to the
+  /// caller whose fault-in performed the failing read; waiters of its
+  /// frames retry the fault themselves.
+  void read(std::uint64_t offset, std::span<std::byte> out,
+            CacheReadStats& stats);
+
+  /// Drops ready frames overlapping [offset, offset + length) so the next
+  /// access re-reads the device — the checksum-failure retry path. Frames
+  /// still in flight are left alone (their read is already fresh).
+  void invalidate(std::uint64_t offset, std::uint64_t length);
+
+  /// Drops every ready frame (cold restart between sweeps).
+  void clear();
+
+  [[nodiscard]] CacheCounters counters() const;
+  [[nodiscard]] std::size_t capacity_blocks() const { return capacity_; }
+  /// Ready (servable) resident frames; in-flight loads are not counted.
+  [[nodiscard]] std::size_t resident_blocks() const;
+  [[nodiscard]] std::uint64_t block_size() const { return block_size_; }
+  [[nodiscard]] BlockDevice& device() { return device_; }
+
+ private:
+  struct Frame {
+    /// Null while the winning reader's device read is in flight; waiters
+    /// sleep on `loaded_` until it is set (ready) or the frame is erased
+    /// (the winner's read failed — the waiter re-claims the block). The
+    /// shared_ptr keeps bytes alive for readers even across eviction.
+    std::shared_ptr<const std::vector<std::byte>> data;
+    /// Position in lru_ when ready; lru_.end() while loading.
+    std::list<std::uint64_t>::iterator lru_pos;
+  };
+
+  /// Faults `count` blocks starting at `first_block` in with one device
+  /// read (map lock dropped, device lock held); returns the run's bytes.
+  /// The blocks must already be claimed (loading placeholders inserted).
+  std::vector<std::byte> read_run(std::uint64_t first_block,
+                                  std::size_t count, CacheReadStats& stats);
+
+  void evict_to_capacity(std::unique_lock<std::mutex>& lock,
+                         CacheReadStats& stats);
+
+  BlockDevice& device_;
+  const std::size_t capacity_;
+  const std::uint64_t block_size_;
+
+  mutable std::mutex mutex_;  ///< guards map_, lru_, counters_
+  std::mutex device_mutex_;   ///< serializes device_ access
+  std::condition_variable loaded_;
+  std::unordered_map<std::uint64_t, Frame> map_;
+  std::list<std::uint64_t> lru_;  ///< ready frames, front = MRU
+  CacheCounters counters_;
+};
+
+}  // namespace oociso::io

@@ -57,6 +57,39 @@ std::vector<std::exception_ptr> Cluster::run_collect(
   return parallel_for_collect(pool_, disks_.size(), node_program);
 }
 
+void Cluster::enable_shared_cache(
+    std::size_t capacity_blocks,
+    const std::optional<io::FaultConfig>& inject) {
+  if (!caches_.empty()) {
+    throw std::logic_error("Cluster: shared cache already enabled");
+  }
+  caches_.reserve(disks_.size());
+  if (inject) cache_injectors_.reserve(disks_.size());
+  for (std::size_t i = 0; i < disks_.size(); ++i) {
+    io::BlockDevice* base = disks_[i].get();
+    if (inject) {
+      // Same golden-ratio stride the query engine uses per node, so node
+      // fault streams stay decorrelated without a second seed convention.
+      io::FaultConfig node_config = *inject;
+      node_config.seed = inject->seed + 0x9E3779B97F4A7C15ULL * i;
+      cache_injectors_.push_back(std::make_unique<io::FaultInjectingBlockDevice>(
+          *base, std::move(node_config)));
+      base = cache_injectors_.back().get();
+    }
+    caches_.push_back(
+        std::make_unique<io::SharedBufferPool>(*base, capacity_blocks));
+  }
+}
+
+void Cluster::disable_shared_cache() {
+  caches_.clear();
+  cache_injectors_.clear();
+}
+
+void Cluster::drop_caches() {
+  for (auto& cache : caches_) cache->clear();
+}
+
 std::unique_ptr<io::BlockDevice> Cluster::open_readonly(std::size_t node) {
   if (config_.in_memory) {
     return std::make_unique<io::ReadOnlyBlockDevice>(*disks_.at(node));

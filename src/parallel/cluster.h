@@ -12,10 +12,13 @@
 #include <filesystem>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "io/block_device.h"
+#include "io/fault_injection.h"
 #include "io/io_stats.h"
+#include "io/shared_buffer_pool.h"
 #include "parallel/cost_model.h"
 #include "parallel/thread_pool.h"
 
@@ -66,6 +69,44 @@ class Cluster {
   [[nodiscard]] std::unique_ptr<io::BlockDevice> open_readonly(
       std::size_t node);
 
+  /// Builds one shared, thread-safe brick cache per node so concurrent
+  /// queries against the same stripe dedup their device reads (see
+  /// io/shared_buffer_pool.h). `capacity_blocks` is the per-node frame
+  /// budget. When `inject` is given each node's pool reads through a
+  /// deterministic fault injector (per-node seeds strided by the golden
+  /// ratio, matching the query engine's per-query schedule shape) — the
+  /// cluster owns the injector so every query sharing the pool sees one
+  /// coherent fault stream instead of per-query schedules racing on shared
+  /// frames. Throws std::logic_error if already enabled. Not thread-safe
+  /// against in-flight queries; call between query waves.
+  void enable_shared_cache(
+      std::size_t capacity_blocks,
+      const std::optional<io::FaultConfig>& inject = std::nullopt);
+
+  /// Tears the per-node pools (and any cache-level injectors) down. Must
+  /// not be called while queries are reading through them.
+  void disable_shared_cache();
+
+  /// Node `node`'s shared pool, or nullptr when caching is disabled.
+  [[nodiscard]] io::SharedBufferPool* cache(std::size_t node) {
+    return caches_.empty() ? nullptr : caches_.at(node).get();
+  }
+  [[nodiscard]] const io::SharedBufferPool* cache(std::size_t node) const {
+    return caches_.empty() ? nullptr : caches_.at(node).get();
+  }
+
+  /// What node `node`'s cache-level injector actually did; nullptr when the
+  /// cache was enabled without fault injection.
+  [[nodiscard]] const io::InjectedFaults* cache_injected(
+      std::size_t node) const {
+    return cache_injectors_.empty() ? nullptr
+                                    : &cache_injectors_.at(node)->injected();
+  }
+
+  /// Drops every pool's resident frames (cumulative counters survive) — the
+  /// cold-start switch for warm-vs-cold cache measurements.
+  void drop_caches();
+
   /// Modeled seconds for node-local I/O activity.
   [[nodiscard]] double disk_seconds(const io::IoStats& stats) const {
     return config_.disk.seconds(stats);
@@ -80,6 +121,11 @@ class Cluster {
  private:
   ClusterConfig config_;
   std::vector<std::unique_ptr<io::BlockDevice>> disks_;
+  /// Cache-level fault injectors (empty unless enable_shared_cache was
+  /// given a FaultConfig); each wraps the matching node disk.
+  std::vector<std::unique_ptr<io::FaultInjectingBlockDevice>> cache_injectors_;
+  /// Per-node shared pools (empty while caching is disabled).
+  std::vector<std::unique_ptr<io::SharedBufferPool>> caches_;
   ThreadPool pool_;
 };
 

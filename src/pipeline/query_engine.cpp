@@ -27,6 +27,20 @@ QueryEngine::QueryEngine(parallel::Cluster& cluster,
 QueryReport QueryEngine::run(core::ValueKey isovalue,
                              const QueryOptions& options) {
   const std::size_t p = cluster_.size();
+  if (options.use_shared_cache) {
+    if (options.inject_faults.has_value()) {
+      throw std::invalid_argument(
+          "QueryEngine: per-query inject_faults cannot compose with the "
+          "shared cache — a cached frame outlives the query, so per-query "
+          "fault schedules would race on shared bytes. Inject at the "
+          "cluster level via Cluster::enable_shared_cache instead.");
+    }
+    if (cluster_.cache(0) == nullptr) {
+      throw std::logic_error(
+          "QueryEngine: use_shared_cache requires "
+          "Cluster::enable_shared_cache to have been called");
+    }
+  }
   QueryReport report;
   report.isovalue = isovalue;
   report.nodes.resize(p);
@@ -49,15 +63,20 @@ QueryReport QueryEngine::run(core::ValueKey isovalue,
   std::vector<std::unique_ptr<io::FaultInjectingBlockDevice>> injectors(p);
   if (options.inject_faults.has_value() || !options.dead_nodes.empty()) {
     for (std::size_t i = 0; i < p; ++i) {
+      const bool dead =
+          std::find(options.dead_nodes.begin(), options.dead_nodes.end(), i) !=
+          options.dead_nodes.end();
+      // Under the shared cache only dead nodes get a per-query injector
+      // (fail-all reads bypassing the pool); healthy nodes must read
+      // through the pool, whose cluster-level injector — if any — carries
+      // the fault stream.
+      if (options.use_shared_cache && !dead) continue;
       io::FaultConfig config =
           options.inject_faults.value_or(io::FaultConfig{});
       // Golden-ratio stride decorrelates the per-node schedules while
       // keeping them derivable from the single user-facing seed.
       config.seed += 0x9E3779B97F4A7C15ULL * i;
-      if (std::find(options.dead_nodes.begin(), options.dead_nodes.end(), i) !=
-          options.dead_nodes.end()) {
-        config.fail_all_reads = true;
-      }
+      if (dead) config.fail_all_reads = true;
       injectors[i] = std::make_unique<io::FaultInjectingBlockDevice>(
           cluster_.disk(i), std::move(config));
     }
@@ -70,6 +89,7 @@ QueryReport QueryEngine::run(core::ValueKey isovalue,
   // FaultReport counters are merged rather than overwritten.
   auto extract_stripe = [&](std::size_t node, io::BlockDevice& device,
                             const io::FaultInjectingBlockDevice* injector,
+                            io::SharedBufferPool* cache,
                             parallel::TimeLedger& ledger, bool overlap) {
     NodeReport& node_report = report.nodes[node];
     const index::CompactIntervalTree& tree = data_.trees[node];
@@ -83,7 +103,11 @@ QueryReport QueryEngine::run(core::ValueKey isovalue,
     // with a thread-CPU clock (which keeps concurrent node threads from
     // charging each other for descheduled time — and, unlike the old
     // interleaved re-marking, never has a blocking read inside its window).
-    const io::IoStats io_before = device.stats();
+    // A pooled device is shared across concurrent queries, so its IoStats
+    // cannot be snapshotted per stripe; the stream attributes the physical
+    // miss I/O per batch instead (RecordBatch::cache.device_io).
+    const io::IoStats io_before =
+        cache != nullptr ? io::IoStats{} : device.stats();
     index::QueryPlan plan = tree.plan(isovalue);
     // Pre-size the node's soup from the plan: the surface crosses roughly
     // one cell layer of each active metacell, ~2 triangles per crossed
@@ -96,7 +120,7 @@ QueryReport QueryEngine::run(core::ValueKey isovalue,
     index::RetrievalStream stream(
         std::move(plan), tree.scalar_kind(), tree.record_size(), device,
         options.retrieval,
-        index::BrickDirectory{tree.bricks(), tree.chunk_crcs()});
+        index::BrickDirectory{tree.bricks(), tree.chunk_crcs()}, cache);
 
     // Per-batch modeled I/O and measured CPU, in arrival order, for the
     // ledger's bounded-queue charge below.
@@ -152,14 +176,17 @@ QueryReport QueryEngine::run(core::ValueKey isovalue,
       // Keep what the stream absorbed before the fatal error — the report
       // should show the retries that led up to the exhaustion.
       node_report.faults.retrieval.merge(stream.faults());
+      node_report.cache.merge(stream.cache_stats());
       throw;
     }
     node_report.faults.retrieval.merge(stream.faults());
+    node_report.cache.merge(stream.cache_stats());
 
     const index::QueryStats& stats = stream.stats();
     node_report.active_metacells = stats.active_metacells;
     node_report.records_fetched = stats.records_fetched;
-    node_report.io = device.stats().since(io_before);
+    node_report.io = cache != nullptr ? stream.cache_stats().device_io
+                                      : device.stats().since(io_before);
     node_report.io_model_seconds = cluster_.disk_seconds(node_report.io);
     node_report.io_wall_seconds = stream.io_wall_seconds();
     node_report.triangulation_seconds = cpu_seconds;
@@ -204,7 +231,12 @@ QueryReport QueryEngine::run(core::ValueKey isovalue,
       cluster_.run_collect([&](std::size_t node) {
         io::BlockDevice& device =
             injectors[node] ? *injectors[node] : cluster_.disk(node);
-        extract_stripe(node, device, injectors[node].get(),
+        // Dead nodes keep their fail-all injector even under the shared
+        // cache — their reads must not pollute (or be rescued by) the pool.
+        io::SharedBufferPool* const cache =
+            options.use_shared_cache && !injectors[node] ? cluster_.cache(node)
+                                                         : nullptr;
+        extract_stripe(node, device, injectors[node].get(), cache,
                        report.times.per_node[node],
                        options.overlap_io_compute);
         report.nodes[node].faults.executed_by =
@@ -235,14 +267,23 @@ QueryReport QueryEngine::run(core::ValueKey isovalue,
     }
     if (peer == p) std::rethrow_exception(node_errors[node]);
 
-    // The peer re-runs the stripe serially against a fresh read-only
-    // handle of the dead node's store — bypassing both the dead node's
-    // device handle and its fault injector. The takeover work (and its
-    // rendering) is charged to the peer's ledger: it happens after the
-    // peer's own stripe, which is exactly what degrades completion time.
-    const std::unique_ptr<io::BlockDevice> store = cluster_.open_readonly(node);
-    extract_stripe(node, *store, nullptr, report.times.per_node[peer],
-                   /*overlap=*/false);
+    // The peer re-runs the stripe serially — bypassing the dead node's
+    // fault injector. The takeover work (and its rendering) is charged to
+    // the peer's ledger: it happens after the peer's own stripe, which is
+    // exactly what degrades completion time. Under the shared cache the
+    // peer reads through the dead node's pool (the thread-safe path to its
+    // store, and any frames cached before the node died are still good);
+    // otherwise it opens a fresh read-only handle of the store.
+    if (options.use_shared_cache) {
+      extract_stripe(node, cluster_.disk(node), nullptr, cluster_.cache(node),
+                     report.times.per_node[peer], /*overlap=*/false);
+    } else {
+      const std::unique_ptr<io::BlockDevice> store =
+          cluster_.open_readonly(node);
+      extract_stripe(node, *store, nullptr, nullptr,
+                     report.times.per_node[peer],
+                     /*overlap=*/false);
+    }
     render_stripe(node, report.times.per_node[peer]);
     NodeReport& node_report = report.nodes[node];
     ++node_report.faults.failovers;

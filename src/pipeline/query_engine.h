@@ -80,6 +80,21 @@ struct QueryOptions {
   /// report is flagged degraded. With `false`, the first node error is
   /// rethrown after all nodes settle.
   bool failover = true;
+
+  // ---- concurrent serving -------------------------------------------------
+  /// Read every node's stripe through the cluster's shared per-node pool
+  /// (Cluster::enable_shared_cache) instead of the raw disk: warm frames
+  /// cost no device I/O and concurrent queries single-flight their
+  /// overlapping reads. Results stay bit-identical to the uncached path —
+  /// only NodeReport.io (now the physical miss traffic) and the modeled
+  /// retrieval charge change. Requires the cluster cache to be enabled
+  /// (std::logic_error otherwise) and excludes per-query `inject_faults`
+  /// (std::invalid_argument — inject at the cluster level instead, where
+  /// the fault stream is coherent across the queries sharing frames).
+  /// `dead_nodes` still works: a dead node's reads bypass the pool through
+  /// its fail-all injector, and the failover peer re-executes the stripe
+  /// through the dead node's pool.
+  bool use_shared_cache = false;
 };
 
 /// Per-node fault-handling outcome for one query. All-zero (with
@@ -117,6 +132,10 @@ struct NodeReport {
   /// Modeled I/O of the first batch — the pipeline fill the compute stage
   /// had to wait for.
   double pipeline_fill_seconds = 0.0;
+  /// Shared-pool accounting for this node's stripe (zeros unless the query
+  /// ran with use_shared_cache); `io` above is then the physical miss
+  /// traffic, and hit_blocks were served without touching the device.
+  io::CacheReadStats cache;
   FaultReport faults;
 };
 
@@ -154,6 +173,12 @@ struct QueryReport {
   [[nodiscard]] std::uint32_t total_failovers() const {
     std::uint32_t total = 0;
     for (const auto& node : nodes) total += node.faults.failovers;
+    return total;
+  }
+  /// Cluster-wide shared-cache summary (all zeros for uncached queries).
+  [[nodiscard]] io::CacheReadStats total_cache() const {
+    io::CacheReadStats total;
+    for (const auto& node : nodes) total.merge(node.cache);
     return total;
   }
   /// Cluster completion time: the extraction window (pipelined per-node

@@ -32,7 +32,19 @@ const PreprocessResult& TimeVaryingEngine::step_data(int step) const {
 QueryReport TimeVaryingEngine::query(int step, core::ValueKey isovalue,
                                      const QueryOptions& options) {
   QueryEngine engine(cluster_, step_data(step));
+  if (use_shared_cache_ && !options.use_shared_cache) {
+    QueryOptions cached = options;
+    cached.use_shared_cache = true;
+    return engine.run(isovalue, cached);
+  }
   return engine.run(isovalue, options);
+}
+
+void TimeVaryingEngine::enable_shared_cache(std::size_t capacity_blocks) {
+  if (cluster_.cache(0) == nullptr) {
+    cluster_.enable_shared_cache(capacity_blocks);
+  }
+  use_shared_cache_ = true;
 }
 
 std::uint64_t TimeVaryingEngine::total_index_bytes() const {

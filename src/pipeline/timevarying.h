@@ -39,6 +39,15 @@ class TimeVaryingEngine {
   [[nodiscard]] QueryReport query(int step, core::ValueKey isovalue,
                                   const QueryOptions& options = {});
 
+  /// Enables the cluster's shared per-node pools and makes query() read
+  /// through them (sets use_shared_cache on every subsequent call unless
+  /// the caller's options already decided). Because all steps' bricks live
+  /// on the same per-node disks, frames cached while sweeping one step stay
+  /// warm for the next — revisiting a step, or adjacent steps sharing
+  /// isovalue bands, skips the device entirely for the overlapping blocks.
+  /// No-op when the cluster cache is already enabled.
+  void enable_shared_cache(std::size_t capacity_blocks);
+
   /// Total in-core index bytes across all steps and nodes (the quantity
   /// Section 5.2 argues stays small).
   [[nodiscard]] std::uint64_t total_index_bytes() const;
@@ -47,6 +56,7 @@ class TimeVaryingEngine {
   parallel::Cluster& cluster_;
   VolumeProvider provider_;
   std::int32_t samples_per_side_;
+  bool use_shared_cache_ = false;
   std::vector<int> step_ids_;
   std::vector<PreprocessResult> step_data_;
 };

@@ -1,0 +1,103 @@
+#include "serve/query_server.h"
+
+#include <future>
+#include <stdexcept>
+#include <utility>
+
+namespace oociso::serve {
+
+QueryServer::QueryServer(parallel::Cluster& cluster,
+                         const pipeline::PreprocessResult& data,
+                         ServeOptions options)
+    : cluster_(cluster), data_(data), options_(std::move(options)) {
+  if (options_.max_concurrent_queries == 0) {
+    throw std::invalid_argument("QueryServer: need at least one query slot");
+  }
+  if (options_.query.inject_faults.has_value()) {
+    throw std::invalid_argument(
+        "QueryServer: per-query inject_faults cannot compose with shared "
+        "pools; use ServeOptions::inject_faults (cluster-level) instead");
+  }
+  options_.query.use_shared_cache = true;
+  cluster_.enable_shared_cache(options_.cache_capacity_blocks,
+                               options_.inject_faults);
+  admission_ =
+      std::make_unique<parallel::ThreadPool>(options_.max_concurrent_queries);
+}
+
+QueryServer::~QueryServer() {
+  // Join the admission workers first — after this no query is reading
+  // through a pool — then tear the pools down.
+  admission_.reset();
+  cluster_.disable_shared_cache();
+}
+
+pipeline::QueryReport QueryServer::run_admitted(
+    const pipeline::PreprocessResult& data, core::ValueKey isovalue) {
+  {
+    const std::lock_guard lock(gauge_mutex_);
+    ++in_flight_;
+    if (in_flight_ > peak_in_flight_) peak_in_flight_ = in_flight_;
+  }
+  pipeline::QueryEngine engine(cluster_, data);
+  try {
+    pipeline::QueryReport report = engine.run(isovalue, options_.query);
+    const std::lock_guard lock(gauge_mutex_);
+    --in_flight_;
+    return report;
+  } catch (...) {
+    const std::lock_guard lock(gauge_mutex_);
+    --in_flight_;
+    throw;
+  }
+}
+
+pipeline::QueryReport QueryServer::query(core::ValueKey isovalue) {
+  return admission_
+      ->submit([this, isovalue] { return run_admitted(data_, isovalue); })
+      .get();
+}
+
+pipeline::QueryReport QueryServer::query_step(
+    const pipeline::PreprocessResult& step, core::ValueKey isovalue) {
+  return admission_
+      ->submit([this, &step, isovalue] { return run_admitted(step, isovalue); })
+      .get();
+}
+
+std::vector<pipeline::QueryReport> QueryServer::serve(
+    std::span<const core::ValueKey> isovalues) {
+  std::vector<std::future<pipeline::QueryReport>> pending;
+  pending.reserve(isovalues.size());
+  for (const core::ValueKey isovalue : isovalues) {
+    pending.push_back(admission_->submit(
+        [this, isovalue] { return run_admitted(data_, isovalue); }));
+  }
+  std::vector<pipeline::QueryReport> reports;
+  reports.reserve(pending.size());
+  for (auto& request : pending) reports.push_back(request.get());
+  return reports;
+}
+
+void QueryServer::drop_caches() { cluster_.drop_caches(); }
+
+io::CacheCounters QueryServer::cache_counters() const {
+  io::CacheCounters total;
+  for (std::size_t node = 0; node < cluster_.size(); ++node) {
+    total.merge(cache_counters(node));
+  }
+  return total;
+}
+
+io::CacheCounters QueryServer::cache_counters(std::size_t node) const {
+  const io::SharedBufferPool* pool =
+      static_cast<const parallel::Cluster&>(cluster_).cache(node);
+  return pool != nullptr ? pool->counters() : io::CacheCounters{};
+}
+
+std::size_t QueryServer::peak_in_flight() const {
+  const std::lock_guard lock(gauge_mutex_);
+  return peak_in_flight_;
+}
+
+}  // namespace oociso::serve

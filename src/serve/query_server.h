@@ -1,0 +1,126 @@
+#pragma once
+// Concurrent isovalue query serving (the interactive-session workload the
+// paper's Section 7 sweeps emulate one request at a time).
+//
+// A QueryServer admits up to N concurrent isovalue queries against one
+// preprocessed cluster. Every query executes through the standard
+// QueryEngine path — per-node interval-tree plans, offset-sorted coalesced
+// retrieval, marching cubes — but all of them read through the cluster's
+// shared per-node brick pools (Cluster::enable_shared_cache, owned by the
+// server), so:
+//
+//   * two queries wanting the same coalesced slice issue ONE device read
+//     (single-flight dedup; the loser pins the winner's frame),
+//   * a repeated or adjacent isovalue finds its blocks warm and skips the
+//     device entirely — across time steps too, since all steps share the
+//     per-node disks,
+//   * concurrency stays bit-identical to serial execution: marching cubes
+//     consumes the same bytes in the same plan order regardless of which
+//     query faulted them in.
+//
+// Admission is a fixed worker pool of max_concurrent_queries threads:
+// excess requests queue instead of piling cache pressure on the pools.
+// Fault-model compatible: transient/corruption injection moves to the
+// cluster level (one coherent fault stream under the shared frames), CRC
+// verification and bounded retry still run per query inside the stream,
+// and dead nodes fail over to peers that re-read the stripe through the
+// dead node's pool.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/interval.h"
+#include "io/fault_injection.h"
+#include "io/shared_buffer_pool.h"
+#include "parallel/cluster.h"
+#include "parallel/thread_pool.h"
+#include "pipeline/preprocess.h"
+#include "pipeline/query_engine.h"
+
+namespace oociso::serve {
+
+struct ServeOptions {
+  /// Queries executing at once; further requests wait in the admission
+  /// queue. Must be >= 1.
+  std::size_t max_concurrent_queries = 4;
+  /// Per-node shared pool capacity (M/B frames per node).
+  std::size_t cache_capacity_blocks = 4096;
+  /// Cluster-level fault injection under the pools (per-node seeds strided
+  /// as usual). Queries served through the pools see the transients and
+  /// corruptions through their normal CRC/retry machinery.
+  std::optional<io::FaultConfig> inject_faults;
+  /// Base options for every query. `use_shared_cache` is forced on;
+  /// `inject_faults` must stay empty (use the field above). `dead_nodes`
+  /// and `failover` compose with serving as they do with single queries.
+  pipeline::QueryOptions query;
+};
+
+class QueryServer {
+ public:
+  /// Enables the cluster's shared pools (throws std::logic_error if some
+  /// other owner already enabled them) and validates the options.
+  /// `cluster` and `data` must outlive the server.
+  QueryServer(parallel::Cluster& cluster, const pipeline::PreprocessResult& data,
+              ServeOptions options = {});
+  /// Waits for in-flight queries, then tears the shared pools down.
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Executes one isovalue query through the admission queue and waits for
+  /// its report. Thread-safe; callers on different threads are exactly the
+  /// concurrent clients the server exists for.
+  [[nodiscard]] pipeline::QueryReport query(core::ValueKey isovalue);
+
+  /// Like query(), but for one preprocessed time step of a time-varying
+  /// dataset (`step` must outlive the call; all steps share the per-node
+  /// pools, which is what keeps a step revisit warm).
+  [[nodiscard]] pipeline::QueryReport query_step(
+      const pipeline::PreprocessResult& step, core::ValueKey isovalue);
+
+  /// Submits all isovalues at once and waits; reports come back in request
+  /// order while execution overlaps up to max_concurrent_queries.
+  [[nodiscard]] std::vector<pipeline::QueryReport> serve(
+      std::span<const core::ValueKey> isovalues);
+
+  /// Drops every node pool's resident frames (counters survive) — the
+  /// cold-start switch between measurement passes.
+  void drop_caches();
+
+  /// Pool-level counters summed over nodes / for one node. The invariant
+  /// `hits + misses + waits == fetches` holds for both views.
+  [[nodiscard]] io::CacheCounters cache_counters() const;
+  [[nodiscard]] io::CacheCounters cache_counters(std::size_t node) const;
+
+  /// High-water mark of queries executing simultaneously since startup
+  /// (<= max_concurrent_queries by construction).
+  [[nodiscard]] std::size_t peak_in_flight() const;
+
+  [[nodiscard]] const ServeOptions& options() const { return options_; }
+
+ private:
+  /// The body of one admitted query: gauge in, run the engine against
+  /// `data` through the shared pools, gauge out.
+  [[nodiscard]] pipeline::QueryReport run_admitted(
+      const pipeline::PreprocessResult& data, core::ValueKey isovalue);
+
+  parallel::Cluster& cluster_;
+  const pipeline::PreprocessResult& data_;
+  ServeOptions options_;
+
+  mutable std::mutex gauge_mutex_;  ///< guards the in-flight gauge
+  std::size_t in_flight_ = 0;
+  std::size_t peak_in_flight_ = 0;
+
+  /// Admission pool, behind a pointer so the destructor can join all
+  /// workers (completing every in-flight query) before it tears the shared
+  /// pools down.
+  std::unique_ptr<parallel::ThreadPool> admission_;
+};
+
+}  // namespace oociso::serve

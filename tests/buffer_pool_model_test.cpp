@@ -1,0 +1,325 @@
+// Property-based model tests for the two block caches: BufferPool (the
+// exclusive write-back pool) is driven with random operation sequences
+// against a plain byte-map reference model, and SharedBufferPool (the
+// serving-side shared cache) is checked for its accounting invariant, its
+// single-flight read dedup, and invalidate-forces-refetch semantics.
+// Carries the ctest label `serve` together with serve_test.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "io/buffer_pool.h"
+#include "io/memory_block_device.h"
+#include "io/shared_buffer_pool.h"
+#include "util/rng.h"
+
+namespace oociso {
+namespace {
+
+constexpr std::uint64_t kBlock = 64;  // small blocks -> many interactions
+
+std::byte pattern_byte(std::uint64_t offset) {
+  return static_cast<std::byte>((offset * 2654435761u) >> 13);
+}
+
+/// Fills a device with a position-dependent pattern so any misplaced or
+/// stale byte is detectable from its offset alone.
+void fill_device(io::MemoryBlockDevice& device, std::uint64_t bytes) {
+  std::vector<std::byte> data(static_cast<std::size_t>(bytes));
+  for (std::uint64_t i = 0; i < bytes; ++i) data[i] = pattern_byte(i);
+  device.write(0, data);
+}
+
+// ---------------------------------------------------------------------------
+// BufferPool vs reference model
+// ---------------------------------------------------------------------------
+
+// The reference model is the simplest thing that could be correct: a flat
+// byte map. The pool must agree with it after any interleaving of reads,
+// writes, pins, flushes — while also keeping its own bookkeeping invariants:
+//   * hits + misses == block fetches we performed,
+//   * resident == misses - evictions (nothing else removes frames),
+//   * resident never exceeds capacity,
+//   * pinned frames are never evicted and their bytes stay stable.
+TEST(BufferPoolModel, RandomOpsMatchReferenceModel) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    util::Xoshiro256 rng(seed);
+    io::MemoryBlockDevice device(kBlock);
+    const std::uint64_t device_bytes = kBlock * 40;
+    fill_device(device, device_bytes);
+
+    const std::size_t capacity = 8;
+    io::BufferPool pool(device, capacity);
+    std::vector<std::byte> model(static_cast<std::size_t>(device_bytes));
+    for (std::uint64_t i = 0; i < device_bytes; ++i) {
+      model[static_cast<std::size_t>(i)] = pattern_byte(i);
+    }
+
+    std::uint64_t fetches = 0;  // block touches we asked the pool for
+    const auto blocks_of = [&](std::uint64_t offset, std::size_t length) {
+      return (offset % kBlock + length + kBlock - 1) / kBlock;
+    };
+
+    for (int op = 0; op < 400; ++op) {
+      const std::uint64_t offset = rng.bounded(device_bytes - 1);
+      const std::size_t length = static_cast<std::size_t>(
+          1 + rng.bounded(std::min<std::uint64_t>(device_bytes - offset,
+                                                  kBlock * 3)));
+      switch (rng.bounded(4)) {
+        case 0: {  // read: must match the model exactly
+          std::vector<std::byte> got(length);
+          pool.read(offset, got);
+          fetches += blocks_of(offset, length);
+          ASSERT_EQ(0, std::memcmp(got.data(),
+                                   model.data() + static_cast<std::size_t>(
+                                                      offset),
+                                   length));
+          break;
+        }
+        case 1: {  // write: apply to both pool and model
+          std::vector<std::byte> data(length);
+          for (auto& b : data) {
+            b = static_cast<std::byte>(rng.bounded(256));
+          }
+          pool.write(offset, data);
+          fetches += blocks_of(offset, length);
+          std::memcpy(model.data() + static_cast<std::size_t>(offset),
+                      data.data(), length);
+          break;
+        }
+        case 2: {  // pinned round trip: bytes stable across pressure
+          const std::uint64_t block = offset / kBlock;
+          const auto pin = pool.pin_block(block);
+          ++fetches;
+          std::vector<std::byte> snapshot(pin.data().begin(),
+                                          pin.data().end());
+          // Pressure: touch other blocks while the pin is live. The pool
+          // must evict around the pinned frame, never through it.
+          for (int pressure = 0; pressure < 3; ++pressure) {
+            const std::uint64_t other = rng.bounded(device_bytes / kBlock);
+            std::vector<std::byte> scratch(kBlock);
+            pool.read(other * kBlock, scratch);
+            ++fetches;
+          }
+          ASSERT_EQ(0, std::memcmp(snapshot.data(), pin.data().data(),
+                                   snapshot.size()));
+          break;
+        }
+        default:
+          pool.flush();
+          break;
+      }
+      // Invariants hold after every operation, not just at the end.
+      ASSERT_EQ(pool.hits() + pool.misses(), fetches);
+      ASSERT_LE(pool.resident_blocks(), capacity);
+      ASSERT_EQ(pool.resident_blocks(), pool.misses() - pool.evictions());
+    }
+
+    // After a final flush the device itself must agree with the model.
+    pool.flush();
+    std::vector<std::byte> device_bytes_out(
+        static_cast<std::size_t>(device_bytes));
+    device.read(0, device_bytes_out);
+    EXPECT_EQ(0, std::memcmp(device_bytes_out.data(), model.data(),
+                             device_bytes_out.size()));
+    EXPECT_GT(pool.evictions(), 0u);  // capacity 8 over 40 blocks must evict
+  }
+}
+
+TEST(BufferPoolModel, AllFramesPinnedRefusesToEvict) {
+  io::MemoryBlockDevice device(kBlock);
+  fill_device(device, kBlock * 8);
+  io::BufferPool pool(device, 2);
+  const auto pin0 = pool.pin_block(0);
+  const auto pin1 = pool.pin_block(1);
+  EXPECT_THROW((void)pool.pin_block(2), std::runtime_error);
+  // The pinned frames survived the failed fault-in.
+  EXPECT_EQ(pin0.data()[0], pattern_byte(0));
+  EXPECT_EQ(pin1.data()[0], pattern_byte(kBlock));
+}
+
+// ---------------------------------------------------------------------------
+// SharedBufferPool: accounting and semantics (single-threaded model)
+// ---------------------------------------------------------------------------
+
+TEST(SharedBufferPoolModel, RandomReadsMatchDeviceAndCounters) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    util::Xoshiro256 rng(seed * 77);
+    io::MemoryBlockDevice device(kBlock);
+    const std::uint64_t device_bytes = kBlock * 64;
+    fill_device(device, device_bytes);
+
+    io::SharedBufferPool pool(device, /*capacity_blocks=*/16);
+    io::CacheReadStats stats;
+    for (int op = 0; op < 300; ++op) {
+      const std::uint64_t offset = rng.bounded(device_bytes - 1);
+      const std::size_t length = static_cast<std::size_t>(
+          1 + rng.bounded(std::min<std::uint64_t>(device_bytes - offset,
+                                                  kBlock * 5)));
+      std::vector<std::byte> got(length);
+      pool.read(offset, got, stats);
+      for (std::size_t i = 0; i < length; ++i) {
+        ASSERT_EQ(got[i], pattern_byte(offset + i));
+      }
+
+      const io::CacheCounters counters = pool.counters();
+      ASSERT_EQ(counters.hits + counters.misses + counters.waits,
+                counters.fetches);
+      ASSERT_EQ(counters.waits, 0u);  // single-threaded: nobody to wait on
+      ASSERT_LE(pool.resident_blocks(), pool.capacity_blocks());
+    }
+    // Per-call stats are the same accounting from the caller's side.
+    const io::CacheCounters counters = pool.counters();
+    EXPECT_EQ(stats.hit_blocks, counters.hits);
+    EXPECT_EQ(stats.miss_blocks, counters.misses);
+    EXPECT_EQ(stats.evictions, counters.evictions);
+    EXPECT_GT(counters.evictions, 0u);  // 16 frames over 64 blocks
+    // Physical reads happened only for misses: every miss is one block.
+    EXPECT_EQ(stats.device_io.blocks_read, counters.misses);
+  }
+}
+
+TEST(SharedBufferPoolModel, WarmRereadIsAllHitsAndNoDeviceIo) {
+  io::MemoryBlockDevice device(kBlock);
+  fill_device(device, kBlock * 8);
+  io::SharedBufferPool pool(device, 8);
+
+  io::CacheReadStats cold;
+  std::vector<std::byte> out(kBlock * 8);
+  pool.read(0, out, cold);
+  EXPECT_EQ(cold.miss_blocks, 8u);
+  EXPECT_EQ(cold.device_io.read_ops, 1u);  // one contiguous run, one read
+
+  io::CacheReadStats warm;
+  pool.read(0, out, warm);
+  EXPECT_EQ(warm.hit_blocks, 8u);
+  EXPECT_EQ(warm.miss_blocks, 0u);
+  EXPECT_EQ(warm.device_io.read_ops, 0u);
+}
+
+TEST(SharedBufferPoolModel, InvalidateForcesRefetchOfCoveredBlocksOnly) {
+  io::MemoryBlockDevice device(kBlock);
+  fill_device(device, kBlock * 8);
+  io::SharedBufferPool pool(device, 8);
+
+  io::CacheReadStats stats;
+  std::vector<std::byte> out(kBlock * 8);
+  pool.read(0, out, stats);
+
+  // Drop blocks 2..3 (byte range chosen to straddle both).
+  pool.invalidate(2 * kBlock + 7, kBlock + 1);
+  EXPECT_EQ(pool.counters().invalidated, 2u);
+
+  io::CacheReadStats after;
+  pool.read(0, out, after);
+  EXPECT_EQ(after.miss_blocks, 2u);
+  EXPECT_EQ(after.hit_blocks, 6u);
+
+  // clear() is a full invalidate.
+  pool.clear();
+  io::CacheReadStats cleared;
+  pool.read(0, out, cleared);
+  EXPECT_EQ(cleared.miss_blocks, 8u);
+}
+
+TEST(SharedBufferPoolModel, ReadBeyondDeviceEndIsZeroFilled) {
+  io::MemoryBlockDevice device(kBlock);
+  // 2.5 blocks of data: the final block is short on the device.
+  fill_device(device, kBlock * 2 + kBlock / 2);
+  io::SharedBufferPool pool(device, 8);
+
+  io::CacheReadStats stats;
+  std::vector<std::byte> out(kBlock * 3);
+  pool.read(0, out, stats);
+  for (std::uint64_t i = 0; i < kBlock * 2 + kBlock / 2; ++i) {
+    ASSERT_EQ(out[static_cast<std::size_t>(i)], pattern_byte(i));
+  }
+  for (std::uint64_t i = kBlock * 2 + kBlock / 2; i < kBlock * 3; ++i) {
+    ASSERT_EQ(out[static_cast<std::size_t>(i)], std::byte{0});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SharedBufferPool: concurrency
+// ---------------------------------------------------------------------------
+
+// Every block is claimed by exactly one thread under the map mutex, so no
+// matter how 8 threads interleave over the same range, each block is read
+// from the device exactly once — the single-flight guarantee, observable
+// as a hard equality on the device's block counter.
+TEST(SharedBufferPoolConcurrency, SingleFlightReadsEachBlockOnce) {
+  io::MemoryBlockDevice device(kBlock);
+  const std::uint64_t blocks = 64;
+  fill_device(device, kBlock * blocks);
+  io::SharedBufferPool pool(device, blocks);  // no eviction pressure
+
+  constexpr int kThreads = 8;
+  std::vector<io::CacheReadStats> stats(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<std::byte> out(kBlock * blocks);
+      pool.read(0, out, stats[t]);
+      for (std::uint64_t i = 0; i < out.size(); ++i) {
+        ASSERT_EQ(out[static_cast<std::size_t>(i)], pattern_byte(i));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(device.stats().blocks_read, blocks);
+  const io::CacheCounters counters = pool.counters();
+  EXPECT_EQ(counters.hits + counters.misses + counters.waits,
+            counters.fetches);
+  EXPECT_EQ(counters.fetches, blocks * kThreads);
+  EXPECT_EQ(counters.misses, blocks);  // one fault-in per block, total
+  io::CacheReadStats merged;
+  for (const auto& s : stats) merged.merge(s);
+  EXPECT_EQ(merged.device_io.blocks_read, blocks);
+}
+
+TEST(SharedBufferPoolConcurrency, RandomConcurrentReadsStayConsistent) {
+  io::MemoryBlockDevice device(kBlock);
+  const std::uint64_t device_bytes = kBlock * 48;
+  fill_device(device, device_bytes);
+  io::SharedBufferPool pool(device, 12);  // heavy eviction pressure
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      util::Xoshiro256 rng(static_cast<std::uint64_t>(t) + 99);
+      io::CacheReadStats stats;
+      for (int op = 0; op < 200; ++op) {
+        const std::uint64_t offset = rng.bounded(device_bytes - 1);
+        const std::size_t length = static_cast<std::size_t>(
+            1 + rng.bounded(std::min<std::uint64_t>(device_bytes - offset,
+                                                    kBlock * 4)));
+        std::vector<std::byte> got(length);
+        pool.read(offset, got, stats);
+        for (std::size_t i = 0; i < length; ++i) {
+          ASSERT_EQ(got[i], pattern_byte(offset + i));
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const io::CacheCounters counters = pool.counters();
+  EXPECT_EQ(counters.hits + counters.misses + counters.waits,
+            counters.fetches);
+  EXPECT_LE(pool.resident_blocks(), pool.capacity_blocks());
+  // Dedup across threads: physical reads stayed below logical fetches.
+  EXPECT_LT(counters.misses, counters.fetches);
+}
+
+}  // namespace
+}  // namespace oociso

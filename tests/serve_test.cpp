@@ -1,0 +1,364 @@
+// Concurrent query serving: N simultaneous isovalue queries through the
+// shared per-node brick pools must produce meshes bit-identical to serial
+// uncached execution — clean, under injected transient/corruption faults,
+// and across dead-node failover — while the pools dedup and warm the reads.
+// Carries the ctest label `serve`; the concurrency tests double as the
+// TSan targets (see CMakePresets.json / CI).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <vector>
+
+#include "data/rm_generator.h"
+#include "io/fault_injection.h"
+#include "metacell/source.h"
+#include "parallel/cluster.h"
+#include "pipeline/query_engine.h"
+#include "pipeline/timevarying.h"
+#include "serve/query_server.h"
+
+namespace oociso {
+namespace {
+
+parallel::Cluster make_cluster(std::size_t nodes) {
+  parallel::ClusterConfig config;
+  config.node_count = nodes;
+  config.in_memory = true;
+  return parallel::Cluster(config);
+}
+
+data::RmConfig small_rm() {
+  data::RmConfig config;
+  config.dims = {48, 48, 44};
+  return config;
+}
+
+bool same_triangles(const extract::TriangleSoup& a,
+                    const extract::TriangleSoup& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.triangles().data(), b.triangles().data(),
+                      a.size() * sizeof(extract::Triangle)) == 0);
+}
+
+/// The isovalue band the 48^3 RM step actually crosses, wide enough that
+/// the eight queries' plans overlap heavily (that overlap is what the
+/// single-flight dedup and warm reuse act on).
+std::vector<core::ValueKey> sweep_isovalues() {
+  return {96.0f, 110.0f, 120.0f, 128.0f, 135.0f, 150.0f, 170.0f, 190.0f};
+}
+
+/// Serial uncached reference soups, one per isovalue.
+std::vector<extract::TriangleSoup> serial_reference(
+    parallel::Cluster& cluster, const pipeline::PreprocessResult& prep,
+    const std::vector<core::ValueKey>& isovalues) {
+  pipeline::QueryEngine engine(cluster, prep);
+  pipeline::QueryOptions options;
+  options.render = false;
+  options.keep_triangles = true;
+  std::vector<extract::TriangleSoup> soups;
+  soups.reserve(isovalues.size());
+  for (const core::ValueKey isovalue : isovalues) {
+    soups.push_back(std::move(*engine.run(isovalue, options).triangles_out));
+  }
+  return soups;
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency stress: bit-identical to serial
+// ---------------------------------------------------------------------------
+
+TEST(QueryServerStress, EightConcurrentQueriesMatchSerialBaseline) {
+  const auto volume = data::generate_rm_timestep(small_rm(), 200);
+  auto cluster = make_cluster(4);
+  const auto source = metacell::make_source(volume, 9);
+  const pipeline::PreprocessResult prep =
+      pipeline::preprocess(*source, cluster);
+
+  const std::vector<core::ValueKey> isovalues = sweep_isovalues();
+  const std::vector<extract::TriangleSoup> reference =
+      serial_reference(cluster, prep, isovalues);
+
+  serve::ServeOptions options;
+  options.max_concurrent_queries = 8;
+  options.cache_capacity_blocks = 512;
+  options.query.render = false;
+  options.query.keep_triangles = true;
+  serve::QueryServer server(cluster, prep, options);
+
+  const std::vector<pipeline::QueryReport> reports =
+      server.serve(isovalues);
+  ASSERT_EQ(reports.size(), isovalues.size());
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    ASSERT_TRUE(reports[i].triangles_out.has_value());
+    EXPECT_TRUE(same_triangles(*reports[i].triangles_out, reference[i]))
+        << "isovalue " << isovalues[i];
+    EXPECT_FALSE(reports[i].degraded);
+  }
+
+  // The pools saw every query; their ledger must balance exactly.
+  const io::CacheCounters counters = server.cache_counters();
+  EXPECT_EQ(counters.hits + counters.misses + counters.waits,
+            counters.fetches);
+  EXPECT_GT(counters.fetches, 0u);
+  // Overlapping plans dedup: the device was touched less than the queries
+  // logically read.
+  EXPECT_LT(counters.misses, counters.fetches);
+}
+
+TEST(QueryServerStress, ConcurrentQueriesUnderInjectedFaultsStayIdentical) {
+  const auto volume = data::generate_rm_timestep(small_rm(), 200);
+  auto cluster = make_cluster(4);
+  const auto source = metacell::make_source(volume, 9);
+  const pipeline::PreprocessResult prep =
+      pipeline::preprocess(*source, cluster);
+
+  const std::vector<core::ValueKey> isovalues = sweep_isovalues();
+  const std::vector<extract::TriangleSoup> reference =
+      serial_reference(cluster, prep, isovalues);
+
+  // Aggressive rates with a deep retry budget: at these settings a fault is
+  // all but guaranteed to occur somewhere in the sweep, while the chance of
+  // any single read exhausting 10 attempts is negligible — deterministic
+  // assertions on both sides, no flake window.
+  serve::ServeOptions options;
+  options.max_concurrent_queries = 8;
+  options.cache_capacity_blocks = 512;
+  io::FaultConfig faults;
+  faults.seed = 7;
+  faults.read_failure_rate = 0.1;
+  faults.read_corruption_rate = 0.3;
+  options.inject_faults = faults;
+  options.query.render = false;
+  options.query.keep_triangles = true;
+  options.query.retrieval.retry.max_attempts = 10;
+  serve::QueryServer server(cluster, prep, options);
+
+  const std::vector<pipeline::QueryReport> reports =
+      server.serve(isovalues);
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    ASSERT_TRUE(reports[i].triangles_out.has_value());
+    EXPECT_TRUE(same_triangles(*reports[i].triangles_out, reference[i]))
+        << "isovalue " << isovalues[i];
+  }
+
+  // The injectors under the pools really fired, and every corrupted
+  // transfer that reached a stream was caught by a chunk CRC (a corrupted
+  // frame may be detected by several queries sharing it, so detections can
+  // exceed injections — but injections > 0 must imply detections > 0).
+  std::uint64_t injected = 0;
+  for (std::size_t node = 0; node < cluster.size(); ++node) {
+    const io::InjectedFaults* stats = cluster.cache_injected(node);
+    ASSERT_NE(stats, nullptr);
+    injected += stats->read_failures + stats->corrupted_reads;
+  }
+  EXPECT_GT(injected, 0u);
+
+  index::RetrievalFaults total;
+  for (const auto& report : reports) {
+    total.merge(report.total_retrieval_faults());
+  }
+  EXPECT_GT(total.retries, 0u);
+}
+
+TEST(QueryServerStress, DeadNodeFailsOverThroughItsPool) {
+  const auto volume = data::generate_rm_timestep(small_rm(), 200);
+  auto cluster = make_cluster(4);
+  const auto source = metacell::make_source(volume, 9);
+  const pipeline::PreprocessResult prep =
+      pipeline::preprocess(*source, cluster);
+
+  const std::vector<core::ValueKey> isovalues = {128.0f, 150.0f};
+  const std::vector<extract::TriangleSoup> reference =
+      serial_reference(cluster, prep, isovalues);
+
+  serve::ServeOptions options;
+  options.max_concurrent_queries = 2;
+  options.cache_capacity_blocks = 512;
+  options.query.render = false;
+  options.query.keep_triangles = true;
+  options.query.dead_nodes = {2};
+  serve::QueryServer server(cluster, prep, options);
+
+  const std::vector<pipeline::QueryReport> reports =
+      server.serve(isovalues);
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    EXPECT_TRUE(reports[i].degraded);
+    EXPECT_EQ(reports[i].total_failovers(), 1u);
+    EXPECT_NE(reports[i].nodes[2].faults.executed_by, 2);
+    ASSERT_TRUE(reports[i].triangles_out.has_value());
+    EXPECT_TRUE(same_triangles(*reports[i].triangles_out, reference[i]))
+        << "isovalue " << isovalues[i];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Warm/cold equivalence
+// ---------------------------------------------------------------------------
+
+TEST(QueryServerWarm, RepeatedSweepIsIdenticalAndStrictlyCheaper) {
+  const auto volume = data::generate_rm_timestep(small_rm(), 200);
+  auto cluster = make_cluster(4);
+  const auto source = metacell::make_source(volume, 9);
+  const pipeline::PreprocessResult prep =
+      pipeline::preprocess(*source, cluster);
+
+  const std::vector<core::ValueKey> isovalues = sweep_isovalues();
+
+  serve::ServeOptions options;
+  options.max_concurrent_queries = 1;  // serial passes isolate warm effects
+  options.cache_capacity_blocks = 4096;  // whole working set fits
+  options.query.render = false;
+  options.query.keep_triangles = true;
+  serve::QueryServer server(cluster, prep, options);
+
+  const std::vector<pipeline::QueryReport> cold = server.serve(isovalues);
+  const std::vector<pipeline::QueryReport> warm = server.serve(isovalues);
+  ASSERT_EQ(cold.size(), warm.size());
+
+  std::uint64_t cold_read_ops = 0;
+  std::uint64_t warm_read_ops = 0;
+  std::uint64_t warm_hits = 0;
+  for (std::size_t i = 0; i < cold.size(); ++i) {
+    // Identical records: same mesh, same logical query counters.
+    ASSERT_TRUE(same_triangles(*warm[i].triangles_out,
+                               *cold[i].triangles_out));
+    EXPECT_EQ(warm[i].total_active_metacells(),
+              cold[i].total_active_metacells());
+    EXPECT_EQ(warm[i].total_triangles(), cold[i].total_triangles());
+    for (const auto& node : cold[i].nodes) cold_read_ops += node.io.read_ops;
+    for (const auto& node : warm[i].nodes) warm_read_ops += node.io.read_ops;
+    warm_hits += warm[i].total_cache().hit_blocks;
+  }
+  // Everything fits, so the warm pass never touches the device.
+  EXPECT_GT(cold_read_ops, 0u);
+  EXPECT_LT(warm_read_ops, cold_read_ops);
+  EXPECT_EQ(warm_read_ops, 0u);
+  EXPECT_GT(warm_hits, 0u);
+}
+
+TEST(QueryServerWarm, DropCachesRestoresColdBehaviour) {
+  const auto volume = data::generate_rm_timestep(small_rm(), 200);
+  auto cluster = make_cluster(2);
+  const auto source = metacell::make_source(volume, 9);
+  const pipeline::PreprocessResult prep =
+      pipeline::preprocess(*source, cluster);
+
+  serve::ServeOptions options;
+  options.max_concurrent_queries = 1;
+  options.query.render = false;
+  serve::QueryServer server(cluster, prep, options);
+
+  const pipeline::QueryReport first = server.query(128.0f);
+  server.drop_caches();
+  const pipeline::QueryReport again = server.query(128.0f);
+
+  std::uint64_t first_ops = 0;
+  std::uint64_t again_ops = 0;
+  for (const auto& node : first.nodes) first_ops += node.io.read_ops;
+  for (const auto& node : again.nodes) again_ops += node.io.read_ops;
+  EXPECT_EQ(first_ops, again_ops);  // cold again after the drop
+  EXPECT_EQ(again.total_cache().hit_blocks, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control and API contracts
+// ---------------------------------------------------------------------------
+
+TEST(QueryServerAdmission, InFlightNeverExceedsTheConfiguredBound) {
+  const auto volume = data::generate_rm_timestep(small_rm(), 200);
+  auto cluster = make_cluster(2);
+  const auto source = metacell::make_source(volume, 9);
+  const pipeline::PreprocessResult prep =
+      pipeline::preprocess(*source, cluster);
+
+  serve::ServeOptions options;
+  options.max_concurrent_queries = 2;
+  options.query.render = false;
+  serve::QueryServer server(cluster, prep, options);
+
+  const std::vector<core::ValueKey> isovalues = sweep_isovalues();
+  (void)server.serve(isovalues);
+  EXPECT_LE(server.peak_in_flight(), 2u);
+  EXPECT_GE(server.peak_in_flight(), 1u);
+}
+
+TEST(QueryServerAdmission, RejectsPerQueryInjectionAndZeroSlots) {
+  const auto volume = data::generate_rm_timestep(small_rm(), 150);
+  auto cluster = make_cluster(2);
+  const auto source = metacell::make_source(volume, 9);
+  const pipeline::PreprocessResult prep =
+      pipeline::preprocess(*source, cluster);
+
+  serve::ServeOptions zero;
+  zero.max_concurrent_queries = 0;
+  EXPECT_THROW(serve::QueryServer(cluster, prep, zero),
+               std::invalid_argument);
+
+  serve::ServeOptions injected;
+  injected.query.inject_faults = io::FaultConfig{};
+  EXPECT_THROW(serve::QueryServer(cluster, prep, injected),
+               std::invalid_argument);
+}
+
+TEST(QueryServerAdmission, UseSharedCacheWithoutPoolsThrows) {
+  const auto volume = data::generate_rm_timestep(small_rm(), 150);
+  auto cluster = make_cluster(2);
+  const auto source = metacell::make_source(volume, 9);
+  const pipeline::PreprocessResult prep =
+      pipeline::preprocess(*source, cluster);
+  pipeline::QueryEngine engine(cluster, prep);
+
+  pipeline::QueryOptions options;
+  options.render = false;
+  options.use_shared_cache = true;
+  EXPECT_THROW((void)engine.run(128.0f, options), std::logic_error);
+
+  // And the combination the validation exists to prevent.
+  cluster.enable_shared_cache(256);
+  options.inject_faults = io::FaultConfig{};
+  EXPECT_THROW((void)engine.run(128.0f, options), std::invalid_argument);
+  EXPECT_THROW(cluster.enable_shared_cache(256), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Time-varying warm reuse
+// ---------------------------------------------------------------------------
+
+TEST(TimeVaryingServe, RevisitedStepRunsWarm) {
+  auto cluster = make_cluster(2);
+  pipeline::TimeVaryingEngine engine(
+      cluster, [](int step) { return data::generate_rm_timestep(
+                                  small_rm(), step); });
+  engine.preprocess_steps(200, 2);
+
+  // Uncached reference for bit-identity.
+  pipeline::QueryOptions plain;
+  plain.render = false;
+  plain.keep_triangles = true;
+  const pipeline::QueryReport reference = engine.query(200, 128.0f, plain);
+
+  engine.enable_shared_cache(4096);
+  const pipeline::QueryReport cold = engine.query(200, 128.0f, plain);
+  const pipeline::QueryReport other = engine.query(201, 128.0f, plain);
+  const pipeline::QueryReport warm = engine.query(200, 128.0f, plain);
+
+  EXPECT_TRUE(same_triangles(*cold.triangles_out, *reference.triangles_out));
+  EXPECT_TRUE(same_triangles(*warm.triangles_out, *reference.triangles_out));
+  ASSERT_TRUE(other.triangles_out.has_value());
+
+  std::uint64_t cold_ops = 0;
+  std::uint64_t warm_ops = 0;
+  for (const auto& node : cold.nodes) cold_ops += node.io.read_ops;
+  for (const auto& node : warm.nodes) warm_ops += node.io.read_ops;
+  EXPECT_GT(cold_ops, 0u);
+  EXPECT_EQ(warm_ops, 0u);  // both steps fit; the revisit is pure hits
+  EXPECT_GT(warm.total_cache().hit_blocks, 0u);
+
+  cluster.disable_shared_cache();
+}
+
+}  // namespace
+}  // namespace oociso

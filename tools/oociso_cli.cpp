@@ -4,6 +4,8 @@
 //   oociso preprocess --volume vol.oocv --storage ./store --nodes 4 [--ooc]
 //   oociso query      --storage ./store --nodes 4 --iso 190
 //                     [--obj surface.obj] [--image frame.ppm] [--weld]
+//   oociso serve      --storage ./store --nodes 4 --isos 120,150,190
+//                     [--repeat 2] [--concurrency 4] [--cache-blocks 4096]
 //   oociso info       --storage ./store
 //
 // `preprocess` writes the striped brick files plus a bundle (index.oocb)
@@ -22,6 +24,7 @@
 #include "pipeline/bundle.h"
 #include "pipeline/ooc_preprocess.h"
 #include "pipeline/query_engine.h"
+#include "serve/query_server.h"
 #include "util/cli.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -47,10 +50,22 @@ commands:
                 --obj FILE  --image FILE  --imagesize N (512)  --weld
                 --readahead N (4, record batches prefetched per node)
                 --no-coalesce (per-brick reads; disable the I/O scheduler)
-                --coalesce-gap BYTES (largest bridged gap; -1 = device
-                readahead window)
+                --coalesce-gap BYTES (largest coalesced-read gap bridged;
+                -1 = device readahead window)
                 --inject-faults SEED,RATE (deterministic transient read
                 faults; retried with backoff, failed nodes fail over)
+  serve       replay a list of isovalue queries concurrently through the
+              shared per-node brick cache (cross-query read dedup)
+                --storage DIR  --nodes P (4)  --isos V1,V2,...
+                --repeat N (1; passes over the list — pass 2+ runs warm)
+                --concurrency Q (4, queries admitted at once)
+                --cache-blocks M (4096, per-node cache frames)
+                --readahead N (4, record batches prefetched per node)
+                --no-coalesce (per-brick reads; disable the I/O scheduler)
+                --coalesce-gap BYTES (largest coalesced-read gap bridged;
+                -1 = device readahead window)
+                --inject-faults SEED,RATE (deterministic transient read
+                faults, injected at the cluster level under the cache)
   info        print bundle statistics
                 --storage DIR
   suggest     profile a volume's span space and suggest isovalues
@@ -207,6 +222,91 @@ int cmd_query(const util::CliArgs& args) {
   return 0;
 }
 
+int cmd_serve(const util::CliArgs& args) {
+  const std::string storage = args.get("storage", "");
+  const std::string iso_list = args.get("isos", "");
+  if (storage.empty() || iso_list.empty()) return usage();
+  const auto nodes = static_cast<std::size_t>(args.get_int("nodes", 4));
+  const auto repeat = static_cast<int>(args.get_int("repeat", 1));
+
+  std::vector<core::ValueKey> isovalues;
+  std::size_t pos = 0;
+  while (pos < iso_list.size()) {
+    const std::size_t comma = iso_list.find(',', pos);
+    const std::string token =
+        iso_list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    isovalues.push_back(std::stof(token));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+
+  auto cluster = open_cluster(storage, nodes, /*existing=*/true);
+  const pipeline::PreprocessResult prep = pipeline::load_bundle(storage);
+  if (prep.trees.size() != nodes) {
+    std::cerr << "error: bundle was preprocessed for " << prep.trees.size()
+              << " nodes; pass --nodes " << prep.trees.size() << "\n";
+    return 1;
+  }
+
+  serve::ServeOptions options;
+  options.max_concurrent_queries =
+      static_cast<std::size_t>(args.get_int("concurrency", 4));
+  options.cache_capacity_blocks =
+      static_cast<std::size_t>(args.get_int("cache-blocks", 4096));
+  options.query.render = false;
+  options.query.readahead_batches =
+      static_cast<std::size_t>(args.get_int("readahead", 4));
+  options.query.retrieval.coalesce = !args.get_bool("no-coalesce", false);
+  options.query.retrieval.coalesce_gap_bytes =
+      args.get_int("coalesce-gap", -1);
+  const std::string fault_spec = args.get("inject-faults", "");
+  if (!fault_spec.empty()) {
+    options.inject_faults = io::FaultConfig::parse(fault_spec);
+  }
+
+  serve::QueryServer server(cluster, prep, options);
+  util::Table table({"pass", "iso", "triangles", "read_ops", "cache hit",
+                     "miss", "wait"});
+  for (int pass = 0; pass < repeat; ++pass) {
+    const std::vector<pipeline::QueryReport> reports =
+        server.serve(isovalues);
+    for (const pipeline::QueryReport& report : reports) {
+      std::uint64_t read_ops = 0;
+      for (const auto& node : report.nodes) read_ops += node.io.read_ops;
+      const io::CacheReadStats cache = report.total_cache();
+      table.add_row({std::to_string(pass), util::fixed(report.isovalue, 1),
+                     util::with_commas(report.total_triangles()),
+                     util::with_commas(read_ops),
+                     util::with_commas(cache.hit_blocks),
+                     util::with_commas(cache.miss_blocks),
+                     util::with_commas(cache.wait_blocks)});
+    }
+  }
+  std::cout << table.render();
+
+  const io::CacheCounters counters = server.cache_counters();
+  std::cout << "cache: " << util::with_commas(counters.fetches)
+            << " fetches = " << util::with_commas(counters.hits) << " hits + "
+            << util::with_commas(counters.misses) << " misses + "
+            << util::with_commas(counters.waits)
+            << " waits (single-flight); " << util::with_commas(counters.evictions)
+            << " evictions, peak " << server.peak_in_flight()
+            << " queries in flight\n";
+  if (!fault_spec.empty()) {
+    std::uint64_t transients = 0;
+    std::uint64_t corruptions = 0;
+    for (std::size_t node = 0; node < cluster.size(); ++node) {
+      if (const io::InjectedFaults* injected = cluster.cache_injected(node)) {
+        transients += injected->read_failures;
+        corruptions += injected->corrupted_reads;
+      }
+    }
+    std::cout << "faults injected under the cache: " << transients
+              << " transient, " << corruptions << " corrupted\n";
+  }
+  return 0;
+}
+
 int cmd_info(const util::CliArgs& args) {
   const std::string storage = args.get("storage", "");
   if (storage.empty()) return usage();
@@ -285,6 +385,7 @@ int main(int argc, char** argv) {
     if (command == "generate") return cmd_generate(args);
     if (command == "preprocess") return cmd_preprocess(args);
     if (command == "query") return cmd_query(args);
+    if (command == "serve") return cmd_serve(args);
     if (command == "info") return cmd_info(args);
     if (command == "suggest") return cmd_suggest(args);
   } catch (const std::exception& error) {
