@@ -47,6 +47,8 @@ int main(int argc, char** argv) {
     pipeline::QueryEngine engine(*prepared.cluster, prepared.prep);
     util::WallTimer timer;
     for (const float isovalue : setup.isovalues) {
+      serial_options.query_id = setup.next_trace_query(
+          "serial iso=" + util::fixed(isovalue, 0));
       pipeline::QueryReport report = engine.run(isovalue, serial_options);
       for (const auto& node : report.nodes) {
         serial_read_ops += node.io.read_ops;
@@ -66,6 +68,10 @@ int main(int argc, char** argv) {
   serve_options.query.inject_faults.reset();  // cluster-level instead
   serve_options.query.render = false;
   serve_options.query.keep_triangles = true;
+  // The server stamps its own per-query pids/process names on this sink;
+  // start them well above the serial baseline's to keep the ranges apart.
+  serve_options.tracer = setup.tracer.get();
+  serve_options.first_query_id = 1000;
   serve::QueryServer server(*prepared.cluster, prepared.prep, serve_options);
 
   util::Table table({"pass", "wall (s)", "read_ops", "hit blocks",

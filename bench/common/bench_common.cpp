@@ -1,6 +1,7 @@
 #include "bench_common.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -38,6 +39,23 @@ BenchSetup BenchSetup::from_cli(int argc, char** argv, int default_dims) {
       static_cast<std::size_t>(args.get_int("readahead", 4));
   setup.coalesce = !args.get_bool("no-coalesce", false);
   setup.coalesce_gap = args.get_int("coalesce-gap", -1);
+  setup.trace_path = args.get("trace", "");
+  if (!setup.trace_path.empty()) {
+    // The deleter fires when the last BenchSetup copy dies at the end of
+    // the bench's main, after every sweep — the one common teardown point.
+    const std::string path = setup.trace_path;
+    setup.tracer = std::shared_ptr<obs::Tracer>(
+        new obs::Tracer(), [path](obs::Tracer* tracer) {
+          try {
+            tracer->write(path);
+            std::cout << "# trace: " << tracer->event_count() << " events -> "
+                      << path << "\n";
+          } catch (const std::exception& error) {
+            std::cerr << "trace write failed: " << error.what() << "\n";
+          }
+          delete tracer;
+        });
+  }
   for (int isovalue = 10; isovalue <= 210; isovalue += 20) {
     setup.isovalues.push_back(static_cast<float>(isovalue));
   }
@@ -52,7 +70,18 @@ pipeline::QueryOptions BenchSetup::query_options() const {
   options.readahead_batches = readahead_batches;
   options.retrieval.coalesce = coalesce;
   options.retrieval.coalesce_gap_bytes = coalesce_gap;
+  options.tracer = tracer.get();
   return options;
+}
+
+std::uint32_t BenchSetup::next_trace_query(const std::string& label) const {
+  if (tracer == nullptr) return 0;
+  // Process-wide, not per-setup: benches sweeping several node counts share
+  // one tracer, and every executed query needs a distinct pid.
+  static std::atomic<std::uint32_t> next_pid{1};
+  const std::uint32_t pid = next_pid.fetch_add(1, std::memory_order_relaxed);
+  tracer->name_process(pid, label);
+  return pid;
 }
 
 Prepared prepare_rm(const BenchSetup& setup, std::size_t nodes) {
@@ -101,13 +130,22 @@ std::vector<pipeline::QueryReport> run_sweep(Prepared& prepared,
 
   std::vector<pipeline::QueryReport> reports;
   reports.reserve(setup.isovalues.size());
+  const std::size_t nodes = prepared.cluster->size();
+  const auto run_once = [&](float isovalue, int rep) {
+    // Every executed run gets its own trace pid (reps included — a rep is
+    // a real query execution, and its spans would collide otherwise).
+    options.query_id = setup.next_trace_query(
+        "iso=" + util::fixed(isovalue, 0) + " rep=" + std::to_string(rep) +
+        " (" + std::to_string(nodes) + " nodes)");
+    return engine.run(isovalue, options);
+  };
   for (const float isovalue : setup.isovalues) {
     // Repeat and keep the fastest run: completion time mixes modeled I/O
     // (deterministic) with measured thread-CPU phases (noisy on a shared
     // host); min-of-N is the standard de-noising for the measured part.
-    pipeline::QueryReport best = engine.run(isovalue, options);
+    pipeline::QueryReport best = run_once(isovalue, 0);
     for (int rep = 1; rep < setup.reps; ++rep) {
-      pipeline::QueryReport candidate = engine.run(isovalue, options);
+      pipeline::QueryReport candidate = run_once(isovalue, rep);
       if (candidate.completion_seconds() < best.completion_seconds()) {
         best = std::move(candidate);
       }

@@ -26,6 +26,11 @@
 //   --coalesce-gap BYTES
 //                  largest gap a coalesced read may bridge (default: the
 //                  device readahead window)
+//   --trace PATH   write a Chrome trace_event JSON (chrome://tracing /
+//                  Perfetto) of every query the bench runs: one process
+//                  per executed query, per-node compute/I-O lanes, span
+//                  args carrying the report counters. Written when the
+//                  bench exits.
 
 #include <cstdint>
 #include <memory>
@@ -36,6 +41,7 @@
 #include <vector>
 
 #include "data/rm_generator.h"
+#include "obs/trace.h"
 #include "pipeline/query_engine.h"
 #include "util/cli.h"
 #include "util/table.h"
@@ -64,6 +70,12 @@ struct BenchSetup {
   /// --coalesce-gap BYTES: largest gap a coalesced read bridges; -1 = the
   /// device readahead window.
   std::int64_t coalesce_gap = -1;
+  /// --trace PATH: Chrome trace_event JSON destination; empty = off.
+  std::string trace_path;
+  /// Shared trace sink when --trace is given. The shared_ptr's deleter
+  /// writes `trace_path` when the last BenchSetup copy dies (end of the
+  /// bench's main), so individual benches never manage the file.
+  std::shared_ptr<obs::Tracer> tracer;
 
   /// `default_dims` sets the base volume width when --dims is not given;
   /// the speedup figures default larger so per-node work at 8 nodes stays
@@ -71,8 +83,16 @@ struct BenchSetup {
   static BenchSetup from_cli(int argc, char** argv, int default_dims = 256);
 
   /// QueryOptions reflecting this setup's knobs (faults, readahead,
-  /// coalescing); benches that build their own options start here.
+  /// coalescing, tracing); benches that build their own options start
+  /// here. The tracer is wired but `query_id` is 0 — callers running more
+  /// than one query should stamp each run via next_trace_query().
   [[nodiscard]] pipeline::QueryOptions query_options() const;
+
+  /// Reserves a process-unique trace pid and names its process group
+  /// `label`; returns 0 (and does nothing) when tracing is off. run_sweep
+  /// calls this per executed query; benches driving QueryEngine directly
+  /// do the same.
+  std::uint32_t next_trace_query(const std::string& label) const;
 };
 
 /// A cluster with the RM-analog time step preprocessed onto its disks.

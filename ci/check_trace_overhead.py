@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Trace-overhead gate for the release-bench CI job.
+
+Compares two bench --json documents — one sweep run without --trace, one
+with — and fails when the summed per-query completion time (modeled I/O +
+measured compute, min-of-reps de-noised by the bench itself) differs by
+more than the allowed fraction. This pins the observability layer's
+"tracing is cheap, and *disabled* tracing is free" promise at the whole-
+bench level; the per-site guarantee (null Tracer* == one pointer test) is
+covered by the unit suite.
+
+Usage: check_trace_overhead.py BASELINE.json TRACED.json [--max-delta 0.05]
+"""
+
+import argparse
+import json
+import sys
+
+
+def completion_sum(path: str) -> float:
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    total = 0.0
+    queries = 0
+    for run in doc["runs"]:
+        for query in run["queries"]:
+            total += query["times"]["completion_s"]
+            queries += 1
+    if queries == 0:
+        raise SystemExit(f"{path}: no queries in document")
+    return total
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="bench --json output without --trace")
+    parser.add_argument("traced", help="bench --json output with --trace")
+    parser.add_argument("--max-delta", type=float, default=0.05,
+                        help="largest allowed |traced-base|/base (default 5%%)")
+    options = parser.parse_args()
+
+    base = completion_sum(options.baseline)
+    traced = completion_sum(options.traced)
+    delta = abs(traced - base) / base
+    print(f"completion sum: baseline {base:.4f}s, traced {traced:.4f}s, "
+          f"delta {delta:.2%} (budget {options.max_delta:.0%})")
+    if delta > options.max_delta:
+        print("FAIL: tracing overhead exceeds the budget", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

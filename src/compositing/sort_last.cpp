@@ -51,17 +51,21 @@ void copy_range(Framebuffer& dst, const Framebuffer& src, std::size_t begin,
 
 }  // namespace
 
-CompositeResult direct_send(const std::vector<Framebuffer>& locals) {
+CompositeResult direct_send(const std::vector<Framebuffer>& locals,
+                            obs::Tracer* tracer, std::uint32_t pid) {
   check_same_dims(locals);
   CompositeResult result{locals.front(), {}};
   const std::uint64_t buffer_bytes =
       locals.front().pixel_count() * Framebuffer::bytes_per_pixel();
 
+  obs::Span span(tracer, "composite.direct_send", pid,
+                 obs::track(0, obs::Lane::kControl));
   for (std::size_t i = 1; i < locals.size(); ++i) {
     merge_range(result.image, locals[i], 0, locals[i].pixel_count());
     result.traffic.bytes_total += buffer_bytes;
     ++result.traffic.messages;
   }
+  span.arg("bytes", result.traffic.bytes_total);
   // All sends can overlap, but the display node must receive them all:
   // its received volume is the critical path.
   result.traffic.rounds = locals.size() > 1 ? 1 : 0;
@@ -69,8 +73,10 @@ CompositeResult direct_send(const std::vector<Framebuffer>& locals) {
   return result;
 }
 
-CompositeResult binary_swap(const std::vector<Framebuffer>& locals) {
+CompositeResult binary_swap(const std::vector<Framebuffer>& locals,
+                            obs::Tracer* tracer, std::uint32_t pid) {
   check_same_dims(locals);
+  const std::uint32_t tid = obs::track(0, obs::Lane::kControl);
   const std::size_t p = locals.size();
   const std::size_t pixels = locals.front().pixel_count();
   const std::uint64_t bpp = Framebuffer::bytes_per_pixel();
@@ -82,6 +88,7 @@ CompositeResult binary_swap(const std::vector<Framebuffer>& locals) {
   // Fold non-power-of-two extras into the low nodes first.
   const std::size_t p2 = std::bit_floor(p);
   if (p2 < p) {
+    obs::Span span(tracer, "composite.fold", pid, tid);
     for (std::size_t i = p2; i < p; ++i) {
       merge_range(work[i - p2], work[i], 0, pixels);
       const std::uint64_t bytes = pixels * bpp;
@@ -98,6 +105,8 @@ CompositeResult binary_swap(const std::vector<Framebuffer>& locals) {
   std::vector<std::size_t> end(p2, pixels);
   for (std::size_t h = 1; h < p2; h <<= 1) {
     ++traffic.rounds;
+    obs::Span span(tracer, "composite.swap_round", pid, tid);
+    span.arg("h", static_cast<std::uint64_t>(h));
     for (std::size_t i = 0; i < p2; ++i) {
       const std::size_t partner = i ^ h;
       if (partner < i) continue;  // handle each pair once
@@ -125,6 +134,7 @@ CompositeResult binary_swap(const std::vector<Framebuffer>& locals) {
   // Gather the owned regions onto node 0 for display.
   CompositeResult result{std::move(work[0]), {}};
   if (p2 > 1) ++traffic.rounds;
+  obs::Span gather_span(tracer, "composite.gather", pid, tid);
   for (std::size_t i = 1; i < p2; ++i) {
     copy_range(result.image, work[i], begin[i], end[i]);
     const std::uint64_t bytes =

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/trace.h"
 #include "render/framebuffer.h"
 
 namespace oociso::compositing {
@@ -39,12 +40,16 @@ struct CompositeResult {
 };
 
 /// All buffers must share dimensions; `locals` must be non-empty.
+/// `tracer`, when given, gets one span per communication round on
+/// (pid, obs::track(0, Lane::kControl)) carrying the round's byte volume.
 [[nodiscard]] CompositeResult direct_send(
-    const std::vector<render::Framebuffer>& locals);
+    const std::vector<render::Framebuffer>& locals,
+    obs::Tracer* tracer = nullptr, std::uint32_t pid = 0);
 
 /// Works for any p >= 1 (non-powers of two are folded into the nearest
-/// power of two in a pre-round).
+/// power of two in a pre-round). Round spans as in direct_send.
 [[nodiscard]] CompositeResult binary_swap(
-    const std::vector<render::Framebuffer>& locals);
+    const std::vector<render::Framebuffer>& locals,
+    obs::Tracer* tracer = nullptr, std::uint32_t pid = 0);
 
 }  // namespace oociso::compositing

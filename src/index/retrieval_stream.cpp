@@ -90,7 +90,25 @@ RetrievalStream::RetrievalStream(QueryPlan plan, core::ScalarKind kind,
   // directory cannot prove a gap's checksums the scheduler keeps the seek.
   params.require_crc_cover =
       options_.verify_checksums && plan_.crc_chunk_records > 0;
-  schedule_ = schedule_plan(plan_, params, directory);
+  {
+    obs::Span span(options_.tracer, "schedule_plan", options_.trace_pid,
+                   options_.trace_tid);
+    schedule_ = schedule_plan(plan_, params, directory);
+    span.arg("scans", static_cast<std::uint64_t>(plan_.scans.size()));
+    span.arg("items", static_cast<std::uint64_t>(schedule_.items.size()));
+    span.arg("sequential_reads", schedule_.sequential_reads);
+    span.arg("coalesced_scans", schedule_.coalesced_scans);
+    span.arg("bridged_gap_bytes", schedule_.bridged_gap_bytes);
+  }
+  if (options_.metrics != nullptr) {
+    options_.metrics->counter("scheduler.plans").add();
+    options_.metrics->counter("scheduler.sequential_reads")
+        .add(schedule_.sequential_reads);
+    options_.metrics->counter("scheduler.coalesced_scans")
+        .add(schedule_.coalesced_scans);
+    options_.metrics->counter("scheduler.bridged_gap_bytes")
+        .add(schedule_.bridged_gap_bytes);
+  }
 }
 
 void RetrievalStream::verify_slice(const ReadSlice& slice,
@@ -139,6 +157,10 @@ void RetrievalStream::read_with_retry(std::uint64_t offset, RecordBatch& batch,
   // Bounded retry: a retriable fault (transient device error or a chunk
   // checksum mismatch) repeats the read after modeled backoff; anything
   // else — or an exhausted budget — propagates to the consumer.
+  obs::Span span(options_.tracer, "io.read", options_.trace_pid,
+                 options_.trace_tid);
+  span.arg("offset", offset);
+  span.arg("bytes", static_cast<std::uint64_t>(batch.data.size()));
   int failures = 0;
   for (;;) {
     const util::WallTimer read_timer;
@@ -157,24 +179,45 @@ void RetrievalStream::read_with_retry(std::uint64_t offset, RecordBatch& batch,
       batch.io_seconds += read_timer.seconds();
       if (error.kind() == io::IoError::Kind::kCorruption) {
         ++faults_.checksum_failures;
+        if (options_.metrics != nullptr) {
+          options_.metrics->counter("retrieval.checksum_failures").add();
+        }
+        if (options_.tracer != nullptr) {
+          options_.tracer->instant(
+              "io.checksum_failure", options_.trace_pid, options_.trace_tid,
+              obs::ArgsBuilder().add("offset", offset).str());
+        }
         // The corrupted transfer may now be resident in the shared cache;
         // drop the covered frames so the retry re-reads the device instead
         // of being served the same bad bytes until the budget runs out.
         if (cache_ != nullptr) cache_->invalidate(offset, batch.data.size());
       } else {
         ++faults_.transient_errors;
+        if (options_.metrics != nullptr) {
+          options_.metrics->counter("retrieval.transient_errors").add();
+        }
+        if (options_.tracer != nullptr) {
+          options_.tracer->instant(
+              "io.transient_error", options_.trace_pid, options_.trace_tid,
+              obs::ArgsBuilder().add("offset", offset).str());
+        }
       }
       ++failures;
       if (!error.retriable() || failures >= options_.retry.max_attempts) {
         io_wall_seconds_ += batch.io_seconds;
         cache_stats_.merge(batch.cache);
+        span.arg("failed", std::string_view("true"));
         throw;
       }
       ++faults_.retries;
+      if (options_.metrics != nullptr) {
+        options_.metrics->counter("retrieval.retries").add();
+      }
       faults_.backoff_modeled_seconds +=
           options_.retry.backoff_seconds(failures - 1);
     }
   }
+  if (failures > 0) span.arg("retries", static_cast<std::uint64_t>(failures));
   io_wall_seconds_ += batch.io_seconds;
   cache_stats_.merge(batch.cache);
 }

@@ -44,6 +44,8 @@
 #include "io/io_stats.h"
 #include "io/retry_policy.h"
 #include "io/shared_buffer_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace oociso::index {
 
@@ -103,6 +105,16 @@ struct RetrievalOptions {
   /// the device's readahead window (readahead_blocks * block_size), the
   /// span the cost model already charges at bandwidth instead of a seek.
   std::int64_t coalesce_gap_bytes = -1;
+  /// Observability (both optional, null = off). `tracer` gets a
+  /// "schedule_plan" span at construction, an "io.read" span per batch
+  /// (covering the whole retry loop), and instant events for transient /
+  /// checksum faults, all on (trace_pid, trace_tid). `metrics` gets
+  /// `scheduler.*` planning counters and `retrieval.*` fault counters that
+  /// mirror the per-stream RetrievalFaults.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+  std::uint32_t trace_pid = 0;  ///< query id
+  std::uint32_t trace_tid = 0;  ///< obs::track(node, Lane::kIo)
 };
 
 class RetrievalStream {

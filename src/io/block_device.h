@@ -15,11 +15,14 @@
 // Thread-safety: a device instance is NOT thread-safe; in the simulated
 // cluster each node owns its device exclusively (the paper's "local disk").
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <string>
 
 #include "io/io_stats.h"
+#include "obs/metrics.h"
 
 namespace oociso::io {
 
@@ -44,7 +47,15 @@ class BlockDevice {
   /// within the device ([offset, offset+size] <= size()).
   void read(std::uint64_t offset, std::span<std::byte> out) {
     account(offset, out.size(), /*is_write=*/false);
+    if (obs_.read_seconds == nullptr) {
+      do_read(offset, out);
+      return;
+    }
+    const auto start = std::chrono::steady_clock::now();
     do_read(offset, out);
+    obs_.read_seconds->observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count());
   }
 
   /// Writes the bytes at `offset`, growing the device if needed.
@@ -73,6 +84,22 @@ class BlockDevice {
   [[nodiscard]] const IoStats& stats() const { return stats_; }
   void reset_stats() { stats_ = IoStats{}; }
 
+  /// Mirrors every subsequent access into `registry` counters named
+  /// `<prefix>.read_ops`, `.write_ops`, `.bytes_read`, `.bytes_written`,
+  /// `.seeks`, plus a `<prefix>.read_seconds` wall-clock latency histogram.
+  /// The local IoStats keep accumulating unchanged — the registry is an
+  /// additional view, resolved once here so the per-access cost is a few
+  /// relaxed atomic adds.
+  void attach_metrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix) {
+    obs_.read_ops = &registry.counter(prefix + ".read_ops");
+    obs_.write_ops = &registry.counter(prefix + ".write_ops");
+    obs_.bytes_read = &registry.counter(prefix + ".bytes_read");
+    obs_.bytes_written = &registry.counter(prefix + ".bytes_written");
+    obs_.seeks = &registry.counter(prefix + ".seeks");
+    obs_.read_seconds = &registry.histogram(prefix + ".read_seconds");
+  }
+
  protected:
   virtual void do_read(std::uint64_t offset, std::span<std::byte> out) = 0;
   virtual void do_write(std::uint64_t offset,
@@ -88,10 +115,18 @@ class BlockDevice {
       ++stats_.write_ops;
       stats_.bytes_written += length;
       stats_.blocks_written += blocks;
+      if (obs_.write_ops != nullptr) {
+        obs_.write_ops->add();
+        obs_.bytes_written->add(length);
+      }
     } else {
       ++stats_.read_ops;
       stats_.bytes_read += length;
       stats_.blocks_read += blocks;
+      if (obs_.read_ops != nullptr) {
+        obs_.read_ops->add();
+        obs_.bytes_read->add(length);
+      }
     }
     // Repositioning: re-touching the current block or the next one is
     // sequential; a short forward jump passes media under the head (charged
@@ -99,6 +134,7 @@ class BlockDevice {
     // jump, or a long forward jump — is a seek.
     if (!has_position_) {
       ++stats_.seeks;
+      if (obs_.seeks != nullptr) obs_.seeks->add();
     } else if (first == last_block_ || first == last_block_ + 1) {
       // sequential, free
     } else if (first > last_block_ + 1 &&
@@ -106,14 +142,25 @@ class BlockDevice {
       stats_.skip_blocks += first - last_block_ - 1;
     } else {
       ++stats_.seeks;
+      if (obs_.seeks != nullptr) obs_.seeks->add();
     }
     last_block_ = last;
     has_position_ = true;
   }
 
+  struct DeviceObs {
+    obs::Counter* read_ops = nullptr;
+    obs::Counter* write_ops = nullptr;
+    obs::Counter* bytes_read = nullptr;
+    obs::Counter* bytes_written = nullptr;
+    obs::Counter* seeks = nullptr;
+    obs::Histogram* read_seconds = nullptr;
+  };
+
   std::uint64_t block_size_;
   std::uint64_t readahead_blocks_;
   IoStats stats_;
+  DeviceObs obs_;
   std::uint64_t last_block_ = 0;
   bool has_position_ = false;
 };

@@ -10,10 +10,29 @@ SharedBufferPool::SharedBufferPool(BlockDevice& device,
                                    std::size_t capacity_blocks)
     : device_(device),
       capacity_(capacity_blocks),
-      block_size_(device.block_size()) {
+      block_size_(device.block_size()),
+      tally_{&local_[0], &local_[1], &local_[2],
+             &local_[3], &local_[4], &local_[5]} {
   if (capacity_blocks == 0) {
     throw std::invalid_argument("SharedBufferPool needs at least one block");
   }
+}
+
+void SharedBufferPool::attach_metrics(obs::MetricsRegistry& registry,
+                                      const std::string& prefix) {
+  const std::lock_guard lock(mutex_);
+  const auto repoint = [&](obs::Counter*& slot, const char* name) {
+    obs::Counter& target = registry.counter(prefix + "." + name);
+    if (&target == slot) return;
+    target.add(slot->value());
+    slot = &target;
+  };
+  repoint(tally_.fetches, "fetches");
+  repoint(tally_.hits, "hits");
+  repoint(tally_.misses, "misses");
+  repoint(tally_.waits, "waits");
+  repoint(tally_.evictions, "evictions");
+  repoint(tally_.invalidated, "invalidated");
 }
 
 std::vector<std::byte> SharedBufferPool::read_run(std::uint64_t first_block,
@@ -43,7 +62,7 @@ void SharedBufferPool::evict_to_capacity(std::unique_lock<std::mutex>& lock,
     const std::uint64_t victim = lru_.back();
     lru_.pop_back();
     map_.erase(victim);  // readers mid-copy hold the frame's shared_ptr
-    ++counters_.evictions;
+    tally_.evictions->add();
     ++stats.evictions;
   }
 }
@@ -74,12 +93,12 @@ void SharedBufferPool::read(std::uint64_t offset, std::span<std::byte> out,
       const std::shared_ptr<const std::vector<std::byte>> data =
           it->second.data;
       lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-      ++counters_.fetches;
+      tally_.fetches->add();
       if (waited) {
-        ++counters_.waits;
+        tally_.waits->add();
         ++stats.wait_blocks;
       } else {
-        ++counters_.hits;
+        tally_.hits->add();
         ++stats.hit_blocks;
       }
       lock.unlock();
@@ -138,8 +157,8 @@ void SharedBufferPool::read(std::uint64_t offset, std::span<std::byte> out,
                                                         block_size_)));
       lru_.push_front(block + i);
       frame.lru_pos = lru_.begin();
-      ++counters_.fetches;
-      ++counters_.misses;
+      tally_.fetches->add();
+      tally_.misses->add();
       ++stats.miss_blocks;
     }
     loaded_.notify_all();
@@ -158,7 +177,7 @@ void SharedBufferPool::invalidate(std::uint64_t offset, std::uint64_t length) {
     if (it == map_.end() || it->second.data == nullptr) continue;
     lru_.erase(it->second.lru_pos);
     map_.erase(it);
-    ++counters_.invalidated;
+    tally_.invalidated->add();
   }
 }
 
@@ -166,14 +185,21 @@ void SharedBufferPool::clear() {
   std::lock_guard lock(mutex_);
   for (const std::uint64_t block : lru_) {
     map_.erase(block);
-    ++counters_.invalidated;
+    tally_.invalidated->add();
   }
   lru_.clear();
 }
 
 CacheCounters SharedBufferPool::counters() const {
   std::lock_guard lock(mutex_);
-  return counters_;
+  CacheCounters c;
+  c.fetches = tally_.fetches->value();
+  c.hits = tally_.hits->value();
+  c.misses = tally_.misses->value();
+  c.waits = tally_.waits->value();
+  c.evictions = tally_.evictions->value();
+  c.invalidated = tally_.invalidated->value();
+  return c;
 }
 
 std::size_t SharedBufferPool::resident_blocks() const {

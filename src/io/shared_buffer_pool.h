@@ -26,12 +26,14 @@
 // transfer (chunk CRC mismatch) calls invalidate() so its retry re-reads
 // the device instead of being served the same bad bytes forever.
 
+#include <array>
 #include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -107,6 +109,17 @@ class SharedBufferPool {
   /// Drops every ready frame (cold restart between sweeps).
   void clear();
 
+  /// Re-points the pool's cumulative tallies at registry counters named
+  /// `<prefix>.fetches`, `.hits`, `.misses`, `.waits`, `.evictions`,
+  /// `.invalidated`, carrying the totals accumulated so far over. After
+  /// this there is ONE set of atomics with two views: counters() derives
+  /// its CacheCounters from the same counters a registry snapshot exports,
+  /// so the two can never diverge. Attach at most once per registry/prefix.
+  void attach_metrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix);
+
+  /// Derived from the pool's tallies (see attach_metrics); taken under the
+  /// pool mutex so `hits + misses + waits == fetches` holds exactly.
   [[nodiscard]] CacheCounters counters() const;
   [[nodiscard]] std::size_t capacity_blocks() const { return capacity_; }
   /// Ready (servable) resident frames; in-flight loads are not counted.
@@ -138,12 +151,26 @@ class SharedBufferPool {
   const std::size_t capacity_;
   const std::uint64_t block_size_;
 
-  mutable std::mutex mutex_;  ///< guards map_, lru_, counters_
+  /// Cumulative pool tallies. The pointers normally target local_; after
+  /// attach_metrics() they target registry-owned counters carrying the same
+  /// totals. Bumps happen under mutex_, which is what keeps the
+  /// hit/miss/wait/fetch identity exact for counters().
+  struct Tallies {
+    obs::Counter* fetches = nullptr;
+    obs::Counter* hits = nullptr;
+    obs::Counter* misses = nullptr;
+    obs::Counter* waits = nullptr;
+    obs::Counter* evictions = nullptr;
+    obs::Counter* invalidated = nullptr;
+  };
+
+  mutable std::mutex mutex_;  ///< guards map_, lru_, tally_
   std::mutex device_mutex_;   ///< serializes device_ access
   std::condition_variable loaded_;
   std::unordered_map<std::uint64_t, Frame> map_;
   std::list<std::uint64_t> lru_;  ///< ready frames, front = MRU
-  CacheCounters counters_;
+  std::array<obs::Counter, 6> local_;
+  Tallies tally_;
 };
 
 }  // namespace oociso::io

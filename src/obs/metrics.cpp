@@ -1,0 +1,184 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace oociso::obs {
+namespace {
+
+/// Default latency scale: decades from 1 µs to 10 s. Wide enough for a
+/// single 4 KiB pread and for a whole degraded-mode query.
+constexpr double kDefaultBounds[] = {1e-6, 1e-5, 1e-4, 1e-3,
+                                     1e-2, 1e-1, 1.0,  10.0};
+
+void append_escaped(std::string& out, std::string_view text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string double_text(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+Histogram::Histogram(std::span<const double> bounds)
+    : bounds_(bounds.empty()
+                  ? std::vector<double>(std::begin(kDefaultBounds),
+                                        std::end(kDefaultBounds))
+                  : std::vector<double>(bounds.begin(), bounds.end())) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1]) {
+      throw std::invalid_argument("Histogram: bounds must be ascending");
+    }
+  }
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+}
+
+void Histogram::observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  buckets_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> counts(bounds_.size() + 1);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+std::uint64_t MetricsSnapshot::counter(std::string_view name) const {
+  const auto it = counters.find(std::string(name));
+  return it != counters.end() ? it->second : 0;
+}
+
+double MetricsSnapshot::histogram_sum(std::string_view name) const {
+  const auto it = histograms.find(std::string(name));
+  return it != histograms.end() ? it->second.sum : 0.0;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ',';
+    first = false;
+    append_escaped(out, name);
+    out += ':';
+    out += std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    append_escaped(out, name);
+    out += ":{\"value\":" + std::to_string(value.first) +
+           ",\"max\":" + std::to_string(value.second) + "}";
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, data] : histograms) {
+    if (!first) out += ',';
+    first = false;
+    append_escaped(out, name);
+    out += ":{\"count\":" + std::to_string(data.count) +
+           ",\"sum\":" + double_text(data.sum) + ",\"buckets\":[";
+    for (std::size_t i = 0; i < data.buckets.size(); ++i) {
+      if (i > 0) out += ',';
+      out += "{\"le\":";
+      out += i < data.bounds.size() ? double_text(data.bounds[i])
+                                    : std::string("\"inf\"");
+      out += ",\"count\":" + std::to_string(data.buckets[i]) + "}";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  return *gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+              .first->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::span<const double> bounds) {
+  const std::lock_guard lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  return *histograms_
+              .emplace(std::string(name), std::make_unique<Histogram>(bounds))
+              .first->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace(name, counter->value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace(name,
+                        std::make_pair(gauge->value(), gauge->max_value()));
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramData data;
+    data.count = histogram->count();
+    data.sum = histogram->sum();
+    data.bounds = histogram->bounds();
+    data.buckets = histogram->bucket_counts();
+    snap.histograms.emplace(name, std::move(data));
+  }
+  return snap;
+}
+
+void MetricsRegistry::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("MetricsRegistry: cannot write " + path);
+  }
+  out << to_json() << '\n';
+  if (!out) {
+    throw std::runtime_error("MetricsRegistry: short write to " + path);
+  }
+}
+
+}  // namespace oociso::obs

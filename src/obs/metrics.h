@@ -1,0 +1,161 @@
+#pragma once
+// Process-wide metrics primitives: named counters, gauges, and fixed-bucket
+// histograms behind a registry with snapshot/export.
+//
+// The hot-path contract is "lock-cheap": a caller resolves a metric by name
+// once (one mutex acquisition on the registry) and then updates it with
+// relaxed atomics — no lock, no allocation, no string hashing per event.
+// Every instrumented subsystem (block devices, the shared buffer pool, the
+// retrieval stream, the query engine, the serve admission gate) caches the
+// returned references at attach time, so a disabled registry costs one null
+// check per site and an enabled one costs an atomic add.
+//
+// The registry is the reconciliation anchor for the scattered per-query
+// ledgers: CacheCounters are *derived from* the pool's obs::Counters (one
+// set of atomics, two views), and TimeLedger / FaultReport totals are
+// mirrored into histograms and counters that tests reconcile against the
+// per-query reports (see tests/obs_test.cpp and DESIGN §11).
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oociso::obs {
+
+/// Monotone event counter. Thread-safe; relaxed atomics (counters are
+/// totals, not synchronization).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous level with a high-water mark (e.g. queries in flight).
+class Gauge {
+ public:
+  /// Adds `delta` (may be negative) and returns the new level; the
+  /// high-water mark tracks the largest level ever reached.
+  std::int64_t add(std::int64_t delta) {
+    const std::int64_t now =
+        value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    std::int64_t seen = max_.load(std::memory_order_relaxed);
+    while (now > seen &&
+           !max_.compare_exchange_weak(seen, now, std::memory_order_relaxed)) {
+    }
+    return now;
+  }
+  void set(std::int64_t v) {
+    value_.store(v, std::memory_order_relaxed);
+    std::int64_t seen = max_.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t max_value() const {
+    return max_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+/// Fixed-bucket histogram (cumulative-style buckets plus count and sum).
+/// Bucket i counts observations <= bounds[i]; one implicit overflow bucket
+/// catches the rest. Bounds are fixed at creation — observation is a binary
+/// search over a small array plus two relaxed atomic adds.
+class Histogram {
+ public:
+  /// `bounds` must be strictly ascending; empty picks the default latency
+  /// scale (1 µs .. 10 s, decades).
+  explicit Histogram(std::span<const double> bounds = {});
+
+  void observe(double value);
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  /// Sum of observed values (exact within double accumulation).
+  [[nodiscard]] double sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts, one entry per bound plus the overflow bucket.
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Point-in-time copy of every metric in a registry, for export and for
+/// identity tests (`hits + misses + waits == fetches` and friends).
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 entries
+  };
+
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::pair<std::int64_t, std::int64_t>>
+      gauges;  ///< value, high-water mark
+  std::map<std::string, HistogramData> histograms;
+
+  /// Counter value by name; 0 when absent (absent == never incremented).
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+  /// Histogram sum by name; 0.0 when absent.
+  [[nodiscard]] double histogram_sum(std::string_view name) const;
+
+  /// Standalone JSON document ({"counters":{...},"gauges":{...},
+  /// "histograms":{...}}).
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Named metric store. resolve-once / update-lock-free; the registry owns
+/// the metrics, and references stay valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `bounds` applies only on first creation; later lookups return the
+  /// existing histogram unchanged.
+  Histogram& histogram(std::string_view name,
+                       std::span<const double> bounds = {});
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  [[nodiscard]] std::string to_json() const { return snapshot().to_json(); }
+  /// Writes to_json() to `path`; throws std::runtime_error on failure.
+  void save(const std::string& path) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace oociso::obs

@@ -1,0 +1,218 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace oociso::obs {
+namespace {
+
+void append_escaped(std::string& out, std::string_view text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string double_text(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+void append_kv(std::string& body, std::string_view key,
+               std::string_view rendered_value) {
+  if (!body.empty()) body += ',';
+  append_escaped(body, key);
+  body += ':';
+  body += rendered_value;
+}
+
+}  // namespace
+
+ArgsBuilder& ArgsBuilder::add(std::string_view key, std::uint64_t value) {
+  append_kv(body_, key, std::to_string(value));
+  return *this;
+}
+
+ArgsBuilder& ArgsBuilder::add(std::string_view key, double value) {
+  append_kv(body_, key, double_text(value));
+  return *this;
+}
+
+ArgsBuilder& ArgsBuilder::add(std::string_view key, std::string_view value) {
+  std::string rendered;
+  append_escaped(rendered, value);
+  append_kv(body_, key, rendered);
+  return *this;
+}
+
+std::uint64_t Tracer::now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - origin_)
+          .count());
+}
+
+void Tracer::complete(std::string name, std::uint32_t pid, std::uint32_t tid,
+                      std::uint64_t ts_us, std::uint64_t dur_us,
+                      std::string args) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.phase = 'X';
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  event.pid = pid;
+  event.tid = tid;
+  event.args = std::move(args);
+  const std::lock_guard lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+void Tracer::instant(std::string name, std::uint32_t pid, std::uint32_t tid,
+                     std::string args) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.phase = 'i';
+  event.ts_us = now_us();
+  event.pid = pid;
+  event.tid = tid;
+  event.args = std::move(args);
+  const std::lock_guard lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+void Tracer::counter(std::string name, std::uint32_t pid, double value) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.phase = 'C';
+  event.ts_us = now_us();
+  event.pid = pid;
+  event.args = ArgsBuilder().add("value", value).str();
+  const std::lock_guard lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+void Tracer::name_process(std::uint32_t pid, std::string_view name) {
+  TraceEvent event;
+  event.name = "process_name";
+  event.phase = 'M';
+  event.pid = pid;
+  event.args = ArgsBuilder().add("name", name).str();
+  const std::lock_guard lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+void Tracer::name_thread(std::uint32_t pid, std::uint32_t tid,
+                         std::string_view name) {
+  TraceEvent event;
+  event.name = "thread_name";
+  event.phase = 'M';
+  event.pid = pid;
+  event.tid = tid;
+  event.args = ArgsBuilder().add("name", name).str();
+  const std::lock_guard lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+std::size_t Tracer::event_count() const {
+  const std::lock_guard lock(mutex_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  const std::lock_guard lock(mutex_);
+  return events_;
+}
+
+std::int64_t Tracer::open_spans() const {
+  return open_spans_.load(std::memory_order_relaxed);
+}
+
+std::string Tracer::to_json() const {
+  const std::lock_guard lock(mutex_);
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : events_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    append_escaped(out, event.name);
+    out += ",\"ph\":\"";
+    out += event.phase;
+    out += "\",\"cat\":\"oociso\",\"ts\":" + std::to_string(event.ts_us);
+    if (event.phase == 'X') {
+      out += ",\"dur\":" + std::to_string(event.dur_us);
+    }
+    if (event.phase == 'i') out += ",\"s\":\"t\"";
+    out += ",\"pid\":" + std::to_string(event.pid) +
+           ",\"tid\":" + std::to_string(event.tid);
+    if (!event.args.empty()) out += ",\"args\":{" + event.args + "}";
+    out += "}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+void Tracer::write(const std::filesystem::path& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("Tracer: cannot write " + path.string());
+  }
+  out << to_json() << '\n';
+  if (!out) {
+    throw std::runtime_error("Tracer: short write to " + path.string());
+  }
+}
+
+Span::Span(Tracer* tracer, std::string_view name, std::uint32_t pid,
+           std::uint32_t tid)
+    : tracer_(tracer), name_(name), pid_(pid), tid_(tid) {
+  if (tracer_ == nullptr) return;
+  start_us_ = tracer_->now_us();
+  tracer_->open_spans_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Span::arg(std::string_view key, std::uint64_t value) {
+  if (tracer_ == nullptr) return;
+  append_kv(args_, key, std::to_string(value));
+}
+
+void Span::arg(std::string_view key, double value) {
+  if (tracer_ == nullptr) return;
+  append_kv(args_, key, double_text(value));
+}
+
+void Span::arg(std::string_view key, std::string_view value) {
+  if (tracer_ == nullptr) return;
+  std::string rendered;
+  append_escaped(rendered, value);
+  append_kv(args_, key, rendered);
+}
+
+void Span::end() {
+  if (tracer_ == nullptr) return;
+  Tracer* tracer = std::exchange(tracer_, nullptr);
+  const std::uint64_t end_us = tracer->now_us();
+  tracer->complete(std::move(name_), pid_, tid_, start_us_,
+                   end_us - start_us_, std::move(args_));
+  tracer->open_spans_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+}  // namespace oociso::obs

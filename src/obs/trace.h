@@ -1,0 +1,165 @@
+#pragma once
+// Chrome trace_event tracing for the query hot path.
+//
+// A Tracer collects timestamped events — RAII spans ('X' complete events),
+// instants, and counters — and writes them as the Chrome/Perfetto JSON
+// format (chrome://tracing, https://ui.perfetto.dev), so a serve run or a
+// bench sweep becomes a zoomable per-query, per-node timeline instead of a
+// table of totals.
+//
+// Track model. Chrome renders one horizontal lane per (pid, tid) pair:
+//   * pid is the *query id* — every admitted query gets its own process
+//     group, so concurrent serve traffic separates visually and per-query
+//     span totals can be summed mechanically (tests do exactly that);
+//   * tid encodes (node, lane): each simulated cluster node contributes a
+//     compute lane (triangulation, rendering) and an I/O lane (device
+//     reads, scheduling), because the pipelined engines genuinely run those
+//     on two threads and their spans legitimately overlap in time.
+//
+// Overhead. Tracing is off when every instrumented site holds a null
+// Tracer* — the spans compile to a pointer test and the hot path stays
+// untouched (the CI release-bench job pins this with a <5% modeled-time
+// delta check). When on, each span is one mutex-guarded vector append at
+// destruction; timestamps come from the steady clock and are relative to
+// the tracer's construction.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace oociso::obs {
+
+/// Lanes multiplexed into the Chrome tid per cluster node (see track()).
+enum class Lane : std::uint32_t {
+  kCompute = 0,    ///< decode + marching cubes + rendering (node thread)
+  kIo = 1,         ///< device reads / schedule (producer thread)
+  kAdmission = 2,  ///< serve admission queue wait
+  kControl = 3,    ///< per-query control: compositing, plan, merge
+};
+
+/// Chrome tid for a node's lane. Lanes are interleaved per node so a trace
+/// sorted by tid shows node 0 compute, node 0 io, node 1 compute, ...
+[[nodiscard]] constexpr std::uint32_t track(std::size_t node, Lane lane) {
+  return static_cast<std::uint32_t>(node) * 4u +
+         static_cast<std::uint32_t>(lane);
+}
+
+/// One buffered trace event (Chrome trace_event fields).
+struct TraceEvent {
+  std::string name;
+  char phase = 'X';       ///< 'X' complete, 'i' instant, 'C' counter, 'M' meta
+  std::uint64_t ts_us = 0;   ///< microseconds since tracer construction
+  std::uint64_t dur_us = 0;  ///< 'X' only
+  std::uint32_t pid = 0;     ///< query id
+  std::uint32_t tid = 0;     ///< track(node, lane)
+  std::string args;          ///< pre-rendered JSON object body, may be empty
+};
+
+class Span;
+
+/// Thread-safe trace-event buffer with Chrome JSON export.
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Microseconds since construction (the ts timebase of every event).
+  [[nodiscard]] std::uint64_t now_us() const;
+
+  /// Emits a complete ('X') event with explicit timing.
+  void complete(std::string name, std::uint32_t pid, std::uint32_t tid,
+                std::uint64_t ts_us, std::uint64_t dur_us,
+                std::string args = {});
+  /// Emits an instant ('i') event at the current time.
+  void instant(std::string name, std::uint32_t pid, std::uint32_t tid,
+               std::string args = {});
+  /// Emits a counter ('C') sample at the current time.
+  void counter(std::string name, std::uint32_t pid, double value);
+  /// Names a pid's process group ("query 3 iso=150") in the Chrome UI.
+  void name_process(std::uint32_t pid, std::string_view name);
+  /// Names a (pid, tid) track ("node 2 io") in the Chrome UI.
+  void name_thread(std::uint32_t pid, std::uint32_t tid,
+                   std::string_view name);
+
+  [[nodiscard]] std::size_t event_count() const;
+  /// Copy of the buffered events (tests introspect these directly).
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  /// Live RAII spans not yet emitted; 0 once every span has closed — the
+  /// begin/end-balance invariant the obs tests pin.
+  [[nodiscard]] std::int64_t open_spans() const;
+
+  /// The full Chrome JSON document:
+  /// {"traceEvents":[...],"displayTimeUnit":"ms"}.
+  [[nodiscard]] std::string to_json() const;
+  /// Writes to_json() to `path`; throws std::runtime_error on failure.
+  void write(const std::filesystem::path& path) const;
+
+ private:
+  friend class Span;
+  const std::chrono::steady_clock::time_point origin_ =
+      std::chrono::steady_clock::now();
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::atomic<std::int64_t> open_spans_{0};
+};
+
+/// RAII span: emits one 'X' event covering construction → destruction (or
+/// end()). Null-tracer spans are no-ops, which is how tracing stays free
+/// when disabled. Args attached via arg() land in the event's "args" map.
+class Span {
+ public:
+  Span(Tracer* tracer, std::string_view name, std::uint32_t pid,
+       std::uint32_t tid);
+  ~Span() { end(); }
+
+  Span(Span&& other) noexcept
+      : tracer_(std::exchange(other.tracer_, nullptr)),
+        name_(std::move(other.name_)),
+        pid_(other.pid_),
+        tid_(other.tid_),
+        start_us_(other.start_us_),
+        args_(std::move(other.args_)) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span& operator=(Span&&) = delete;
+
+  /// Attaches "key": value to the span's args (active spans only).
+  void arg(std::string_view key, std::uint64_t value);
+  void arg(std::string_view key, double value);
+  void arg(std::string_view key, std::string_view value);
+
+  /// Emits the event now; further arg()/end() calls are no-ops.
+  void end();
+
+ private:
+  Tracer* tracer_ = nullptr;
+  std::string name_;
+  std::uint32_t pid_ = 0;
+  std::uint32_t tid_ = 0;
+  std::uint64_t start_us_ = 0;
+  std::string args_;
+};
+
+/// Renders `"key":<value>` fragments for TraceEvent::args / Span::arg.
+/// Exposed so instrumentation sites can pre-build args for instants.
+class ArgsBuilder {
+ public:
+  ArgsBuilder& add(std::string_view key, std::uint64_t value);
+  ArgsBuilder& add(std::string_view key, double value);
+  ArgsBuilder& add(std::string_view key, std::string_view value);
+  /// The accumulated object body (no braces), movable into TraceEvent.
+  [[nodiscard]] std::string str() && { return std::move(body_); }
+  [[nodiscard]] const std::string& str() const& { return body_; }
+
+ private:
+  std::string body_;
+};
+
+}  // namespace oociso::obs

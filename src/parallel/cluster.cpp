@@ -78,6 +78,21 @@ void Cluster::enable_shared_cache(
     }
     caches_.push_back(
         std::make_unique<io::SharedBufferPool>(*base, capacity_blocks));
+    if (metrics_ != nullptr) {
+      caches_.back()->attach_metrics(
+          *metrics_, "node" + std::to_string(i) + ".cache");
+    }
+  }
+}
+
+void Cluster::attach_metrics(obs::MetricsRegistry& registry) {
+  metrics_ = &registry;
+  for (std::size_t i = 0; i < disks_.size(); ++i) {
+    disks_[i]->attach_metrics(registry, "node" + std::to_string(i) + ".disk");
+  }
+  for (std::size_t i = 0; i < caches_.size(); ++i) {
+    caches_[i]->attach_metrics(registry,
+                               "node" + std::to_string(i) + ".cache");
   }
 }
 

@@ -107,6 +107,13 @@ class Cluster {
   /// cold-start switch for warm-vs-cold cache measurements.
   void drop_caches();
 
+  /// Attaches every node disk (counters `node<i>.disk.*`) and — when the
+  /// shared cache is or later becomes enabled — every pool (counters
+  /// `node<i>.cache.*`, re-pointed so CacheCounters derive from the
+  /// registry's atomics) to `registry`. The registry must outlive the
+  /// cluster's devices; call once per registry.
+  void attach_metrics(obs::MetricsRegistry& registry);
+
   /// Modeled seconds for node-local I/O activity.
   [[nodiscard]] double disk_seconds(const io::IoStats& stats) const {
     return config_.disk.seconds(stats);
@@ -126,6 +133,8 @@ class Cluster {
   std::vector<std::unique_ptr<io::FaultInjectingBlockDevice>> cache_injectors_;
   /// Per-node shared pools (empty while caching is disabled).
   std::vector<std::unique_ptr<io::SharedBufferPool>> caches_;
+  /// Registry from attach_metrics, so pools created later attach too.
+  obs::MetricsRegistry* metrics_ = nullptr;
   ThreadPool pool_;
 };
 

@@ -95,6 +95,10 @@ QueryReport QueryEngine::run(core::ValueKey isovalue,
     const index::CompactIntervalTree& tree = data_.trees[node];
     soups[node].clear();
     node_report.triangles = 0;
+    // The whole stripe on the node's compute lane; its args carry the
+    // per-node report totals so traces reconcile against QueryReport.
+    obs::Span extract_span(options.tracer, "node.extract", options.query_id,
+                           obs::track(node, obs::Lane::kCompute));
     const double stalls_before =
         injector ? injector->injected().stall_modeled_seconds : 0.0;
 
@@ -117,10 +121,15 @@ QueryReport QueryEngine::run(core::ValueKey isovalue,
         static_cast<std::uint64_t>(data_.geometry.cells_per_side());
     soups[node].reserve(
         static_cast<std::size_t>(plan.total_records() * 2 * side * side));
+    index::RetrievalOptions retrieval = options.retrieval;
+    retrieval.tracer = options.tracer;
+    retrieval.metrics = options.metrics;
+    retrieval.trace_pid = options.query_id;
+    retrieval.trace_tid = obs::track(node, obs::Lane::kIo);
     index::RetrievalStream stream(
         std::move(plan), tree.scalar_kind(), tree.record_size(), device,
-        options.retrieval,
-        index::BrickDirectory{tree.bricks(), tree.chunk_crcs()}, cache);
+        retrieval, index::BrickDirectory{tree.bricks(), tree.chunk_crcs()},
+        cache);
 
     // Per-batch modeled I/O and measured CPU, in arrival order, for the
     // ledger's bounded-queue charge below.
@@ -130,9 +139,15 @@ QueryReport QueryEngine::run(core::ValueKey isovalue,
     cpu_batches.reserve(stream.schedule().items.size() + 8);
 
     double cpu_seconds = 0.0;
+    std::uint64_t mc_cells_visited = 0;
+    std::uint64_t mc_active_cells = 0;
+    std::uint64_t mc_batches = 0;
     util::ThreadCpuTimer cpu_timer;
     metacell::DecodedMetacell cell;  // scratch reused across records
     auto consume = [&](const index::RecordBatch& batch) {
+      obs::Span mc_span(options.tracer, "mc.batch", options.query_id,
+                        obs::track(node, obs::Lane::kCompute));
+      std::uint64_t batch_triangles = 0;
       cpu_timer.restart();
       for (std::size_t r = 0; r < batch.record_count; ++r) {
         metacell::decode_metacell(batch.record(r), data_.kind, data_.geometry,
@@ -140,11 +155,17 @@ QueryReport QueryEngine::run(core::ValueKey isovalue,
         const extract::ExtractionStats cell_stats =
             extract::extract_metacell(cell, isovalue, soups[node]);
         node_report.triangles += cell_stats.triangles;
+        batch_triangles += cell_stats.triangles;
+        mc_cells_visited += cell_stats.cells_visited;
+        mc_active_cells += cell_stats.active_cells;
       }
       const double batch_cpu = cpu_timer.seconds();
       cpu_seconds += batch_cpu;
+      ++mc_batches;
       io_batches.push_back(cluster_.disk_seconds(batch.io));
       cpu_batches.push_back(batch_cpu);
+      mc_span.arg("records", static_cast<std::uint64_t>(batch.record_count));
+      mc_span.arg("triangles", batch_triangles);
     };
 
     // Only the producer side touches `stream` (and through it the node's
@@ -212,17 +233,39 @@ QueryReport QueryEngine::run(core::ValueKey isovalue,
                  node_report.io_model_seconds + extra_io);
       ledger.add(parallel::Phase::kTriangulation, cpu_seconds);
     }
+
+    if (options.metrics != nullptr) {
+      options.metrics->counter("mc.cells_visited").add(mc_cells_visited);
+      options.metrics->counter("mc.active_cells").add(mc_active_cells);
+      options.metrics->counter("mc.triangles").add(node_report.triangles);
+      options.metrics->counter("mc.batches").add(mc_batches);
+    }
+    // Trace↔report reconciliation anchor: these args are the NodeReport
+    // values, summed per pid by the obs tests and the serve stress test.
+    extract_span.arg("active_metacells", node_report.active_metacells);
+    extract_span.arg("records_fetched", node_report.records_fetched);
+    extract_span.arg("triangles", node_report.triangles);
+    extract_span.arg("read_ops", node_report.io.read_ops);
+    extract_span.arg("bytes_read", node_report.io.bytes_read);
+    extract_span.arg("io_model_seconds", node_report.io_model_seconds);
+    extract_span.arg("io_wall_seconds", node_report.io_wall_seconds);
+    extract_span.arg("cache_hit_blocks", node_report.cache.hit_blocks);
+    extract_span.arg("cache_miss_blocks", node_report.cache.miss_blocks);
+    extract_span.arg("cache_wait_blocks", node_report.cache.wait_blocks);
   };
 
   auto render_stripe = [&](std::size_t node, parallel::TimeLedger& ledger) {
     if (!options.render) return;
     NodeReport& node_report = report.nodes[node];
+    obs::Span span(options.tracer, "node.render", options.query_id,
+                   obs::track(node, obs::Lane::kCompute));
     frames[node] = render::Framebuffer(options.image_width,
                                        options.image_height);
     util::ThreadCpuTimer render_timer;
     render::Rasterizer rasterizer;
     rasterizer.draw(soups[node], camera, frames[node]);
     node_report.rendering_seconds = render_timer.seconds();
+    span.arg("triangles", node_report.triangles);
     ledger.add(parallel::Phase::kRendering, node_report.rendering_seconds);
   };
 
@@ -305,11 +348,15 @@ QueryReport QueryEngine::run(core::ValueKey isovalue,
 
   // ---- compositing (the only communication) ------------------------------
   if (options.render) {
+    obs::Span composite_span(options.tracer, "composite", options.query_id,
+                             obs::track(0, obs::Lane::kControl));
     util::WallTimer merge_timer;
     compositing::CompositeResult composite =
         options.schedule == CompositeSchedule::kBinarySwap
-            ? compositing::binary_swap(frames)
-            : compositing::direct_send(frames);
+            ? compositing::binary_swap(frames, options.tracer,
+                                       options.query_id)
+            : compositing::direct_send(frames, options.tracer,
+                                       options.query_id);
     const double merge_cpu = merge_timer.seconds();
 
     report.composite_traffic = composite.traffic;
@@ -317,6 +364,10 @@ QueryReport QueryEngine::run(core::ValueKey isovalue,
         cluster_.network_seconds(composite.traffic.rounds,
                                  composite.traffic.max_node_bytes) +
         merge_cpu / static_cast<double>(p);
+    composite_span.arg("rounds",
+                       static_cast<std::uint64_t>(composite.traffic.rounds));
+    composite_span.arg("bytes_total", composite.traffic.bytes_total);
+    composite_span.arg("model_seconds", report.composite_model_seconds);
     // The phase cost is shared: charge it once (max over nodes is what
     // completion_seconds uses, and all nodes participate symmetrically).
     for (auto& ledger : report.times.per_node) {
@@ -333,6 +384,47 @@ QueryReport QueryEngine::run(core::ValueKey isovalue,
     merged.reserve(total);
     for (const auto& soup : soups) merged.append(soup);
     report.triangles_out = std::move(merged);
+  }
+
+  // Mirror the report's ledger/fault totals into the registry, so the
+  // scattered per-query structs and the exported metrics are two views of
+  // the same run (tests reconcile histogram sums against reports).
+  if (options.metrics != nullptr) {
+    auto& m = *options.metrics;
+    m.counter("query.count").add();
+    m.counter("query.triangles").add(report.total_triangles());
+    m.counter("query.active_metacells").add(report.total_active_metacells());
+    auto& io_h = m.histogram("query.io_model_seconds");
+    auto& tri_h = m.histogram("query.triangulation_seconds");
+    auto& ren_h = m.histogram("query.rendering_seconds");
+    for (const NodeReport& node_report : report.nodes) {
+      io_h.observe(node_report.io_model_seconds);
+      tri_h.observe(node_report.triangulation_seconds);
+      ren_h.observe(node_report.rendering_seconds);
+    }
+    m.histogram("query.composite_model_seconds")
+        .observe(report.composite_model_seconds);
+    m.histogram("query.completion_seconds").observe(report.completion_seconds());
+    std::uint64_t injected_failures = 0;
+    std::uint64_t injected_corruptions = 0;
+    std::uint64_t injected_stalls = 0;
+    for (const NodeReport& node_report : report.nodes) {
+      injected_failures += node_report.faults.injected_read_failures;
+      injected_corruptions += node_report.faults.injected_corrupted_reads;
+      injected_stalls += node_report.faults.injected_stalls;
+    }
+    if (injected_failures > 0) {
+      m.counter("faults.injected_read_failures").add(injected_failures);
+    }
+    if (injected_corruptions > 0) {
+      m.counter("faults.injected_corrupted_reads").add(injected_corruptions);
+    }
+    if (injected_stalls > 0) {
+      m.counter("faults.injected_stalls").add(injected_stalls);
+    }
+    if (report.total_failovers() > 0) {
+      m.counter("faults.failovers").add(report.total_failovers());
+    }
   }
   return report;
 }

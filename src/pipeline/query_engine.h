@@ -95,6 +95,23 @@ struct QueryOptions {
   /// its fail-all injector, and the failover peer re-executes the stripe
   /// through the dead node's pool.
   bool use_shared_cache = false;
+
+  // ---- observability ------------------------------------------------------
+  /// Trace sink (null = off). Every span of this query carries pid =
+  /// `query_id` and tid = obs::track(node, lane): retrieval/scheduling on
+  /// the node's I/O lane, triangulation and rendering on its compute lane,
+  /// compositing on the control lane. The "node.extract" span's args carry
+  /// the per-node report totals (read_ops, bytes, cache blocks, modeled
+  /// I/O), which is what lets a test reconcile the trace against the
+  /// QueryReport mechanically.
+  obs::Tracer* tracer = nullptr;
+  /// Metrics sink (null = off): `mc.*` kernel totals, `query.*` phase
+  /// histograms (one observation per node per query), `faults.*` injected /
+  /// failover counters — all reconciled against the report by tests.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Chrome pid for this query's spans; serve assigns a fresh id per
+  /// admitted query so concurrent traffic separates into process groups.
+  std::uint32_t query_id = 0;
 };
 
 /// Per-node fault-handling outcome for one query. All-zero (with

@@ -2,6 +2,7 @@
 
 #include <future>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace oociso::serve {
@@ -9,7 +10,10 @@ namespace oociso::serve {
 QueryServer::QueryServer(parallel::Cluster& cluster,
                          const pipeline::PreprocessResult& data,
                          ServeOptions options)
-    : cluster_(cluster), data_(data), options_(std::move(options)) {
+    : cluster_(cluster),
+      data_(data),
+      options_(std::move(options)),
+      next_query_id_(options_.first_query_id) {
   if (options_.max_concurrent_queries == 0) {
     throw std::invalid_argument("QueryServer: need at least one query slot");
   }
@@ -19,6 +23,14 @@ QueryServer::QueryServer(parallel::Cluster& cluster,
         "pools; use ServeOptions::inject_faults (cluster-level) instead");
   }
   options_.query.use_shared_cache = true;
+  if (options_.metrics != nullptr) {
+    // Attach before the pools exist is fine — Cluster remembers the
+    // registry and attaches each pool as enable_shared_cache creates it.
+    cluster_.attach_metrics(*options_.metrics);
+    obs::Gauge& gauge = options_.metrics->gauge("serve.in_flight");
+    gauge.set(in_flight_->value());
+    in_flight_ = &gauge;
+  }
   cluster_.enable_shared_cache(options_.cache_capacity_blocks,
                                options_.inject_faults);
   admission_ =
@@ -33,35 +45,62 @@ QueryServer::~QueryServer() {
 }
 
 pipeline::QueryReport QueryServer::run_admitted(
-    const pipeline::PreprocessResult& data, core::ValueKey isovalue) {
-  {
-    const std::lock_guard lock(gauge_mutex_);
-    ++in_flight_;
-    if (in_flight_ > peak_in_flight_) peak_in_flight_ = in_flight_;
+    const pipeline::PreprocessResult& data, core::ValueKey isovalue,
+    std::uint64_t submitted_us) {
+  const std::uint32_t query_id =
+      next_query_id_.fetch_add(1, std::memory_order_relaxed);
+  obs::Tracer* const tracer = options_.tracer;
+  if (tracer != nullptr) {
+    tracer->name_process(query_id, "query " + std::to_string(query_id) +
+                                       " iso=" + std::to_string(isovalue));
+    // Explicit-timestamp span: submission happened on the client's thread,
+    // execution starts here — the gap is the admission-queue wait.
+    const std::uint64_t admitted_us = tracer->now_us();
+    tracer->complete("admission.wait", query_id,
+                     obs::track(0, obs::Lane::kAdmission), submitted_us,
+                     admitted_us - submitted_us);
   }
+  if (options_.metrics != nullptr) {
+    options_.metrics->counter("serve.queries").add();
+  }
+  const std::int64_t level = in_flight_->add(1);
+  if (tracer != nullptr) {
+    tracer->counter("serve.in_flight", 0, static_cast<double>(level));
+  }
+  pipeline::QueryOptions query_options = options_.query;
+  query_options.tracer = tracer;
+  query_options.metrics = options_.metrics;
+  query_options.query_id = query_id;
   pipeline::QueryEngine engine(cluster_, data);
   try {
-    pipeline::QueryReport report = engine.run(isovalue, options_.query);
-    const std::lock_guard lock(gauge_mutex_);
-    --in_flight_;
+    pipeline::QueryReport report = engine.run(isovalue, query_options);
+    const std::int64_t after = in_flight_->add(-1);
+    if (tracer != nullptr) {
+      tracer->counter("serve.in_flight", 0, static_cast<double>(after));
+    }
     return report;
   } catch (...) {
-    const std::lock_guard lock(gauge_mutex_);
-    --in_flight_;
+    in_flight_->add(-1);
     throw;
   }
 }
 
 pipeline::QueryReport QueryServer::query(core::ValueKey isovalue) {
+  const std::uint64_t submitted_us = submit_time_us();
   return admission_
-      ->submit([this, isovalue] { return run_admitted(data_, isovalue); })
+      ->submit([this, isovalue, submitted_us] {
+        return run_admitted(data_, isovalue, submitted_us);
+      })
       .get();
 }
 
 pipeline::QueryReport QueryServer::query_step(
     const pipeline::PreprocessResult& step, core::ValueKey isovalue) {
+  const std::uint64_t submitted_us = submit_time_us();
   return admission_
-      ->submit([this, &step, isovalue] { return run_admitted(step, isovalue); })
+      ->submit([this, &step, isovalue, submitted_us] {
+        return run_admitted(step, isovalue, submitted_us);
+      })
       .get();
 }
 
@@ -70,8 +109,10 @@ std::vector<pipeline::QueryReport> QueryServer::serve(
   std::vector<std::future<pipeline::QueryReport>> pending;
   pending.reserve(isovalues.size());
   for (const core::ValueKey isovalue : isovalues) {
-    pending.push_back(admission_->submit(
-        [this, isovalue] { return run_admitted(data_, isovalue); }));
+    const std::uint64_t submitted_us = submit_time_us();
+    pending.push_back(admission_->submit([this, isovalue, submitted_us] {
+      return run_admitted(data_, isovalue, submitted_us);
+    }));
   }
   std::vector<pipeline::QueryReport> reports;
   reports.reserve(pending.size());
@@ -96,8 +137,7 @@ io::CacheCounters QueryServer::cache_counters(std::size_t node) const {
 }
 
 std::size_t QueryServer::peak_in_flight() const {
-  const std::lock_guard lock(gauge_mutex_);
-  return peak_in_flight_;
+  return static_cast<std::size_t>(in_flight_->max_value());
 }
 
 }  // namespace oociso::serve

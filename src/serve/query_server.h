@@ -26,9 +26,9 @@
 // and dead nodes fail over to peers that re-read the stripe through the
 // dead node's pool.
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
@@ -36,6 +36,8 @@
 #include "core/interval.h"
 #include "io/fault_injection.h"
 #include "io/shared_buffer_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/cluster.h"
 #include "parallel/thread_pool.h"
 #include "pipeline/preprocess.h"
@@ -56,7 +58,25 @@ struct ServeOptions {
   /// Base options for every query. `use_shared_cache` is forced on;
   /// `inject_faults` must stay empty (use the field above). `dead_nodes`
   /// and `failover` compose with serving as they do with single queries.
+  /// The per-query observability fields (`tracer`/`metrics`/`query_id`)
+  /// are overwritten per admitted query from the two sinks below.
   pipeline::QueryOptions query;
+
+  /// Trace sink (null = off). Every admitted query gets a fresh pid, a
+  /// named process group ("query N iso=V"), an "admission.wait" span from
+  /// submission to execution start on the admission lane, and the engine's
+  /// full span tree underneath.
+  obs::Tracer* tracer = nullptr;
+  /// Metrics sink (null = off). The cluster's disks and pools attach at
+  /// startup (`node<i>.disk.*` / `node<i>.cache.*`), the in-flight gauge
+  /// becomes the registry's `serve.in_flight` (so peak_in_flight() is
+  /// derived from the exported metric), and every query bumps
+  /// `serve.queries`.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// First trace pid the server assigns. Raise it when other code traces
+  /// into the same sink with its own pids (e.g. a serial baseline pass in
+  /// a bench), so the two ranges cannot collide.
+  std::uint32_t first_query_id = 1;
 };
 
 class QueryServer {
@@ -98,24 +118,37 @@ class QueryServer {
   [[nodiscard]] io::CacheCounters cache_counters(std::size_t node) const;
 
   /// High-water mark of queries executing simultaneously since startup
-  /// (<= max_concurrent_queries by construction).
+  /// (<= max_concurrent_queries by construction). Derived from the
+  /// in-flight gauge — the registry's `serve.in_flight` when metrics are
+  /// attached.
   [[nodiscard]] std::size_t peak_in_flight() const;
 
   [[nodiscard]] const ServeOptions& options() const { return options_; }
 
  private:
   /// The body of one admitted query: gauge in, run the engine against
-  /// `data` through the shared pools, gauge out.
+  /// `data` through the shared pools, gauge out. `submitted_us` is the
+  /// tracer clock at submission (0 without a tracer) — the admission-wait
+  /// span runs from there to execution start.
   [[nodiscard]] pipeline::QueryReport run_admitted(
-      const pipeline::PreprocessResult& data, core::ValueKey isovalue);
+      const pipeline::PreprocessResult& data, core::ValueKey isovalue,
+      std::uint64_t submitted_us);
+
+  /// Tracer clock now, or 0 when tracing is off (submission timestamps).
+  [[nodiscard]] std::uint64_t submit_time_us() const {
+    return options_.tracer != nullptr ? options_.tracer->now_us() : 0;
+  }
 
   parallel::Cluster& cluster_;
   const pipeline::PreprocessResult& data_;
   ServeOptions options_;
 
-  mutable std::mutex gauge_mutex_;  ///< guards the in-flight gauge
-  std::size_t in_flight_ = 0;
-  std::size_t peak_in_flight_ = 0;
+  /// In-flight level + high-water mark. Points at local_in_flight_ until
+  /// metrics are attached, then at the registry's `serve.in_flight` gauge —
+  /// one set of atomics, and peak_in_flight() reads whichever is live.
+  obs::Gauge local_in_flight_;
+  obs::Gauge* in_flight_ = &local_in_flight_;
+  std::atomic<std::uint32_t> next_query_id_;
 
   /// Admission pool, behind a pointer so the destructor can join all
   /// workers (completing every in-flight query) before it tears the shared

@@ -83,4 +83,18 @@ bool CliArgs::has(std::string_view name) const {
   return flags_.find(name) != flags_.end();
 }
 
+void CliArgs::require_known(
+    std::initializer_list<std::string_view> known) const {
+  for (const auto& [name, value] : flags_) {
+    bool found = false;
+    for (const std::string_view candidate : known) {
+      if (name == candidate) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) throw UsageError("unknown flag --" + name);
+  }
+}
+
 }  // namespace oociso::util

@@ -4,13 +4,23 @@
 // flag has a default so all binaries run stand-alone with no arguments.
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace oociso::util {
+
+/// A user-facing flag mistake (unknown flag, bad value): callers print the
+/// message plus their usage text and exit 2, instead of the generic
+/// error-exit path a programming error takes.
+class UsageError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
 
 class CliArgs {
  public:
@@ -26,6 +36,11 @@ class CliArgs {
   [[nodiscard]] bool get_bool(std::string_view name, bool fallback) const;
 
   [[nodiscard]] bool has(std::string_view name) const;
+
+  /// Throws UsageError if any parsed flag is not in `known` — call it with
+  /// the full flag list after dispatching on the subcommand, so a typo
+  /// (`--isovlaue`) fails loudly instead of silently running defaults.
+  void require_known(std::initializer_list<std::string_view> known) const;
 
   /// Positional (non-flag) arguments in order.
   [[nodiscard]] const std::vector<std::string>& positional() const {

@@ -1,0 +1,183 @@
+// End-to-end tests of the oociso_cli binary (tools/oociso_cli.cpp),
+// spawned as a real subprocess: flag validation must reject unknown flags
+// with exit code 2 + usage text (the silent-typo bug this suite pins), and
+// `serve --trace/--metrics` must produce a Chrome-loadable trace whose
+// per-query span totals reconcile with the exported metrics counters.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <sys/wait.h>
+
+#include "util/json.h"
+#include "util/temp_dir.h"
+
+namespace oociso {
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  ///< stdout + stderr, interleaved
+};
+
+/// Runs the CLI with `arguments`, capturing output and the real exit code.
+RunResult run_cli(const std::string& arguments, const std::string& log_path) {
+  const std::string command = std::string(OOCISO_CLI_PATH) + " " + arguments +
+                              " > " + log_path + " 2>&1";
+  const int status = std::system(command.c_str());
+  RunResult result;
+  if (WIFEXITED(status)) result.exit_code = WEXITSTATUS(status);
+  std::ifstream in(log_path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  result.output = out.str();
+  return result;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  util::TempDir dir_{"oociso-cli-test"};
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_.path() / name).string();
+  }
+};
+
+TEST_F(CliTest, NoCommandPrintsUsage) {
+  const RunResult result = run_cli("", path("log"));
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownFlagsAreRejectedPerSubcommand) {
+  for (const std::string command :
+       {"query --isovlaue 100", "serve --concurency 4",
+        "preprocess --volme x.oocv", "generate --dim 32",
+        "query --storage /tmp/x --bogus"}) {
+    const RunResult result = run_cli(command, path("log"));
+    EXPECT_EQ(result.exit_code, 2) << command;
+    EXPECT_NE(result.output.find("error: unknown flag"), std::string::npos)
+        << command;
+    EXPECT_NE(result.output.find("usage:"), std::string::npos) << command;
+  }
+}
+
+TEST_F(CliTest, KnownFlagWithBadValueStillFailsLoudly) {
+  const RunResult result =
+      run_cli("query --storage /nonexistent --iso not-a-number", path("log"));
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("error:"), std::string::npos);
+}
+
+TEST_F(CliTest, ServeTraceReconcilesWithMetrics) {
+  // generate -> preprocess -> serve, all through the real binary.
+  const std::string volume = path("volume.oocv");
+  ASSERT_EQ(run_cli("generate --dims 40 --seed 7 --out " + volume, path("g"))
+                .exit_code,
+            0);
+  const std::string storage = path("storage");
+  ASSERT_EQ(run_cli("preprocess --volume " + volume + " --storage " + storage +
+                        " --nodes 2",
+                    path("p"))
+                .exit_code,
+            0);
+
+  const std::string trace_path = path("trace.json");
+  const std::string metrics_path = path("metrics.json");
+  const RunResult serve = run_cli(
+      "serve --storage " + storage +
+          " --nodes 2 --isos 90,120,150 --repeat 2 --concurrency 3 --trace " +
+          trace_path + " --metrics " + metrics_path,
+      path("s"));
+  ASSERT_EQ(serve.exit_code, 0) << serve.output;
+
+  // The trace is valid Chrome JSON with one pid per executed query, each
+  // carrying an admission.wait span and one node.extract span per node.
+  const util::JsonValue trace = util::parse_json(slurp(trace_path));
+  EXPECT_EQ(trace.at("displayTimeUnit").as_string(), "ms");
+  const util::JsonValue::Array& events = trace.at("traceEvents").as_array();
+  ASSERT_FALSE(events.empty());
+
+  constexpr std::size_t kQueries = 6;  // 3 isovalues x 2 passes
+  std::size_t admission_spans = 0;
+  std::map<std::int64_t, std::size_t> extract_spans_per_pid;
+  std::uint64_t attributed_blocks = 0;
+  for (const util::JsonValue& event : events) {
+    const std::string& name = event.at("name").as_string();
+    if (name == "admission.wait") ++admission_spans;
+    if (name != "node.extract") continue;
+    ++extract_spans_per_pid[static_cast<std::int64_t>(
+        event.at("pid").as_number())];
+    const util::JsonValue& args = event.at("args");
+    attributed_blocks +=
+        static_cast<std::uint64_t>(args.at("cache_hit_blocks").as_number()) +
+        static_cast<std::uint64_t>(args.at("cache_miss_blocks").as_number()) +
+        static_cast<std::uint64_t>(args.at("cache_wait_blocks").as_number());
+  }
+  EXPECT_EQ(admission_spans, kQueries);
+  EXPECT_EQ(extract_spans_per_pid.size(), kQueries);
+  for (const auto& [pid, count] : extract_spans_per_pid) {
+    EXPECT_EQ(count, 2u) << "pid " << pid;  // one extract span per node
+  }
+
+  // Reconciliation: the queries' per-span cache attribution sums exactly
+  // to the shared pools' fetch ledger in the exported metrics, and the
+  // ledger identity holds.
+  const util::JsonValue metrics = util::parse_json(slurp(metrics_path));
+  const util::JsonValue& counters = metrics.at("counters");
+  std::uint64_t fetches = 0, hits = 0, misses = 0, waits = 0;
+  for (int node = 0; node < 2; ++node) {
+    const std::string prefix = "node" + std::to_string(node) + ".cache.";
+    fetches += static_cast<std::uint64_t>(
+        counters.at(prefix + "fetches").as_number());
+    hits +=
+        static_cast<std::uint64_t>(counters.at(prefix + "hits").as_number());
+    misses += static_cast<std::uint64_t>(
+        counters.at(prefix + "misses").as_number());
+    waits +=
+        static_cast<std::uint64_t>(counters.at(prefix + "waits").as_number());
+  }
+  EXPECT_EQ(hits + misses + waits, fetches);
+  EXPECT_EQ(attributed_blocks, fetches);
+  EXPECT_EQ(
+      static_cast<std::uint64_t>(counters.at("serve.queries").as_number()),
+      kQueries);
+}
+
+TEST_F(CliTest, QueryTraceIsValidJson) {
+  const std::string volume = path("volume.oocv");
+  ASSERT_EQ(run_cli("generate --dims 40 --seed 7 --out " + volume, path("g"))
+                .exit_code,
+            0);
+  const std::string storage = path("storage");
+  ASSERT_EQ(run_cli("preprocess --volume " + volume + " --storage " + storage +
+                        " --nodes 2",
+                    path("p"))
+                .exit_code,
+            0);
+  const std::string trace_path = path("trace.json");
+  const RunResult query = run_cli("query --storage " + storage +
+                                      " --nodes 2 --iso 120 --trace " +
+                                      trace_path,
+                                  path("q"));
+  ASSERT_EQ(query.exit_code, 0) << query.output;
+  const util::JsonValue trace = util::parse_json(slurp(trace_path));
+  bool saw_extract = false;
+  for (const util::JsonValue& event : trace.at("traceEvents").as_array()) {
+    if (event.at("name").as_string() == "node.extract") saw_extract = true;
+  }
+  EXPECT_TRUE(saw_extract);
+}
+
+}  // namespace
+}  // namespace oociso

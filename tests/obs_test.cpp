@@ -1,0 +1,417 @@
+// Unified observability layer (obs/metrics.h, obs/trace.h): unit tests for
+// the primitives plus the reconciliation suites the layer exists for — a
+// query's trace spans and registry metrics must agree with its QueryReport,
+// and a concurrent serve run's per-query cache attribution must sum to the
+// shared pools' fetch ledger. Carries the ctest label `obs` (run under
+// ASan/UBSan and TSan in CI).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/rm_generator.h"
+#include "metacell/source.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "parallel/cluster.h"
+#include "pipeline/query_engine.h"
+#include "serve/query_server.h"
+#include "util/json.h"
+
+namespace oociso {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Metrics primitives
+// ---------------------------------------------------------------------------
+
+TEST(MetricsTest, CounterAccumulates) {
+  obs::Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(MetricsTest, GaugeTracksLevelAndHighWater) {
+  obs::Gauge gauge;
+  EXPECT_EQ(gauge.add(3), 3);
+  EXPECT_EQ(gauge.add(2), 5);
+  EXPECT_EQ(gauge.add(-4), 1);
+  EXPECT_EQ(gauge.value(), 1);
+  EXPECT_EQ(gauge.max_value(), 5);
+  gauge.set(2);
+  EXPECT_EQ(gauge.value(), 2);
+  EXPECT_EQ(gauge.max_value(), 5);  // set below the mark leaves it
+}
+
+TEST(MetricsTest, HistogramBucketsCountAndSum) {
+  const std::array<double, 3> bounds = {1.0, 10.0, 100.0};
+  obs::Histogram histogram(bounds);
+  histogram.observe(0.5);    // bucket 0
+  histogram.observe(1.0);    // bucket 0 (<= bound)
+  histogram.observe(7.0);    // bucket 1
+  histogram.observe(1000.0); // overflow
+  EXPECT_EQ(histogram.count(), 4u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 1008.5);
+  const std::vector<std::uint64_t> buckets = histogram.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 0u);
+  EXPECT_EQ(buckets[3], 1u);
+}
+
+TEST(MetricsTest, HistogramRejectsNonAscendingBounds) {
+  const std::array<double, 3> bad = {1.0, 1.0, 2.0};
+  EXPECT_THROW(obs::Histogram{bad}, std::invalid_argument);
+}
+
+TEST(MetricsTest, RegistryResolvesOneInstancePerName) {
+  obs::MetricsRegistry registry;
+  obs::Counter& a = registry.counter("x.ops");
+  obs::Counter& b = registry.counter("x.ops");
+  EXPECT_EQ(&a, &b);
+  a.add(7);
+  EXPECT_EQ(registry.snapshot().counter("x.ops"), 7u);
+  EXPECT_EQ(registry.snapshot().counter("never.created"), 0u);
+}
+
+TEST(MetricsTest, ConcurrentCountingLosesNothing) {
+  obs::MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      obs::Counter& counter = registry.counter("stress.ops");
+      obs::Gauge& gauge = registry.gauge("stress.level");
+      for (int i = 0; i < kIncrements; ++i) {
+        counter.add();
+        gauge.add(1);
+        gauge.add(-1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const obs::MetricsSnapshot snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counter("stress.ops"),
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+  EXPECT_EQ(snapshot.gauges.at("stress.level").first, 0);
+  EXPECT_GE(snapshot.gauges.at("stress.level").second, 1);
+}
+
+TEST(MetricsTest, SnapshotJsonParses) {
+  obs::MetricsRegistry registry;
+  registry.counter("io.read_ops").add(3);
+  registry.gauge("serve.in_flight").set(2);
+  registry.histogram("io.read_seconds").observe(0.25);
+  const util::JsonValue doc = util::parse_json(registry.to_json());
+  EXPECT_EQ(doc.at("counters").at("io.read_ops").as_number(), 3.0);
+  EXPECT_EQ(doc.at("gauges").at("serve.in_flight").at("value").as_number(),
+            2.0);
+  const util::JsonValue& histogram =
+      doc.at("histograms").at("io.read_seconds");
+  EXPECT_EQ(histogram.at("count").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.at("sum").as_number(), 0.25);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer primitives
+// ---------------------------------------------------------------------------
+
+TEST(TracerTest, NullTracerSpansAreNoOps) {
+  obs::Span span(nullptr, "nothing", 0, 0);
+  span.arg("key", std::uint64_t{1});
+  span.end();  // double end must also be safe
+}
+
+TEST(TracerTest, SpanBeginEndBalance) {
+  obs::Tracer tracer;
+  {
+    obs::Span outer(&tracer, "outer", 1, 0);
+    EXPECT_EQ(tracer.open_spans(), 1);
+    {
+      obs::Span inner(&tracer, "inner", 1, 0);
+      EXPECT_EQ(tracer.open_spans(), 2);
+    }
+    EXPECT_EQ(tracer.open_spans(), 1);
+    obs::Span moved = std::move(outer);  // move must not double-count
+    EXPECT_EQ(tracer.open_spans(), 1);
+  }
+  EXPECT_EQ(tracer.open_spans(), 0);
+  EXPECT_EQ(tracer.event_count(), 2u);  // inner first (ended first)
+  const std::vector<obs::TraceEvent> events = tracer.events();
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[1].name, "outer");
+}
+
+TEST(TracerTest, TimestampsAreMonotoneInEmissionOrder) {
+  obs::Tracer tracer;
+  for (int i = 0; i < 64; ++i) {
+    obs::Span span(&tracer, "step", 1, 0);
+  }
+  const std::vector<obs::TraceEvent> events = tracer.events();
+  ASSERT_EQ(events.size(), 64u);
+  std::uint64_t last_end = 0;
+  for (const obs::TraceEvent& event : events) {
+    EXPECT_GE(event.ts_us + event.dur_us, last_end);
+    EXPECT_LE(event.ts_us + event.dur_us, tracer.now_us());
+    last_end = event.ts_us + event.dur_us;
+  }
+}
+
+TEST(TracerTest, TraceJsonIsValidChromeFormat) {
+  obs::Tracer tracer;
+  tracer.name_process(3, "query 3 iso=1.5");
+  tracer.name_thread(3, obs::track(0, obs::Lane::kIo), "node 0 io");
+  {
+    obs::Span span(&tracer, "io.read", 3, obs::track(0, obs::Lane::kIo));
+    span.arg("bytes", std::uint64_t{4096});
+    span.arg("ratio", 0.5);
+    span.arg("path", "quoted \"name\"\n");
+  }
+  tracer.instant("io.checksum_failure", 3, obs::track(0, obs::Lane::kIo));
+  tracer.counter("serve.in_flight", 0, 2.0);
+
+  const util::JsonValue doc = util::parse_json(tracer.to_json());
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ms");
+  const util::JsonValue::Array& events = doc.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 5u);
+
+  std::map<std::string, const util::JsonValue*> by_name;
+  for (const util::JsonValue& event : events) {
+    EXPECT_EQ(event.at("cat").as_string(), "oociso");
+    by_name[event.at("name").as_string()] = &event;
+  }
+  const util::JsonValue& read = *by_name.at("io.read");
+  EXPECT_EQ(read.at("ph").as_string(), "X");
+  EXPECT_EQ(read.at("pid").as_number(), 3.0);
+  EXPECT_EQ(read.at("tid").as_number(),
+            static_cast<double>(obs::track(0, obs::Lane::kIo)));
+  EXPECT_EQ(read.at("args").at("bytes").as_number(), 4096.0);
+  EXPECT_DOUBLE_EQ(read.at("args").at("ratio").as_number(), 0.5);
+  EXPECT_EQ(read.at("args").at("path").as_string(), "quoted \"name\"\n");
+  EXPECT_EQ(by_name.at("io.checksum_failure")->at("ph").as_string(), "i");
+  EXPECT_EQ(by_name.at("serve.in_flight")->at("ph").as_string(), "C");
+  EXPECT_EQ(by_name.at("process_name")->at("ph").as_string(), "M");
+}
+
+// ---------------------------------------------------------------------------
+// Single-query reconciliation: trace + registry vs QueryReport
+// ---------------------------------------------------------------------------
+
+data::RmConfig small_rm() {
+  data::RmConfig config;
+  config.dims = {48, 48, 44};
+  return config;
+}
+
+parallel::Cluster make_cluster(std::size_t nodes) {
+  parallel::ClusterConfig config;
+  config.node_count = nodes;
+  config.in_memory = true;
+  return parallel::Cluster(config);
+}
+
+/// Sums an integer arg over every trace span named `span_name` (optionally
+/// one pid only; pid < 0 sums all).
+std::uint64_t sum_span_arg(const util::JsonValue& trace,
+                           const std::string& span_name,
+                           const std::string& arg, std::int64_t pid = -1) {
+  std::uint64_t total = 0;
+  for (const util::JsonValue& event : trace.at("traceEvents").as_array()) {
+    if (event.at("name").as_string() != span_name) continue;
+    if (pid >= 0 &&
+        static_cast<std::int64_t>(event.at("pid").as_number()) != pid) {
+      continue;
+    }
+    total += static_cast<std::uint64_t>(event.at("args").at(arg).as_number());
+  }
+  return total;
+}
+
+double sum_span_arg_double(const util::JsonValue& trace,
+                           const std::string& span_name,
+                           const std::string& arg) {
+  double total = 0.0;
+  for (const util::JsonValue& event : trace.at("traceEvents").as_array()) {
+    if (event.at("name").as_string() != span_name) continue;
+    total += event.at("args").at(arg).as_number();
+  }
+  return total;
+}
+
+TEST(ObsReconcileTest, SingleQueryTraceMatchesReport) {
+  const auto volume = data::generate_rm_timestep(small_rm(), 200);
+  auto cluster = make_cluster(2);
+  const auto source = metacell::make_source(volume, 9);
+  const pipeline::PreprocessResult prep =
+      pipeline::preprocess(*source, cluster);
+
+  obs::Tracer tracer;
+  obs::MetricsRegistry registry;
+  cluster.attach_metrics(registry);
+
+  pipeline::QueryEngine engine(cluster, prep);
+  pipeline::QueryOptions options;
+  options.render = true;
+  options.image_width = options.image_height = 64;
+  options.tracer = &tracer;
+  options.metrics = &registry;
+  options.query_id = 7;
+  const pipeline::QueryReport report = engine.run(128.0f, options);
+
+  EXPECT_EQ(tracer.open_spans(), 0);
+  const util::JsonValue trace = util::parse_json(tracer.to_json());
+
+  // One node.extract span per node, all under the query's pid, carrying
+  // exactly the per-node report totals.
+  std::uint64_t report_read_ops = 0, report_bytes = 0, report_triangles = 0;
+  double report_io_model = 0.0;
+  for (const auto& node : report.nodes) {
+    report_read_ops += node.io.read_ops;
+    report_bytes += node.io.bytes_read;
+    report_triangles += node.triangles;
+    report_io_model += node.io_model_seconds;
+  }
+  EXPECT_EQ(sum_span_arg(trace, "node.extract", "read_ops", 7),
+            report_read_ops);
+  EXPECT_EQ(sum_span_arg(trace, "node.extract", "bytes_read", 7),
+            report_bytes);
+  EXPECT_EQ(sum_span_arg(trace, "node.extract", "triangles", 7),
+            report_triangles);
+  EXPECT_NEAR(sum_span_arg_double(trace, "node.extract", "io_model_seconds"),
+              report_io_model, 1e-12);
+
+  // The mc.batch spans tile the extraction: their triangles sum to the
+  // report's total too.
+  EXPECT_EQ(sum_span_arg(trace, "mc.batch", "triangles", 7),
+            report_triangles);
+
+  // Registry side: the mirrored query.* metrics agree with the report, and
+  // the devices' counters agree with the aggregated IoStats.
+  const obs::MetricsSnapshot snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counter("query.count"), 1u);
+  EXPECT_EQ(snapshot.counter("query.triangles"), report.total_triangles());
+  EXPECT_EQ(snapshot.counter("mc.triangles"), report.total_triangles());
+  EXPECT_NEAR(snapshot.histogram_sum("query.io_model_seconds"),
+              report_io_model, 1e-12);
+  std::uint64_t device_read_ops = 0;
+  for (std::size_t node = 0; node < cluster.size(); ++node) {
+    device_read_ops += snapshot.counter("node" + std::to_string(node) +
+                                        ".disk.read_ops");
+  }
+  EXPECT_EQ(device_read_ops, report_read_ops);
+
+  // Rendering on: per-node render spans and one composite span exist.
+  EXPECT_EQ(sum_span_arg(trace, "node.render", "triangles", 7),
+            report_triangles);
+  std::size_t composite_spans = 0;
+  for (const util::JsonValue& event : trace.at("traceEvents").as_array()) {
+    if (event.at("name").as_string() == "composite") ++composite_spans;
+  }
+  EXPECT_EQ(composite_spans, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent serve stress: per-query attribution sums to pool fetches
+// ---------------------------------------------------------------------------
+
+TEST(ObsReconcileTest, ServeStressAttributionSumsToPoolFetches) {
+  const auto volume = data::generate_rm_timestep(small_rm(), 200);
+  auto cluster = make_cluster(4);
+  const auto source = metacell::make_source(volume, 9);
+  const pipeline::PreprocessResult prep =
+      pipeline::preprocess(*source, cluster);
+
+  obs::Tracer tracer;
+  obs::MetricsRegistry registry;
+
+  const std::vector<core::ValueKey> isovalues = {96.0f,  110.0f, 120.0f,
+                                                 128.0f, 135.0f, 150.0f,
+                                                 170.0f, 190.0f};
+  std::vector<pipeline::QueryReport> reports;
+  {
+    serve::ServeOptions options;
+    options.max_concurrent_queries = 8;
+    options.cache_capacity_blocks = 512;
+    options.query.render = false;
+    options.tracer = &tracer;
+    options.metrics = &registry;
+    serve::QueryServer server(cluster, prep, options);
+    reports = server.serve(isovalues);
+
+    // Pool ledger identity, from the registry's derived counters and from
+    // the pool view — one set of atomics, two views.
+    const obs::MetricsSnapshot snapshot = registry.snapshot();
+    std::uint64_t fetches = 0, hits = 0, misses = 0, waits = 0;
+    for (std::size_t node = 0; node < cluster.size(); ++node) {
+      const std::string prefix = "node" + std::to_string(node) + ".cache.";
+      fetches += snapshot.counter(prefix + "fetches");
+      hits += snapshot.counter(prefix + "hits");
+      misses += snapshot.counter(prefix + "misses");
+      waits += snapshot.counter(prefix + "waits");
+    }
+    EXPECT_EQ(hits + misses + waits, fetches);
+    const io::CacheCounters pool_view = server.cache_counters();
+    EXPECT_EQ(pool_view.fetches, fetches);
+    EXPECT_EQ(pool_view.hits, hits);
+
+    // Every span closed; the trace parses as Chrome JSON.
+    EXPECT_EQ(tracer.open_spans(), 0);
+    const util::JsonValue trace = util::parse_json(tracer.to_json());
+
+    // Per-query device-I/O attribution: each query's node.extract spans
+    // carry its hit/miss/wait block counts; across the 8 queries these sum
+    // exactly to the pools' fetch ledger.
+    const std::uint64_t attributed =
+        sum_span_arg(trace, "node.extract", "cache_hit_blocks") +
+        sum_span_arg(trace, "node.extract", "cache_miss_blocks") +
+        sum_span_arg(trace, "node.extract", "cache_wait_blocks");
+    EXPECT_EQ(attributed, fetches);
+
+    // Each query contributes one admission.wait span and one node.extract
+    // span per node, under its own pid.
+    std::map<std::int64_t, std::size_t> extract_spans_per_pid;
+    std::size_t admission_spans = 0;
+    for (const util::JsonValue& event : trace.at("traceEvents").as_array()) {
+      const std::string& name = event.at("name").as_string();
+      if (name == "node.extract") {
+        ++extract_spans_per_pid[static_cast<std::int64_t>(
+            event.at("pid").as_number())];
+      } else if (name == "admission.wait") {
+        ++admission_spans;
+      }
+    }
+    EXPECT_EQ(admission_spans, isovalues.size());
+    EXPECT_EQ(extract_spans_per_pid.size(), isovalues.size());
+    for (const auto& [pid, count] : extract_spans_per_pid) {
+      EXPECT_EQ(count, cluster.size()) << "pid " << pid;
+    }
+
+    // Trace read_ops agree with the reports' physical read attribution.
+    std::uint64_t report_read_ops = 0;
+    for (const auto& report : reports) {
+      for (const auto& node : report.nodes) report_read_ops += node.io.read_ops;
+    }
+    EXPECT_EQ(sum_span_arg(trace, "node.extract", "read_ops"),
+              report_read_ops);
+
+    EXPECT_EQ(snapshot.counter("serve.queries"), isovalues.size());
+    EXPECT_EQ(snapshot.counter("query.count"), isovalues.size());
+    EXPECT_EQ(
+        static_cast<std::int64_t>(server.peak_in_flight()),
+        snapshot.gauges.at("serve.in_flight").second);
+    EXPECT_LE(server.peak_in_flight(), std::size_t{8});
+  }
+}
+
+}  // namespace
+}  // namespace oociso

@@ -1,0 +1,260 @@
+// Property/fuzz suite for index::schedule_plan: randomized dense brick
+// layouts, random planned subsets (full and prefix scans in shuffled plan
+// order), and randomized packing parameters. Every instance must satisfy
+// the scheduler's contract:
+//   * the schedule is offset-monotone (one forward disk pass),
+//   * every planned full scan's records are covered exactly once,
+//   * reads never overlap and never bridge a byte gap beyond max_gap_bytes,
+//   * with coalesce = false the schedule IS the per-brick plan-order
+//     baseline.
+// Carries the ctest label `property` alongside the pipeline property suite.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "index/compact_interval_tree.h"
+#include "index/plan_scheduler.h"
+#include "util/rng.h"
+
+namespace oociso::index {
+namespace {
+
+struct RandomCase {
+  std::vector<BrickEntry> bricks;        ///< densely packed layout
+  std::vector<std::uint32_t> crcs;       ///< one chunk CRC array for all
+  QueryPlan plan;                        ///< shuffled subset of the bricks
+  std::vector<std::int32_t> plan_brick;  ///< scan index -> brick index
+  ScheduleParams params;
+};
+
+/// Builds a dense random brick layout, plans a random subset of it in
+/// shuffled (value-ish) order, and draws random packing parameters.
+RandomCase make_case(std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  RandomCase c;
+
+  c.params.record_size = 8u << rng.bounded(3);          // 8, 16, 32
+  c.params.chunk_records = std::size_t{1} << rng.bounded(3);  // 1, 2, 4
+  const std::size_t brick_count = 2 + rng.bounded(30);
+
+  // Dense layout: brick i starts where brick i-1 ends. Chunk CRCs are
+  // dummies — the scheduler only routes them, it never checks them.
+  std::uint64_t offset = 0;
+  std::uint32_t crc_begin = 0;
+  for (std::size_t i = 0; i < brick_count; ++i) {
+    const std::uint32_t records = 1 + rng.bounded(12);
+    const auto chunks = static_cast<std::uint32_t>(
+        (records + c.params.chunk_records - 1) / c.params.chunk_records);
+    c.bricks.push_back({.vmax = 0,
+                        .min_vmin = 0,
+                        .offset = offset,
+                        .count = records,
+                        .crc_begin = crc_begin});
+    offset += records * c.params.record_size;
+    crc_begin += chunks;
+  }
+  c.crcs.assign(crc_begin, 0xABCD1234u);
+
+  // Plan a random subset, then shuffle into "value order" (plan order and
+  // disk order deliberately disagree). ~1 in 5 planned scans is a Case-2
+  // prefix scan.
+  c.plan.crc_chunk_records = static_cast<std::uint32_t>(c.params.chunk_records);
+  std::vector<std::int32_t> chosen;
+  for (std::size_t i = 0; i < brick_count; ++i) {
+    if (rng.bounded(3) != 0) chosen.push_back(static_cast<std::int32_t>(i));
+  }
+  if (chosen.empty()) chosen.push_back(0);
+  for (std::size_t i = chosen.size(); i > 1; --i) {
+    std::swap(chosen[i - 1], chosen[rng.bounded(static_cast<std::uint32_t>(i))]);
+  }
+  for (const std::int32_t brick_index : chosen) {
+    const BrickEntry& brick = c.bricks[static_cast<std::size_t>(brick_index)];
+    BrickScan scan;
+    scan.offset = brick.offset;
+    scan.metacell_count = brick.count;
+    scan.full = rng.bounded(5) != 0;
+    const auto chunks = static_cast<std::size_t>(
+        (brick.count + c.params.chunk_records - 1) / c.params.chunk_records);
+    scan.chunk_crcs = {c.crcs.data() + brick.crc_begin, chunks};
+    c.plan.scans.push_back(scan);
+    c.plan_brick.push_back(brick_index);
+  }
+
+  c.params.max_read_records =
+      std::max<std::size_t>(c.params.chunk_records, 1 + rng.bounded(40));
+  c.params.max_gap_bytes = rng.bounded(2) == 0
+                               ? 0
+                               : std::uint64_t{rng.bounded(512)};
+  c.params.coalesce = true;
+  c.params.require_crc_cover = rng.bounded(2) == 0;
+  return c;
+}
+
+/// Disk position of a scheduled item (prefix items sit at their scan's
+/// brick offset; the scheduler merges them into the sweep there).
+std::uint64_t item_offset(const RandomCase& c, const ScheduledItem& item) {
+  if (item.is_prefix()) {
+    return c.plan.scans[static_cast<std::size_t>(item.prefix_scan)].offset;
+  }
+  return item.read.offset;
+}
+
+/// Asserts the structural invariants of one scheduled plan; returns the
+/// per-scan covered-record tally for the coverage check.
+std::map<std::int32_t, std::uint64_t> check_schedule(const RandomCase& c,
+                                                     const ScheduledPlan& s) {
+  std::map<std::int32_t, std::uint64_t> covered;  // scan index -> records
+  std::uint64_t bridged = 0;
+  std::uint64_t last_read_end = 0;
+  bool have_last_end = false;
+
+  for (const ScheduledItem& item : s.items) {
+    if (item.is_prefix()) continue;
+    const ScheduledRead& read = item.read;
+    EXPECT_GT(read.record_count, 0u);
+    EXPECT_LE(read.record_count, c.params.max_read_records);
+
+    // Reads never overlap on disk (offset-monotone + disjoint).
+    if (have_last_end) EXPECT_GE(read.offset, last_read_end);
+    last_read_end = read.offset + read.record_count * c.params.record_size;
+    have_last_end = true;
+
+    // Slices tile the read densely, in order, with no byte unaccounted.
+    std::uint64_t tiled = 0;
+    for (const ReadSlice& slice : read.slices) {
+      EXPECT_GT(slice.record_count, 0u);
+      if (slice.scan_index >= 0) {
+        const BrickScan& scan =
+            c.plan.scans[static_cast<std::size_t>(slice.scan_index)];
+        EXPECT_TRUE(scan.full);  // prefix scans are never packed into reads
+        EXPECT_LE(slice.first_record + slice.record_count,
+                  scan.metacell_count);
+        // The slice's absolute position matches its brick's.
+        EXPECT_EQ(read.offset + tiled * c.params.record_size,
+                  scan.offset + slice.first_record * c.params.record_size);
+        covered[slice.scan_index] += slice.record_count;
+      } else {
+        // Gap filler: counted bytes must match the diagnostics, and when
+        // CRC cover is required the slice must actually be coverable.
+        bridged += slice.record_count * c.params.record_size;
+        if (c.params.require_crc_cover) {
+          EXPECT_FALSE(slice.chunk_crcs.empty());
+        }
+      }
+      tiled += slice.record_count;
+    }
+    EXPECT_EQ(tiled, read.record_count);
+  }
+  EXPECT_EQ(bridged, s.bridged_gap_bytes);
+  return covered;
+}
+
+TEST(SchedulerProperty, RandomizedPlansSatisfyTheContract) {
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const RandomCase c = make_case(seed);
+    const BrickDirectory directory{c.bricks, c.crcs};
+    const ScheduledPlan schedule =
+        schedule_plan(c.plan, c.params, directory);
+
+    // Offset-monotone: one forward pass over the disk, prefix items merged
+    // at their disk position.
+    std::uint64_t last = 0;
+    for (const ScheduledItem& item : schedule.items) {
+      const std::uint64_t at = item_offset(c, item);
+      EXPECT_GE(at, last);
+      last = at;
+    }
+
+    const auto covered = check_schedule(c, schedule);
+
+    // Full coverage, exactly once: every planned full scan's records are
+    // delivered; every prefix scan appears as exactly one prefix item.
+    std::map<std::int32_t, std::size_t> prefix_items;
+    for (const ScheduledItem& item : schedule.items) {
+      if (item.is_prefix()) ++prefix_items[item.prefix_scan];
+    }
+    for (std::size_t i = 0; i < c.plan.scans.size(); ++i) {
+      const auto index = static_cast<std::int32_t>(i);
+      if (c.plan.scans[i].full) {
+        const auto it = covered.find(index);
+        ASSERT_NE(it, covered.end()) << "scan " << i << " never scheduled";
+        EXPECT_EQ(it->second, c.plan.scans[i].metacell_count);
+        EXPECT_EQ(prefix_items.count(index), 0u);
+      } else {
+        EXPECT_EQ(prefix_items[index], 1u);
+        EXPECT_EQ(covered.count(index), 0u);
+      }
+    }
+
+    // No gap beyond the budget: within a read, the byte distance between
+    // the end of one planned slice and the start of the next planned slice
+    // is at most max_gap_bytes.
+    for (const ScheduledItem& item : schedule.items) {
+      if (item.is_prefix()) continue;
+      std::uint64_t gap_run = 0;
+      bool seen_planned = false;
+      for (const ReadSlice& slice : item.read.slices) {
+        if (slice.scan_index < 0) {
+          gap_run += slice.record_count * c.params.record_size;
+        } else {
+          if (seen_planned) EXPECT_LE(gap_run, c.params.max_gap_bytes);
+          gap_run = 0;
+          seen_planned = true;
+        }
+      }
+    }
+  }
+}
+
+TEST(SchedulerProperty, CoalesceOffEqualsPerBrickBaseline) {
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    RandomCase c = make_case(seed);
+    c.params.coalesce = false;
+    const BrickDirectory directory{c.bricks, c.crcs};
+    const ScheduledPlan schedule =
+        schedule_plan(c.plan, c.params, directory);
+
+    // Legacy mode: one item per scan, in plan order; full scans become
+    // whole-brick read sequences at the brick's own offset, prefix scans
+    // stay prefix items. Nothing is coalesced, nothing is bridged.
+    EXPECT_EQ(schedule.coalesced_scans, 0u);
+    EXPECT_EQ(schedule.bridged_gap_bytes, 0u);
+
+    std::size_t item_index = 0;
+    for (std::size_t i = 0; i < c.plan.scans.size(); ++i) {
+      const BrickScan& scan = c.plan.scans[i];
+      ASSERT_LT(item_index, schedule.items.size());
+      if (!scan.full) {
+        const ScheduledItem& item = schedule.items[item_index++];
+        ASSERT_TRUE(item.is_prefix());
+        EXPECT_EQ(item.prefix_scan, static_cast<std::int32_t>(i));
+        continue;
+      }
+      // A full scan may split into several reads at max_read_records, but
+      // they are consecutive items covering exactly this brick, in order.
+      std::uint64_t next_record = 0;
+      while (next_record < scan.metacell_count) {
+        ASSERT_LT(item_index, schedule.items.size());
+        const ScheduledItem& item = schedule.items[item_index++];
+        ASSERT_FALSE(item.is_prefix());
+        EXPECT_EQ(item.read.offset,
+                  scan.offset + next_record * c.params.record_size);
+        for (const ReadSlice& slice : item.read.slices) {
+          EXPECT_EQ(slice.scan_index, static_cast<std::int32_t>(i));
+          EXPECT_EQ(slice.first_record, next_record);
+          next_record += slice.record_count;
+        }
+      }
+      EXPECT_EQ(next_record, scan.metacell_count);
+    }
+    EXPECT_EQ(item_index, schedule.items.size());
+  }
+}
+
+}  // namespace
+}  // namespace oociso

@@ -16,6 +16,8 @@
 #include <iostream>
 
 #include "data/datasets.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "data/raw_io.h"
 #include "data/rm_generator.h"
 #include "extract/indexed_mesh.h"
@@ -54,6 +56,8 @@ commands:
                 -1 = device readahead window)
                 --inject-faults SEED,RATE (deterministic transient read
                 faults; retried with backoff, failed nodes fail over)
+                --trace FILE (Chrome trace_event JSON of the query)
+                --metrics FILE (metrics-registry JSON snapshot)
   serve       replay a list of isovalue queries concurrently through the
               shared per-node brick cache (cross-query read dedup)
                 --storage DIR  --nodes P (4)  --isos V1,V2,...
@@ -66,6 +70,8 @@ commands:
                 -1 = device readahead window)
                 --inject-faults SEED,RATE (deterministic transient read
                 faults, injected at the cluster level under the cache)
+                --trace FILE (Chrome trace_event JSON, one pid per query)
+                --metrics FILE (metrics-registry JSON snapshot)
   info        print bundle statistics
                 --storage DIR
   suggest     profile a volume's span space and suggest isovalues
@@ -84,6 +90,8 @@ parallel::Cluster open_cluster(const std::filesystem::path& storage,
 }
 
 int cmd_generate(const util::CliArgs& args) {
+  args.require_known(
+      {"dataset", "dims", "step", "seed", "downscale", "out"});
   const std::string dataset = args.get("dataset", "rm");
   const std::string out = args.get("out", dataset + ".oocv");
 
@@ -107,6 +115,7 @@ int cmd_generate(const util::CliArgs& args) {
 }
 
 int cmd_preprocess(const util::CliArgs& args) {
+  args.require_known({"volume", "storage", "nodes", "metacell", "ooc"});
   const std::string volume_file = args.get("volume", "");
   const std::string storage = args.get("storage", "");
   if (volume_file.empty() || storage.empty()) return usage();
@@ -146,6 +155,9 @@ int cmd_preprocess(const util::CliArgs& args) {
 }
 
 int cmd_query(const util::CliArgs& args) {
+  args.require_known({"storage", "nodes", "iso", "obj", "image", "imagesize",
+                      "weld", "readahead", "no-coalesce", "coalesce-gap",
+                      "inject-faults", "trace", "metrics"});
   const std::string storage = args.get("storage", "");
   if (storage.empty()) return usage();
   const auto nodes = static_cast<std::size_t>(args.get_int("nodes", 4));
@@ -175,7 +187,30 @@ int cmd_query(const util::CliArgs& args) {
     options.inject_faults = io::FaultConfig::parse(fault_spec);
   }
 
+  const std::string trace_path = args.get("trace", "");
+  const std::string metrics_path = args.get("metrics", "");
+  obs::Tracer tracer;
+  obs::MetricsRegistry registry;
+  if (!trace_path.empty()) {
+    options.tracer = &tracer;
+    options.query_id = 1;
+    tracer.name_process(1, "query iso=" + std::to_string(isovalue));
+  }
+  if (!metrics_path.empty()) {
+    options.metrics = &registry;
+    cluster.attach_metrics(registry);
+  }
+
   const pipeline::QueryReport report = engine.run(isovalue, options);
+  if (!trace_path.empty()) {
+    tracer.write(trace_path);
+    std::cout << "wrote " << trace_path << " (" << tracer.event_count()
+              << " trace events)\n";
+  }
+  if (!metrics_path.empty()) {
+    registry.save(metrics_path);
+    std::cout << "wrote " << metrics_path << "\n";
+  }
   std::cout << "isovalue " << isovalue << ": "
             << util::with_commas(report.total_active_metacells())
             << " active metacells, "
@@ -223,6 +258,9 @@ int cmd_query(const util::CliArgs& args) {
 }
 
 int cmd_serve(const util::CliArgs& args) {
+  args.require_known({"storage", "isos", "nodes", "repeat", "concurrency",
+                      "cache-blocks", "readahead", "no-coalesce",
+                      "coalesce-gap", "inject-faults", "trace", "metrics"});
   const std::string storage = args.get("storage", "");
   const std::string iso_list = args.get("isos", "");
   if (storage.empty() || iso_list.empty()) return usage();
@@ -264,6 +302,13 @@ int cmd_serve(const util::CliArgs& args) {
     options.inject_faults = io::FaultConfig::parse(fault_spec);
   }
 
+  const std::string trace_path = args.get("trace", "");
+  const std::string metrics_path = args.get("metrics", "");
+  obs::Tracer tracer;
+  obs::MetricsRegistry registry;
+  if (!trace_path.empty()) options.tracer = &tracer;
+  if (!metrics_path.empty()) options.metrics = &registry;
+
   serve::QueryServer server(cluster, prep, options);
   util::Table table({"pass", "iso", "triangles", "read_ops", "cache hit",
                      "miss", "wait"});
@@ -304,10 +349,20 @@ int cmd_serve(const util::CliArgs& args) {
     std::cout << "faults injected under the cache: " << transients
               << " transient, " << corruptions << " corrupted\n";
   }
+  if (!trace_path.empty()) {
+    tracer.write(trace_path);
+    std::cout << "wrote " << trace_path << " (" << tracer.event_count()
+              << " trace events)\n";
+  }
+  if (!metrics_path.empty()) {
+    registry.save(metrics_path);
+    std::cout << "wrote " << metrics_path << "\n";
+  }
   return 0;
 }
 
 int cmd_info(const util::CliArgs& args) {
+  args.require_known({"storage"});
   const std::string storage = args.get("storage", "");
   if (storage.empty()) return usage();
   const pipeline::PreprocessResult prep = pipeline::load_bundle(storage);
@@ -342,6 +397,7 @@ int cmd_info(const util::CliArgs& args) {
 }
 
 int cmd_suggest(const util::CliArgs& args) {
+  args.require_known({"volume", "metacell", "count"});
   const std::string volume_file = args.get("volume", "");
   if (volume_file.empty()) return usage();
   const auto k = static_cast<std::int32_t>(args.get_int("metacell", 9));
@@ -388,6 +444,9 @@ int main(int argc, char** argv) {
     if (command == "serve") return cmd_serve(args);
     if (command == "info") return cmd_info(args);
     if (command == "suggest") return cmd_suggest(args);
+  } catch (const util::UsageError& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return usage();
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
     return 1;
