@@ -35,8 +35,10 @@ BenchSetup BenchSetup::from_cli(int argc, char** argv, int default_dims) {
     setup.inject_faults = io::FaultConfig::parse(fault_spec);
   }
   setup.json_path = args.get("json", "");
-  setup.readahead_batches =
-      static_cast<std::size_t>(args.get_int("readahead", 4));
+  setup.readahead_batches = static_cast<std::size_t>(
+      args.get_int_in("readahead", 4, 0, 1 << 20));
+  setup.queue_depth = static_cast<std::size_t>(
+      args.get_int_in("queue-depth", 0, 0, 1024));
   setup.coalesce = !args.get_bool("no-coalesce", false);
   setup.coalesce_gap = args.get_int("coalesce-gap", -1);
   setup.trace_path = args.get("trace", "");
@@ -68,6 +70,7 @@ pipeline::QueryOptions BenchSetup::query_options() const {
   options.image_height = image_size;
   options.inject_faults = inject_faults;
   options.readahead_batches = readahead_batches;
+  options.retrieval.queue_depth = queue_depth;
   options.retrieval.coalesce = coalesce;
   options.retrieval.coalesce_gap_bytes = coalesce_gap;
   options.tracer = tracer.get();
@@ -389,11 +392,13 @@ void append_report_json(JsonWriter& json, const pipeline::QueryReport& report) {
   double io_wall = 0.0;
   double io_model = 0.0;
   double overlap_saved = 0.0;
+  double turnaround = 0.0;
   for (const pipeline::NodeReport& node : report.nodes) {
     io_total += node.io;
     io_wall += node.io_wall_seconds;
     io_model += node.io_model_seconds;
     overlap_saved += node.overlap_saved_seconds;
+    turnaround += node.turnaround_modeled_seconds;
   }
 
   json.begin_object()
@@ -425,6 +430,7 @@ void append_report_json(JsonWriter& json, const pipeline::QueryReport& report) {
       .member("io_model_sum_s", io_model)
       .member("io_wall_sum_s", io_wall)
       .member("overlap_saved_sum_s", overlap_saved)
+      .member("turnaround_modeled_sum_s", turnaround)
       .end_object();
   json.key("per_node").begin_array();
   for (const pipeline::NodeReport& node : report.nodes) {
@@ -436,7 +442,8 @@ void append_report_json(JsonWriter& json, const pipeline::QueryReport& report) {
         .member("io_wall_s", node.io_wall_seconds)
         .member("triangulation_s", node.triangulation_seconds)
         .member("rendering_s", node.rendering_seconds)
-        .member("overlap_saved_s", node.overlap_saved_seconds);
+        .member("overlap_saved_s", node.overlap_saved_seconds)
+        .member("turnaround_modeled_s", node.turnaround_modeled_seconds);
     json.key("io");
     append_io_json(json, node.io);
     json.key("cache").begin_object()
@@ -469,6 +476,7 @@ void write_bench_json(const std::string& path, std::string_view bench,
       .member("reps", static_cast<std::int64_t>(setup.reps))
       .member("readahead_batches",
               static_cast<std::uint64_t>(setup.readahead_batches))
+      .member("queue_depth", static_cast<std::uint64_t>(setup.queue_depth))
       .member("coalesce", setup.coalesce)
       .member("coalesce_gap_bytes", setup.coalesce_gap)
       .member("inject_faults", setup.inject_faults.has_value())

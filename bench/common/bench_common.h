@@ -21,6 +21,10 @@
 //   --json PATH    also write the sweep machine-readably (setup, per-query
 //                  QueryReport, per-node IoStats); see write_bench_json
 //   --readahead N  per-node pipeline queue depth in batches (default 4)
+//   --queue-depth D
+//                  async submission-queue depth per node: 0 = synchronous
+//                  reads (default), 1 = async with identical traffic,
+//                  >= 2 keeps D reads in flight (see DESIGN §12)
 //   --no-coalesce  execute plans brick by brick in plan order (the legacy
 //                  baseline for the scheduler A/B, see DESIGN §9.1)
 //   --coalesce-gap BYTES
@@ -64,6 +68,9 @@ struct BenchSetup {
   std::string json_path;
   /// --readahead N: per-node pipeline depth, in record batches.
   std::size_t readahead_batches = 4;
+  /// --queue-depth D: async submission-queue depth per node (0 = the
+  /// synchronous read path; see RetrievalOptions::queue_depth).
+  std::size_t queue_depth = 0;
   /// --no-coalesce: execute plans brick by brick (the legacy baseline)
   /// instead of through the offset-sorting, run-coalescing scheduler.
   bool coalesce = true;

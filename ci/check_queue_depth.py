@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Queue-depth gate for the release-bench CI job.
+
+Compares two bench --json documents from the same sweep run at different
+--queue-depth settings (the baseline at depth 1, the candidate deeper) and
+fails unless the async submission queue delivers its designed win:
+
+  1. Device traffic is identical at every isovalue (read_ops, blocks,
+     bytes, seeks, skip_blocks) — the elevator on an offset-monotone
+     schedule must not change what the device does, only when the host
+     pays turnaround.
+  2. The modeled time (io_model_sum_s + turnaround_modeled_sum_s) never
+     increases at any isovalue, and strictly decreases summed over the
+     sweep: a primed queue can only remove dry submissions. This part is
+     fully deterministic — no tolerance.
+  3. The measured completion sum does not regress beyond --max-delta
+     (default 5%): completion mixes the modeled win with thread-CPU
+     phases that are noisy on shared runners, so this is a guard rail,
+     not the primary assertion.
+
+Usage: check_queue_depth.py BASELINE.json DEEPER.json [--max-delta 0.05]
+"""
+
+import argparse
+import json
+import sys
+
+EPSILON = 1e-9  # float-accumulation slack on the deterministic comparisons
+
+
+def load_queries(path: str):
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    queries = [q for run in doc["runs"] for q in run["queries"]]
+    if not queries:
+        raise SystemExit(f"{path}: no queries in document")
+    return doc["setup"], queries
+
+
+def modeled_seconds(query) -> float:
+    times = query["times"]
+    return times["io_model_sum_s"] + times["turnaround_modeled_sum_s"]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="bench --json output at the shallower depth")
+    parser.add_argument("deeper", help="bench --json output at the deeper depth")
+    parser.add_argument("--max-delta", type=float, default=0.05,
+                        help="largest allowed measured-completion regression "
+                             "(default 5%%)")
+    options = parser.parse_args()
+
+    base_setup, base = load_queries(options.baseline)
+    deep_setup, deep = load_queries(options.deeper)
+
+    failures = []
+    base_depth = base_setup.get("queue_depth", 0)
+    deep_depth = deep_setup.get("queue_depth", 0)
+    if deep_depth <= base_depth:
+        failures.append(f"deeper document has queue_depth {deep_depth}, "
+                        f"baseline {base_depth} — nothing to gate")
+    if len(base) != len(deep):
+        raise SystemExit(f"query count mismatch: {len(base)} vs {len(deep)}")
+
+    print(f"queue-depth gate: depth {base_depth} -> {deep_depth}, "
+          f"{len(base)} isovalues")
+    print(f"{'isovalue':>9} {'modeled@'+str(base_depth):>12} "
+          f"{'modeled@'+str(deep_depth):>12} {'delta':>10}  io")
+    for b, d in zip(base, deep):
+        if b["isovalue"] != d["isovalue"]:
+            raise SystemExit(f"isovalue mismatch: {b['isovalue']} vs "
+                             f"{d['isovalue']} — compare like sweeps")
+        io_same = b["io"] == d["io"]
+        mb, md = modeled_seconds(b), modeled_seconds(d)
+        print(f"{b['isovalue']:>9.1f} {mb:>12.6f} {md:>12.6f} "
+              f"{md - mb:>+10.6f}  {'same' if io_same else 'DIFFERS'}")
+        if not io_same:
+            failures.append(f"isovalue {b['isovalue']}: device IoStats differ "
+                            f"({b['io']} vs {d['io']})")
+        if md > mb + EPSILON:
+            failures.append(f"isovalue {b['isovalue']}: modeled time increased "
+                            f"{mb:.6f} -> {md:.6f}")
+
+    modeled_base = sum(modeled_seconds(q) for q in base)
+    modeled_deep = sum(modeled_seconds(q) for q in deep)
+    print(f"modeled sum: {modeled_base:.4f}s -> {modeled_deep:.4f}s "
+          f"({(modeled_deep - modeled_base) / modeled_base:+.2%})")
+    if not modeled_deep < modeled_base - EPSILON:
+        failures.append(f"modeled sum did not strictly decrease: "
+                        f"{modeled_base:.6f} -> {modeled_deep:.6f}")
+
+    completion_base = sum(q["times"]["completion_s"] for q in base)
+    completion_deep = sum(q["times"]["completion_s"] for q in deep)
+    delta = (completion_deep - completion_base) / completion_base
+    print(f"completion sum: {completion_base:.4f}s -> {completion_deep:.4f}s "
+          f"({delta:+.2%}, budget +{options.max_delta:.0%})")
+    if delta > options.max_delta:
+        failures.append(f"measured completion regressed {delta:.2%} "
+                        f"(> {options.max_delta:.0%})")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

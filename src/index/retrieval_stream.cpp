@@ -109,6 +109,17 @@ RetrievalStream::RetrievalStream(QueryPlan plan, core::ScalarKind kind,
     options_.metrics->counter("scheduler.bridged_gap_bytes")
         .add(schedule_.bridged_gap_bytes);
   }
+  if (options_.queue_depth >= 1 && !schedule_.items.empty()) {
+    io::AsyncIoConfig async_config;
+    async_config.queue_depth = options_.queue_depth;
+    async_config.submit_overhead_seconds = options_.submit_overhead_seconds;
+    async_config.tracer = options_.tracer;
+    async_config.metrics = options_.metrics;
+    async_config.trace_pid = options_.trace_pid;
+    async_config.trace_tid = options_.trace_tid;
+    async_ = std::make_unique<io::AsyncBlockDevice>(device_, async_config,
+                                                    cache_);
+  }
 }
 
 void RetrievalStream::verify_slice(const ReadSlice& slice,
@@ -250,25 +261,7 @@ RecordBatch RetrievalStream::execute_read(const ScheduledRead& read) {
   // Compact the planned scans' records to the front; gap bytes were only
   // read to keep the head moving and are dropped without entering any
   // query counter.
-  std::size_t src = 0;
-  std::size_t dst = 0;
-  for (const ReadSlice& slice : read.slices) {
-    const std::size_t bytes =
-        static_cast<std::size_t>(slice.record_count) * record_size_;
-    if (slice.scan_index >= 0) {
-      if (dst != src) {
-        std::memmove(batch.data.data() + dst, batch.data.data() + src, bytes);
-      }
-      dst += bytes;
-      batch.records_fetched += slice.record_count;
-      stats_.records_fetched += slice.record_count;
-      stats_.active_metacells += slice.record_count;
-      if (slice.first_record == 0) ++stats_.bricks_scanned;
-    }
-    src += bytes;
-  }
-  batch.data.resize(dst);
-  batch.record_count = dst / record_size_;
+  compact_sequential(read, batch);
   return batch;
 }
 
@@ -328,6 +321,7 @@ std::optional<RecordBatch> RetrievalStream::gallop_prefix(
 }
 
 std::optional<RecordBatch> RetrievalStream::next() {
+  if (async_ != nullptr) return next_async();
   while (item_index_ < schedule_.items.size()) {
     const ScheduledItem& item = schedule_.items[item_index_];
     if (!item.is_prefix()) {
@@ -343,6 +337,268 @@ std::optional<RecordBatch> RetrievalStream::next() {
     ++item_index_;
   }
   return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Async dispatch loop (queue_depth >= 1). See the header's overview: reads
+// are registered with the AsyncBlockDevice in schedule order, serviced
+// cheapest-first (schedule order on the offset-monotone schedule),
+// verified on completion with retries re-submitted through the same
+// queue, and delivered strictly in plan order — so consumers see exactly
+// the synchronous batch sequence at every depth.
+// ---------------------------------------------------------------------------
+
+void RetrievalStream::submit_job(AsyncJob job) {
+  const std::uint64_t ticket =
+      async_->submit(job.offset, std::span<std::byte>(job.batch.data));
+  in_flight_.emplace(ticket, std::move(job));
+}
+
+void RetrievalStream::submit_sequential(std::size_t item_index) {
+  const ScheduledRead& read = schedule_.items[item_index].read;
+  AsyncJob job;
+  job.item_index = item_index;
+  job.offset = read.offset;
+  job.batch.record_size = record_size_;
+  job.batch.data.resize(static_cast<std::size_t>(read.record_count) *
+                        record_size_);
+  submit_job(std::move(job));
+}
+
+void RetrievalStream::submit_probe(std::size_t item_index,
+                                   const BrickScan& scan) {
+  const std::size_t want = static_cast<std::size_t>(std::min<std::uint64_t>(
+      scan_batch_, scan.metacell_count - scan_done_));
+  AsyncJob job;
+  job.item_index = item_index;
+  job.is_probe = true;
+  job.offset = scan.offset + scan_done_ * record_size_;
+  job.batch.record_size = record_size_;
+  job.batch.data.resize(want * record_size_);
+  job.probe_slice.first_record = scan_done_;
+  job.probe_slice.record_count = static_cast<std::uint32_t>(want);
+  job.probe_slice.brick_records = scan.metacell_count;
+  job.probe_slice.chunk_crcs = scan.chunk_crcs;
+  job.probe_brick_offset = scan.offset;
+  submit_job(std::move(job));
+}
+
+void RetrievalStream::pump_submissions() {
+  while (next_submit_item_ < schedule_.items.size() &&
+         barrier_item_ == SIZE_MAX) {
+    // Bound outstanding work (in flight + buffered) by the queue depth —
+    // but always let the delivery head through, or a fault-reordered
+    // ready_ buffer could wedge the stream one submission short.
+    if (async_->in_flight() + ready_.size() >= options_.queue_depth &&
+        next_submit_item_ != item_index_) {
+      break;
+    }
+    const ScheduledItem& item = schedule_.items[next_submit_item_];
+    if (!item.is_prefix()) {
+      submit_sequential(next_submit_item_);
+      ++next_submit_item_;
+      continue;
+    }
+    const BrickScan& scan =
+        plan_.scans[static_cast<std::size_t>(item.prefix_scan)];
+    if (scan.metacell_count == 0) {
+      // Nothing to read; delivery charges the brick visit and moves on.
+      ++next_submit_item_;
+      continue;
+    }
+    // First probe of a galloping scan: probe sizes double from one chunk,
+    // so its parameters need no scan state. Later probes depend on the
+    // decoded prefix and are submitted at delivery — the scan is a
+    // barrier until it resolves.
+    scan_done_ = 0;
+    scan_batch_ = first_batch_records_;
+    scan_stopped_ = false;
+    barrier_item_ = next_submit_item_;
+    submit_probe(next_submit_item_, scan);
+    break;
+  }
+}
+
+void RetrievalStream::process_one_completion() {
+  io::AsyncCompletion completion = async_->wait_any();
+  const auto it = in_flight_.find(completion.ticket);
+  if (it == in_flight_.end()) {
+    throw std::logic_error("RetrievalStream: completion for unknown ticket");
+  }
+  AsyncJob job = std::move(it->second);
+  in_flight_.erase(it);
+
+  job.batch.io_seconds += completion.wall_seconds;
+  job.batch.cache.merge(completion.cache);
+  job.batch.io += completion.io;
+  job.batch.turnaround_modeled_seconds +=
+      completion.turnaround_modeled_seconds;
+  io_wall_seconds_ += completion.wall_seconds;
+  cache_stats_.merge(completion.cache);
+  turnaround_modeled_seconds_ += completion.turnaround_modeled_seconds;
+
+  std::exception_ptr error = completion.error;
+  if (error == nullptr) {
+    try {
+      const std::span<const std::byte> data(job.batch.data);
+      if (job.is_probe) {
+        verify_slice(job.probe_slice, job.probe_brick_offset, data, 0);
+      } else {
+        const ScheduledRead& read = schedule_.items[job.item_index].read;
+        std::size_t pos = 0;
+        for (const ReadSlice& slice : read.slices) {
+          const std::uint64_t brick_offset =
+              read.offset + pos -
+              static_cast<std::uint64_t>(slice.first_record) * record_size_;
+          verify_slice(slice, brick_offset, data, pos);
+          pos += static_cast<std::size_t>(slice.record_count) * record_size_;
+        }
+      }
+    } catch (...) {
+      error = std::current_exception();
+    }
+  }
+  if (error == nullptr) {
+    if (cache_ != nullptr) job.batch.io = job.batch.cache.device_io;
+    ready_.emplace(job.item_index, std::move(job.batch));
+    return;
+  }
+
+  // Same fault taxonomy and accounting as the synchronous retry loop; the
+  // only difference is that the retry goes back through the queue.
+  try {
+    std::rethrow_exception(error);
+  } catch (const io::IoError& io_error) {
+    if (io_error.kind() == io::IoError::Kind::kCorruption) {
+      ++faults_.checksum_failures;
+      if (options_.metrics != nullptr) {
+        options_.metrics->counter("retrieval.checksum_failures").add();
+      }
+      if (options_.tracer != nullptr) {
+        options_.tracer->instant(
+            "io.checksum_failure", options_.trace_pid, options_.trace_tid,
+            obs::ArgsBuilder().add("offset", job.offset).str());
+      }
+      if (cache_ != nullptr) {
+        cache_->invalidate(job.offset, job.batch.data.size());
+      }
+    } else {
+      ++faults_.transient_errors;
+      if (options_.metrics != nullptr) {
+        options_.metrics->counter("retrieval.transient_errors").add();
+      }
+      if (options_.tracer != nullptr) {
+        options_.tracer->instant(
+            "io.transient_error", options_.trace_pid, options_.trace_tid,
+            obs::ArgsBuilder().add("offset", job.offset).str());
+      }
+    }
+    ++job.attempts;
+    if (!io_error.retriable() || job.attempts >= options_.retry.max_attempts) {
+      throw;
+    }
+    ++faults_.retries;
+    if (options_.metrics != nullptr) {
+      options_.metrics->counter("retrieval.retries").add();
+    }
+    faults_.backoff_modeled_seconds +=
+        options_.retry.backoff_seconds(job.attempts - 1);
+    submit_job(std::move(job));
+  }
+  // A non-IoError (logic error, read past end) propagated above.
+}
+
+void RetrievalStream::compact_sequential(const ScheduledRead& read,
+                                         RecordBatch& batch) {
+  std::size_t src = 0;
+  std::size_t dst = 0;
+  for (const ReadSlice& slice : read.slices) {
+    const std::size_t bytes =
+        static_cast<std::size_t>(slice.record_count) * record_size_;
+    if (slice.scan_index >= 0) {
+      if (dst != src) {
+        std::memmove(batch.data.data() + dst, batch.data.data() + src, bytes);
+      }
+      dst += bytes;
+      batch.records_fetched += slice.record_count;
+      stats_.records_fetched += slice.record_count;
+      stats_.active_metacells += slice.record_count;
+      if (slice.first_record == 0) ++stats_.bricks_scanned;
+    }
+    src += bytes;
+  }
+  batch.data.resize(dst);
+  batch.record_count = dst / record_size_;
+}
+
+std::optional<RecordBatch> RetrievalStream::next_async() {
+  for (;;) {
+    if (item_index_ >= schedule_.items.size()) return std::nullopt;
+    const ScheduledItem& item = schedule_.items[item_index_];
+
+    if (item.is_prefix()) {
+      const BrickScan& scan =
+          plan_.scans[static_cast<std::size_t>(item.prefix_scan)];
+      if (!scan_entered_) {
+        ++stats_.bricks_scanned;
+        scan_entered_ = true;
+      }
+      if (scan.metacell_count == 0 || scan_stopped_ ||
+          (barrier_item_ == item_index_ ? scan_done_ >= scan.metacell_count
+                                        : false)) {
+        // Scan resolved (or empty): release the barrier and advance.
+        scan_entered_ = false;
+        scan_stopped_ = false;
+        if (barrier_item_ == item_index_) barrier_item_ = SIZE_MAX;
+        ++item_index_;
+        if (next_submit_item_ < item_index_) next_submit_item_ = item_index_;
+        continue;
+      }
+      pump_submissions();
+      while (ready_.find(item_index_) == ready_.end()) {
+        process_one_completion();
+        pump_submissions();
+      }
+      RecordBatch batch = std::move(ready_.at(item_index_));
+      ready_.erase(item_index_);
+      const std::size_t want = batch.data.size() / record_size_;
+
+      std::size_t active = 0;
+      for (std::size_t r = 0; r < want; ++r) {
+        ++batch.records_fetched;
+        ++stats_.records_fetched;
+        if (record_vmin(batch.record(r), kind_) > plan_.isovalue) {
+          scan_stopped_ = true;
+          break;
+        }
+        ++active;
+        ++stats_.active_metacells;
+      }
+      batch.data.resize(active * record_size_);
+      batch.record_count = active;
+
+      scan_done_ += want;
+      scan_batch_ = std::min(scan_batch_ * 2, max_batch_records_);
+      if (!scan_stopped_ && scan_done_ < scan.metacell_count) {
+        // The scan gallops on: submit the next probe now (the queue is
+        // empty up to the barrier, so the consumer overlaps nothing here —
+        // exactly the synchronous gallop's data dependence).
+        submit_probe(item_index_, scan);
+      }
+      return batch;
+    }
+
+    pump_submissions();
+    while (ready_.find(item_index_) == ready_.end()) {
+      process_one_completion();
+      pump_submissions();
+    }
+    RecordBatch batch = std::move(ready_.at(item_index_));
+    ready_.erase(item_index_);
+    compact_sequential(item.read, batch);
+    ++item_index_;
+    return batch;
+  }
 }
 
 }  // namespace oociso::index

@@ -34,12 +34,15 @@
 // device IoStats but never in QueryStats or in a batch.
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <optional>
 #include <utility>
 #include <vector>
 
 #include "index/compact_interval_tree.h"
 #include "index/plan_scheduler.h"
+#include "io/async_block_device.h"
 #include "io/block_device.h"
 #include "io/io_stats.h"
 #include "io/retry_policy.h"
@@ -62,6 +65,11 @@ struct RecordBatch {
   /// misses triggered, not the logical bytes it consumed.
   io::CacheReadStats cache;
   double io_seconds = 0.0;            ///< wall clock spent inside device reads
+  /// Modeled host turnaround charged to this batch's (re)submissions by
+  /// the async dispatcher (see RetrievalOptions::queue_depth); always 0 on
+  /// the synchronous path. Like retry backoff, this is ledger-side modeled
+  /// time, never measured wall time.
+  double turnaround_modeled_seconds = 0.0;
 
   /// Record `i` of the batch.
   [[nodiscard]] std::span<const std::byte> record(std::size_t i) const {
@@ -105,6 +113,19 @@ struct RetrievalOptions {
   /// the device's readahead window (readahead_blocks * block_size), the
   /// span the cost model already charges at bandwidth instead of a seek.
   std::int64_t coalesce_gap_bytes = -1;
+  /// Reads kept in flight per device through a modeled
+  /// submission/completion queue (io::AsyncBlockDevice). 0 = the legacy
+  /// fully synchronous issue-read-then-verify loop (the default — nothing
+  /// changes for existing consumers). 1 = the async dispatcher at depth
+  /// one: bit-identical records, QueryStats, and device IoStats, but every
+  /// submission is dry and pays the modeled host turnaround. >= 2 keeps
+  /// the queue primed, so only the first submission of each idle period
+  /// pays — the deterministic completion-time win the queue-depth CI gate
+  /// asserts. Delivery stays in plan order at every depth.
+  std::size_t queue_depth = 0;
+  /// Modeled host turnaround per dry submission (async path only); see
+  /// io::AsyncIoConfig::submit_overhead_seconds.
+  double submit_overhead_seconds = 0.0005;
   /// Observability (both optional, null = off). `tracer` gets a
   /// "schedule_plan" span at construction, an "io.read" span per batch
   /// (covering the whole retry loop), and instant events for transient /
@@ -140,10 +161,13 @@ class RetrievalStream {
                   BrickDirectory directory = {},
                   io::SharedBufferPool* cache = nullptr);
 
-  /// Produces the next batch, performing exactly one device read, or
-  /// std::nullopt once the plan is exhausted. A returned batch may hold
-  /// zero active records (a Case-2 probe that found the prefix already
-  /// ended); its I/O is still accounted.
+  /// Produces the next batch, or std::nullopt once the plan is exhausted.
+  /// Batches arrive in plan order at every queue depth. Synchronously
+  /// (queue_depth == 0) each call performs exactly one device read; with
+  /// the async dispatcher a call services however many in-flight reads it
+  /// takes to complete the delivery head, buffering later completions. A
+  /// returned batch may hold zero active records (a Case-2 probe that
+  /// found the prefix already ended); its I/O is still accounted.
   [[nodiscard]] std::optional<RecordBatch> next();
 
   /// Running query counters; complete once next() has returned nullopt.
@@ -174,6 +198,18 @@ class RetrievalStream {
     return cache_stats_;
   }
 
+  /// Total modeled host turnaround charged by the async dispatcher so far
+  /// (0 on the synchronous path); equals the sum over delivered batches.
+  [[nodiscard]] double turnaround_modeled_seconds() const {
+    return turnaround_modeled_seconds_;
+  }
+
+  /// The dispatcher's submission/completion counters; null when running
+  /// synchronously (queue_depth == 0).
+  [[nodiscard]] const io::AsyncIoStats* async_stats() const {
+    return async_ != nullptr ? &async_->stats() : nullptr;
+  }
+
  private:
   /// Performs one pre-packed sequential read: reads, verifies every slice,
   /// then compacts the planned scans' records to the front of the batch
@@ -196,6 +232,47 @@ class RetrievalStream {
   void verify_slice(const ReadSlice& slice, std::uint64_t device_offset,
                     std::span<const std::byte> data,
                     std::size_t data_offset) const;
+
+  // ---- async dispatch (queue_depth >= 1) ----------------------------------
+  // The schedule executes as a dispatch loop: pump_submissions() keeps up
+  // to queue_depth reads registered with the AsyncBlockDevice in schedule
+  // order, process_one_completion() services one, verifies it, and either
+  // buffers the batch under its item index (ready_) or re-submits it
+  // through the same queue after a retriable fault; next_async() delivers
+  // ready batches strictly in plan order. A Case-2 prefix scan is a
+  // submission barrier — its probes are sequentially dependent, so no
+  // later item is submitted until the scan resolves; this keeps the device
+  // sweep (and with it every IoStats counter) identical to the synchronous
+  // execution on the offset-monotone schedule at every depth.
+
+  /// One in-flight read: a sequential schedule item or one gallop probe.
+  struct AsyncJob {
+    std::size_t item_index = 0;
+    bool is_probe = false;
+    std::uint64_t offset = 0;
+    RecordBatch batch;        ///< owns the read buffer; accumulates retries
+    ReadSlice probe_slice{};  ///< synthesized slice (probe jobs only)
+    std::uint64_t probe_brick_offset = 0;
+    int attempts = 0;
+  };
+
+  [[nodiscard]] std::optional<RecordBatch> next_async();
+  /// Submits schedule items in order up to the depth bound (the delivery
+  /// head is always allowed through so progress cannot deadlock).
+  void pump_submissions();
+  void submit_sequential(std::size_t item_index);
+  /// Submits the gallop probe described by the current scan state of the
+  /// prefix item `item_index`.
+  void submit_probe(std::size_t item_index, const BrickScan& scan);
+  void submit_job(AsyncJob job);
+  /// Services one completion: merges accounting, verifies, and buffers the
+  /// batch in ready_ — or re-submits after a retriable fault, charging
+  /// backoff. Rethrows when the retry budget is exhausted.
+  void process_one_completion();
+  /// Compacts a completed sequential read (drops gap slices) and charges
+  /// QueryStats — delivery-side so counters advance exactly as the
+  /// synchronous path's.
+  void compact_sequential(const ScheduledRead& read, RecordBatch& batch);
 
   QueryPlan plan_;
   core::ScalarKind kind_;
@@ -223,6 +300,16 @@ class RetrievalStream {
   RetrievalFaults faults_;
   io::CacheReadStats cache_stats_;
   double io_wall_seconds_ = 0.0;
+  double turnaround_modeled_seconds_ = 0.0;
+
+  // Async dispatcher state (unused when queue_depth == 0).
+  std::unique_ptr<io::AsyncBlockDevice> async_;
+  std::map<std::uint64_t, AsyncJob> in_flight_;   ///< ticket -> job
+  std::map<std::size_t, RecordBatch> ready_;      ///< item index -> batch
+  std::size_t next_submit_item_ = 0;  ///< first schedule item not submitted
+  /// Schedule index of the prefix scan currently galloping — a submission
+  /// barrier; no item beyond it may be submitted until it resolves.
+  std::size_t barrier_item_ = SIZE_MAX;
 };
 
 /// Convenience: plan the isovalue on an in-core tree and open the stream

@@ -1,0 +1,156 @@
+#include "io/async_block_device.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "util/timer.h"
+
+namespace oociso::io {
+namespace {
+
+/// Repositioning rank of moving the head from `head` (valid when
+/// `has_position`) to the first block of a request: lexicographic
+/// (class, distance) with class 0 = sequential, 1 = forward jump inside
+/// the readahead window (distance = blocks passed), 2 = seek (distance =
+/// absolute block distance; first access ranks by the block itself so an
+/// idle queue drains lowest-offset-first). Mirrors the cost classes of
+/// BlockDevice::account(), which is what keeps the elevator's order equal
+/// to the model's cheapest order.
+struct Rank {
+  int cls = 2;
+  std::uint64_t distance = 0;
+
+  [[nodiscard]] bool operator<(const Rank& other) const {
+    return cls != other.cls ? cls < other.cls : distance < other.distance;
+  }
+};
+
+Rank rank_move(bool has_position, std::uint64_t head, std::uint64_t first,
+               std::uint64_t readahead_blocks) {
+  if (!has_position) return {2, first};
+  if (first == head || first == head + 1) return {0, 0};
+  if (first > head + 1 && first - head - 1 <= readahead_blocks) {
+    return {1, first - head - 1};
+  }
+  return {2, first > head ? first - head : head - first};
+}
+
+}  // namespace
+
+AsyncBlockDevice::AsyncBlockDevice(BlockDevice& device, AsyncIoConfig config,
+                                   SharedBufferPool* pool)
+    : device_(device), pool_(pool), config_(config) {
+  if (config_.queue_depth == 0) {
+    throw std::invalid_argument("AsyncBlockDevice: queue_depth must be >= 1");
+  }
+  pending_.reserve(config_.queue_depth);
+  if (config_.metrics != nullptr) {
+    config_.metrics->gauge("io.queue_depth")
+        .set(static_cast<std::int64_t>(config_.queue_depth));
+    completion_seconds_ = &config_.metrics->histogram("io.completion_seconds");
+  }
+}
+
+std::uint64_t AsyncBlockDevice::submit(std::uint64_t offset,
+                                       std::span<std::byte> out) {
+  if (pending_.size() >= config_.queue_depth) {
+    throw std::logic_error("AsyncBlockDevice: submission queue full");
+  }
+  Pending request;
+  request.ticket = next_ticket_++;
+  request.offset = offset;
+  request.out = out;
+  request.dry = pending_.empty();
+  if (config_.tracer != nullptr) {
+    request.submitted_us = config_.tracer->now_us();
+  }
+  ++stats_.submissions;
+  if (request.dry) {
+    ++stats_.dry_submissions;
+    stats_.turnaround_modeled_seconds += config_.submit_overhead_seconds;
+  }
+  pending_.push_back(request);
+  stats_.max_in_flight = std::max(stats_.max_in_flight, pending_.size());
+  return request.ticket;
+}
+
+std::size_t AsyncBlockDevice::pick_cheapest() const {
+  std::size_t best = 0;
+  Rank best_rank = rank_move(has_position_, head_block_,
+                             pending_[0].offset / device_.block_size(),
+                             device_.readahead_blocks());
+  for (std::size_t i = 1; i < pending_.size(); ++i) {
+    const Rank rank = rank_move(has_position_, head_block_,
+                                pending_[i].offset / device_.block_size(),
+                                device_.readahead_blocks());
+    // Ties go to the older ticket; pending_ is in submission order.
+    if (rank < best_rank) {
+      best_rank = rank;
+      best = i;
+    }
+  }
+  return best;
+}
+
+AsyncCompletion AsyncBlockDevice::wait_any() {
+  if (pending_.empty()) {
+    throw std::logic_error("AsyncBlockDevice: wait_any on an empty queue");
+  }
+  const std::size_t index = pick_cheapest();
+  const Pending request = pending_[index];
+  std::uint64_t oldest = pending_[0].ticket;
+  for (const Pending& p : pending_) oldest = std::min(oldest, p.ticket);
+  pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(index));
+
+  AsyncCompletion completion;
+  completion.ticket = request.ticket;
+  completion.offset = request.offset;
+  completion.bytes = request.out.size();
+  if (request.dry) {
+    completion.turnaround_modeled_seconds = config_.submit_overhead_seconds;
+  }
+
+  const util::WallTimer timer;
+  const IoStats before = pool_ == nullptr ? device_.stats() : IoStats{};
+  try {
+    if (pool_ != nullptr) {
+      pool_->read(request.offset, request.out, completion.cache);
+      completion.io = completion.cache.device_io;
+    } else {
+      device_.read(request.offset, request.out);
+    }
+  } catch (...) {
+    completion.error = std::current_exception();
+  }
+  completion.wall_seconds = timer.seconds();
+  if (pool_ == nullptr) completion.io = device_.stats().since(before);
+
+  // Head advances even on a failed service: the device accounted the
+  // repositioning before the transfer broke, and the pooled path models
+  // the same sweep.
+  if (!request.out.empty()) {
+    head_block_ =
+        (request.offset + request.out.size() - 1) / device_.block_size();
+    has_position_ = true;
+  }
+  ++stats_.services;
+  if (request.ticket != oldest) ++stats_.reordered_services;
+  if (completion_seconds_ != nullptr) {
+    completion_seconds_->observe(completion.wall_seconds);
+  }
+  if (config_.tracer != nullptr) {
+    const std::uint64_t now = config_.tracer->now_us();
+    config_.tracer->complete(
+        "io.submission", config_.trace_pid, config_.trace_tid,
+        request.submitted_us, now - request.submitted_us,
+        obs::ArgsBuilder()
+            .add("offset", request.offset)
+            .add("bytes", static_cast<std::uint64_t>(request.out.size()))
+            .add("dry", std::string_view(request.dry ? "true" : "false"))
+            .str());
+  }
+  return completion;
+}
+
+}  // namespace oociso::io

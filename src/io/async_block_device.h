@@ -1,0 +1,156 @@
+#pragma once
+// Modeled asynchronous block I/O: a submission/completion queue over a
+// synchronous BlockDevice (optionally fronted by a SharedBufferPool).
+//
+// Real devices expose queued interfaces (NCQ, io_uring) whose benefit is
+// not faster transfers but a primed pipeline: while the device services one
+// request the host has already handed it the next, so per-request host
+// turnaround — syscall entry, interrupt, scheduling the issuing thread —
+// hides behind media time instead of serializing with it. AsyncBlockDevice
+// reproduces exactly that in the repository's deterministic cost model:
+//
+//   * submit() registers up to `queue_depth` requests without performing
+//     any I/O. A submission made while no other request is outstanding is
+//     a *dry* submission: the device was idle, so the host turnaround
+//     (`submit_overhead_seconds`, modeled — never slept) is exposed and
+//     charged to the request. A submission made while the queue is busy is
+//     free: its preparation overlapped the in-flight service.
+//   * wait_any() services one outstanding request and returns its
+//     completion. The request chosen is the one with the cheapest head
+//     repositioning under the device's own model (sequential beats a
+//     readahead-window skip beats a seek; ties in submission order), i.e.
+//     an elevator over the queue. On an offset-monotone schedule — what
+//     the plan scheduler emits — this is submission order, so IoStats,
+//     seek counts, and transferred bytes are identical to executing the
+//     same reads synchronously at any depth; scrambled submissions are
+//     serviced out of submission order, deterministically.
+//
+// At queue depth 1 there is never more than one request outstanding, every
+// submission is dry, and the byte/seek accounting equals the synchronous
+// path exactly — the equivalence the asyncio test label pins.
+//
+// The service itself is the caller's blocking read (the simulation has no
+// device thread): wait_any() runs BlockDevice::read — or
+// SharedBufferPool::read when pooled, which keeps single-flight dedup with
+// concurrent streams intact, waiters included — on the calling thread and
+// captures the IoStats delta, pool accounting, wall time, and any thrown
+// error into the completion instead of letting it escape. Retrying a
+// failed request is the consumer's job: re-submit it through the same
+// queue (see RetrievalStream's dispatch loop).
+//
+// Thread-safety: like BlockDevice, an AsyncBlockDevice is single-consumer;
+// concurrency across streams comes from each owning its own queue over a
+// shared pool.
+
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <span>
+#include <vector>
+
+#include "io/block_device.h"
+#include "io/io_stats.h"
+#include "io/shared_buffer_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace oociso::io {
+
+struct AsyncIoConfig {
+  /// Maximum requests outstanding at once (>= 1). submit() beyond this
+  /// throws std::logic_error — the consumer owns pacing.
+  std::size_t queue_depth = 4;
+  /// Modeled host turnaround charged to every dry submission (the queue
+  /// was empty, so nothing hid the request hand-off). Modeled seconds:
+  /// charged to the time ledger like backoff, never slept.
+  double submit_overhead_seconds = 0.0005;
+  /// Observability (optional). `metrics` gets an `io.queue_depth` gauge
+  /// (the configured depth) and an `io.completion_seconds` histogram (wall
+  /// seconds per service); `tracer` gets one complete event per submission
+  /// spanning submit -> service end on (trace_pid, trace_tid).
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+  std::uint32_t trace_pid = 0;
+  std::uint32_t trace_tid = 0;
+};
+
+/// Outcome of one serviced request. `error` is set when the read threw
+/// (the IoStats delta still reflects whatever accounting the attempt
+/// performed); the consumer decides between resubmission and rethrow.
+struct AsyncCompletion {
+  std::uint64_t ticket = 0;  ///< as returned by submit()
+  std::uint64_t offset = 0;
+  std::size_t bytes = 0;
+  IoStats io;            ///< device I/O this service performed
+  CacheReadStats cache;  ///< pool accounting when pooled (zeros otherwise)
+  double wall_seconds = 0.0;  ///< monotonic clock around the inner read
+  /// Modeled turnaround charged to this request (submit_overhead_seconds
+  /// when its submission was dry, else 0).
+  double turnaround_modeled_seconds = 0.0;
+  std::exception_ptr error;
+};
+
+/// Lifetime counters of one queue (diagnostics + the asyncio tests).
+struct AsyncIoStats {
+  std::uint64_t submissions = 0;
+  std::uint64_t dry_submissions = 0;  ///< charged submit_overhead_seconds
+  std::uint64_t services = 0;
+  /// Services that did not pick the oldest outstanding ticket — the
+  /// elevator reordered around submission order.
+  std::uint64_t reordered_services = 0;
+  std::size_t max_in_flight = 0;
+  double turnaround_modeled_seconds = 0.0;  ///< sum over dry submissions
+};
+
+class AsyncBlockDevice {
+ public:
+  /// `device` must outlive the queue. With `pool` given, every service
+  /// reads through it (single-flight shared caching; `device` is then only
+  /// consulted for geometry and must be the pool's underlying device or
+  /// share its block size and readahead window).
+  AsyncBlockDevice(BlockDevice& device, AsyncIoConfig config = {},
+                   SharedBufferPool* pool = nullptr);
+
+  AsyncBlockDevice(const AsyncBlockDevice&) = delete;
+  AsyncBlockDevice& operator=(const AsyncBlockDevice&) = delete;
+
+  /// Registers a read of `out.size()` bytes at `offset`; returns its
+  /// ticket. `out` must stay valid until the completion is returned.
+  /// Throws std::logic_error when the queue is full.
+  std::uint64_t submit(std::uint64_t offset, std::span<std::byte> out);
+
+  /// Services the cheapest outstanding request (see file comment) and
+  /// returns its completion. Throws std::logic_error on an empty queue.
+  [[nodiscard]] AsyncCompletion wait_any();
+
+  [[nodiscard]] std::size_t in_flight() const { return pending_.size(); }
+  [[nodiscard]] std::size_t queue_depth() const { return config_.queue_depth; }
+  [[nodiscard]] const AsyncIoStats& stats() const { return stats_; }
+
+ private:
+  struct Pending {
+    std::uint64_t ticket = 0;
+    std::uint64_t offset = 0;
+    std::span<std::byte> out;
+    std::uint64_t submitted_us = 0;  ///< tracer clock at submit (0 w/o tracer)
+    bool dry = false;
+  };
+
+  /// Index into pending_ of the request with the cheapest repositioning.
+  [[nodiscard]] std::size_t pick_cheapest() const;
+
+  BlockDevice& device_;
+  SharedBufferPool* pool_;
+  AsyncIoConfig config_;
+  std::vector<Pending> pending_;
+  std::uint64_t next_ticket_ = 0;
+  /// Modeled head position: last block a serviced request touched. Tracked
+  /// here (not read off the device) so the pooled path — where a warm
+  /// service never touches the device — still sweeps in logical order.
+  std::uint64_t head_block_ = 0;
+  bool has_position_ = false;
+  AsyncIoStats stats_;
+  obs::Histogram* completion_seconds_ = nullptr;
+};
+
+}  // namespace oociso::io

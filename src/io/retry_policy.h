@@ -9,6 +9,7 @@
 // (see EXPERIMENTS.md, degraded-mode timing semantics).
 
 #include <algorithm>
+#include <cmath>
 
 namespace oociso::io {
 
@@ -17,16 +18,29 @@ struct RetryPolicy {
   /// users; 1 means "never retry").
   int max_attempts = 4;
   /// Backoff charged before the first retry; each further retry doubles it
-  /// (multiplier below).
+  /// (multiplier below), saturating at backoff_max_seconds.
   double backoff_start_seconds = 0.001;
   double backoff_multiplier = 2.0;
+  /// Ceiling on any single backoff charge. The exponential is evaluated in
+  /// closed form and clamped here, so a policy with a large max_attempts
+  /// (or a runaway multiplier) can neither overflow the double to inf nor
+  /// charge an unbounded modeled stall to the ledger. The default keeps
+  /// every charge of the default policy unchanged (1/2/4 ms all sit far
+  /// below the cap).
+  double backoff_max_seconds = 0.1;
 
   /// Modeled backoff before retry number `retry_index` (0-based: the wait
   /// between the first failure and the second attempt is index 0).
   [[nodiscard]] double backoff_seconds(int retry_index) const {
-    double backoff = backoff_start_seconds;
-    for (int i = 0; i < retry_index; ++i) backoff *= backoff_multiplier;
-    return std::max(backoff, 0.0);
+    const double start = std::max(backoff_start_seconds, 0.0);
+    const double cap = std::max(backoff_max_seconds, 0.0);
+    if (start == 0.0 || retry_index <= 0) return std::min(start, cap);
+    // Closed form: start * multiplier^index. std::pow may saturate to inf
+    // for extreme inputs; min() with the finite cap absorbs that.
+    const double backoff =
+        start * std::pow(std::max(backoff_multiplier, 0.0),
+                         static_cast<double>(retry_index));
+    return std::min(backoff, cap);
   }
 };
 

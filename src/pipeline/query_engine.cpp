@@ -162,7 +162,11 @@ QueryReport QueryEngine::run(core::ValueKey isovalue,
       const double batch_cpu = cpu_timer.seconds();
       cpu_seconds += batch_cpu;
       ++mc_batches;
-      io_batches.push_back(cluster_.disk_seconds(batch.io));
+      // Host turnaround rides on the batch like the disk price: at queue
+      // depth 1 every batch carries it, deeper queues hide all but the dry
+      // submissions — which is exactly what the pipelined window charges.
+      io_batches.push_back(cluster_.disk_seconds(batch.io) +
+                           batch.turnaround_modeled_seconds);
       cpu_batches.push_back(batch_cpu);
       mc_span.arg("records", static_cast<std::uint64_t>(batch.record_count));
       mc_span.arg("triangles", batch_triangles);
@@ -211,6 +215,8 @@ QueryReport QueryEngine::run(core::ValueKey isovalue,
     node_report.io_model_seconds = cluster_.disk_seconds(node_report.io);
     node_report.io_wall_seconds = stream.io_wall_seconds();
     node_report.triangulation_seconds = cpu_seconds;
+    node_report.turnaround_modeled_seconds +=
+        stream.turnaround_modeled_seconds();
 
     // Backoff and stall penalties are modeled I/O-side delay: they widen
     // this execution's retrieval charge (and with it the pipelined window),
@@ -229,8 +235,12 @@ QueryReport QueryEngine::run(core::ValueKey isovalue,
                                       options.readahead_batches, extra_io);
       node_report.overlap_saved_seconds = ledger.overlap_saved();
     } else {
+      // Serial (non-overlapped) accounting: turnaround extends the
+      // retrieval phase directly; the pipelined path above already carries
+      // it inside the per-batch io times.
       ledger.add(parallel::Phase::kAmcRetrieval,
-                 node_report.io_model_seconds + extra_io);
+                 node_report.io_model_seconds + extra_io +
+                     stream.turnaround_modeled_seconds());
       ledger.add(parallel::Phase::kTriangulation, cpu_seconds);
     }
 

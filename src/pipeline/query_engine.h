@@ -149,6 +149,10 @@ struct NodeReport {
   /// Modeled I/O of the first batch — the pipeline fill the compute stage
   /// had to wait for.
   double pipeline_fill_seconds = 0.0;
+  /// Modeled host turnaround charged by the async submission queue (see
+  /// RetrievalOptions::queue_depth); folded into the extraction window like
+  /// backoff, 0 when the query ran the synchronous path.
+  double turnaround_modeled_seconds = 0.0;
   /// Shared-pool accounting for this node's stripe (zeros unless the query
   /// ran with use_shared_cache); `io` above is then the physical miss
   /// traffic, and hit_blocks were served without touching the device.

@@ -27,9 +27,18 @@ QueryServer::QueryServer(parallel::Cluster& cluster,
     // Attach before the pools exist is fine — Cluster remembers the
     // registry and attaches each pool as enable_shared_cache creates it.
     cluster_.attach_metrics(*options_.metrics);
-    obs::Gauge& gauge = options_.metrics->gauge("serve.in_flight");
-    gauge.set(in_flight_->value());
-    in_flight_ = &gauge;
+    // Re-point the in-flight gauge at the registry while the server is
+    // provably quiescent: no admission workers exist yet, so no increment
+    // can land on the local gauge between reading its level and the swap
+    // (an increment lost that way would leak into every later level and
+    // peak the registry exports). The asserts pin that ordering — metrics
+    // attachment must stay ahead of the thread pool below.
+    if (admission_ != nullptr || local_in_flight_.value() != 0 ||
+        local_in_flight_.max_value() != 0) {
+      throw std::logic_error(
+          "QueryServer: metrics must attach before admission starts");
+    }
+    in_flight_ = &options_.metrics->gauge("serve.in_flight");
   }
   cluster_.enable_shared_cache(options_.cache_capacity_blocks,
                                options_.inject_faults);

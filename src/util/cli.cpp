@@ -49,8 +49,21 @@ std::int64_t CliArgs::get_int(std::string_view name, std::int64_t fallback) cons
   const auto [ptr, ec] =
       std::from_chars(text.data(), text.data() + text.size(), value);
   if (ec != std::errc() || ptr != text.data() + text.size()) {
-    throw std::invalid_argument("flag --" + std::string(name) +
-                                " expects an integer, got '" + text + "'");
+    throw UsageError("flag --" + std::string(name) +
+                     " expects an integer, got '" + text + "'");
+  }
+  return value;
+}
+
+std::int64_t CliArgs::get_int_in(std::string_view name, std::int64_t fallback,
+                                 std::int64_t min_value,
+                                 std::int64_t max_value) const {
+  const std::int64_t value = get_int(name, fallback);
+  if (value < min_value || value > max_value) {
+    throw UsageError("flag --" + std::string(name) + " expects a value in [" +
+                     std::to_string(min_value) + ", " +
+                     std::to_string(max_value) + "], got " +
+                     std::to_string(value));
   }
   return value;
 }
@@ -63,9 +76,11 @@ double CliArgs::get_double(std::string_view name, double fallback) const {
     const double value = std::stod(it->second, &consumed);
     if (consumed != it->second.size()) throw std::invalid_argument("trailing");
     return value;
+  } catch (const UsageError&) {
+    throw;
   } catch (const std::exception&) {
-    throw std::invalid_argument("flag --" + std::string(name) +
-                                " expects a number, got '" + it->second + "'");
+    throw UsageError("flag --" + std::string(name) + " expects a number, got '" +
+                     it->second + "'");
   }
 }
 
@@ -75,8 +90,8 @@ bool CliArgs::get_bool(std::string_view name, bool fallback) const {
   const auto& text = it->second;
   if (text == "true" || text == "1" || text == "yes" || text == "on") return true;
   if (text == "false" || text == "0" || text == "no" || text == "off") return false;
-  throw std::invalid_argument("flag --" + std::string(name) +
-                              " expects a boolean, got '" + text + "'");
+  throw UsageError("flag --" + std::string(name) + " expects a boolean, got '" +
+                   text + "'");
 }
 
 bool CliArgs::has(std::string_view name) const {

@@ -29,11 +29,22 @@ class CliArgs {
 
   [[nodiscard]] std::string get(std::string_view name,
                                 std::string_view fallback) const;
+  /// Typed getters throw UsageError on malformed values (non-numeric text,
+  /// trailing garbage, overflow), so binaries surface the usage text and
+  /// exit 2 instead of dying through the generic error path.
   [[nodiscard]] std::int64_t get_int(std::string_view name,
                                      std::int64_t fallback) const;
   [[nodiscard]] double get_double(std::string_view name,
                                   double fallback) const;
   [[nodiscard]] bool get_bool(std::string_view name, bool fallback) const;
+  /// get_int plus an inclusive range check; out-of-range values are a
+  /// UsageError naming the accepted interval. The preferred getter for
+  /// flags that feed sizes and depths (a negative --queue-depth must not
+  /// reach a std::size_t conversion).
+  [[nodiscard]] std::int64_t get_int_in(std::string_view name,
+                                        std::int64_t fallback,
+                                        std::int64_t min_value,
+                                        std::int64_t max_value) const;
 
   [[nodiscard]] bool has(std::string_view name) const;
 

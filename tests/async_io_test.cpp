@@ -1,0 +1,620 @@
+// The async submission/completion queue (io::AsyncBlockDevice) and the
+// RetrievalStream dispatch loop built on it (RetrievalOptions::queue_depth).
+//
+// The contract these tests pin:
+//   * depth 1 is the synchronous path in disguise — bit-identical records,
+//     QueryStats, and device IoStats, with every submission dry;
+//   * deeper queues keep the device traffic identical on the scheduler's
+//     offset-monotone plans while strictly reducing the modeled host
+//     turnaround (the property the queue-depth CI gate asserts);
+//   * scrambled submissions are serviced out of submission order by the
+//     elevator, deterministically;
+//   * faults retry through the queue with the same taxonomy and accounting
+//     as the synchronous retry loop;
+//   * pooled streams keep single-flight shared caching intact, including
+//     across concurrent threads (the TSan-facing case).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "index/compact_interval_tree.h"
+#include "index/retrieval_stream.h"
+#include "io/async_block_device.h"
+#include "io/fault_injection.h"
+#include "io/memory_block_device.h"
+#include "io/serial.h"
+#include "io/shared_buffer_pool.h"
+#include "util/rng.h"
+
+namespace oociso::index {
+namespace {
+
+using metacell::MetacellInfo;
+
+/// Controlled source: tiny u8 records whose vmin/vmax match a prescribed
+/// interval exactly (same harness as retrieval_stream_test).
+class FakeSource final : public metacell::MetacellSource {
+ public:
+  explicit FakeSource(std::vector<MetacellInfo> infos)
+      : infos_sorted_(std::move(infos)), geometry_({1026, 3, 3}, 2) {
+    std::sort(infos_sorted_.begin(), infos_sorted_.end(),
+              [](const MetacellInfo& a, const MetacellInfo& b) {
+                return a.id < b.id;
+              });
+    for (const auto& info : infos_sorted_) by_id_[info.id] = info.interval;
+  }
+
+  [[nodiscard]] const metacell::MetacellGeometry& geometry() const override {
+    return geometry_;
+  }
+  [[nodiscard]] core::ScalarKind kind() const override {
+    return core::ScalarKind::kU8;
+  }
+  [[nodiscard]] std::vector<MetacellInfo> scan() const override {
+    return infos_sorted_;
+  }
+  void encode(std::uint32_t id, std::vector<std::byte>& out) const override {
+    const core::ValueInterval interval = by_id_.at(id);
+    io::ByteWriter writer(out);
+    writer.put(id);
+    writer.put(static_cast<std::uint8_t>(interval.vmin));
+    writer.put(static_cast<std::uint8_t>(interval.vmin));
+    for (int i = 0; i < 7; ++i) {
+      writer.put(static_cast<std::uint8_t>(interval.vmax));
+    }
+  }
+
+ private:
+  std::vector<MetacellInfo> infos_sorted_;
+  std::map<std::uint32_t, core::ValueInterval> by_id_;
+  metacell::MetacellGeometry geometry_;
+};
+
+std::vector<MetacellInfo> random_intervals(std::size_t count,
+                                           std::uint32_t alphabet,
+                                           std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<MetacellInfo> infos;
+  infos.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto a = static_cast<core::ValueKey>(rng.bounded(alphabet));
+    auto b = static_cast<core::ValueKey>(rng.bounded(alphabet));
+    if (a > b) std::swap(a, b);
+    if (a == b) b += 1;
+    infos.push_back({static_cast<std::uint32_t>(i), {a, b}});
+  }
+  return infos;
+}
+
+struct Built {
+  std::unique_ptr<io::MemoryBlockDevice> device;
+  CompactIntervalTree tree;
+};
+
+Built build_one(const std::vector<MetacellInfo>& infos) {
+  Built built;
+  built.device = std::make_unique<io::MemoryBlockDevice>(512);
+  const FakeSource source(infos);
+  io::BlockDevice* pointer = built.device.get();
+  auto result = CompactTreeBuilder::build(infos, source, {&pointer, 1});
+  built.tree = std::move(result.trees[0]);
+  return built;
+}
+
+std::uint32_t record_id(std::span<const std::byte> record) {
+  io::ByteReader reader(record);
+  return reader.get<std::uint32_t>();
+}
+
+std::vector<std::uint32_t> drain_ids(RetrievalStream& stream) {
+  std::vector<std::uint32_t> ids;
+  while (std::optional<RecordBatch> batch = stream.next()) {
+    for (std::size_t r = 0; r < batch->record_count; ++r) {
+      ids.push_back(record_id(batch->record(r)));
+    }
+  }
+  return ids;
+}
+
+void expect_same_io(const io::IoStats& a, const io::IoStats& b,
+                    const std::string& context) {
+  EXPECT_EQ(a.read_ops, b.read_ops) << context;
+  EXPECT_EQ(a.blocks_read, b.blocks_read) << context;
+  EXPECT_EQ(a.bytes_read, b.bytes_read) << context;
+  EXPECT_EQ(a.seeks, b.seeks) << context;
+  EXPECT_EQ(a.skip_blocks, b.skip_blocks) << context;
+}
+
+/// Options with a tight coalescing gap: contiguous runs still merge but no
+/// gap bytes are bridged, so the schedule has many items (the interesting
+/// regime for a submission queue) while staying offset-monotone.
+RetrievalOptions tight_options(std::size_t queue_depth) {
+  RetrievalOptions options;
+  options.coalesce_gap_bytes = 0;
+  options.queue_depth = queue_depth;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// AsyncBlockDevice direct: service discipline and turnaround accounting
+// ---------------------------------------------------------------------------
+
+void fill_device(io::MemoryBlockDevice& device, std::uint64_t bytes) {
+  std::vector<std::byte> payload(bytes);
+  for (std::uint64_t i = 0; i < bytes; ++i) {
+    payload[i] = static_cast<std::byte>(i * 31 + 7);
+  }
+  device.write(0, payload);
+  device.reset_stats();
+}
+
+TEST(AsyncBlockDevice, DepthOneMatchesSynchronousAccountingExactly) {
+  // The same read sequence — forward runs, a readahead-window skip, a
+  // backward seek — executed synchronously and through a depth-1 queue.
+  const std::vector<std::pair<std::uint64_t, std::size_t>> reads = {
+      {0, 512}, {512, 1024}, {4096, 512}, {64 * 512, 512}, {2048, 512}};
+
+  io::MemoryBlockDevice sync_device(512);
+  fill_device(sync_device, 64 * 1024);
+  std::vector<std::byte> sync_bytes;
+  for (const auto& [offset, size] : reads) {
+    std::vector<std::byte> buffer(size);
+    sync_device.read(offset, buffer);
+    sync_bytes.insert(sync_bytes.end(), buffer.begin(), buffer.end());
+  }
+
+  io::MemoryBlockDevice async_device(512);
+  fill_device(async_device, 64 * 1024);
+  io::AsyncIoConfig config;
+  config.queue_depth = 1;
+  io::AsyncBlockDevice queue(async_device, config);
+  std::vector<std::byte> async_bytes;
+  for (const auto& [offset, size] : reads) {
+    std::vector<std::byte> buffer(size);
+    (void)queue.submit(offset, buffer);
+    const io::AsyncCompletion completion = queue.wait_any();
+    ASSERT_FALSE(completion.error) << "offset " << offset;
+    EXPECT_EQ(completion.offset, offset);
+    EXPECT_EQ(completion.bytes, size);
+    async_bytes.insert(async_bytes.end(), buffer.begin(), buffer.end());
+  }
+
+  EXPECT_EQ(async_bytes, sync_bytes);
+  expect_same_io(async_device.stats(), sync_device.stats(), "depth-1 queue");
+  // Depth 1 can never prime the queue: every submission is dry.
+  EXPECT_EQ(queue.stats().submissions, reads.size());
+  EXPECT_EQ(queue.stats().dry_submissions, reads.size());
+  EXPECT_EQ(queue.stats().reordered_services, 0u);
+  EXPECT_DOUBLE_EQ(queue.stats().turnaround_modeled_seconds,
+                   static_cast<double>(reads.size()) *
+                       config.submit_overhead_seconds);
+}
+
+TEST(AsyncBlockDevice, ElevatorServicesScrambledSubmissionsDeterministically) {
+  // Eight reads submitted in scrambled offset order at depth 8: the
+  // elevator must service them in ascending offset order (one clean sweep
+  // from an idle head), out of submission order, and identically on a
+  // re-run.
+  const std::vector<std::uint64_t> scrambled = {
+      40 * 512, 2 * 512, 90 * 512, 10 * 512,
+      70 * 512, 4 * 512, 120 * 512, 55 * 512};
+  std::vector<std::uint64_t> ascending = scrambled;
+  std::sort(ascending.begin(), ascending.end());
+
+  const auto run_once = [&] {
+    io::MemoryBlockDevice device(512);
+    fill_device(device, 256 * 512);
+    io::AsyncIoConfig config;
+    config.queue_depth = scrambled.size();
+    io::AsyncBlockDevice queue(device, config);
+    std::vector<std::vector<std::byte>> buffers(scrambled.size());
+    for (std::size_t i = 0; i < scrambled.size(); ++i) {
+      buffers[i].resize(512);
+      (void)queue.submit(scrambled[i], buffers[i]);
+    }
+    std::vector<std::uint64_t> service_order;
+    while (queue.in_flight() > 0) {
+      const io::AsyncCompletion completion = queue.wait_any();
+      EXPECT_FALSE(completion.error);
+      service_order.push_back(completion.offset);
+    }
+    EXPECT_GT(queue.stats().reordered_services, 0u);
+    EXPECT_EQ(queue.stats().max_in_flight, scrambled.size());
+    return service_order;
+  };
+
+  const std::vector<std::uint64_t> first = run_once();
+  EXPECT_EQ(first, ascending);
+  EXPECT_EQ(run_once(), first);  // deterministic, not timing-dependent
+}
+
+TEST(AsyncBlockDevice, OnlyIdleSubmissionsPayTurnaround) {
+  io::MemoryBlockDevice device(512);
+  fill_device(device, 64 * 512);
+  io::AsyncIoConfig config;
+  config.queue_depth = 4;
+  io::AsyncBlockDevice queue(device, config);
+
+  // Fill the queue once (only the first submission finds it idle), then
+  // keep it primed: service one, submit one.
+  std::vector<std::vector<std::byte>> buffers(12);
+  std::size_t submitted = 0;
+  for (; submitted < 4; ++submitted) {
+    buffers[submitted].resize(512);
+    (void)queue.submit(submitted * 512, buffers[submitted]);
+  }
+  double completion_turnaround = 0.0;
+  while (queue.in_flight() > 0) {
+    const io::AsyncCompletion completion = queue.wait_any();
+    EXPECT_FALSE(completion.error);
+    completion_turnaround += completion.turnaround_modeled_seconds;
+    if (submitted < buffers.size()) {
+      buffers[submitted].resize(512);
+      (void)queue.submit(submitted * 512, buffers[submitted]);
+      ++submitted;
+    }
+  }
+
+  EXPECT_EQ(queue.stats().submissions, buffers.size());
+  EXPECT_EQ(queue.stats().dry_submissions, 1u);
+  EXPECT_DOUBLE_EQ(queue.stats().turnaround_modeled_seconds,
+                   config.submit_overhead_seconds);
+  // The charge surfaces on exactly the request whose submission was dry.
+  EXPECT_DOUBLE_EQ(completion_turnaround,
+                   queue.stats().turnaround_modeled_seconds);
+}
+
+TEST(AsyncBlockDevice, GuardsMisuse) {
+  io::MemoryBlockDevice device(512);
+  fill_device(device, 8 * 512);
+  io::AsyncIoConfig zero_depth;
+  zero_depth.queue_depth = 0;
+  EXPECT_THROW(io::AsyncBlockDevice(device, zero_depth),
+               std::invalid_argument);
+
+  io::AsyncIoConfig config;
+  config.queue_depth = 2;
+  io::AsyncBlockDevice queue(device, config);
+  EXPECT_THROW((void)queue.wait_any(), std::logic_error);
+  std::vector<std::byte> a(512), b(512), c(512);
+  (void)queue.submit(0, a);
+  (void)queue.submit(512, b);
+  EXPECT_THROW((void)queue.submit(1024, c), std::logic_error);  // full
+  EXPECT_EQ(queue.in_flight(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// RetrievalStream at queue_depth >= 1: equivalence with the sync path
+// ---------------------------------------------------------------------------
+
+TEST(AsyncStream, DepthOneIsBitIdenticalToSynchronousAcrossSweep) {
+  const auto infos = random_intervals(3000, 200, 77);
+  Built sync_built = build_one(infos);
+  Built async_built = build_one(infos);
+
+  for (std::uint32_t v = 5; v <= 200; v += 13) {
+    const auto isovalue = static_cast<core::ValueKey>(v);
+    const io::IoStats sync_before = sync_built.device->stats();
+    const io::IoStats async_before = async_built.device->stats();
+
+    RetrievalStream sync_stream = open_stream(sync_built.tree, isovalue,
+                                              *sync_built.device,
+                                              tight_options(0));
+    RetrievalStream async_stream = open_stream(async_built.tree, isovalue,
+                                               *async_built.device,
+                                               tight_options(1));
+    // Compare batch by batch, not just the concatenation: delivery
+    // boundaries are part of the contract (the pipeline overlaps per batch).
+    std::optional<RecordBatch> expected;
+    while ((expected = sync_stream.next())) {
+      std::optional<RecordBatch> actual = async_stream.next();
+      ASSERT_TRUE(actual.has_value()) << "isovalue " << v;
+      EXPECT_EQ(actual->data, expected->data) << "isovalue " << v;
+      EXPECT_EQ(actual->record_count, expected->record_count);
+      EXPECT_EQ(actual->records_fetched, expected->records_fetched);
+      expect_same_io(actual->io, expected->io, "batch io");
+    }
+    EXPECT_FALSE(async_stream.next().has_value());
+
+    EXPECT_EQ(async_stream.stats().active_metacells,
+              sync_stream.stats().active_metacells);
+    EXPECT_EQ(async_stream.stats().records_fetched,
+              sync_stream.stats().records_fetched);
+    EXPECT_EQ(async_stream.stats().bricks_scanned,
+              sync_stream.stats().bricks_scanned);
+    expect_same_io(async_built.device->stats().since(async_before),
+                   sync_built.device->stats().since(sync_before),
+                   "device traffic, isovalue " + std::to_string(v));
+
+    // Depth 1 pays the full turnaround: one dry submission per read. (An
+    // isovalue with an empty plan never constructs the dispatcher at all.)
+    const io::AsyncIoStats* async_stats = async_stream.async_stats();
+    if (async_stream.schedule().items.empty()) {
+      EXPECT_EQ(async_stats, nullptr);
+      continue;
+    }
+    ASSERT_NE(async_stats, nullptr);
+    EXPECT_EQ(async_stats->dry_submissions, async_stats->submissions);
+    // NEAR, not DOUBLE_EQ: the stream accumulates the charge one dry
+    // submission at a time, the reference multiplies once.
+    EXPECT_NEAR(async_stream.turnaround_modeled_seconds(),
+                static_cast<double>(async_stats->dry_submissions) *
+                    tight_options(1).submit_overhead_seconds,
+                1e-9);
+    EXPECT_EQ(sync_stream.async_stats(), nullptr);
+    EXPECT_DOUBLE_EQ(sync_stream.turnaround_modeled_seconds(), 0.0);
+  }
+}
+
+TEST(AsyncStream, DeeperQueuesKeepTrafficIdenticalAndReduceTurnaround) {
+  const auto infos = random_intervals(4000, 180, 91);
+  const auto isovalue = static_cast<core::ValueKey>(90);
+
+  struct Run {
+    std::vector<std::uint32_t> ids;
+    io::IoStats device_io;
+    QueryStats stats;
+    double turnaround = 0.0;
+    std::uint64_t submissions = 0;
+  };
+  const auto run_at_depth = [&](std::size_t depth) {
+    Built built = build_one(infos);
+    built.device->reset_stats();
+    RetrievalStream stream =
+        open_stream(built.tree, isovalue, *built.device,
+                    tight_options(depth));
+    Run run;
+    run.ids = drain_ids(stream);
+    run.device_io = built.device->stats();
+    run.stats = stream.stats();
+    run.turnaround = stream.turnaround_modeled_seconds();
+    if (const io::AsyncIoStats* stats = stream.async_stats()) {
+      run.submissions = stats->submissions;
+    }
+    return run;
+  };
+
+  const Run baseline = run_at_depth(0);
+  ASSERT_FALSE(baseline.ids.empty());
+  Run previous;
+  for (const std::size_t depth : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{4}, std::size_t{8}}) {
+    const Run run = run_at_depth(depth);
+    EXPECT_EQ(run.ids, baseline.ids) << "depth " << depth;
+    expect_same_io(run.device_io, baseline.device_io,
+                   "depth " + std::to_string(depth));
+    EXPECT_EQ(run.stats.active_metacells, baseline.stats.active_metacells);
+    EXPECT_EQ(run.stats.records_fetched, baseline.stats.records_fetched);
+    EXPECT_EQ(run.stats.bricks_scanned, baseline.stats.bricks_scanned);
+    if (depth > 1) {
+      // Deeper queues can only remove dry submissions, never add any.
+      EXPECT_LE(run.turnaround, previous.turnaround) << "depth " << depth;
+    }
+    previous = run;
+  }
+
+  // The designed win, the same property the CI bench gate asserts: with
+  // enough reads in the schedule a depth-4 queue stays primed and pays
+  // strictly less modeled turnaround than depth 1 (which pays per read).
+  const Run depth1 = run_at_depth(1);
+  const Run depth4 = run_at_depth(4);
+  ASSERT_GT(depth1.submissions, 1u)
+      << "schedule too small to exercise the queue";
+  EXPECT_LT(depth4.turnaround, depth1.turnaround);
+}
+
+TEST(AsyncStream, LegacyPlanOrderSurvivesOutOfOrderService) {
+  // coalesce=false executes the plan brick by brick in plan order, which
+  // is not offset-monotone — at depth 8 the elevator genuinely services
+  // out of submission order. Delivery must still be in plan order with
+  // records identical to the synchronous legacy execution.
+  const auto infos = random_intervals(2500, 150, 33);
+  Built sync_built = build_one(infos);
+  Built async_built = build_one(infos);
+
+  RetrievalOptions sync_options;
+  sync_options.coalesce = false;
+  RetrievalOptions async_options;
+  async_options.coalesce = false;
+  async_options.queue_depth = 8;
+
+  for (const float isovalue : {30.0f, 75.0f, 120.0f}) {
+    RetrievalStream sync_stream = open_stream(sync_built.tree, isovalue,
+                                              *sync_built.device,
+                                              sync_options);
+    RetrievalStream async_stream = open_stream(async_built.tree, isovalue,
+                                               *async_built.device,
+                                               async_options);
+    EXPECT_EQ(drain_ids(async_stream), drain_ids(sync_stream))
+        << "isovalue " << isovalue;
+    EXPECT_EQ(async_stream.stats().active_metacells,
+              sync_stream.stats().active_metacells);
+    EXPECT_EQ(async_stream.stats().records_fetched,
+              sync_stream.stats().records_fetched);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fault handling through the queue
+// ---------------------------------------------------------------------------
+
+TEST(AsyncStream, AbsorbsTransientFaultWithSameAccountingAsSync) {
+  const auto infos = random_intervals(800, 100, 11);
+  Built clean = build_one(infos);
+  RetrievalStream clean_stream =
+      open_stream(clean.tree, 50.0f, *clean.device, tight_options(0));
+  const std::vector<std::uint32_t> expected = drain_ids(clean_stream);
+  ASSERT_FALSE(expected.empty());
+
+  // Same fault schedule against the sync retry loop and the async queue at
+  // depth 1: read ordinals coincide, so the taxonomy and the modeled
+  // backoff must too.
+  io::FaultConfig config;
+  config.fail_reads = {0};
+  config.corrupt_reads = {2};
+
+  Built sync_built = build_one(infos);
+  io::FaultInjectingBlockDevice sync_device(*sync_built.device, config);
+  RetrievalStream sync_stream =
+      open_stream(sync_built.tree, 50.0f, sync_device, tight_options(0));
+  EXPECT_EQ(drain_ids(sync_stream), expected);
+
+  Built async_built = build_one(infos);
+  io::FaultInjectingBlockDevice async_device(*async_built.device, config);
+  RetrievalStream async_stream =
+      open_stream(async_built.tree, 50.0f, async_device, tight_options(1));
+  EXPECT_EQ(drain_ids(async_stream), expected);
+
+  EXPECT_EQ(async_stream.faults().transient_errors,
+            sync_stream.faults().transient_errors);
+  EXPECT_EQ(async_stream.faults().checksum_failures,
+            sync_stream.faults().checksum_failures);
+  EXPECT_EQ(async_stream.faults().retries, sync_stream.faults().retries);
+  EXPECT_DOUBLE_EQ(async_stream.faults().backoff_modeled_seconds,
+                   sync_stream.faults().backoff_modeled_seconds);
+  EXPECT_EQ(async_device.injected().read_failures,
+            sync_device.injected().read_failures);
+  EXPECT_EQ(async_device.injected().corrupted_reads,
+            sync_device.injected().corrupted_reads);
+  ASSERT_GT(sync_stream.faults().transient_errors, 0u);
+  ASSERT_GT(sync_stream.faults().checksum_failures, 0u);
+}
+
+TEST(AsyncStream, DeepQueueRetriesFaultsAndStaysCorrect) {
+  const auto infos = random_intervals(1200, 120, 29);
+  Built clean = build_one(infos);
+  RetrievalStream clean_stream =
+      open_stream(clean.tree, 60.0f, *clean.device, tight_options(0));
+  const std::vector<std::uint32_t> expected = drain_ids(clean_stream);
+  ASSERT_FALSE(expected.empty());
+
+  Built built = build_one(infos);
+  io::FaultConfig config;
+  config.fail_reads = {0, 3};
+  config.corrupt_reads = {5};
+  io::FaultInjectingBlockDevice device(*built.device, config);
+  RetrievalStream stream =
+      open_stream(built.tree, 60.0f, device, tight_options(4));
+  // Resubmission through the queue may change later read ordinals relative
+  // to the sync path, but the records delivered must still be exactly the
+  // clean run's, and every scheduled fault must have been absorbed.
+  EXPECT_EQ(drain_ids(stream), expected);
+  EXPECT_EQ(stream.faults().transient_errors + stream.faults().checksum_failures,
+            stream.faults().retries);
+  EXPECT_GT(stream.faults().retries, 0u);
+  EXPECT_GT(stream.faults().backoff_modeled_seconds, 0.0);
+}
+
+TEST(AsyncStream, ExhaustedRetriesPropagateThroughTheQueue) {
+  Built built = build_one(random_intervals(400, 80, 17));
+  io::FaultConfig config;
+  config.fail_all_reads = true;
+  io::FaultInjectingBlockDevice device(*built.device, config);
+
+  RetrievalOptions options = tight_options(4);
+  options.retry.max_attempts = 3;
+  RetrievalStream stream = open_stream(built.tree, 40.0f, device, options);
+  try {
+    (void)drain_ids(stream);
+    FAIL() << "exhausted retries did not propagate";
+  } catch (const io::IoError& error) {
+    EXPECT_EQ(error.kind(), io::IoError::Kind::kTransient);
+  }
+  EXPECT_EQ(stream.faults().transient_errors, 3u);
+  EXPECT_EQ(stream.faults().retries, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Shared pool: caching and single-flight stay intact under the queue
+// ---------------------------------------------------------------------------
+
+TEST(AsyncStream, PooledDepthFourMatchesPooledSyncAndRunsWarm) {
+  const auto infos = random_intervals(2000, 150, 55);
+  const auto isovalue = static_cast<core::ValueKey>(70);
+
+  const auto pooled_run = [&](Built& built, io::SharedBufferPool& pool,
+                              std::size_t depth) {
+    RetrievalStream stream(built.tree.plan(isovalue),
+                           built.tree.scalar_kind(),
+                           built.tree.record_size(), *built.device,
+                           tight_options(depth),
+                           BrickDirectory{built.tree.bricks(),
+                                          built.tree.chunk_crcs()},
+                           &pool);
+    const std::vector<std::uint32_t> ids = drain_ids(stream);
+    return std::make_pair(ids, stream.cache_stats());
+  };
+
+  Built sync_built = build_one(infos);
+  io::SharedBufferPool sync_pool(*sync_built.device, 4096);
+  const auto [sync_cold_ids, sync_cold_cache] =
+      pooled_run(sync_built, sync_pool, 0);
+  ASSERT_FALSE(sync_cold_ids.empty());
+
+  Built async_built = build_one(infos);
+  io::SharedBufferPool async_pool(*async_built.device, 4096);
+  const auto [async_cold_ids, async_cold_cache] =
+      pooled_run(async_built, async_pool, 4);
+  EXPECT_EQ(async_cold_ids, sync_cold_ids);
+  EXPECT_EQ(async_cold_cache.hit_blocks, sync_cold_cache.hit_blocks);
+  EXPECT_EQ(async_cold_cache.miss_blocks, sync_cold_cache.miss_blocks);
+  ASSERT_GT(async_cold_cache.miss_blocks, 0u);
+
+  // A warm re-run through the same pool touches no device blocks at all.
+  const io::IoStats before = *&async_built.device->stats();
+  const auto [warm_ids, warm_cache] = pooled_run(async_built, async_pool, 4);
+  EXPECT_EQ(warm_ids, sync_cold_ids);
+  EXPECT_EQ(warm_cache.miss_blocks, 0u);
+  EXPECT_GT(warm_cache.hit_blocks, 0u);
+  EXPECT_EQ(async_built.device->stats().blocks_read, before.blocks_read);
+}
+
+TEST(AsyncStream, ConcurrentPooledStreamsKeepSingleFlightLedger) {
+  const auto infos = random_intervals(2500, 150, 67);
+  Built built = build_one(infos);
+  io::SharedBufferPool pool(*built.device, 4096);
+
+  Built reference_built = build_one(infos);
+  RetrievalStream reference = open_stream(reference_built.tree, 80.0f,
+                                          *reference_built.device,
+                                          tight_options(0));
+  const std::vector<std::uint32_t> expected = drain_ids(reference);
+  ASSERT_FALSE(expected.empty());
+
+  // Two threads, each with its own depth-4 queue over the one pool,
+  // querying the same isovalue: overlapping reads must single-flight
+  // (hits + misses + waits == fetches) and both streams must deliver the
+  // full record list. TSan runs this suite.
+  constexpr int kThreads = 2;
+  std::vector<std::vector<std::uint32_t>> ids(kThreads);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      RetrievalStream stream(built.tree.plan(80.0f),
+                             built.tree.scalar_kind(),
+                             built.tree.record_size(), *built.device,
+                             tight_options(4),
+                             BrickDirectory{built.tree.bricks(),
+                                            built.tree.chunk_crcs()},
+                             &pool);
+      ids[t] = drain_ids(stream);
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(ids[t], expected);
+  const io::CacheCounters counters = pool.counters();
+  EXPECT_EQ(counters.hits + counters.misses + counters.waits,
+            counters.fetches);
+  EXPECT_GT(counters.fetches, 0u);
+}
+
+}  // namespace
+}  // namespace oociso::index

@@ -75,8 +75,35 @@ TEST_F(CliTest, UnknownFlagsAreRejectedPerSubcommand) {
 TEST_F(CliTest, KnownFlagWithBadValueStillFailsLoudly) {
   const RunResult result =
       run_cli("query --storage /nonexistent --iso not-a-number", path("log"));
-  EXPECT_NE(result.exit_code, 0);
+  // Malformed values on known flags are usage errors: exit 2 + usage text,
+  // not the generic exit-1 error path.
+  EXPECT_EQ(result.exit_code, 2);
   EXPECT_NE(result.output.find("error:"), std::string::npos);
+  EXPECT_NE(result.output.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, MalformedNumericFlagsAreUsageErrors) {
+  // Non-numeric text, trailing garbage, values outside the documented
+  // range, and overflow must all take the usage path (exit 2), never parse
+  // as garbage or crash through a size_t conversion.
+  for (const std::string command : {
+           "query --storage /nonexistent --queue-depth banana",
+           "query --storage /nonexistent --queue-depth 8x",
+           "query --storage /nonexistent --queue-depth -3",
+           "query --storage /nonexistent --queue-depth 99999",
+           "query --storage /nonexistent --queue-depth 99999999999999999999",
+           "query --storage /nonexistent --readahead -1",
+           "query --storage /nonexistent --coalesce-gap -2",
+           "query --storage /nonexistent --coalesce-gap huge",
+           "serve --storage /nonexistent --isos 90 --queue-depth -1",
+           "serve --storage /nonexistent --isos 90 --readahead nope",
+       }) {
+    const RunResult result = run_cli(command, path("log"));
+    EXPECT_EQ(result.exit_code, 2) << command << "\n" << result.output;
+    EXPECT_NE(result.output.find("error: flag --"), std::string::npos)
+        << command << "\n" << result.output;
+    EXPECT_NE(result.output.find("usage:"), std::string::npos) << command;
+  }
 }
 
 TEST_F(CliTest, ServeTraceReconcilesWithMetrics) {

@@ -83,10 +83,35 @@ TEST(Crc32, DetectsEverySingleBitFlip) {
 TEST(RetryPolicy, BackoffGrowsExponentially) {
   const io::RetryPolicy policy{
       .max_attempts = 5, .backoff_start_seconds = 0.25,
-      .backoff_multiplier = 2.0};
+      .backoff_multiplier = 2.0, .backoff_max_seconds = 60.0};
   EXPECT_DOUBLE_EQ(policy.backoff_seconds(0), 0.25);
   EXPECT_DOUBLE_EQ(policy.backoff_seconds(1), 0.5);
   EXPECT_DOUBLE_EQ(policy.backoff_seconds(3), 2.0);
+}
+
+TEST(RetryPolicy, BackoffSaturatesAtTheCap) {
+  // The exponential is a closed form clamped at backoff_max_seconds: a
+  // large retry index can neither overflow to inf nor charge more modeled
+  // stall than the cap — the bug the old loop of multiplications had.
+  const io::RetryPolicy policy{.max_attempts = 1 << 20};
+  const double cap = policy.backoff_max_seconds;
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(0), policy.backoff_start_seconds);
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(6), 0.064);  // still below the cap
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(7), cap);    // 0.128 clamps
+  for (const int index : {8, 64, 1024, (1 << 20) - 1}) {
+    const double backoff = policy.backoff_seconds(index);
+    EXPECT_TRUE(std::isfinite(backoff)) << index;
+    EXPECT_DOUBLE_EQ(backoff, cap) << index;
+  }
+  // Monotone non-decreasing below and across the clamp point.
+  for (int index = 1; index < 16; ++index) {
+    EXPECT_GE(policy.backoff_seconds(index),
+              policy.backoff_seconds(index - 1));
+  }
+  // A zero cap silences backoff entirely without going negative.
+  const io::RetryPolicy muted{.backoff_max_seconds = 0.0};
+  EXPECT_DOUBLE_EQ(muted.backoff_seconds(0), 0.0);
+  EXPECT_DOUBLE_EQ(muted.backoff_seconds(12), 0.0);
 }
 
 TEST(FaultConfigParse, AcceptsSeedCommaRate) {

@@ -14,6 +14,7 @@
 #include "data/rm_generator.h"
 #include "io/fault_injection.h"
 #include "metacell/source.h"
+#include "obs/metrics.h"
 #include "parallel/cluster.h"
 #include "pipeline/query_engine.h"
 #include "pipeline/timevarying.h"
@@ -283,6 +284,39 @@ TEST(QueryServerAdmission, InFlightNeverExceedsTheConfiguredBound) {
   (void)server.serve(isovalues);
   EXPECT_LE(server.peak_in_flight(), 2u);
   EXPECT_GE(server.peak_in_flight(), 1u);
+}
+
+TEST(QueryServerAdmission, RegistryGaugeSeesEveryInFlightTransition) {
+  // Regression: the server re-points its in-flight gauge at the metrics
+  // registry during construction. The old snapshot-then-swap could lose an
+  // increment that landed between the snapshot and the swap, skewing every
+  // later level and peak the registry exports. The swap now happens while
+  // the server is provably quiescent, so the registry gauge must balance
+  // exactly: final level 0 and max == the server's own peak.
+  const auto volume = data::generate_rm_timestep(small_rm(), 200);
+  auto cluster = make_cluster(2);
+  const auto source = metacell::make_source(volume, 9);
+  const pipeline::PreprocessResult prep =
+      pipeline::preprocess(*source, cluster);
+
+  obs::MetricsRegistry registry;
+  serve::ServeOptions options;
+  options.max_concurrent_queries = 3;
+  options.query.render = false;
+  options.metrics = &registry;
+  serve::QueryServer server(cluster, prep, options);
+
+  const std::vector<core::ValueKey> isovalues = sweep_isovalues();
+  const auto reports = server.serve(isovalues);
+  ASSERT_EQ(reports.size(), isovalues.size());
+
+  obs::Gauge& gauge = registry.gauge("serve.in_flight");
+  EXPECT_EQ(gauge.value(), 0);  // every increment found its decrement
+  EXPECT_EQ(static_cast<std::size_t>(gauge.max_value()),
+            server.peak_in_flight());
+  EXPECT_GE(gauge.max_value(), 1);
+  EXPECT_LE(gauge.max_value(), 3);
+  EXPECT_EQ(registry.counter("serve.queries").value(), isovalues.size());
 }
 
 TEST(QueryServerAdmission, RejectsPerQueryInjectionAndZeroSlots) {

@@ -51,6 +51,8 @@ commands:
                 --storage DIR  --nodes P (4)  --iso V (128)
                 --obj FILE  --image FILE  --imagesize N (512)  --weld
                 --readahead N (4, record batches prefetched per node)
+                --queue-depth D (0 = synchronous reads; 1..1024 = async
+                submission queue with D reads in flight per node)
                 --no-coalesce (per-brick reads; disable the I/O scheduler)
                 --coalesce-gap BYTES (largest coalesced-read gap bridged;
                 -1 = device readahead window)
@@ -65,6 +67,8 @@ commands:
                 --concurrency Q (4, queries admitted at once)
                 --cache-blocks M (4096, per-node cache frames)
                 --readahead N (4, record batches prefetched per node)
+                --queue-depth D (0 = synchronous reads; 1..1024 = async
+                submission queue with D reads in flight per node)
                 --no-coalesce (per-brick reads; disable the I/O scheduler)
                 --coalesce-gap BYTES (largest coalesced-read gap bridged;
                 -1 = device readahead window)
@@ -156,12 +160,32 @@ int cmd_preprocess(const util::CliArgs& args) {
 
 int cmd_query(const util::CliArgs& args) {
   args.require_known({"storage", "nodes", "iso", "obj", "image", "imagesize",
-                      "weld", "readahead", "no-coalesce", "coalesce-gap",
-                      "inject-faults", "trace", "metrics"});
+                      "weld", "readahead", "queue-depth", "no-coalesce",
+                      "coalesce-gap", "inject-faults", "trace", "metrics"});
   const std::string storage = args.get("storage", "");
   if (storage.empty()) return usage();
   const auto nodes = static_cast<std::size_t>(args.get_int("nodes", 4));
   const auto isovalue = static_cast<float>(args.get_double("iso", 128.0));
+
+  // Parse and validate every flag before opening storage, so a malformed
+  // value is a usage error even when the storage path is also wrong.
+  pipeline::QueryOptions options;
+  options.image_width = options.image_height =
+      static_cast<std::int32_t>(args.get_int("imagesize", 512));
+  options.keep_image = args.has("image");
+  options.keep_triangles = args.has("obj");
+  options.render = options.keep_image;
+  options.readahead_batches = static_cast<std::size_t>(
+      args.get_int_in("readahead", 4, 0, 1 << 20));
+  options.retrieval.queue_depth = static_cast<std::size_t>(
+      args.get_int_in("queue-depth", 0, 0, 1024));
+  options.retrieval.coalesce = !args.get_bool("no-coalesce", false);
+  options.retrieval.coalesce_gap_bytes =
+      args.get_int_in("coalesce-gap", -1, -1, std::int64_t{1} << 40);
+  const std::string fault_spec = args.get("inject-faults", "");
+  if (!fault_spec.empty()) {
+    options.inject_faults = io::FaultConfig::parse(fault_spec);
+  }
 
   auto cluster = open_cluster(storage, nodes, /*existing=*/true);
   const pipeline::PreprocessResult prep = pipeline::load_bundle(storage);
@@ -170,22 +194,7 @@ int cmd_query(const util::CliArgs& args) {
               << " nodes; pass --nodes " << prep.trees.size() << "\n";
     return 1;
   }
-
   pipeline::QueryEngine engine(cluster, prep);
-  pipeline::QueryOptions options;
-  options.image_width = options.image_height =
-      static_cast<std::int32_t>(args.get_int("imagesize", 512));
-  options.keep_image = args.has("image");
-  options.keep_triangles = args.has("obj");
-  options.render = options.keep_image;
-  options.readahead_batches =
-      static_cast<std::size_t>(args.get_int("readahead", 4));
-  options.retrieval.coalesce = !args.get_bool("no-coalesce", false);
-  options.retrieval.coalesce_gap_bytes = args.get_int("coalesce-gap", -1);
-  const std::string fault_spec = args.get("inject-faults", "");
-  if (!fault_spec.empty()) {
-    options.inject_faults = io::FaultConfig::parse(fault_spec);
-  }
 
   const std::string trace_path = args.get("trace", "");
   const std::string metrics_path = args.get("metrics", "");
@@ -259,8 +268,9 @@ int cmd_query(const util::CliArgs& args) {
 
 int cmd_serve(const util::CliArgs& args) {
   args.require_known({"storage", "isos", "nodes", "repeat", "concurrency",
-                      "cache-blocks", "readahead", "no-coalesce",
-                      "coalesce-gap", "inject-faults", "trace", "metrics"});
+                      "cache-blocks", "readahead", "queue-depth",
+                      "no-coalesce", "coalesce-gap", "inject-faults", "trace",
+                      "metrics"});
   const std::string storage = args.get("storage", "");
   const std::string iso_list = args.get("isos", "");
   if (storage.empty() || iso_list.empty()) return usage();
@@ -278,25 +288,20 @@ int cmd_serve(const util::CliArgs& args) {
     pos = comma + 1;
   }
 
-  auto cluster = open_cluster(storage, nodes, /*existing=*/true);
-  const pipeline::PreprocessResult prep = pipeline::load_bundle(storage);
-  if (prep.trees.size() != nodes) {
-    std::cerr << "error: bundle was preprocessed for " << prep.trees.size()
-              << " nodes; pass --nodes " << prep.trees.size() << "\n";
-    return 1;
-  }
-
+  // As in cmd_query: validate every flag before opening storage.
   serve::ServeOptions options;
   options.max_concurrent_queries =
       static_cast<std::size_t>(args.get_int("concurrency", 4));
   options.cache_capacity_blocks =
       static_cast<std::size_t>(args.get_int("cache-blocks", 4096));
   options.query.render = false;
-  options.query.readahead_batches =
-      static_cast<std::size_t>(args.get_int("readahead", 4));
+  options.query.readahead_batches = static_cast<std::size_t>(
+      args.get_int_in("readahead", 4, 0, 1 << 20));
+  options.query.retrieval.queue_depth = static_cast<std::size_t>(
+      args.get_int_in("queue-depth", 0, 0, 1024));
   options.query.retrieval.coalesce = !args.get_bool("no-coalesce", false);
   options.query.retrieval.coalesce_gap_bytes =
-      args.get_int("coalesce-gap", -1);
+      args.get_int_in("coalesce-gap", -1, -1, std::int64_t{1} << 40);
   const std::string fault_spec = args.get("inject-faults", "");
   if (!fault_spec.empty()) {
     options.inject_faults = io::FaultConfig::parse(fault_spec);
@@ -308,6 +313,14 @@ int cmd_serve(const util::CliArgs& args) {
   obs::MetricsRegistry registry;
   if (!trace_path.empty()) options.tracer = &tracer;
   if (!metrics_path.empty()) options.metrics = &registry;
+
+  auto cluster = open_cluster(storage, nodes, /*existing=*/true);
+  const pipeline::PreprocessResult prep = pipeline::load_bundle(storage);
+  if (prep.trees.size() != nodes) {
+    std::cerr << "error: bundle was preprocessed for " << prep.trees.size()
+              << " nodes; pass --nodes " << prep.trees.size() << "\n";
+    return 1;
+  }
 
   serve::QueryServer server(cluster, prep, options);
   util::Table table({"pass", "iso", "triangles", "read_ops", "cache hit",
