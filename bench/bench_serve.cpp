@@ -10,7 +10,16 @@
 //   --concurrency Q    queries admitted at once (default 8)
 //   --cache-blocks M   per-node pool frames (default 16384)
 //   --passes N         sweep repetitions; pass 2+ is warm (default 2)
-// --inject-faults applies at the cluster level, under the pools.
+//   --dead-node N      kill node N's store mid-run: its device serves
+//                      --die-after reads, then fails permanently. With
+//                      --replication 2+ the sweep completes bit-identical
+//                      through brick-granular failover (reported degraded);
+//                      the per-pass served_read_ops JSON shows how the dead
+//                      node's traffic spreads over the survivors.
+//   --die-after R      reads the dead node's store serves before dying
+//                      (default 256; 0 = dead from the first read)
+// --inject-faults applies at the cluster level, under the pools, and is
+// mutually exclusive with --dead-node.
 
 #include <cstring>
 #include <iostream>
@@ -28,11 +37,26 @@ int main(int argc, char** argv) {
   const auto cache_blocks =
       static_cast<std::size_t>(args.get_int("cache-blocks", 16384));
   const int passes = static_cast<int>(args.get_int("passes", 2));
+  const auto dead_node = args.get_int("dead-node", -1);
+  const auto die_after = args.get_int("die-after", 256);
+  if (dead_node >= 0 && setup.inject_faults.has_value()) {
+    std::cerr << "--dead-node and --inject-faults are mutually exclusive\n";
+    return 2;
+  }
+  if (dead_node >= 4) {
+    std::cerr << "--dead-node must name one of the 4 nodes\n";
+    return 2;
+  }
 
   std::cout << "== Concurrent serving: " << setup.isovalues.size()
             << "-isovalue sweep, " << concurrency
             << " queries in flight, 4 nodes, " << cache_blocks
-            << " cache frames/node ==\n";
+            << " cache frames/node, " << setup.replication
+            << "-way placement ==\n";
+  if (dead_node >= 0) {
+    std::cout << "# chaos: node " << dead_node << "'s store dies after "
+              << die_after << " reads\n";
+  }
 
   bench::Prepared prepared = bench::prepare_rm(setup, 4);
 
@@ -64,6 +88,14 @@ int main(int argc, char** argv) {
   serve_options.max_concurrent_queries = concurrency;
   serve_options.cache_capacity_blocks = cache_blocks;
   serve_options.inject_faults = setup.inject_faults;
+  if (dead_node >= 0) {
+    // One explicit config per node: the dead node's store serves die_after
+    // reads (a global ordinal under the shared pools), then every further
+    // read fails permanently. Routed queries hedge onto the survivors.
+    serve_options.inject_faults_per_node.resize(4);
+    serve_options.inject_faults_per_node[static_cast<std::size_t>(dead_node)]
+        .die_after_reads = die_after;
+  }
   serve_options.query = setup.query_options();
   serve_options.query.inject_faults.reset();  // cluster-level instead
   serve_options.query.render = false;
@@ -80,6 +112,8 @@ int main(int argc, char** argv) {
 
   bool identical = true;
   std::vector<std::uint64_t> pass_read_ops;
+  std::vector<bool> pass_degraded;
+  std::vector<std::vector<std::uint64_t>> pass_served;
   std::vector<std::vector<pipeline::QueryReport>> pass_reports;
   for (int pass = 0; pass < passes; ++pass) {
     util::WallTimer timer;
@@ -88,10 +122,16 @@ int main(int argc, char** argv) {
     const double wall = timer.seconds();
 
     std::uint64_t read_ops = 0;
+    bool degraded = false;
+    std::vector<std::uint64_t> served(4, 0);
     io::CacheReadStats cache;
     for (std::size_t i = 0; i < reports.size(); ++i) {
       for (const auto& node : reports[i].nodes) {
         read_ops += node.io.read_ops;
+      }
+      degraded = degraded || reports[i].degraded;
+      for (std::size_t node = 0; node < served.size(); ++node) {
+        served[node] += reports[i].served_io(node).read_ops;
       }
       cache.merge(reports[i].total_cache());
       identical =
@@ -102,14 +142,25 @@ int main(int argc, char** argv) {
                        reference[i].size() * sizeof(extract::Triangle)) == 0);
     }
     pass_read_ops.push_back(read_ops);
-    table.add_row({std::to_string(pass), util::fixed(wall, 3),
-                   util::with_commas(read_ops),
+    pass_degraded.push_back(degraded);
+    pass_served.push_back(std::move(served));
+    table.add_row({std::to_string(pass) + (degraded ? " (degraded)" : ""),
+                   util::fixed(wall, 3), util::with_commas(read_ops),
                    util::with_commas(cache.hit_blocks),
                    util::with_commas(cache.miss_blocks),
                    util::with_commas(cache.wait_blocks)});
     pass_reports.push_back(std::move(reports));
   }
   std::cout << table.render() << "\n";
+  if (dead_node >= 0) {
+    for (std::size_t pass = 0; pass < pass_served.size(); ++pass) {
+      std::cout << "# pass " << pass << " served read_ops per node:";
+      for (const std::uint64_t ops : pass_served[pass]) {
+        std::cout << ' ' << util::with_commas(ops);
+      }
+      std::cout << (pass_degraded[pass] ? "  (degraded)" : "") << "\n";
+    }
+  }
 
   const io::CacheCounters counters = server.cache_counters();
   std::cout << "# pool ledger: " << util::with_commas(counters.fetches)
@@ -128,6 +179,9 @@ int main(int argc, char** argv) {
         .member("concurrency", static_cast<std::uint64_t>(concurrency))
         .member("cache_blocks_per_node",
                 static_cast<std::uint64_t>(cache_blocks))
+        .member("replication", static_cast<std::uint64_t>(setup.replication))
+        .member("dead_node", static_cast<std::int64_t>(dead_node))
+        .member("die_after", static_cast<std::int64_t>(die_after))
         .member("serial_read_ops", serial_read_ops);
     json.key("cache").begin_object()
         .member("fetches", counters.fetches)
@@ -140,7 +194,11 @@ int main(int argc, char** argv) {
     for (std::size_t pass = 0; pass < pass_reports.size(); ++pass) {
       json.begin_object()
           .member("pass", static_cast<std::uint64_t>(pass))
-          .member("read_ops", pass_read_ops[pass]);
+          .member("read_ops", pass_read_ops[pass])
+          .member("degraded", static_cast<bool>(pass_degraded[pass]));
+      json.key("served_read_ops").begin_array();
+      for (const std::uint64_t ops : pass_served[pass]) json.value(ops);
+      json.end_array();
       json.key("queries").begin_array();
       for (const pipeline::QueryReport& report : pass_reports[pass]) {
         bench::append_report_json(json, report);
@@ -161,8 +219,20 @@ int main(int argc, char** argv) {
   bench::shape_check(
       "cross-query dedup: physical misses stay below logical fetches",
       counters.misses < counters.fetches);
-  bench::shape_check(
-      "warm pass reads strictly fewer blocks than the cold pass",
-      passes < 2 || pass_read_ops.back() < pass_read_ops.front());
+  if (dead_node < 0) {
+    bench::shape_check(
+        "warm pass reads strictly fewer blocks than the cold pass",
+        passes < 2 || pass_read_ops.back() < pass_read_ops.front());
+  } else {
+    bool any_degraded = false;
+    for (const bool flag : pass_degraded) any_degraded = any_degraded || flag;
+    bench::shape_check(
+        "dead node trips degraded serving (hedged reads reported)",
+        any_degraded);
+    bench::shape_check(
+        "the dead node's store goes quiet in the final pass",
+        pass_served.back()[static_cast<std::size_t>(dead_node)] <=
+            pass_served.front()[static_cast<std::size_t>(dead_node)]);
+  }
   return 0;
 }

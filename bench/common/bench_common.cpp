@@ -41,6 +41,8 @@ BenchSetup BenchSetup::from_cli(int argc, char** argv, int default_dims) {
       args.get_int_in("queue-depth", 0, 0, 1024));
   setup.coalesce = !args.get_bool("no-coalesce", false);
   setup.coalesce_gap = args.get_int("coalesce-gap", -1);
+  setup.replication =
+      static_cast<std::size_t>(args.get_int_in("replication", 1, 1, 64));
   setup.trace_path = args.get("trace", "");
   if (!setup.trace_path.empty()) {
     // The deleter fires when the last BenchSetup copy dies at the end of
@@ -105,7 +107,10 @@ Prepared prepare_rm(const BenchSetup& setup, std::size_t nodes) {
   auto cluster = std::make_unique<parallel::Cluster>(cluster_config);
 
   const auto source = metacell::make_source(volume, /*samples_per_side=*/9);
-  pipeline::PreprocessResult prep = pipeline::preprocess(*source, *cluster);
+  pipeline::PreprocessConfig prep_config;
+  prep_config.placement.replication = setup.replication;
+  pipeline::PreprocessResult prep =
+      pipeline::preprocess(*source, *cluster, prep_config);
 
   std::cout << "# dataset: RM-analog " << setup.rm.dims << " u8, step "
             << setup.time_step << ", seed " << setup.rm.seed << "\n"
@@ -119,6 +124,11 @@ Prepared prepare_rm(const BenchSetup& setup, std::size_t nodes) {
             << util::human_bytes(prep.index_bytes()) << " in-core, "
             << nodes << " node(s), " << util::human_seconds(prep.elapsed_seconds)
             << "\n";
+  if (prep.replica_bytes_written > 0) {
+    std::cout << "# replication: " << setup.replication << "-way, +"
+              << util::human_bytes(prep.replica_bytes_written)
+              << " replica bytes\n";
+  }
 
   return Prepared{std::move(storage), std::move(cluster), std::move(prep),
                   generation_seconds};
@@ -170,7 +180,8 @@ std::vector<pipeline::QueryReport> run_sweep(Prepared& prepared,
               << faults.checksum_failures << " checksum, " << faults.retries
               << " retries (+" << util::human_seconds(
                      faults.backoff_modeled_seconds)
-              << " modeled backoff), " << failovers << " failovers"
+              << " modeled backoff), " << failovers << " failovers, "
+              << faults.hedged_reads << " hedges"
               << (degraded ? " — DEGRADED sweep" : "") << "\n";
   }
   return reports;
@@ -401,11 +412,17 @@ void append_report_json(JsonWriter& json, const pipeline::QueryReport& report) {
     turnaround += node.turnaround_modeled_seconds;
   }
 
+  const index::RetrievalFaults faults_total = report.total_retrieval_faults();
   json.begin_object()
       .member("isovalue", static_cast<double>(report.isovalue))
       .member("active_metacells", report.total_active_metacells())
       .member("triangles", report.total_triangles())
       .member("degraded", report.degraded)
+      .member("failovers", static_cast<std::uint64_t>(report.total_failovers()))
+      .member("hedges",
+              static_cast<std::uint64_t>(faults_total.hedged_reads))
+      .member("rerouted_reads",
+              static_cast<std::uint64_t>(faults_total.rerouted_reads))
       .member("mtri_per_second", report.mtri_per_second());
   json.key("io");
   append_io_json(json, io_total);
@@ -433,11 +450,15 @@ void append_report_json(JsonWriter& json, const pipeline::QueryReport& report) {
       .member("turnaround_modeled_sum_s", turnaround)
       .end_object();
   json.key("per_node").begin_array();
-  for (const pipeline::NodeReport& node : report.nodes) {
+  for (std::size_t index = 0; index < report.nodes.size(); ++index) {
+    const pipeline::NodeReport& node = report.nodes[index];
     json.begin_object()
         .member("active_metacells", node.active_metacells)
         .member("records_fetched", node.records_fetched)
         .member("triangles", node.triangles)
+        .member("failovers", static_cast<std::uint64_t>(node.faults.failovers))
+        .member("hedges", node.faults.retrieval.hedged_reads)
+        .member("rerouted_reads", node.faults.retrieval.rerouted_reads)
         .member("io_model_s", node.io_model_seconds)
         .member("io_wall_s", node.io_wall_seconds)
         .member("triangulation_s", node.triangulation_seconds)
@@ -446,6 +467,20 @@ void append_report_json(JsonWriter& json, const pipeline::QueryReport& report) {
         .member("turnaround_modeled_s", node.turnaround_modeled_seconds);
     json.key("io");
     append_io_json(json, node.io);
+    // Replica routing: which holder served each of this stripe's reads
+    // (empty array when the query ran unrouted), and the device I/O this
+    // node served across every stripe (== "io" when unrouted).
+    json.key("routed").begin_array();
+    for (const index::RouteCounters& route : node.routed) {
+      json.begin_object()
+          .member("reads", route.reads)
+          .member("bytes", route.bytes)
+          .member("failures", route.failures)
+          .end_object();
+    }
+    json.end_array();
+    json.key("served_io");
+    append_io_json(json, report.served_io(index));
     json.key("cache").begin_object()
         .member("hit_blocks", node.cache.hit_blocks)
         .member("miss_blocks", node.cache.miss_blocks)
@@ -479,6 +514,7 @@ void write_bench_json(const std::string& path, std::string_view bench,
       .member("queue_depth", static_cast<std::uint64_t>(setup.queue_depth))
       .member("coalesce", setup.coalesce)
       .member("coalesce_gap_bytes", setup.coalesce_gap)
+      .member("replication", static_cast<std::uint64_t>(setup.replication))
       .member("inject_faults", setup.inject_faults.has_value())
       .end_object();
   json.key("runs").begin_array();
@@ -491,6 +527,7 @@ void write_bench_json(const std::string& path, std::string_view bench,
         .member("brick_bytes", prep.bytes_written)
         .member("raw_bytes", prep.raw_bytes)
         .member("index_bytes", static_cast<std::uint64_t>(prep.index_bytes()))
+        .member("replica_bytes", prep.replica_bytes_written)
         .member("preprocess_s", prep.elapsed_seconds);
     json.key("queries").begin_array();
     for (const pipeline::QueryReport& report : run.reports) {

@@ -30,6 +30,11 @@
 //   --coalesce-gap BYTES
 //                  largest gap a coalesced read may bridge (default: the
 //                  device readahead window)
+//   --replication K
+//                  K-way replicated placement-group layout (default 1 =
+//                  unreplicated, bit-identical legacy index); queries
+//                  route reads across live holders and fail over
+//                  brick-granularly (see DESIGN §13)
 //   --trace PATH   write a Chrome trace_event JSON (chrome://tracing /
 //                  Perfetto) of every query the bench runs: one process
 //                  per executed query, per-node compute/I-O lanes, span
@@ -77,6 +82,11 @@ struct BenchSetup {
   /// --coalesce-gap BYTES: largest gap a coalesced read bridges; -1 = the
   /// device readahead window.
   std::int64_t coalesce_gap = -1;
+  /// --replication K: keep K copies of every placement group across the
+  /// node stores (1 = unreplicated, bit-identical legacy layout). Queries
+  /// then route each read to the least-loaded live holder and fail over
+  /// brick-granularly when a holder dies.
+  std::size_t replication = 1;
   /// --trace PATH: Chrome trace_event JSON destination; empty = off.
   std::string trace_path;
   /// Shared trace sink when --trace is given. The shared_ptr's deleter

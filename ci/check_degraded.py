@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Degraded-serving gate for the release-bench CI job.
+
+Compares two bench_serve --json documents over the same replicated (k >= 2)
+dataset: a healthy baseline and a chaos run where one node's store died
+mid-sweep (--dead-node). Fails unless brick-granular failover delivered its
+designed behavior:
+
+  1. Every query completed, and per (pass, isovalue) the triangle and
+     active-metacell counts match the healthy run exactly — degraded mode
+     changes where bytes are read, never what is extracted. (The bench
+     itself asserts full bit-identity of the meshes; the gate re-checks the
+     summary counters end to end.)
+  2. The chaos run is flagged: at least one pass reports degraded=true and
+     hedged reads > 0, and the healthy run reports neither.
+  3. The dead node's lost traffic spreads: against the healthy baseline's
+     per-node served_read_ops, no single survivor absorbs more than
+     1/(n-1) + --epsilon of the total re-routed read_ops.
+  4. The degraded completion sum stays within --max-delta of healthy
+     (default 100% — hedges charge real retries and backoff; this bounds
+     the tail, it does not expect parity).
+
+Usage: check_degraded.py HEALTHY.json DEGRADED.json
+                         [--epsilon 0.25] [--max-delta 1.0]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path: str):
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if doc.get("bench") != "serve":
+        raise SystemExit(f"{path}: not a bench_serve document")
+    if not doc.get("passes"):
+        raise SystemExit(f"{path}: no passes in document")
+    return doc
+
+
+def per_node_served(doc) -> list:
+    nodes = int(doc["nodes"])
+    served = [0] * nodes
+    for bench_pass in doc["passes"]:
+        for node, ops in enumerate(bench_pass["served_read_ops"]):
+            served[node] += ops
+    return served
+
+
+def completion_sum(doc) -> float:
+    return sum(q["times"]["completion_s"]
+               for bench_pass in doc["passes"]
+               for q in bench_pass["queries"])
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("healthy", help="bench_serve --json, no dead node")
+    parser.add_argument("degraded", help="bench_serve --json with --dead-node")
+    parser.add_argument("--epsilon", type=float, default=0.25,
+                        help="slack over the ideal 1/(n-1) re-route share "
+                             "(default 0.25)")
+    parser.add_argument("--max-delta", type=float, default=1.0,
+                        help="largest allowed degraded completion regression "
+                             "(default 100%%)")
+    options = parser.parse_args()
+
+    healthy = load(options.healthy)
+    degraded = load(options.degraded)
+
+    failures = []
+    for doc, path in ((healthy, options.healthy), (degraded, options.degraded)):
+        if int(doc.get("replication", 1)) < 2:
+            failures.append(f"{path}: replication {doc.get('replication')} "
+                            f"< 2 — nothing to gate")
+    dead_node = int(degraded.get("dead_node", -1))
+    if int(healthy.get("dead_node", -1)) != -1:
+        failures.append(f"{options.healthy}: baseline has a dead node")
+    if dead_node < 0:
+        failures.append(f"{options.degraded}: no --dead-node recorded")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+
+    # 1. Completion + extraction equivalence per (pass, isovalue).
+    if len(healthy["passes"]) != len(degraded["passes"]):
+        raise SystemExit("pass count mismatch — compare like sweeps")
+    for index, (hp, dp) in enumerate(zip(healthy["passes"],
+                                         degraded["passes"])):
+        if len(hp["queries"]) != len(dp["queries"]):
+            raise SystemExit(f"pass {index}: query count mismatch")
+        for hq, dq in zip(hp["queries"], dp["queries"]):
+            if hq["isovalue"] != dq["isovalue"]:
+                raise SystemExit(f"pass {index}: isovalue mismatch "
+                                 f"{hq['isovalue']} vs {dq['isovalue']}")
+            for key in ("triangles", "active_metacells"):
+                if hq[key] != dq[key]:
+                    failures.append(
+                        f"pass {index} isovalue {hq['isovalue']}: {key} "
+                        f"{dq[key]} != healthy {hq[key]}")
+
+    # 2. Flags: chaos degraded + hedged, healthy clean.
+    degraded_flagged = any(p["degraded"] for p in degraded["passes"])
+    hedges = sum(q["hedges"] for p in degraded["passes"]
+                 for q in p["queries"])
+    healthy_hedges = sum(q["hedges"] for p in healthy["passes"]
+                         for q in p["queries"])
+    print(f"degraded run: dead node {dead_node}, {hedges} hedges, "
+          f"flagged={degraded_flagged}")
+    if not degraded_flagged:
+        failures.append("no pass in the chaos run reports degraded=true")
+    if hedges == 0:
+        failures.append("chaos run reports zero hedged reads — the dead "
+                        "node never died or routing never engaged")
+    if any(p["degraded"] for p in healthy["passes"]) or healthy_hedges != 0:
+        failures.append("healthy baseline reports degraded/hedged serving")
+
+    # 3. Re-route spread over the survivors.
+    served_healthy = per_node_served(healthy)
+    served_degraded = per_node_served(degraded)
+    if len(served_healthy) != len(served_degraded):
+        raise SystemExit("node count mismatch between documents")
+    survivors = [n for n in range(len(served_healthy)) if n != dead_node]
+    extra = {n: max(served_degraded[n] - served_healthy[n], 0)
+             for n in survivors}
+    rerouted = sum(extra.values())
+    print(f"served read_ops healthy:  {served_healthy}")
+    print(f"served read_ops degraded: {served_degraded}")
+    if rerouted > 0:
+        bound = 1.0 / len(survivors) + options.epsilon
+        for node in survivors:
+            share = extra[node] / rerouted
+            print(f"  survivor {node}: +{extra[node]} re-routed "
+                  f"({share:.1%} of {rerouted}, bound {bound:.1%})")
+            if share > bound:
+                failures.append(
+                    f"survivor {node} absorbed {share:.1%} of the re-routed "
+                    f"read_ops (> 1/(n-1)+eps = {bound:.1%})")
+    else:
+        print("  no net re-routed read_ops (death landed after the reads); "
+              "spread check skipped")
+
+    # 4. Bounded degraded tail.
+    healthy_sum = completion_sum(healthy)
+    degraded_sum = completion_sum(degraded)
+    delta = (degraded_sum - healthy_sum) / healthy_sum
+    print(f"completion sum: {healthy_sum:.4f}s -> {degraded_sum:.4f}s "
+          f"({delta:+.2%}, budget +{options.max_delta:.0%})")
+    if delta > options.max_delta:
+        failures.append(f"degraded completion regressed {delta:.2%} "
+                        f"(> {options.max_delta:.0%})")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

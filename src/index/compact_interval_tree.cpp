@@ -13,7 +13,12 @@ namespace {
 constexpr std::uint32_t kIndexMagic = 0x4F434954;  // "OCIT"
 // v2: BrickEntry gained crc_begin and the serialization carries the
 // per-chunk CRC32 array guarding the brick payload (see DESIGN.md §8).
-constexpr std::uint32_t kIndexVersion = 2;
+// v3: appends the replica-placement section (replication factor + per-group
+// replica table, DESIGN.md §13). An unreplicated tree still serializes as
+// v2 so k=1 index bytes stay bit-identical to pre-replication builds, and
+// from_bytes accepts both.
+constexpr std::uint32_t kIndexVersionV2 = 2;
+constexpr std::uint32_t kIndexVersionV3 = 3;
 
 /// Chunks a brick of `count` records splits into for checksumming.
 constexpr std::uint32_t chunk_count(std::uint32_t count,
@@ -22,6 +27,19 @@ constexpr std::uint32_t chunk_count(std::uint32_t count,
 }
 
 }  // namespace
+
+std::size_t ReplicaDirectory::group_of(std::uint64_t offset) const {
+  // Groups are disjoint and sorted by begin; find the last group starting
+  // at or before `offset` and check it actually covers the offset.
+  const auto it = std::upper_bound(
+      groups.begin(), groups.end(), offset,
+      [](std::uint64_t value, const ReplicaGroup& group) {
+        return value < group.begin;
+      });
+  if (it == groups.begin()) return groups.size();
+  const std::size_t index = static_cast<std::size_t>(it - groups.begin()) - 1;
+  return offset < groups[index].end ? index : groups.size();
+}
 
 // ---------------------------------------------------------------------------
 // Query planning
@@ -135,10 +153,13 @@ std::size_t CompactIntervalTree::height() const {
 // ---------------------------------------------------------------------------
 
 std::vector<std::byte> CompactIntervalTree::to_bytes() const {
+  // An unreplicated tree writes the v2 layout byte for byte; only a tree
+  // that actually carries replica tables needs (and pays for) v3.
+  const bool replicated = replication_ > 1;
   std::vector<std::byte> out;
   io::ByteWriter writer(out);
   writer.put(kIndexMagic);
-  writer.put(kIndexVersion);
+  writer.put(replicated ? kIndexVersionV3 : kIndexVersionV2);
   writer.put(static_cast<std::uint8_t>(kind_));
   writer.put(static_cast<std::uint32_t>(record_size_));
   writer.put(total_metacells_);
@@ -150,6 +171,19 @@ std::vector<std::byte> CompactIntervalTree::to_bytes() const {
   for (const CompactNode& node : nodes_) writer.put(node);
   for (const BrickEntry& brick : bricks_) writer.put(brick);
   for (const std::uint32_t crc : chunk_crcs_) writer.put(crc);
+  if (replicated) {
+    writer.put(static_cast<std::uint32_t>(replication_));
+    writer.put(static_cast<std::uint32_t>(replica_groups_.size()));
+    for (const ReplicaGroup& group : replica_groups_) {
+      writer.put(group.begin);
+      writer.put(group.end);
+      writer.put(static_cast<std::uint32_t>(group.targets.size()));
+      for (const ReplicaTarget& target : group.targets) {
+        writer.put(target.node);
+        writer.put(target.base);
+      }
+    }
+  }
   return out;
 }
 
@@ -159,7 +193,8 @@ CompactIntervalTree CompactIntervalTree::from_bytes(
   if (reader.get<std::uint32_t>() != kIndexMagic) {
     throw std::runtime_error("compact tree: bad magic");
   }
-  if (reader.get<std::uint32_t>() != kIndexVersion) {
+  const auto version = reader.get<std::uint32_t>();
+  if (version != kIndexVersionV2 && version != kIndexVersionV3) {
     throw std::runtime_error("compact tree: unsupported version");
   }
   CompactIntervalTree tree;
@@ -182,6 +217,38 @@ CompactIntervalTree CompactIntervalTree::from_bytes(
   tree.chunk_crcs_.reserve(crc_count);
   for (std::uint32_t i = 0; i < crc_count; ++i) {
     tree.chunk_crcs_.push_back(reader.get<std::uint32_t>());
+  }
+  if (version >= kIndexVersionV3) {
+    tree.replication_ = reader.get<std::uint32_t>();
+    if (tree.replication_ < 2) {
+      throw std::runtime_error("compact tree: v3 index with replication < 2");
+    }
+    const auto group_count = reader.get<std::uint32_t>();
+    tree.replica_groups_.reserve(group_count);
+    std::uint64_t previous_end = 0;
+    for (std::uint32_t g = 0; g < group_count; ++g) {
+      ReplicaGroup group;
+      group.begin = reader.get<std::uint64_t>();
+      group.end = reader.get<std::uint64_t>();
+      if (group.end <= group.begin || group.begin < previous_end) {
+        throw std::runtime_error(
+            "compact tree: replica groups not disjoint/ascending");
+      }
+      previous_end = group.end;
+      const auto target_count = reader.get<std::uint32_t>();
+      if (target_count + 1 != tree.replication_) {
+        throw std::runtime_error(
+            "compact tree: replica group target count mismatch");
+      }
+      group.targets.reserve(target_count);
+      for (std::uint32_t t = 0; t < target_count; ++t) {
+        ReplicaTarget target;
+        target.node = reader.get<std::uint32_t>();
+        target.base = reader.get<std::uint64_t>();
+        group.targets.push_back(target);
+      }
+      tree.replica_groups_.push_back(std::move(group));
+    }
   }
   // Checksum bookkeeping must be self-consistent or verification would
   // index out of bounds.
@@ -293,7 +360,8 @@ class ShapeBuilder {
 CompactTreeBuilder::Result CompactTreeBuilder::build(
     const std::vector<metacell::MetacellInfo>& infos,
     const metacell::MetacellSource& source,
-    std::span<io::BlockDevice* const> devices) {
+    std::span<io::BlockDevice* const> devices,
+    const placement::PlacementConfig& placement) {
   if (devices.empty()) {
     throw std::invalid_argument("CompactTreeBuilder: no devices");
   }
@@ -304,6 +372,11 @@ CompactTreeBuilder::Result CompactTreeBuilder::build(
   }
   const std::size_t p = devices.size();
   const std::size_t record_size = source.record_size();
+  // The caller parameterizes replication/grouping/seed; the node count is
+  // always the device list (validate catches replication > p).
+  placement::PlacementConfig placement_config = placement;
+  placement_config.node_count = p;
+  placement_config.validate();
 
   // Distinct endpoint values (the paper's n).
   std::vector<core::ValueKey> endpoints;
@@ -322,6 +395,7 @@ CompactTreeBuilder::Result CompactTreeBuilder::build(
     CompactIntervalTree& tree = result.trees[d];
     tree.kind_ = source.kind();
     tree.record_size_ = record_size;
+    tree.replication_ = placement_config.replication;
     // Checksum chunk = one device block's worth of records, which is also
     // the retrieval gallop's base read unit — every batch read covers whole
     // chunks, so each transfer is verified before any record is consumed.
@@ -420,6 +494,42 @@ CompactTreeBuilder::Result CompactTreeBuilder::build(
     for (std::size_t d = 0; d < p; ++d) {
       result.trees[d].nodes_[s].brick_end =
           static_cast<std::uint32_t>(result.trees[d].bricks_.size());
+    }
+  }
+
+  // Replication pass. Runs strictly after every primary byte is on its
+  // device, so primary offsets (and therefore every tree's bricks/CRCs and
+  // all k=1 behavior) are placement-independent. Each stripe's bricks are
+  // dense and offset-sorted (the write loop above appends them), so a group
+  // of consecutive entries is one contiguous byte range that can be read
+  // back and appended verbatim to its rendezvous-chosen holder devices.
+  if (placement_config.replication > 1 && record_size > 0) {
+    const placement::ReplicaMap map(placement_config);
+    const std::size_t group_bricks = placement_config.group_bricks;
+    for (std::size_t d = 0; d < p; ++d) {
+      CompactIntervalTree& tree = result.trees[d];
+      const std::vector<BrickEntry>& bricks = tree.bricks_;
+      std::vector<std::byte> buffer;
+      for (std::size_t first = 0; first < bricks.size();
+           first += group_bricks) {
+        const std::size_t last =
+            std::min(first + group_bricks, bricks.size()) - 1;
+        ReplicaGroup group;
+        group.begin = bricks[first].offset;
+        group.end = bricks[last].offset +
+                    static_cast<std::uint64_t>(bricks[last].count) *
+                        record_size;
+        buffer.resize(group.end - group.begin);
+        devices[d]->read(group.begin, buffer);
+        const std::size_t g = first / group_bricks;
+        for (const std::size_t node : map.replicas(d, g)) {
+          const std::uint64_t base = devices[node]->append(buffer);
+          group.targets.push_back(
+              ReplicaTarget{static_cast<std::uint32_t>(node), base});
+          result.replica_bytes_written += buffer.size();
+        }
+        tree.replica_groups_.push_back(std::move(group));
+      }
     }
   }
 

@@ -44,8 +44,48 @@
 #include "io/block_device.h"
 #include "metacell/metacell.h"
 #include "metacell/source.h"
+#include "placement/replica_map.h"
 
 namespace oociso::index {
+
+/// One replica copy of a placement group: node `node` holds the group's
+/// bytes verbatim starting at device offset `base`.
+struct ReplicaTarget {
+  std::uint32_t node = 0;
+  std::uint64_t base = 0;
+};
+
+/// One placement group of a stripe tree: the group covers the contiguous
+/// primary byte range [begin, end) on the stripe owner's device, and each
+/// target holds an identical copy (see CompactTreeBuilder's replication
+/// pass). Groups of a tree are disjoint and sorted by `begin`.
+struct ReplicaGroup {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  std::vector<ReplicaTarget> targets;  ///< replication - 1 entries
+
+  /// Maps a primary-device offset inside [begin, end) onto target `rank`'s
+  /// device. Pure arithmetic — replicas are verbatim byte copies.
+  [[nodiscard]] std::uint64_t translate(std::size_t rank,
+                                        std::uint64_t offset) const {
+    return targets[rank].base + (offset - begin);
+  }
+};
+
+/// Non-owning view of a tree's replica tables, handed to the scheduler and
+/// the retrieval stream. Inactive (replication <= 1 or no groups) means
+/// "primary only" — the pre-replication behavior, bit for bit.
+struct ReplicaDirectory {
+  std::size_t replication = 1;
+  std::span<const ReplicaGroup> groups{};
+
+  [[nodiscard]] bool active() const {
+    return replication > 1 && !groups.empty();
+  }
+  /// Index of the group containing primary offset `offset`, or
+  /// `groups.size()` when no group covers it.
+  [[nodiscard]] std::size_t group_of(std::uint64_t offset) const;
+};
 
 /// One index-list entry: a non-empty brick of metacells sharing a vmax.
 struct BrickEntry {
@@ -158,6 +198,17 @@ class CompactIntervalTree {
     return chunk_crcs_;
   }
 
+  /// Copies per placement group, including the primary (1 = unreplicated).
+  [[nodiscard]] std::size_t replication() const { return replication_; }
+  /// Per-group replica table, sorted by primary begin offset; empty when
+  /// replication() == 1.
+  [[nodiscard]] const std::vector<ReplicaGroup>& replica_groups() const {
+    return replica_groups_;
+  }
+  [[nodiscard]] ReplicaDirectory replica_directory() const {
+    return ReplicaDirectory{replication_, replica_groups_};
+  }
+
   /// Number of index entries (the paper's O(n log n) size measure).
   [[nodiscard]] std::size_t entry_count() const { return bricks_.size(); }
 
@@ -183,11 +234,13 @@ class CompactIntervalTree {
   std::vector<CompactNode> nodes_;
   std::vector<BrickEntry> bricks_;
   std::vector<std::uint32_t> chunk_crcs_;  ///< per-brick-chunk checksums
+  std::vector<ReplicaGroup> replica_groups_;
   std::int32_t root_ = -1;
   core::ScalarKind kind_ = core::ScalarKind::kU8;
   std::size_t record_size_ = 0;
   std::uint64_t total_metacells_ = 0;
   std::uint32_t crc_chunk_records_ = 0;
+  std::size_t replication_ = 1;
 };
 
 /// Builds compact interval trees and writes the brick layout.
@@ -201,16 +254,28 @@ class CompactTreeBuilder {
     std::vector<CompactIntervalTree> trees;  ///< one per device
     std::uint64_t bricks_written = 0;        ///< global (non-striped) bricks
     std::uint64_t metacells_written = 0;
-    std::uint64_t bytes_written = 0;         ///< across all devices
+    std::uint64_t bytes_written = 0;         ///< primary copies, all devices
+    std::uint64_t replica_bytes_written = 0; ///< replication pass (k > 1)
   };
 
   /// `infos` are the (already culled) metacells with their intervals;
   /// `source` serializes records; `devices` are the p local disks (all
   /// non-null). Records are appended to each device starting at its current
   /// end. Throws std::invalid_argument on empty device list.
+  ///
+  /// `placement` controls k-way replication: with replication > 1 a second
+  /// pass groups each stripe's bricks into placement groups of
+  /// `placement.group_bricks` consecutive entries and appends a verbatim
+  /// copy of every group to its replication-1 rendezvous-chosen holder
+  /// devices (placement.node_count is overridden with devices.size()).
+  /// The primary layout — every device's pass-1 bytes, every tree's nodes,
+  /// bricks, and checksums — is byte-identical at any replication factor:
+  /// replicas are appended strictly after all primary data, so replication
+  /// can never perturb an unreplicated workload.
   static Result build(const std::vector<metacell::MetacellInfo>& infos,
                       const metacell::MetacellSource& source,
-                      std::span<io::BlockDevice* const> devices);
+                      std::span<io::BlockDevice* const> devices,
+                      const placement::PlacementConfig& placement = {});
 };
 
 }  // namespace oociso::index

@@ -228,7 +228,14 @@ ScheduledPlan schedule_plan(const QueryPlan& plan,
     emit_prefixes_before(scan.offset);
     if (!run.empty()) {
       bool joined = false;
-      if (scan.offset >= run_end) {
+      // Replicated layouts route whole reads to alternate holders, so a
+      // run must never straddle a placement-group boundary: the bytes on
+      // either side may live on different replica sets.
+      const bool same_group =
+          !directory.replicas.active() ||
+          directory.replicas.group_of(run_end - 1) ==
+              directory.replicas.group_of(scan.offset);
+      if (same_group && scan.offset >= run_end) {
         const std::uint64_t gap = scan.offset - run_end;
         if (gap == 0) {
           joined = true;

@@ -48,6 +48,12 @@ namespace oociso::index {
 struct BrickDirectory {
   std::span<const BrickEntry> bricks{};
   std::span<const std::uint32_t> chunk_crcs{};
+  /// Replica placement view of the owning tree. When active, the scheduler
+  /// never coalesces across a placement-group boundary — every emitted read
+  /// then lies inside one group and can be served whole by any of that
+  /// group's holders (see RetrievalStream routing). Inactive (the default)
+  /// leaves schedules bit-identical to the unreplicated layout.
+  ReplicaDirectory replicas{};
 };
 
 struct ScheduleParams {

@@ -37,13 +37,24 @@ RetrievalStream::RetrievalStream(QueryPlan plan, core::ScalarKind kind,
                                  io::BlockDevice& device,
                                  RetrievalOptions options,
                                  BrickDirectory directory,
-                                 io::SharedBufferPool* cache)
+                                 io::SharedBufferPool* cache,
+                                 ReplicaRouting routing)
     : plan_(std::move(plan)),
       kind_(kind),
       record_size_(record_size),
       device_(device),
       options_(options),
-      cache_(cache) {
+      cache_(cache),
+      routing_(std::move(routing)),
+      replicas_(directory.replicas) {
+  routing_active_ = replicas_.active() && !routing_.targets.empty();
+  if (routing_active_) {
+    routed_.resize(routing_.targets.size());
+    // Routing picks a (possibly different) serving device per read; the
+    // async dispatcher queues against a single device, so routed streams
+    // always run the synchronous path (see DESIGN §13).
+    options_.queue_depth = 0;
+  }
   stats_.nodes_visited = plan_.nodes_visited;
   if (record_size_ == 0) {
     if (!plan_.scans.empty()) {
@@ -163,31 +174,45 @@ void RetrievalStream::verify_slice(const ReadSlice& slice,
 }
 
 template <typename VerifyFn>
-void RetrievalStream::read_with_retry(std::uint64_t offset, RecordBatch& batch,
-                                      VerifyFn&& verify) {
-  // Bounded retry: a retriable fault (transient device error or a chunk
-  // checksum mismatch) repeats the read after modeled backoff; anything
-  // else — or an exhausted budget — propagates to the consumer.
+void RetrievalStream::read_with_retry(io::BlockDevice& device,
+                                      io::SharedBufferPool* cache,
+                                      std::uint64_t offset, std::uint64_t salt,
+                                      RecordBatch& batch, int& total_failures,
+                                      int attempt_budget, VerifyFn&& verify) {
+  // Bounded retry against ONE holder: a retriable fault (transient device
+  // error or a chunk checksum mismatch) repeats the read after modeled
+  // backoff; anything else — or an exhausted per-holder budget — propagates
+  // to the caller (routed_read rotates to the next replica; unrouted
+  // streams surface the error to the consumer). Wall time and cache stats
+  // are accumulated per call so a rotation never double-counts.
   obs::Span span(options_.tracer, "io.read", options_.trace_pid,
                  options_.trace_tid);
   span.arg("offset", offset);
   span.arg("bytes", static_cast<std::uint64_t>(batch.data.size()));
   int failures = 0;
+  double call_seconds = 0.0;
+  io::CacheReadStats call_cache;
+  const auto finish = [&] {
+    batch.io_seconds += call_seconds;
+    io_wall_seconds_ += call_seconds;
+    batch.cache.merge(call_cache);
+    cache_stats_.merge(call_cache);
+  };
   for (;;) {
     const util::WallTimer read_timer;
     try {
-      if (cache_ != nullptr) {
+      if (cache != nullptr) {
         // The wall window includes time blocked on another stream's
         // in-flight read of the same blocks — honest I/O wait either way.
-        cache_->read(offset, batch.data, batch.cache);
+        cache->read(offset, batch.data, call_cache);
       } else {
-        device_.read(offset, batch.data);
+        device.read(offset, batch.data);
       }
       verify(std::span<const std::byte>(batch.data));
-      batch.io_seconds += read_timer.seconds();
+      call_seconds += read_timer.seconds();
       break;
     } catch (const io::IoError& error) {
-      batch.io_seconds += read_timer.seconds();
+      call_seconds += read_timer.seconds();
       if (error.kind() == io::IoError::Kind::kCorruption) {
         ++faults_.checksum_failures;
         if (options_.metrics != nullptr) {
@@ -201,7 +226,7 @@ void RetrievalStream::read_with_retry(std::uint64_t offset, RecordBatch& batch,
         // The corrupted transfer may now be resident in the shared cache;
         // drop the covered frames so the retry re-reads the device instead
         // of being served the same bad bytes until the budget runs out.
-        if (cache_ != nullptr) cache_->invalidate(offset, batch.data.size());
+        if (cache != nullptr) cache->invalidate(offset, batch.data.size());
       } else {
         ++faults_.transient_errors;
         if (options_.metrics != nullptr) {
@@ -214,9 +239,9 @@ void RetrievalStream::read_with_retry(std::uint64_t offset, RecordBatch& batch,
         }
       }
       ++failures;
-      if (!error.retriable() || failures >= options_.retry.max_attempts) {
-        io_wall_seconds_ += batch.io_seconds;
-        cache_stats_.merge(batch.cache);
+      ++total_failures;
+      if (!error.retriable() || failures >= attempt_budget) {
+        finish();
         span.arg("failed", std::string_view("true"));
         throw;
       }
@@ -224,13 +249,162 @@ void RetrievalStream::read_with_retry(std::uint64_t offset, RecordBatch& batch,
       if (options_.metrics != nullptr) {
         options_.metrics->counter("retrieval.retries").add();
       }
+      // The ladder index is the cross-holder failure count, so a hedged
+      // read keeps climbing instead of restarting at the cheap rungs.
       faults_.backoff_modeled_seconds +=
-          options_.retry.backoff_seconds(failures - 1);
+          options_.retry.backoff_seconds(total_failures - 1, salt);
     }
   }
   if (failures > 0) span.arg("retries", static_cast<std::uint64_t>(failures));
-  io_wall_seconds_ += batch.io_seconds;
-  cache_stats_.merge(batch.cache);
+  finish();
+}
+
+template <typename VerifyFn>
+void RetrievalStream::routed_read(std::uint64_t offset, RecordBatch& batch,
+                                  VerifyFn&& verify) {
+  if (!routing_active_) {
+    // Pre-replication behavior, bit for bit: one holder, full budget,
+    // device-stats attribution by snapshot (the device is private to this
+    // stream on the raw path; the cache path attributes through the
+    // per-call CacheReadStats instead).
+    const io::IoStats io_before =
+        cache_ != nullptr ? io::IoStats{} : device_.stats();
+    int total_failures = 0;
+    read_with_retry(device_, cache_, offset, offset, batch, total_failures,
+                    options_.retry.max_attempts,
+                    std::forward<VerifyFn>(verify));
+    batch.io = cache_ != nullptr ? batch.cache.device_io
+                                 : device_.stats().since(io_before);
+    return;
+  }
+
+  // Candidate holders of this read's placement group, primary first. The
+  // scheduler confined every read to one group, so each candidate holds
+  // all of the read's bytes (at a translated offset for replicas).
+  struct Candidate {
+    std::size_t node = 0;
+    io::BlockDevice* device = nullptr;
+    io::SharedBufferPool* cache = nullptr;
+    std::uint64_t offset = 0;
+  };
+  std::vector<Candidate> candidates;
+  candidates.push_back(Candidate{routing_.primary, &device_, cache_, offset});
+  const std::size_t g = replicas_.group_of(offset);
+  if (g < replicas_.groups.size()) {
+    const ReplicaGroup& group = replicas_.groups[g];
+    for (std::size_t rank = 0; rank < group.targets.size(); ++rank) {
+      const std::size_t node = group.targets[rank].node;
+      if (node >= routing_.targets.size()) continue;
+      const ReplicaRouting::Target& target = routing_.targets[node];
+      if (target.device == nullptr && target.cache == nullptr) continue;
+      candidates.push_back(Candidate{node, target.device, target.cache,
+                                     group.translate(rank, offset)});
+    }
+  }
+
+  // Health gate: skip holders the tracker has tripped (each consultation
+  // may grant a recovery probe). If every candidate is denied, fall back to
+  // the full list — better a probe of a sick node than a guaranteed error.
+  std::vector<std::size_t> admitted;
+  if (routing_.health != nullptr) {
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (routing_.health->admit(candidates[i].node)) admitted.push_back(i);
+    }
+  }
+  if (admitted.empty()) {
+    admitted.resize(candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i) admitted[i] = i;
+  }
+
+  // Least-loaded live holder by bytes this stream has routed to each node;
+  // ties go to candidate order (primary first), so a single-stream healthy
+  // run alternates deterministically and a dead node's load spreads evenly
+  // across the surviving holders.
+  std::size_t chosen = admitted.front();
+  for (const std::size_t i : admitted) {
+    if (routed_[candidates[i].node].bytes <
+        routed_[candidates[chosen].node].bytes) {
+      chosen = i;
+    }
+  }
+
+  // Rotation order: the chosen holder, then the remaining candidates in
+  // candidate order. A holder that exhausts its per-holder budget charges a
+  // hedge and the read moves on; only when every holder is exhausted does
+  // the error reach the consumer (and the engine's whole-stripe failover).
+  std::vector<std::size_t> rotation{chosen};
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (i != chosen) rotation.push_back(i);
+  }
+  const int budget =
+      options_.hedge_attempts > 0
+          ? std::min(options_.hedge_attempts, options_.retry.max_attempts)
+          : options_.retry.max_attempts;
+
+  int total_failures = 0;
+  for (std::size_t attempt = 0; attempt < rotation.size(); ++attempt) {
+    const Candidate& holder = candidates[rotation[attempt]];
+    const io::IoStats io_before =
+        holder.cache != nullptr ? io::IoStats{} : holder.device->stats();
+    const io::IoStats cache_io_before = batch.cache.device_io;
+    try {
+      read_with_retry(*holder.device, holder.cache, holder.offset, offset,
+                      batch, total_failures, budget, verify);
+    } catch (const io::IoError&) {
+      // This holder is out; charge it, tell the tracker, and hedge to the
+      // next one — unless this was the last, in which case the error
+      // propagates with all the accounting already merged.
+      const io::IoStats holder_io =
+          holder.cache != nullptr
+              ? batch.cache.device_io.since(cache_io_before)
+              : holder.device->stats().since(io_before);
+      routed_[holder.node].io += holder_io;
+      ++routed_[holder.node].failures;
+      if (routing_.health != nullptr) {
+        routing_.health->report_failure(holder.node);
+      }
+      if (attempt + 1 >= rotation.size()) throw;
+      ++faults_.hedged_reads;
+      if (options_.metrics != nullptr) {
+        options_.metrics->counter("faults.hedges").add();
+      }
+      if (options_.tracer != nullptr) {
+        options_.tracer->instant(
+            "io.hedge", options_.trace_pid, options_.trace_tid,
+            obs::ArgsBuilder()
+                .add("offset", offset)
+                .add("from_node", static_cast<std::uint64_t>(holder.node))
+                .add("to_node",
+                     static_cast<std::uint64_t>(
+                         candidates[rotation[attempt + 1]].node))
+                .str());
+      }
+      continue;
+    }
+    // Served. Attribute the I/O to the holder and report health.
+    const io::IoStats holder_io =
+        holder.cache != nullptr ? batch.cache.device_io.since(cache_io_before)
+                                : holder.device->stats().since(io_before);
+    batch.io += holder_io;
+    routed_[holder.node].io += holder_io;
+    ++routed_[holder.node].reads;
+    routed_[holder.node].bytes += batch.data.size();
+    if (routing_.health != nullptr) {
+      routing_.health->report_success(holder.node);
+    }
+    if (holder.node != routing_.primary) {
+      ++faults_.rerouted_reads;
+      if (options_.tracer != nullptr) {
+        options_.tracer->instant(
+            "io.replica_route", options_.trace_pid, options_.trace_tid,
+            obs::ArgsBuilder()
+                .add("offset", offset)
+                .add("node", static_cast<std::uint64_t>(holder.node))
+                .str());
+      }
+    }
+    return;
+  }
 }
 
 RecordBatch RetrievalStream::execute_read(const ScheduledRead& read) {
@@ -238,11 +412,7 @@ RecordBatch RetrievalStream::execute_read(const ScheduledRead& read) {
   batch.record_size = record_size_;
   batch.data.resize(static_cast<std::size_t>(read.record_count) * record_size_);
 
-  // A shared device's IoStats cannot be snapshotted per stream; the cache
-  // path attributes physical I/O through the per-call CacheReadStats.
-  const io::IoStats io_before =
-      cache_ != nullptr ? io::IoStats{} : device_.stats();
-  read_with_retry(read.offset, batch, [&](std::span<const std::byte> data) {
+  routed_read(read.offset, batch, [&](std::span<const std::byte> data) {
     // Verify every slice — bridged gap bricks included — before any record
     // of the transfer is consumed, so a corrupted read never splits into a
     // half-accepted batch.
@@ -255,8 +425,6 @@ RecordBatch RetrievalStream::execute_read(const ScheduledRead& read) {
       pos += static_cast<std::size_t>(slice.record_count) * record_size_;
     }
   });
-  batch.io = cache_ != nullptr ? batch.cache.device_io
-                               : device_.stats().since(io_before);
 
   // Compact the planned scans' records to the front; gap bytes were only
   // read to keep the head moving and are dropped without entering any
@@ -291,14 +459,10 @@ std::optional<RecordBatch> RetrievalStream::gallop_prefix(
   slice.brick_records = scan.metacell_count;
   slice.chunk_crcs = scan.chunk_crcs;
 
-  const io::IoStats io_before =
-      cache_ != nullptr ? io::IoStats{} : device_.stats();
-  read_with_retry(scan.offset + scan_done_ * record_size_, batch,
-                  [&](std::span<const std::byte> data) {
-                    verify_slice(slice, scan.offset, data, 0);
-                  });
-  batch.io = cache_ != nullptr ? batch.cache.device_io
-                               : device_.stats().since(io_before);
+  routed_read(scan.offset + scan_done_ * record_size_, batch,
+              [&](std::span<const std::byte> data) {
+                verify_slice(slice, scan.offset, data, 0);
+              });
 
   std::size_t active = 0;
   for (std::size_t r = 0; r < want; ++r) {

@@ -49,6 +49,7 @@
 #include "io/shared_buffer_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "placement/health.h"
 
 namespace oociso::index {
 
@@ -82,6 +83,14 @@ struct RetrievalFaults {
   std::uint64_t transient_errors = 0;   ///< retriable device read failures seen
   std::uint64_t checksum_failures = 0;  ///< chunk CRC mismatches detected
   std::uint64_t retries = 0;            ///< read attempts repeated after a fault
+  /// Failure-driven replica rotations: a read exhausted its per-holder
+  /// budget and was re-issued against the next replica of its placement
+  /// group (the brick-granular failover / hedge event). A query with
+  /// hedged_reads > 0 ran degraded.
+  std::uint64_t hedged_reads = 0;
+  /// Reads served by a non-primary holder for any reason — load-balance
+  /// routing included — so replica traffic is visible even when healthy.
+  std::uint64_t rerouted_reads = 0;
   /// Modeled (not slept) exponential-backoff seconds accumulated across
   /// retries; charged to the time model, never to measured wall time.
   double backoff_modeled_seconds = 0.0;
@@ -90,8 +99,39 @@ struct RetrievalFaults {
     transient_errors += other.transient_errors;
     checksum_failures += other.checksum_failures;
     retries += other.retries;
+    hedged_reads += other.hedged_reads;
+    rerouted_reads += other.rerouted_reads;
     backoff_modeled_seconds += other.backoff_modeled_seconds;
   }
+};
+
+/// Replica routing for one stream: how to reach every node's brick store.
+/// Empty targets (the default) disables routing — the stream reads its
+/// primary device/cache exactly as before replication existed. When set,
+/// `targets[i]` serves node i's store: a per-stream private device handle
+/// (raw path — the stream owns its accounting, see BlockDevice::read_raw)
+/// and/or the node's shared pool (serve path). targets[primary] must be the
+/// stream's own device/cache pair. A node whose target has neither device
+/// nor cache is unreachable from this program and is never routed to.
+struct ReplicaRouting {
+  struct Target {
+    io::BlockDevice* device = nullptr;
+    io::SharedBufferPool* cache = nullptr;
+  };
+  std::vector<Target> targets;
+  std::size_t primary = 0;
+  /// Shared health tracker (optional): tripped nodes are skipped up front
+  /// and failures/successes are reported back, so one query's dead node is
+  /// the next query's avoided node.
+  placement::NodeHealthTracker* health = nullptr;
+};
+
+/// Per-node serving counters of one routed stream (index = node id).
+struct RouteCounters {
+  io::IoStats io;              ///< device I/O this node served for the stream
+  std::uint64_t reads = 0;     ///< scheduled reads served by this node
+  std::uint64_t bytes = 0;     ///< payload bytes served (load-balance key)
+  std::uint64_t failures = 0;  ///< exhausted-holder events charged here
 };
 
 struct RetrievalOptions {
@@ -126,6 +166,11 @@ struct RetrievalOptions {
   /// Modeled host turnaround per dry submission (async path only); see
   /// io::AsyncIoConfig::submit_overhead_seconds.
   double submit_overhead_seconds = 0.0005;
+  /// Attempts against one replica holder before the read rotates to the
+  /// next one (replica routing only). 0 means the full retry budget
+  /// (retry.max_attempts) per holder; a smaller value hedges earlier. The
+  /// global backoff ladder keeps climbing across holders either way.
+  int hedge_attempts = 0;
   /// Observability (both optional, null = off). `tracer` gets a
   /// "schedule_plan" span at construction, an "io.read" span per batch
   /// (covering the whole retry loop), and instant events for transient /
@@ -155,11 +200,21 @@ class RetrievalStream {
   /// device. `device` is then only consulted for its geometry (block size,
   /// readahead window) and must be the pool's underlying device (or share
   /// its geometry).
+  /// `routing`, when its targets are non-empty AND the directory carries an
+  /// active replica placement, turns on per-read replica routing: every
+  /// scheduled read (which the scheduler confined to one placement group)
+  /// is served by the least-loaded live holder of its group, with
+  /// brick-granular failover to the next holder when a read exhausts its
+  /// per-holder budget. Routing never changes item order or payload bytes —
+  /// only which device serves them — so records and meshes are identical to
+  /// the healthy primary-only run under any failure pattern. Routing forces
+  /// the synchronous path (queue_depth is ignored).
   RetrievalStream(QueryPlan plan, core::ScalarKind kind,
                   std::size_t record_size, io::BlockDevice& device,
                   RetrievalOptions options = {},
                   BrickDirectory directory = {},
-                  io::SharedBufferPool* cache = nullptr);
+                  io::SharedBufferPool* cache = nullptr,
+                  ReplicaRouting routing = {});
 
   /// Produces the next batch, or std::nullopt once the plan is exhausted.
   /// Batches arrive in plan order at every queue depth. Synchronously
@@ -210,6 +265,16 @@ class RetrievalStream {
     return async_ != nullptr ? &async_->stats() : nullptr;
   }
 
+  /// True when this stream routes reads across replica holders.
+  [[nodiscard]] bool routing_active() const { return routing_active_; }
+
+  /// Per-node serving counters (empty unless routing is active). The sum of
+  /// entries' `io` is the stream's total device I/O; NodeReport aggregation
+  /// uses this instead of a single device's stats when routed.
+  [[nodiscard]] const std::vector<RouteCounters>& routed() const {
+    return routed_;
+  }
+
  private:
   /// Performs one pre-packed sequential read: reads, verifies every slice,
   /// then compacts the planned scans' records to the front of the batch
@@ -220,11 +285,26 @@ class RetrievalStream {
   /// batch, or nullopt when the scan is complete (advance to next item).
   [[nodiscard]] std::optional<RecordBatch> gallop_prefix(const BrickScan& scan);
 
-  /// Reads into `data` with bounded retry and wall-clock accounting;
-  /// `verify` is invoked inside the retry loop after each read attempt.
+  /// Reads into `batch.data` from one holder with bounded retry and
+  /// wall-clock accounting; `verify` runs inside the retry loop after each
+  /// attempt. `total_failures` carries the cross-holder backoff ladder;
+  /// `attempt_budget` bounds attempts against this holder; `salt` feeds the
+  /// deterministic backoff jitter. Throws the last error once the budget is
+  /// exhausted (or immediately for non-retriable faults).
   template <typename VerifyFn>
-  void read_with_retry(std::uint64_t offset, RecordBatch& batch,
-                       VerifyFn&& verify);
+  void read_with_retry(io::BlockDevice& device, io::SharedBufferPool* cache,
+                       std::uint64_t offset, std::uint64_t salt,
+                       RecordBatch& batch, int& total_failures,
+                       int attempt_budget, VerifyFn&& verify);
+
+  /// Serves one scheduled read at primary-device `offset`: without routing,
+  /// exactly the legacy single-device retry loop (including batch.io
+  /// attribution); with routing, selects the least-loaded live holder of
+  /// the offset's placement group and rotates to the next holder whenever
+  /// one exhausts its budget (a hedge). Fills batch.io/batch.cache.
+  template <typename VerifyFn>
+  void routed_read(std::uint64_t offset, RecordBatch& batch,
+                   VerifyFn&& verify);
 
   /// Verifies the checksummed chunks of one slice of `data` starting at
   /// byte `data_offset`; throws a retriable io::IoError(kCorruption) on the
@@ -280,6 +360,10 @@ class RetrievalStream {
   io::BlockDevice& device_;
   RetrievalOptions options_;
   io::SharedBufferPool* cache_;
+  ReplicaRouting routing_;
+  ReplicaDirectory replicas_;  ///< views the owning tree's replica tables
+  bool routing_active_ = false;
+  std::vector<RouteCounters> routed_;  ///< per node; empty unless routed
   ScheduledPlan schedule_;
 
   // Read-size parameters (see the constructor): sequential reads are packed

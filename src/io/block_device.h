@@ -58,6 +58,16 @@ class BlockDevice {
             .count());
   }
 
+  /// Reads without touching this device's IoStats / obs accounting or head
+  /// position. For cross-node replica views: account() mutates shared state
+  /// and is NOT thread-safe, but the storage backends' do_read is (pread on
+  /// files, memcpy on memory), so a per-program view can serve concurrent
+  /// readers of one store as long as each view keeps its *own* accounting
+  /// and leaves the store's untouched.
+  void read_raw(std::uint64_t offset, std::span<std::byte> out) {
+    do_read(offset, out);
+  }
+
   /// Writes the bytes at `offset`, growing the device if needed.
   void write(std::uint64_t offset, std::span<const std::byte> data) {
     account(offset, data.size(), /*is_write=*/true);

@@ -70,6 +70,12 @@ FaultConfig FaultConfig::parse(std::string_view spec) {
 
 bool FaultInjectingBlockDevice::read_fails(const FaultConfig& config,
                                            std::uint64_t k) {
+  if (config.die_after_reads >= 0 &&
+      k >= static_cast<std::uint64_t>(config.die_after_reads)) {
+    // The device died mid-run: every read at or past the threshold fails,
+    // permanently — retries burn their budget and the caller must fail over.
+    return true;
+  }
   return config.fail_all_reads || listed(config.fail_reads, k) ||
          decide(config.seed, k, kChannelReadFail, config.read_failure_rate);
 }

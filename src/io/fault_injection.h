@@ -43,6 +43,12 @@ struct FaultConfig {
   /// Every read fails (a dead disk / dead node program). Used by the query
   /// engine's `dead_nodes` to force retry exhaustion and failover.
   bool fail_all_reads = false;
+  /// Healthy until `die_after_reads` reads have been served, then every
+  /// further read fails permanently (a device that dies mid-query, not from
+  /// the start). -1 disables. The threshold counts read *ordinals* on this
+  /// device, so with a cluster-level injector under a shared cache it is a
+  /// global per-store death point across all concurrent queries.
+  std::int64_t die_after_reads = -1;
   /// Read ordinals (0-based, per device) that fail / arrive corrupted in
   /// addition to the rate-driven schedule — exact placement for tests.
   std::vector<std::uint64_t> fail_reads;

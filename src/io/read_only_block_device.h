@@ -12,17 +12,29 @@ namespace oociso::io {
 
 class ReadOnlyBlockDevice final : public BlockDevice {
  public:
-  /// `inner` must outlive the wrapper.
-  explicit ReadOnlyBlockDevice(BlockDevice& inner)
+  /// `inner` must outlive the wrapper. With `account_inner` (the default)
+  /// every read is forwarded through the inner device's public read(), so
+  /// the store's own IoStats see the traffic — single-threaded takeover
+  /// keeps today's accounting. Passing false forwards through read_raw()
+  /// instead: the store's accounting (which is not thread-safe) is left
+  /// untouched and only this view's IoStats accumulate, which is what
+  /// replica routing needs when several node programs read one store
+  /// concurrently through private views.
+  explicit ReadOnlyBlockDevice(BlockDevice& inner, bool account_inner = true)
       : BlockDevice(inner.block_size(), inner.readahead_blocks()),
-        inner_(inner) {}
+        inner_(inner),
+        account_inner_(account_inner) {}
 
   [[nodiscard]] std::uint64_t size() const override { return inner_.size(); }
   void flush() override {}
 
  protected:
   void do_read(std::uint64_t offset, std::span<std::byte> out) override {
-    inner_.read(offset, out);
+    if (account_inner_) {
+      inner_.read(offset, out);
+    } else {
+      inner_.read_raw(offset, out);
+    }
   }
   void do_write(std::uint64_t, std::span<const std::byte>) override {
     throw std::logic_error("ReadOnlyBlockDevice: write refused");
@@ -30,6 +42,7 @@ class ReadOnlyBlockDevice final : public BlockDevice {
 
  private:
   BlockDevice& inner_;
+  bool account_inner_;
 };
 
 }  // namespace oociso::io

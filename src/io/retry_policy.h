@@ -10,6 +10,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+
+#include "util/rng.h"
 
 namespace oociso::io {
 
@@ -28,6 +31,15 @@ struct RetryPolicy {
   /// every charge of the default policy unchanged (1/2/4 ms all sit far
   /// below the cap).
   double backoff_max_seconds = 0.1;
+  /// Jitter fraction in [0, 1): each backoff charge is scaled by a
+  /// deterministic factor in [1 - jitter, 1 + jitter) so concurrent queries
+  /// retrying against the same sick device don't synchronize their retry
+  /// storms. 0 (the default) reproduces the un-jittered ladder bit for bit.
+  double jitter = 0.0;
+  /// Seed for the jitter draws. The draw is a closed-form hash of
+  /// (jitter_seed, salt, retry_index) — no hidden RNG state, so the same
+  /// policy applied to the same operation always charges the same backoff.
+  std::uint64_t jitter_seed = 0;
 
   /// Modeled backoff before retry number `retry_index` (0-based: the wait
   /// between the first failure and the second attempt is index 0).
@@ -41,6 +53,25 @@ struct RetryPolicy {
         start * std::pow(std::max(backoff_multiplier, 0.0),
                          static_cast<double>(retry_index));
     return std::min(backoff, cap);
+  }
+
+  /// Jittered backoff for the retry ladder of one operation, identified by
+  /// `salt` (callers pass the operation's device offset, so two queries
+  /// retrying different reads desynchronize while a replayed run charges
+  /// identical values). With jitter == 0 this is exactly backoff_seconds().
+  [[nodiscard]] double backoff_seconds(int retry_index,
+                                       std::uint64_t salt) const {
+    const double base = backoff_seconds(retry_index);
+    if (jitter <= 0.0) return base;
+    std::uint64_t state =
+        jitter_seed ^ (salt * 0x9E3779B97F4A7C15ULL) ^
+        (static_cast<std::uint64_t>(std::max(retry_index, 0)) + 1);
+    const double unit =
+        static_cast<double>(util::splitmix64(state) >> 11) * 0x1.0p-53;
+    const double fraction = std::min(jitter, 1.0);
+    // Scale into [1 - jitter, 1 + jitter); the cap still bounds the charge.
+    const double scaled = base * (1.0 - fraction + 2.0 * fraction * unit);
+    return std::min(scaled, std::max(backoff_max_seconds, 0.0));
   }
 };
 

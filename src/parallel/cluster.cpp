@@ -1,119 +1,39 @@
 #include "parallel/cluster.h"
 
-#include <stdexcept>
-
-#include "io/file_block_device.h"
-#include "io/memory_block_device.h"
-#include "io/read_only_block_device.h"
-
 namespace oociso::parallel {
+namespace {
+
+TransportConfig transport_config(const ClusterConfig& config) {
+  TransportConfig t;
+  t.node_count = config.node_count;
+  t.block_size = config.disk.block_size;
+  t.in_memory = config.in_memory;
+  t.open_existing = config.open_existing;
+  t.storage_dir = config.storage_dir;
+  return t;
+}
+
+}  // namespace
 
 Cluster::Cluster(ClusterConfig config)
-    : config_(std::move(config)), pool_(config_.node_count) {
-  if (config_.node_count == 0) {
-    throw std::invalid_argument("Cluster: need at least one node");
-  }
-  disks_.reserve(config_.node_count);
-  for (std::size_t i = 0; i < config_.node_count; ++i) {
-    if (config_.in_memory) {
-      disks_.push_back(
-          std::make_unique<io::MemoryBlockDevice>(config_.disk.block_size));
-    } else {
-      if (config_.storage_dir.empty()) {
-        throw std::invalid_argument("Cluster: storage_dir required");
-      }
-      const auto node_dir = config_.storage_dir / ("node" + std::to_string(i));
-      std::filesystem::create_directories(node_dir);
-      const auto brick_path = node_dir / "bricks.dat";
-      if (config_.open_existing && !std::filesystem::exists(brick_path)) {
-        // Don't let the raw ENOENT from ::open surface — name the node and
-        // the path so a half-copied bundle is diagnosable.
-        throw std::runtime_error(
-            "Cluster: open_existing requested but node " + std::to_string(i) +
-            " has no brick store at " + brick_path.string());
-      }
-      const auto mode = config_.open_existing
-                            ? io::FileBlockDevice::Mode::kReadWrite
-                            : io::FileBlockDevice::Mode::kCreate;
-      disks_.push_back(std::make_unique<io::FileBlockDevice>(
-          brick_path, mode, config_.disk.block_size));
-    }
-  }
-}
-
-std::vector<io::BlockDevice*> Cluster::disk_pointers() {
-  std::vector<io::BlockDevice*> pointers;
-  pointers.reserve(disks_.size());
-  for (auto& disk : disks_) pointers.push_back(disk.get());
-  return pointers;
-}
-
-void Cluster::run(const std::function<void(std::size_t)>& node_program) {
-  parallel_for(pool_, disks_.size(), node_program);
-}
-
-std::vector<std::exception_ptr> Cluster::run_collect(
-    const std::function<void(std::size_t)>& node_program) {
-  return parallel_for_collect(pool_, disks_.size(), node_program);
-}
+    : config_(std::move(config)),
+      transport_(transport_config(config_)),
+      executor_(config_.node_count) {}
 
 void Cluster::enable_shared_cache(
-    std::size_t capacity_blocks,
-    const std::optional<io::FaultConfig>& inject) {
-  if (!caches_.empty()) {
-    throw std::logic_error("Cluster: shared cache already enabled");
-  }
-  caches_.reserve(disks_.size());
-  if (inject) cache_injectors_.reserve(disks_.size());
-  for (std::size_t i = 0; i < disks_.size(); ++i) {
-    io::BlockDevice* base = disks_[i].get();
-    if (inject) {
-      // Same golden-ratio stride the query engine uses per node, so node
-      // fault streams stay decorrelated without a second seed convention.
+    std::size_t capacity_blocks, const std::optional<io::FaultConfig>& inject) {
+  std::vector<io::FaultConfig> per_node;
+  if (inject) {
+    // Same golden-ratio stride the query engine uses per node, so node
+    // fault streams stay decorrelated without a second seed convention.
+    per_node.reserve(transport_.size());
+    for (std::size_t i = 0; i < transport_.size(); ++i) {
       io::FaultConfig node_config = *inject;
       node_config.seed = inject->seed + 0x9E3779B97F4A7C15ULL * i;
-      cache_injectors_.push_back(std::make_unique<io::FaultInjectingBlockDevice>(
-          *base, std::move(node_config)));
-      base = cache_injectors_.back().get();
-    }
-    caches_.push_back(
-        std::make_unique<io::SharedBufferPool>(*base, capacity_blocks));
-    if (metrics_ != nullptr) {
-      caches_.back()->attach_metrics(
-          *metrics_, "node" + std::to_string(i) + ".cache");
+      per_node.push_back(node_config);
     }
   }
-}
-
-void Cluster::attach_metrics(obs::MetricsRegistry& registry) {
-  metrics_ = &registry;
-  for (std::size_t i = 0; i < disks_.size(); ++i) {
-    disks_[i]->attach_metrics(registry, "node" + std::to_string(i) + ".disk");
-  }
-  for (std::size_t i = 0; i < caches_.size(); ++i) {
-    caches_[i]->attach_metrics(registry,
-                               "node" + std::to_string(i) + ".cache");
-  }
-}
-
-void Cluster::disable_shared_cache() {
-  caches_.clear();
-  cache_injectors_.clear();
-}
-
-void Cluster::drop_caches() {
-  for (auto& cache : caches_) cache->clear();
-}
-
-std::unique_ptr<io::BlockDevice> Cluster::open_readonly(std::size_t node) {
-  if (config_.in_memory) {
-    return std::make_unique<io::ReadOnlyBlockDevice>(*disks_.at(node));
-  }
-  const auto brick_path = config_.storage_dir /
-                          ("node" + std::to_string(node)) / "bricks.dat";
-  return std::make_unique<io::FileBlockDevice>(
-      brick_path, io::FileBlockDevice::Mode::kReadOnly,
-      config_.disk.block_size);
+  transport_.enable_shared_cache(capacity_blocks, per_node);
 }
 
 }  // namespace oociso::parallel

@@ -7,6 +7,21 @@
 // pool; their disk and network *costs* come from the calibrated models so
 // the reported times have the multi-node shape of the paper's testbed (see
 // DESIGN.md, substitution table).
+//
+// The cluster composes three independent layers:
+//
+//   * placement (placement/replica_map.h) — which node holds which bricks:
+//     the stripe owner, plus the rendezvous-hashed replica holders of each
+//     placement group when the index is built with --replication k > 1.
+//   * transport (parallel/transport.h) — how a program reaches each node's
+//     store: the per-node devices, read-only / replica view handles, and
+//     the optional shared pools with their cache-level fault injectors.
+//   * execution (parallel/executor.h) — the thread pool that drives one
+//     program per node.
+//
+// Cluster itself is a thin facade preserving the original one-object API;
+// subsystems that only need one layer (the query engine routes through the
+// transport, the builder only needs devices + placement) can take it alone.
 
 #include <exception>
 #include <filesystem>
@@ -20,7 +35,8 @@
 #include "io/io_stats.h"
 #include "io/shared_buffer_pool.h"
 #include "parallel/cost_model.h"
-#include "parallel/thread_pool.h"
+#include "parallel/executor.h"
+#include "parallel/transport.h"
 
 namespace oociso::parallel {
 
@@ -42,32 +58,50 @@ class Cluster {
   /// in file-backed mode.
   explicit Cluster(ClusterConfig config);
 
-  [[nodiscard]] std::size_t size() const { return disks_.size(); }
+  [[nodiscard]] std::size_t size() const { return transport_.size(); }
   [[nodiscard]] const ClusterConfig& config() const { return config_; }
 
+  /// The storage-reachability layer (per-node devices, replica views,
+  /// shared pools). The cluster owns it; it outlives every handle below.
+  [[nodiscard]] StoreTransport& transport() { return transport_; }
+  [[nodiscard]] const StoreTransport& transport() const { return transport_; }
+
   [[nodiscard]] io::BlockDevice& disk(std::size_t node) {
-    return *disks_.at(node);
+    return transport_.disk(node);
   }
 
   /// Raw pointers to all node disks, in node order (for builder APIs).
-  [[nodiscard]] std::vector<io::BlockDevice*> disk_pointers();
+  [[nodiscard]] std::vector<io::BlockDevice*> disk_pointers() {
+    return transport_.disk_pointers();
+  }
 
   /// Runs `node_program(i)` for every node concurrently and waits.
-  void run(const std::function<void(std::size_t node)>& node_program);
+  void run(const std::function<void(std::size_t node)>& node_program) {
+    executor_.run(transport_.size(), node_program);
+  }
 
   /// Like run(), but collects instead of throws: returns one
   /// std::exception_ptr per node (null for nodes that completed), so a
   /// caller can fail over the dead nodes' work to healthy peers.
   [[nodiscard]] std::vector<std::exception_ptr> run_collect(
-      const std::function<void(std::size_t node)>& node_program);
+      const std::function<void(std::size_t node)>& node_program) {
+    return executor_.run_collect(transport_.size(), node_program);
+  }
 
   /// Reopens `node`'s brick store read-only, independently of the node's
   /// own device handle — the failover path by which a healthy peer takes
-  /// over a dead node's stripe. File-backed clusters open the file afresh;
-  /// in-memory clusters return a read-only view of the node's device. The
-  /// cluster must outlive the returned device.
+  /// over a dead node's stripe. See StoreTransport::open_readonly.
   [[nodiscard]] std::unique_ptr<io::BlockDevice> open_readonly(
-      std::size_t node);
+      std::size_t node) {
+    return transport_.open_readonly(node);
+  }
+
+  /// A private, non-accounting read handle on `node`'s store for replica
+  /// routing. See StoreTransport::open_replica_view.
+  [[nodiscard]] std::unique_ptr<io::BlockDevice> open_replica_view(
+      std::size_t node) {
+    return transport_.open_replica_view(node);
+  }
 
   /// Builds one shared, thread-safe brick cache per node so concurrent
   /// queries against the same stripe dedup their device reads (see
@@ -83,36 +117,45 @@ class Cluster {
       std::size_t capacity_blocks,
       const std::optional<io::FaultConfig>& inject = std::nullopt);
 
+  /// Like above with one explicit FaultConfig per node — the chaos
+  /// harness's hook for killing a single node (e.g. die_after_reads on one
+  /// store) while the rest stay healthy. `inject` must be empty or size().
+  void enable_shared_cache(std::size_t capacity_blocks,
+                           const std::vector<io::FaultConfig>& inject) {
+    transport_.enable_shared_cache(capacity_blocks, inject);
+  }
+
   /// Tears the per-node pools (and any cache-level injectors) down. Must
   /// not be called while queries are reading through them.
-  void disable_shared_cache();
+  void disable_shared_cache() { transport_.disable_shared_cache(); }
 
   /// Node `node`'s shared pool, or nullptr when caching is disabled.
   [[nodiscard]] io::SharedBufferPool* cache(std::size_t node) {
-    return caches_.empty() ? nullptr : caches_.at(node).get();
+    return transport_.cache(node);
   }
   [[nodiscard]] const io::SharedBufferPool* cache(std::size_t node) const {
-    return caches_.empty() ? nullptr : caches_.at(node).get();
+    return transport_.cache(node);
   }
 
   /// What node `node`'s cache-level injector actually did; nullptr when the
   /// cache was enabled without fault injection.
   [[nodiscard]] const io::InjectedFaults* cache_injected(
       std::size_t node) const {
-    return cache_injectors_.empty() ? nullptr
-                                    : &cache_injectors_.at(node)->injected();
+    return transport_.cache_injected(node);
   }
 
   /// Drops every pool's resident frames (cumulative counters survive) — the
   /// cold-start switch for warm-vs-cold cache measurements.
-  void drop_caches();
+  void drop_caches() { transport_.drop_caches(); }
 
   /// Attaches every node disk (counters `node<i>.disk.*`) and — when the
   /// shared cache is or later becomes enabled — every pool (counters
   /// `node<i>.cache.*`, re-pointed so CacheCounters derive from the
   /// registry's atomics) to `registry`. The registry must outlive the
   /// cluster's devices; call once per registry.
-  void attach_metrics(obs::MetricsRegistry& registry);
+  void attach_metrics(obs::MetricsRegistry& registry) {
+    transport_.attach_metrics(registry);
+  }
 
   /// Modeled seconds for node-local I/O activity.
   [[nodiscard]] double disk_seconds(const io::IoStats& stats) const {
@@ -127,15 +170,8 @@ class Cluster {
 
  private:
   ClusterConfig config_;
-  std::vector<std::unique_ptr<io::BlockDevice>> disks_;
-  /// Cache-level fault injectors (empty unless enable_shared_cache was
-  /// given a FaultConfig); each wraps the matching node disk.
-  std::vector<std::unique_ptr<io::FaultInjectingBlockDevice>> cache_injectors_;
-  /// Per-node shared pools (empty while caching is disabled).
-  std::vector<std::unique_ptr<io::SharedBufferPool>> caches_;
-  /// Registry from attach_metrics, so pools created later attach too.
-  obs::MetricsRegistry* metrics_ = nullptr;
-  ThreadPool pool_;
+  StoreTransport transport_;
+  Executor executor_;
 };
 
 }  // namespace oociso::parallel

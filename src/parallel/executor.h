@@ -1,0 +1,40 @@
+#pragma once
+// Execution layer of the simulated cluster: runs one program per node
+// concurrently on a thread pool. Split out of Cluster so the execution
+// policy (how node programs are driven) is independent of the transport
+// (how node brick stores are reached) and of the placement (which node
+// holds which bricks — see placement/replica_map.h).
+
+#include <exception>
+#include <functional>
+#include <vector>
+
+#include "parallel/thread_pool.h"
+
+namespace oociso::parallel {
+
+class Executor {
+ public:
+  explicit Executor(std::size_t node_count) : pool_(node_count) {}
+
+  /// Runs `node_program(i)` for every node in [0, node_count) concurrently
+  /// and waits; the first exception (lowest node id) is rethrown.
+  void run(std::size_t node_count,
+           const std::function<void(std::size_t node)>& node_program) {
+    parallel_for(pool_, node_count, node_program);
+  }
+
+  /// Like run(), but collects instead of throws: one std::exception_ptr per
+  /// node (null for nodes that completed), so a caller can fail over the
+  /// dead nodes' work to healthy peers.
+  [[nodiscard]] std::vector<std::exception_ptr> run_collect(
+      std::size_t node_count,
+      const std::function<void(std::size_t node)>& node_program) {
+    return parallel_for_collect(pool_, node_count, node_program);
+  }
+
+ private:
+  ThreadPool pool_;
+};
+
+}  // namespace oociso::parallel

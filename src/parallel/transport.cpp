@@ -1,0 +1,123 @@
+#include "parallel/transport.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "io/file_block_device.h"
+#include "io/memory_block_device.h"
+#include "io/read_only_block_device.h"
+
+namespace oociso::parallel {
+
+StoreTransport::StoreTransport(TransportConfig config)
+    : config_(std::move(config)) {
+  if (config_.node_count == 0) {
+    throw std::invalid_argument("StoreTransport: need at least one node");
+  }
+  disks_.reserve(config_.node_count);
+  for (std::size_t i = 0; i < config_.node_count; ++i) {
+    if (config_.in_memory) {
+      disks_.push_back(
+          std::make_unique<io::MemoryBlockDevice>(config_.block_size));
+    } else {
+      if (config_.storage_dir.empty()) {
+        throw std::invalid_argument("StoreTransport: storage_dir required");
+      }
+      const auto node_dir = config_.storage_dir / ("node" + std::to_string(i));
+      std::filesystem::create_directories(node_dir);
+      const auto brick_path = node_dir / "bricks.dat";
+      if (config_.open_existing && !std::filesystem::exists(brick_path)) {
+        // Don't let the raw ENOENT from ::open surface — name the node and
+        // the path so a half-copied bundle is diagnosable.
+        throw std::runtime_error(
+            "StoreTransport: open_existing requested but node " +
+            std::to_string(i) + " has no brick store at " +
+            brick_path.string());
+      }
+      const auto mode = config_.open_existing
+                            ? io::FileBlockDevice::Mode::kReadWrite
+                            : io::FileBlockDevice::Mode::kCreate;
+      disks_.push_back(std::make_unique<io::FileBlockDevice>(
+          brick_path, mode, config_.block_size));
+    }
+  }
+}
+
+std::vector<io::BlockDevice*> StoreTransport::disk_pointers() {
+  std::vector<io::BlockDevice*> pointers;
+  pointers.reserve(disks_.size());
+  for (auto& disk : disks_) pointers.push_back(disk.get());
+  return pointers;
+}
+
+void StoreTransport::enable_shared_cache(
+    std::size_t capacity_blocks, const std::vector<io::FaultConfig>& inject) {
+  if (!caches_.empty()) {
+    throw std::logic_error("StoreTransport: shared cache already enabled");
+  }
+  if (!inject.empty() && inject.size() != disks_.size()) {
+    throw std::invalid_argument(
+        "StoreTransport: need one FaultConfig per node (or none)");
+  }
+  caches_.reserve(disks_.size());
+  if (!inject.empty()) cache_injectors_.reserve(disks_.size());
+  for (std::size_t i = 0; i < disks_.size(); ++i) {
+    io::BlockDevice* base = disks_[i].get();
+    if (!inject.empty()) {
+      cache_injectors_.push_back(
+          std::make_unique<io::FaultInjectingBlockDevice>(*base, inject[i]));
+      base = cache_injectors_.back().get();
+    }
+    caches_.push_back(
+        std::make_unique<io::SharedBufferPool>(*base, capacity_blocks));
+    if (metrics_ != nullptr) {
+      caches_.back()->attach_metrics(
+          *metrics_, "node" + std::to_string(i) + ".cache");
+    }
+  }
+}
+
+void StoreTransport::attach_metrics(obs::MetricsRegistry& registry) {
+  metrics_ = &registry;
+  for (std::size_t i = 0; i < disks_.size(); ++i) {
+    disks_[i]->attach_metrics(registry, "node" + std::to_string(i) + ".disk");
+  }
+  for (std::size_t i = 0; i < caches_.size(); ++i) {
+    caches_[i]->attach_metrics(registry,
+                               "node" + std::to_string(i) + ".cache");
+  }
+}
+
+void StoreTransport::disable_shared_cache() {
+  caches_.clear();
+  cache_injectors_.clear();
+}
+
+void StoreTransport::drop_caches() {
+  for (auto& cache : caches_) cache->clear();
+}
+
+std::unique_ptr<io::BlockDevice> StoreTransport::open_readonly(
+    std::size_t node) {
+  if (config_.in_memory) {
+    return std::make_unique<io::ReadOnlyBlockDevice>(*disks_.at(node));
+  }
+  const auto brick_path = config_.storage_dir /
+                          ("node" + std::to_string(node)) / "bricks.dat";
+  return std::make_unique<io::FileBlockDevice>(
+      brick_path, io::FileBlockDevice::Mode::kReadOnly, config_.block_size);
+}
+
+std::unique_ptr<io::BlockDevice> StoreTransport::open_replica_view(
+    std::size_t node) {
+  if (config_.in_memory) {
+    // Non-accounting view: routing programs each hold a private handle, so
+    // the shared MemoryBlockDevice's stats must not be mutated from many
+    // threads (BlockDevice accounting is not thread-safe).
+    return std::make_unique<io::ReadOnlyBlockDevice>(
+        *disks_.at(node), /*account_inner=*/false);
+  }
+  return open_readonly(node);
+}
+
+}  // namespace oociso::parallel

@@ -1,0 +1,125 @@
+#pragma once
+// Transport layer of the simulated cluster: how a program — local or on a
+// peer node — reaches each node's brick store. Owns the per-node devices
+// (file-backed under "<storage_dir>/node<i>/" or in-memory for tests), the
+// optional per-node shared buffer pools with their cache-level fault
+// injectors, and the read-only / replica view handles used by failover and
+// replica routing. Split out of Cluster so storage reachability is
+// independent of execution (parallel/executor.h) and of placement
+// (placement/replica_map.h): the three layers compose in Cluster, and each
+// is testable alone.
+
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "io/block_device.h"
+#include "io/fault_injection.h"
+#include "io/shared_buffer_pool.h"
+#include "obs/metrics.h"
+
+namespace oociso::parallel {
+
+struct TransportConfig {
+  std::size_t node_count = 1;
+  std::uint64_t block_size = 4096;
+  bool in_memory = false;  ///< MemoryBlockDevice instead of files
+  /// Open existing per-node brick files read/write instead of truncating —
+  /// used to reattach to a preprocessed dataset (see pipeline/bundle.h).
+  bool open_existing = false;
+  std::filesystem::path storage_dir;  ///< required unless in_memory
+};
+
+class StoreTransport {
+ public:
+  /// Creates the per-node stores ("<storage_dir>/node<i>/bricks.dat").
+  /// Throws std::invalid_argument for zero nodes or a missing storage dir
+  /// in file-backed mode.
+  explicit StoreTransport(TransportConfig config);
+
+  [[nodiscard]] std::size_t size() const { return disks_.size(); }
+  [[nodiscard]] const TransportConfig& config() const { return config_; }
+
+  [[nodiscard]] io::BlockDevice& disk(std::size_t node) {
+    return *disks_.at(node);
+  }
+
+  /// Raw pointers to all node stores, in node order (for builder APIs).
+  [[nodiscard]] std::vector<io::BlockDevice*> disk_pointers();
+
+  /// Reopens `node`'s brick store read-only, independently of the node's
+  /// own device handle — the failover path by which a healthy peer takes
+  /// over a dead node's stripe. File-backed transports open the file
+  /// afresh; in-memory ones return a read-only view of the node's device.
+  /// The transport must outlive the returned device.
+  [[nodiscard]] std::unique_ptr<io::BlockDevice> open_readonly(
+      std::size_t node);
+
+  /// A PRIVATE read handle on `node`'s store for replica routing: the
+  /// caller owns the handle's IoStats (BlockDevice accounting is not
+  /// thread-safe, so concurrent programs must not share one handle).
+  /// File-backed transports open the file afresh — indistinguishable from
+  /// open_readonly. In-memory ones return a non-accounting view
+  /// (ReadOnlyBlockDevice with inner accounting off): reads reach the
+  /// node's store without mutating its shared stats, so many programs can
+  /// route to one node concurrently. The transport must outlive the
+  /// returned device.
+  [[nodiscard]] std::unique_ptr<io::BlockDevice> open_replica_view(
+      std::size_t node);
+
+  /// Builds one shared, thread-safe brick cache per node so concurrent
+  /// queries against the same stripe dedup their device reads (see
+  /// io/shared_buffer_pool.h). `capacity_blocks` is the per-node frame
+  /// budget. When `inject` is given, node i's pool reads through a
+  /// deterministic fault injector configured by inject[i] — the transport
+  /// owns the injector so every query sharing the pool sees one coherent
+  /// fault stream. `inject` must be empty or have exactly one entry per
+  /// node. Throws std::logic_error if already enabled. Not thread-safe
+  /// against in-flight queries; call between query waves.
+  void enable_shared_cache(std::size_t capacity_blocks,
+                           const std::vector<io::FaultConfig>& inject = {});
+
+  /// Tears the per-node pools (and any cache-level injectors) down. Must
+  /// not be called while queries are reading through them.
+  void disable_shared_cache();
+
+  /// Node `node`'s shared pool, or nullptr when caching is disabled.
+  [[nodiscard]] io::SharedBufferPool* cache(std::size_t node) {
+    return caches_.empty() ? nullptr : caches_.at(node).get();
+  }
+  [[nodiscard]] const io::SharedBufferPool* cache(std::size_t node) const {
+    return caches_.empty() ? nullptr : caches_.at(node).get();
+  }
+
+  /// What node `node`'s cache-level injector actually did; nullptr when the
+  /// cache was enabled without fault injection.
+  [[nodiscard]] const io::InjectedFaults* cache_injected(
+      std::size_t node) const {
+    return cache_injectors_.empty() ? nullptr
+                                    : &cache_injectors_.at(node)->injected();
+  }
+
+  /// Drops every pool's resident frames (cumulative counters survive) — the
+  /// cold-start switch for warm-vs-cold cache measurements.
+  void drop_caches();
+
+  /// Attaches every node store (counters `node<i>.disk.*`) and — when the
+  /// shared cache is or later becomes enabled — every pool (counters
+  /// `node<i>.cache.*`) to `registry`. The registry must outlive the
+  /// transport's devices; call once per registry.
+  void attach_metrics(obs::MetricsRegistry& registry);
+
+ private:
+  TransportConfig config_;
+  std::vector<std::unique_ptr<io::BlockDevice>> disks_;
+  /// Cache-level fault injectors (empty unless enable_shared_cache was
+  /// given configs); each wraps the matching node store.
+  std::vector<std::unique_ptr<io::FaultInjectingBlockDevice>> cache_injectors_;
+  /// Per-node shared pools (empty while caching is disabled).
+  std::vector<std::unique_ptr<io::SharedBufferPool>> caches_;
+  /// Registry from attach_metrics, so pools created later attach too.
+  obs::MetricsRegistry* metrics_ = nullptr;
+};
+
+}  // namespace oociso::parallel

@@ -17,6 +17,13 @@ namespace oociso::pipeline {
 struct PreprocessConfig {
   std::int32_t samples_per_side = 9;  ///< paper's metacell size for RM
   bool cull_degenerate = true;
+  /// Brick replication across node stores (placement/replica_map.h).
+  /// `placement.node_count` is overwritten with the cluster size; with
+  /// `placement.replication == 1` (default) the layout is bit-identical to
+  /// an unreplicated build. k > 1 appends each placement group's bytes to
+  /// its k-1 rendezvous-chosen replica stores after the primary pass, so
+  /// primary offsets never shift.
+  placement::PlacementConfig placement{};
 };
 
 struct PreprocessResult {
@@ -29,6 +36,7 @@ struct PreprocessResult {
   std::uint64_t kept_metacells = 0;   ///< after culling
   std::uint64_t bricks = 0;           ///< global (pre-striping) bricks
   std::uint64_t bytes_written = 0;    ///< across all node disks
+  std::uint64_t replica_bytes_written = 0;  ///< replica copies (k > 1 only)
   std::uint64_t raw_bytes = 0;        ///< size of the raw scalar volume
   double elapsed_seconds = 0.0;
 

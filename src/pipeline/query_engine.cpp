@@ -82,15 +82,29 @@ QueryReport QueryEngine::run(core::ValueKey isovalue,
     }
   }
 
+  // Replica routing is available when the index was built replicated (all
+  // stripes share the build's factor) and the caller did not opt out; each
+  // node program then reaches every peer store through a private handle
+  // (raw path) or the peer's shared pool (serve path).
+  const bool route = options.route_replicas && !data_.trees.empty() &&
+                     data_.trees[0].replica_directory().active();
+  const auto is_dead = [&](std::size_t node) {
+    return std::find(options.dead_nodes.begin(), options.dead_nodes.end(),
+                     node) != options.dead_nodes.end();
+  };
+
   // Extraction of one node's stripe against `device`, charging `ledger`.
   // Runs on the node's own program normally, and again on a healthy peer
   // (serially, against a read-only reopen of the store) after a failure —
   // which is why the accumulated mesh state is reset on entry and the
-  // FaultReport counters are merged rather than overwritten.
+  // FaultReport counters are merged rather than overwritten. `route_this`
+  // turns on replica routing for the stream (node programs only; the
+  // takeover path reads the store directly).
   auto extract_stripe = [&](std::size_t node, io::BlockDevice& device,
                             const io::FaultInjectingBlockDevice* injector,
                             io::SharedBufferPool* cache,
-                            parallel::TimeLedger& ledger, bool overlap) {
+                            parallel::TimeLedger& ledger, bool overlap,
+                            bool route_this) {
     NodeReport& node_report = report.nodes[node];
     const index::CompactIntervalTree& tree = data_.trees[node];
     soups[node].clear();
@@ -126,10 +140,53 @@ QueryReport QueryEngine::run(core::ValueKey isovalue,
     retrieval.metrics = options.metrics;
     retrieval.trace_pid = options.query_id;
     retrieval.trace_tid = obs::track(node, obs::Lane::kIo);
-    index::RetrievalStream stream(
-        std::move(plan), tree.scalar_kind(), tree.record_size(), device,
-        retrieval, index::BrickDirectory{tree.bricks(), tree.chunk_crcs()},
-        cache);
+
+    // Replica routing targets: how THIS program reaches each node's store.
+    // Raw path: a private handle per peer (BlockDevice accounting is not
+    // thread-safe, so handles are never shared across programs), wrapped in
+    // this program's own fault injector when the query injects faults or
+    // the peer is dead — the store's failure mode must look the same from
+    // every program. Serve path: the peer's shared pool (thread-safe, and
+    // the cluster-level injector beneath it carries one coherent fault
+    // stream for all programs); a dead peer's store is unreachable.
+    index::ReplicaRouting routing;
+    std::vector<std::unique_ptr<io::BlockDevice>> replica_handles;
+    std::vector<std::unique_ptr<io::FaultInjectingBlockDevice>>
+        replica_injectors;
+    if (route_this) {
+      routing.primary = node;
+      routing.health = options.health;
+      routing.targets.resize(p);
+      routing.targets[node] = index::ReplicaRouting::Target{&device, cache};
+      for (std::size_t j = 0; j < p; ++j) {
+        if (j == node) continue;
+        if (options.use_shared_cache) {
+          if (is_dead(j)) continue;  // unreachable
+          routing.targets[j] =
+              index::ReplicaRouting::Target{nullptr, cluster_.cache(j)};
+          continue;
+        }
+        replica_handles.push_back(cluster_.open_replica_view(j));
+        io::BlockDevice* handle = replica_handles.back().get();
+        if (options.inject_faults.has_value() || is_dead(j)) {
+          io::FaultConfig config =
+              options.inject_faults.value_or(io::FaultConfig{});
+          config.seed += 0x9E3779B97F4A7C15ULL * j;
+          if (is_dead(j)) config.fail_all_reads = true;
+          replica_injectors.push_back(
+              std::make_unique<io::FaultInjectingBlockDevice>(
+                  *handle, std::move(config)));
+          handle = replica_injectors.back().get();
+        }
+        routing.targets[j] = index::ReplicaRouting::Target{handle, nullptr};
+      }
+    }
+
+    index::BrickDirectory directory{tree.bricks(), tree.chunk_crcs()};
+    if (route_this) directory.replicas = tree.replica_directory();
+    index::RetrievalStream stream(std::move(plan), tree.scalar_kind(),
+                                  tree.record_size(), device, retrieval,
+                                  directory, cache, std::move(routing));
 
     // Per-batch modeled I/O and measured CPU, in arrival order, for the
     // ledger's bounded-queue charge below.
@@ -210,8 +267,18 @@ QueryReport QueryEngine::run(core::ValueKey isovalue,
     const index::QueryStats& stats = stream.stats();
     node_report.active_metacells = stats.active_metacells;
     node_report.records_fetched = stats.records_fetched;
-    node_report.io = cache != nullptr ? stream.cache_stats().device_io
-                                      : device.stats().since(io_before);
+    if (stream.routing_active()) {
+      // Routed reads are served by whichever holder won each read; the
+      // per-holder counters carry the attribution and their sum is the
+      // stripe's total device I/O.
+      node_report.routed = stream.routed();
+      io::IoStats total;
+      for (const auto& holder : node_report.routed) total += holder.io;
+      node_report.io = total;
+    } else {
+      node_report.io = cache != nullptr ? stream.cache_stats().device_io
+                                        : device.stats().since(io_before);
+    }
     node_report.io_model_seconds = cluster_.disk_seconds(node_report.io);
     node_report.io_wall_seconds = stream.io_wall_seconds();
     node_report.triangulation_seconds = cpu_seconds;
@@ -290,8 +357,8 @@ QueryReport QueryEngine::run(core::ValueKey isovalue,
             options.use_shared_cache && !injectors[node] ? cluster_.cache(node)
                                                          : nullptr;
         extract_stripe(node, device, injectors[node].get(), cache,
-                       report.times.per_node[node],
-                       options.overlap_io_compute);
+                       report.times.per_node[node], options.overlap_io_compute,
+                       route);
         report.nodes[node].faults.executed_by =
             static_cast<std::int32_t>(node);
         render_stripe(node, report.times.per_node[node]);
@@ -329,19 +396,27 @@ QueryReport QueryEngine::run(core::ValueKey isovalue,
     // otherwise it opens a fresh read-only handle of the store.
     if (options.use_shared_cache) {
       extract_stripe(node, cluster_.disk(node), nullptr, cluster_.cache(node),
-                     report.times.per_node[peer], /*overlap=*/false);
+                     report.times.per_node[peer], /*overlap=*/false,
+                     /*route_this=*/false);
     } else {
       const std::unique_ptr<io::BlockDevice> store =
           cluster_.open_readonly(node);
       extract_stripe(node, *store, nullptr, nullptr,
                      report.times.per_node[peer],
-                     /*overlap=*/false);
+                     /*overlap=*/false, /*route_this=*/false);
     }
     render_stripe(node, report.times.per_node[peer]);
     NodeReport& node_report = report.nodes[node];
     ++node_report.faults.failovers;
     node_report.faults.executed_by = static_cast<std::int32_t>(peer);
     report.degraded = true;
+  }
+
+  // Brick-granular failover degrades the query just like a whole-stripe
+  // takeover: a hedge means some holder was exhausted mid-run. Healthy
+  // load-balance routing (rerouted_reads without hedges) does not.
+  for (const NodeReport& node_report : report.nodes) {
+    if (node_report.faults.retrieval.hedged_reads > 0) report.degraded = true;
   }
 
   // What each injector actually did, for cross-checking the detection

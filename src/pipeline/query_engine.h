@@ -81,6 +81,22 @@ struct QueryOptions {
   /// rethrown after all nodes settle.
   bool failover = true;
 
+  // ---- replica routing ----------------------------------------------------
+  /// Route each node's reads across its placement groups' replica holders
+  /// when the index was built with replication k > 1 (no effect otherwise):
+  /// healthy holders share the load, and a read that exhausts its
+  /// per-holder budget fails over to the next replica — brick-granular,
+  /// charged as a hedge, without abandoning the stripe. Meshes stay
+  /// bit-identical to the primary-only run under any routing or failure
+  /// pattern. With `false` a replicated index is read primary-only, exactly
+  /// like an unreplicated one.
+  bool route_replicas = true;
+  /// Shared per-node health tracker (optional; see placement/health.h).
+  /// Tripped holders are skipped by routing up front and probed for
+  /// recovery, so one query's dead node is the next query's avoided node.
+  /// The serve layer passes its own tracker; one-shot runs may leave null.
+  placement::NodeHealthTracker* health = nullptr;
+
   // ---- concurrent serving -------------------------------------------------
   /// Read every node's stripe through the cluster's shared per-node pool
   /// (Cluster::enable_shared_cache) instead of the raw disk: warm frames
@@ -157,14 +173,23 @@ struct NodeReport {
   /// ran with use_shared_cache); `io` above is then the physical miss
   /// traffic, and hit_blocks were served without touching the device.
   io::CacheReadStats cache;
+  /// Per-holder serving counters for THIS stripe's reads (index = serving
+  /// node; empty unless the query routed across replicas). The sum of the
+  /// entries' `io` equals `io` above; failures are exhausted-holder (hedge)
+  /// events charged to the holder that exhausted.
+  std::vector<index::RouteCounters> routed;
   FaultReport faults;
 };
 
 struct QueryReport {
   core::ValueKey isovalue = 0;
-  /// True when at least one node's program failed and its stripe was
-  /// produced by a peer: the mesh is complete and bit-identical to a clean
-  /// run, but the timing reflects the serialized takeover.
+  /// True when the query did not run entirely on first-choice resources:
+  /// a node program failed and its stripe was produced by a peer (whole
+  /// stripe takeover), or a read exhausted one holder and was hedged onto a
+  /// replica (brick-granular failover). The mesh is complete and
+  /// bit-identical to a clean run either way; only timing and routing
+  /// reflect the degradation. Healthy load-balance routing alone never sets
+  /// this.
   bool degraded = false;
   std::vector<NodeReport> nodes;
   parallel::ClusterTimes times;
@@ -196,6 +221,23 @@ struct QueryReport {
     for (const auto& node : nodes) total += node.faults.failovers;
     return total;
   }
+  /// Device I/O served BY `node` across every stripe of this query —
+  /// routing-aware: a routed stripe's reads are credited to the holders
+  /// that actually served them, an unrouted stripe's to its own store
+  /// (takeover re-executions read the dead node's store, so they stay
+  /// charged to that store). Equals nodes[node].io for unrouted queries.
+  [[nodiscard]] io::IoStats served_io(std::size_t node) const {
+    io::IoStats total;
+    for (std::size_t s = 0; s < nodes.size(); ++s) {
+      if (!nodes[s].routed.empty()) {
+        total += nodes[s].routed.at(node).io;
+      } else if (s == node) {
+        total += nodes[s].io;
+      }
+    }
+    return total;
+  }
+
   /// Cluster-wide shared-cache summary (all zeros for uncached queries).
   [[nodiscard]] io::CacheReadStats total_cache() const {
     io::CacheReadStats total;

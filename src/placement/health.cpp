@@ -1,0 +1,97 @@
+#include "placement/health.h"
+
+#include <stdexcept>
+
+#include "obs/metrics.h"
+
+namespace oociso::placement {
+
+void HealthConfig::validate() const {
+  if (trip_threshold == 0) {
+    throw std::invalid_argument("health: trip_threshold must be >= 1");
+  }
+  if (probe_interval == 0) {
+    throw std::invalid_argument("health: probe_interval must be >= 1");
+  }
+}
+
+NodeHealthTracker::NodeHealthTracker(std::size_t node_count,
+                                     HealthConfig config)
+    : config_(config), nodes_(node_count) {
+  if (node_count == 0) {
+    throw std::invalid_argument("health: node_count must be >= 1");
+  }
+  config_.validate();
+}
+
+void NodeHealthTracker::report_success(std::size_t node) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  NodeState& n = nodes_.at(node);
+  n.consecutive_failures = 0;
+  if (n.state == State::kTripped) {
+    // A recovery probe succeeded: the node is back.
+    n.state = State::kHealthy;
+    n.consultations = 0;
+    publish_locked();
+  }
+}
+
+void NodeHealthTracker::report_failure(std::size_t node) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  NodeState& n = nodes_.at(node);
+  ++n.consecutive_failures;
+  if (n.state == State::kHealthy &&
+      n.consecutive_failures >= config_.trip_threshold) {
+    n.state = State::kTripped;
+    n.consultations = 0;
+    ++n.trips;
+    if (metrics_ != nullptr) metrics_->counter("placement.trips").add();
+    publish_locked();
+  }
+}
+
+bool NodeHealthTracker::admit(std::size_t node) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  NodeState& n = nodes_.at(node);
+  if (n.state == State::kHealthy) return true;
+  // Tripped: deny, but let every probe_interval-th consultation through so
+  // a recovered node is eventually rediscovered.
+  ++n.consultations;
+  return n.consultations % config_.probe_interval == 0;
+}
+
+NodeHealthTracker::State NodeHealthTracker::state(std::size_t node) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return nodes_.at(node).state;
+}
+
+std::uint64_t NodeHealthTracker::trips(std::size_t node) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return nodes_.at(node).trips;
+}
+
+std::size_t NodeHealthTracker::tripped_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t tripped = 0;
+  for (const NodeState& n : nodes_) {
+    if (n.state == State::kTripped) ++tripped;
+  }
+  return tripped;
+}
+
+void NodeHealthTracker::attach_metrics(obs::MetricsRegistry& registry) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  metrics_ = &registry;
+  publish_locked();
+}
+
+void NodeHealthTracker::publish_locked() {
+  if (metrics_ == nullptr) return;
+  std::int64_t tripped = 0;
+  for (const NodeState& n : nodes_) {
+    if (n.state == State::kTripped) ++tripped;
+  }
+  metrics_->gauge("placement.nodes_tripped").set(tripped);
+}
+
+}  // namespace oociso::placement

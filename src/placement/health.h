@@ -1,0 +1,83 @@
+#pragma once
+// Per-node health tracking for replica-aware routing.
+//
+// Consecutive read failures against one node's store trip it; a tripped node
+// is skipped by the replica router for subsequent reads/queries, except that
+// every probe_interval-th consultation lets one read through as a recovery
+// probe. A successful probe restores the node to healthy (the probation ->
+// healthy transition), so a node that comes back is rediscovered without any
+// operator action. The tracker is shared across concurrent queries inside
+// QueryServer, so all state is guarded by one mutex; transitions depend only
+// on the sequence of report/admit calls, never on wall time, which keeps
+// chaos tests deterministic under a fixed schedule.
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace oociso::obs {
+class MetricsRegistry;
+}  // namespace oociso::obs
+
+namespace oociso::placement {
+
+struct HealthConfig {
+  /// Consecutive failures that trip a node.
+  std::uint32_t trip_threshold = 3;
+  /// Every Nth admit() consultation of a tripped node is allowed through as
+  /// a recovery probe (the node is in probation for that read).
+  std::uint32_t probe_interval = 8;
+
+  void validate() const;
+};
+
+class NodeHealthTracker {
+ public:
+  enum class State : std::uint8_t { kHealthy = 0, kTripped = 1 };
+
+  NodeHealthTracker(std::size_t node_count, HealthConfig config = {});
+
+  std::size_t node_count() const { return nodes_.size(); }
+  const HealthConfig& config() const { return config_; }
+
+  /// A read against `node` succeeded: clear its failure streak, and if it was
+  /// tripped (i.e. this was a recovery probe) restore it to healthy.
+  void report_success(std::size_t node);
+
+  /// A read against `node` exhausted its retry budget.
+  void report_failure(std::size_t node);
+
+  /// Should the router consider `node` right now? Healthy -> always true.
+  /// Tripped -> false, except every probe_interval-th consultation returns
+  /// true (recovery probe). Counting consultations rather than time keeps
+  /// the policy deterministic.
+  bool admit(std::size_t node);
+
+  State state(std::size_t node) const;
+  std::uint64_t trips(std::size_t node) const;
+  /// Number of currently tripped nodes (exported as a gauge).
+  std::size_t tripped_count() const;
+
+  /// Export per-tracker gauges: placement.nodes_tripped, and a monotone
+  /// placement.trips counter.
+  void attach_metrics(obs::MetricsRegistry& registry);
+
+ private:
+  struct NodeState {
+    State state = State::kHealthy;
+    std::uint32_t consecutive_failures = 0;
+    /// admit() consultations since the node tripped (drives probing).
+    std::uint64_t consultations = 0;
+    std::uint64_t trips = 0;
+  };
+
+  void publish_locked();
+
+  HealthConfig config_;
+  mutable std::mutex mutex_;
+  std::vector<NodeState> nodes_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+};
+
+}  // namespace oociso::placement

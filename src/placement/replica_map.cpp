@@ -1,0 +1,82 @@
+#include "placement/replica_map.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "util/rng.h"
+
+namespace oociso::placement {
+
+void PlacementConfig::validate() const {
+  if (node_count == 0) {
+    throw std::invalid_argument("placement: node_count must be >= 1");
+  }
+  if (replication == 0) {
+    throw std::invalid_argument("placement: replication must be >= 1");
+  }
+  if (replication > node_count) {
+    throw std::invalid_argument(
+        "placement: replication " + std::to_string(replication) +
+        " exceeds node count " + std::to_string(node_count));
+  }
+  if (group_bricks == 0) {
+    throw std::invalid_argument("placement: group_bricks must be >= 1");
+  }
+}
+
+ReplicaMap::ReplicaMap(PlacementConfig config) : config_(config) {
+  config_.validate();
+}
+
+std::uint64_t ReplicaMap::score(std::size_t stripe, std::size_t group,
+                                std::size_t node) const {
+  // Mix the coordinates through chained splitmix64 rounds; the result is a
+  // high-quality 64-bit weight, and the whole function is a closed form so
+  // any process (builder, scheduler, test) recomputes it identically.
+  std::uint64_t state = config_.seed;
+  state ^= 0x5354'5249'5045'0000ULL + static_cast<std::uint64_t>(stripe);
+  std::uint64_t weight = util::splitmix64(state);
+  state ^= 0x4752'4F55'5000'0000ULL + static_cast<std::uint64_t>(group);
+  weight ^= util::splitmix64(state);
+  state ^= 0x4E4F'4445'0000'0000ULL + static_cast<std::uint64_t>(node);
+  weight ^= util::splitmix64(state);
+  return weight;
+}
+
+std::vector<std::size_t> ReplicaMap::holders(std::size_t stripe,
+                                             std::size_t group) const {
+  std::vector<std::size_t> result;
+  result.reserve(config_.replication);
+  result.push_back(stripe % config_.node_count);
+  if (config_.replication <= 1) return result;
+
+  // Rank every other node by rendezvous score, highest first; ties (never in
+  // practice with 64-bit scores, but determinism must not hinge on that)
+  // break toward the lower node id.
+  std::vector<std::pair<std::uint64_t, std::size_t>> ranked;
+  ranked.reserve(config_.node_count - 1);
+  for (std::size_t node = 0; node < config_.node_count; ++node) {
+    if (node == result.front()) continue;
+    ranked.emplace_back(score(stripe, group, node), node);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  const std::size_t extra = config_.replication - 1;
+  for (std::size_t i = 0; i < extra && i < ranked.size(); ++i) {
+    result.push_back(ranked[i].second);
+  }
+  return result;
+}
+
+std::vector<std::size_t> ReplicaMap::replicas(std::size_t stripe,
+                                              std::size_t group) const {
+  std::vector<std::size_t> all = holders(stripe, group);
+  all.erase(all.begin());
+  return all;
+}
+
+}  // namespace oociso::placement

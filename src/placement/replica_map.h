@@ -1,0 +1,59 @@
+#pragma once
+// K-way replicated brick placement via rendezvous hashing.
+//
+// The placement unit is a *placement group*: a run of consecutive bricks of
+// one stripe tree. Bricks of a tree are appended to their node device in
+// offset order during the build, so a group covers one contiguous byte range
+// on the primary device and can be copied verbatim to replica stores. Each
+// group's replica holders are chosen by rendezvous (highest-random-weight)
+// hashing over (seed, stripe, group, node): every participant can recompute
+// the same holder set from the placement config alone, no directory service
+// required, and adding a node reshuffles only ~1/n of the groups.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace oociso::placement {
+
+/// Deterministic inputs of the placement function. Two builds with the same
+/// config place every group identically.
+struct PlacementConfig {
+  std::size_t node_count = 1;
+  /// Total copies per group including the primary. 1 = no replication.
+  std::size_t replication = 1;
+  /// Bricks per placement group (run-coalescing never crosses a group
+  /// boundary when replication is active, so larger groups coalesce better
+  /// but spread a dead node's load over fewer peers).
+  std::size_t group_bricks = 16;
+  std::uint64_t seed = 0x9E3779B97F4A7C15ULL;
+
+  void validate() const;
+};
+
+/// Pure placement function: answers "which nodes hold group g of stripe s".
+class ReplicaMap {
+ public:
+  explicit ReplicaMap(PlacementConfig config);
+
+  const PlacementConfig& config() const { return config_; }
+
+  /// Rendezvous score of `node` for (stripe, group); higher wins. Pure.
+  std::uint64_t score(std::size_t stripe, std::size_t group,
+                      std::size_t node) const;
+
+  /// All holders of (stripe, group) in rank order: the primary (always the
+  /// stripe owner — primary layout is placement-independent) followed by the
+  /// replication-1 highest-scoring other nodes.
+  std::vector<std::size_t> holders(std::size_t stripe,
+                                   std::size_t group) const;
+
+  /// The replica holders only (holders() without the leading primary).
+  std::vector<std::size_t> replicas(std::size_t stripe,
+                                    std::size_t group) const;
+
+ private:
+  PlacementConfig config_;
+};
+
+}  // namespace oociso::placement

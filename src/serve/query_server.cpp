@@ -13,6 +13,7 @@ QueryServer::QueryServer(parallel::Cluster& cluster,
     : cluster_(cluster),
       data_(data),
       options_(std::move(options)),
+      health_(cluster.size(), options_.health),
       next_query_id_(options_.first_query_id) {
   if (options_.max_concurrent_queries == 0) {
     throw std::invalid_argument("QueryServer: need at least one query slot");
@@ -22,7 +23,14 @@ QueryServer::QueryServer(parallel::Cluster& cluster,
         "QueryServer: per-query inject_faults cannot compose with shared "
         "pools; use ServeOptions::inject_faults (cluster-level) instead");
   }
+  if (options_.inject_faults.has_value() &&
+      !options_.inject_faults_per_node.empty()) {
+    throw std::invalid_argument(
+        "QueryServer: inject_faults and inject_faults_per_node are mutually "
+        "exclusive");
+  }
   options_.query.use_shared_cache = true;
+  options_.query.health = &health_;
   if (options_.metrics != nullptr) {
     // Attach before the pools exist is fine — Cluster remembers the
     // registry and attaches each pool as enable_shared_cache creates it.
@@ -40,8 +48,14 @@ QueryServer::QueryServer(parallel::Cluster& cluster,
     }
     in_flight_ = &options_.metrics->gauge("serve.in_flight");
   }
-  cluster_.enable_shared_cache(options_.cache_capacity_blocks,
-                               options_.inject_faults);
+  if (options_.metrics != nullptr) health_.attach_metrics(*options_.metrics);
+  if (!options_.inject_faults_per_node.empty()) {
+    cluster_.enable_shared_cache(options_.cache_capacity_blocks,
+                                 options_.inject_faults_per_node);
+  } else {
+    cluster_.enable_shared_cache(options_.cache_capacity_blocks,
+                                 options_.inject_faults);
+  }
   admission_ =
       std::make_unique<parallel::ThreadPool>(options_.max_concurrent_queries);
 }

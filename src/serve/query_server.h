@@ -40,6 +40,7 @@
 #include "obs/trace.h"
 #include "parallel/cluster.h"
 #include "parallel/thread_pool.h"
+#include "placement/health.h"
 #include "pipeline/preprocess.h"
 #include "pipeline/query_engine.h"
 
@@ -55,6 +56,17 @@ struct ServeOptions {
   /// as usual). Queries served through the pools see the transients and
   /// corruptions through their normal CRC/retry machinery.
   std::optional<io::FaultConfig> inject_faults;
+  /// Per-node cluster-level fault injection — one explicit FaultConfig per
+  /// node, the chaos harness's hook for killing a single node's store
+  /// mid-run (FaultConfig::die_after_reads) while the rest stay healthy.
+  /// Mutually exclusive with `inject_faults`; must be empty or one entry
+  /// per node.
+  std::vector<io::FaultConfig> inject_faults_per_node;
+  /// Health-tracking policy for the server's shared NodeHealthTracker
+  /// (trip threshold, recovery-probe interval). The tracker is passed to
+  /// every admitted query, so replica routing skips holders that recent
+  /// queries found dead and probes them for recovery.
+  placement::HealthConfig health;
   /// Base options for every query. `use_shared_cache` is forced on;
   /// `inject_faults` must stay empty (use the field above). `dead_nodes`
   /// and `failover` compose with serving as they do with single queries.
@@ -125,6 +137,12 @@ class QueryServer {
 
   [[nodiscard]] const ServeOptions& options() const { return options_; }
 
+  /// The server's shared per-node health tracker (replica routing state).
+  [[nodiscard]] placement::NodeHealthTracker& health() { return health_; }
+  [[nodiscard]] const placement::NodeHealthTracker& health() const {
+    return health_;
+  }
+
  private:
   /// The body of one admitted query: gauge in, run the engine against
   /// `data` through the shared pools, gauge out. `submitted_us` is the
@@ -142,6 +160,9 @@ class QueryServer {
   parallel::Cluster& cluster_;
   const pipeline::PreprocessResult& data_;
   ServeOptions options_;
+  /// Shared across every admitted query (guarded internally); queries
+  /// report holder failures/successes here and skip tripped holders.
+  placement::NodeHealthTracker health_;
 
   /// In-flight level + high-water mark. Points at local_in_flight_ until
   /// metrics are attached, then at the registry's `serve.in_flight` gauge —

@@ -1,0 +1,226 @@
+// Chaos soak: randomized seeded fault schedules against an 8-way
+// QueryServer over a k=2 replicated index. Each round kills one node's
+// store mid-run (die_after_reads under the shared pools — a global death
+// point across the concurrent queries) and sprinkles transient faults on
+// the survivors; every query must still complete with a mesh bit-identical
+// to the healthy golden, the hedge/degraded counters must reconcile with
+// the metrics registry, and the health tracker must trip the dead node.
+// Carries the ctest label `chaos`; CI runs it under ASan/UBSan and TSan.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "data/rm_generator.h"
+#include "io/fault_injection.h"
+#include "metacell/source.h"
+#include "obs/metrics.h"
+#include "parallel/cluster.h"
+#include "pipeline/preprocess.h"
+#include "pipeline/query_engine.h"
+#include "serve/query_server.h"
+#include "util/rng.h"
+
+namespace oociso {
+namespace {
+
+constexpr std::size_t kNodes = 4;
+
+parallel::Cluster make_cluster() {
+  parallel::ClusterConfig config;
+  config.node_count = kNodes;
+  config.in_memory = true;
+  return parallel::Cluster(config);
+}
+
+core::VolumeU8 chaos_volume() {
+  data::RmConfig config;
+  config.dims = {48, 48, 44};
+  return data::generate_rm_timestep(config, 200);
+}
+
+std::vector<core::ValueKey> sweep_isovalues() {
+  return {96.0f, 110.0f, 120.0f, 128.0f, 135.0f, 150.0f, 170.0f, 190.0f};
+}
+
+bool same_triangles(const extract::TriangleSoup& a,
+                    const extract::TriangleSoup& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.triangles().data(), b.triangles().data(),
+                      a.size() * sizeof(extract::Triangle)) == 0);
+}
+
+/// One randomized chaos round, fully determined by `seed`: which node dies,
+/// after how many store reads, and the survivors' transient-fault streams.
+struct ChaosSchedule {
+  std::size_t dead_node = 0;
+  std::int64_t die_after = 0;
+  std::vector<io::FaultConfig> per_node;
+
+  static ChaosSchedule from_seed(std::uint64_t seed) {
+    ChaosSchedule schedule;
+    std::uint64_t state = seed;
+    schedule.dead_node = util::splitmix64(state) % kNodes;
+    // Death points from "dead before the first read" up to "well into the
+    // sweep" — both extremes must converge to the healthy mesh. The range
+    // is sized to the dozen-odd physical reads a node store serves for this
+    // volume under the shared pools, so most seeds kill the store mid-sweep.
+    schedule.die_after =
+        static_cast<std::int64_t>(util::splitmix64(state) % 12);
+    schedule.per_node.resize(kNodes);
+    for (std::size_t node = 0; node < kNodes; ++node) {
+      if (node == schedule.dead_node) {
+        schedule.per_node[node].die_after_reads = schedule.die_after;
+      } else {
+        // Light transient noise on the survivors, absorbed by retry.
+        schedule.per_node[node].seed = util::splitmix64(state);
+        schedule.per_node[node].read_failure_rate = 0.02;
+      }
+    }
+    return schedule;
+  }
+};
+
+TEST(ChaosSoak, RandomFaultSchedulesConvergeToTheHealthyGolden) {
+  const core::VolumeU8 volume = chaos_volume();
+  auto cluster = make_cluster();
+  const auto source = metacell::make_source(volume, 9);
+  pipeline::PreprocessConfig prep_config;
+  prep_config.placement.replication = 2;
+  const pipeline::PreprocessResult prep =
+      pipeline::preprocess(*source, cluster, prep_config);
+  ASSERT_GT(prep.replica_bytes_written, 0u);
+
+  // Healthy golden: the serial uncached sweep on the same replicated index.
+  const std::vector<core::ValueKey> isovalues = sweep_isovalues();
+  std::vector<extract::TriangleSoup> golden;
+  {
+    pipeline::QueryEngine engine(cluster, prep);
+    pipeline::QueryOptions options;
+    options.render = false;
+    options.keep_triangles = true;
+    for (const core::ValueKey isovalue : isovalues) {
+      golden.push_back(std::move(*engine.run(isovalue, options).triangles_out));
+    }
+  }
+
+  std::size_t rounds_with_hedges = 0;
+  std::size_t rounds_with_trip = 0;
+  for (const std::uint64_t seed : {11ull, 23ull, 47ull, 91ull}) {
+    SCOPED_TRACE("chaos seed " + std::to_string(seed));
+    const ChaosSchedule schedule = ChaosSchedule::from_seed(seed);
+
+    obs::MetricsRegistry metrics;
+    serve::ServeOptions options;
+    options.max_concurrent_queries = 8;
+    options.cache_capacity_blocks = 512;
+    options.inject_faults_per_node = schedule.per_node;
+    options.metrics = &metrics;
+    options.query.render = false;
+    options.query.keep_triangles = true;
+    serve::QueryServer server(cluster, prep, options);
+
+    // Every query completes — no exception reaches the client — and every
+    // mesh matches the healthy golden bit for bit.
+    const std::vector<pipeline::QueryReport> reports =
+        server.serve(isovalues);
+    ASSERT_EQ(reports.size(), isovalues.size());
+    std::uint64_t hedges = 0;
+    std::uint64_t per_node_hedges = 0;
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      ASSERT_TRUE(reports[i].triangles_out.has_value());
+      EXPECT_TRUE(same_triangles(*reports[i].triangles_out, golden[i]))
+          << "isovalue " << isovalues[i];
+      const std::uint64_t query_hedges =
+          reports[i].total_retrieval_faults().hedged_reads;
+      // A query that hedged ran degraded, always.
+      if (query_hedges > 0) {
+        EXPECT_TRUE(reports[i].degraded);
+      }
+      hedges += query_hedges;
+      for (const pipeline::NodeReport& node : reports[i].nodes) {
+        per_node_hedges += node.faults.retrieval.hedged_reads;
+      }
+    }
+    // Counters reconcile: the per-node breakdown sums to the query totals,
+    // and the registry's faults.hedges saw exactly the reported hedges.
+    EXPECT_EQ(per_node_hedges, hedges);
+    const obs::MetricsSnapshot snapshot = metrics.snapshot();
+    EXPECT_EQ(snapshot.counter("faults.hedges"), hedges);
+
+    if (hedges > 0) {
+      ++rounds_with_hedges;
+      // The dead node's re-routed traffic lands on the survivors: no single
+      // survivor absorbs the bulk of what the whole sweep served.
+      std::vector<std::uint64_t> served(kNodes, 0);
+      std::uint64_t total_served = 0;
+      for (const pipeline::QueryReport& report : reports) {
+        for (std::size_t node = 0; node < kNodes; ++node) {
+          served[node] += report.served_io(node).read_ops;
+          total_served += report.served_io(node).read_ops;
+        }
+      }
+      for (std::size_t node = 0; node < kNodes; ++node) {
+        if (node == schedule.dead_node) continue;
+        EXPECT_LT(static_cast<double>(served[node]),
+                  0.75 * static_cast<double>(total_served))
+            << "survivor " << node << " absorbed the whole re-route";
+      }
+    }
+    if (server.health().trips(schedule.dead_node) > 0) ++rounds_with_trip;
+  }
+  // The schedules are seeded to actually exercise the machinery: across the
+  // soak at least one round hedged and at least one tripped the dead node.
+  EXPECT_GT(rounds_with_hedges, 0u);
+  EXPECT_GT(rounds_with_trip, 0u);
+}
+
+TEST(ChaosSoak, DeadFromTheFirstReadStillServesTheSweep) {
+  const core::VolumeU8 volume = chaos_volume();
+  auto cluster = make_cluster();
+  const auto source = metacell::make_source(volume, 9);
+  pipeline::PreprocessConfig prep_config;
+  prep_config.placement.replication = 2;
+  const pipeline::PreprocessResult prep =
+      pipeline::preprocess(*source, cluster, prep_config);
+
+  const std::vector<core::ValueKey> isovalues = sweep_isovalues();
+  std::vector<extract::TriangleSoup> golden;
+  {
+    pipeline::QueryEngine engine(cluster, prep);
+    pipeline::QueryOptions options;
+    options.render = false;
+    options.keep_triangles = true;
+    for (const core::ValueKey isovalue : isovalues) {
+      golden.push_back(std::move(*engine.run(isovalue, options).triangles_out));
+    }
+  }
+
+  serve::ServeOptions options;
+  options.max_concurrent_queries = 8;
+  options.cache_capacity_blocks = 512;
+  options.inject_faults_per_node.resize(kNodes);
+  options.inject_faults_per_node[2].die_after_reads = 0;  // never serves
+  options.query.render = false;
+  options.query.keep_triangles = true;
+  serve::QueryServer server(cluster, prep, options);
+
+  const std::vector<pipeline::QueryReport> reports = server.serve(isovalues);
+  ASSERT_EQ(reports.size(), isovalues.size());
+  bool any_degraded = false;
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    EXPECT_TRUE(same_triangles(*reports[i].triangles_out, golden[i]))
+        << "isovalue " << isovalues[i];
+    any_degraded = any_degraded || reports[i].degraded;
+  }
+  EXPECT_TRUE(any_degraded);
+  // A store that never serves a read trips quickly and stays tripped.
+  EXPECT_EQ(server.health().state(2),
+            placement::NodeHealthTracker::State::kTripped);
+  EXPECT_GT(server.health().trips(2), 0u);
+}
+
+}  // namespace
+}  // namespace oociso

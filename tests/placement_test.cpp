@@ -1,0 +1,435 @@
+// K-way replicated placement: the rendezvous ReplicaMap, the per-node
+// health tracker, the seeded retry jitter, the die-after-reads fault mode,
+// the v3 index round trip, and the two equivalence claims that anchor the
+// whole feature — a k=1 build/query is bit-identical to the unreplicated
+// path, and a k=2 routed query produces the same mesh as k=1.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "data/rm_generator.h"
+#include "index/compact_interval_tree.h"
+#include "io/fault_injection.h"
+#include "io/io_error.h"
+#include "io/memory_block_device.h"
+#include "io/retry_policy.h"
+#include "metacell/source.h"
+#include "parallel/cluster.h"
+#include "pipeline/preprocess.h"
+#include "pipeline/query_engine.h"
+#include "placement/health.h"
+#include "placement/replica_map.h"
+
+namespace oociso {
+namespace {
+
+// ---------------------------------------------------------------------------
+// PlacementConfig / ReplicaMap
+// ---------------------------------------------------------------------------
+
+TEST(PlacementConfig, ValidatesItsInvariants) {
+  placement::PlacementConfig config;
+  config.node_count = 4;
+  config.replication = 2;
+  EXPECT_NO_THROW(config.validate());
+
+  placement::PlacementConfig bad = config;
+  bad.node_count = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = config;
+  bad.replication = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = config;
+  bad.replication = 5;  // more copies than nodes
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = config;
+  bad.group_bricks = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(ReplicaMap, HoldersAreDeterministicAndWellFormed) {
+  placement::PlacementConfig config;
+  config.node_count = 8;
+  config.replication = 3;
+  const placement::ReplicaMap map(config);
+  const placement::ReplicaMap twin(config);
+
+  for (std::size_t stripe = 0; stripe < 8; ++stripe) {
+    for (std::size_t group = 0; group < 32; ++group) {
+      const std::vector<std::size_t> holders = map.holders(stripe, group);
+      // Same config -> same placement, from any process.
+      EXPECT_EQ(holders, twin.holders(stripe, group));
+      ASSERT_EQ(holders.size(), config.replication);
+      // The primary is the stripe owner; placement never moves it.
+      EXPECT_EQ(holders.front(), stripe % config.node_count);
+      // Holders are distinct nodes.
+      for (std::size_t i = 0; i < holders.size(); ++i) {
+        EXPECT_LT(holders[i], config.node_count);
+        for (std::size_t j = i + 1; j < holders.size(); ++j) {
+          EXPECT_NE(holders[i], holders[j]);
+        }
+      }
+      // replicas() is holders() minus the leading primary.
+      const std::vector<std::size_t> replicas = map.replicas(stripe, group);
+      ASSERT_EQ(replicas.size(), holders.size() - 1);
+      for (std::size_t i = 0; i < replicas.size(); ++i) {
+        EXPECT_EQ(replicas[i], holders[i + 1]);
+      }
+    }
+  }
+}
+
+TEST(ReplicaMap, SpreadsReplicasAcrossTheCluster) {
+  placement::PlacementConfig config;
+  config.node_count = 8;
+  config.replication = 2;
+  const placement::ReplicaMap map(config);
+
+  std::vector<std::size_t> load(config.node_count, 0);
+  std::size_t groups = 0;
+  for (std::size_t stripe = 0; stripe < 8; ++stripe) {
+    for (std::size_t group = 0; group < 64; ++group) {
+      for (const std::size_t node : map.replicas(stripe, group)) {
+        ++load[node];
+      }
+      ++groups;
+    }
+  }
+  const std::size_t total = std::accumulate(load.begin(), load.end(),
+                                            std::size_t{0});
+  EXPECT_EQ(total, groups);  // one replica per group at k=2
+  // Rendezvous hashing balances: every node carries some replica load and
+  // no node carries more than twice the mean.
+  const double mean = static_cast<double>(total) /
+                      static_cast<double>(config.node_count);
+  for (std::size_t node = 0; node < config.node_count; ++node) {
+    EXPECT_GT(load[node], 0u) << "node " << node;
+    EXPECT_LT(static_cast<double>(load[node]), 2.0 * mean) << "node " << node;
+  }
+}
+
+TEST(ReplicaMap, SeedReshufflesReplicaChoice) {
+  placement::PlacementConfig config;
+  config.node_count = 8;
+  config.replication = 2;
+  const placement::ReplicaMap a(config);
+  config.seed ^= 0xDEADBEEFULL;
+  const placement::ReplicaMap b(config);
+
+  std::size_t moved = 0;
+  for (std::size_t group = 0; group < 64; ++group) {
+    if (a.replicas(0, group) != b.replicas(0, group)) ++moved;
+  }
+  EXPECT_GT(moved, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// NodeHealthTracker
+// ---------------------------------------------------------------------------
+
+TEST(NodeHealthTracker, TripsAfterConsecutiveFailuresAndProbes) {
+  placement::HealthConfig config;
+  config.trip_threshold = 3;
+  config.probe_interval = 4;
+  placement::NodeHealthTracker tracker(4, config);
+
+  // Two failures with a success in between never trip (the streak resets).
+  tracker.report_failure(1);
+  tracker.report_failure(1);
+  tracker.report_success(1);
+  tracker.report_failure(1);
+  tracker.report_failure(1);
+  EXPECT_EQ(tracker.state(1), placement::NodeHealthTracker::State::kHealthy);
+  EXPECT_TRUE(tracker.admit(1));
+
+  // The third consecutive failure trips.
+  tracker.report_failure(1);
+  EXPECT_EQ(tracker.state(1), placement::NodeHealthTracker::State::kTripped);
+  EXPECT_EQ(tracker.trips(1), 1u);
+  EXPECT_EQ(tracker.tripped_count(), 1u);
+
+  // Tripped: denied except every probe_interval-th consultation.
+  EXPECT_FALSE(tracker.admit(1));
+  EXPECT_FALSE(tracker.admit(1));
+  EXPECT_FALSE(tracker.admit(1));
+  EXPECT_TRUE(tracker.admit(1));  // the recovery probe
+  EXPECT_FALSE(tracker.admit(1));
+
+  // Other nodes are unaffected.
+  EXPECT_TRUE(tracker.admit(0));
+  EXPECT_EQ(tracker.state(0), placement::NodeHealthTracker::State::kHealthy);
+}
+
+TEST(NodeHealthTracker, SuccessfulProbeRestoresTheNode) {
+  placement::HealthConfig config;
+  config.trip_threshold = 2;
+  config.probe_interval = 3;
+  placement::NodeHealthTracker tracker(2, config);
+
+  tracker.report_failure(0);
+  tracker.report_failure(0);
+  ASSERT_EQ(tracker.state(0), placement::NodeHealthTracker::State::kTripped);
+
+  // The probe read succeeded: healthy again, admits freely.
+  tracker.report_success(0);
+  EXPECT_EQ(tracker.state(0), placement::NodeHealthTracker::State::kHealthy);
+  EXPECT_TRUE(tracker.admit(0));
+  EXPECT_TRUE(tracker.admit(0));
+  // Trip count is cumulative across recoveries.
+  tracker.report_failure(0);
+  tracker.report_failure(0);
+  EXPECT_EQ(tracker.trips(0), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// RetryPolicy seeded jitter
+// ---------------------------------------------------------------------------
+
+TEST(RetryPolicy, ZeroJitterReproducesTheLadderBitForBit) {
+  io::RetryPolicy policy;  // jitter defaults to 0
+  for (int retry = 0; retry < 6; ++retry) {
+    EXPECT_EQ(policy.backoff_seconds(retry, /*salt=*/0x1234),
+              policy.backoff_seconds(retry));
+  }
+}
+
+TEST(RetryPolicy, JitterIsDeterministicBoundedAndSaltDependent) {
+  io::RetryPolicy policy;
+  policy.jitter = 0.5;
+  policy.jitter_seed = 7;
+  bool any_salt_difference = false;
+  for (int retry = 0; retry < 4; ++retry) {
+    const double base = policy.backoff_seconds(retry);
+    const double a = policy.backoff_seconds(retry, /*salt=*/100);
+    // Pure function of (seed, salt, retry): replays charge the same value.
+    EXPECT_EQ(a, policy.backoff_seconds(retry, /*salt=*/100));
+    EXPECT_GE(a, base * (1.0 - policy.jitter));
+    EXPECT_LE(a, policy.backoff_max_seconds);
+    EXPECT_LT(a, base * (1.0 + policy.jitter) + 1e-12);
+    if (a != policy.backoff_seconds(retry, /*salt=*/101)) {
+      any_salt_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_salt_difference);
+}
+
+// ---------------------------------------------------------------------------
+// die_after_reads fault mode
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjection, DieAfterReadsKillsTheDevicePermanently) {
+  io::MemoryBlockDevice inner;
+  std::vector<std::byte> block(inner.block_size(), std::byte{0x5A});
+  for (int i = 0; i < 8; ++i) inner.append(block);
+
+  io::FaultConfig config;
+  config.die_after_reads = 3;
+  io::FaultInjectingBlockDevice device(inner, config);
+
+  std::vector<std::byte> out(inner.block_size());
+  // The first three reads are served untouched.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NO_THROW(device.read(static_cast<std::uint64_t>(i) * out.size(),
+                                out));
+    EXPECT_EQ(out.front(), std::byte{0x5A});
+  }
+  // Every read from the death point on fails — no recovery, any offset.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_THROW(device.read(0, out), io::IoError);
+  }
+  EXPECT_EQ(device.injected().read_failures, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Replicated build + query equivalence
+// ---------------------------------------------------------------------------
+
+parallel::Cluster make_cluster(std::size_t nodes) {
+  parallel::ClusterConfig config;
+  config.node_count = nodes;
+  config.in_memory = true;
+  return parallel::Cluster(config);
+}
+
+core::VolumeU8 test_volume() {
+  data::RmConfig config;
+  config.dims = {40, 40, 36};
+  return data::generate_rm_timestep(config, 200);
+}
+
+pipeline::PreprocessResult preprocess_k(const core::VolumeU8& volume,
+                                        parallel::Cluster& cluster,
+                                        std::size_t replication) {
+  const auto source = metacell::make_source(volume, 9);
+  pipeline::PreprocessConfig config;
+  config.placement.replication = replication;
+  return pipeline::preprocess(*source, cluster, config);
+}
+
+std::vector<std::byte> device_bytes(io::BlockDevice& device) {
+  std::vector<std::byte> bytes(device.size());
+  if (!bytes.empty()) device.read_raw(0, bytes);
+  return bytes;
+}
+
+TEST(ReplicatedBuild, KOneIsBitIdenticalToTheUnreplicatedBuild) {
+  const core::VolumeU8 volume = test_volume();
+  auto legacy = make_cluster(4);
+  auto k1 = make_cluster(4);
+
+  const auto source = metacell::make_source(volume, 9);
+  const pipeline::PreprocessResult reference =
+      pipeline::preprocess(*source, legacy);
+  const pipeline::PreprocessResult prep = preprocess_k(volume, k1, 1);
+
+  EXPECT_EQ(prep.replica_bytes_written, 0u);
+  ASSERT_EQ(prep.trees.size(), reference.trees.size());
+  for (std::size_t node = 0; node < prep.trees.size(); ++node) {
+    // Same index bytes (the v2 format is retained verbatim at k=1) and the
+    // same store bytes on every node.
+    EXPECT_EQ(prep.trees[node].to_bytes(), reference.trees[node].to_bytes());
+    EXPECT_EQ(device_bytes(k1.disk(node)), device_bytes(legacy.disk(node)));
+    EXPECT_FALSE(prep.trees[node].replica_directory().active());
+  }
+}
+
+TEST(ReplicatedBuild, KTwoAppendsReplicasWithoutMovingPrimaries) {
+  const core::VolumeU8 volume = test_volume();
+  auto k1 = make_cluster(4);
+  auto k2 = make_cluster(4);
+  const pipeline::PreprocessResult prep1 = preprocess_k(volume, k1, 1);
+  const pipeline::PreprocessResult prep2 = preprocess_k(volume, k2, 2);
+
+  EXPECT_GT(prep2.replica_bytes_written, 0u);
+  ASSERT_EQ(prep2.trees.size(), prep1.trees.size());
+  for (std::size_t node = 0; node < prep2.trees.size(); ++node) {
+    // Replicas append after all primary data: the k=1 store is a strict
+    // prefix of the k=2 store on every node.
+    const std::vector<std::byte> before = device_bytes(k1.disk(node));
+    const std::vector<std::byte> after = device_bytes(k2.disk(node));
+    ASSERT_GE(after.size(), before.size());
+    EXPECT_EQ(std::memcmp(after.data(), before.data(), before.size()), 0)
+        << "node " << node;
+
+    const index::ReplicaDirectory directory =
+        prep2.trees[node].replica_directory();
+    EXPECT_TRUE(directory.active());
+    for (const index::ReplicaGroup& group : directory.groups) {
+      EXPECT_LT(group.begin, group.end);
+      ASSERT_EQ(group.targets.size(), 1u);  // k=2: one replica per group
+      EXPECT_NE(group.targets[0].node, static_cast<std::uint32_t>(node));
+      // Every replica copy lives past the holder's primary region (the k=1
+      // store size, since the primary layout is placement-independent).
+      EXPECT_GE(group.targets[0].base, k1.disk(group.targets[0].node).size());
+    }
+  }
+}
+
+TEST(ReplicatedBuild, VThreeIndexRoundTripsThroughBytes) {
+  const core::VolumeU8 volume = test_volume();
+  auto cluster = make_cluster(4);
+  const pipeline::PreprocessResult prep = preprocess_k(volume, cluster, 2);
+
+  for (const index::CompactIntervalTree& tree : prep.trees) {
+    const std::vector<std::byte> bytes = tree.to_bytes();
+    const index::CompactIntervalTree loaded =
+        index::CompactIntervalTree::from_bytes(bytes);
+    EXPECT_EQ(loaded.replication(), tree.replication());
+    ASSERT_EQ(loaded.replica_groups().size(), tree.replica_groups().size());
+    for (std::size_t g = 0; g < tree.replica_groups().size(); ++g) {
+      const index::ReplicaGroup& a = tree.replica_groups()[g];
+      const index::ReplicaGroup& b = loaded.replica_groups()[g];
+      EXPECT_EQ(a.begin, b.begin);
+      EXPECT_EQ(a.end, b.end);
+      ASSERT_EQ(a.targets.size(), b.targets.size());
+      for (std::size_t t = 0; t < a.targets.size(); ++t) {
+        EXPECT_EQ(a.targets[t].node, b.targets[t].node);
+        EXPECT_EQ(a.targets[t].base, b.targets[t].base);
+      }
+    }
+    // And the round trip never perturbs the rest of the index.
+    EXPECT_EQ(loaded.to_bytes(), bytes);
+  }
+}
+
+bool same_triangles(const extract::TriangleSoup& a,
+                    const extract::TriangleSoup& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.triangles().data(), b.triangles().data(),
+                      a.size() * sizeof(extract::Triangle)) == 0);
+}
+
+TEST(ReplicatedQuery, RoutedKTwoMatchesKOneMeshes) {
+  const core::VolumeU8 volume = test_volume();
+  auto k1 = make_cluster(4);
+  auto k2 = make_cluster(4);
+  const pipeline::PreprocessResult prep1 = preprocess_k(volume, k1, 1);
+  const pipeline::PreprocessResult prep2 = preprocess_k(volume, k2, 2);
+
+  pipeline::QueryOptions options;
+  options.render = false;
+  options.keep_triangles = true;
+
+  pipeline::QueryEngine engine1(k1, prep1);
+  pipeline::QueryEngine engine2(k2, prep2);
+  for (const float isovalue : {100.0f, 128.0f, 160.0f}) {
+    const pipeline::QueryReport r1 = engine1.run(isovalue, options);
+    const pipeline::QueryReport r2 = engine2.run(isovalue, options);
+    // Routing re-targets device offsets but never changes item order or
+    // byte counts, so the meshes agree exactly.
+    EXPECT_TRUE(same_triangles(*r1.triangles_out, *r2.triangles_out))
+        << "isovalue " << isovalue;
+    EXPECT_FALSE(r2.degraded);
+    // Healthy routing is not a fault: load may spread, but nothing hedges.
+    EXPECT_EQ(r2.total_retrieval_faults().hedged_reads, 0u);
+    // served_io accounts every byte exactly once across the nodes.
+    io::IoStats routed_total;
+    io::IoStats direct_total;
+    for (std::size_t node = 0; node < 4; ++node) {
+      routed_total += r2.served_io(node);
+      direct_total += r2.nodes[node].io;
+    }
+    EXPECT_EQ(routed_total.read_ops, direct_total.read_ops);
+    EXPECT_EQ(routed_total.bytes_read, direct_total.bytes_read);
+  }
+}
+
+TEST(ReplicatedQuery, KOneReportIsBitIdenticalToUnreplicated) {
+  const core::VolumeU8 volume = test_volume();
+  auto legacy = make_cluster(4);
+  auto k1 = make_cluster(4);
+  const auto source = metacell::make_source(volume, 9);
+  const pipeline::PreprocessResult reference =
+      pipeline::preprocess(*source, legacy);
+  const pipeline::PreprocessResult prep = preprocess_k(volume, k1, 1);
+
+  pipeline::QueryOptions options;
+  options.render = false;
+  options.keep_triangles = true;
+  pipeline::QueryEngine ref_engine(legacy, reference);
+  pipeline::QueryEngine engine(k1, prep);
+  for (const float isovalue : {110.0f, 150.0f}) {
+    const pipeline::QueryReport expected = ref_engine.run(isovalue, options);
+    const pipeline::QueryReport actual = engine.run(isovalue, options);
+    EXPECT_TRUE(same_triangles(*expected.triangles_out,
+                               *actual.triangles_out));
+    ASSERT_EQ(actual.nodes.size(), expected.nodes.size());
+    for (std::size_t node = 0; node < actual.nodes.size(); ++node) {
+      // IoStats bit-identical: same ops, bytes, seeks — routing is inert.
+      EXPECT_EQ(actual.nodes[node].io.read_ops,
+                expected.nodes[node].io.read_ops);
+      EXPECT_EQ(actual.nodes[node].io.bytes_read,
+                expected.nodes[node].io.bytes_read);
+      EXPECT_EQ(actual.nodes[node].io.seeks, expected.nodes[node].io.seeks);
+      EXPECT_TRUE(actual.nodes[node].routed.empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace oociso

@@ -47,6 +47,9 @@ commands:
   preprocess  build the striped brick layout + index bundle
                 --volume FILE  --storage DIR  --nodes P (4)
                 --metacell K (9)  --ooc (stream; never load the volume)
+                --replication K (1; copies of every placement group kept on
+                rendezvous-chosen peer stores — queries route around dead
+                holders brick-granularly when K > 1)
   query       run an isovalue query against a preprocessed storage dir
                 --storage DIR  --nodes P (4)  --iso V (128)
                 --obj FILE  --image FILE  --imagesize N (512)  --weld
@@ -119,12 +122,25 @@ int cmd_generate(const util::CliArgs& args) {
 }
 
 int cmd_preprocess(const util::CliArgs& args) {
-  args.require_known({"volume", "storage", "nodes", "metacell", "ooc"});
+  args.require_known(
+      {"volume", "storage", "nodes", "metacell", "ooc", "replication"});
   const std::string volume_file = args.get("volume", "");
   const std::string storage = args.get("storage", "");
   if (volume_file.empty() || storage.empty()) return usage();
   const auto nodes = static_cast<std::size_t>(args.get_int("nodes", 4));
   const auto k = static_cast<std::int32_t>(args.get_int("metacell", 9));
+  const auto replication =
+      static_cast<std::size_t>(args.get_int_in("replication", 1, 1, 64));
+  if (replication > nodes) {
+    std::cerr << "error: --replication " << replication << " exceeds --nodes "
+              << nodes << "\n";
+    return 1;
+  }
+  if (replication > 1 && args.get_bool("ooc", false)) {
+    std::cerr << "error: --replication > 1 is not supported with --ooc yet; "
+                 "preprocess in-core\n";
+    return 1;
+  }
 
   std::filesystem::create_directories(storage);
   auto cluster = open_cluster(storage, nodes, /*existing=*/false);
@@ -142,6 +158,7 @@ int cmd_preprocess(const util::CliArgs& args) {
     const auto source = metacell::make_source(data::read_volume(volume_file), k);
     pipeline::PreprocessConfig config;
     config.samples_per_side = k;
+    config.placement.replication = replication;
     return pipeline::preprocess(*source, cluster, config);
   }();
   pipeline::save_bundle(prep, storage);
@@ -155,6 +172,10 @@ int cmd_preprocess(const util::CliArgs& args) {
             << " (raw volume " << util::human_bytes(prep.raw_bytes)
             << ")\n  index: " << util::human_bytes(prep.index_bytes())
             << " in-core, saved to bundle\n";
+  if (prep.replica_bytes_written > 0) {
+    std::cout << "  replicas: " << util::human_bytes(prep.replica_bytes_written)
+              << " (" << replication << "-way placement groups)\n";
+  }
   return 0;
 }
 
