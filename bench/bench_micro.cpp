@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "codec/codec.h"
 #include "data/analytic_fields.h"
 #include "data/noise.h"
 #include "data/rm_generator.h"
@@ -210,6 +211,33 @@ void BM_DecodeMetacell(benchmark::State& state) {
                           static_cast<std::int64_t>(record.size()));
 }
 BENCHMARK(BM_DecodeMetacell);
+
+void BM_CodecDecodeChunk(benchmark::State& state) {
+  // Chunk of encoded metacell records, as the preprocessor writes them —
+  // smooth scalar data that byte-shuffle + LZ actually compresses, so the
+  // decode loop runs its real mix of matches and literals.
+  const auto volume = data::make_gyroid_field({17, 17, 17});
+  const metacell::MetacellGeometry geometry(volume.dims(), 9);
+  std::vector<std::byte> record;
+  metacell::encode_metacell(volume, geometry, 0, record);
+  const std::size_t record_size = record.size();
+  std::vector<std::byte> raw;
+  while (raw.size() < static_cast<std::size_t>(state.range(0))) {
+    raw.insert(raw.end(), record.begin(), record.end());
+  }
+  std::vector<std::byte> encoded;
+  const codec::Codec used = codec::encode_chunk(raw, record_size, encoded);
+  std::vector<std::byte> out(raw.size());
+  for (auto _ : state) {
+    codec::decode_chunk(used, encoded, record_size, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(raw.size()));
+  state.counters["ratio"] = static_cast<double>(raw.size()) /
+                            static_cast<double>(encoded.size());
+}
+BENCHMARK(BM_CodecDecodeChunk)->Arg(64 << 10)->Arg(1 << 20);
 
 void BM_RasterizeSoup(benchmark::State& state) {
   const auto volume = data::make_sphere_field({32, 32, 32});

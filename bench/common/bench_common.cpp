@@ -43,6 +43,7 @@ BenchSetup BenchSetup::from_cli(int argc, char** argv, int default_dims) {
   setup.coalesce_gap = args.get_int("coalesce-gap", -1);
   setup.replication =
       static_cast<std::size_t>(args.get_int_in("replication", 1, 1, 64));
+  setup.compression = codec::parse_codec(args.get("compression", "none"));
   setup.trace_path = args.get("trace", "");
   if (!setup.trace_path.empty()) {
     // The deleter fires when the last BenchSetup copy dies at the end of
@@ -109,6 +110,7 @@ Prepared prepare_rm(const BenchSetup& setup, std::size_t nodes) {
   const auto source = metacell::make_source(volume, /*samples_per_side=*/9);
   pipeline::PreprocessConfig prep_config;
   prep_config.placement.replication = setup.replication;
+  prep_config.compression = setup.compression;
   pipeline::PreprocessResult prep =
       pipeline::preprocess(*source, *cluster, prep_config);
 
@@ -128,6 +130,17 @@ Prepared prepare_rm(const BenchSetup& setup, std::size_t nodes) {
     std::cout << "# replication: " << setup.replication << "-way, +"
               << util::human_bytes(prep.replica_bytes_written)
               << " replica bytes\n";
+  }
+  if (setup.compression != codec::Codec::kRaw) {
+    const double ratio =
+        prep.compressed_bytes_written > 0
+            ? static_cast<double>(prep.bytes_written) /
+                  static_cast<double>(prep.compressed_bytes_written)
+            : 1.0;
+    std::cout << "# compression: " << codec::codec_name(setup.compression)
+              << ", " << util::human_bytes(prep.compressed_bytes_written)
+              << " encoded of " << util::human_bytes(prep.bytes_written)
+              << " raw (" << util::fixed(ratio, 2) << "x)\n";
   }
 
   return Prepared{std::move(storage), std::move(cluster), std::move(prep),
@@ -411,6 +424,7 @@ void append_report_json(JsonWriter& json, const pipeline::QueryReport& report) {
     overlap_saved += node.overlap_saved_seconds;
     turnaround += node.turnaround_modeled_seconds;
   }
+  const double decode_cpu = report.total_decode_cpu_seconds();
 
   const index::RetrievalFaults faults_total = report.total_retrieval_faults();
   json.begin_object()
@@ -448,6 +462,7 @@ void append_report_json(JsonWriter& json, const pipeline::QueryReport& report) {
       .member("io_wall_sum_s", io_wall)
       .member("overlap_saved_sum_s", overlap_saved)
       .member("turnaround_modeled_sum_s", turnaround)
+      .member("decode_cpu_seconds", decode_cpu)
       .end_object();
   json.key("per_node").begin_array();
   for (std::size_t index = 0; index < report.nodes.size(); ++index) {
@@ -464,7 +479,8 @@ void append_report_json(JsonWriter& json, const pipeline::QueryReport& report) {
         .member("triangulation_s", node.triangulation_seconds)
         .member("rendering_s", node.rendering_seconds)
         .member("overlap_saved_s", node.overlap_saved_seconds)
-        .member("turnaround_modeled_s", node.turnaround_modeled_seconds);
+        .member("turnaround_modeled_s", node.turnaround_modeled_seconds)
+        .member("decode_cpu_s", node.decode_cpu_seconds);
     json.key("io");
     append_io_json(json, node.io);
     // Replica routing: which holder served each of this stripe's reads
@@ -515,6 +531,7 @@ void write_bench_json(const std::string& path, std::string_view bench,
       .member("coalesce", setup.coalesce)
       .member("coalesce_gap_bytes", setup.coalesce_gap)
       .member("replication", static_cast<std::uint64_t>(setup.replication))
+      .member("compression", codec::codec_name(setup.compression))
       .member("inject_faults", setup.inject_faults.has_value())
       .end_object();
   json.key("runs").begin_array();
@@ -525,6 +542,7 @@ void write_bench_json(const std::string& path, std::string_view bench,
         .member("kept_metacells", prep.kept_metacells)
         .member("total_metacells", prep.total_metacells)
         .member("brick_bytes", prep.bytes_written)
+        .member("compressed_bytes", prep.compressed_bytes_written)
         .member("raw_bytes", prep.raw_bytes)
         .member("index_bytes", static_cast<std::uint64_t>(prep.index_bytes()))
         .member("replica_bytes", prep.replica_bytes_written)

@@ -35,6 +35,10 @@
 //                  unreplicated, bit-identical legacy index); queries
 //                  route reads across live holders and fail over
 //                  brick-granularly (see DESIGN §13)
+//   --compression none|lz
+//                  per-chunk brick payload compression (default none =
+//                  bit-identical v2/v3 layout); lz writes index v4 and
+//                  queries decode on fetch (see DESIGN §14)
 //   --trace PATH   write a Chrome trace_event JSON (chrome://tracing /
 //                  Perfetto) of every query the bench runs: one process
 //                  per executed query, per-node compute/I-O lanes, span
@@ -87,6 +91,9 @@ struct BenchSetup {
   /// then route each read to the least-loaded live holder and fail over
   /// brick-granularly when a holder dies.
   std::size_t replication = 1;
+  /// --compression none|lz: per-chunk payload compression at preprocess;
+  /// queries decode on fetch, meshes stay bit-identical (DESIGN §14).
+  codec::Codec compression = codec::Codec::kRaw;
   /// --trace PATH: Chrome trace_event JSON destination; empty = off.
   std::string trace_path;
   /// Shared trace sink when --trace is given. The shared_ptr's deleter

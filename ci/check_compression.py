@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Compression gate for the release-bench CI job.
+
+Compares two bench --json documents from the same sweep, one preprocessed
+with --compression none (the baseline) and one with --compression lz, and
+fails unless the compressed store delivers its designed win:
+
+  1. Extraction is bit-identical at every isovalue: triangles and active
+     metacells must match exactly — the codec layer serves the same raw
+     address space, so a compressed store may never change the mesh.
+  2. The store actually shrank: the lz run's compressed_bytes must be
+     smaller than its brick_bytes by at least --min-ratio (default 1.2x).
+     The bench volume is a smooth synthetic field, so byte-shuffled deltas
+     compress well; a ratio collapse means the codec regressed.
+  3. Device traffic shrank with it: physical bytes read and the modeled
+     I/O time are strictly lower with lz summed over the sweep — the
+     stream reads compressed extents and decodes on fetch, so less data
+     crosses the (modeled) disk. Per isovalue this is reported but not
+     gated: mid-range bricks of the synthetic volume are noise-like, their
+     chunks escape to raw, and the shifted device layout can move a seek
+     boundary by a hair in either direction. The sums are deterministic —
+     no tolerance.
+  4. The decode work is accounted: the lz sweep reports nonzero
+     decode_cpu_seconds (nothing decodes for free) while the none sweep
+     reports zero.
+  5. The measured completion sum does not regress beyond --max-delta
+     (default 25%): decode CPU trades against I/O, and both are noisy on
+     shared runners, so this is a guard rail, not the primary assertion.
+
+Usage: check_compression.py NONE.json LZ.json [--min-ratio 1.2]
+                                              [--max-delta 0.25]
+"""
+
+import argparse
+import json
+import sys
+
+EPSILON = 1e-9  # float-accumulation slack on the deterministic comparisons
+
+
+def load(path: str):
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    queries = [q for run in doc["runs"] for q in run["queries"]]
+    if not queries:
+        raise SystemExit(f"{path}: no queries in document")
+    return doc["setup"], doc["runs"], queries
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("none", help="bench --json output at --compression none")
+    parser.add_argument("lz", help="bench --json output at --compression lz")
+    parser.add_argument("--min-ratio", type=float, default=1.2,
+                        help="smallest allowed raw/encoded store ratio "
+                             "(default 1.2x)")
+    parser.add_argument("--max-delta", type=float, default=0.25,
+                        help="largest allowed measured-completion regression "
+                             "(default 25%%)")
+    options = parser.parse_args()
+
+    none_setup, none_runs, none_queries = load(options.none)
+    lz_setup, lz_runs, lz_queries = load(options.lz)
+
+    failures = []
+    if none_setup.get("compression") != "none":
+        failures.append(f"baseline document has compression "
+                        f"{none_setup.get('compression')!r}, expected 'none'")
+    if lz_setup.get("compression") != "lz":
+        failures.append(f"candidate document has compression "
+                        f"{lz_setup.get('compression')!r}, expected 'lz'")
+    if len(none_queries) != len(lz_queries):
+        raise SystemExit(f"query count mismatch: {len(none_queries)} vs "
+                         f"{len(lz_queries)}")
+
+    print(f"compression gate: none -> lz, {len(none_queries)} isovalues")
+    for none_run, lz_run in zip(none_runs, lz_runs):
+        raw = lz_run["brick_bytes"]
+        encoded = lz_run["compressed_bytes"]
+        ratio = raw / encoded if encoded else 1.0
+        print(f"store ({lz_run['nodes']} nodes): {raw} raw -> {encoded} "
+              f"encoded ({ratio:.2f}x, floor {options.min_ratio:.2f}x)")
+        if none_run["compressed_bytes"] != none_run["brick_bytes"]:
+            failures.append(f"none run wrote {none_run['compressed_bytes']} "
+                            f"encoded bytes != {none_run['brick_bytes']} raw "
+                            f"— the none codec must be a passthrough")
+        if ratio < options.min_ratio:
+            failures.append(f"lz store ratio {ratio:.2f}x below the "
+                            f"{options.min_ratio:.2f}x floor")
+
+    print(f"{'isovalue':>9} {'bytes@none':>12} {'bytes@lz':>12} "
+          f"{'model@none':>11} {'model@lz':>11}  mesh")
+    for n, z in zip(none_queries, lz_queries):
+        if n["isovalue"] != z["isovalue"]:
+            raise SystemExit(f"isovalue mismatch: {n['isovalue']} vs "
+                             f"{z['isovalue']} — compare like sweeps")
+        mesh_same = (n["triangles"] == z["triangles"] and
+                     n["active_metacells"] == z["active_metacells"])
+        nb, zb = n["io"]["bytes_read"], z["io"]["bytes_read"]
+        nm = n["times"]["io_model_sum_s"]
+        zm = z["times"]["io_model_sum_s"]
+        print(f"{n['isovalue']:>9.1f} {nb:>12} {zb:>12} "
+              f"{nm:>11.6f} {zm:>11.6f}  {'same' if mesh_same else 'DIFFERS'}")
+        if not mesh_same:
+            failures.append(
+                f"isovalue {n['isovalue']}: extraction differs "
+                f"(triangles {n['triangles']} vs {z['triangles']}, "
+                f"active {n['active_metacells']} vs {z['active_metacells']})")
+
+    bytes_none = sum(q["io"]["bytes_read"] for q in none_queries)
+    bytes_lz = sum(q["io"]["bytes_read"] for q in lz_queries)
+    print(f"physical bytes sum: {bytes_none} -> {bytes_lz} "
+          f"({(bytes_lz - bytes_none) / bytes_none:+.2%})")
+    if not bytes_lz < bytes_none:
+        failures.append(f"physical bytes did not shrink over the sweep: "
+                        f"{bytes_none} -> {bytes_lz}")
+
+    model_none = sum(q["times"]["io_model_sum_s"] for q in none_queries)
+    model_lz = sum(q["times"]["io_model_sum_s"] for q in lz_queries)
+    print(f"modeled I/O sum: {model_none:.4f}s -> {model_lz:.4f}s "
+          f"({(model_lz - model_none) / model_none:+.2%})")
+    if not model_lz < model_none - EPSILON:
+        failures.append(f"modeled I/O did not strictly decrease over the "
+                        f"sweep: {model_none:.6f} -> {model_lz:.6f}")
+
+    none_decode = sum(q["times"]["decode_cpu_seconds"] for q in none_queries)
+    lz_decode = sum(q["times"]["decode_cpu_seconds"] for q in lz_queries)
+    print(f"decode cpu sum: none {none_decode:.6f}s, lz {lz_decode:.6f}s")
+    if none_decode > EPSILON:
+        failures.append(f"none sweep charged decode cpu ({none_decode:.6f}s) "
+                        f"— the passthrough codec must not decode")
+    if not lz_decode > 0.0:
+        failures.append("lz sweep charged no decode cpu — decode-on-fetch "
+                        "is not running")
+
+    completion_none = sum(q["times"]["completion_s"] for q in none_queries)
+    completion_lz = sum(q["times"]["completion_s"] for q in lz_queries)
+    delta = (completion_lz - completion_none) / completion_none
+    print(f"completion sum: {completion_none:.4f}s -> {completion_lz:.4f}s "
+          f"({delta:+.2%}, budget +{options.max_delta:.0%})")
+    if delta > options.max_delta:
+        failures.append(f"measured completion regressed {delta:.2%} "
+                        f"(> {options.max_delta:.0%})")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

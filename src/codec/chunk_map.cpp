@@ -1,0 +1,69 @@
+#include "codec/chunk_map.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace oociso::codec {
+
+void ChunkMap::finalize() {
+  std::sort(extents_.begin(), extents_.end(),
+            [](const ChunkExtent& a, const ChunkExtent& b) {
+              return a.raw_offset < b.raw_offset;
+            });
+  std::uint64_t prev_end = 0;
+  for (const ChunkExtent& extent : extents_) {
+    if (extent.raw_size == 0 || extent.comp_size == 0) {
+      throw std::invalid_argument("ChunkMap: zero-sized chunk extent");
+    }
+    if (extent.raw_offset < prev_end) {
+      throw std::invalid_argument("ChunkMap: overlapping raw extents");
+    }
+    prev_end = extent.raw_offset + extent.raw_size;
+  }
+  finalized_ = true;
+}
+
+std::uint64_t ChunkMap::raw_end() const {
+  if (!finalized_) throw std::logic_error("ChunkMap: not finalized");
+  if (extents_.empty()) return 0;
+  const ChunkExtent& last = extents_.back();
+  return last.raw_offset + last.raw_size;
+}
+
+std::uint64_t ChunkMap::raw_bytes() const {
+  std::uint64_t sum = 0;
+  for (const ChunkExtent& extent : extents_) sum += extent.raw_size;
+  return sum;
+}
+
+std::uint64_t ChunkMap::compressed_bytes() const {
+  std::uint64_t sum = 0;
+  for (const ChunkExtent& extent : extents_) sum += extent.comp_size;
+  return sum;
+}
+
+std::size_t ChunkMap::find(std::uint64_t raw_offset) const {
+  if (!finalized_) throw std::logic_error("ChunkMap: not finalized");
+  const auto it = std::upper_bound(
+      extents_.begin(), extents_.end(), raw_offset,
+      [](std::uint64_t offset, const ChunkExtent& extent) {
+        return offset < extent.raw_offset;
+      });
+  if (it == extents_.begin()) return extents_.size();
+  const std::size_t index = static_cast<std::size_t>(it - extents_.begin()) - 1;
+  const ChunkExtent& extent = extents_[index];
+  if (raw_offset >= extent.raw_offset + extent.raw_size) {
+    return extents_.size();
+  }
+  return index;
+}
+
+std::uint64_t ChunkMap::device_position(std::uint64_t raw_offset) const {
+  const std::size_t index = find(raw_offset);
+  if (index >= extents_.size()) return raw_offset;
+  const ChunkExtent& extent = extents_[index];
+  const std::uint64_t into = raw_offset - extent.raw_offset;
+  return extent.device_offset + std::min<std::uint64_t>(into, extent.comp_size);
+}
+
+}  // namespace oociso::codec

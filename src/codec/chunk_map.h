@@ -1,0 +1,87 @@
+#pragma once
+// Raw-address ↔ device-address map for compressed brick stores.
+//
+// Under index v4 every consumer keeps addressing bricks in *raw* space —
+// the byte offsets an uncompressed build would have produced — while the
+// device holds the chunks' encoded bytes back to back. The ChunkMap is the
+// per-store translation table: one ChunkExtent per CRC chunk, sorted by
+// raw offset, disjoint and dense over every raw range the store holds
+// (primary stripe plus any replica-group copies). index::build_chunk_maps
+// derives the per-node maps from the loaded trees; codec::
+// ChunkDecodingDevice consumes one to present the raw address space over
+// the compressed device.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "codec/codec.h"
+
+namespace oociso::codec {
+
+/// One CRC chunk's placement: `raw_size` decoded bytes addressed at
+/// `raw_offset`, stored as `comp_size` encoded bytes at `device_offset`.
+struct ChunkExtent {
+  std::uint64_t raw_offset = 0;
+  std::uint64_t device_offset = 0;
+  std::uint32_t raw_size = 0;
+  std::uint32_t comp_size = 0;
+  Codec codec = Codec::kRaw;
+};
+
+class ChunkMap {
+ public:
+  ChunkMap() = default;
+  explicit ChunkMap(std::size_t record_size) : record_size_(record_size) {}
+
+  [[nodiscard]] std::size_t record_size() const { return record_size_; }
+  void set_record_size(std::size_t record_size) { record_size_ = record_size; }
+
+  void add(const ChunkExtent& extent) {
+    extents_.push_back(extent);
+    finalized_ = false;
+  }
+
+  /// Sorts by raw offset and validates: disjoint raw extents, strictly
+  /// ascending, no zero-sized chunks. Throws std::invalid_argument on a
+  /// malformed map. Must be called before any lookup.
+  void finalize();
+
+  /// Merges another map's extents in (e.g. later time steps appending to
+  /// the same store); call finalize() again afterwards.
+  void merge(const ChunkMap& other) {
+    extents_.insert(extents_.end(), other.extents_.begin(),
+                    other.extents_.end());
+    finalized_ = false;
+  }
+
+  [[nodiscard]] bool empty() const { return extents_.empty(); }
+  [[nodiscard]] std::size_t size() const { return extents_.size(); }
+  [[nodiscard]] std::span<const ChunkExtent> extents() const {
+    return extents_;
+  }
+
+  /// One past the last mapped raw byte (0 when empty).
+  [[nodiscard]] std::uint64_t raw_end() const;
+  /// Sum of raw chunk sizes.
+  [[nodiscard]] std::uint64_t raw_bytes() const;
+  /// Sum of encoded chunk sizes (== raw_bytes for an uncompressed store).
+  [[nodiscard]] std::uint64_t compressed_bytes() const;
+
+  /// Index of the extent containing `raw_offset`, or size() when none.
+  [[nodiscard]] std::size_t find(std::uint64_t raw_offset) const;
+
+  /// Device-space position of a raw-space position: exact on chunk
+  /// boundaries (the only places schedules start and end reads), clamped
+  /// proportionally inside a chunk, identity past the mapped range. The
+  /// scheduler uses this to measure coalescing gaps in *compressed* bytes.
+  [[nodiscard]] std::uint64_t device_position(std::uint64_t raw_offset) const;
+
+ private:
+  std::vector<ChunkExtent> extents_;
+  std::size_t record_size_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace oociso::codec

@@ -1,0 +1,217 @@
+#include "codec/codec.h"
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "io/io_error.h"
+#include "util/crc32.h"
+
+namespace oociso::codec {
+namespace {
+
+[[noreturn]] void corrupt(const std::string& what) {
+  throw io::IoError(io::IoError::Kind::kCorruption, /*retriable=*/true,
+                    "codec: " + what);
+}
+
+// ---- byte shuffle ---------------------------------------------------------
+
+// shuffled[j * records + i] = raw[i * stride + j]: column-major over the
+// record fields. Self-inverse up to transposition; both directions below.
+
+void shuffle(std::span<const std::byte> in, std::size_t stride,
+             std::span<std::byte> out) {
+  const std::size_t records = in.size() / stride;
+  for (std::size_t i = 0; i < records; ++i) {
+    for (std::size_t j = 0; j < stride; ++j) {
+      out[j * records + i] = in[i * stride + j];
+    }
+  }
+}
+
+void unshuffle(std::span<const std::byte> in, std::size_t stride,
+               std::span<std::byte> out) {
+  const std::size_t records = in.size() / stride;
+  for (std::size_t i = 0; i < records; ++i) {
+    for (std::size_t j = 0; j < stride; ++j) {
+      out[i * stride + j] = in[j * records + i];
+    }
+  }
+}
+
+// ---- LZ block stream ------------------------------------------------------
+//
+// Token byte: high nibble = literal count, low nibble = match length − 4;
+// nibble value 15 extends with 255-continuation bytes (LZ4 convention).
+// After the literals, a 16-bit little-endian backward offset (1-based)
+// introduces the match; the final token carries literals only and ends the
+// stream without an offset.
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxOffset = 0xFFFF;
+constexpr std::size_t kHashBits = 13;
+
+std::uint32_t hash4(const std::byte* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void put_length(std::vector<std::byte>& out, std::size_t extra) {
+  while (extra >= 255) {
+    out.push_back(std::byte{255});
+    extra -= 255;
+  }
+  out.push_back(static_cast<std::byte>(extra));
+}
+
+void emit(std::vector<std::byte>& out, std::span<const std::byte> literals,
+          std::size_t match_len, std::size_t match_offset) {
+  const std::size_t lit_nibble = literals.size() < 15 ? literals.size() : 15;
+  const std::size_t match_extra = match_len >= kMinMatch ? match_len - kMinMatch : 0;
+  const std::size_t match_nibble = match_extra < 15 ? match_extra : 15;
+  out.push_back(static_cast<std::byte>((lit_nibble << 4) | match_nibble));
+  if (lit_nibble == 15) put_length(out, literals.size() - 15);
+  out.insert(out.end(), literals.begin(), literals.end());
+  if (match_len >= kMinMatch) {
+    out.push_back(static_cast<std::byte>(match_offset & 0xFF));
+    out.push_back(static_cast<std::byte>((match_offset >> 8) & 0xFF));
+    if (match_nibble == 15) put_length(out, match_extra - 15);
+  }
+}
+
+void compress_lz(std::span<const std::byte> in, std::vector<std::byte>& out) {
+  out.clear();
+  const std::size_t n = in.size();
+  std::vector<std::uint32_t> table(std::size_t{1} << kHashBits, 0);
+  std::vector<bool> seen(std::size_t{1} << kHashBits, false);
+  std::size_t anchor = 0;
+  std::size_t pos = 0;
+  while (n >= kMinMatch && pos + kMinMatch <= n) {
+    const std::uint32_t h = hash4(in.data() + pos);
+    const std::size_t candidate = table[h];
+    const bool usable = seen[h] && candidate < pos &&
+                        pos - candidate <= kMaxOffset &&
+                        std::memcmp(in.data() + candidate, in.data() + pos,
+                                    kMinMatch) == 0;
+    table[h] = static_cast<std::uint32_t>(pos);
+    seen[h] = true;
+    if (!usable) {
+      ++pos;
+      continue;
+    }
+    std::size_t len = kMinMatch;
+    while (pos + len < n && in[candidate + len] == in[pos + len]) ++len;
+    emit(out, in.subspan(anchor, pos - anchor), len, pos - candidate);
+    pos += len;
+    anchor = pos;
+  }
+  emit(out, in.subspan(anchor), 0, 0);  // trailing literals, no match
+}
+
+std::size_t get_length(std::span<const std::byte> in, std::size_t& pos,
+                       std::size_t nibble) {
+  std::size_t length = nibble;
+  if (nibble == 15) {
+    for (;;) {
+      if (pos >= in.size()) corrupt("truncated length extension");
+      const std::size_t step = std::to_integer<std::size_t>(in[pos++]);
+      length += step;
+      if (step != 255) break;
+    }
+  }
+  return length;
+}
+
+void decompress_lz(std::span<const std::byte> in, std::span<std::byte> out) {
+  std::size_t pos = 0;
+  std::size_t produced = 0;
+  for (;;) {
+    if (pos >= in.size()) corrupt("truncated token stream");
+    const std::size_t token = std::to_integer<std::size_t>(in[pos++]);
+    const std::size_t literals = get_length(in, pos, token >> 4);
+    if (literals > in.size() - pos) corrupt("literal run past stream end");
+    if (literals > out.size() - produced) corrupt("literal run past raw size");
+    std::memcpy(out.data() + produced, in.data() + pos, literals);
+    pos += literals;
+    produced += literals;
+    if (pos == in.size()) {
+      // Final token: literals only. The decoded length must land exactly.
+      if (produced != out.size()) corrupt("decoded length mismatch");
+      return;
+    }
+    if (in.size() - pos < 2) corrupt("truncated match offset");
+    const std::size_t offset = std::to_integer<std::size_t>(in[pos]) |
+                               (std::to_integer<std::size_t>(in[pos + 1]) << 8);
+    pos += 2;
+    if (offset == 0 || offset > produced) corrupt("match offset out of range");
+    const std::size_t match = kMinMatch + get_length(in, pos, token & 0xF);
+    if (match > out.size() - produced) corrupt("match run past raw size");
+    // Byte-by-byte: overlapping matches (offset < length) replicate runs.
+    for (std::size_t i = 0; i < match; ++i, ++produced) {
+      out[produced] = out[produced - offset];
+    }
+  }
+}
+
+}  // namespace
+
+Codec parse_codec(std::string_view name) {
+  if (name == "none") return Codec::kRaw;
+  if (name == "lz") return Codec::kLz;
+  throw std::invalid_argument("unknown compression codec '" +
+                              std::string(name) + "' (expected none|lz)");
+}
+
+Codec encode_chunk(std::span<const std::byte> raw, std::size_t record_size,
+                   std::vector<std::byte>& out) {
+  if (record_size == 0 || raw.size() % record_size != 0) {
+    throw std::invalid_argument("encode_chunk: size not a record multiple");
+  }
+  std::vector<std::byte> shuffled(raw.size());
+  shuffle(raw, record_size, shuffled);
+  std::vector<std::byte> body;
+  compress_lz(shuffled, body);
+  if (body.size() + sizeof(std::uint32_t) >= raw.size()) {
+    out.assign(raw.begin(), raw.end());
+    return Codec::kRaw;
+  }
+  const std::uint32_t crc = util::crc32(std::as_bytes(std::span(body)));
+  out.clear();
+  out.reserve(body.size() + sizeof(crc));
+  for (std::size_t i = 0; i < sizeof(crc); ++i) {
+    out.push_back(static_cast<std::byte>((crc >> (8 * i)) & 0xFF));
+  }
+  out.insert(out.end(), body.begin(), body.end());
+  return Codec::kLz;
+}
+
+void decode_chunk(Codec codec, std::span<const std::byte> encoded,
+                  std::size_t record_size, std::span<std::byte> out) {
+  if (record_size == 0 || out.size() % record_size != 0) {
+    throw std::invalid_argument("decode_chunk: size not a record multiple");
+  }
+  switch (codec) {
+    case Codec::kRaw:
+      if (encoded.size() != out.size()) corrupt("passthrough length mismatch");
+      std::memcpy(out.data(), encoded.data(), encoded.size());
+      return;
+    case Codec::kLz: {
+      if (encoded.size() <= sizeof(std::uint32_t)) corrupt("stream too short");
+      std::uint32_t stored = 0;
+      for (std::size_t i = 0; i < sizeof(stored); ++i) {
+        stored |= std::to_integer<std::uint32_t>(encoded[i]) << (8 * i);
+      }
+      const auto body = encoded.subspan(sizeof(stored));
+      if (util::crc32(body) != stored) corrupt("stream CRC mismatch");
+      std::vector<std::byte> shuffled(out.size());
+      decompress_lz(body, shuffled);
+      unshuffle(shuffled, record_size, out);
+      return;
+    }
+  }
+  corrupt("unknown chunk codec id");
+}
+
+}  // namespace oociso::codec

@@ -1,0 +1,74 @@
+#pragma once
+// Per-chunk lossless brick compression (index format v4, DESIGN §14).
+//
+// The unit of compression is the index's CRC chunk — the same
+// `crc_chunk_records * record_size` span the retrieval stream already
+// verifies atomically — so compression never changes chunk boundaries,
+// checksum coverage, or replica-group arithmetic. Each chunk is encoded
+// independently:
+//
+//   1. *Byte-shuffle* with stride = record_size: byte j of every record in
+//      the chunk is grouped together. Record fields (little-endian ids,
+//      vmin/vmax, samples) vary smoothly across neighboring metacells, so
+//      the transpose turns per-field high bytes into long near-constant
+//      runs the match stage can fold.
+//   2. *LZ stage*: a greedy LZ77 block format (4-byte minimum match,
+//      16-bit backward offsets, LZ4-style nibble token with 255-byte
+//      length extensions) over the shuffled bytes, prefixed with a CRC32
+//      of the encoded stream so a truncated or bit-flipped compressed
+//      chunk is rejected *before* the decoder touches it.
+//   3. *Raw-passthrough escape*: when stages 1–2 do not win, the chunk is
+//      stored verbatim with per-chunk codec id kRaw — an incompressible
+//      chunk never grows, and `--compression none` never changes a byte.
+//
+// CRC32s in the brick directory always cover the *raw* bytes, so the
+// existing verify/retry/hedge machinery checks decoded output end to end;
+// the encoded-stream CRC only exists to classify malformed compressed
+// input as the corruption fault it is (io::IoError, kind kCorruption,
+// retriable) instead of undefined decoder behavior.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace oociso::codec {
+
+/// Per-chunk codec id as stored in the v4 index.
+enum class Codec : std::uint8_t {
+  kRaw = 0,  ///< verbatim bytes (also the passthrough escape under kLz)
+  kLz = 1,   ///< byte-shuffle + LZ block stream (see file comment)
+};
+
+[[nodiscard]] constexpr std::string_view codec_name(Codec codec) {
+  switch (codec) {
+    case Codec::kRaw: return "none";
+    case Codec::kLz: return "lz";
+  }
+  return "?";
+}
+
+/// Parses a --compression flag value ("none" | "lz"); throws
+/// std::invalid_argument on anything else.
+[[nodiscard]] Codec parse_codec(std::string_view name);
+
+/// Encodes one chunk of `raw.size()` bytes (a multiple of `record_size`)
+/// into `out` and returns the codec actually used: kLz when the encoded
+/// form (including its stream CRC) is strictly smaller than the input,
+/// kRaw otherwise (out then holds the input verbatim). `out` is replaced.
+[[nodiscard]] Codec encode_chunk(std::span<const std::byte> raw,
+                                 std::size_t record_size,
+                                 std::vector<std::byte>& out);
+
+/// Decodes one chunk previously produced by encode_chunk into exactly
+/// `out.size()` raw bytes (the chunk's known raw size, a multiple of
+/// `record_size`). Malformed input — wrong passthrough length, stream CRC
+/// mismatch, truncated stream, out-of-range match, wrong decoded length —
+/// throws a *retriable* io::IoError of kind kCorruption, so callers treat
+/// a decode failure exactly like a checksum fault (invalidate, retry,
+/// reroute, hedge).
+void decode_chunk(Codec codec, std::span<const std::byte> encoded,
+                  std::size_t record_size, std::span<std::byte> out);
+
+}  // namespace oociso::codec

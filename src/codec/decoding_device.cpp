@@ -1,0 +1,81 @@
+#include "codec/decoding_device.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "io/decode_ledger.h"
+#include "util/timer.h"
+
+namespace oociso::codec {
+
+double thread_decode_cpu_seconds() { return io::thread_decode_cpu_seconds(); }
+
+void ChunkDecodingDevice::do_read(std::uint64_t offset,
+                                  std::span<std::byte> out) {
+  if (out.empty()) return;
+  const std::uint64_t end = offset + out.size();
+  const std::span<const ChunkExtent> extents = map_.extents();
+  std::size_t index = map_.find(offset);
+  if (index >= extents.size()) {
+    throw std::out_of_range("ChunkDecodingDevice: read before mapped space");
+  }
+  std::vector<std::byte> comp;
+  std::vector<std::byte> chunk;
+  std::uint64_t pos = offset;
+  while (pos < end) {
+    if (index >= extents.size() ||
+        extents[index].raw_offset > pos) {
+      throw std::out_of_range("ChunkDecodingDevice: read past mapped space");
+    }
+    // Group raw- and device-contiguous extents into one physical read, so a
+    // coalesced raw run keeps costing one inner read_op.
+    std::size_t run_end = index;
+    const std::uint64_t device_begin = extents[index].device_offset;
+    std::uint64_t device_end = device_begin;
+    std::uint64_t raw_cursor = extents[index].raw_offset;
+    while (run_end < extents.size() && raw_cursor < end &&
+           extents[run_end].raw_offset == raw_cursor &&
+           extents[run_end].device_offset == device_end) {
+      device_end += extents[run_end].comp_size;
+      raw_cursor += extents[run_end].raw_size;
+      ++run_end;
+    }
+    comp.resize(device_end - device_begin);
+    inner_.read(device_begin, comp);
+    util::ThreadCpuTimer cpu;
+    for (std::size_t i = index; i < run_end && pos < end; ++i) {
+      const ChunkExtent& extent = extents[i];
+      const std::uint64_t chunk_end = extent.raw_offset + extent.raw_size;
+      const std::span<const std::byte> encoded =
+          std::span<const std::byte>(comp).subspan(
+              extent.device_offset - device_begin, extent.comp_size);
+      if (extent.raw_offset >= offset && chunk_end <= end) {
+        // Chunk fully inside the request: decode straight into the caller.
+        decode_chunk(extent.codec, encoded, map_.record_size(),
+                     out.subspan(extent.raw_offset - offset, extent.raw_size));
+      } else {
+        chunk.resize(extent.raw_size);
+        decode_chunk(extent.codec, encoded, map_.record_size(), chunk);
+        const std::uint64_t copy_begin = std::max(pos, extent.raw_offset);
+        const std::uint64_t copy_end = std::min(end, chunk_end);
+        std::memcpy(out.data() + (copy_begin - offset),
+                    chunk.data() + (copy_begin - extent.raw_offset),
+                    copy_end - copy_begin);
+      }
+      pos = std::min(chunk_end, end);
+    }
+    const double spent = cpu.seconds();
+    io::charge_thread_decode_cpu(spent);
+    decode_nanos_.fetch_add(static_cast<std::uint64_t>(spent * 1e9),
+                            std::memory_order_relaxed);
+    index = run_end;
+  }
+}
+
+void ChunkDecodingDevice::do_write(std::uint64_t /*offset*/,
+                                   std::span<const std::byte> /*data*/) {
+  throw std::logic_error("ChunkDecodingDevice: read-only decorator");
+}
+
+}  // namespace oociso::codec

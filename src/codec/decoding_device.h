@@ -1,0 +1,83 @@
+#pragma once
+// Decode-on-fetch: the raw address space of a compressed brick store.
+//
+// A ChunkDecodingDevice stacks on any BlockDevice holding v4-encoded
+// chunks and serves reads in *raw* (uncompressed) byte addresses, so every
+// consumer above it — the shared buffer pool (which then caches *decoded*
+// frames, one device read of compressed bytes per single-flight claim),
+// the retrieval stream, replica views — keeps its addressing unchanged.
+// Each do_read:
+//
+//   1. resolves the raw range to its covering chunk extents,
+//   2. groups device-contiguous extents into single inner reads (so one
+//      coalesced raw run still costs one physical read),
+//   3. decodes each chunk (thread-CPU-timed) and copies the overlap into
+//      the caller's buffer.
+//
+// Accounting: stats()/reset_stats() forward to the inner device, so IoStats
+// snapshots taken around reads through this decorator see the *physical*
+// compressed traffic — the whole point of the exercise, since the modeled
+// DiskModel seconds derive from those stats. Decode CPU accumulates both
+// per-device (decode_cpu_seconds) and in a thread-local ledger
+// (thread_decode_cpu_seconds) so per-batch and per-caller attribution
+// stays exact even when several streams share one decoder under a pool.
+//
+// A malformed chunk (bit-flipped or truncated compressed bytes) throws the
+// codec's retriable kCorruption IoError out of read(): upstream this is
+// indistinguishable from a raw-CRC checksum fault, which is exactly the
+// taxonomy DESIGN §14 specifies.
+//
+// Thread-safety matches BlockDevice: not thread-safe; pools serialize
+// access under their device mutex, and each stream/view owns its decorator.
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "codec/chunk_map.h"
+#include "io/block_device.h"
+
+namespace oociso::codec {
+
+/// Total decode thread-CPU seconds this thread has spent in any
+/// ChunkDecodingDevice. Monotone per thread; snapshot around a read to
+/// attribute its decode cost.
+[[nodiscard]] double thread_decode_cpu_seconds();
+
+class ChunkDecodingDevice final : public io::BlockDevice {
+ public:
+  /// `inner` and `map` must outlive the device; `map` must be finalized.
+  ChunkDecodingDevice(io::BlockDevice& inner, const ChunkMap& map)
+      : io::BlockDevice(inner.block_size(), inner.readahead_blocks()),
+        inner_(inner),
+        map_(map) {}
+
+  /// The raw address space ends where the last mapped chunk does.
+  [[nodiscard]] std::uint64_t size() const override { return map_.raw_end(); }
+
+  /// Physical (compressed) traffic of the inner device.
+  [[nodiscard]] const io::IoStats& stats() const override {
+    return inner_.stats();
+  }
+  void reset_stats() override { inner_.reset_stats(); }
+
+  /// Decode thread-CPU spent by reads through *this* device.
+  [[nodiscard]] double decode_cpu_seconds() const {
+    return decode_nanos_.load(std::memory_order_relaxed) * 1e-9;
+  }
+
+  [[nodiscard]] io::BlockDevice& inner() { return inner_; }
+
+ protected:
+  void do_read(std::uint64_t offset, std::span<std::byte> out) override;
+  void do_write(std::uint64_t offset,
+                std::span<const std::byte> data) override;
+
+ private:
+  io::BlockDevice& inner_;
+  const ChunkMap& map_;
+  std::atomic<std::uint64_t> decode_nanos_{0};
+};
+
+}  // namespace oociso::codec

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "codec/codec.h"
+#include "codec/decoding_device.h"
 #include "index/retrieval_stream.h"
 #include "io/serial.h"
 #include "util/crc32.h"
@@ -17,13 +19,48 @@ constexpr std::uint32_t kIndexMagic = 0x4F434954;  // "OCIT"
 // replica table, DESIGN.md §13). An unreplicated tree still serializes as
 // v2 so k=1 index bytes stay bit-identical to pre-replication builds, and
 // from_bytes accepts both.
+// v4: per-chunk compression (DESIGN.md §14) — build codec id, the device
+// offset of the first encoded chunk, per-chunk encoded sizes and codec
+// ids aligned with the CRC array, and replica targets carrying both raw
+// and device bases. Only a tree actually built with compression writes
+// v4; `--compression none` keeps producing v2/v3 byte for byte.
 constexpr std::uint32_t kIndexVersionV2 = 2;
 constexpr std::uint32_t kIndexVersionV3 = 3;
+constexpr std::uint32_t kIndexVersionV4 = 4;
 
 /// Chunks a brick of `count` records splits into for checksumming.
 constexpr std::uint32_t chunk_count(std::uint32_t count,
                                     std::uint32_t chunk_records) {
   return chunk_records == 0 ? 0 : (count + chunk_records - 1) / chunk_records;
+}
+
+/// Walks a compressed tree's primary chunks in write order, calling
+/// `emit(chunk_index, extent)` for each. Bricks were appended in write
+/// order, so summing encoded sizes while walking the brick vector
+/// reproduces every chunk's device offset from device_base().
+template <typename Emit>
+void for_each_primary_chunk(const CompactIntervalTree& tree, Emit&& emit) {
+  const std::uint32_t chunk_records = tree.crc_chunk_records();
+  std::uint64_t device_cursor = tree.device_base();
+  for (const BrickEntry& brick : tree.bricks()) {
+    std::uint64_t raw = brick.offset;
+    const std::uint32_t chunks = chunk_count(brick.count, chunk_records);
+    for (std::uint32_t c = 0; c < chunks; ++c) {
+      const std::uint32_t records =
+          std::min(chunk_records, brick.count - c * chunk_records);
+      codec::ChunkExtent extent;
+      extent.raw_offset = raw;
+      extent.raw_size =
+          static_cast<std::uint32_t>(records * tree.record_size());
+      extent.device_offset = device_cursor;
+      extent.comp_size = tree.chunk_comp_sizes()[brick.crc_begin + c];
+      extent.codec =
+          static_cast<codec::Codec>(tree.chunk_codecs()[brick.crc_begin + c]);
+      emit(static_cast<std::size_t>(brick.crc_begin) + c, extent);
+      raw += extent.raw_size;
+      device_cursor += extent.comp_size;
+    }
+  }
 }
 
 }  // namespace
@@ -116,6 +153,25 @@ QueryStats CompactIntervalTree::execute(
   // Unlike the free execute_plan, the tree can hand the scheduler its brick
   // directory, so coalesced reads may bridge gaps between planned bricks
   // with full checksum cover.
+  if (compressed()) {
+    // `device` holds this tree's encoded chunks; present the raw address
+    // space the plan speaks, and let the scheduler budget coalescing gaps
+    // in device (encoded) bytes.
+    codec::ChunkMap map(record_size_);
+    for_each_primary_chunk(
+        *this,
+        [&](std::size_t, const codec::ChunkExtent& extent) { map.add(extent); });
+    map.finalize();
+    codec::ChunkDecodingDevice decoded(device, map);
+    RetrievalStream stream(plan, kind_, record_size_, decoded, {},
+                           BrickDirectory{bricks_, chunk_crcs_, {}, &map});
+    while (std::optional<RecordBatch> batch = stream.next()) {
+      for (std::size_t r = 0; r < batch->record_count; ++r) {
+        callback(batch->record(r));
+      }
+    }
+    return stream.stats();
+  }
   RetrievalStream stream(plan, kind_, record_size_, device, {},
                          BrickDirectory{bricks_, chunk_crcs_});
   while (std::optional<RecordBatch> batch = stream.next()) {
@@ -130,6 +186,95 @@ QueryStats CompactIntervalTree::query(
     core::ValueKey isovalue, io::BlockDevice& device,
     const std::function<void(std::span<const std::byte>)>& callback) const {
   return execute(plan(isovalue), device, callback);
+}
+
+std::uint64_t CompactIntervalTree::raw_payload_bytes() const {
+  std::uint64_t bytes = 0;
+  for (const BrickEntry& brick : bricks_) {
+    bytes += static_cast<std::uint64_t>(brick.count) * record_size_;
+  }
+  return bytes;
+}
+
+std::uint64_t CompactIntervalTree::compressed_payload_bytes() const {
+  if (!compressed()) return raw_payload_bytes();
+  std::uint64_t bytes = 0;
+  for (const std::uint32_t comp_size : chunk_comp_sizes_) bytes += comp_size;
+  return bytes;
+}
+
+// ---------------------------------------------------------------------------
+// Chunk maps (v4 raw↔device translation)
+// ---------------------------------------------------------------------------
+
+void append_chunk_maps(std::vector<codec::ChunkMap>& maps,
+                       std::span<const CompactIntervalTree> trees) {
+  if (maps.size() < trees.size()) maps.resize(trees.size());
+  for (std::size_t d = 0; d < trees.size(); ++d) {
+    const CompactIntervalTree& tree = trees[d];
+    if (!tree.compressed()) continue;
+    const std::size_t record_size = tree.record_size();
+    const std::uint32_t chunk_records = tree.crc_chunk_records();
+    const std::vector<std::uint32_t>& comp_sizes = tree.chunk_comp_sizes();
+    const std::vector<std::uint8_t>& chunk_codecs = tree.chunk_codecs();
+    if (comp_sizes.size() != tree.chunk_crcs().size() ||
+        chunk_codecs.size() != comp_sizes.size() || chunk_records == 0) {
+      throw std::runtime_error("chunk maps: inconsistent compression columns");
+    }
+    maps[d].set_record_size(record_size);
+    std::vector<codec::ChunkExtent> by_chunk(comp_sizes.size());
+    for_each_primary_chunk(
+        tree, [&](std::size_t chunk, const codec::ChunkExtent& extent) {
+          by_chunk[chunk] = extent;
+          maps[d].add(extent);
+        });
+    // Replica runs: each group's chunks land on the holder verbatim, so its
+    // extents are the primary ones rebased onto (target.base,
+    // target.device_base). Groups are consecutive brick runs; walk bricks
+    // with a cursor.
+    std::size_t brick_index = 0;
+    const std::vector<BrickEntry>& bricks = tree.bricks();
+    for (const ReplicaGroup& group : tree.replica_groups()) {
+      while (brick_index < bricks.size() &&
+             bricks[brick_index].offset < group.begin) {
+        ++brick_index;
+      }
+      std::size_t first_chunk = comp_sizes.size();
+      std::size_t last_chunk = 0;
+      for (std::size_t b = brick_index;
+           b < bricks.size() && bricks[b].offset < group.end; ++b) {
+        const std::size_t begin_chunk = bricks[b].crc_begin;
+        const std::size_t end_chunk =
+            begin_chunk + chunk_count(bricks[b].count, chunk_records);
+        first_chunk = std::min(first_chunk, begin_chunk);
+        last_chunk = std::max(last_chunk, end_chunk);
+      }
+      if (first_chunk >= last_chunk) continue;
+      const std::uint64_t group_device_begin =
+          by_chunk[first_chunk].device_offset;
+      for (const ReplicaTarget& target : group.targets) {
+        if (target.node >= maps.size()) maps.resize(target.node + 1);
+        maps[target.node].set_record_size(record_size);
+        for (std::size_t c = first_chunk; c < last_chunk; ++c) {
+          codec::ChunkExtent extent = by_chunk[c];
+          extent.raw_offset = target.base + (extent.raw_offset - group.begin);
+          extent.device_offset =
+              target.device_base + (extent.device_offset - group_device_begin);
+          maps[target.node].add(extent);
+        }
+      }
+    }
+  }
+  for (codec::ChunkMap& map : maps) {
+    if (!map.empty()) map.finalize();
+  }
+}
+
+std::vector<codec::ChunkMap> build_chunk_maps(
+    std::span<const CompactIntervalTree> trees) {
+  std::vector<codec::ChunkMap> maps(trees.size());
+  append_chunk_maps(maps, trees);
+  return maps;
 }
 
 std::size_t CompactIntervalTree::height() const {
@@ -153,13 +298,16 @@ std::size_t CompactIntervalTree::height() const {
 // ---------------------------------------------------------------------------
 
 std::vector<std::byte> CompactIntervalTree::to_bytes() const {
-  // An unreplicated tree writes the v2 layout byte for byte; only a tree
-  // that actually carries replica tables needs (and pays for) v3.
+  // An unreplicated, uncompressed tree writes the v2 layout byte for byte;
+  // only a tree that carries replica tables needs (and pays for) v3, and
+  // only a compressed tree needs v4.
   const bool replicated = replication_ > 1;
+  const bool is_compressed = compressed();
   std::vector<std::byte> out;
   io::ByteWriter writer(out);
   writer.put(kIndexMagic);
-  writer.put(replicated ? kIndexVersionV3 : kIndexVersionV2);
+  writer.put(is_compressed ? kIndexVersionV4
+                           : (replicated ? kIndexVersionV3 : kIndexVersionV2));
   writer.put(static_cast<std::uint8_t>(kind_));
   writer.put(static_cast<std::uint32_t>(record_size_));
   writer.put(total_metacells_);
@@ -171,7 +319,19 @@ std::vector<std::byte> CompactIntervalTree::to_bytes() const {
   for (const CompactNode& node : nodes_) writer.put(node);
   for (const BrickEntry& brick : bricks_) writer.put(brick);
   for (const std::uint32_t crc : chunk_crcs_) writer.put(crc);
-  if (replicated) {
+  if (is_compressed) {
+    writer.put(static_cast<std::uint8_t>(codec_));
+    writer.put(device_base_);
+    for (const std::uint32_t comp_size : chunk_comp_sizes_) {
+      writer.put(comp_size);
+    }
+    for (const std::uint8_t chunk_codec : chunk_codecs_) {
+      writer.put(chunk_codec);
+    }
+  }
+  if (replicated || is_compressed) {
+    // v4 writes the replication section unconditionally (count may be 0) so
+    // the reader never has to guess whether it is present.
     writer.put(static_cast<std::uint32_t>(replication_));
     writer.put(static_cast<std::uint32_t>(replica_groups_.size()));
     for (const ReplicaGroup& group : replica_groups_) {
@@ -181,6 +341,7 @@ std::vector<std::byte> CompactIntervalTree::to_bytes() const {
       for (const ReplicaTarget& target : group.targets) {
         writer.put(target.node);
         writer.put(target.base);
+        if (is_compressed) writer.put(target.device_base);
       }
     }
   }
@@ -194,7 +355,8 @@ CompactIntervalTree CompactIntervalTree::from_bytes(
     throw std::runtime_error("compact tree: bad magic");
   }
   const auto version = reader.get<std::uint32_t>();
-  if (version != kIndexVersionV2 && version != kIndexVersionV3) {
+  if (version != kIndexVersionV2 && version != kIndexVersionV3 &&
+      version != kIndexVersionV4) {
     throw std::runtime_error("compact tree: unsupported version");
   }
   CompactIntervalTree tree;
@@ -218,10 +380,37 @@ CompactIntervalTree CompactIntervalTree::from_bytes(
   for (std::uint32_t i = 0; i < crc_count; ++i) {
     tree.chunk_crcs_.push_back(reader.get<std::uint32_t>());
   }
+  const bool is_compressed = version >= kIndexVersionV4;
+  if (is_compressed) {
+    tree.codec_ = static_cast<codec::Codec>(reader.get<std::uint8_t>());
+    if (tree.codec_ == codec::Codec::kRaw) {
+      throw std::runtime_error("compact tree: v4 index without a codec");
+    }
+    tree.device_base_ = reader.get<std::uint64_t>();
+    tree.chunk_comp_sizes_.reserve(crc_count);
+    for (std::uint32_t i = 0; i < crc_count; ++i) {
+      const auto comp_size = reader.get<std::uint32_t>();
+      if (comp_size == 0) {
+        throw std::runtime_error("compact tree: zero-sized encoded chunk");
+      }
+      tree.chunk_comp_sizes_.push_back(comp_size);
+    }
+    tree.chunk_codecs_.reserve(crc_count);
+    for (std::uint32_t i = 0; i < crc_count; ++i) {
+      const auto chunk_codec = reader.get<std::uint8_t>();
+      if (chunk_codec > static_cast<std::uint8_t>(codec::Codec::kLz)) {
+        throw std::runtime_error("compact tree: unknown chunk codec id");
+      }
+      tree.chunk_codecs_.push_back(chunk_codec);
+    }
+  }
   if (version >= kIndexVersionV3) {
     tree.replication_ = reader.get<std::uint32_t>();
-    if (tree.replication_ < 2) {
+    if (tree.replication_ < 2 && !is_compressed) {
       throw std::runtime_error("compact tree: v3 index with replication < 2");
+    }
+    if (tree.replication_ < 1) {
+      throw std::runtime_error("compact tree: replication < 1");
     }
     const auto group_count = reader.get<std::uint32_t>();
     tree.replica_groups_.reserve(group_count);
@@ -245,6 +434,8 @@ CompactIntervalTree CompactIntervalTree::from_bytes(
         ReplicaTarget target;
         target.node = reader.get<std::uint32_t>();
         target.base = reader.get<std::uint64_t>();
+        target.device_base =
+            is_compressed ? reader.get<std::uint64_t>() : target.base;
         group.targets.push_back(target);
       }
       tree.replica_groups_.push_back(std::move(group));
@@ -361,7 +552,8 @@ CompactTreeBuilder::Result CompactTreeBuilder::build(
     const std::vector<metacell::MetacellInfo>& infos,
     const metacell::MetacellSource& source,
     std::span<io::BlockDevice* const> devices,
-    const placement::PlacementConfig& placement) {
+    const placement::PlacementConfig& placement, codec::Codec compression,
+    std::span<const std::uint64_t> raw_bases) {
   if (devices.empty()) {
     throw std::invalid_argument("CompactTreeBuilder: no devices");
   }
@@ -372,6 +564,11 @@ CompactTreeBuilder::Result CompactTreeBuilder::build(
   }
   const std::size_t p = devices.size();
   const std::size_t record_size = source.record_size();
+  const bool compress = compression != codec::Codec::kRaw;
+  if (!raw_bases.empty() && raw_bases.size() != p) {
+    throw std::invalid_argument(
+        "CompactTreeBuilder: raw_bases must cover every device");
+  }
   // The caller parameterizes replication/grouping/seed; the node count is
   // always the device list (validate catches replication > p).
   placement::PlacementConfig placement_config = placement;
@@ -396,6 +593,10 @@ CompactTreeBuilder::Result CompactTreeBuilder::build(
     tree.kind_ = source.kind();
     tree.record_size_ = record_size;
     tree.replication_ = placement_config.replication;
+    tree.codec_ = compression;
+    // Encoded bytes (if any) start where the device currently ends; brick
+    // offsets stay in *raw* space regardless of codec.
+    tree.device_base_ = devices[d]->size();
     // Checksum chunk = one device block's worth of records, which is also
     // the retrieval gallop's base read unit — every batch read covers whole
     // chunks, so each transfer is verified before any record is consumed.
@@ -417,8 +618,21 @@ CompactTreeBuilder::Result CompactTreeBuilder::build(
   // buffer and appended with one call, so preprocessing I/O is sequential
   // bulk writes on every disk.
   std::vector<std::vector<std::byte>> stripe_buffers(p);
+  // `next_offset` is the *raw* cursor: uncompressed it is also the write
+  // position; compressed it only numbers brick offsets while the separate
+  // device cursor tracks where encoded bytes land. Appending compressed
+  // data to stores that already hold compressed bytes requires the caller
+  // to supply the raw ends (`raw_bases`) — the device size no longer
+  // equals the raw end there.
   std::vector<std::uint64_t> next_offset(p);
-  for (std::size_t d = 0; d < p; ++d) next_offset[d] = devices[d]->size();
+  std::vector<std::uint64_t> device_cursor(p);
+  std::vector<std::byte> encoded_stripe;
+  std::vector<std::byte> chunk_scratch;
+  for (std::size_t d = 0; d < p; ++d) {
+    device_cursor[d] = devices[d]->size();
+    next_offset[d] = (compress && !raw_bases.empty()) ? raw_bases[d]
+                                                      : device_cursor[d];
+  }
   // The round-robin cursor continues across bricks rather than restarting
   // at disk 0: with many metacells per brick this is the paper's striping,
   // and with small bricks it removes the systematic bias that restarting
@@ -466,23 +680,44 @@ CompactTreeBuilder::Result CompactTreeBuilder::build(
           shape_node.metacells[begin].interval.vmax;
       for (std::size_t d = 0; d < p; ++d) {
         if (stripe_counts[d] == 0) continue;  // empty stripe: no entry at all
-        devices[d]->write(next_offset[d], stripe_buffers[d]);
+        if (!compress) devices[d]->write(next_offset[d], stripe_buffers[d]);
         CompactIntervalTree& tree = result.trees[d];
         BrickEntry entry{brick_vmax, stripe_min_vmin[d], next_offset[d],
                          stripe_counts[d]};
         // Checksum the stripe chunk by chunk from the write buffer — the
-        // CRCs cover exactly the bytes that just went to the media.
+        // CRCs cover exactly the *raw* bytes, so post-decode verification
+        // under any codec checks against the same values.
         entry.crc_begin = static_cast<std::uint32_t>(tree.chunk_crcs_.size());
         const std::uint32_t chunk_records = tree.crc_chunk_records_;
+        if (compress) encoded_stripe.clear();
         for (std::uint32_t r = 0; r < stripe_counts[d]; r += chunk_records) {
           const std::size_t chunk_bytes =
               static_cast<std::size_t>(
                   std::min(chunk_records, stripe_counts[d] - r)) *
               record_size;
-          tree.chunk_crcs_.push_back(util::crc32(
+          const auto raw_chunk =
               std::span(stripe_buffers[d])
                   .subspan(static_cast<std::size_t>(r) * record_size,
-                           chunk_bytes)));
+                           chunk_bytes);
+          tree.chunk_crcs_.push_back(util::crc32(raw_chunk));
+          if (compress) {
+            const codec::Codec used =
+                codec::encode_chunk(raw_chunk, record_size, chunk_scratch);
+            tree.chunk_comp_sizes_.push_back(
+                static_cast<std::uint32_t>(chunk_scratch.size()));
+            tree.chunk_codecs_.push_back(static_cast<std::uint8_t>(used));
+            encoded_stripe.insert(encoded_stripe.end(), chunk_scratch.begin(),
+                                  chunk_scratch.end());
+          }
+        }
+        if (compress) {
+          // One bulk write of the whole encoded stripe keeps preprocessing
+          // I/O sequential, same as the uncompressed path.
+          devices[d]->write(device_cursor[d], encoded_stripe);
+          device_cursor[d] += encoded_stripe.size();
+          result.compressed_bytes_written += encoded_stripe.size();
+        } else {
+          result.compressed_bytes_written += stripe_buffers[d].size();
         }
         tree.bricks_.push_back(entry);
         tree.total_metacells_ += stripe_counts[d];
@@ -506,6 +741,23 @@ CompactTreeBuilder::Result CompactTreeBuilder::build(
   if (placement_config.replication > 1 && record_size > 0) {
     const placement::ReplicaMap map(placement_config);
     const std::size_t group_bricks = placement_config.group_bricks;
+    // Compressed: replica copies are the verbatim encoded bytes, so reads
+    // and appends happen in device space while each target's raw base comes
+    // from a per-destination raw cursor that continues past the primaries.
+    std::vector<std::uint64_t> replica_raw_cursor(next_offset.begin(),
+                                                  next_offset.end());
+    std::vector<std::vector<std::uint64_t>> device_prefix(p);
+    if (compress) {
+      for (std::size_t d = 0; d < p; ++d) {
+        const std::vector<std::uint32_t>& comp_sizes =
+            result.trees[d].chunk_comp_sizes_;
+        device_prefix[d].resize(comp_sizes.size() + 1);
+        device_prefix[d][0] = result.trees[d].device_base_;
+        for (std::size_t c = 0; c < comp_sizes.size(); ++c) {
+          device_prefix[d][c + 1] = device_prefix[d][c] + comp_sizes[c];
+        }
+      }
+    }
     for (std::size_t d = 0; d < p; ++d) {
       CompactIntervalTree& tree = result.trees[d];
       const std::vector<BrickEntry>& bricks = tree.bricks_;
@@ -519,13 +771,32 @@ CompactTreeBuilder::Result CompactTreeBuilder::build(
         group.end = bricks[last].offset +
                     static_cast<std::uint64_t>(bricks[last].count) *
                         record_size;
-        buffer.resize(group.end - group.begin);
-        devices[d]->read(group.begin, buffer);
+        std::uint64_t read_begin = group.begin;
+        std::uint64_t read_end = group.end;
+        if (compress) {
+          const std::size_t chunk_begin = bricks[first].crc_begin;
+          const std::size_t chunk_end =
+              bricks[last].crc_begin +
+              chunk_count(bricks[last].count, tree.crc_chunk_records_);
+          read_begin = device_prefix[d][chunk_begin];
+          read_end = device_prefix[d][chunk_end];
+        }
+        buffer.resize(read_end - read_begin);
+        devices[d]->read(read_begin, buffer);
         const std::size_t g = first / group_bricks;
         for (const std::size_t node : map.replicas(d, g)) {
           const std::uint64_t base = devices[node]->append(buffer);
-          group.targets.push_back(
-              ReplicaTarget{static_cast<std::uint32_t>(node), base});
+          ReplicaTarget target;
+          target.node = static_cast<std::uint32_t>(node);
+          if (compress) {
+            target.base = replica_raw_cursor[node];
+            target.device_base = base;
+            replica_raw_cursor[node] += group.end - group.begin;
+          } else {
+            target.base = base;
+            target.device_base = base;
+          }
+          group.targets.push_back(target);
           result.replica_bytes_written += buffer.size();
         }
         tree.replica_groups_.push_back(std::move(group));

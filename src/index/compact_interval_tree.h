@@ -40,6 +40,7 @@
 #include <span>
 #include <vector>
 
+#include "codec/chunk_map.h"
 #include "core/interval.h"
 #include "io/block_device.h"
 #include "metacell/metacell.h"
@@ -49,10 +50,15 @@
 namespace oociso::index {
 
 /// One replica copy of a placement group: node `node` holds the group's
-/// bytes verbatim starting at device offset `base`.
+/// bytes verbatim starting at *raw* offset `base`. Under a compressed (v4)
+/// index raw offsets are the uncompressed-equivalent addresses every
+/// consumer plans in; `device_base` is where the copy's encoded bytes
+/// physically start on the holder. Uncompressed indexes have
+/// `device_base == base` (raw and device space coincide).
 struct ReplicaTarget {
   std::uint32_t node = 0;
   std::uint64_t base = 0;
+  std::uint64_t device_base = 0;
 };
 
 /// One placement group of a stripe tree: the group covers the contiguous
@@ -209,6 +215,36 @@ class CompactIntervalTree {
     return ReplicaDirectory{replication_, replica_groups_};
   }
 
+  /// Build codec of the brick payload (index v4; kRaw = uncompressed, the
+  /// v2/v3 layout byte for byte). Individual chunks may still be kRaw
+  /// passthroughs under a kLz build — see chunk_codecs().
+  [[nodiscard]] codec::Codec codec() const { return codec_; }
+  [[nodiscard]] bool compressed() const {
+    return codec_ != codec::Codec::kRaw;
+  }
+  /// Device offset of this tree's first encoded chunk (compressed trees
+  /// only; chunks then sit back to back in chunk-index order).
+  [[nodiscard]] std::uint64_t device_base() const { return device_base_; }
+  /// Per-chunk encoded sizes / codec ids, indexed like chunk_crcs() via
+  /// BrickEntry::crc_begin. Empty for an uncompressed tree.
+  [[nodiscard]] const std::vector<std::uint32_t>& chunk_comp_sizes() const {
+    return chunk_comp_sizes_;
+  }
+  [[nodiscard]] const std::vector<std::uint8_t>& chunk_codecs() const {
+    return chunk_codecs_;
+  }
+  /// Serialization version to_bytes() writes for this tree: 4 compressed,
+  /// 3 replicated-uncompressed, 2 base.
+  [[nodiscard]] std::uint32_t format_version() const {
+    if (compressed()) return 4;
+    return replication_ > 1 ? 3 : 2;
+  }
+  /// Raw (uncompressed-equivalent) bytes of the primary stripe payload.
+  [[nodiscard]] std::uint64_t raw_payload_bytes() const;
+  /// Encoded bytes of the primary stripe payload on the device
+  /// (== raw_payload_bytes() for an uncompressed tree).
+  [[nodiscard]] std::uint64_t compressed_payload_bytes() const;
+
   /// Number of index entries (the paper's O(n log n) size measure).
   [[nodiscard]] std::size_t entry_count() const { return bricks_.size(); }
 
@@ -235,6 +271,13 @@ class CompactIntervalTree {
   std::vector<BrickEntry> bricks_;
   std::vector<std::uint32_t> chunk_crcs_;  ///< per-brick-chunk checksums
   std::vector<ReplicaGroup> replica_groups_;
+  // v4 compression columns (empty / 0 for uncompressed trees): per-chunk
+  // encoded size and codec id, aligned with chunk_crcs_, plus the device
+  // offset the first chunk's encoded bytes start at.
+  std::vector<std::uint32_t> chunk_comp_sizes_;
+  std::vector<std::uint8_t> chunk_codecs_;
+  codec::Codec codec_ = codec::Codec::kRaw;
+  std::uint64_t device_base_ = 0;
   std::int32_t root_ = -1;
   core::ScalarKind kind_ = core::ScalarKind::kU8;
   std::size_t record_size_ = 0;
@@ -254,8 +297,12 @@ class CompactTreeBuilder {
     std::vector<CompactIntervalTree> trees;  ///< one per device
     std::uint64_t bricks_written = 0;        ///< global (non-striped) bricks
     std::uint64_t metacells_written = 0;
-    std::uint64_t bytes_written = 0;         ///< primary copies, all devices
-    std::uint64_t replica_bytes_written = 0; ///< replication pass (k > 1)
+    std::uint64_t bytes_written = 0;         ///< primary raw bytes, all devices
+    std::uint64_t replica_bytes_written = 0; ///< replication pass (k > 1),
+                                             ///< actual device bytes
+    /// Primary bytes as stored on the devices after encoding
+    /// (== bytes_written for an uncompressed build).
+    std::uint64_t compressed_bytes_written = 0;
   };
 
   /// `infos` are the (already culled) metacells with their intervals;
@@ -272,10 +319,36 @@ class CompactTreeBuilder {
   /// bricks, and checksums — is byte-identical at any replication factor:
   /// replicas are appended strictly after all primary data, so replication
   /// can never perturb an unreplicated workload.
+  ///
+  /// `compression` selects the v4 per-chunk codec. kRaw (the default)
+  /// takes the legacy code path untouched — device bytes and serialized
+  /// trees stay bit-identical to v2/v3. kLz encodes every CRC chunk
+  /// (codec/codec.h) and records the encoded extents in the trees; brick
+  /// offsets, CRCs, and replica-group arithmetic all stay in *raw*
+  /// address space, so planning and meshes are unaffected by the codec.
+  /// `raw_bases` gives, per device, the raw end of data already on it —
+  /// required when appending a compressed build to stores that already
+  /// hold compressed data (raw end != device size then); empty means
+  /// "device size", which is correct for fresh or uncompressed stores.
   static Result build(const std::vector<metacell::MetacellInfo>& infos,
                       const metacell::MetacellSource& source,
                       std::span<io::BlockDevice* const> devices,
-                      const placement::PlacementConfig& placement = {});
+                      const placement::PlacementConfig& placement = {},
+                      codec::Codec compression = codec::Codec::kRaw,
+                      std::span<const std::uint64_t> raw_bases = {});
 };
+
+/// Derives the per-node raw↔device chunk maps of a loaded index: node i's
+/// map covers tree i's primary chunks plus every replica-group copy other
+/// trees placed on node i. Uncompressed trees contribute nothing (their
+/// maps stay empty — no decode layer needed). Maps come back finalized.
+[[nodiscard]] std::vector<codec::ChunkMap> build_chunk_maps(
+    std::span<const CompactIntervalTree> trees);
+
+/// Accumulating variant for stores shared by several tree sets (e.g. a
+/// time-varying engine's steps appending to the same disks): merges the
+/// trees' extents into `maps` (resized if needed) and re-finalizes.
+void append_chunk_maps(std::vector<codec::ChunkMap>& maps,
+                       std::span<const CompactIntervalTree> trees);
 
 }  // namespace oociso::index

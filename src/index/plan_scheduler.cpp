@@ -237,9 +237,17 @@ ScheduledPlan schedule_plan(const QueryPlan& plan,
               directory.replicas.group_of(scan.offset);
       if (same_group && scan.offset >= run_end) {
         const std::uint64_t gap = scan.offset - run_end;
+        // Under a compressed store the bytes a bridged gap actually moves
+        // off the platter are the *encoded* ones; budget those instead of
+        // the raw gap (which still governs record tiling below).
+        const std::uint64_t budget_gap =
+            directory.chunk_map != nullptr
+                ? directory.chunk_map->device_position(scan.offset) -
+                      directory.chunk_map->device_position(run_end)
+                : gap;
         if (gap == 0) {
           joined = true;
-        } else if (gap <= params.max_gap_bytes &&
+        } else if (budget_gap <= params.max_gap_bytes &&
                    gap % params.record_size == 0) {
           // Bridge the gap with the unplanned bricks occupying it; when
           // verification needs CRC cover and the directory cannot supply

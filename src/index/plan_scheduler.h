@@ -54,6 +54,13 @@ struct BrickDirectory {
   /// group's holders (see RetrievalStream routing). Inactive (the default)
   /// leaves schedules bit-identical to the unreplicated layout.
   ReplicaDirectory replicas{};
+  /// Raw↔device translation of a compressed (v4) store. When set, the
+  /// coalescing gap budget is measured in *device* (encoded) bytes — what
+  /// a bridged gap actually costs on the platter — while everything else
+  /// (offsets, slices, CRC tiling) stays in raw space. Null for
+  /// uncompressed stores, where raw and device bytes coincide. Must be
+  /// finalized and outlive the schedule.
+  const codec::ChunkMap* chunk_map = nullptr;
 };
 
 struct ScheduleParams {

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "codec/decoding_device.h"
 #include "io/io_error.h"
 #include "io/serial.h"
 #include "util/crc32.h"
@@ -191,15 +192,22 @@ void RetrievalStream::read_with_retry(io::BlockDevice& device,
   span.arg("bytes", static_cast<std::uint64_t>(batch.data.size()));
   int failures = 0;
   double call_seconds = 0.0;
+  double call_decode = 0.0;
   io::CacheReadStats call_cache;
   const auto finish = [&] {
     batch.io_seconds += call_seconds;
     io_wall_seconds_ += call_seconds;
+    batch.decode_seconds += call_decode;
+    decode_cpu_seconds_ += call_decode;
     batch.cache.merge(call_cache);
     cache_stats_.merge(call_cache);
   };
   for (;;) {
     const util::WallTimer read_timer;
+    // Compressed stores decode inside the read (ChunkDecodingDevice);
+    // snapshot the thread's decode ledger so this batch is charged exactly
+    // its own decode CPU — 0 everywhere else.
+    const double decode_before = codec::thread_decode_cpu_seconds();
     try {
       if (cache != nullptr) {
         // The wall window includes time blocked on another stream's
@@ -210,9 +218,11 @@ void RetrievalStream::read_with_retry(io::BlockDevice& device,
       }
       verify(std::span<const std::byte>(batch.data));
       call_seconds += read_timer.seconds();
+      call_decode += codec::thread_decode_cpu_seconds() - decode_before;
       break;
     } catch (const io::IoError& error) {
       call_seconds += read_timer.seconds();
+      call_decode += codec::thread_decode_cpu_seconds() - decode_before;
       if (error.kind() == io::IoError::Kind::kCorruption) {
         ++faults_.checksum_failures;
         if (options_.metrics != nullptr) {
@@ -548,8 +558,7 @@ void RetrievalStream::submit_probe(std::size_t item_index,
 }
 
 void RetrievalStream::pump_submissions() {
-  while (next_submit_item_ < schedule_.items.size() &&
-         barrier_item_ == SIZE_MAX) {
+  while (next_submit_item_ < schedule_.items.size()) {
     // Bound outstanding work (in flight + buffered) by the queue depth —
     // but always let the delivery head through, or a fault-reordered
     // ready_ buffer could wedge the stream one submission short.
@@ -559,6 +568,12 @@ void RetrievalStream::pump_submissions() {
     }
     const ScheduledItem& item = schedule_.items[next_submit_item_];
     if (!item.is_prefix()) {
+      // Sequential items keep submitting even across a gallop barrier:
+      // their offsets lie beyond the galloping brick on the offset-monotone
+      // schedule, so the elevator still services the (lower-offset) probes
+      // first and the device sweep — hence every IoStats counter — matches
+      // the synchronous order; the early submissions just stop paying dry
+      // turnaround once the scan resolves.
       submit_sequential(next_submit_item_);
       ++next_submit_item_;
       continue;
@@ -570,16 +585,25 @@ void RetrievalStream::pump_submissions() {
       ++next_submit_item_;
       continue;
     }
+    if (barrier_item_ != SIZE_MAX) {
+      // A scan is already galloping and there is a single live scan
+      // state, so this one cannot start yet — and nothing beyond it may
+      // submit either: its first probe would not exist when the elevator
+      // picked among the later (higher-offset) items, the head would move
+      // past the brick, and the probe would cost a backward seek the
+      // synchronous sweep never pays. Stall here until the live scan
+      // resolves; the pump (or delivery) starts this scan then.
+      break;
+    }
     // First probe of a galloping scan: probe sizes double from one chunk,
     // so its parameters need no scan state. Later probes depend on the
-    // decoded prefix and are submitted at delivery — the scan is a
-    // barrier until it resolves.
+    // decoded prefix and are submitted at delivery.
     scan_done_ = 0;
     scan_batch_ = first_batch_records_;
     scan_stopped_ = false;
     barrier_item_ = next_submit_item_;
     submit_probe(next_submit_item_, scan);
-    break;
+    ++next_submit_item_;
   }
 }
 
@@ -593,11 +617,13 @@ void RetrievalStream::process_one_completion() {
   in_flight_.erase(it);
 
   job.batch.io_seconds += completion.wall_seconds;
+  job.batch.decode_seconds += completion.decode_seconds;
   job.batch.cache.merge(completion.cache);
   job.batch.io += completion.io;
   job.batch.turnaround_modeled_seconds +=
       completion.turnaround_modeled_seconds;
   io_wall_seconds_ += completion.wall_seconds;
+  decode_cpu_seconds_ += completion.decode_seconds;
   cache_stats_.merge(completion.cache);
   turnaround_modeled_seconds_ += completion.turnaround_modeled_seconds;
 
@@ -706,6 +732,18 @@ std::optional<RecordBatch> RetrievalStream::next_async() {
       if (!scan_entered_) {
         ++stats_.bricks_scanned;
         scan_entered_ = true;
+        if (scan.metacell_count > 0 && barrier_item_ != item_index_) {
+          // The pump stalled before reaching this scan (depth bound or an
+          // earlier gallop holding the live scan state). That state is
+          // free now — the pump never submits past an un-started scan, so
+          // no later scan ran — begin galloping here, exactly as the pump
+          // would have.
+          scan_done_ = 0;
+          scan_batch_ = first_batch_records_;
+          scan_stopped_ = false;
+          barrier_item_ = item_index_;
+          submit_probe(item_index_, scan);
+        }
       }
       if (scan.metacell_count == 0 || scan_stopped_ ||
           (barrier_item_ == item_index_ ? scan_done_ >= scan.metacell_count

@@ -66,6 +66,11 @@ struct RecordBatch {
   /// misses triggered, not the logical bytes it consumed.
   io::CacheReadStats cache;
   double io_seconds = 0.0;            ///< wall clock spent inside device reads
+  /// Thread-CPU seconds spent decoding compressed chunks for this batch
+  /// (codec::ChunkDecodingDevice; 0 on uncompressed stores). Included in
+  /// io_seconds' wall window but measured on the CPU clock, so the ledger
+  /// can charge it as compute alongside the modeled device time.
+  double decode_seconds = 0.0;
   /// Modeled host turnaround charged to this batch's (re)submissions by
   /// the async dispatcher (see RetrievalOptions::queue_depth); always 0 on
   /// the synchronous path. Like retry backoff, this is ledger-side modeled
@@ -235,6 +240,12 @@ class RetrievalStream {
   /// nothing else in the window.
   [[nodiscard]] double io_wall_seconds() const { return io_wall_seconds_; }
 
+  /// Total thread-CPU seconds spent decoding compressed chunks so far
+  /// (0 on uncompressed stores); equals the sum over delivered batches.
+  [[nodiscard]] double decode_cpu_seconds() const {
+    return decode_cpu_seconds_;
+  }
+
   /// True once every scheduled item of the plan has been consumed.
   [[nodiscard]] bool exhausted() const {
     return item_index_ >= schedule_.items.size();
@@ -384,6 +395,7 @@ class RetrievalStream {
   RetrievalFaults faults_;
   io::CacheReadStats cache_stats_;
   double io_wall_seconds_ = 0.0;
+  double decode_cpu_seconds_ = 0.0;
   double turnaround_modeled_seconds_ = 0.0;
 
   // Async dispatcher state (unused when queue_depth == 0).
@@ -391,8 +403,16 @@ class RetrievalStream {
   std::map<std::uint64_t, AsyncJob> in_flight_;   ///< ticket -> job
   std::map<std::size_t, RecordBatch> ready_;      ///< item index -> batch
   std::size_t next_submit_item_ = 0;  ///< first schedule item not submitted
-  /// Schedule index of the prefix scan currently galloping — a submission
-  /// barrier; no item beyond it may be submitted until it resolves.
+  /// Schedule index of the prefix scan currently galloping. Its probes are
+  /// sequentially dependent, so no *other scan* may start until it
+  /// resolves — but sequential items beyond it, up to the next un-started
+  /// scan, still submit (the schedule is offset-monotone and the elevator
+  /// services lowest-offset first, so the device sweep, and with it every
+  /// IoStats counter, stays identical to the synchronous execution; only
+  /// dry submissions drop). The pump never submits past a scan it hasn't
+  /// started: that scan's probe wouldn't be in the queue to win the
+  /// elevator's pick, and the head sweeping past it would turn the probe
+  /// into a backward seek the synchronous order never pays.
   std::size_t barrier_item_ = SIZE_MAX;
 };
 

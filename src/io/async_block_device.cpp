@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "io/decode_ledger.h"
 #include "util/timer.h"
 
 namespace oociso::io {
@@ -112,6 +113,7 @@ AsyncCompletion AsyncBlockDevice::wait_any() {
   }
 
   const util::WallTimer timer;
+  const double decode_before = thread_decode_cpu_seconds();
   const IoStats before = pool_ == nullptr ? device_.stats() : IoStats{};
   try {
     if (pool_ != nullptr) {
@@ -124,6 +126,7 @@ AsyncCompletion AsyncBlockDevice::wait_any() {
     completion.error = std::current_exception();
   }
   completion.wall_seconds = timer.seconds();
+  completion.decode_seconds = thread_decode_cpu_seconds() - decode_before;
   if (pool_ == nullptr) completion.io = device_.stats().since(before);
 
   // Head advances even on a failed service: the device accounted the

@@ -84,6 +84,9 @@ struct AsyncCompletion {
   IoStats io;            ///< device I/O this service performed
   CacheReadStats cache;  ///< pool accounting when pooled (zeros otherwise)
   double wall_seconds = 0.0;  ///< monotonic clock around the inner read
+  /// Thread-CPU seconds the service spent decoding compressed chunks
+  /// (codec::ChunkDecodingDevice in the read stack; 0 elsewhere).
+  double decode_seconds = 0.0;
   /// Modeled turnaround charged to this request (submit_overhead_seconds
   /// when its submission was dry, else 0).
   double turnaround_modeled_seconds = 0.0;

@@ -91,8 +91,13 @@ class BlockDevice {
   [[nodiscard]] std::uint64_t readahead_blocks() const {
     return readahead_blocks_;
   }
-  [[nodiscard]] const IoStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = IoStats{}; }
+  /// Virtual so address-translating decorators (codec::ChunkDecodingDevice)
+  /// can surface the *inner* device's accounting: callers snapshotting
+  /// stats() around reads through the decorator then see the physical
+  /// traffic (compressed bytes, real seek pattern), not the decorator's
+  /// raw-address-space view.
+  [[nodiscard]] virtual const IoStats& stats() const { return stats_; }
+  virtual void reset_stats() { stats_ = IoStats{}; }
 
   /// Mirrors every subsequent access into `registry` counters named
   /// `<prefix>.read_ops`, `.write_ops`, `.bytes_read`, `.bytes_written`,

@@ -1,0 +1,30 @@
+#pragma once
+// Per-thread decode-CPU ledger.
+//
+// Decoding decorators (codec::ChunkDecodingDevice) charge the thread-CPU
+// seconds they spend decompressing here; read-side consumers (the
+// retrieval stream, the async dispatcher) snapshot the ledger around a
+// read to attribute that read's exact decode cost — even when several
+// streams share one decoder, since the ledger is thread-local and decode
+// runs on the calling thread. Lives in io (not codec) so the async device
+// can read it without a dependency cycle: codec links io, never the
+// reverse.
+
+namespace oociso::io {
+
+namespace detail {
+inline thread_local double tls_decode_seconds = 0.0;
+}  // namespace detail
+
+/// Monotone total decode thread-CPU seconds this thread has spent in any
+/// decoding decorator. Snapshot before/after a read to attribute its cost.
+[[nodiscard]] inline double thread_decode_cpu_seconds() {
+  return detail::tls_decode_seconds;
+}
+
+/// Called by decoding decorators only.
+inline void charge_thread_decode_cpu(double seconds) {
+  detail::tls_decode_seconds += seconds;
+}
+
+}  // namespace oociso::io

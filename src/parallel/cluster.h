@@ -129,6 +129,18 @@ class Cluster {
   /// not be called while queries are reading through them.
   void disable_shared_cache() { transport_.disable_shared_cache(); }
 
+  /// Installs a compressed index's per-node chunk maps so later
+  /// enable_shared_cache calls decode on fetch (and raw-path consumers can
+  /// wrap their handles). See StoreTransport::set_chunk_maps.
+  void set_chunk_maps(std::vector<codec::ChunkMap> maps) {
+    transport_.set_chunk_maps(std::move(maps));
+  }
+
+  /// Node `node`'s chunk map, or nullptr for an uncompressed store.
+  [[nodiscard]] const codec::ChunkMap* chunk_map(std::size_t node) const {
+    return transport_.chunk_map(node);
+  }
+
   /// Node `node`'s shared pool, or nullptr when caching is disabled.
   [[nodiscard]] io::SharedBufferPool* cache(std::size_t node) {
     return transport_.cache(node);

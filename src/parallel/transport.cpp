@@ -50,6 +50,18 @@ std::vector<io::BlockDevice*> StoreTransport::disk_pointers() {
   return pointers;
 }
 
+void StoreTransport::set_chunk_maps(std::vector<codec::ChunkMap> maps) {
+  if (!caches_.empty()) {
+    throw std::logic_error(
+        "StoreTransport: set chunk maps before enabling the shared cache");
+  }
+  if (!maps.empty() && maps.size() != disks_.size()) {
+    throw std::invalid_argument(
+        "StoreTransport: need one ChunkMap per node (or none)");
+  }
+  chunk_maps_ = std::move(maps);
+}
+
 void StoreTransport::enable_shared_cache(
     std::size_t capacity_blocks, const std::vector<io::FaultConfig>& inject) {
   if (!caches_.empty()) {
@@ -61,12 +73,22 @@ void StoreTransport::enable_shared_cache(
   }
   caches_.reserve(disks_.size());
   if (!inject.empty()) cache_injectors_.reserve(disks_.size());
+  cache_decoders_.clear();
+  cache_decoders_.resize(disks_.size());
   for (std::size_t i = 0; i < disks_.size(); ++i) {
     io::BlockDevice* base = disks_[i].get();
     if (!inject.empty()) {
       cache_injectors_.push_back(
           std::make_unique<io::FaultInjectingBlockDevice>(*base, inject[i]));
       base = cache_injectors_.back().get();
+    }
+    if (const codec::ChunkMap* map = chunk_map(i); map != nullptr) {
+      // Decode-on-fetch: decoder outermost, so the pool claims, faults in,
+      // and caches *decoded* frames (raw address space) while the injector
+      // below keeps perturbing the physical encoded reads.
+      cache_decoders_[i] =
+          std::make_unique<codec::ChunkDecodingDevice>(*base, *map);
+      base = cache_decoders_[i].get();
     }
     caches_.push_back(
         std::make_unique<io::SharedBufferPool>(*base, capacity_blocks));
@@ -90,6 +112,7 @@ void StoreTransport::attach_metrics(obs::MetricsRegistry& registry) {
 
 void StoreTransport::disable_shared_cache() {
   caches_.clear();
+  cache_decoders_.clear();
   cache_injectors_.clear();
 }
 

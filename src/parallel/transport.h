@@ -14,6 +14,8 @@
 #include <optional>
 #include <vector>
 
+#include "codec/chunk_map.h"
+#include "codec/decoding_device.h"
 #include "io/block_device.h"
 #include "io/fault_injection.h"
 #include "io/shared_buffer_pool.h"
@@ -68,6 +70,27 @@ class StoreTransport {
   [[nodiscard]] std::unique_ptr<io::BlockDevice> open_replica_view(
       std::size_t node);
 
+  /// Installs the per-node raw↔device chunk maps of a compressed (v4)
+  /// index (index::build_chunk_maps). Once set, enable_shared_cache stacks
+  /// a codec::ChunkDecodingDevice between each mapped node's store (and
+  /// its fault injector, which keeps injecting on the *physical* encoded
+  /// reads) and its pool — so pools address, claim, and cache *decoded*
+  /// frames in raw space: one device read of compressed bytes per
+  /// single-flight claim, decode charged to the claiming thread's CPU
+  /// ledger, and every concurrent waiter reusing the decoded frame. Nodes
+  /// with an empty map keep the uncompressed path untouched. Must be
+  /// called before enable_shared_cache (throws std::logic_error after);
+  /// pass an empty vector to clear. `maps` must be sized 0 or size().
+  void set_chunk_maps(std::vector<codec::ChunkMap> maps);
+
+  /// Node `node`'s chunk map, or nullptr when none is installed (store is
+  /// uncompressed). Raw-path consumers wrap their private device handles
+  /// in their own ChunkDecodingDevice over this map.
+  [[nodiscard]] const codec::ChunkMap* chunk_map(std::size_t node) const {
+    if (chunk_maps_.empty() || chunk_maps_.at(node).empty()) return nullptr;
+    return &chunk_maps_.at(node);
+  }
+
   /// Builds one shared, thread-safe brick cache per node so concurrent
   /// queries against the same stripe dedup their device reads (see
   /// io/shared_buffer_pool.h). `capacity_blocks` is the per-node frame
@@ -75,8 +98,10 @@ class StoreTransport {
   /// deterministic fault injector configured by inject[i] — the transport
   /// owns the injector so every query sharing the pool sees one coherent
   /// fault stream. `inject` must be empty or have exactly one entry per
-  /// node. Throws std::logic_error if already enabled. Not thread-safe
-  /// against in-flight queries; call between query waves.
+  /// node. With chunk maps installed (set_chunk_maps) each mapped node's
+  /// pool reads through a decoder and caches decoded frames. Throws
+  /// std::logic_error if already enabled. Not thread-safe against
+  /// in-flight queries; call between query waves.
   void enable_shared_cache(std::size_t capacity_blocks,
                            const std::vector<io::FaultConfig>& inject = {});
 
@@ -113,9 +138,15 @@ class StoreTransport {
  private:
   TransportConfig config_;
   std::vector<std::unique_ptr<io::BlockDevice>> disks_;
+  /// Raw↔device maps of a compressed index (empty = uncompressed).
+  std::vector<codec::ChunkMap> chunk_maps_;
   /// Cache-level fault injectors (empty unless enable_shared_cache was
   /// given configs); each wraps the matching node store.
   std::vector<std::unique_ptr<io::FaultInjectingBlockDevice>> cache_injectors_;
+  /// Decode-on-fetch decorators (one per mapped node, null elsewhere);
+  /// stacked decoder(injector(disk)) so pools cache decoded frames while
+  /// faults hit the physical encoded reads.
+  std::vector<std::unique_ptr<codec::ChunkDecodingDevice>> cache_decoders_;
   /// Per-node shared pools (empty while caching is disabled).
   std::vector<std::unique_ptr<io::SharedBufferPool>> caches_;
   /// Registry from attach_metrics, so pools created later attach too.

@@ -31,9 +31,9 @@ PreprocessResult preprocess(const metacell::MetacellSource& source,
   }
 
   auto devices = cluster.disk_pointers();
-  index::CompactTreeBuilder::Result built =
-      index::CompactTreeBuilder::build(infos, source, devices,
-                                       config.placement);
+  index::CompactTreeBuilder::Result built = index::CompactTreeBuilder::build(
+      infos, source, devices, config.placement, config.compression,
+      config.raw_bases);
 
   PreprocessResult result{
       .trees = std::move(built.trees),
@@ -43,6 +43,7 @@ PreprocessResult preprocess(const metacell::MetacellSource& source,
       .kept_metacells = infos.size(),
       .bricks = built.bricks_written,
       .bytes_written = built.bytes_written,
+      .compressed_bytes_written = built.compressed_bytes_written,
       .replica_bytes_written = built.replica_bytes_written,
       .raw_bytes = geometry.volume_dims().count() *
                    core::scalar_size(source.kind()),

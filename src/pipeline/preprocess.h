@@ -24,6 +24,17 @@ struct PreprocessConfig {
   /// its k-1 rendezvous-chosen replica stores after the primary pass, so
   /// primary offsets never shift.
   placement::PlacementConfig placement{};
+  /// Per-chunk lossless compression of the brick payload (codec/codec.h).
+  /// kRaw (default) keeps the on-disk bytes bit-identical to an
+  /// uncompressed build; kLz writes index-format v4 with byte-shuffle + LZ
+  /// chunks and raw-space addressing, decoded on fetch at query time.
+  codec::Codec compression = codec::Codec::kRaw;
+  /// Per-device starting raw offsets for a compressed build that appends
+  /// after earlier compressed data (time-varying steps): raw address spaces
+  /// of consecutive steps must stay disjoint even though the device cursor
+  /// (compressed bytes) trails the raw cursor. Empty = start at each
+  /// device's current size (fresh store). Ignored for kRaw.
+  std::vector<std::uint64_t> raw_bases;
 };
 
 struct PreprocessResult {
@@ -35,7 +46,10 @@ struct PreprocessResult {
   std::uint64_t total_metacells = 0;  ///< before culling
   std::uint64_t kept_metacells = 0;   ///< after culling
   std::uint64_t bricks = 0;           ///< global (pre-striping) bricks
-  std::uint64_t bytes_written = 0;    ///< across all node disks
+  std::uint64_t bytes_written = 0;    ///< raw payload across all node disks
+  /// Physical device bytes of the primary payload (== bytes_written for an
+  /// uncompressed build; smaller under compression).
+  std::uint64_t compressed_bytes_written = 0;
   std::uint64_t replica_bytes_written = 0;  ///< replica copies (k > 1 only)
   std::uint64_t raw_bytes = 0;        ///< size of the raw scalar volume
   double elapsed_seconds = 0.0;

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "codec/decoding_device.h"
 #include "extract/marching_cubes.h"
 #include "index/retrieval_stream.h"
 #include "parallel/pipeline.h"
@@ -22,6 +23,9 @@ QueryEngine::QueryEngine(parallel::Cluster& cluster,
     throw std::invalid_argument(
         "QueryEngine: preprocess result node count differs from cluster");
   }
+  bool compressed = false;
+  for (const auto& tree : result.trees) compressed |= tree.compressed();
+  if (compressed) chunk_maps_ = index::build_chunk_maps(result.trees);
 }
 
 QueryReport QueryEngine::run(core::ValueKey isovalue,
@@ -153,6 +157,7 @@ QueryReport QueryEngine::run(core::ValueKey isovalue,
     std::vector<std::unique_ptr<io::BlockDevice>> replica_handles;
     std::vector<std::unique_ptr<io::FaultInjectingBlockDevice>>
         replica_injectors;
+    std::vector<std::unique_ptr<codec::ChunkDecodingDevice>> replica_decoders;
     if (route_this) {
       routing.primary = node;
       routing.health = options.health;
@@ -178,12 +183,23 @@ QueryReport QueryEngine::run(core::ValueKey isovalue,
                   *handle, std::move(config)));
           handle = replica_injectors.back().get();
         }
+        // Decoder outermost, like the primary path: faults perturb the
+        // physical encoded reads; a corrupted chunk fails decode and reroutes
+        // exactly like a checksum fault.
+        if (const codec::ChunkMap* map = chunk_map_for(j)) {
+          replica_decoders.push_back(
+              std::make_unique<codec::ChunkDecodingDevice>(*handle, *map));
+          handle = replica_decoders.back().get();
+        }
         routing.targets[j] = index::ReplicaRouting::Target{handle, nullptr};
       }
     }
 
     index::BrickDirectory directory{tree.bricks(), tree.chunk_crcs()};
     if (route_this) directory.replicas = tree.replica_directory();
+    // Compressed-extent awareness for the scheduler: gap budgeting between
+    // runs is priced in device (compressed) bytes, not raw bytes.
+    directory.chunk_map = chunk_map_for(node);
     index::RetrievalStream stream(std::move(plan), tree.scalar_kind(),
                                   tree.record_size(), device, retrieval,
                                   directory, cache, std::move(routing));
@@ -219,11 +235,15 @@ QueryReport QueryEngine::run(core::ValueKey isovalue,
       const double batch_cpu = cpu_timer.seconds();
       cpu_seconds += batch_cpu;
       ++mc_batches;
-      // Host turnaround rides on the batch like the disk price: at queue
-      // depth 1 every batch carries it, deeper queues hide all but the dry
-      // submissions — which is exactly what the pipelined window charges.
+      // Host turnaround and chunk decode ride on the batch like the disk
+      // price: decode happens on the fetch path before the batch is handed
+      // over, so it widens the I/O side of the window, never the compute
+      // side. At queue depth 1 every batch carries its turnaround, deeper
+      // queues hide all but the dry submissions — which is exactly what the
+      // pipelined window charges.
       io_batches.push_back(cluster_.disk_seconds(batch.io) +
-                           batch.turnaround_modeled_seconds);
+                           batch.turnaround_modeled_seconds +
+                           batch.decode_seconds);
       cpu_batches.push_back(batch_cpu);
       mc_span.arg("records", static_cast<std::uint64_t>(batch.record_count));
       mc_span.arg("triangles", batch_triangles);
@@ -284,6 +304,7 @@ QueryReport QueryEngine::run(core::ValueKey isovalue,
     node_report.triangulation_seconds = cpu_seconds;
     node_report.turnaround_modeled_seconds +=
         stream.turnaround_modeled_seconds();
+    node_report.decode_cpu_seconds += stream.decode_cpu_seconds();
 
     // Backoff and stall penalties are modeled I/O-side delay: they widen
     // this execution's retrieval charge (and with it the pipelined window),
@@ -302,12 +323,13 @@ QueryReport QueryEngine::run(core::ValueKey isovalue,
                                       options.readahead_batches, extra_io);
       node_report.overlap_saved_seconds = ledger.overlap_saved();
     } else {
-      // Serial (non-overlapped) accounting: turnaround extends the
-      // retrieval phase directly; the pipelined path above already carries
-      // it inside the per-batch io times.
+      // Serial (non-overlapped) accounting: turnaround and decode extend
+      // the retrieval phase directly; the pipelined path above already
+      // carries both inside the per-batch io times.
       ledger.add(parallel::Phase::kAmcRetrieval,
                  node_report.io_model_seconds + extra_io +
-                     stream.turnaround_modeled_seconds());
+                     stream.turnaround_modeled_seconds() +
+                     stream.decode_cpu_seconds());
       ledger.add(parallel::Phase::kTriangulation, cpu_seconds);
     }
 
@@ -326,6 +348,7 @@ QueryReport QueryEngine::run(core::ValueKey isovalue,
     extract_span.arg("bytes_read", node_report.io.bytes_read);
     extract_span.arg("io_model_seconds", node_report.io_model_seconds);
     extract_span.arg("io_wall_seconds", node_report.io_wall_seconds);
+    extract_span.arg("decode_cpu_seconds", node_report.decode_cpu_seconds);
     extract_span.arg("cache_hit_blocks", node_report.cache.hit_blocks);
     extract_span.arg("cache_miss_blocks", node_report.cache.miss_blocks);
     extract_span.arg("cache_wait_blocks", node_report.cache.wait_blocks);
@@ -349,14 +372,26 @@ QueryReport QueryEngine::run(core::ValueKey isovalue,
   // ---- per-node phase: AMC retrieval, triangulation, rendering ----------
   const std::vector<std::exception_ptr> node_errors =
       cluster_.run_collect([&](std::size_t node) {
-        io::BlockDevice& device =
-            injectors[node] ? *injectors[node] : cluster_.disk(node);
+        io::BlockDevice* device =
+            injectors[node] ? injectors[node].get() : &cluster_.disk(node);
         // Dead nodes keep their fail-all injector even under the shared
         // cache — their reads must not pollute (or be rescued by) the pool.
         io::SharedBufferPool* const cache =
             options.use_shared_cache && !injectors[node] ? cluster_.cache(node)
                                                          : nullptr;
-        extract_stripe(node, device, injectors[node].get(), cache,
+        // Raw path against a compressed store: this program's private
+        // decoder, outermost over the injector, so reads address raw bytes
+        // while faults hit the physical encoded reads. The shared-cache
+        // path decodes inside the transport's pool stack instead.
+        std::unique_ptr<codec::ChunkDecodingDevice> decoder;
+        if (cache == nullptr) {
+          if (const codec::ChunkMap* map = chunk_map_for(node)) {
+            decoder =
+                std::make_unique<codec::ChunkDecodingDevice>(*device, *map);
+            device = decoder.get();
+          }
+        }
+        extract_stripe(node, *device, injectors[node].get(), cache,
                        report.times.per_node[node], options.overlap_io_compute,
                        route);
         report.nodes[node].faults.executed_by =
@@ -401,8 +436,13 @@ QueryReport QueryEngine::run(core::ValueKey isovalue,
     } else {
       const std::unique_ptr<io::BlockDevice> store =
           cluster_.open_readonly(node);
-      extract_stripe(node, *store, nullptr, nullptr,
-                     report.times.per_node[peer],
+      io::BlockDevice* dev = store.get();
+      std::unique_ptr<codec::ChunkDecodingDevice> decoder;
+      if (const codec::ChunkMap* map = chunk_map_for(node)) {
+        decoder = std::make_unique<codec::ChunkDecodingDevice>(*dev, *map);
+        dev = decoder.get();
+      }
+      extract_stripe(node, *dev, nullptr, nullptr, report.times.per_node[peer],
                      /*overlap=*/false, /*route_this=*/false);
     }
     render_stripe(node, report.times.per_node[peer]);
@@ -486,6 +526,10 @@ QueryReport QueryEngine::run(core::ValueKey isovalue,
       io_h.observe(node_report.io_model_seconds);
       tri_h.observe(node_report.triangulation_seconds);
       ren_h.observe(node_report.rendering_seconds);
+    }
+    if (report.total_decode_cpu_seconds() > 0.0) {
+      m.histogram("query.decode_cpu_seconds")
+          .observe(report.total_decode_cpu_seconds());
     }
     m.histogram("query.composite_model_seconds")
         .observe(report.composite_model_seconds);

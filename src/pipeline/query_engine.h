@@ -159,6 +159,12 @@ struct NodeReport {
   double io_wall_seconds = 0.0;      ///< wall clock inside device reads
   double triangulation_seconds = 0.0;
   double rendering_seconds = 0.0;
+  /// Thread-CPU seconds this stripe spent decoding compressed chunks
+  /// (codec/decoding_device.h); 0 for an uncompressed index. Charged to the
+  /// I/O side of the extraction window — decode happens on the fetch path
+  /// (producer thread, async completion, or shared-pool claim), never on
+  /// the triangulation thread.
+  double decode_cpu_seconds = 0.0;
   /// Modeled seconds the retrieval/triangulation pipeline hid on this node
   /// (io + cpu − (max(io, cpu) + fill)); 0 when the query ran serial.
   double overlap_saved_seconds = 0.0;
@@ -221,6 +227,12 @@ struct QueryReport {
     for (const auto& node : nodes) total += node.faults.failovers;
     return total;
   }
+  /// Cluster-wide decode CPU (0 for an uncompressed index).
+  [[nodiscard]] double total_decode_cpu_seconds() const {
+    double total = 0.0;
+    for (const auto& node : nodes) total += node.decode_cpu_seconds;
+    return total;
+  }
   /// Device I/O served BY `node` across every stripe of this query —
   /// routing-aware: a routed stripe's reads are credited to the holders
   /// that actually served them, an unrouted stripe's to its own store
@@ -269,8 +281,21 @@ class QueryEngine {
                                 const QueryOptions& options = {});
 
  private:
+  /// Node `node`'s raw↔device chunk map, or nullptr for an uncompressed
+  /// index — raw-path programs wrap their device handles in a private
+  /// codec::ChunkDecodingDevice over it (the shared-cache path decodes
+  /// inside the transport's pool stack instead).
+  [[nodiscard]] const codec::ChunkMap* chunk_map_for(std::size_t node) const {
+    if (chunk_maps_.empty() || chunk_maps_[node].empty()) return nullptr;
+    return &chunk_maps_[node];
+  }
+
   parallel::Cluster& cluster_;
   const PreprocessResult& data_;
+  /// Per-node chunk maps built from the trees at construction (empty for an
+  /// uncompressed index); include the rebased replica extents, so routed
+  /// reads against any holder decode through the same map family.
+  std::vector<codec::ChunkMap> chunk_maps_;
 };
 
 }  // namespace oociso::pipeline

@@ -8,6 +8,14 @@
 namespace oociso::pipeline {
 
 void TimeVaryingEngine::preprocess_steps(int first, int count) {
+  const bool compressed = compression_ != codec::Codec::kRaw;
+  if (compressed && cluster_.cache(0) != nullptr) {
+    // The pools decode through the chunk maps installed when the cache came
+    // up; bricks appended afterwards would be invisible to that map.
+    throw std::logic_error(
+        "TimeVaryingEngine: preprocess all compressed steps before enabling "
+        "the shared cache");
+  }
   for (int step = first; step < first + count; ++step) {
     if (std::find(step_ids_.begin(), step_ids_.end(), step) !=
         step_ids_.end()) {
@@ -17,8 +25,21 @@ void TimeVaryingEngine::preprocess_steps(int first, int count) {
                                               samples_per_side_);
     PreprocessConfig config;
     config.samples_per_side = samples_per_side_;
+    config.compression = compression_;
+    if (compressed && !union_maps_.empty()) {
+      // Continue each node's raw address space past every earlier step so
+      // the per-step maps stay disjoint and merge into one union map.
+      config.raw_bases.resize(cluster_.size());
+      for (std::size_t d = 0; d < cluster_.size(); ++d) {
+        config.raw_bases[d] = union_maps_[d].raw_end();
+      }
+    }
     step_data_.push_back(preprocess(*source, cluster_, config));
     step_ids_.push_back(step);
+    if (compressed) {
+      if (union_maps_.empty()) union_maps_.resize(cluster_.size());
+      index::append_chunk_maps(union_maps_, step_data_.back().trees);
+    }
   }
 }
 
@@ -42,6 +63,9 @@ QueryReport TimeVaryingEngine::query(int step, core::ValueKey isovalue,
 
 void TimeVaryingEngine::enable_shared_cache(std::size_t capacity_blocks) {
   if (cluster_.cache(0) == nullptr) {
+    // Compressed steps: pools must decode through the union of every
+    // step's chunk maps, so warm frames stay valid across step sweeps.
+    if (!union_maps_.empty()) cluster_.set_chunk_maps(union_maps_);
     cluster_.enable_shared_cache(capacity_blocks);
   }
   use_shared_cache_ = true;

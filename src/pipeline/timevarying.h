@@ -20,11 +20,19 @@ class TimeVaryingEngine {
   /// Produces the volume for a given time step (deterministically).
   using VolumeProvider = std::function<data::AnyVolume(int step)>;
 
+  /// `compression` applies to every step's build. Compressed steps share
+  /// one raw address space per node: each step's raw offsets start at the
+  /// union raw end of the steps before it, so the per-node chunk maps of
+  /// all steps merge into one disjoint map (installed on the cluster when
+  /// the shared cache is enabled — cached decoded frames then stay
+  /// coherent across steps).
   TimeVaryingEngine(parallel::Cluster& cluster, VolumeProvider provider,
-                    std::int32_t samples_per_side = 9)
+                    std::int32_t samples_per_side = 9,
+                    codec::Codec compression = codec::Codec::kRaw)
       : cluster_(cluster),
         provider_(std::move(provider)),
-        samples_per_side_(samples_per_side) {}
+        samples_per_side_(samples_per_side),
+        compression_(compression) {}
 
   /// Preprocesses steps [first, first+count) in order; each step's bricks
   /// land after the previous step's on every node disk.
@@ -56,9 +64,13 @@ class TimeVaryingEngine {
   parallel::Cluster& cluster_;
   VolumeProvider provider_;
   std::int32_t samples_per_side_;
+  codec::Codec compression_ = codec::Codec::kRaw;
   bool use_shared_cache_ = false;
   std::vector<int> step_ids_;
   std::vector<PreprocessResult> step_data_;
+  /// Union of every preprocessed step's per-node chunk maps (empty unless
+  /// compressed); the next step's raw cursors continue from its raw ends.
+  std::vector<codec::ChunkMap> union_maps_;
 };
 
 }  // namespace oociso::pipeline

@@ -49,6 +49,14 @@ QueryServer::QueryServer(parallel::Cluster& cluster,
     in_flight_ = &options_.metrics->gauge("serve.in_flight");
   }
   if (options_.metrics != nullptr) health_.attach_metrics(*options_.metrics);
+  // Compressed index: install the per-node chunk maps before the pools come
+  // up, so every pool decodes on fetch and caches decoded (raw-space)
+  // frames. No-op for an uncompressed index (no tree is compressed).
+  bool compressed = false;
+  for (const auto& tree : data.trees) compressed |= tree.compressed();
+  if (compressed) {
+    cluster_.set_chunk_maps(index::build_chunk_maps(data.trees));
+  }
   if (!options_.inject_faults_per_node.empty()) {
     cluster_.enable_shared_cache(options_.cache_capacity_blocks,
                                  options_.inject_faults_per_node);

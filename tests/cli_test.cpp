@@ -181,6 +181,74 @@ TEST_F(CliTest, ServeTraceReconcilesWithMetrics) {
       kQueries);
 }
 
+TEST_F(CliTest, CompressedPreprocessRoundTripsThroughInfoAndQuery) {
+  const std::string volume = path("volume.oocv");
+  ASSERT_EQ(run_cli("generate --dims 40 --seed 7 --out " + volume, path("g"))
+                .exit_code,
+            0);
+
+  // Unknown codec names are usage errors (exit 2 + usage), not typos that
+  // silently fall back to an uncompressed store.
+  const RunResult bad =
+      run_cli("preprocess --volume " + volume + " --storage " + path("bad") +
+                  " --nodes 2 --compression zstd",
+              path("z"));
+  EXPECT_EQ(bad.exit_code, 2);
+  EXPECT_NE(bad.output.find("error: unknown --compression"), std::string::npos);
+  EXPECT_NE(bad.output.find("usage:"), std::string::npos);
+
+  // One store per codec; both reattach through the bundle loader.
+  const std::string plain = path("plain");
+  const std::string packed = path("packed");
+  ASSERT_EQ(run_cli("preprocess --volume " + volume + " --storage " + plain +
+                        " --nodes 2",
+                    path("p0"))
+                .exit_code,
+            0);
+  ASSERT_EQ(run_cli("preprocess --volume " + volume + " --storage " + packed +
+                        " --nodes 2 --compression lz",
+                    path("p1"))
+                .exit_code,
+            0);
+
+  // `info` surfaces the v4 metadata: version, codec, chunk count, and both
+  // byte totals (the encoded row only exists on a compressed store).
+  const RunResult info = run_cli("info --storage " + packed, path("i"));
+  ASSERT_EQ(info.exit_code, 0) << info.output;
+  EXPECT_NE(info.output.find("index version"), std::string::npos);
+  EXPECT_NE(info.output.find("4"), std::string::npos);
+  EXPECT_NE(info.output.find("compression"), std::string::npos);
+  EXPECT_NE(info.output.find("lz"), std::string::npos);
+  EXPECT_NE(info.output.find("chunks"), std::string::npos);
+  EXPECT_NE(info.output.find("raw payload"), std::string::npos);
+  EXPECT_NE(info.output.find("encoded payload"), std::string::npos);
+
+  const RunResult plain_info = run_cli("info --storage " + plain, path("i0"));
+  ASSERT_EQ(plain_info.exit_code, 0) << plain_info.output;
+  EXPECT_NE(plain_info.output.find("none"), std::string::npos);
+  EXPECT_EQ(plain_info.output.find("encoded payload"), std::string::npos);
+
+  // The same query decodes on fetch to the same extraction: the counts in
+  // the report line ("N active metacells, M triangles") must match the
+  // uncompressed store's verbatim (the line's timing tail is measured, so
+  // only the deterministic prefix is compared).
+  const RunResult q_plain =
+      run_cli("query --storage " + plain + " --nodes 2 --iso 120", path("q0"));
+  const RunResult q_packed =
+      run_cli("query --storage " + packed + " --nodes 2 --iso 120", path("q1"));
+  ASSERT_EQ(q_plain.exit_code, 0) << q_plain.output;
+  ASSERT_EQ(q_packed.exit_code, 0) << q_packed.output;
+  const auto counts_prefix = [](const std::string& output) {
+    const std::size_t at = output.find(" triangles");
+    EXPECT_NE(at, std::string::npos) << output;
+    const std::size_t start = output.rfind('\n', at) + 1;
+    return output.substr(start, at - start);
+  };
+  const std::string expected = counts_prefix(q_plain.output);
+  EXPECT_NE(expected.find("isovalue 120"), std::string::npos);
+  EXPECT_EQ(counts_prefix(q_packed.output), expected);
+}
+
 TEST_F(CliTest, QueryTraceIsValidJson) {
   const std::string volume = path("volume.oocv");
   ASSERT_EQ(run_cli("generate --dims 40 --seed 7 --out " + volume, path("g"))

@@ -50,6 +50,9 @@ commands:
                 --replication K (1; copies of every placement group kept on
                 rendezvous-chosen peer stores — queries route around dead
                 holders brick-granularly when K > 1)
+                --compression none|lz (none; lz writes index v4 with
+                byte-shuffle + LZ chunks, decoded on fetch at query time —
+                meshes stay bit-identical)
   query       run an isovalue query against a preprocessed storage dir
                 --storage DIR  --nodes P (4)  --iso V (128)
                 --obj FILE  --image FILE  --imagesize N (512)  --weld
@@ -79,7 +82,8 @@ commands:
                 faults, injected at the cluster level under the cache)
                 --trace FILE (Chrome trace_event JSON, one pid per query)
                 --metrics FILE (metrics-registry JSON snapshot)
-  info        print bundle statistics
+  info        print bundle statistics (index version, replication,
+              compression codec, chunk counts, raw/encoded byte totals)
                 --storage DIR
   suggest     profile a volume's span space and suggest isovalues
                 --volume FILE  --metacell K (9)  --count N (5)
@@ -122,8 +126,8 @@ int cmd_generate(const util::CliArgs& args) {
 }
 
 int cmd_preprocess(const util::CliArgs& args) {
-  args.require_known(
-      {"volume", "storage", "nodes", "metacell", "ooc", "replication"});
+  args.require_known({"volume", "storage", "nodes", "metacell", "ooc",
+                      "replication", "compression"});
   const std::string volume_file = args.get("volume", "");
   const std::string storage = args.get("storage", "");
   if (volume_file.empty() || storage.empty()) return usage();
@@ -138,6 +142,20 @@ int cmd_preprocess(const util::CliArgs& args) {
   }
   if (replication > 1 && args.get_bool("ooc", false)) {
     std::cerr << "error: --replication > 1 is not supported with --ooc yet; "
+                 "preprocess in-core\n";
+    return 1;
+  }
+  const std::string compression_name = args.get("compression", "none");
+  codec::Codec compression = codec::Codec::kRaw;
+  try {
+    compression = codec::parse_codec(compression_name);
+  } catch (const std::exception&) {
+    std::cerr << "error: unknown --compression '" << compression_name
+              << "' (none|lz)\n";
+    return usage();
+  }
+  if (compression != codec::Codec::kRaw && args.get_bool("ooc", false)) {
+    std::cerr << "error: --compression is not supported with --ooc yet; "
                  "preprocess in-core\n";
     return 1;
   }
@@ -159,6 +177,7 @@ int cmd_preprocess(const util::CliArgs& args) {
     pipeline::PreprocessConfig config;
     config.samples_per_side = k;
     config.placement.replication = replication;
+    config.compression = compression;
     return pipeline::preprocess(*source, cluster, config);
   }();
   pipeline::save_bundle(prep, storage);
@@ -175,6 +194,16 @@ int cmd_preprocess(const util::CliArgs& args) {
   if (prep.replica_bytes_written > 0) {
     std::cout << "  replicas: " << util::human_bytes(prep.replica_bytes_written)
               << " (" << replication << "-way placement groups)\n";
+  }
+  if (compression != codec::Codec::kRaw) {
+    const double ratio =
+        prep.compressed_bytes_written > 0
+            ? static_cast<double>(prep.bytes_written) /
+                  static_cast<double>(prep.compressed_bytes_written)
+            : 1.0;
+    std::cout << "  compression: " << codec::codec_name(compression) << ", "
+              << util::human_bytes(prep.compressed_bytes_written)
+              << " encoded (" << util::fixed(ratio, 2) << "x)\n";
   }
   return 0;
 }
@@ -419,6 +448,31 @@ int cmd_info(const util::CliArgs& args) {
   table.add_row({"bricks on disk", util::human_bytes(prep.bytes_written)});
   table.add_row({"node count", std::to_string(prep.trees.size())});
   table.add_row({"index in-core", util::human_bytes(prep.index_bytes())});
+  if (!prep.trees.empty()) {
+    const index::CompactIntervalTree& first = prep.trees.front();
+    std::uint64_t chunks = 0;
+    std::uint64_t raw_bytes = 0;
+    std::uint64_t encoded_bytes = 0;
+    for (const auto& tree : prep.trees) {
+      chunks += tree.chunk_crcs().size();
+      raw_bytes += tree.raw_payload_bytes();
+      encoded_bytes += tree.compressed_payload_bytes();
+    }
+    table.add_row({"index version", std::to_string(first.format_version())});
+    table.add_row({"replication", std::to_string(first.replication())});
+    table.add_row({"compression", std::string(codec::codec_name(first.codec()))});
+    table.add_row({"chunks", util::with_commas(chunks)});
+    table.add_row({"raw payload", util::human_bytes(raw_bytes)});
+    if (first.compressed()) {
+      const double ratio = encoded_bytes > 0
+                               ? static_cast<double>(raw_bytes) /
+                                     static_cast<double>(encoded_bytes)
+                               : 1.0;
+      table.add_row({"encoded payload", util::human_bytes(encoded_bytes) +
+                                            " (" + util::fixed(ratio, 2) +
+                                            "x)"});
+    }
+  }
   for (std::size_t i = 0; i < prep.trees.size(); ++i) {
     table.add_row({"  node " + std::to_string(i),
                    util::with_commas(prep.trees[i].entry_count()) +
