@@ -4,10 +4,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <optional>
+#include <string>
+#include <vector>
+
 #include "codec/codec.h"
 #include "data/analytic_fields.h"
 #include "data/noise.h"
 #include "data/rm_generator.h"
+#include "extract/kernel.h"
 #include "extract/marching_cubes.h"
 #include "extract/mc_tables.h"
 #include "index/compact_interval_tree.h"
@@ -168,6 +173,66 @@ void BM_ExtractMetacellPercell(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 512);  // cells per metacell
 }
 BENCHMARK(BM_ExtractMetacellPercell);
+
+/// Arg(0..2) -> scalar/sse2/avx2; skipped (not failed) when the host
+/// cannot dispatch the requested ISA, so the suite runs everywhere.
+std::optional<extract::KernelIsa> bench_isa(benchmark::State& state) {
+  const auto isa = static_cast<extract::KernelIsa>(
+      static_cast<std::uint8_t>(extract::KernelIsa::kScalar) +
+      static_cast<std::uint8_t>(state.range(0)));
+  state.SetLabel(std::string(extract::kernel::isa_name(isa)));
+  if (!extract::kernel::available(isa)) {
+    state.SkipWithError("ISA not available on this CPU");
+    return std::nullopt;
+  }
+  return isa;
+}
+
+void BM_ClassifyRow(benchmark::State& state) {
+  // The classify primitive in isolation: one long sample row against one
+  // isovalue, items/s = samples graded per second. The ratio between the
+  // scalar and SIMD labels is the pure lane-width win, before any
+  // triangulation amortizes it.
+  const auto isa = bench_isa(state);
+  if (!isa.has_value()) return;
+  const extract::kernel::ClassifyRowFn classify =
+      extract::kernel::detail::classify_fn(*isa);
+  constexpr std::size_t kSamples = 4096;
+  util::Xoshiro256 rng(17);
+  std::vector<float> row(kSamples);
+  for (float& v : row) v = static_cast<float>(rng.bounded(256));
+  std::vector<std::uint64_t> bits((kSamples + 63) / 64);
+  for (auto _ : state) {
+    classify(row.data(), kSamples, 128.0f, bits.data());
+    benchmark::DoNotOptimize(bits.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kSamples));
+}
+BENCHMARK(BM_ClassifyRow)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_ExtractMetacellSimd(benchmark::State& state) {
+  // Full metacell extraction with the classify ISA pinned — the
+  // end-to-end view of the same A/B (classification is only part of each
+  // metacell's work, so expect a smaller ratio than BM_ClassifyRow).
+  const auto isa = bench_isa(state);
+  if (!isa.has_value()) return;
+  const auto volume = data::make_gyroid_field({17, 17, 17});
+  const metacell::MetacellGeometry geometry(volume.dims(), 9);
+  std::vector<std::byte> record;
+  metacell::encode_metacell(volume, geometry, 0, record);
+  const auto cell =
+      metacell::decode_metacell(record, core::ScalarKind::kU8, geometry);
+  extract::TriangleSoup soup;
+  const extract::KernelOptions kernel{*isa};
+  for (auto _ : state) {
+    soup.clear();
+    const auto stats = extract::extract_metacell(cell, 128.0f, soup, kernel);
+    benchmark::DoNotOptimize(stats.triangles);
+  }
+  state.SetItemsProcessed(state.iterations() * 512);  // cells per metacell
+}
+BENCHMARK(BM_ExtractMetacellSimd)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_ExtractVolume(benchmark::State& state) {
   const auto n = static_cast<std::int32_t>(state.range(0));

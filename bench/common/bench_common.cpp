@@ -44,6 +44,13 @@ BenchSetup BenchSetup::from_cli(int argc, char** argv, int default_dims) {
   setup.replication =
       static_cast<std::size_t>(args.get_int_in("replication", 1, 1, 64));
   setup.compression = codec::parse_codec(args.get("compression", "none"));
+  setup.kernel.isa = extract::kernel::parse_isa(args.get("kernel", "auto"));
+  if (!extract::kernel::available(setup.kernel.isa)) {
+    throw std::invalid_argument(
+        "--kernel " + std::string(extract::kernel::isa_name(setup.kernel.isa)) +
+        " is not supported by this CPU (use --kernel auto)");
+  }
+  setup.mesh_crc = args.get_bool("mesh-crc", false);
   setup.trace_path = args.get("trace", "");
   if (!setup.trace_path.empty()) {
     // The deleter fires when the last BenchSetup copy dies at the end of
@@ -76,6 +83,8 @@ pipeline::QueryOptions BenchSetup::query_options() const {
   options.retrieval.queue_depth = queue_depth;
   options.retrieval.coalesce = coalesce;
   options.retrieval.coalesce_gap_bytes = coalesce_gap;
+  options.kernel = kernel;
+  options.compute_mesh_crc = mesh_crc;
   options.tracer = tracer.get();
   return options;
 }
@@ -437,7 +446,16 @@ void append_report_json(JsonWriter& json, const pipeline::QueryReport& report) {
               static_cast<std::uint64_t>(faults_total.hedged_reads))
       .member("rerouted_reads",
               static_cast<std::uint64_t>(faults_total.rerouted_reads))
-      .member("mtri_per_second", report.mtri_per_second());
+      .member("mtri_per_second", report.mtri_per_second())
+      .member("kernel_isa", extract::kernel::isa_name(report.kernel_isa))
+      .member("cells_classified", report.total_cells_classified())
+      .member("active_cells", report.total_active_cells())
+      .member("vertex_cache_hits", report.total_vertex_cache_hits())
+      .member("classify_seconds", report.total_classify_seconds())
+      .member("classified_cells_per_s", report.classified_cells_per_second());
+  if (report.mesh_crc.has_value()) {
+    json.member("mesh_crc", static_cast<std::uint64_t>(*report.mesh_crc));
+  }
   json.key("io");
   append_io_json(json, io_total);
   // Shared-pool accounting; all zeros for uncached queries, kept in the
@@ -532,6 +550,8 @@ void write_bench_json(const std::string& path, std::string_view bench,
       .member("coalesce_gap_bytes", setup.coalesce_gap)
       .member("replication", static_cast<std::uint64_t>(setup.replication))
       .member("compression", codec::codec_name(setup.compression))
+      .member("kernel_isa", extract::kernel::isa_name(setup.kernel.isa))
+      .member("mesh_crc", setup.mesh_crc)
       .member("inject_faults", setup.inject_faults.has_value())
       .end_object();
   json.key("runs").begin_array();

@@ -39,6 +39,12 @@
 //                  per-chunk brick payload compression (default none =
 //                  bit-identical v2/v3 layout); lz writes index v4 and
 //                  queries decode on fetch (see DESIGN §14)
+//   --kernel auto|scalar|sse2|avx2
+//                  marching-cubes classification kernel (default auto =
+//                  widest ISA the host supports; see DESIGN §15). The
+//                  mesh is bit-identical across ISAs.
+//   --mesh-crc     compute the canonical mesh hash per query into the
+//                  JSON (`mesh_crc`) — the cross-ISA identity gate
 //   --trace PATH   write a Chrome trace_event JSON (chrome://tracing /
 //                  Perfetto) of every query the bench runs: one process
 //                  per executed query, per-node compute/I-O lanes, span
@@ -94,6 +100,11 @@ struct BenchSetup {
   /// --compression none|lz: per-chunk payload compression at preprocess;
   /// queries decode on fetch, meshes stay bit-identical (DESIGN §14).
   codec::Codec compression = codec::Codec::kRaw;
+  /// --kernel auto|scalar|sse2|avx2: marching-cubes classification ISA
+  /// (validated against the host up front; auto = runtime dispatch).
+  extract::KernelOptions kernel;
+  /// --mesh-crc: hash every query's mesh into the JSON (`mesh_crc`).
+  bool mesh_crc = false;
   /// --trace PATH: Chrome trace_event JSON destination; empty = off.
   std::string trace_path;
   /// Shared trace sink when --trace is given. The shared_ptr's deleter

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""SIMD-kernel gate for the release-bench CI job.
+
+Compares two bench --json documents from the same sweep, one forced to
+--kernel scalar (the baseline) and one at --kernel auto (the candidate,
+dispatching the widest ISA the runner supports), and fails unless the
+SIMD path delivers its contract:
+
+  1. Extraction is bit-identical at every isovalue: the canonical mesh
+     CRC (--mesh-crc must be on in both runs), triangle count, active
+     metacells, active cells, and cells classified all match exactly —
+     a vectorized classify may never change the mesh or what the
+     incremental pipeline visits.
+  2. Classification got faster: classify throughput summed over the
+     sweep (cells_classified / classify_seconds) must reach
+     --min-speedup (default 1.3x) of the scalar run's. When the runner
+     resolves --kernel auto to scalar (no SIMD available, or
+     OOCISO_DISABLE_SIMD in the environment), the ratchet is skipped
+     with a warning — identity above still gates.
+  3. The measured completion sum does not regress beyond --max-delta
+     (default 25%): classification is one phase among I/O, decode, and
+     triangulation, and shared runners are noisy, so this is a guard
+     rail, not the primary assertion.
+
+Usage: check_kernel.py SCALAR.json AUTO.json [--min-speedup 1.3]
+                                             [--max-delta 0.25]
+"""
+
+import argparse
+import json
+import sys
+
+EPSILON = 1e-12  # classify_seconds is a summed CPU-clock reading
+
+
+def load(path: str):
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    queries = [q for run in doc["runs"] for q in run["queries"]]
+    if not queries:
+        raise SystemExit(f"{path}: no queries in document")
+    return doc["setup"], doc["runs"], queries
+
+
+def classify_throughput(queries):
+    cells = sum(q["cells_classified"] for q in queries)
+    seconds = sum(q["classify_seconds"] for q in queries)
+    return cells, seconds, (cells / seconds if seconds > EPSILON else 0.0)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("scalar", help="bench --json output at --kernel scalar")
+    parser.add_argument("auto", help="bench --json output at --kernel auto")
+    parser.add_argument("--min-speedup", type=float, default=1.3,
+                        help="smallest allowed auto/scalar classify "
+                             "throughput ratio (default 1.3x)")
+    parser.add_argument("--max-delta", type=float, default=0.25,
+                        help="largest allowed measured-completion regression "
+                             "(default 25%%)")
+    options = parser.parse_args()
+
+    scalar_setup, _, scalar_queries = load(options.scalar)
+    auto_setup, _, auto_queries = load(options.auto)
+
+    failures = []
+    if scalar_setup.get("kernel_isa") != "scalar":
+        failures.append(f"baseline document ran kernel "
+                        f"{scalar_setup.get('kernel_isa')!r}, expected "
+                        f"'scalar'")
+    for name, setup in (("baseline", scalar_setup), ("candidate", auto_setup)):
+        if not setup.get("mesh_crc"):
+            failures.append(f"{name} document was run without --mesh-crc — "
+                            f"the identity gate needs the canonical hash")
+    if len(scalar_queries) != len(auto_queries):
+        raise SystemExit(f"query count mismatch: {len(scalar_queries)} vs "
+                         f"{len(auto_queries)}")
+
+    isas = sorted({q["kernel_isa"] for q in auto_queries})
+    print(f"kernel gate: scalar -> auto ({'/'.join(isas)}), "
+          f"{len(scalar_queries)} isovalues")
+
+    print(f"{'isovalue':>9} {'cells':>12} {'scalar c/s':>13} "
+          f"{'auto c/s':>13}  mesh")
+    for s, a in zip(scalar_queries, auto_queries):
+        if s["isovalue"] != a["isovalue"]:
+            raise SystemExit(f"isovalue mismatch: {s['isovalue']} vs "
+                             f"{a['isovalue']} — compare like sweeps")
+        identical = all(
+            s.get(field) == a.get(field)
+            for field in ("mesh_crc", "triangles", "active_metacells",
+                          "active_cells", "cells_classified"))
+        print(f"{s['isovalue']:>9.1f} {s['cells_classified']:>12} "
+              f"{s['classified_cells_per_s']:>13.3e} "
+              f"{a['classified_cells_per_s']:>13.3e}  "
+              f"{'same' if identical else 'DIFFERS'}")
+        if "mesh_crc" not in s or "mesh_crc" not in a:
+            failures.append(f"isovalue {s['isovalue']}: mesh_crc missing "
+                            f"from a query record")
+        elif not identical:
+            failures.append(
+                f"isovalue {s['isovalue']}: extraction differs "
+                f"(crc {s.get('mesh_crc')} vs {a.get('mesh_crc')}, "
+                f"triangles {s['triangles']} vs {a['triangles']}, "
+                f"active_cells {s['active_cells']} vs {a['active_cells']}, "
+                f"classified {s['cells_classified']} vs "
+                f"{a['cells_classified']})")
+
+    s_cells, s_seconds, s_rate = classify_throughput(scalar_queries)
+    a_cells, a_seconds, a_rate = classify_throughput(auto_queries)
+    if isas == ["scalar"]:
+        print(f"WARNING: --kernel auto resolved to scalar on this runner; "
+              f"skipping the {options.min_speedup:.2f}x classify ratchet",
+              file=sys.stderr)
+    else:
+        speedup = a_rate / s_rate if s_rate > 0.0 else 0.0
+        print(f"classify throughput: {s_cells} cells / {s_seconds:.4f}s = "
+              f"{s_rate:.3e}/s scalar -> {a_cells} / {a_seconds:.4f}s = "
+              f"{a_rate:.3e}/s auto ({speedup:.2f}x, floor "
+              f"{options.min_speedup:.2f}x)")
+        if s_seconds <= EPSILON or a_seconds <= EPSILON:
+            failures.append("classify_seconds is zero in a sweep — the "
+                            "classification timer is not running")
+        elif speedup < options.min_speedup:
+            failures.append(f"classify speedup {speedup:.2f}x below the "
+                            f"{options.min_speedup:.2f}x floor")
+
+    completion_scalar = sum(q["times"]["completion_s"]
+                            for q in scalar_queries)
+    completion_auto = sum(q["times"]["completion_s"] for q in auto_queries)
+    delta = (completion_auto - completion_scalar) / completion_scalar
+    print(f"completion sum: {completion_scalar:.4f}s -> "
+          f"{completion_auto:.4f}s ({delta:+.2%}, budget "
+          f"+{options.max_delta:.0%})")
+    if delta > options.max_delta:
+        failures.append(f"measured completion regressed {delta:.2%} "
+                        f"(> {options.max_delta:.0%})")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,48 @@
+// AVX2 classification: 8 floats per compare. This file alone is built
+// with -mavx2 (see CMakeLists.txt) and is only ever *called* after the
+// runtime probe confirms CPU + OS support, so the rest of the binary
+// stays baseline x86-64. _CMP_LT_OQ is the ordered-quiet `<` — false on
+// NaN, matching scalar.
+
+#include "extract/kernel.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace oociso::extract::kernel::detail {
+
+#if defined(__AVX2__)
+
+void classify_row_avx2(const float* row, std::size_t count, float isovalue,
+                       std::uint64_t* bits) {
+  const __m256 viso = _mm256_set1_ps(isovalue);
+  const std::size_t words = (count + 63) / 64;
+  for (std::size_t w = 0; w < words; ++w) {
+    const std::size_t base = w * 64;
+    const std::size_t in_word = count - base < 64 ? count - base : 64;
+    std::uint64_t word = 0;
+    std::size_t i = 0;
+    for (; i + 8 <= in_word; i += 8) {
+      const __m256 values = _mm256_loadu_ps(row + base + i);
+      const int lanes =
+          _mm256_movemask_ps(_mm256_cmp_ps(values, viso, _CMP_LT_OQ));
+      word |= static_cast<std::uint64_t>(static_cast<unsigned>(lanes)) << i;
+    }
+    for (; i < in_word; ++i) {
+      word |= static_cast<std::uint64_t>(row[base + i] < isovalue) << i;
+    }
+    bits[w] = word;
+  }
+}
+
+#else
+
+void classify_row_avx2(const float* row, std::size_t count, float isovalue,
+                       std::uint64_t* bits) {
+  classify_row_sse2(row, count, isovalue, bits);
+}
+
+#endif
+
+}  // namespace oociso::extract::kernel::detail

@@ -1,0 +1,18 @@
+// Portable scalar classification: the reference every SIMD variant must
+// match bit for bit, and the dispatch target on non-x86 hosts.
+
+#include "extract/kernel.h"
+
+namespace oociso::extract::kernel::detail {
+
+void classify_row_scalar(const float* row, std::size_t count, float isovalue,
+                         std::uint64_t* bits) {
+  const std::size_t words = (count + 63) / 64;
+  for (std::size_t w = 0; w < words; ++w) bits[w] = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    bits[i >> 6] |=
+        static_cast<std::uint64_t>(row[i] < isovalue) << (i & 63);
+  }
+}
+
+}  // namespace oociso::extract::kernel::detail

@@ -1,0 +1,47 @@
+// SSE2 classification: 4 floats per compare, movemask packs the lane
+// results straight into the bitmask word. CMPLTPS is an ordered compare —
+// false when either operand is NaN — exactly like scalar `<`, so the mask
+// is bit-identical to classify_row_scalar on every input.
+
+#include "extract/kernel.h"
+
+#if defined(__SSE2__) || defined(_M_X64)
+#include <emmintrin.h>
+#define OOCISO_HAVE_SSE2 1
+#endif
+
+namespace oociso::extract::kernel::detail {
+
+#if defined(OOCISO_HAVE_SSE2)
+
+void classify_row_sse2(const float* row, std::size_t count, float isovalue,
+                       std::uint64_t* bits) {
+  const __m128 viso = _mm_set1_ps(isovalue);
+  const std::size_t words = (count + 63) / 64;
+  for (std::size_t w = 0; w < words; ++w) {
+    const std::size_t base = w * 64;
+    const std::size_t in_word = count - base < 64 ? count - base : 64;
+    std::uint64_t word = 0;
+    std::size_t i = 0;
+    for (; i + 4 <= in_word; i += 4) {
+      const __m128 values = _mm_loadu_ps(row + base + i);
+      const int lanes = _mm_movemask_ps(_mm_cmplt_ps(values, viso));
+      word |= static_cast<std::uint64_t>(static_cast<unsigned>(lanes)) << i;
+    }
+    for (; i < in_word; ++i) {
+      word |= static_cast<std::uint64_t>(row[base + i] < isovalue) << i;
+    }
+    bits[w] = word;
+  }
+}
+
+#else
+
+void classify_row_sse2(const float* row, std::size_t count, float isovalue,
+                       std::uint64_t* bits) {
+  classify_row_scalar(row, count, isovalue, bits);
+}
+
+#endif
+
+}  // namespace oociso::extract::kernel::detail

@@ -1,0 +1,93 @@
+#include "extract/kernel.h"
+
+#include <string>
+
+#include "util/cpu_features.h"
+
+namespace oociso::extract::kernel {
+
+std::string_view isa_name(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::kAuto:
+      return "auto";
+    case KernelIsa::kScalar:
+      return "scalar";
+    case KernelIsa::kSse2:
+      return "sse2";
+    case KernelIsa::kAvx2:
+      return "avx2";
+  }
+  return "auto";
+}
+
+KernelIsa parse_isa(std::string_view name) {
+  if (name == "auto") return KernelIsa::kAuto;
+  if (name == "scalar") return KernelIsa::kScalar;
+  if (name == "sse2") return KernelIsa::kSse2;
+  if (name == "avx2") return KernelIsa::kAvx2;
+  throw std::invalid_argument("unknown kernel ISA '" + std::string(name) +
+                              "' (auto|scalar|sse2|avx2)");
+}
+
+bool available(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::kAuto:
+    case KernelIsa::kScalar:
+      return true;
+    case KernelIsa::kSse2:
+      return util::cpu_features().sse2;
+    case KernelIsa::kAvx2:
+      return util::cpu_features().avx2;
+  }
+  return false;
+}
+
+KernelIsa dispatch() {
+  static const KernelIsa best = [] {
+    const util::CpuFeatures& cpu = util::cpu_features();
+    if (cpu.avx2) return KernelIsa::kAvx2;
+    if (cpu.sse2) return KernelIsa::kSse2;
+    return KernelIsa::kScalar;
+  }();
+  return best;
+}
+
+KernelIsa resolve(KernelIsa isa) {
+  if (isa == KernelIsa::kAuto) return dispatch();
+  if (!available(isa)) {
+    throw std::runtime_error("kernel ISA '" + std::string(isa_name(isa)) +
+                             "' is not supported by this CPU "
+                             "(use --kernel auto)");
+  }
+  return isa;
+}
+
+std::vector<KernelIsa> dispatchable_isas() {
+  std::vector<KernelIsa> isas{KernelIsa::kScalar};
+  if (available(KernelIsa::kSse2)) isas.push_back(KernelIsa::kSse2);
+  if (available(KernelIsa::kAvx2)) isas.push_back(KernelIsa::kAvx2);
+  return isas;
+}
+
+namespace detail {
+
+ClassifyRowFn classify_fn(KernelIsa resolved) {
+  switch (resolved) {
+    case KernelIsa::kScalar:
+      return &classify_row_scalar;
+    case KernelIsa::kSse2:
+      if (available(KernelIsa::kSse2)) return &classify_row_sse2;
+      break;
+    case KernelIsa::kAvx2:
+      if (available(KernelIsa::kAvx2)) return &classify_row_avx2;
+      break;
+    case KernelIsa::kAuto:
+      break;
+  }
+  throw std::runtime_error("classify_fn: ISA '" +
+                           std::string(isa_name(resolved)) +
+                           "' is not resolved/available on this host");
+}
+
+}  // namespace detail
+}  // namespace oociso::extract::kernel

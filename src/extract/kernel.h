@@ -1,0 +1,87 @@
+#pragma once
+// Runtime-dispatched SIMD classification kernel for marching cubes.
+//
+// The incremental extractor (marching_cubes.cpp) splits each cell row into
+// two phases: CLASSIFY every sample against the isovalue into a per-row
+// inside-bitmask, then TRIANGULATE only the cells the bitmask proves
+// active. Classification is the data-parallel phase — a pure elementwise
+// compare over contiguous floats — so it is the part that vectorizes. This
+// header is the dispatch seam: one function-pointer signature, three
+// implementations (scalar / SSE2 / AVX2), and a probe-once `dispatch()`
+// that picks the widest ISA the CPU + OS support.
+//
+// All three implementations produce byte-identical bitmasks (x86 ordered
+// `<` compares agree with scalar `<` on every input including NaN/±inf),
+// and the triangulation phase is shared, so the extracted mesh is
+// bit-identical across ISAs by construction. The differential fuzz suite
+// (tests/kernel_fuzz_test.cpp) holds that line.
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string_view>
+#include <vector>
+
+namespace oociso::extract {
+
+/// Which classification implementation to run. kAuto defers to
+/// kernel::dispatch() (widest available); the explicit values force one
+/// implementation and fail loudly (kernel::resolve throws) when the host
+/// cannot execute it.
+enum class KernelIsa : std::uint8_t { kAuto, kScalar, kSse2, kAvx2 };
+
+/// Per-query kernel knobs, threaded from the CLI / bench / ServeOptions
+/// down to extract_volume / extract_metacell.
+struct KernelOptions {
+  KernelIsa isa = KernelIsa::kAuto;
+};
+
+namespace kernel {
+
+/// Writes the inside-bitmask for one sample row: bit i of `bits` is set
+/// iff row[i] < isovalue. `bits` must hold (count + 63) / 64 words; every
+/// word is fully (re)written, with the bits past `count` in the last word
+/// zeroed.
+using ClassifyRowFn = void (*)(const float* row, std::size_t count,
+                               float isovalue, std::uint64_t* bits);
+
+/// Stable lowercase name ("auto", "scalar", "sse2", "avx2").
+[[nodiscard]] std::string_view isa_name(KernelIsa isa);
+
+/// Parses a name from isa_name's set; throws std::invalid_argument on
+/// anything else.
+[[nodiscard]] KernelIsa parse_isa(std::string_view name);
+
+/// True when this host can execute the ISA (kAuto and kScalar always can).
+[[nodiscard]] bool available(KernelIsa isa);
+
+/// The widest available concrete ISA (never kAuto); probed once, cached.
+[[nodiscard]] KernelIsa dispatch();
+
+/// kAuto -> dispatch(); explicit ISAs are validated against available()
+/// and returned, throwing std::runtime_error when the host lacks them.
+[[nodiscard]] KernelIsa resolve(KernelIsa isa);
+
+/// Every concrete ISA this host can run, scalar first — the per-ISA loop
+/// for golden and differential tests.
+[[nodiscard]] std::vector<KernelIsa> dispatchable_isas();
+
+namespace detail {
+
+/// The classification primitive for a *resolved* (concrete, available)
+/// ISA. Passing kAuto or an unavailable ISA throws std::runtime_error.
+[[nodiscard]] ClassifyRowFn classify_fn(KernelIsa resolved);
+
+// Per-ISA entry points (each in its own translation unit so AVX2 codegen
+// stays quarantined behind per-file -mavx2). classify_row_sse2/avx2 fall
+// back to the scalar body when built for a target without the intrinsics.
+void classify_row_scalar(const float* row, std::size_t count, float isovalue,
+                         std::uint64_t* bits);
+void classify_row_sse2(const float* row, std::size_t count, float isovalue,
+                       std::uint64_t* bits);
+void classify_row_avx2(const float* row, std::size_t count, float isovalue,
+                       std::uint64_t* bits);
+
+}  // namespace detail
+}  // namespace kernel
+}  // namespace oociso::extract

@@ -1,10 +1,12 @@
 #include "extract/marching_cubes.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <vector>
 
 #include "extract/mc_tables.h"
+#include "util/timer.h"
 
 namespace oociso::extract {
 namespace {
@@ -77,6 +79,10 @@ namespace {
 /// a given size.
 struct IncrementalScratch {
   std::array<std::vector<float>, 2> planes;  ///< sample planes z and z+1
+  /// Per-plane inside-bitmasks: sy rows of sample_words 64-bit words each,
+  /// bit x of row y set iff plane[y * sx + x] < isovalue. Filled by the
+  /// dispatched classify kernel right after the plane is staged.
+  std::array<std::vector<std::uint64_t>, 2> row_bits;
   // Edge-crossing caches: x/y edges live in a sample plane (two rolling
   // copies, the top one becoming the bottom one on slab advance), z edges
   // connect the two planes (cleared every slab).
@@ -89,16 +95,28 @@ struct IncrementalScratch {
 };
 
 /// Incremental cell loop: `value(x, y, z)` samples local coordinates once
-/// per sample into a rolling two-plane buffer, and every edge crossing is
+/// per sample into a rolling two-plane buffer; each staged row is
+/// classified by `classify` into an inside-bitmask; the per-cell-row
+/// active mask (any corner inside AND NOT all corners inside) compacts the
+/// triangulation loop to mixed-sign cells only. Every edge crossing is
 /// interpolated exactly once, then reused by all incident cells. `origin`
-/// offsets emitted geometry into full-volume sample space. The crossing
-/// computation is the same canonical edge_vertex as triangulate_cell, and
-/// triangles are emitted in the same cell/table order, so the output is
-/// bit-identical to running triangulate_cell per cell.
+/// offsets emitted geometry into full-volume sample space.
+///
+/// Bit-identity argument: a cell's cube_index is 0 or 255 exactly when its
+/// active-mask bit is clear, and kEdgeTable[0] == kEdgeTable[255] == 0, so
+/// skipped cells are precisely the cells the old per-cell classify loop
+/// `continue`d on. Active cells are walked in ascending x (countr_zero
+/// order) inside ascending (z, y), the cube_index is rebuilt from the same
+/// mask bits the compare produced, and the crossing computation is the
+/// same canonical edge_vertex as triangulate_cell — so the emitted
+/// triangle sequence is bit-identical to the per-cell reference for every
+/// classify implementation.
 template <typename ValueFn>
-ExtractionStats run_cells(const core::GridDims& cells, const core::Coord3& origin,
-                          ValueFn&& value, float isovalue, TriangleSoup& out) {
-  ExtractionStats stats;
+MarchingCubesStats run_cells(const core::GridDims& cells,
+                             const core::Coord3& origin, ValueFn&& value,
+                             float isovalue, TriangleSoup& out,
+                             kernel::ClassifyRowFn classify) {
+  MarchingCubesStats stats;
   const std::int32_t nx = cells.nx;
   const std::int32_t ny = cells.ny;
   const std::int32_t nz = cells.nz;
@@ -109,10 +127,17 @@ ExtractionStats run_cells(const core::GridDims& cells, const core::Coord3& origi
   const std::size_t plane_samples = sx * sy;
   const std::size_t x_edges = static_cast<std::size_t>(nx) * sy;
   const std::size_t y_edges = sx * static_cast<std::size_t>(ny);
+  // Bitmask geometry: sample rows hold sx = nx + 1 bits, so when nx is a
+  // multiple of 64 the shifted (corner x+1) masks spill into one more word
+  // than the cell-count masks use — sample_words is the allocation and the
+  // shift bound, cell_words the iteration bound.
+  const std::size_t sample_words = (sx + 63) / 64;
+  const std::size_t cell_words = (static_cast<std::size_t>(nx) + 63) / 64;
 
   static thread_local IncrementalScratch scratch;
   for (int p = 0; p < 2; ++p) {
     scratch.planes[p].resize(plane_samples);
+    scratch.row_bits[p].resize(sy * sample_words);
     scratch.x_points[p].resize(x_edges);
     scratch.y_points[p].resize(y_edges);
     scratch.x_valid[p].resize(x_edges);
@@ -128,9 +153,20 @@ ExtractionStats run_cells(const core::GridDims& cells, const core::Coord3& origi
       }
     }
   };
+  const auto classify_plane = [&](int p) {
+    const float* plane = scratch.planes[p].data();
+    std::uint64_t* bits = scratch.row_bits[p].data();
+    for (std::size_t row = 0; row < sy; ++row) {
+      classify(plane + row * sx, sx, isovalue, bits + row * sample_words);
+    }
+  };
 
+  util::ThreadCpuTimer classify_timer;
   int bot = 0;
+  classify_timer.restart();
   fill_plane(scratch.planes[bot], 0);
+  classify_plane(bot);
+  stats.classify_seconds += classify_timer.seconds();
   std::fill(scratch.x_valid[bot].begin(), scratch.x_valid[bot].end(),
             std::uint8_t{0});
   std::fill(scratch.y_valid[bot].begin(), scratch.y_valid[bot].end(),
@@ -138,7 +174,10 @@ ExtractionStats run_cells(const core::GridDims& cells, const core::Coord3& origi
 
   for (std::int32_t z = 0; z < nz; ++z) {
     const int top = 1 - bot;
+    classify_timer.restart();
     fill_plane(scratch.planes[top], z + 1);
+    classify_plane(top);
+    stats.classify_seconds += classify_timer.seconds();
     std::fill(scratch.x_valid[top].begin(), scratch.x_valid[top].end(),
               std::uint8_t{0});
     std::fill(scratch.y_valid[top].begin(), scratch.y_valid[top].end(),
@@ -146,100 +185,145 @@ ExtractionStats run_cells(const core::GridDims& cells, const core::Coord3& origi
     scratch.z_valid.assign(plane_samples, 0);
     const float* bplane = scratch.planes[bot].data();
     const float* tplane = scratch.planes[top].data();
+    stats.cells_visited +=
+        static_cast<std::uint64_t>(nx) * static_cast<std::uint64_t>(ny);
 
     for (std::int32_t y = 0; y < ny; ++y) {
-      for (std::int32_t x = 0; x < nx; ++x) {
-        ++stats.cells_visited;
-        const std::size_t p00 =
-            static_cast<std::size_t>(x) + sx * static_cast<std::size_t>(y);
-        const std::array<float, 8> values = {
-            bplane[p00],      bplane[p00 + 1], bplane[p00 + 1 + sx],
-            bplane[p00 + sx], tplane[p00],     tplane[p00 + 1],
-            tplane[p00 + 1 + sx], tplane[p00 + sx]};
-        unsigned cube_index = 0;
-        for (unsigned i = 0; i < 8; ++i) {
-          if (values[i] < isovalue) cube_index |= 1u << i;
+      // The 8 cube corners of cell row y live on 4 sample-row bitmasks:
+      // bottom/top plane rows y (corners 0/1 and 4/5) and y+1 (3/2, 7/6).
+      const std::size_t yrow = static_cast<std::size_t>(y) * sample_words;
+      const std::uint64_t* b0 = scratch.row_bits[bot].data() + yrow;
+      const std::uint64_t* b1 = b0 + sample_words;
+      const std::uint64_t* t0 = scratch.row_bits[top].data() + yrow;
+      const std::uint64_t* t1 = t0 + sample_words;
+      const auto shifted = [&](const std::uint64_t* mask, std::size_t w) {
+        std::uint64_t word = mask[w] >> 1;
+        if (w + 1 < sample_words) word |= mask[w + 1] << 63;
+        return word;
+      };
+      const auto bit_at = [](const std::uint64_t* mask, std::size_t i) {
+        return static_cast<unsigned>((mask[i >> 6] >> (i & 63)) & 1u);
+      };
+      for (std::size_t w = 0; w < cell_words; ++w) {
+        // Compaction: a cell is worth triangulating iff its corner signs
+        // are mixed. Word-parallel over 64 cells: AND of the 8 corner
+        // masks == all-inside, OR == any-inside.
+        const std::uint64_t sb0 = shifted(b0, w);
+        const std::uint64_t sb1 = shifted(b1, w);
+        const std::uint64_t st0 = shifted(t0, w);
+        const std::uint64_t st1 = shifted(t1, w);
+        const std::uint64_t all_in =
+            b0[w] & sb0 & b1[w] & sb1 & t0[w] & st0 & t1[w] & st1;
+        const std::uint64_t any_in =
+            b0[w] | sb0 | b1[w] | sb1 | t0[w] | st0 | t1[w] | st1;
+        std::uint64_t active = any_in & ~all_in;
+        const std::size_t base = w * 64;
+        const std::size_t cells_in_word =
+            static_cast<std::size_t>(nx) - base < 64
+                ? static_cast<std::size_t>(nx) - base
+                : 64;
+        if (cells_in_word < 64) {
+          active &= (std::uint64_t{1} << cells_in_word) - 1;
         }
-        const std::uint16_t edges = kEdgeTable[cube_index];
-        if (edges == 0) continue;
+        while (active != 0) {
+          const std::size_t xs =
+              base + static_cast<std::size_t>(std::countr_zero(active));
+          active &= active - 1;
+          const std::int32_t x = static_cast<std::int32_t>(xs);
+          const std::size_t p00 = xs + sx * static_cast<std::size_t>(y);
+          const std::array<float, 8> values = {
+              bplane[p00],      bplane[p00 + 1], bplane[p00 + 1 + sx],
+              bplane[p00 + sx], tplane[p00],     tplane[p00 + 1],
+              tplane[p00 + 1 + sx], tplane[p00 + sx]};
+          // Rebuild the cube index from the classify masks — the same bits
+          // the compare wrote, in the corner numbering of mc_tables.h.
+          const unsigned cube_index =
+              (bit_at(b0, xs) << 0) | (bit_at(b0, xs + 1) << 1) |
+              (bit_at(b1, xs + 1) << 2) | (bit_at(b1, xs) << 3) |
+              (bit_at(t0, xs) << 4) | (bit_at(t0, xs + 1) << 5) |
+              (bit_at(t1, xs + 1) << 6) | (bit_at(t1, xs) << 7);
+          const std::uint16_t edges = kEdgeTable[cube_index];
+          if (edges == 0) continue;
 
-        std::array<core::Vec3, 8> corners;
-        for (unsigned i = 0; i < 8; ++i) {
-          const auto& offset = kCornerOffsets[i];
-          corners[i] = {static_cast<float>(origin.x + x + offset[0]),
-                        static_cast<float>(origin.y + y + offset[1]),
-                        static_cast<float>(origin.z + z + offset[2])};
-        }
-
-        std::array<core::Vec3, 12> edge_points;
-        const auto fetch = [&](unsigned e, std::vector<core::Vec3>& points,
-                               std::vector<std::uint8_t>& valid,
-                               std::size_t index) {
-          if (!valid[index]) {
-            const auto a = static_cast<unsigned>(kEdgeCorners[e][0]);
-            const auto b = static_cast<unsigned>(kEdgeCorners[e][1]);
-            points[index] = edge_vertex(corners[a], corners[b], values[a],
-                                        values[b], isovalue);
-            valid[index] = 1;
+          std::array<core::Vec3, 8> corners;
+          for (unsigned i = 0; i < 8; ++i) {
+            const auto& offset = kCornerOffsets[i];
+            corners[i] = {static_cast<float>(origin.x + x + offset[0]),
+                          static_cast<float>(origin.y + y + offset[1]),
+                          static_cast<float>(origin.z + z + offset[2])};
           }
-          edge_points[e] = points[index];
-        };
-        // Cache slots by edge orientation: x edges index (x, y) row-major
-        // with nx per row, y edges (x, y) with sx per row, z edges share
-        // the sample-plane indexing.
-        const std::size_t xi0 =
-            static_cast<std::size_t>(x) +
-            static_cast<std::size_t>(nx) * static_cast<std::size_t>(y);
-        const std::size_t xi1 = xi0 + static_cast<std::size_t>(nx);
-        const std::size_t yi0 = p00;
-        if (edges & (1u << 0)) {
-          fetch(0, scratch.x_points[bot], scratch.x_valid[bot], xi0);
-        }
-        if (edges & (1u << 1)) {
-          fetch(1, scratch.y_points[bot], scratch.y_valid[bot], yi0 + 1);
-        }
-        if (edges & (1u << 2)) {
-          fetch(2, scratch.x_points[bot], scratch.x_valid[bot], xi1);
-        }
-        if (edges & (1u << 3)) {
-          fetch(3, scratch.y_points[bot], scratch.y_valid[bot], yi0);
-        }
-        if (edges & (1u << 4)) {
-          fetch(4, scratch.x_points[top], scratch.x_valid[top], xi0);
-        }
-        if (edges & (1u << 5)) {
-          fetch(5, scratch.y_points[top], scratch.y_valid[top], yi0 + 1);
-        }
-        if (edges & (1u << 6)) {
-          fetch(6, scratch.x_points[top], scratch.x_valid[top], xi1);
-        }
-        if (edges & (1u << 7)) {
-          fetch(7, scratch.y_points[top], scratch.y_valid[top], yi0);
-        }
-        if (edges & (1u << 8)) {
-          fetch(8, scratch.z_points, scratch.z_valid, p00);
-        }
-        if (edges & (1u << 9)) {
-          fetch(9, scratch.z_points, scratch.z_valid, p00 + 1);
-        }
-        if (edges & (1u << 10)) {
-          fetch(10, scratch.z_points, scratch.z_valid, p00 + 1 + sx);
-        }
-        if (edges & (1u << 11)) {
-          fetch(11, scratch.z_points, scratch.z_valid, p00 + sx);
-        }
 
-        std::size_t added = 0;
-        const auto& tris = kTriTable[cube_index];
-        for (std::size_t i = 0; tris[i] != -1; i += 3) {
-          out.add(edge_points[static_cast<std::size_t>(tris[i])],
-                  edge_points[static_cast<std::size_t>(tris[i + 1])],
-                  edge_points[static_cast<std::size_t>(tris[i + 2])]);
-          ++added;
-        }
-        if (added > 0) {
-          ++stats.active_cells;
-          stats.triangles += added;
+          std::array<core::Vec3, 12> edge_points;
+          const auto fetch = [&](unsigned e, std::vector<core::Vec3>& points,
+                                 std::vector<std::uint8_t>& valid,
+                                 std::size_t index) {
+            if (!valid[index]) {
+              const auto a = static_cast<unsigned>(kEdgeCorners[e][0]);
+              const auto b = static_cast<unsigned>(kEdgeCorners[e][1]);
+              points[index] = edge_vertex(corners[a], corners[b], values[a],
+                                          values[b], isovalue);
+              valid[index] = 1;
+            } else {
+              ++stats.vertex_cache_hits;
+            }
+            edge_points[e] = points[index];
+          };
+          // Cache slots by edge orientation: x edges index (x, y) row-major
+          // with nx per row, y edges (x, y) with sx per row, z edges share
+          // the sample-plane indexing.
+          const std::size_t xi0 =
+              xs + static_cast<std::size_t>(nx) * static_cast<std::size_t>(y);
+          const std::size_t xi1 = xi0 + static_cast<std::size_t>(nx);
+          const std::size_t yi0 = p00;
+          if (edges & (1u << 0)) {
+            fetch(0, scratch.x_points[bot], scratch.x_valid[bot], xi0);
+          }
+          if (edges & (1u << 1)) {
+            fetch(1, scratch.y_points[bot], scratch.y_valid[bot], yi0 + 1);
+          }
+          if (edges & (1u << 2)) {
+            fetch(2, scratch.x_points[bot], scratch.x_valid[bot], xi1);
+          }
+          if (edges & (1u << 3)) {
+            fetch(3, scratch.y_points[bot], scratch.y_valid[bot], yi0);
+          }
+          if (edges & (1u << 4)) {
+            fetch(4, scratch.x_points[top], scratch.x_valid[top], xi0);
+          }
+          if (edges & (1u << 5)) {
+            fetch(5, scratch.y_points[top], scratch.y_valid[top], yi0 + 1);
+          }
+          if (edges & (1u << 6)) {
+            fetch(6, scratch.x_points[top], scratch.x_valid[top], xi1);
+          }
+          if (edges & (1u << 7)) {
+            fetch(7, scratch.y_points[top], scratch.y_valid[top], yi0);
+          }
+          if (edges & (1u << 8)) {
+            fetch(8, scratch.z_points, scratch.z_valid, p00);
+          }
+          if (edges & (1u << 9)) {
+            fetch(9, scratch.z_points, scratch.z_valid, p00 + 1);
+          }
+          if (edges & (1u << 10)) {
+            fetch(10, scratch.z_points, scratch.z_valid, p00 + 1 + sx);
+          }
+          if (edges & (1u << 11)) {
+            fetch(11, scratch.z_points, scratch.z_valid, p00 + sx);
+          }
+
+          std::size_t added = 0;
+          const auto& tris = kTriTable[cube_index];
+          for (std::size_t i = 0; tris[i] != -1; i += 3) {
+            out.add(edge_points[static_cast<std::size_t>(tris[i])],
+                    edge_points[static_cast<std::size_t>(tris[i + 1])],
+                    edge_points[static_cast<std::size_t>(tris[i + 2])]);
+            ++added;
+          }
+          if (added > 0) {
+            ++stats.active_cells;
+            stats.triangles += added;
+          }
         }
       }
     }
@@ -252,10 +336,11 @@ ExtractionStats run_cells(const core::GridDims& cells, const core::Coord3& origi
 /// interpolated per cell. Ground truth for the bit-identical equivalence
 /// tests and the bench_micro baseline.
 template <typename ValueFn>
-ExtractionStats run_cells_percell(const core::GridDims& cells,
-                                  const core::Coord3& origin, ValueFn&& value,
-                                  float isovalue, TriangleSoup& out) {
-  ExtractionStats stats;
+MarchingCubesStats run_cells_percell(const core::GridDims& cells,
+                                     const core::Coord3& origin,
+                                     ValueFn&& value, float isovalue,
+                                     TriangleSoup& out) {
+  MarchingCubesStats stats;
   std::array<float, 8> values;
   std::array<core::Vec3, 8> corners;
   for (std::int32_t z = 0; z < cells.nz; ++z) {
@@ -284,27 +369,33 @@ ExtractionStats run_cells_percell(const core::GridDims& cells,
   return stats;
 }
 
+kernel::ClassifyRowFn resolve_classify(const KernelOptions& kernel_options) {
+  return kernel::detail::classify_fn(kernel::resolve(kernel_options.isa));
+}
+
 }  // namespace
 
 ExtractionStats extract_metacell(const metacell::DecodedMetacell& cell,
-                                 float isovalue, TriangleSoup& out) {
+                                 float isovalue, TriangleSoup& out,
+                                 const KernelOptions& kernel_options) {
   return run_cells(
       cell.valid_cells, cell.sample_origin,
       [&cell](std::int32_t x, std::int32_t y, std::int32_t z) {
         return cell.sample(x, y, z);
       },
-      isovalue, out);
+      isovalue, out, resolve_classify(kernel_options));
 }
 
 template <core::VolumeScalar T>
 ExtractionStats extract_volume(const core::Volume<T>& volume, float isovalue,
-                               TriangleSoup& out) {
+                               TriangleSoup& out,
+                               const KernelOptions& kernel_options) {
   return run_cells(
       volume.dims().cell_dims(), core::Coord3{0, 0, 0},
       [&volume](std::int32_t x, std::int32_t y, std::int32_t z) {
         return static_cast<float>(volume.at(x, y, z));
       },
-      isovalue, out);
+      isovalue, out, resolve_classify(kernel_options));
 }
 
 ExtractionStats extract_metacell_percell(const metacell::DecodedMetacell& cell,
@@ -329,11 +420,14 @@ ExtractionStats extract_volume_percell(const core::Volume<T>& volume,
 }
 
 template ExtractionStats extract_volume<std::uint8_t>(
-    const core::Volume<std::uint8_t>&, float, TriangleSoup&);
+    const core::Volume<std::uint8_t>&, float, TriangleSoup&,
+    const KernelOptions&);
 template ExtractionStats extract_volume<std::uint16_t>(
-    const core::Volume<std::uint16_t>&, float, TriangleSoup&);
+    const core::Volume<std::uint16_t>&, float, TriangleSoup&,
+    const KernelOptions&);
 template ExtractionStats extract_volume<float>(const core::Volume<float>&,
-                                               float, TriangleSoup&);
+                                               float, TriangleSoup&,
+                                               const KernelOptions&);
 template ExtractionStats extract_volume_percell<std::uint8_t>(
     const core::Volume<std::uint8_t>&, float, TriangleSoup&);
 template ExtractionStats extract_volume_percell<std::uint16_t>(

@@ -11,12 +11,20 @@
 // Surface vertices are placed by linear interpolation along cell edges.
 // All emitted coordinates are in *sample-lattice* units of the full volume
 // (one cell == one unit), so per-metacell outputs compose seamlessly.
+//
+// The incremental kernel runs in two phases per slab: a SIMD-dispatchable
+// CLASSIFY pass (every sample row compared against the isovalue into an
+// inside-bitmask; see extract/kernel.h) and a TRIANGULATE pass over only
+// the cells the bitmasks prove mixed-sign. Output is bit-identical across
+// scalar/SSE2/AVX2 because the compare semantics agree exactly (including
+// NaN/±inf) and triangulation order is unchanged.
 
 #include <array>
 #include <cstdint>
 
 #include "core/vec3.h"
 #include "core/volume.h"
+#include "extract/kernel.h"
 #include "extract/mesh.h"
 #include "metacell/metacell.h"
 
@@ -29,28 +37,43 @@ std::size_t triangulate_cell(const std::array<float, 8>& values,
                              float isovalue, TriangleSoup& out);
 
 /// Statistics of one extraction pass.
-struct ExtractionStats {
-  std::uint64_t cells_visited = 0;
-  std::uint64_t active_cells = 0;  ///< cells that produced >= 1 triangle
+struct MarchingCubesStats {
+  std::uint64_t cells_visited = 0;  ///< every cell classified by the pass
+  std::uint64_t active_cells = 0;   ///< cells that produced >= 1 triangle
   std::uint64_t triangles = 0;
+  /// Shared-edge interpolations served from the rolling vertex caches
+  /// instead of recomputed (incremental kernel only; percell reports 0).
+  std::uint64_t vertex_cache_hits = 0;
+  /// Thread-CPU seconds spent staging sample planes + classifying rows —
+  /// the phase the SIMD dispatch accelerates. A timing, not a counter:
+  /// stats-equality checks compare the four counters above only.
+  double classify_seconds = 0.0;
 };
+/// Historical name, kept so existing call sites and tests read naturally.
+using ExtractionStats = MarchingCubesStats;
 
 /// Runs marching cubes over the valid cells of a decoded metacell.
 ///
 /// Incremental kernel: samples are staged into a rolling two-plane buffer
-/// (each sample fetched once instead of up to 8×) and edge crossings are
+/// (each sample fetched once instead of up to 8×), each sample row is
+/// classified into an inside-bitmask by the kernel selected through
+/// `kernel_options` (auto = widest ISA the host supports), and only cells
+/// whose 8-corner mask is mixed are triangulated. Edge crossings are
 /// memoized in per-plane caches (each crossing interpolated exactly once
 /// and reused by the up-to-4 incident cells). Interpolation stays the
-/// canonical lexicographic edge_vertex, so the emitted triangle sequence is
-/// bit-identical to the per-cell reference kernel below.
+/// canonical lexicographic edge_vertex and cells are emitted in ascending
+/// (z, y, x) order, so the triangle sequence is bit-identical to the
+/// per-cell reference kernel below for every ISA.
 ExtractionStats extract_metacell(const metacell::DecodedMetacell& cell,
-                                 float isovalue, TriangleSoup& out);
+                                 float isovalue, TriangleSoup& out,
+                                 const KernelOptions& kernel_options = {});
 
 /// In-core reference: marching cubes over every cell of a volume
 /// (incremental kernel, identical output to the per-cell variant).
 template <core::VolumeScalar T>
 ExtractionStats extract_volume(const core::Volume<T>& volume, float isovalue,
-                               TriangleSoup& out);
+                               TriangleSoup& out,
+                               const KernelOptions& kernel_options = {});
 
 /// Per-cell reference kernel: triangulate_cell on every cell, fetching all
 /// 8 corners each time. Kept as the ground truth the incremental kernel is

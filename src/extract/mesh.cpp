@@ -1,8 +1,13 @@
 #include "extract/mesh.h"
 
 #include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstring>
 #include <fstream>
 #include <stdexcept>
+
+#include "util/crc32.h"
 
 namespace oociso::extract {
 
@@ -29,6 +34,39 @@ bool TriangleSoup::bounds(core::Vec3& lo, core::Vec3& hi) const {
     grow(tri.c);
   }
   return true;
+}
+
+std::uint32_t canonical_mesh_crc(const TriangleSoup& soup) {
+  return canonical_mesh_crc(std::span<const TriangleSoup>(&soup, 1));
+}
+
+std::uint32_t canonical_mesh_crc(std::span<const TriangleSoup> soups) {
+  using Quantized = std::array<std::int64_t, 9>;
+  std::size_t total = 0;
+  for (const TriangleSoup& soup : soups) total += soup.size();
+  std::vector<Quantized> rows;
+  rows.reserve(total);
+  for (const TriangleSoup& soup : soups) {
+    for (const Triangle& triangle : soup.triangles()) {
+      const core::Vec3* vertices[3] = {&triangle.a, &triangle.b, &triangle.c};
+      Quantized row;
+      std::size_t at = 0;
+      for (const core::Vec3* v : vertices) {
+        row[at++] = std::llround(static_cast<double>(v->x) * 4096.0);
+        row[at++] = std::llround(static_cast<double>(v->y) * 4096.0);
+        row[at++] = std::llround(static_cast<double>(v->z) * 4096.0);
+      }
+      rows.push_back(row);
+    }
+  }
+  std::sort(rows.begin(), rows.end());
+  std::uint32_t state = util::crc32_init();
+  for (const Quantized& row : rows) {
+    std::array<std::byte, sizeof(Quantized)> bytes;
+    std::memcpy(bytes.data(), row.data(), sizeof(Quantized));
+    state = util::crc32_update(state, bytes);
+  }
+  return util::crc32_final(state);
 }
 
 void write_obj(const TriangleSoup& soup, const std::filesystem::path& path) {

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <span>
 #include <vector>
 
 #include "core/vec3.h"
@@ -58,6 +59,19 @@ class TriangleSoup {
  private:
   std::vector<Triangle> triangles_;
 };
+
+/// Canonical content hash of a triangle soup: every coordinate quantized
+/// to 1/4096 of a lattice unit, triangles sorted, CRC32 over the byte
+/// stream. Partitioning and emission order cannot affect it, and the
+/// quantization absorbs last-ulp differences between optimization levels
+/// while still catching any real geometry change — the golden-mesh tests
+/// and the cross-ISA kernel CI gate both pin these values.
+[[nodiscard]] std::uint32_t canonical_mesh_crc(const TriangleSoup& soup);
+
+/// Same hash over the union of several soups (e.g. the per-node outputs of
+/// a distributed query) without materializing the merged soup.
+[[nodiscard]] std::uint32_t canonical_mesh_crc(
+    std::span<const TriangleSoup> soups);
 
 /// Writes Wavefront OBJ (positions only); throws std::runtime_error on I/O
 /// failure. Intended for examples and debugging, not bulk output.

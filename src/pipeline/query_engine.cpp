@@ -47,6 +47,11 @@ QueryReport QueryEngine::run(core::ValueKey isovalue,
   }
   QueryReport report;
   report.isovalue = isovalue;
+  // Resolve the classification kernel once, up front: an explicitly
+  // requested ISA the host cannot run fails the query here, loudly,
+  // instead of surfacing per stripe (or worse, per failover re-execution).
+  report.kernel_isa = extract::kernel::resolve(options.kernel.isa);
+  const extract::KernelOptions resolved_kernel{report.kernel_isa};
   report.nodes.resize(p);
   report.times.per_node.resize(p);
 
@@ -113,6 +118,12 @@ QueryReport QueryEngine::run(core::ValueKey isovalue,
     const index::CompactIntervalTree& tree = data_.trees[node];
     soups[node].clear();
     node_report.triangles = 0;
+    // Kernel counters restart with the mesh: a failover re-execution
+    // replaces the stripe's output, so its stats replace too.
+    node_report.cells_classified = 0;
+    node_report.active_cells = 0;
+    node_report.vertex_cache_hits = 0;
+    node_report.classify_seconds = 0.0;
     // The whole stripe on the node's compute lane; its args carry the
     // per-node report totals so traces reconcile against QueryReport.
     obs::Span extract_span(options.tracer, "node.extract", options.query_id,
@@ -131,14 +142,16 @@ QueryReport QueryEngine::run(core::ValueKey isovalue,
     const io::IoStats io_before =
         cache != nullptr ? io::IoStats{} : device.stats();
     index::QueryPlan plan = tree.plan(isovalue);
-    // Pre-size the node's soup from the plan: the surface crosses roughly
-    // one cell layer of each active metacell, ~2 triangles per crossed
-    // cell. An estimate — reserve, not resize — but it absorbs the large
-    // early regrowths of the append loop.
+    // Pre-size the node's soup from the plan: ~2 triangles per crossed
+    // cell, and on turbulent data the surface folds through up to ~3 cell
+    // layers of an active metacell, so budget 6 per side^2. An estimate —
+    // reserve, not resize — but kernel_property_test pins that the paper
+    // sweep on the golden dataset never outgrows it, so the append loop
+    // pays no regrowth.
     const auto side =
         static_cast<std::uint64_t>(data_.geometry.cells_per_side());
     soups[node].reserve(
-        static_cast<std::size_t>(plan.total_records() * 2 * side * side));
+        static_cast<std::size_t>(plan.total_records() * 6 * side * side));
     index::RetrievalOptions retrieval = options.retrieval;
     retrieval.tracer = options.tracer;
     retrieval.metrics = options.metrics;
@@ -214,6 +227,8 @@ QueryReport QueryEngine::run(core::ValueKey isovalue,
     double cpu_seconds = 0.0;
     std::uint64_t mc_cells_visited = 0;
     std::uint64_t mc_active_cells = 0;
+    std::uint64_t mc_vertex_cache_hits = 0;
+    double mc_classify_seconds = 0.0;
     std::uint64_t mc_batches = 0;
     util::ThreadCpuTimer cpu_timer;
     metacell::DecodedMetacell cell;  // scratch reused across records
@@ -225,12 +240,14 @@ QueryReport QueryEngine::run(core::ValueKey isovalue,
       for (std::size_t r = 0; r < batch.record_count; ++r) {
         metacell::decode_metacell(batch.record(r), data_.kind, data_.geometry,
                                   cell);
-        const extract::ExtractionStats cell_stats =
-            extract::extract_metacell(cell, isovalue, soups[node]);
+        const extract::ExtractionStats cell_stats = extract::extract_metacell(
+            cell, isovalue, soups[node], resolved_kernel);
         node_report.triangles += cell_stats.triangles;
         batch_triangles += cell_stats.triangles;
         mc_cells_visited += cell_stats.cells_visited;
         mc_active_cells += cell_stats.active_cells;
+        mc_vertex_cache_hits += cell_stats.vertex_cache_hits;
+        mc_classify_seconds += cell_stats.classify_seconds;
       }
       const double batch_cpu = cpu_timer.seconds();
       cpu_seconds += batch_cpu;
@@ -302,6 +319,10 @@ QueryReport QueryEngine::run(core::ValueKey isovalue,
     node_report.io_model_seconds = cluster_.disk_seconds(node_report.io);
     node_report.io_wall_seconds = stream.io_wall_seconds();
     node_report.triangulation_seconds = cpu_seconds;
+    node_report.cells_classified = mc_cells_visited;
+    node_report.active_cells = mc_active_cells;
+    node_report.vertex_cache_hits = mc_vertex_cache_hits;
+    node_report.classify_seconds = mc_classify_seconds;
     node_report.turnaround_modeled_seconds +=
         stream.turnaround_modeled_seconds();
     node_report.decode_cpu_seconds += stream.decode_cpu_seconds();
@@ -336,6 +357,8 @@ QueryReport QueryEngine::run(core::ValueKey isovalue,
     if (options.metrics != nullptr) {
       options.metrics->counter("mc.cells_visited").add(mc_cells_visited);
       options.metrics->counter("mc.active_cells").add(mc_active_cells);
+      options.metrics->counter("mc.vertex_cache_hits")
+          .add(mc_vertex_cache_hits);
       options.metrics->counter("mc.triangles").add(node_report.triangles);
       options.metrics->counter("mc.batches").add(mc_batches);
     }
@@ -502,6 +525,12 @@ QueryReport QueryEngine::run(core::ValueKey isovalue,
     if (options.keep_image) report.image = std::move(composite.image);
   }
 
+  if (options.compute_mesh_crc) {
+    // Hash across the per-node soups directly — order-independent by
+    // construction, so it equals the hash of any merged ordering.
+    report.mesh_crc = extract::canonical_mesh_crc(
+        std::span<const extract::TriangleSoup>(soups));
+  }
   if (options.keep_triangles) {
     extract::TriangleSoup merged;
     std::size_t total = 0;

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "compositing/sort_last.h"
+#include "extract/kernel.h"
 #include "extract/mesh.h"
 #include "index/retrieval_stream.h"
 #include "io/fault_injection.h"
@@ -60,6 +61,19 @@ struct QueryOptions {
   /// more I/O jitter, and the ledger charges it faithfully from the
   /// per-batch times (TimeLedger::add_extraction_pipelined).
   std::size_t readahead_batches = 4;
+
+  // ---- extraction kernel --------------------------------------------------
+  /// Which marching-cubes classification kernel every node runs (auto =
+  /// the widest ISA the host supports; see extract/kernel.h). Resolved
+  /// once up front, so an explicitly requested unavailable ISA fails the
+  /// query loudly (std::runtime_error) instead of per stripe. The mesh is
+  /// bit-identical across ISAs; only classify throughput changes.
+  extract::KernelOptions kernel;
+  /// Compute the canonical content hash of the extracted mesh
+  /// (extract::canonical_mesh_crc over the per-node soups) into
+  /// QueryReport::mesh_crc — works with or without keep_triangles. Off by
+  /// default: sorting every triangle costs more than extracting them.
+  bool compute_mesh_crc = false;
 
   // ---- fault tolerance ----------------------------------------------------
   /// Wrap every node's disk in a FaultInjectingBlockDevice for this query.
@@ -154,6 +168,16 @@ struct NodeReport {
   std::uint64_t active_metacells = 0;
   std::uint64_t records_fetched = 0;  ///< incl. Case-2 overshoot
   std::uint64_t triangles = 0;
+  /// Marching-cubes kernel counters for this stripe: every cell the
+  /// classify pass graded, the cells that produced triangles, and the
+  /// shared-edge interpolations served from the rolling vertex caches.
+  std::uint64_t cells_classified = 0;
+  std::uint64_t active_cells = 0;
+  std::uint64_t vertex_cache_hits = 0;
+  /// Thread-CPU seconds in the kernel's plane-staging + classify phase (a
+  /// subset of triangulation_seconds) — the denominator of the
+  /// classified-cells/s throughput the SIMD dispatch is gated on.
+  double classify_seconds = 0.0;
   io::IoStats io;                    ///< this query's block I/O on the node
   double io_model_seconds = 0.0;     ///< disk-model price of `io`
   double io_wall_seconds = 0.0;      ///< wall clock inside device reads
@@ -189,6 +213,12 @@ struct NodeReport {
 
 struct QueryReport {
   core::ValueKey isovalue = 0;
+  /// The concrete classification ISA every stripe of this query ran
+  /// (QueryOptions::kernel resolved — never kAuto).
+  extract::KernelIsa kernel_isa = extract::KernelIsa::kScalar;
+  /// Canonical mesh hash, present when QueryOptions::compute_mesh_crc was
+  /// set — the cross-ISA identity gate's anchor.
+  std::optional<std::uint32_t> mesh_crc;
   /// True when the query did not run entirely on first-choice resources:
   /// a node program failed and its stripe was produced by a peer (whole
   /// stripe takeover), or a read exhausted one holder and was hedged onto a
@@ -214,6 +244,34 @@ struct QueryReport {
     std::uint64_t total = 0;
     for (const auto& node : nodes) total += node.triangles;
     return total;
+  }
+  [[nodiscard]] std::uint64_t total_cells_classified() const {
+    std::uint64_t total = 0;
+    for (const auto& node : nodes) total += node.cells_classified;
+    return total;
+  }
+  [[nodiscard]] std::uint64_t total_active_cells() const {
+    std::uint64_t total = 0;
+    for (const auto& node : nodes) total += node.active_cells;
+    return total;
+  }
+  [[nodiscard]] std::uint64_t total_vertex_cache_hits() const {
+    std::uint64_t total = 0;
+    for (const auto& node : nodes) total += node.vertex_cache_hits;
+    return total;
+  }
+  [[nodiscard]] double total_classify_seconds() const {
+    double total = 0.0;
+    for (const auto& node : nodes) total += node.classify_seconds;
+    return total;
+  }
+  /// Cells graded per classify-CPU second — the SIMD dispatch's headline
+  /// metric (0 when the classify phase was too fast to register).
+  [[nodiscard]] double classified_cells_per_second() const {
+    const double seconds = total_classify_seconds();
+    return seconds > 0.0
+               ? static_cast<double>(total_cells_classified()) / seconds
+               : 0.0;
   }
   /// Cluster-wide fault summary (retrieval counters summed over nodes;
   /// failovers summed over stripes).

@@ -77,7 +77,7 @@ QueryServer::~QueryServer() {
 
 pipeline::QueryReport QueryServer::run_admitted(
     const pipeline::PreprocessResult& data, core::ValueKey isovalue,
-    std::uint64_t submitted_us) {
+    std::uint64_t submitted_us, std::optional<extract::KernelOptions> kernel) {
   const std::uint32_t query_id =
       next_query_id_.fetch_add(1, std::memory_order_relaxed);
   obs::Tracer* const tracer = options_.tracer;
@@ -102,6 +102,7 @@ pipeline::QueryReport QueryServer::run_admitted(
   query_options.tracer = tracer;
   query_options.metrics = options_.metrics;
   query_options.query_id = query_id;
+  if (kernel.has_value()) query_options.kernel = *kernel;
   pipeline::QueryEngine engine(cluster_, data);
   try {
     pipeline::QueryReport report = engine.run(isovalue, query_options);
@@ -121,6 +122,16 @@ pipeline::QueryReport QueryServer::query(core::ValueKey isovalue) {
   return admission_
       ->submit([this, isovalue, submitted_us] {
         return run_admitted(data_, isovalue, submitted_us);
+      })
+      .get();
+}
+
+pipeline::QueryReport QueryServer::query(core::ValueKey isovalue,
+                                         extract::KernelOptions kernel) {
+  const std::uint64_t submitted_us = submit_time_us();
+  return admission_
+      ->submit([this, isovalue, submitted_us, kernel] {
+        return run_admitted(data_, isovalue, submitted_us, kernel);
       })
       .get();
 }

@@ -109,6 +109,14 @@ class QueryServer {
   /// concurrent clients the server exists for.
   [[nodiscard]] pipeline::QueryReport query(core::ValueKey isovalue);
 
+  /// Like query(), but with the marching-cubes kernel ISA overridden for
+  /// this request only (ServeOptions::query.kernel otherwise applies to
+  /// every admitted query). Mixed-ISA concurrent clients are safe by
+  /// construction — the kernels differ only in classify throughput, never
+  /// in output — and the TSan kernel suite serves exactly that mix.
+  [[nodiscard]] pipeline::QueryReport query(core::ValueKey isovalue,
+                                            extract::KernelOptions kernel);
+
   /// Like query(), but for one preprocessed time step of a time-varying
   /// dataset (`step` must outlive the call; all steps share the per-node
   /// pools, which is what keeps a step revisit warm).
@@ -147,10 +155,12 @@ class QueryServer {
   /// The body of one admitted query: gauge in, run the engine against
   /// `data` through the shared pools, gauge out. `submitted_us` is the
   /// tracer clock at submission (0 without a tracer) — the admission-wait
-  /// span runs from there to execution start.
+  /// span runs from there to execution start. `kernel` overrides the
+  /// base options' kernel ISA for this query when present.
   [[nodiscard]] pipeline::QueryReport run_admitted(
       const pipeline::PreprocessResult& data, core::ValueKey isovalue,
-      std::uint64_t submitted_us);
+      std::uint64_t submitted_us,
+      std::optional<extract::KernelOptions> kernel = std::nullopt);
 
   /// Tracer clock now, or 0 when tracing is off (submission timestamps).
   [[nodiscard]] std::uint64_t submit_time_us() const {

@@ -36,6 +36,13 @@ std::size_t triangulate_tet(const std::array<core::Vec3, 4>& corners,
   for (unsigned i = 0; i < 4; ++i) {
     if (values[i] < isovalue) inside_mask |= 1u << i;
   }
+  return triangulate_tet_masked(corners, values, inside_mask, isovalue, out);
+}
+
+std::size_t triangulate_tet_masked(const std::array<core::Vec3, 4>& corners,
+                                   const std::array<float, 4>& values,
+                                   unsigned inside_mask, float isovalue,
+                                   extract::TriangleSoup& out) {
   if (inside_mask == 0 || inside_mask == 0xF) return 0;
 
   // Partition the corner indices by side.

@@ -24,6 +24,17 @@ std::size_t triangulate_tet(const std::array<core::Vec3, 4>& corners,
                             const std::array<float, 4>& values, float isovalue,
                             extract::TriangleSoup& out);
 
+/// Like triangulate_tet, but with the corner classification already done:
+/// bit i of `inside_mask` is set iff values[i] < isovalue. The batched
+/// unstructured pipeline classifies whole clusters with the SIMD kernel
+/// (extract/kernel.h), skips tets whose 4-bit group is 0 or 0xF, and calls
+/// this for the rest — output-identical to triangulate_tet because masks
+/// 0/0xF emit nothing there too.
+std::size_t triangulate_tet_masked(const std::array<core::Vec3, 4>& corners,
+                                   const std::array<float, 4>& values,
+                                   unsigned inside_mask, float isovalue,
+                                   extract::TriangleSoup& out);
+
 /// Extracts the full isosurface of a mesh (the in-core reference the
 /// out-of-core unstructured pipeline is tested against).
 extract::ExtractionStats extract_tet_mesh(const TetMesh& mesh, float isovalue,

@@ -40,6 +40,9 @@ TetQueryReport query_tets(parallel::Cluster& cluster,
   const std::size_t p = cluster.size();
   TetQueryReport report;
   report.isovalue = isovalue;
+  report.kernel_isa = extract::kernel::resolve(options.kernel.isa);
+  const extract::kernel::ClassifyRowFn classify =
+      extract::kernel::detail::classify_fn(report.kernel_isa);
   report.nodes.resize(p);
   report.times.per_node.resize(p);
 
@@ -79,15 +82,37 @@ TetQueryReport query_tets(parallel::Cluster& cluster,
 
     double cpu_seconds = 0.0;
     util::ThreadCpuTimer cpu_timer;
+    // Batched classification scratch: the cluster's 4×N corner values
+    // contiguous for one SIMD grade, a 4-bit inside-group per tet (groups
+    // never straddle a word: 4 divides 64).
+    std::vector<float> corner_values;
+    std::vector<std::uint64_t> corner_bits;
     auto consume = [&](const index::RecordBatch& batch) {
       cpu_timer.restart();
       for (std::size_t r = 0; r < batch.record_count; ++r) {
         ++node_report.active_clusters;
         const auto tets =
             decode_cluster(batch.record(r), prep.tets_per_cluster);
-        for (const PackedTet& tet : tets) {
-          node_report.triangles += triangulate_tet(tet.corners, tet.values,
-                                                   isovalue, soups[node]);
+        corner_values.resize(tets.size() * 4);
+        for (std::size_t t = 0; t < tets.size(); ++t) {
+          const auto& values = tets[t].values;
+          corner_values[4 * t] = values[0];
+          corner_values[4 * t + 1] = values[1];
+          corner_values[4 * t + 2] = values[2];
+          corner_values[4 * t + 3] = values[3];
+        }
+        corner_bits.resize((corner_values.size() + 63) / 64);
+        if (!corner_values.empty()) {
+          classify(corner_values.data(), corner_values.size(), isovalue,
+                   corner_bits.data());
+        }
+        for (std::size_t t = 0; t < tets.size(); ++t) {
+          const std::size_t bit = 4 * t;
+          const unsigned mask = static_cast<unsigned>(
+              (corner_bits[bit >> 6] >> (bit & 63)) & 0xFu);
+          if (mask == 0 || mask == 0xFu) continue;
+          node_report.triangles += triangulate_tet_masked(
+              tets[t].corners, tets[t].values, mask, isovalue, soups[node]);
         }
       }
       const double batch_cpu = cpu_timer.seconds();

@@ -47,6 +47,11 @@ struct TetQueryOptions {
   /// Bounded-queue depth: record batches the I/O stage may read ahead of
   /// the marching-tets stage (0 clamps to 1).
   std::size_t readahead_batches = 4;
+  /// Classification kernel for the batched corner-vs-isovalue compare
+  /// (extract/kernel.h): each decoded cluster's 4×N corner values are
+  /// graded in one SIMD pass and only mixed-sign tets reach
+  /// triangulate_tet_masked. Output-identical across ISAs.
+  extract::KernelOptions kernel;
 };
 
 struct TetNodeReport {
@@ -63,6 +68,8 @@ struct TetNodeReport {
 
 struct TetQueryReport {
   core::ValueKey isovalue = 0;
+  /// Concrete classification ISA the query ran (kernel option resolved).
+  extract::KernelIsa kernel_isa = extract::KernelIsa::kScalar;
   std::vector<TetNodeReport> nodes;
   parallel::ClusterTimes times;
   std::optional<extract::TriangleSoup> triangles_out;

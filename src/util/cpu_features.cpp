@@ -1,0 +1,68 @@
+#include "util/cpu_features.h"
+
+#include <cstdlib>
+
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+#define OOCISO_X86 1
+#include <cpuid.h>
+#endif
+
+namespace oociso::util {
+namespace {
+
+bool env_set(const char* name) {
+  const char* value = std::getenv(name);
+  return value != nullptr && value[0] != '\0' && value[0] != '0';
+}
+
+CpuFeatures probe() {
+  CpuFeatures features;
+#if defined(OOCISO_X86)
+#if defined(__x86_64__) || defined(_M_X64)
+  features.sse2 = true;  // architectural baseline on x86-64
+#else
+  {
+    unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+    if (__get_cpuid(1, &eax, &ebx, &ecx, &edx)) {
+      features.sse2 = (edx & (1u << 26)) != 0;
+    }
+  }
+#endif
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  const bool have_leaf1 = __get_cpuid(1, &eax, &ebx, &ecx, &edx) != 0;
+  const bool osxsave = have_leaf1 && (ecx & (1u << 27)) != 0;
+  const bool avx = have_leaf1 && (ecx & (1u << 28)) != 0;
+  bool avx2_bit = false;
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) {
+    avx2_bit = (ebx & (1u << 5)) != 0;
+  }
+  bool ymm_saved = false;
+  if (osxsave) {
+    // xgetbv via raw encoding: <immintrin.h>'s _xgetbv needs -mxsave, and
+    // this translation unit must stay baseline-compilable.
+    unsigned xcr0_lo = 0, xcr0_hi = 0;
+    __asm__ volatile(".byte 0x0f, 0x01, 0xd0"
+                     : "=a"(xcr0_lo), "=d"(xcr0_hi)
+                     : "c"(0u));
+    ymm_saved = (xcr0_lo & 0x6u) == 0x6u;  // XMM + YMM state enabled
+  }
+  features.avx2 = avx && avx2_bit && ymm_saved;
+#endif
+  if (env_set("OOCISO_DISABLE_SIMD")) {
+    features.sse2 = false;
+    features.avx2 = false;
+  }
+  if (env_set("OOCISO_DISABLE_AVX2")) {
+    features.avx2 = false;
+  }
+  return features;
+}
+
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures features = probe();
+  return features;
+}
+
+}  // namespace oociso::util

@@ -1,0 +1,27 @@
+#pragma once
+// Runtime CPU-feature probe for the SIMD kernel dispatch layer.
+//
+// The probe runs once (cached in a function-local static) and answers the
+// only questions the extraction kernels ask: can this machine execute SSE2
+// and AVX2 code? On x86-64 SSE2 is architectural baseline; AVX2 requires
+// the cpuid leaf-7 feature bit AND an OS that saves the ymm state
+// (OSXSAVE + XCR0 ymm bits), because a kernel that context-switches away
+// the upper halves would corrupt results silently.
+//
+// Two environment variables gate the probe for testing the fallback paths
+// deterministically on capable hardware (read once, at first probe):
+//
+//   OOCISO_DISABLE_SIMD=1   report sse2=false, avx2=false (scalar only)
+//   OOCISO_DISABLE_AVX2=1   report avx2=false (sse2 kept)
+
+namespace oociso::util {
+
+struct CpuFeatures {
+  bool sse2 = false;
+  bool avx2 = false;
+};
+
+/// Probes once, caches forever. Thread-safe (C++ static init).
+[[nodiscard]] const CpuFeatures& cpu_features();
+
+}  // namespace oociso::util

@@ -25,9 +25,13 @@ struct RunResult {
 };
 
 /// Runs the CLI with `arguments`, capturing output and the real exit code.
-RunResult run_cli(const std::string& arguments, const std::string& log_path) {
-  const std::string command = std::string(OOCISO_CLI_PATH) + " " + arguments +
-                              " > " + log_path + " 2>&1";
+/// `env_prefix` prepends shell-style VAR=value assignments (e.g.
+/// "OOCISO_DISABLE_SIMD=1 ") so a test can shrink the binary's CPU-feature
+/// view regardless of the host it runs on.
+RunResult run_cli(const std::string& arguments, const std::string& log_path,
+                  const std::string& env_prefix = "") {
+  const std::string command = env_prefix + std::string(OOCISO_CLI_PATH) +
+                              " " + arguments + " > " + log_path + " 2>&1";
   const int status = std::system(command.c_str());
   RunResult result;
   if (WIFEXITED(status)) result.exit_code = WEXITSTATUS(status);
@@ -247,6 +251,68 @@ TEST_F(CliTest, CompressedPreprocessRoundTripsThroughInfoAndQuery) {
   const std::string expected = counts_prefix(q_plain.output);
   EXPECT_NE(expected.find("isovalue 120"), std::string::npos);
   EXPECT_EQ(counts_prefix(q_packed.output), expected);
+}
+
+TEST_F(CliTest, KernelFlagValidatesAgainstTheHostCpu) {
+  // Unknown ISA names are usage errors on both subcommands, caught before
+  // any storage is touched.
+  for (const std::string command :
+       {"query --storage /nonexistent --kernel neon",
+        "serve --storage /nonexistent --isos 90 --kernel fast"}) {
+    const RunResult bad = run_cli(command, path("log"));
+    EXPECT_EQ(bad.exit_code, 2) << command << "\n" << bad.output;
+    EXPECT_NE(bad.output.find("error: unknown --kernel"), std::string::npos)
+        << bad.output;
+    EXPECT_NE(bad.output.find("usage:"), std::string::npos) << command;
+  }
+
+  // An ISA the CPU cannot run is also exit 2, with a message naming the
+  // escape hatch. OOCISO_DISABLE_SIMD shrinks the binary's feature view to
+  // scalar-only, so this branch is exercised even on an AVX2 host (and the
+  // assertion holds verbatim on machines without AVX2).
+  const std::string no_simd = "OOCISO_DISABLE_SIMD=1 ";
+  for (const std::string isa : {"sse2", "avx2"}) {
+    const RunResult unsupported = run_cli(
+        "query --storage /nonexistent --kernel " + isa, path("log"), no_simd);
+    EXPECT_EQ(unsupported.exit_code, 2) << unsupported.output;
+    EXPECT_NE(unsupported.output.find(
+                  "is not supported by this CPU (use --kernel auto)"),
+              std::string::npos)
+        << unsupported.output;
+  }
+
+  // `--kernel auto` and `--kernel scalar` always work, and the extraction
+  // counts are ISA-independent — the report line's deterministic prefix
+  // must match between a forced-scalar run, an auto run, and an auto run
+  // with SIMD disabled.
+  const std::string volume = path("volume.oocv");
+  ASSERT_EQ(run_cli("generate --dims 40 --seed 7 --out " + volume, path("g"))
+                .exit_code,
+            0);
+  const std::string storage = path("storage");
+  ASSERT_EQ(run_cli("preprocess --volume " + volume + " --storage " + storage +
+                        " --nodes 2",
+                    path("p"))
+                .exit_code,
+            0);
+  const std::string query = "query --storage " + storage +
+                            " --nodes 2 --iso 120 --kernel ";
+  const RunResult q_scalar = run_cli(query + "scalar", path("q0"));
+  const RunResult q_auto = run_cli(query + "auto", path("q1"));
+  const RunResult q_auto_no_simd = run_cli(query + "auto", path("q2"), no_simd);
+  ASSERT_EQ(q_scalar.exit_code, 0) << q_scalar.output;
+  ASSERT_EQ(q_auto.exit_code, 0) << q_auto.output;
+  ASSERT_EQ(q_auto_no_simd.exit_code, 0) << q_auto_no_simd.output;
+  const auto counts_prefix = [](const std::string& output) {
+    const std::size_t at = output.find(" triangles");
+    EXPECT_NE(at, std::string::npos) << output;
+    const std::size_t start = output.rfind('\n', at) + 1;
+    return output.substr(start, at - start);
+  };
+  const std::string expected = counts_prefix(q_scalar.output);
+  EXPECT_NE(expected.find("isovalue 120"), std::string::npos);
+  EXPECT_EQ(counts_prefix(q_auto.output), expected);
+  EXPECT_EQ(counts_prefix(q_auto_no_simd.output), expected);
 }
 
 TEST_F(CliTest, QueryTraceIsValidJson) {

@@ -6,24 +6,28 @@
 //     at 1 and 3 nodes (striping must not change the multiset),
 //   * a stream opened from the blocked *external* tree (same plan, same
 //     records, same kernel),
-//   * the in-core extract_volume reference.
+//   * the in-core extract_volume reference, once per classification ISA
+//     this host can dispatch (scalar always; sse2/avx2 when available —
+//     the run logs which ones executed). A SIMD kernel that moved a
+//     single vertex would move the hash.
 // The unstructured (marching-tets) pipeline gets its own pinned golden —
 // different mesh, same regression contract.
 //
-// Canonicalization quantizes coordinates to 1/4096 of a lattice unit
-// before hashing, so the hash pins the geometry while staying stable
-// against last-ulp differences between optimization levels (e.g. fused
-// multiply-add contraction); it would still catch any real kernel change.
+// Canonicalization (extract::canonical_mesh_crc) quantizes coordinates to
+// 1/4096 of a lattice unit before hashing, so the hash pins the geometry
+// while staying stable against last-ulp differences between optimization
+// levels (e.g. fused multiply-add contraction); it would still catch any
+// real kernel change.
 #include <gtest/gtest.h>
 
-#include <algorithm>
-#include <cmath>
 #include <cstdint>
-#include <cstring>
+#include <iostream>
 #include <vector>
 
 #include "data/rm_generator.h"
+#include "extract/kernel.h"
 #include "extract/marching_cubes.h"
+#include "extract/mesh.h"
 #include "index/compact_interval_tree.h"
 #include "index/external_tree.h"
 #include "index/retrieval_stream.h"
@@ -34,38 +38,25 @@
 #include "pipeline/query_engine.h"
 #include "unstructured/pipeline.h"
 #include "unstructured/tet_mesh.h"
-#include "util/crc32.h"
 
 namespace oociso {
 namespace {
 
 constexpr float kIsovalue = 128.0f;
 
-/// Canonical content hash of a triangle soup: quantize every coordinate,
-/// sort the triangles, CRC32 the byte stream.
 std::uint32_t canonical_crc(const extract::TriangleSoup& soup) {
-  using Quantized = std::array<std::int64_t, 9>;
-  std::vector<Quantized> rows;
-  rows.reserve(soup.size());
-  for (const extract::Triangle& triangle : soup.triangles()) {
-    const core::Vec3* vertices[3] = {&triangle.a, &triangle.b, &triangle.c};
-    Quantized row;
-    std::size_t at = 0;
-    for (const core::Vec3* v : vertices) {
-      row[at++] = std::llround(static_cast<double>(v->x) * 4096.0);
-      row[at++] = std::llround(static_cast<double>(v->y) * 4096.0);
-      row[at++] = std::llround(static_cast<double>(v->z) * 4096.0);
-    }
-    rows.push_back(row);
+  return extract::canonical_mesh_crc(soup);
+}
+
+/// Names the ISAs a golden check is about to sweep, so CI logs show which
+/// kernels the host actually exercised (unavailable ones are skipped by
+/// construction — dispatchable_isas() only lists what this CPU runs).
+void log_dispatchable(const char* where) {
+  std::cout << "[ kernels  ] " << where << " sweeps:";
+  for (const extract::KernelIsa isa : extract::kernel::dispatchable_isas()) {
+    std::cout << " " << extract::kernel::isa_name(isa);
   }
-  std::sort(rows.begin(), rows.end());
-  std::uint32_t state = util::crc32_init();
-  for (const Quantized& row : rows) {
-    std::array<std::byte, sizeof(Quantized)> bytes;
-    std::memcpy(bytes.data(), row.data(), sizeof(Quantized));
-    state = util::crc32_update(state, bytes);
-  }
-  return util::crc32_final(state);
+  std::cout << "\n";
 }
 
 data::RmConfig golden_rm() {
@@ -79,7 +70,9 @@ core::VolumeU8 golden_volume() {
   return data::generate_rm_timestep(golden_rm(), 170);
 }
 
-extract::TriangleSoup engine_soup(std::size_t nodes) {
+extract::TriangleSoup engine_soup(
+    std::size_t nodes,
+    extract::KernelIsa isa = extract::KernelIsa::kAuto) {
   const core::VolumeU8 volume = golden_volume();
   parallel::ClusterConfig config;
   config.node_count = nodes;
@@ -92,6 +85,7 @@ extract::TriangleSoup engine_soup(std::size_t nodes) {
   pipeline::QueryOptions options;
   options.render = false;
   options.keep_triangles = true;
+  options.kernel.isa = isa;
   return std::move(*engine.run(kIsovalue, options).triangles_out);
 }
 
@@ -119,8 +113,13 @@ TEST(GoldenMesh, EnginesAgreeOnTheCanonicalMesh) {
   ASSERT_FALSE(reference.empty());
 
   // Structured engine, single node and striped across three: partitioning
-  // must not change the canonical mesh.
-  EXPECT_EQ(canonical_crc(engine_soup(1)), golden);
+  // must not change the canonical mesh. The single-node run repeats once
+  // per dispatchable classification ISA.
+  log_dispatchable("engine");
+  for (const extract::KernelIsa isa : extract::kernel::dispatchable_isas()) {
+    EXPECT_EQ(canonical_crc(engine_soup(1, isa)), golden)
+        << extract::kernel::isa_name(isa);
+  }
   EXPECT_EQ(canonical_crc(engine_soup(3)), golden);
 
   // External-tree stream: same plan, same records, same kernel.
@@ -147,18 +146,23 @@ TEST(GoldenMesh, EnginesAgreeOnTheCanonicalMesh) {
   EXPECT_EQ(canonical_crc(compact_soup), golden);
 }
 
-TEST(GoldenMesh, StructuredHashIsPinned) {
+TEST(GoldenMesh, StructuredHashIsPinnedForEveryIsa) {
   const core::VolumeU8 volume = golden_volume();
-  extract::TriangleSoup reference;
-  const extract::ExtractionStats stats =
-      extract::extract_volume(volume, kIsovalue, reference);
-  const std::uint32_t crc = canonical_crc(reference);
-  // Pinned golden value for (seed 777, 40x40x36, step 170, iso 128). A
-  // deliberate kernel/generator change re-pins it; anything else failing
-  // here is a silent mesh regression.
-  EXPECT_EQ(crc, 0x33E88068u)
-      << "canonical mesh hash moved: 0x" << std::hex << crc << " over "
-      << std::dec << stats.triangles << " triangles";
+  // Pinned golden value for (seed 777, 40x40x36, step 170, iso 128),
+  // asserted once per dispatchable classification ISA. A deliberate
+  // kernel/generator change re-pins it; anything else failing here is a
+  // silent mesh regression.
+  log_dispatchable("pinned hash");
+  for (const extract::KernelIsa isa : extract::kernel::dispatchable_isas()) {
+    extract::TriangleSoup reference;
+    const extract::ExtractionStats stats = extract::extract_volume(
+        volume, kIsovalue, reference, extract::KernelOptions{isa});
+    const std::uint32_t crc = canonical_crc(reference);
+    EXPECT_EQ(crc, 0x33E88068u)
+        << extract::kernel::isa_name(isa) << ": canonical mesh hash moved: 0x"
+        << std::hex << crc << " over " << std::dec << stats.triangles
+        << " triangles";
+  }
 }
 
 TEST(GoldenMesh, UnstructuredHashIsPinned) {

@@ -1,51 +1,30 @@
 // The incremental marching-cubes kernel (rolling sample planes + shared-
-// edge vertex caches) must be a pure optimization: for every input it has
-// to emit the exact triangle sequence of the per-cell reference kernel,
-// bit for bit. These tests sweep all 256 cube configurations and randomized
-// volumes in every supported scalar kind.
+// edge vertex caches + bitmask classification) must be a pure
+// optimization: for every input it has to emit the exact triangle sequence
+// of the per-cell reference kernel, bit for bit. These tests sweep all 256
+// cube configurations and randomized volumes in every supported scalar
+// kind — including x extents straddling the classify lane width, where the
+// active-mask word count differs from the sample-row word count.
+// kernel_fuzz_test extends the same contract across every dispatchable
+// SIMD ISA; the shared helpers live in kernel_test_util.h.
 
 #include <gtest/gtest.h>
 
-#include <array>
-#include <cstring>
 #include <vector>
 
 #include "core/volume.h"
 #include "extract/marching_cubes.h"
+#include "kernel_test_util.h"
 #include "metacell/metacell.h"
 #include "util/rng.h"
 
 namespace oociso::extract {
 namespace {
 
-/// Byte-exact equality of two triangle sequences (same count, same order,
-/// same float bits).
-::testing::AssertionResult bit_identical(const TriangleSoup& a,
-                                         const TriangleSoup& b) {
-  if (a.size() != b.size()) {
-    return ::testing::AssertionFailure()
-           << "triangle counts differ: " << a.size() << " vs " << b.size();
-  }
-  if (a.size() > 0 &&
-      std::memcmp(a.triangles().data(), b.triangles().data(),
-                  a.size() * sizeof(Triangle)) != 0) {
-    return ::testing::AssertionFailure() << "triangle bytes differ";
-  }
-  return ::testing::AssertionSuccess();
-}
-
-void expect_stats_equal(const ExtractionStats& a, const ExtractionStats& b) {
-  EXPECT_EQ(a.cells_visited, b.cells_visited);
-  EXPECT_EQ(a.active_cells, b.active_cells);
-  EXPECT_EQ(a.triangles, b.triangles);
-}
-
-// Corner numbering of mc_tables.h: v0=(0,0,0) v1=(1,0,0) v2=(1,1,0)
-// v3=(0,1,0) v4=(0,0,1) v5=(1,0,1) v6=(1,1,1) v7=(0,1,1).
-constexpr std::array<std::array<std::int32_t, 3>, 8> kCorner = {{
-    {0, 0, 0}, {1, 0, 0}, {1, 1, 0}, {0, 1, 0},
-    {0, 0, 1}, {1, 0, 1}, {1, 1, 1}, {0, 1, 1},
-}};
+using testutil::bit_identical;
+using testutil::expect_counter_stats_equal;
+using testutil::kCorner;
+using testutil::random_volume;
 
 TEST(IncrementalKernel, MatchesPerCellOnAll256CubeCases) {
   // One unit cell; inside means value < isovalue, so a set bit gets a value
@@ -64,34 +43,19 @@ TEST(IncrementalKernel, MatchesPerCellOnAll256CubeCases) {
     const ExtractionStats b = extract_volume_percell(volume, 100.0f, percell);
 
     EXPECT_TRUE(bit_identical(incremental, percell)) << "cube case " << cube;
-    expect_stats_equal(a, b);
+    expect_counter_stats_equal(a, b);
   }
-}
-
-template <typename T>
-core::Volume<T> random_volume(core::GridDims dims, std::uint64_t seed) {
-  util::Xoshiro256 rng(seed);
-  core::Volume<T> volume(dims);
-  for (std::int32_t z = 0; z < dims.nz; ++z) {
-    for (std::int32_t y = 0; y < dims.ny; ++y) {
-      for (std::int32_t x = 0; x < dims.nx; ++x) {
-        if constexpr (std::is_floating_point_v<T>) {
-          volume.at(x, y, z) =
-              static_cast<T>(rng.bounded(100000)) / T{391.0};
-        } else {
-          volume.at(x, y, z) = static_cast<T>(
-              rng.bounded(std::uint32_t{1}
-                          << (8 * static_cast<unsigned>(sizeof(T)))));
-        }
-      }
-    }
-  }
-  return volume;
 }
 
 template <typename T>
 void check_random_volumes(float lo, float hi) {
-  const core::GridDims shapes[] = {{13, 11, 9}, {2, 2, 2}, {5, 2, 7}};
+  // The first three shapes exercise ordinary interior geometry; the last
+  // three pin the classify bitmask's remainder handling — 63/64/65 samples
+  // along x sit on either side of the 64-bit word boundary, and 65 samples
+  // (64 cells) is the case where a cell row fills its last mask word
+  // exactly while the sample rows spill into one more.
+  const core::GridDims shapes[] = {{13, 11, 9}, {2, 2, 2},  {5, 2, 7},
+                                   {63, 2, 3},  {64, 3, 2}, {65, 2, 2}};
   std::uint64_t seed = 1000;
   for (const core::GridDims& dims : shapes) {
     const core::Volume<T> volume = random_volume<T>(dims, seed++);
@@ -107,7 +71,7 @@ void check_random_volumes(float lo, float hi) {
       EXPECT_TRUE(bit_identical(incremental, percell))
           << dims.nx << "x" << dims.ny << "x" << dims.nz << " iso "
           << isovalue;
-      expect_stats_equal(a, b);
+      expect_counter_stats_equal(a, b);
       produced += a.triangles;
     }
     // The sweep has to exercise real geometry, not compare empty soups.
@@ -152,7 +116,7 @@ TEST(IncrementalKernel, MatchesPerCellOnMetacells) {
           extract_metacell_percell(cell, isovalue, percell);
       EXPECT_TRUE(bit_identical(incremental, percell))
           << "trial " << trial << " iso " << isovalue;
-      expect_stats_equal(a, b);
+      expect_counter_stats_equal(a, b);
     }
   }
 }

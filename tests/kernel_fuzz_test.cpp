@@ -1,0 +1,251 @@
+// Differential fuzzing of the SIMD classification kernels: for every
+// dispatchable ISA (scalar, sse2, avx2 — whatever this host can run) the
+// incremental pipeline must emit triangles bit-identical to the per-cell
+// reference AND to its own scalar-classify run, with identical
+// deterministic stats (vertex-cache hits included between incremental
+// runs). The sweeps concentrate on where a lane-width bug would hide:
+//   * x extents of 0/1/±1 cells around the 4-, 8-, and 64-wide boundaries
+//     (remainder lanes, exactly-full mask words, sample rows one word
+//     longer than cell rows),
+//   * all 256 cube configurations at every lane offset along a row,
+//   * isovalues exactly equal to sample values (strict `<` boundary),
+//   * NaN and ±inf samples and a NaN isovalue (ordered-compare semantics
+//     must match scalar `<` exactly),
+//   * seeded random volumes in u8/u16/float at randomized shapes.
+// Carries the ctest label `kernel`; CI runs it under ASan/UBSan and TSan.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/volume.h"
+#include "extract/kernel.h"
+#include "extract/marching_cubes.h"
+#include "kernel_test_util.h"
+#include "metacell/metacell.h"
+#include "util/rng.h"
+
+namespace oociso::extract {
+namespace {
+
+using testutil::bit_identical;
+using testutil::expect_counter_stats_equal;
+using testutil::expect_stats_equal;
+using testutil::kCorner;
+using testutil::random_volume;
+
+/// One differential probe: per-cell reference vs scalar incremental vs
+/// every other dispatchable ISA, soups bit-identical throughout.
+template <typename T>
+void check_all_isas(const core::Volume<T>& volume, float isovalue,
+                    const std::string& context) {
+  TriangleSoup percell;
+  const MarchingCubesStats ref =
+      extract_volume_percell(volume, isovalue, percell);
+
+  TriangleSoup scalar_soup;
+  const MarchingCubesStats scalar_stats = extract_volume(
+      volume, isovalue, scalar_soup, KernelOptions{KernelIsa::kScalar});
+  EXPECT_TRUE(bit_identical(scalar_soup, percell)) << context << " (scalar)";
+  expect_counter_stats_equal(scalar_stats, ref);
+
+  for (const KernelIsa isa : kernel::dispatchable_isas()) {
+    if (isa == KernelIsa::kScalar) continue;
+    TriangleSoup simd_soup;
+    const MarchingCubesStats simd_stats =
+        extract_volume(volume, isovalue, simd_soup, KernelOptions{isa});
+    EXPECT_TRUE(bit_identical(simd_soup, scalar_soup))
+        << context << " (" << kernel::isa_name(isa) << ")";
+    expect_stats_equal(simd_stats, scalar_stats);
+  }
+}
+
+template <typename T>
+void sweep_sizes(std::uint64_t seed_base, float lo, float hi) {
+  // Sample extents straddling the SSE (4), AVX2 (8), and mask-word (64)
+  // widths; nx=1 is the zero-cell degenerate, nx=65 the 64-cell row whose
+  // sample rows need one more bitmask word than its cell rows.
+  const std::int32_t xs[] = {1, 2, 3, 4, 5, 7, 8, 9, 16, 63, 64, 65};
+  std::uint64_t seed = seed_base;
+  for (const std::int32_t nx : xs) {
+    const core::Volume<T> volume = random_volume<T>({nx, 3, 2}, seed++);
+    for (int step = 0; step <= 2; ++step) {
+      const float isovalue =
+          lo + (hi - lo) * static_cast<float>(step) / 2.0f;
+      check_all_isas(volume, isovalue,
+                     std::to_string(nx) + "x3x2 iso " +
+                         std::to_string(isovalue));
+    }
+  }
+  // The lane math only runs along x, but the row loops must stay correct
+  // when y/z carry the big extents instead.
+  for (const core::GridDims dims :
+       {core::GridDims{5, 64, 2}, core::GridDims{4, 3, 65}}) {
+    const core::Volume<T> volume = random_volume<T>(dims, seed++);
+    check_all_isas(volume, (lo + hi) / 2.0f,
+                   std::to_string(dims.nx) + "x" + std::to_string(dims.ny) +
+                       "x" + std::to_string(dims.nz));
+  }
+}
+
+TEST(KernelFuzz, LaneWidthEdgeSizesU8) {
+  sweep_sizes<std::uint8_t>(7000, 10.0f, 240.0f);
+}
+
+TEST(KernelFuzz, LaneWidthEdgeSizesU16) {
+  sweep_sizes<std::uint16_t>(7100, 1000.0f, 64000.0f);
+}
+
+TEST(KernelFuzz, LaneWidthEdgeSizesFloat) {
+  sweep_sizes<float>(7200, 10.0f, 245.0f);
+}
+
+TEST(KernelFuzz, All256CubeCasesAtEveryLaneOffset) {
+  // An 11-cell row covers every offset mod 4, 8, and the row remainder.
+  // Each probe plants one cube configuration at cell (offset, 0, 0) in an
+  // otherwise all-outside volume, so a lane-misaligned classify would
+  // move or drop that cell's triangles.
+  constexpr std::int32_t kSamplesX = 12;
+  for (std::int32_t offset = 0; offset < kSamplesX - 1; ++offset) {
+    for (unsigned cube = 0; cube < 256; ++cube) {
+      core::Volume<float> volume({kSamplesX, 2, 2});
+      for (std::int32_t z = 0; z < 2; ++z) {
+        for (std::int32_t y = 0; y < 2; ++y) {
+          for (std::int32_t x = 0; x < kSamplesX; ++x) {
+            volume.at(x, y, z) = 181.25f;
+          }
+        }
+      }
+      for (unsigned c = 0; c < 8; ++c) {
+        if ((cube & (1u << c)) != 0) {
+          volume.at(offset + kCorner[c][0], kCorner[c][1], kCorner[c][2]) =
+              37.5f;
+        }
+      }
+      check_all_isas(volume, 100.0f,
+                     "cube " + std::to_string(cube) + " at offset " +
+                         std::to_string(offset));
+    }
+  }
+}
+
+TEST(KernelFuzz, IsovalueEqualsSampleValues) {
+  // Inside is the strict `value < isovalue`: a sample exactly at the
+  // isovalue is outside in every kernel, or the surface shifts.
+  const core::Volume<std::uint8_t> volume = random_volume<std::uint8_t>(
+      {19, 7, 5}, 8800);
+  for (const auto [x, y, z] :
+       {std::array<std::int32_t, 3>{0, 0, 0}, {9, 3, 2}, {18, 6, 4},
+        {4, 1, 3}}) {
+    const float isovalue = static_cast<float>(volume.at(x, y, z));
+    check_all_isas(volume, isovalue,
+                   "iso == sample at " + std::to_string(x) + "," +
+                       std::to_string(y) + "," + std::to_string(z));
+  }
+  check_all_isas(volume, 0.0f, "iso 0");
+  check_all_isas(volume, 255.0f, "iso 255");
+}
+
+TEST(KernelFuzz, NanAndInfInputs) {
+  core::Volume<float> volume = random_volume<float>({17, 5, 4}, 9900);
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  // Scatter non-finite samples across lane positions; `x < iso` is false
+  // for NaN in scalar and in the ordered SIMD compares alike, -inf is
+  // inside everything, +inf inside nothing.
+  volume.at(0, 0, 0) = nan;
+  volume.at(7, 2, 1) = nan;
+  volume.at(16, 4, 3) = nan;
+  volume.at(3, 1, 2) = inf;
+  volume.at(12, 3, 0) = -inf;
+  volume.at(8, 0, 3) = -inf;
+  for (const float isovalue : {50.0f, 128.0f, 245.0f}) {
+    check_all_isas(volume, isovalue,
+                   "nan/inf volume iso " + std::to_string(isovalue));
+  }
+  // A NaN isovalue classifies nothing as inside, in every ISA.
+  TriangleSoup empty_soup;
+  const MarchingCubesStats none =
+      extract_volume(volume, nan, empty_soup, KernelOptions{});
+  EXPECT_EQ(none.active_cells, 0u);
+  EXPECT_TRUE(empty_soup.empty());
+  check_all_isas(volume, nan, "nan isovalue");
+}
+
+TEST(KernelFuzz, RandomizedDifferential) {
+  util::Xoshiro256 rng(0xF0220ABCu);
+  for (int trial = 0; trial < 24; ++trial) {
+    const core::GridDims dims = {
+        1 + static_cast<std::int32_t>(rng.bounded(70)),
+        1 + static_cast<std::int32_t>(rng.bounded(9)),
+        1 + static_cast<std::int32_t>(rng.bounded(9))};
+    const std::uint64_t seed = 0x5EED0000u + static_cast<std::uint64_t>(trial);
+    const float isovalue = static_cast<float>(rng.bounded(256));
+    const std::string context =
+        "trial " + std::to_string(trial) + " " + std::to_string(dims.nx) +
+        "x" + std::to_string(dims.ny) + "x" + std::to_string(dims.nz) +
+        " iso " + std::to_string(isovalue);
+    switch (trial % 3) {
+      case 0:
+        check_all_isas(random_volume<std::uint8_t>(dims, seed), isovalue,
+                       context);
+        break;
+      case 1:
+        check_all_isas(random_volume<std::uint16_t>(dims, seed),
+                       isovalue * 256.0f, context);
+        break;
+      default:
+        check_all_isas(random_volume<float>(dims, seed), isovalue, context);
+        break;
+    }
+  }
+}
+
+TEST(KernelFuzz, MetacellsAcrossIsas) {
+  // The metacell path adds partial valid-cell extents and non-zero sample
+  // origins on top of the volume path; every ISA must translate them
+  // identically.
+  util::Xoshiro256 rng(31337);
+  for (int trial = 0; trial < 12; ++trial) {
+    metacell::DecodedMetacell cell;
+    cell.id = static_cast<std::uint32_t>(trial);
+    cell.samples_per_side = 9;
+    cell.sample_origin = {8 * (trial % 4), 8 * (trial % 3), 8 * (trial % 2)};
+    cell.valid_cells = {1 + static_cast<std::int32_t>(rng.bounded(8)),
+                        1 + static_cast<std::int32_t>(rng.bounded(8)),
+                        1 + static_cast<std::int32_t>(rng.bounded(8))};
+    cell.samples.resize(9 * 9 * 9);
+    for (float& sample : cell.samples) {
+      sample = static_cast<float>(rng.bounded(256));
+    }
+
+    for (const float isovalue : {40.0f, 127.5f, 200.0f}) {
+      TriangleSoup percell;
+      const MarchingCubesStats ref =
+          extract_metacell_percell(cell, isovalue, percell);
+      TriangleSoup scalar_soup;
+      const MarchingCubesStats scalar_stats = extract_metacell(
+          cell, isovalue, scalar_soup, KernelOptions{KernelIsa::kScalar});
+      EXPECT_TRUE(bit_identical(scalar_soup, percell))
+          << "trial " << trial << " iso " << isovalue;
+      expect_counter_stats_equal(scalar_stats, ref);
+
+      for (const KernelIsa isa : kernel::dispatchable_isas()) {
+        if (isa == KernelIsa::kScalar) continue;
+        TriangleSoup simd_soup;
+        const MarchingCubesStats simd_stats =
+            extract_metacell(cell, isovalue, simd_soup, KernelOptions{isa});
+        EXPECT_TRUE(bit_identical(simd_soup, scalar_soup))
+            << "trial " << trial << " iso " << isovalue << " "
+            << kernel::isa_name(isa);
+        expect_stats_equal(simd_stats, scalar_stats);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace oociso::extract

@@ -1,0 +1,225 @@
+// Kernel-level properties beyond bit-identity of the soups:
+//   * the full MarchingCubesStats — vertex-cache hits included — is
+//     identical whichever classify ISA ran, on real RM data where the
+//     cache actually hits,
+//   * the engine's per-query report (counters and canonical mesh CRC) is
+//     ISA-independent,
+//   * the per-node TriangleSoup reserve derived from
+//     QueryPlan::total_records() is never exceeded on the golden dataset
+//     (the estimate absorbs every regrowth of the append loop),
+//   * a server handling eight concurrent clients that each request a
+//     different --kernel stays bit-identical to the serial baseline (the
+//     TSan mixed-ISA workload).
+// Labels: kernel + property.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <future>
+#include <vector>
+
+#include "data/rm_generator.h"
+#include "extract/kernel.h"
+#include "extract/marching_cubes.h"
+#include "kernel_test_util.h"
+#include "metacell/source.h"
+#include "parallel/cluster.h"
+#include "pipeline/query_engine.h"
+#include "serve/query_server.h"
+
+namespace oociso {
+namespace {
+
+using extract::KernelIsa;
+using extract::KernelOptions;
+using extract::testutil::bit_identical;
+using extract::testutil::expect_stats_equal;
+
+data::RmConfig golden_rm() {
+  data::RmConfig config;
+  config.dims = {40, 40, 36};
+  config.seed = 777;
+  return config;
+}
+
+TEST(KernelProperty, FullStatsIdenticalAcrossIsasOnRealData) {
+  const core::VolumeU8 volume =
+      data::generate_rm_timestep(golden_rm(), 170);
+  for (const float isovalue : {96.0f, 128.0f, 190.0f}) {
+    extract::TriangleSoup scalar_soup;
+    const extract::MarchingCubesStats scalar_stats = extract::extract_volume(
+        volume, isovalue, scalar_soup, KernelOptions{KernelIsa::kScalar});
+    // The property is vacuous unless the shared-edge cache actually fires.
+    ASSERT_GT(scalar_stats.vertex_cache_hits, 0u);
+    ASSERT_GT(scalar_stats.active_cells, 0u);
+    for (const KernelIsa isa : extract::kernel::dispatchable_isas()) {
+      if (isa == KernelIsa::kScalar) continue;
+      extract::TriangleSoup simd_soup;
+      const extract::MarchingCubesStats simd_stats =
+          extract::extract_volume(volume, isovalue, simd_soup,
+                                  KernelOptions{isa});
+      expect_stats_equal(simd_stats, scalar_stats);
+      EXPECT_TRUE(bit_identical(simd_soup, scalar_soup))
+          << extract::kernel::isa_name(isa) << " iso " << isovalue;
+    }
+  }
+}
+
+/// One engine query at a pinned kernel, keeping triangles and the mesh CRC.
+pipeline::QueryReport engine_report(parallel::Cluster& cluster,
+                                    const pipeline::PreprocessResult& prep,
+                                    float isovalue, KernelIsa isa) {
+  pipeline::QueryEngine engine(cluster, prep);
+  pipeline::QueryOptions options;
+  options.render = false;
+  options.keep_triangles = true;
+  options.compute_mesh_crc = true;
+  options.kernel.isa = isa;
+  return engine.run(isovalue, options);
+}
+
+TEST(KernelProperty, EngineReportIsIsaIndependent) {
+  const core::VolumeU8 volume =
+      data::generate_rm_timestep(golden_rm(), 170);
+  parallel::ClusterConfig config;
+  config.node_count = 3;
+  config.in_memory = true;
+  parallel::Cluster cluster(config);
+  const auto source = metacell::make_source(volume, 9);
+  const pipeline::PreprocessResult prep =
+      pipeline::preprocess(*source, cluster);
+
+  for (const float isovalue : {110.0f, 150.0f}) {
+    const pipeline::QueryReport scalar =
+        engine_report(cluster, prep, isovalue, KernelIsa::kScalar);
+    ASSERT_TRUE(scalar.mesh_crc.has_value());
+    EXPECT_EQ(scalar.kernel_isa, KernelIsa::kScalar);
+    ASSERT_GT(scalar.total_cells_classified(), 0u);
+    // cells_classified counts every cell the bitmask pass graded; active
+    // cells are the mixed-sign subset that reached triangulation.
+    EXPECT_LE(scalar.total_active_cells(), scalar.total_cells_classified());
+
+    for (const KernelIsa isa : extract::kernel::dispatchable_isas()) {
+      if (isa == KernelIsa::kScalar) continue;
+      const pipeline::QueryReport simd =
+          engine_report(cluster, prep, isovalue, isa);
+      EXPECT_EQ(simd.kernel_isa, isa);
+      EXPECT_EQ(simd.mesh_crc, scalar.mesh_crc)
+          << extract::kernel::isa_name(isa);
+      EXPECT_EQ(simd.total_triangles(), scalar.total_triangles());
+      EXPECT_EQ(simd.total_cells_classified(),
+                scalar.total_cells_classified());
+      EXPECT_EQ(simd.total_active_cells(), scalar.total_active_cells());
+      EXPECT_EQ(simd.total_vertex_cache_hits(),
+                scalar.total_vertex_cache_hits());
+      EXPECT_TRUE(bit_identical(*simd.triangles_out, *scalar.triangles_out));
+    }
+  }
+}
+
+TEST(KernelProperty, SoupReserveFromPlanIsNeverExceeded) {
+  // The engine pre-sizes each node's soup at
+  //   plan.total_records() * 6 * cells_per_side^2
+  // (~2 triangles per crossed cell, up to ~3 crossed layers per active
+  // metacell). On the golden dataset the estimate must hold across the
+  // full paper sweep — if a kernel change ever pushed real meshes past
+  // it, every query would pay the regrowths the reserve exists to absorb.
+  const core::VolumeU8 volume =
+      data::generate_rm_timestep(golden_rm(), 170);
+  parallel::ClusterConfig config;
+  config.node_count = 3;
+  config.in_memory = true;
+  parallel::Cluster cluster(config);
+  const auto source = metacell::make_source(volume, 9);
+  const pipeline::PreprocessResult prep =
+      pipeline::preprocess(*source, cluster);
+  const auto side =
+      static_cast<std::uint64_t>(prep.geometry.cells_per_side());
+
+  pipeline::QueryEngine engine(cluster, prep);
+  pipeline::QueryOptions options;
+  options.render = false;
+  std::uint64_t checked = 0;
+  for (float isovalue = 10.0f; isovalue <= 210.0f; isovalue += 20.0f) {
+    const pipeline::QueryReport report = engine.run(isovalue, options);
+    for (std::size_t node = 0; node < prep.trees.size(); ++node) {
+      const std::uint64_t reserve =
+          prep.trees[node].plan(isovalue).total_records() * 6 * side * side;
+      EXPECT_LE(report.nodes[node].triangles, reserve)
+          << "node " << node << " iso " << isovalue;
+      checked += report.nodes[node].triangles;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(KernelProperty, ServeMixedKernelsMatchesSerialBaseline) {
+  // Eight concurrent clients, each pinning a different --kernel for its
+  // own request. The kernels differ only in classify throughput, so the
+  // mix must be bit-identical to serial scalar execution; under TSan this
+  // is the mixed-ISA data-race probe for the dispatch cache and the
+  // shared pools.
+  data::RmConfig rm;
+  rm.dims = {48, 48, 44};
+  const auto volume = data::generate_rm_timestep(rm, 200);
+  parallel::ClusterConfig config;
+  config.node_count = 4;
+  config.in_memory = true;
+  parallel::Cluster cluster(config);
+  const auto source = metacell::make_source(volume, 9);
+  const pipeline::PreprocessResult prep =
+      pipeline::preprocess(*source, cluster);
+
+  const std::vector<core::ValueKey> isovalues = {
+      96.0f, 110.0f, 120.0f, 128.0f, 135.0f, 150.0f, 170.0f, 190.0f};
+
+  // Serial uncached reference at forced scalar.
+  std::vector<extract::TriangleSoup> reference;
+  {
+    pipeline::QueryEngine engine(cluster, prep);
+    pipeline::QueryOptions options;
+    options.render = false;
+    options.keep_triangles = true;
+    options.kernel.isa = KernelIsa::kScalar;
+    for (const core::ValueKey isovalue : isovalues) {
+      reference.push_back(
+          std::move(*engine.run(isovalue, options).triangles_out));
+    }
+  }
+
+  // Rotate through auto plus every dispatchable ISA across the requests.
+  std::vector<KernelIsa> rotation = {KernelIsa::kAuto};
+  for (const KernelIsa isa : extract::kernel::dispatchable_isas()) {
+    rotation.push_back(isa);
+  }
+
+  serve::ServeOptions options;
+  options.max_concurrent_queries = 8;
+  options.cache_capacity_blocks = 512;
+  options.query.render = false;
+  options.query.keep_triangles = true;
+  serve::QueryServer server(cluster, prep, options);
+
+  std::vector<std::future<pipeline::QueryReport>> pending;
+  pending.reserve(isovalues.size());
+  for (std::size_t i = 0; i < isovalues.size(); ++i) {
+    const KernelOptions kernel{rotation[i % rotation.size()]};
+    pending.push_back(std::async(std::launch::async, [&server, &isovalues, i,
+                                                      kernel] {
+      return server.query(isovalues[i], kernel);
+    }));
+  }
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    const pipeline::QueryReport report = pending[i].get();
+    const KernelIsa requested = rotation[i % rotation.size()];
+    EXPECT_EQ(report.kernel_isa, extract::kernel::resolve(requested));
+    ASSERT_TRUE(report.triangles_out.has_value());
+    EXPECT_TRUE(bit_identical(*report.triangles_out, reference[i]))
+        << "isovalue " << isovalues[i] << " kernel "
+        << extract::kernel::isa_name(requested);
+    EXPECT_FALSE(report.degraded);
+  }
+}
+
+}  // namespace
+}  // namespace oociso

@@ -1,0 +1,93 @@
+#pragma once
+// Shared helpers for the marching-cubes kernel test suite
+// (kernel_equivalence_test, kernel_fuzz_test, kernel_property_test).
+//
+// The contract these tests pin: every classification ISA (scalar, sse2,
+// avx2) and both kernel structures (incremental planes vs per-cell
+// reference) must emit the exact same triangle sequence, bit for bit, and
+// agree on every deterministic counter. Two equality grades exist because
+// the per-cell reference does not run the vertex cache or the classify
+// timer:
+//   * expect_counter_stats_equal — cells/active/triangles only (use when
+//     one side is the per-cell reference),
+//   * expect_stats_equal — also vertex_cache_hits (use between two runs of
+//     the incremental pipeline, e.g. scalar vs avx2).
+// classify_seconds is wall-clock-adjacent and never part of equality.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "core/volume.h"
+#include "extract/marching_cubes.h"
+#include "util/rng.h"
+
+namespace oociso::extract::testutil {
+
+/// Byte-exact equality of two triangle sequences (same count, same order,
+/// same float bits).
+inline ::testing::AssertionResult bit_identical(const TriangleSoup& a,
+                                                const TriangleSoup& b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure()
+           << "triangle counts differ: " << a.size() << " vs " << b.size();
+  }
+  if (a.size() > 0 &&
+      std::memcmp(a.triangles().data(), b.triangles().data(),
+                  a.size() * sizeof(Triangle)) != 0) {
+    return ::testing::AssertionFailure() << "triangle bytes differ";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Counter equality against the per-cell reference (which reports no
+/// vertex-cache hits by construction).
+inline void expect_counter_stats_equal(const MarchingCubesStats& a,
+                                       const MarchingCubesStats& b) {
+  EXPECT_EQ(a.cells_visited, b.cells_visited);
+  EXPECT_EQ(a.active_cells, b.active_cells);
+  EXPECT_EQ(a.triangles, b.triangles);
+}
+
+/// Full deterministic-counter equality between two incremental-pipeline
+/// runs: a different classify ISA must not change what the cache sees.
+inline void expect_stats_equal(const MarchingCubesStats& a,
+                               const MarchingCubesStats& b) {
+  expect_counter_stats_equal(a, b);
+  EXPECT_EQ(a.vertex_cache_hits, b.vertex_cache_hits);
+}
+
+// Corner numbering of mc_tables.h: v0=(0,0,0) v1=(1,0,0) v2=(1,1,0)
+// v3=(0,1,0) v4=(0,0,1) v5=(1,0,1) v6=(1,1,1) v7=(0,1,1).
+constexpr std::array<std::array<std::int32_t, 3>, 8> kCorner = {{
+    {0, 0, 0}, {1, 0, 0}, {1, 1, 0}, {0, 1, 0},
+    {0, 0, 1}, {1, 0, 1}, {1, 1, 1}, {0, 1, 1},
+}};
+
+/// Deterministic random volume; floats land in [0, ~255.75] with
+/// non-round fractions so every crossing edge interpolates for real.
+template <typename T>
+core::Volume<T> random_volume(core::GridDims dims, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  core::Volume<T> volume(dims);
+  for (std::int32_t z = 0; z < dims.nz; ++z) {
+    for (std::int32_t y = 0; y < dims.ny; ++y) {
+      for (std::int32_t x = 0; x < dims.nx; ++x) {
+        if constexpr (std::is_floating_point_v<T>) {
+          volume.at(x, y, z) =
+              static_cast<T>(rng.bounded(100000)) / T{391.0};
+        } else {
+          volume.at(x, y, z) = static_cast<T>(
+              rng.bounded(std::uint32_t{1}
+                          << (8 * static_cast<unsigned>(sizeof(T)))));
+        }
+      }
+    }
+  }
+  return volume;
+}
+
+}  // namespace oociso::extract::testutil

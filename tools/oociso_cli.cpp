@@ -21,6 +21,7 @@
 #include "data/raw_io.h"
 #include "data/rm_generator.h"
 #include "extract/indexed_mesh.h"
+#include "extract/kernel.h"
 #include "index/span_analysis.h"
 #include "metacell/source.h"
 #include "pipeline/bundle.h"
@@ -64,6 +65,9 @@ commands:
                 -1 = device readahead window)
                 --inject-faults SEED,RATE (deterministic transient read
                 faults; retried with backoff, failed nodes fail over)
+                --kernel auto|scalar|sse2|avx2 (auto; marching-cubes
+                classification ISA — the mesh is bit-identical across
+                kernels, only classify throughput differs)
                 --trace FILE (Chrome trace_event JSON of the query)
                 --metrics FILE (metrics-registry JSON snapshot)
   serve       replay a list of isovalue queries concurrently through the
@@ -80,6 +84,8 @@ commands:
                 -1 = device readahead window)
                 --inject-faults SEED,RATE (deterministic transient read
                 faults, injected at the cluster level under the cache)
+                --kernel auto|scalar|sse2|avx2 (auto; classification ISA
+                for every admitted query)
                 --trace FILE (Chrome trace_event JSON, one pid per query)
                 --metrics FILE (metrics-registry JSON snapshot)
   info        print bundle statistics (index version, replication,
@@ -89,6 +95,26 @@ commands:
                 --volume FILE  --metacell K (9)  --count N (5)
 )";
   return 2;
+}
+
+/// Parses --kernel and validates it against the host CPU up front: a
+/// request for an ISA this machine cannot run is a usage error (exit 2),
+/// not a runtime failure halfway into the query.
+extract::KernelOptions parse_kernel_flag(const util::CliArgs& args) {
+  const std::string name = args.get("kernel", "auto");
+  extract::KernelOptions kernel;
+  try {
+    kernel.isa = extract::kernel::parse_isa(name);
+  } catch (const std::invalid_argument&) {
+    throw util::UsageError("unknown --kernel '" + name +
+                           "' (auto|scalar|sse2|avx2)");
+  }
+  if (!extract::kernel::available(kernel.isa)) {
+    throw util::UsageError(
+        "--kernel " + std::string(extract::kernel::isa_name(kernel.isa)) +
+        " is not supported by this CPU (use --kernel auto)");
+  }
+  return kernel;
 }
 
 parallel::Cluster open_cluster(const std::filesystem::path& storage,
@@ -211,7 +237,8 @@ int cmd_preprocess(const util::CliArgs& args) {
 int cmd_query(const util::CliArgs& args) {
   args.require_known({"storage", "nodes", "iso", "obj", "image", "imagesize",
                       "weld", "readahead", "queue-depth", "no-coalesce",
-                      "coalesce-gap", "inject-faults", "trace", "metrics"});
+                      "coalesce-gap", "inject-faults", "kernel", "trace",
+                      "metrics"});
   const std::string storage = args.get("storage", "");
   if (storage.empty()) return usage();
   const auto nodes = static_cast<std::size_t>(args.get_int("nodes", 4));
@@ -232,6 +259,7 @@ int cmd_query(const util::CliArgs& args) {
   options.retrieval.coalesce = !args.get_bool("no-coalesce", false);
   options.retrieval.coalesce_gap_bytes =
       args.get_int_in("coalesce-gap", -1, -1, std::int64_t{1} << 40);
+  options.kernel = parse_kernel_flag(args);
   const std::string fault_spec = args.get("inject-faults", "");
   if (!fault_spec.empty()) {
     options.inject_faults = io::FaultConfig::parse(fault_spec);
@@ -319,8 +347,8 @@ int cmd_query(const util::CliArgs& args) {
 int cmd_serve(const util::CliArgs& args) {
   args.require_known({"storage", "isos", "nodes", "repeat", "concurrency",
                       "cache-blocks", "readahead", "queue-depth",
-                      "no-coalesce", "coalesce-gap", "inject-faults", "trace",
-                      "metrics"});
+                      "no-coalesce", "coalesce-gap", "inject-faults",
+                      "kernel", "trace", "metrics"});
   const std::string storage = args.get("storage", "");
   const std::string iso_list = args.get("isos", "");
   if (storage.empty() || iso_list.empty()) return usage();
@@ -352,6 +380,7 @@ int cmd_serve(const util::CliArgs& args) {
   options.query.retrieval.coalesce = !args.get_bool("no-coalesce", false);
   options.query.retrieval.coalesce_gap_bytes =
       args.get_int_in("coalesce-gap", -1, -1, std::int64_t{1} << 40);
+  options.query.kernel = parse_kernel_flag(args);
   const std::string fault_spec = args.get("inject-faults", "");
   if (!fault_spec.empty()) {
     options.inject_faults = io::FaultConfig::parse(fault_spec);
