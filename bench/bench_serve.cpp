@@ -20,6 +20,14 @@
 //                      (default 256; 0 = dead from the first read)
 // --inject-faults applies at the cluster level, under the pools, and is
 // mutually exclusive with --dead-node.
+//
+// With --levels N (N > 1) the store gains N-1 coarse mip levels and the
+// bench appends a progressive-refinement A/B after the serve passes: per
+// isovalue it times the flat query cold (time-to-first-triangle baseline)
+// against a progressive query on cold pools, reporting first-surface
+// latency, coarse-level read_ops vs the flat sweep, and final-mesh hash
+// identity. The --json document gains a "progressive" section consumed by
+// ci/check_progressive.py (DESIGN §16).
 
 #include <cstring>
 #include <iostream>
@@ -65,18 +73,30 @@ int main(int argc, char** argv) {
   pipeline::QueryOptions serial_options = setup.query_options();
   serial_options.render = false;
   serial_options.keep_triangles = true;
+  // Progressive A/B baseline: the flat query's hash is the bit-identity
+  // reference the fully refined progressive mesh must reproduce.
+  if (setup.levels > 1) serial_options.compute_mesh_crc = true;
   std::vector<extract::TriangleSoup> reference;
   std::uint64_t serial_read_ops = 0;
+  std::vector<double> flat_wall_ms;        // per isovalue, cold
+  std::vector<std::uint64_t> flat_read_ops;
+  std::vector<std::uint32_t> flat_crc;
   {
     pipeline::QueryEngine engine(*prepared.cluster, prepared.prep);
     util::WallTimer timer;
     for (const float isovalue : setup.isovalues) {
       serial_options.query_id = setup.next_trace_query(
           "serial iso=" + util::fixed(isovalue, 0));
+      util::WallTimer query_timer;
       pipeline::QueryReport report = engine.run(isovalue, serial_options);
+      flat_wall_ms.push_back(query_timer.seconds() * 1e3);
+      std::uint64_t query_ops = 0;
       for (const auto& node : report.nodes) {
-        serial_read_ops += node.io.read_ops;
+        query_ops += node.io.read_ops;
       }
+      serial_read_ops += query_ops;
+      flat_read_ops.push_back(query_ops);
+      flat_crc.push_back(report.mesh_crc.value_or(0));
       reference.push_back(std::move(*report.triangles_out));
     }
     std::cout << "# serial uncached sweep: "
@@ -170,6 +190,45 @@ int main(int argc, char** argv) {
             << util::with_commas(counters.evictions) << " evictions, peak "
             << server.peak_in_flight() << " in flight\n";
 
+  // Progressive refinement A/B (--levels > 1): per isovalue, one
+  // progressive query on cold pools against the cold flat baseline above.
+  // The coarse levels read raw single-copy records outside the pools, so
+  // only the final (level 0) refinement touches the cache.
+  std::vector<pipeline::ProgressiveReport> progressive;
+  std::vector<double> progressive_wall_ms;
+  if (setup.levels > 1) {
+    std::cout << "\n== Progressive refinement A/B (--levels " << setup.levels
+              << ", " << prepared.prep.hierarchy_levels()
+              << " stored coarse level(s)) ==\n";
+    util::Table prog_table({"isovalue", "first surface", "first tri",
+                            "refined", "flat query", "coarse ops", "flat ops",
+                            "final mesh"});
+    prog_table.set_caption(
+        "Progressive serve vs the flat query (both cold; 'coarse ops' = "
+        "coarsest-level read_ops)");
+    for (std::size_t i = 0; i < setup.isovalues.size(); ++i) {
+      server.drop_caches();  // cold start, matching the serial baseline
+      util::WallTimer timer;
+      pipeline::ProgressiveReport report =
+          server.query_progressive(setup.isovalues[i]);
+      const double wall_ms = timer.seconds() * 1e3;
+      const pipeline::LevelReport& first = report.levels.front();
+      const bool crc_match =
+          report.mesh_crc.has_value() && *report.mesh_crc == flat_crc[i];
+      prog_table.add_row({util::fixed(setup.isovalues[i], 0),
+                          util::fixed(first.elapsed_ms, 1) + " ms",
+                          util::with_commas(first.triangles),
+                          util::fixed(wall_ms, 1) + " ms",
+                          util::fixed(flat_wall_ms[i], 1) + " ms",
+                          util::with_commas(first.io.read_ops),
+                          util::with_commas(flat_read_ops[i]),
+                          crc_match ? "match" : "MISMATCH"});
+      progressive_wall_ms.push_back(wall_ms);
+      progressive.push_back(std::move(report));
+    }
+    std::cout << prog_table.render() << "\n";
+  }
+
   if (!setup.json_path.empty()) {
     bench::JsonWriter json;
     json.begin_object()
@@ -183,6 +242,47 @@ int main(int argc, char** argv) {
         .member("dead_node", static_cast<std::int64_t>(dead_node))
         .member("die_after", static_cast<std::int64_t>(die_after))
         .member("serial_read_ops", serial_read_ops);
+    if (!progressive.empty()) {
+      json.key("progressive").begin_object()
+          .member("levels_flag", static_cast<std::int64_t>(setup.levels))
+          .member("stored_coarse_levels",
+                  static_cast<std::uint64_t>(prepared.prep.hierarchy_levels()));
+      json.key("queries").begin_array();
+      for (std::size_t i = 0; i < progressive.size(); ++i) {
+        const pipeline::ProgressiveReport& report = progressive[i];
+        const pipeline::LevelReport& first = report.levels.front();
+        json.begin_object()
+            .member("isovalue", static_cast<double>(report.isovalue))
+            .member("flat_wall_ms", flat_wall_ms[i])
+            .member("flat_read_ops", flat_read_ops[i])
+            .member("flat_mesh_crc", static_cast<std::uint64_t>(flat_crc[i]))
+            .member("first_batch_ms", first.elapsed_ms)
+            .member("first_triangles", first.triangles)
+            .member("coarsest_read_ops", first.io.read_ops)
+            .member("refine_wall_ms", progressive_wall_ms[i])
+            .member("finest_level_completed",
+                    static_cast<std::int64_t>(report.finest_level_completed))
+            .member("mesh_crc",
+                    static_cast<std::uint64_t>(report.mesh_crc.value_or(0)))
+            .member("crc_match", report.mesh_crc.has_value() &&
+                                     *report.mesh_crc == flat_crc[i])
+            .member("peak_batch_bytes", report.peak_batch_bytes)
+            .member("batches_after_cancel", report.batches_after_cancel);
+        json.key("levels").begin_array();
+        for (const pipeline::LevelReport& level : report.levels) {
+          json.begin_object()
+              .member("level", static_cast<std::int64_t>(level.level))
+              .member("active_metacells", level.active_metacells)
+              .member("triangles", level.triangles)
+              .member("read_ops", level.io.read_ops)
+              .member("elapsed_ms", level.elapsed_ms)
+              .member("mesh_crc", static_cast<std::uint64_t>(level.mesh_crc))
+              .end_object();
+        }
+        json.end_array().end_object();
+      }
+      json.end_array().end_object();
+    }
     json.key("cache").begin_object()
         .member("fetches", counters.fetches)
         .member("hits", counters.hits)
@@ -233,6 +333,43 @@ int main(int argc, char** argv) {
         "the dead node's store goes quiet in the final pass",
         pass_served.back()[static_cast<std::size_t>(dead_node)] <=
             pass_served.front()[static_cast<std::size_t>(dead_node)]);
+  }
+  if (!progressive.empty()) {
+    bool first_faster = true;
+    bool final_identical = true;
+    bool monotone = true;
+    std::uint64_t coarsest_ops = 0;
+    std::uint64_t flat_ops = 0;
+    for (std::size_t i = 0; i < progressive.size(); ++i) {
+      const pipeline::ProgressiveReport& report = progressive[i];
+      const pipeline::LevelReport& first = report.levels.front();
+      first_faster = first_faster && first.elapsed_ms < flat_wall_ms[i];
+      final_identical = final_identical &&
+                        report.finest_level_completed == 0 &&
+                        report.mesh_crc.has_value() &&
+                        *report.mesh_crc == flat_crc[i];
+      coarsest_ops += first.io.read_ops;
+      flat_ops += flat_read_ops[i];
+      for (std::size_t l = 1; l < report.levels.size(); ++l) {
+        monotone = monotone && report.levels[l].triangles >=
+                                   report.levels[l - 1].triangles;
+      }
+    }
+    bench::shape_check(
+        "progressive first surface lands before the flat query finishes "
+        "at every isovalue",
+        first_faster);
+    bench::shape_check(
+        "fully refined progressive mesh hash matches the flat query at "
+        "every isovalue",
+        final_identical);
+    bench::shape_check(
+        "coarsest-level preview I/O stays <= 10% of the flat sweep's "
+        "read_ops",
+        coarsest_ops * 10 <= flat_ops);
+    bench::shape_check(
+        "refinement is monotone (triangles never shrink level to level)",
+        monotone);
   }
   return 0;
 }

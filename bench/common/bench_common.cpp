@@ -51,6 +51,7 @@ BenchSetup BenchSetup::from_cli(int argc, char** argv, int default_dims) {
         " is not supported by this CPU (use --kernel auto)");
   }
   setup.mesh_crc = args.get_bool("mesh-crc", false);
+  setup.levels = static_cast<std::int32_t>(args.get_int_in("levels", 1, 1, 16));
   setup.trace_path = args.get("trace", "");
   if (!setup.trace_path.empty()) {
     // The deleter fires when the last BenchSetup copy dies at the end of
@@ -120,6 +121,7 @@ Prepared prepare_rm(const BenchSetup& setup, std::size_t nodes) {
   pipeline::PreprocessConfig prep_config;
   prep_config.placement.replication = setup.replication;
   prep_config.compression = setup.compression;
+  prep_config.levels = setup.levels;
   pipeline::PreprocessResult prep =
       pipeline::preprocess(*source, *cluster, prep_config);
 
@@ -139,6 +141,13 @@ Prepared prepare_rm(const BenchSetup& setup, std::size_t nodes) {
     std::cout << "# replication: " << setup.replication << "-way, +"
               << util::human_bytes(prep.replica_bytes_written)
               << " replica bytes\n";
+  }
+  if (prep.hierarchy_levels() > 0) {
+    std::cout << "# hierarchy: " << prep.hierarchy_levels()
+              << " coarse level(s), "
+              << util::with_commas(prep.hierarchy_nodes_written)
+              << " coarse nodes, +"
+              << util::human_bytes(prep.hierarchy_bytes_written) << "\n";
   }
   if (setup.compression != codec::Codec::kRaw) {
     const double ratio =
@@ -552,6 +561,7 @@ void write_bench_json(const std::string& path, std::string_view bench,
       .member("compression", codec::codec_name(setup.compression))
       .member("kernel_isa", extract::kernel::isa_name(setup.kernel.isa))
       .member("mesh_crc", setup.mesh_crc)
+      .member("levels", static_cast<std::int64_t>(setup.levels))
       .member("inject_faults", setup.inject_faults.has_value())
       .end_object();
   json.key("runs").begin_array();

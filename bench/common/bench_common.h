@@ -45,6 +45,10 @@
 //                  mesh is bit-identical across ISAs.
 //   --mesh-crc     compute the canonical mesh hash per query into the
 //                  JSON (`mesh_crc`) — the cross-ISA identity gate
+//   --levels N     total resolution levels incl. full resolution (default
+//                  1 = flat index, byte-identical legacy layout); N > 1
+//                  appends N-1 coarse mip levels (index v5) enabling
+//                  progressive queries (see DESIGN §16)
 //   --trace PATH   write a Chrome trace_event JSON (chrome://tracing /
 //                  Perfetto) of every query the bench runs: one process
 //                  per executed query, per-node compute/I-O lanes, span
@@ -105,6 +109,9 @@ struct BenchSetup {
   extract::KernelOptions kernel;
   /// --mesh-crc: hash every query's mesh into the JSON (`mesh_crc`).
   bool mesh_crc = false;
+  /// --levels N: total resolution levels including full resolution at
+  /// preprocess (1 = flat index; N > 1 stores N-1 coarse mip levels, v5).
+  std::int32_t levels = 1;
   /// --trace PATH: Chrome trace_event JSON destination; empty = off.
   std::string trace_path;
   /// Shared trace sink when --trace is given. The shared_ptr's deleter

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Progressive-refinement gate for the release-bench CI job.
+
+Reads one bench_serve --json document produced with --levels > 1 (its
+"progressive" section holds the per-isovalue A/B of a progressive query
+against the cold flat query) and fails unless the hierarchy delivers its
+contract:
+
+  1. First-batch latency beats full resolution: at every isovalue the
+     coarsest level's surface (first_batch_ms) lands strictly before the
+     flat query's time-to-first-triangle (flat_wall_ms).
+  2. The refined mesh is the flat mesh: every query reaches level 0
+     (finest_level_completed == 0) and its canonical mesh CRC equals the
+     flat baseline's exactly.
+  3. Coarse preview I/O is cheap: the coarsest level's read_ops summed
+     over the sweep stay at or below --max-coarse-fraction (default 10%)
+     of the flat sweep's read_ops.
+  4. Refinement is monotone: triangle counts never shrink from one
+     completed level to the next, and no record batch was issued after a
+     cancellation was observed (batches_after_cancel == 0).
+
+Usage: check_progressive.py SERVE.json [--max-coarse-fraction 0.10]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path: str):
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    progressive = doc.get("progressive")
+    if progressive is None:
+        raise SystemExit(f"{path}: no 'progressive' section — run "
+                         f"bench_serve with --levels > 1 and --json")
+    queries = progressive.get("queries", [])
+    if not queries:
+        raise SystemExit(f"{path}: progressive section has no queries")
+    return doc, progressive, queries
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("serve", help="bench_serve --json output at "
+                                      "--levels > 1")
+    parser.add_argument("--max-coarse-fraction", type=float, default=0.10,
+                        help="largest allowed coarsest-level share of the "
+                             "flat sweep's read_ops (default 0.10)")
+    options = parser.parse_args()
+
+    _, progressive, queries = load(options.serve)
+    print(f"progressive gate: --levels {progressive['levels_flag']} "
+          f"({progressive['stored_coarse_levels']} stored coarse levels), "
+          f"{len(queries)} isovalues")
+
+    failures = []
+    coarsest_ops = 0
+    flat_ops = 0
+    print(f"{'isovalue':>9} {'first (ms)':>11} {'flat (ms)':>10} "
+          f"{'coarse ops':>11} {'flat ops':>9}  mesh")
+    for q in queries:
+        iso = q["isovalue"]
+        coarsest_ops += q["coarsest_read_ops"]
+        flat_ops += q["flat_read_ops"]
+        print(f"{iso:>9.1f} {q['first_batch_ms']:>11.2f} "
+              f"{q['flat_wall_ms']:>10.2f} {q['coarsest_read_ops']:>11} "
+              f"{q['flat_read_ops']:>9}  "
+              f"{'same' if q['crc_match'] else 'DIFFERS'}")
+        if not q["first_batch_ms"] < q["flat_wall_ms"]:
+            failures.append(
+                f"isovalue {iso}: first batch took {q['first_batch_ms']:.2f} "
+                f"ms, not below the flat query's {q['flat_wall_ms']:.2f} ms")
+        if q["finest_level_completed"] != 0:
+            failures.append(f"isovalue {iso}: refinement stopped at level "
+                            f"{q['finest_level_completed']}, never reached "
+                            f"full resolution")
+        elif not q["crc_match"]:
+            failures.append(
+                f"isovalue {iso}: refined mesh crc {q['mesh_crc']} differs "
+                f"from the flat baseline's {q['flat_mesh_crc']}")
+        if q["first_triangles"] == 0:
+            failures.append(f"isovalue {iso}: the coarse preview surface "
+                            f"is empty")
+        if q["batches_after_cancel"] != 0:
+            failures.append(f"isovalue {iso}: {q['batches_after_cancel']} "
+                            f"batches issued after a stop was observed")
+        levels = q["levels"]
+        for prev, cur in zip(levels, levels[1:]):
+            if cur["triangles"] < prev["triangles"]:
+                failures.append(
+                    f"isovalue {iso}: triangles shrank refining level "
+                    f"{prev['level']} -> {cur['level']} "
+                    f"({prev['triangles']} -> {cur['triangles']})")
+
+    fraction = coarsest_ops / flat_ops if flat_ops else float("inf")
+    print(f"coarse preview I/O: {coarsest_ops} of {flat_ops} flat read_ops "
+          f"({fraction:.2%}, ceiling {options.max_coarse_fraction:.0%})")
+    if flat_ops == 0:
+        failures.append("flat sweep recorded zero read_ops — the baseline "
+                        "did not run")
+    elif fraction > options.max_coarse_fraction:
+        failures.append(f"coarsest-level read_ops are {fraction:.2%} of the "
+                        f"flat sweep (> {options.max_coarse_fraction:.0%})")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

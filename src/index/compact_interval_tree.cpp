@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "codec/codec.h"
 #include "codec/decoding_device.h"
 #include "index/retrieval_stream.h"
+#include "io/io_error.h"
 #include "io/serial.h"
 #include "util/crc32.h"
 
@@ -24,9 +26,22 @@ constexpr std::uint32_t kIndexMagic = 0x4F434954;  // "OCIT"
 // ids aligned with the CRC array, and replica targets carrying both raw
 // and device bases. Only a tree actually built with compression writes
 // v4; `--compression none` keeps producing v2/v3 byte for byte.
+// v5: multi-resolution hierarchy (DESIGN.md §16) — the codec/device_base
+// fields and the replication section become unconditional (codec may be
+// kRaw now), and the per-level coarse entry tables follow as the final
+// section, guarded by their own CRC32 trailer. Only a tree built with
+// --levels > 1 writes v5; `--levels 1` keeps producing v2/v3/v4 byte for
+// byte.
 constexpr std::uint32_t kIndexVersionV2 = 2;
 constexpr std::uint32_t kIndexVersionV3 = 3;
 constexpr std::uint32_t kIndexVersionV4 = 4;
+constexpr std::uint32_t kIndexVersionV5 = 5;
+
+/// Serialized size of one hierarchy entry (id, vmin, vmax, offset, crc).
+constexpr std::size_t kHierarchyEntryBytes = 24;
+/// Sanity bound on stored coarse levels: level l halves each axis, so even
+/// a 2^32-sample axis is exhausted long before 32 levels.
+constexpr std::uint32_t kMaxHierarchyLevels = 32;
 
 /// Chunks a brick of `count` records splits into for checksumming.
 constexpr std::uint32_t chunk_count(std::uint32_t count,
@@ -131,6 +146,32 @@ QueryPlan CompactIntervalTree::plan(core::ValueKey isovalue) const {
   return plan;
 }
 
+QueryPlan CompactIntervalTree::plan_level(core::ValueKey isovalue,
+                                          std::int32_t level) const {
+  if (level <= 0) return plan(isovalue);
+  const auto index = static_cast<std::size_t>(level - 1);
+  if (index >= hierarchy_.size()) {
+    throw std::out_of_range("compact tree: no hierarchy level " +
+                            std::to_string(level));
+  }
+  QueryPlan plan;
+  plan.isovalue = isovalue;
+  plan.level = level;
+  plan.crc_chunk_records = 1;  // each coarse record is its own CRC chunk
+  const HierarchyLevel& coarse = hierarchy_[index];
+  plan.nodes_visited = static_cast<std::uint32_t>(coarse.entries.size());
+  for (const HierarchyEntry& entry : coarse.entries) {
+    if (!entry.interval.stabs(isovalue)) continue;
+    // Entries were appended in id order, so per-device offsets ascend and
+    // adjacent active records still coalesce into bulk reads downstream.
+    BrickScan scan{entry.offset, 1, /*full=*/true};
+    scan.level = level;
+    scan.chunk_crcs = std::span<const std::uint32_t>(&entry.crc, 1);
+    plan.scans.push_back(scan);
+  }
+  return plan;
+}
+
 QueryStats execute_plan(
     const QueryPlan& plan, core::ScalarKind kind, std::size_t record_size,
     io::BlockDevice& device,
@@ -186,6 +227,15 @@ QueryStats CompactIntervalTree::query(
     core::ValueKey isovalue, io::BlockDevice& device,
     const std::function<void(std::span<const std::byte>)>& callback) const {
   return execute(plan(isovalue), device, callback);
+}
+
+std::size_t CompactIntervalTree::hierarchy_section_bytes() const {
+  if (hierarchy_.empty()) return 0;
+  std::size_t bytes = 4;  // level count
+  for (const HierarchyLevel& level : hierarchy_) {
+    bytes += 4 + 4 + level.entries.size() * kHierarchyEntryBytes;
+  }
+  return bytes + 4;  // CRC32 trailer
 }
 
 std::uint64_t CompactIntervalTree::raw_payload_bytes() const {
@@ -299,15 +349,19 @@ std::size_t CompactIntervalTree::height() const {
 
 std::vector<std::byte> CompactIntervalTree::to_bytes() const {
   // An unreplicated, uncompressed tree writes the v2 layout byte for byte;
-  // only a tree that carries replica tables needs (and pays for) v3, and
-  // only a compressed tree needs v4.
+  // only a tree that carries replica tables needs (and pays for) v3, only a
+  // compressed tree needs v4, and only a hierarchical tree needs v5.
   const bool replicated = replication_ > 1;
   const bool is_compressed = compressed();
+  const bool hierarchical = !hierarchy_.empty();
   std::vector<std::byte> out;
   io::ByteWriter writer(out);
   writer.put(kIndexMagic);
-  writer.put(is_compressed ? kIndexVersionV4
-                           : (replicated ? kIndexVersionV3 : kIndexVersionV2));
+  writer.put(hierarchical
+                 ? kIndexVersionV5
+                 : (is_compressed
+                        ? kIndexVersionV4
+                        : (replicated ? kIndexVersionV3 : kIndexVersionV2)));
   writer.put(static_cast<std::uint8_t>(kind_));
   writer.put(static_cast<std::uint32_t>(record_size_));
   writer.put(total_metacells_);
@@ -319,19 +373,23 @@ std::vector<std::byte> CompactIntervalTree::to_bytes() const {
   for (const CompactNode& node : nodes_) writer.put(node);
   for (const BrickEntry& brick : bricks_) writer.put(brick);
   for (const std::uint32_t crc : chunk_crcs_) writer.put(crc);
-  if (is_compressed) {
+  if (is_compressed || hierarchical) {
+    // v5 writes codec and device_base even for kRaw so the layout does not
+    // fork on the codec; the per-chunk columns exist only when compressed.
     writer.put(static_cast<std::uint8_t>(codec_));
     writer.put(device_base_);
-    for (const std::uint32_t comp_size : chunk_comp_sizes_) {
-      writer.put(comp_size);
-    }
-    for (const std::uint8_t chunk_codec : chunk_codecs_) {
-      writer.put(chunk_codec);
+    if (is_compressed) {
+      for (const std::uint32_t comp_size : chunk_comp_sizes_) {
+        writer.put(comp_size);
+      }
+      for (const std::uint8_t chunk_codec : chunk_codecs_) {
+        writer.put(chunk_codec);
+      }
     }
   }
-  if (replicated || is_compressed) {
-    // v4 writes the replication section unconditionally (count may be 0) so
-    // the reader never has to guess whether it is present.
+  if (replicated || is_compressed || hierarchical) {
+    // v4/v5 write the replication section unconditionally (count may be 0)
+    // so the reader never has to guess whether it is present.
     writer.put(static_cast<std::uint32_t>(replication_));
     writer.put(static_cast<std::uint32_t>(replica_groups_.size()));
     for (const ReplicaGroup& group : replica_groups_) {
@@ -341,9 +399,29 @@ std::vector<std::byte> CompactIntervalTree::to_bytes() const {
       for (const ReplicaTarget& target : group.targets) {
         writer.put(target.node);
         writer.put(target.base);
-        if (is_compressed) writer.put(target.device_base);
+        if (is_compressed || hierarchical) writer.put(target.device_base);
       }
     }
+  }
+  if (hierarchical) {
+    // Hierarchy section, strictly last so every earlier section — and any
+    // offset arithmetic over it — is untouched by the pyramid. The CRC32
+    // trailer covers the whole section: the reader turns any damage here
+    // into a retriable IoError instead of serving a wrong coarse surface.
+    const std::size_t section_start = out.size();
+    writer.put(static_cast<std::uint32_t>(hierarchy_.size()));
+    for (const HierarchyLevel& level : hierarchy_) {
+      writer.put(level.level);
+      writer.put(static_cast<std::uint32_t>(level.entries.size()));
+      for (const HierarchyEntry& entry : level.entries) {
+        writer.put(entry.id);
+        writer.put(entry.interval.vmin);
+        writer.put(entry.interval.vmax);
+        writer.put(entry.offset);
+        writer.put(entry.crc);
+      }
+    }
+    writer.put(util::crc32(std::span(out).subspan(section_start)));
   }
   return out;
 }
@@ -356,7 +434,7 @@ CompactIntervalTree CompactIntervalTree::from_bytes(
   }
   const auto version = reader.get<std::uint32_t>();
   if (version != kIndexVersionV2 && version != kIndexVersionV3 &&
-      version != kIndexVersionV4) {
+      version != kIndexVersionV4 && version != kIndexVersionV5) {
     throw std::runtime_error("compact tree: unsupported version");
   }
   CompactIntervalTree tree;
@@ -380,33 +458,36 @@ CompactIntervalTree CompactIntervalTree::from_bytes(
   for (std::uint32_t i = 0; i < crc_count; ++i) {
     tree.chunk_crcs_.push_back(reader.get<std::uint32_t>());
   }
-  const bool is_compressed = version >= kIndexVersionV4;
-  if (is_compressed) {
+  const bool v5 = version == kIndexVersionV5;
+  const bool has_codec_section = version >= kIndexVersionV4;
+  if (has_codec_section) {
     tree.codec_ = static_cast<codec::Codec>(reader.get<std::uint8_t>());
-    if (tree.codec_ == codec::Codec::kRaw) {
+    if (tree.codec_ == codec::Codec::kRaw && !v5) {
       throw std::runtime_error("compact tree: v4 index without a codec");
     }
     tree.device_base_ = reader.get<std::uint64_t>();
-    tree.chunk_comp_sizes_.reserve(crc_count);
-    for (std::uint32_t i = 0; i < crc_count; ++i) {
-      const auto comp_size = reader.get<std::uint32_t>();
-      if (comp_size == 0) {
-        throw std::runtime_error("compact tree: zero-sized encoded chunk");
+    if (tree.codec_ != codec::Codec::kRaw) {
+      tree.chunk_comp_sizes_.reserve(crc_count);
+      for (std::uint32_t i = 0; i < crc_count; ++i) {
+        const auto comp_size = reader.get<std::uint32_t>();
+        if (comp_size == 0) {
+          throw std::runtime_error("compact tree: zero-sized encoded chunk");
+        }
+        tree.chunk_comp_sizes_.push_back(comp_size);
       }
-      tree.chunk_comp_sizes_.push_back(comp_size);
-    }
-    tree.chunk_codecs_.reserve(crc_count);
-    for (std::uint32_t i = 0; i < crc_count; ++i) {
-      const auto chunk_codec = reader.get<std::uint8_t>();
-      if (chunk_codec > static_cast<std::uint8_t>(codec::Codec::kLz)) {
-        throw std::runtime_error("compact tree: unknown chunk codec id");
+      tree.chunk_codecs_.reserve(crc_count);
+      for (std::uint32_t i = 0; i < crc_count; ++i) {
+        const auto chunk_codec = reader.get<std::uint8_t>();
+        if (chunk_codec > static_cast<std::uint8_t>(codec::Codec::kLz)) {
+          throw std::runtime_error("compact tree: unknown chunk codec id");
+        }
+        tree.chunk_codecs_.push_back(chunk_codec);
       }
-      tree.chunk_codecs_.push_back(chunk_codec);
     }
   }
   if (version >= kIndexVersionV3) {
     tree.replication_ = reader.get<std::uint32_t>();
-    if (tree.replication_ < 2 && !is_compressed) {
+    if (version == kIndexVersionV3 && tree.replication_ < 2) {
       throw std::runtime_error("compact tree: v3 index with replication < 2");
     }
     if (tree.replication_ < 1) {
@@ -435,10 +516,63 @@ CompactIntervalTree CompactIntervalTree::from_bytes(
         target.node = reader.get<std::uint32_t>();
         target.base = reader.get<std::uint64_t>();
         target.device_base =
-            is_compressed ? reader.get<std::uint64_t>() : target.base;
+            has_codec_section ? reader.get<std::uint64_t>() : target.base;
         group.targets.push_back(target);
       }
       tree.replica_groups_.push_back(std::move(group));
+    }
+  }
+  if (v5) {
+    // The hierarchy section carries its own CRC32 trailer; any damage —
+    // truncation, bit flip, structural nonsense — surfaces as a *retriable*
+    // IoError so callers can refetch the index instead of crashing or
+    // silently serving a wrong coarse surface.
+    const std::size_t section_start = reader.position();
+    try {
+      const auto level_count = reader.get<std::uint32_t>();
+      if (level_count == 0 || level_count > kMaxHierarchyLevels) {
+        throw std::runtime_error("bad level count");
+      }
+      tree.hierarchy_.reserve(level_count);
+      for (std::uint32_t l = 0; l < level_count; ++l) {
+        HierarchyLevel level;
+        level.level = reader.get<std::int32_t>();
+        if (level.level != static_cast<std::int32_t>(l) + 1) {
+          throw std::runtime_error("levels out of order");
+        }
+        const auto entry_count = reader.get<std::uint32_t>();
+        if (static_cast<std::uint64_t>(entry_count) * kHierarchyEntryBytes >
+            reader.remaining()) {
+          throw std::runtime_error("entry table truncated");
+        }
+        level.entries.reserve(entry_count);
+        for (std::uint32_t e = 0; e < entry_count; ++e) {
+          HierarchyEntry entry;
+          entry.id = reader.get<std::uint32_t>();
+          const float vmin = reader.get<float>();
+          const float vmax = reader.get<float>();
+          if (!(vmin <= vmax)) {
+            throw std::runtime_error("inverted entry interval");
+          }
+          entry.interval = core::ValueInterval(vmin, vmax);
+          entry.offset = reader.get<std::uint64_t>();
+          entry.crc = reader.get<std::uint32_t>();
+          level.entries.push_back(entry);
+        }
+        tree.hierarchy_.push_back(std::move(level));
+      }
+      const std::size_t section_end = reader.position();
+      const auto expected = reader.get<std::uint32_t>();
+      const std::uint32_t actual =
+          util::crc32(data.subspan(section_start, section_end - section_start));
+      if (expected != actual) {
+        throw std::runtime_error("section checksum mismatch");
+      }
+    } catch (const std::exception& error) {
+      throw io::IoError(
+          io::IoError::Kind::kCorruption, /*retriable=*/true,
+          std::string("compact tree: hierarchy section corrupt: ") +
+              error.what());
     }
   }
   // Checksum bookkeeping must be self-consistent or verification would
@@ -553,7 +687,7 @@ CompactTreeBuilder::Result CompactTreeBuilder::build(
     const metacell::MetacellSource& source,
     std::span<io::BlockDevice* const> devices,
     const placement::PlacementConfig& placement, codec::Codec compression,
-    std::span<const std::uint64_t> raw_bases) {
+    std::span<const std::uint64_t> raw_bases, std::int32_t levels) {
   if (devices.empty()) {
     throw std::invalid_argument("CompactTreeBuilder: no devices");
   }
@@ -802,6 +936,20 @@ CompactTreeBuilder::Result CompactTreeBuilder::build(
         tree.replica_groups_.push_back(std::move(group));
       }
     }
+  }
+
+  // Hierarchy pass (v5). Runs strictly after every primary and replica byte
+  // is on its device, so `--levels 1` (no pass at all) leaves device bytes
+  // and serialized trees identical to a flat build, and a hierarchical
+  // build's flat sections are byte-identical to its flat twin.
+  if (levels > 1 && record_size > 0) {
+    HierarchyBuildResult hierarchy =
+        build_hierarchy(infos, source, devices, levels);
+    for (std::size_t d = 0; d < p; ++d) {
+      result.trees[d].hierarchy_ = std::move(hierarchy.per_device[d]);
+    }
+    result.hierarchy_nodes_written = hierarchy.nodes_written;
+    result.hierarchy_bytes_written = hierarchy.bytes_written;
   }
 
   for (io::BlockDevice* device : devices) device->flush();

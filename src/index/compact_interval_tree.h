@@ -42,6 +42,7 @@
 
 #include "codec/chunk_map.h"
 #include "core/interval.h"
+#include "index/hierarchy.h"
 #include "io/block_device.h"
 #include "metacell/metacell.h"
 #include "metacell/source.h"
@@ -124,6 +125,8 @@ struct BrickScan {
   /// outlive the plan. Empty when the index carries no checksums (e.g. a
   /// plan walked out of the blocked external tree).
   std::span<const std::uint32_t> chunk_crcs{};
+  /// Hierarchy level the scan reads (0 = full resolution; see plan_level()).
+  std::int32_t level = 0;
 };
 
 struct QueryPlan {
@@ -132,6 +135,9 @@ struct QueryPlan {
   core::ValueKey isovalue = 0;
   /// Records per checksummed chunk; 0 when the scans carry no checksums.
   std::uint32_t crc_chunk_records = 0;
+  /// Hierarchy level every scan of this plan reads (plans are single-level;
+  /// 0 = the full-resolution tree walk).
+  std::int32_t level = 0;
 
   /// Sum of the planned scans' metacell counts — an upper bound on the
   /// records the query will deliver (Case-2 prefix scans stop early), tight
@@ -169,6 +175,14 @@ class CompactIntervalTree {
 
   /// Plans the root-to-leaf walk for an isovalue; no I/O.
   [[nodiscard]] QueryPlan plan(core::ValueKey isovalue) const;
+
+  /// Plans an isovalue query against one hierarchy level. Level 0 is
+  /// plan(); level l >= 1 stabs the coarse level's entry table and emits
+  /// one single-record scan per active coarse node (each coarse record is
+  /// its own CRC chunk, so the returned plan has crc_chunk_records == 1).
+  /// Throws std::out_of_range when the tree has no such level.
+  [[nodiscard]] QueryPlan plan_level(core::ValueKey isovalue,
+                                     std::int32_t level) const;
 
   /// Executes a plan against the brick device, invoking `callback` with each
   /// active metacell's serialized record. Case-2 scans decode each record's
@@ -233,9 +247,32 @@ class CompactIntervalTree {
   [[nodiscard]] const std::vector<std::uint8_t>& chunk_codecs() const {
     return chunk_codecs_;
   }
-  /// Serialization version to_bytes() writes for this tree: 4 compressed,
-  /// 3 replicated-uncompressed, 2 base.
+  /// Coarse hierarchy levels of this tree's stripe (index v5), ordered
+  /// level 1 first; empty for a flat (v2–v4) index.
+  [[nodiscard]] const std::vector<HierarchyLevel>& hierarchy() const {
+    return hierarchy_;
+  }
+  /// Number of stored coarse levels (the total pyramid depth is one more:
+  /// level 0 is the full-resolution tree itself).
+  [[nodiscard]] std::size_t hierarchy_levels() const {
+    return hierarchy_.size();
+  }
+  /// Device bytes of this stripe's coarse brick records across all levels.
+  [[nodiscard]] std::uint64_t hierarchy_payload_bytes() const {
+    std::uint64_t entries = 0;
+    for (const HierarchyLevel& level : hierarchy_) {
+      entries += level.entries.size();
+    }
+    return entries * record_size_;
+  }
+  /// Serialized size of the v5 hierarchy section, CRC trailer included
+  /// (0 for a flat tree) — the section is the suffix of to_bytes().
+  [[nodiscard]] std::size_t hierarchy_section_bytes() const;
+
+  /// Serialization version to_bytes() writes for this tree: 5 hierarchical,
+  /// 4 compressed, 3 replicated-uncompressed, 2 base.
   [[nodiscard]] std::uint32_t format_version() const {
+    if (!hierarchy_.empty()) return 5;
     if (compressed()) return 4;
     return replication_ > 1 ? 3 : 2;
   }
@@ -271,6 +308,7 @@ class CompactIntervalTree {
   std::vector<BrickEntry> bricks_;
   std::vector<std::uint32_t> chunk_crcs_;  ///< per-brick-chunk checksums
   std::vector<ReplicaGroup> replica_groups_;
+  std::vector<HierarchyLevel> hierarchy_;  ///< v5 coarse levels, level 1 first
   // v4 compression columns (empty / 0 for uncompressed trees): per-chunk
   // encoded size and codec id, aligned with chunk_crcs_, plus the device
   // offset the first chunk's encoded bytes start at.
@@ -303,6 +341,10 @@ class CompactTreeBuilder {
     /// Primary bytes as stored on the devices after encoding
     /// (== bytes_written for an uncompressed build).
     std::uint64_t compressed_bytes_written = 0;
+    /// Hierarchy pass (levels > 1): coarse records and device bytes
+    /// appended after all primary and replica data.
+    std::uint64_t hierarchy_nodes_written = 0;
+    std::uint64_t hierarchy_bytes_written = 0;
   };
 
   /// `infos` are the (already culled) metacells with their intervals;
@@ -330,12 +372,19 @@ class CompactTreeBuilder {
   /// required when appending a compressed build to stores that already
   /// hold compressed data (raw end != device size then); empty means
   /// "device size", which is correct for fresh or uncompressed stores.
+  ///
+  /// `levels` > 1 additionally builds the multi-resolution hierarchy
+  /// (hierarchy.h): levels-1 coarse mip levels whose records are appended
+  /// strictly after all primary and replica data and whose entry tables
+  /// make the trees serialize as v5. levels == 1 leaves every byte — device
+  /// and serialized — identical to the flat build.
   static Result build(const std::vector<metacell::MetacellInfo>& infos,
                       const metacell::MetacellSource& source,
                       std::span<io::BlockDevice* const> devices,
                       const placement::PlacementConfig& placement = {},
                       codec::Codec compression = codec::Codec::kRaw,
-                      std::span<const std::uint64_t> raw_bases = {});
+                      std::span<const std::uint64_t> raw_bases = {},
+                      std::int32_t levels = 1);
 };
 
 /// Derives the per-node raw↔device chunk maps of a loaded index: node i's

@@ -1,0 +1,224 @@
+#include "index/hierarchy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <limits>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+#include "io/serial.h"  // little-endian static_assert backs the raw memcpys
+#include "util/crc32.h"
+
+namespace oociso::index {
+namespace {
+
+std::size_t put_scalar(std::byte* out, core::ScalarKind kind, float value) {
+  switch (kind) {
+    case core::ScalarKind::kU8: {
+      const auto narrow = static_cast<std::uint8_t>(value);
+      std::memcpy(out, &narrow, sizeof(narrow));
+      return sizeof(narrow);
+    }
+    case core::ScalarKind::kU16: {
+      const auto narrow = static_cast<std::uint16_t>(value);
+      std::memcpy(out, &narrow, sizeof(narrow));
+      return sizeof(narrow);
+    }
+    case core::ScalarKind::kF32:
+      std::memcpy(out, &value, sizeof(value));
+      return sizeof(value);
+  }
+  return 0;
+}
+
+/// Point lookups into the fine volume through the source's own record
+/// format, with a small LRU of decoded metacells: downsampling walks the
+/// coarse lattice x-fastest, so consecutive lookups land in the same few
+/// fine metacells.
+class FineSampleCache {
+ public:
+  FineSampleCache(const metacell::MetacellSource& source, std::size_t capacity)
+      : source_(source), geometry_(source.geometry()), capacity_(capacity) {
+    assert(capacity_ > 0);
+  }
+
+  [[nodiscard]] float sample(core::Coord3 f) {
+    const core::GridDims& dims = geometry_.volume_dims();
+    f.x = std::min(f.x, dims.nx - 1);
+    f.y = std::min(f.y, dims.ny - 1);
+    f.z = std::min(f.z, dims.nz - 1);
+    const std::int32_t cells = geometry_.cells_per_side();
+    const core::GridDims& mdims = geometry_.metacell_dims();
+    const core::Coord3 m{std::min(f.x / cells, mdims.nx - 1),
+                         std::min(f.y / cells, mdims.ny - 1),
+                         std::min(f.z / cells, mdims.nz - 1)};
+    const metacell::DecodedMetacell& cell = fetch(geometry_.id(m));
+    return cell.sample(f.x - m.x * cells, f.y - m.y * cells,
+                       f.z - m.z * cells);
+  }
+
+ private:
+  struct Slot {
+    std::list<std::uint32_t>::iterator order;
+    metacell::DecodedMetacell cell;
+  };
+
+  [[nodiscard]] const metacell::DecodedMetacell& fetch(std::uint32_t id) {
+    auto it = map_.find(id);
+    if (it != map_.end()) {
+      order_.splice(order_.begin(), order_, it->second.order);
+      return it->second.cell;
+    }
+    if (map_.size() >= capacity_) {
+      map_.erase(order_.back());
+      order_.pop_back();
+    }
+    scratch_.clear();
+    source_.encode(id, scratch_);
+    order_.push_front(id);
+    Slot& slot = map_[id];
+    slot.order = order_.begin();
+    metacell::decode_metacell(scratch_, source_.kind(), geometry_, slot.cell);
+    return slot.cell;
+  }
+
+  const metacell::MetacellSource& source_;
+  metacell::MetacellGeometry geometry_;
+  std::size_t capacity_;
+  std::list<std::uint32_t> order_;  ///< most recent first
+  std::unordered_map<std::uint32_t, Slot> map_;
+  std::vector<std::byte> scratch_;
+};
+
+}  // namespace
+
+core::GridDims hierarchy_level_dims(const core::GridDims& base,
+                                    std::int32_t level) {
+  if (level <= 0) return base;
+  const std::int64_t stride = std::int64_t{1} << level;
+  const auto shrink = [stride](std::int32_t n) {
+    if (n <= 1) return n;
+    const std::int64_t cells = (n - 1 + stride - 1) / stride;  // ceil
+    return static_cast<std::int32_t>(cells + 1);
+  };
+  return {shrink(base.nx), shrink(base.ny), shrink(base.nz)};
+}
+
+metacell::MetacellGeometry hierarchy_level_geometry(
+    const metacell::MetacellGeometry& base, std::int32_t level) {
+  if (level <= 0) return base;
+  return {hierarchy_level_dims(base.volume_dims(), level),
+          base.samples_per_side()};
+}
+
+HierarchyBuildResult build_hierarchy(
+    const std::vector<metacell::MetacellInfo>& infos,
+    const metacell::MetacellSource& source,
+    std::span<io::BlockDevice* const> devices, std::int32_t levels) {
+  HierarchyBuildResult result;
+  result.per_device.resize(devices.size());
+  if (levels <= 1 || devices.empty()) return result;
+
+  const metacell::MetacellGeometry& base = source.geometry();
+  const std::int32_t k = base.samples_per_side();
+  const core::ScalarKind kind = source.kind();
+
+  // Kept nodes of the level below, keyed by that level's linear metacell id.
+  // Level 0's kept set is exactly the culled metacell infos.
+  std::unordered_map<std::uint64_t, core::ValueInterval> kept;
+  kept.reserve(infos.size());
+  for (const metacell::MetacellInfo& info : infos) {
+    kept.emplace(info.id, info.interval);
+  }
+  core::GridDims child_mdims = base.metacell_dims();
+
+  FineSampleCache cache(source, 64);
+  const auto samples_per_cell = static_cast<std::size_t>(k);
+  std::vector<float> samples(samples_per_cell * samples_per_cell *
+                             samples_per_cell);
+  std::vector<std::byte> record;
+  std::size_t stripe_cursor = 0;
+
+  for (std::int32_t level = 1; level < levels; ++level) {
+    const metacell::MetacellGeometry geometry =
+        hierarchy_level_geometry(base, level);
+    const core::GridDims level_dims = geometry.volume_dims();
+    const core::GridDims mdims = geometry.metacell_dims();
+    const std::int64_t stride = std::int64_t{1} << level;
+    for (std::vector<HierarchyLevel>& stripe : result.per_device) {
+      stripe.push_back(HierarchyLevel{level, {}});
+    }
+    std::unordered_map<std::uint64_t, core::ValueInterval> next_kept;
+
+    for (std::uint64_t mc = 0; mc < geometry.metacell_count(); ++mc) {
+      const auto id = static_cast<std::uint32_t>(mc);
+      const core::Coord3 c = geometry.coord(id);
+      // Exact hull of the kept children: the level-(l-1) metacells
+      // 2c + {0,1}^3 tile this node's footprint exactly (see header).
+      bool any = false;
+      core::ValueInterval hull;
+      for (std::int32_t dz = 0; dz < 2; ++dz) {
+        for (std::int32_t dy = 0; dy < 2; ++dy) {
+          for (std::int32_t dx = 0; dx < 2; ++dx) {
+            const core::Coord3 child{2 * c.x + dx, 2 * c.y + dy, 2 * c.z + dz};
+            if (!child_mdims.contains(child)) continue;
+            const auto it = kept.find(child_mdims.linear(child));
+            if (it == kept.end()) continue;
+            hull = any ? hull.hull(it->second) : it->second;
+            any = true;
+          }
+        }
+      }
+      if (!any) continue;
+
+      // Downsampled brick in the standard record format: coarse sample i
+      // reads fine position min(i * 2^level, n-1).
+      const core::Coord3 origin = geometry.sample_origin(id);
+      float vmin = std::numeric_limits<float>::infinity();
+      std::size_t cursor = 0;
+      for (std::int32_t sz = 0; sz < k; ++sz) {
+        for (std::int32_t sy = 0; sy < k; ++sy) {
+          for (std::int32_t sx = 0; sx < k; ++sx) {
+            const core::Coord3 coarse{
+                std::min(origin.x + sx, level_dims.nx - 1),
+                std::min(origin.y + sy, level_dims.ny - 1),
+                std::min(origin.z + sz, level_dims.nz - 1)};
+            const float value =
+                cache.sample({static_cast<std::int32_t>(coarse.x * stride),
+                              static_cast<std::int32_t>(coarse.y * stride),
+                              static_cast<std::int32_t>(coarse.z * stride)});
+            samples[cursor++] = value;
+            vmin = std::min(vmin, value);
+          }
+        }
+      }
+      record.resize(source.record_size());
+      std::byte* out = record.data();
+      std::memcpy(out, &id, sizeof(id));
+      out += sizeof(id);
+      out += put_scalar(out, kind, vmin);
+      for (const float value : samples) out += put_scalar(out, kind, value);
+      assert(out == record.data() + record.size());
+
+      const std::size_t device = stripe_cursor++ % devices.size();
+      const std::uint64_t offset = devices[device]->append(record);
+      const std::uint32_t crc = util::crc32(record);
+      result.per_device[device].back().entries.push_back(
+          HierarchyEntry{id, hull, offset, crc});
+      next_kept.emplace(mc, hull);
+      result.nodes_written += 1;
+      result.bytes_written += record.size();
+    }
+
+    kept = std::move(next_kept);
+    child_mdims = mdims;
+    // A single-metacell level has nothing left to aggregate.
+    if (geometry.metacell_count() <= 1) break;
+  }
+  return result;
+}
+
+}  // namespace oociso::index

@@ -1,0 +1,92 @@
+#pragma once
+// Multi-resolution metacell hierarchy (index format v5).
+//
+// A mip pyramid over the metacell grid: level 0 is the full-resolution
+// compact interval tree, and each coarse level l >= 1 samples the volume at
+// stride 2^l. A level-l metacell at grid coordinate C covers exactly the
+// level-(l-1) metacells 2C + {0,1}^3 (clamped to the child grid), so every
+// finer metacell has exactly one parent and the pyramid tiles the domain
+// completely at every level.
+//
+// Each kept coarse node stores
+//   * the exact hull of its kept children's (vmin, vmax) intervals — by
+//     induction the hull of every full-resolution descendant, which is what
+//     makes coarse-to-fine refinement conservative: a fine metacell active
+//     at isovalue lambda implies every ancestor's interval stabs lambda,
+//   * a downsampled coarse brick in the standard metacell record format
+//     (u32 id + native vmin + k^3 native samples), so the ordinary decode +
+//     marching-cubes path extracts an approximate surface per coarse node.
+//
+// Coarse sample i along an axis sits at fine position min(i * 2^l, n-1):
+// the coarse lattice is *ceil*-sized (hierarchy_level_dims) so it always
+// reaches the volume edge — a floor-sized lattice would silently drop the
+// border region whenever (n-1) is not a multiple of 2^l, breaking the
+// every-child-has-a-parent invariant the refinement contract rests on.
+//
+// On disk the coarse records are appended to the node stores strictly after
+// all primary and replica data (device-space offsets, one CRC32 per
+// record), and the per-level entry tables serialize as the v5 hierarchy
+// section appended after every existing section — which is why a
+// `--levels 1` build stays byte-identical to v4.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/grid.h"
+#include "core/interval.h"
+#include "io/block_device.h"
+#include "metacell/metacell.h"
+#include "metacell/source.h"
+
+namespace oociso::index {
+
+/// One coarse node of one hierarchy level, local to one node's store.
+struct HierarchyEntry {
+  std::uint32_t id = 0;          ///< linear id in the level's metacell grid
+  core::ValueInterval interval;  ///< exact hull of the kept children
+  std::uint64_t offset = 0;      ///< device-space offset of the coarse record
+  std::uint32_t crc = 0;         ///< CRC32 of the whole record
+};
+
+/// One coarse level of a tree's hierarchy (level 1 = first 2x downsample;
+/// level 0 is the tree's own full-resolution structure and is not stored).
+struct HierarchyLevel {
+  std::int32_t level = 1;
+  std::vector<HierarchyEntry> entries;  ///< this store's stripe, id order
+};
+
+/// Sample-lattice dimensions of hierarchy level `level` (level 0 returns
+/// `base` unchanged). Ceil-sized: n_l = ceil((n-1) / 2^l) + 1 per axis, so
+/// the coarse lattice covers the whole domain with the last sample clamped
+/// to the volume edge.
+[[nodiscard]] core::GridDims hierarchy_level_dims(const core::GridDims& base,
+                                                  std::int32_t level);
+
+/// Metacell geometry of hierarchy level `level` for a base decomposition.
+[[nodiscard]] metacell::MetacellGeometry hierarchy_level_geometry(
+    const metacell::MetacellGeometry& base, std::int32_t level);
+
+/// Everything the builder's hierarchy pass produced.
+struct HierarchyBuildResult {
+  /// per_device[d] holds device d's stripe of every built level, ordered
+  /// coarse level 1 first. All devices carry the same level list (levels a
+  /// stripe has no nodes on are present with empty entry tables).
+  std::vector<std::vector<HierarchyLevel>> per_device;
+  std::uint64_t nodes_written = 0;  ///< coarse records across all levels
+  std::uint64_t bytes_written = 0;  ///< coarse record bytes appended
+};
+
+/// Builds the coarse levels for a metacell set and appends their records to
+/// the devices (round-robin striping, continuing across levels). `levels`
+/// counts the full-resolution level: levels <= 1 builds nothing. Level
+/// generation stops early once a level collapses to a single metacell —
+/// further levels could only repeat it. Must run strictly after all primary
+/// and replica bytes are on the devices: coarse records are addressed by
+/// the device-space offsets append() returns.
+[[nodiscard]] HierarchyBuildResult build_hierarchy(
+    const std::vector<metacell::MetacellInfo>& infos,
+    const metacell::MetacellSource& source,
+    std::span<io::BlockDevice* const> devices, std::int32_t levels);
+
+}  // namespace oociso::index

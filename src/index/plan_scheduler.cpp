@@ -166,6 +166,12 @@ ScheduledPlan schedule_plan(const QueryPlan& plan,
     throw std::logic_error("schedule_plan: bad packing parameters");
   }
 
+  // Plans are single-level, so every emitted read inherits the plan's
+  // hierarchy level — the tag refinement dispatch orders batches by.
+  const auto tag_levels = [&out, &plan] {
+    for (ScheduledItem& item : out.items) item.read.level = plan.level;
+  };
+
   if (!params.coalesce) {
     // Legacy order: one brick at a time, exactly as planned.
     ReadPacker packer(params, out);
@@ -179,6 +185,7 @@ ScheduledPlan schedule_plan(const QueryPlan& plan,
         out.items.push_back(std::move(item));
       }
     }
+    tag_levels();
     return out;
   }
 
@@ -285,6 +292,7 @@ ScheduledPlan schedule_plan(const QueryPlan& plan,
     out.items.push_back(std::move(item));
     ++next_prefix;
   }
+  tag_levels();
   return out;
 }
 

@@ -102,6 +102,10 @@ struct ScheduledRead {
   std::uint64_t offset = 0;
   std::uint64_t record_count = 0;
   std::vector<ReadSlice> slices;
+  /// Hierarchy level of the plan the read came from (plans are
+  /// single-level), so downstream dispatch can order refinement batches
+  /// coarse-first. 0 = full resolution.
+  std::int32_t level = 0;
 };
 
 /// Either a pre-packed sequential read or a Case-2 prefix scan left to the

@@ -30,10 +30,14 @@ PreprocessResult preprocess(const metacell::MetacellSource& source,
         "not the pipeline");
   }
 
+  if (config.levels < 1 || config.levels > 16) {
+    throw std::invalid_argument("preprocess: levels must be in [1, 16]");
+  }
+
   auto devices = cluster.disk_pointers();
   index::CompactTreeBuilder::Result built = index::CompactTreeBuilder::build(
       infos, source, devices, config.placement, config.compression,
-      config.raw_bases);
+      config.raw_bases, config.levels);
 
   PreprocessResult result{
       .trees = std::move(built.trees),
@@ -45,6 +49,8 @@ PreprocessResult preprocess(const metacell::MetacellSource& source,
       .bytes_written = built.bytes_written,
       .compressed_bytes_written = built.compressed_bytes_written,
       .replica_bytes_written = built.replica_bytes_written,
+      .hierarchy_nodes_written = built.hierarchy_nodes_written,
+      .hierarchy_bytes_written = built.hierarchy_bytes_written,
       .raw_bytes = geometry.volume_dims().count() *
                    core::scalar_size(source.kind()),
       .elapsed_seconds = timer.seconds(),

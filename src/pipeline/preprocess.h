@@ -35,6 +35,11 @@ struct PreprocessConfig {
   /// (compressed bytes) trails the raw cursor. Empty = start at each
   /// device's current size (fresh store). Ignored for kRaw.
   std::vector<std::uint64_t> raw_bases;
+  /// Total resolution levels including the full-resolution one
+  /// (index/hierarchy.h). 1 (default) builds the flat index, byte-identical
+  /// to every earlier version; N > 1 appends N-1 coarse mip levels and
+  /// serializes the trees as v5 for progressive refinement.
+  std::int32_t levels = 1;
 };
 
 struct PreprocessResult {
@@ -51,6 +56,9 @@ struct PreprocessResult {
   /// uncompressed build; smaller under compression).
   std::uint64_t compressed_bytes_written = 0;
   std::uint64_t replica_bytes_written = 0;  ///< replica copies (k > 1 only)
+  /// Hierarchy pass (levels > 1 only): coarse nodes and their device bytes.
+  std::uint64_t hierarchy_nodes_written = 0;
+  std::uint64_t hierarchy_bytes_written = 0;
   std::uint64_t raw_bytes = 0;        ///< size of the raw scalar volume
   double elapsed_seconds = 0.0;
 
@@ -67,6 +75,12 @@ struct PreprocessResult {
     std::uint64_t bytes = 0;
     for (const auto& tree : trees) bytes += tree.size_bytes();
     return bytes;
+  }
+
+  /// Stored coarse hierarchy levels (0 for a flat build). Every tree of a
+  /// build carries the same level list.
+  [[nodiscard]] std::size_t hierarchy_levels() const {
+    return trees.empty() ? 0 : trees.front().hierarchy_levels();
   }
 };
 

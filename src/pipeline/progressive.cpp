@@ -1,0 +1,318 @@
+#include "pipeline/progressive.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "extract/marching_cubes.h"
+#include "index/hierarchy.h"
+#include "index/retrieval_stream.h"
+#include "metacell/metacell.h"
+#include "obs/trace.h"
+#include "util/timer.h"
+
+namespace oociso::pipeline {
+namespace {
+
+/// Splits a coarse plan (one single-record scan per stabbed node) into
+/// sub-plans of at most `cap_records` scans. Reads never span sub-plans,
+/// so no batch can exceed cap_records * record_size bytes — the per-node
+/// slice of the memory budget.
+std::vector<index::QueryPlan> chop_plan(index::QueryPlan plan,
+                                        std::size_t cap_records) {
+  std::vector<index::QueryPlan> out;
+  if (plan.scans.size() <= cap_records) {
+    out.push_back(std::move(plan));
+    return out;
+  }
+  for (std::size_t begin = 0; begin < plan.scans.size();
+       begin += cap_records) {
+    const std::size_t end =
+        std::min(plan.scans.size(), begin + cap_records);
+    index::QueryPlan part;
+    part.scans.assign(
+        plan.scans.begin() + static_cast<std::ptrdiff_t>(begin),
+        plan.scans.begin() + static_cast<std::ptrdiff_t>(end));
+    part.nodes_visited = begin == 0 ? plan.nodes_visited : 0;
+    part.isovalue = plan.isovalue;
+    part.crc_chunk_records = plan.crc_chunk_records;
+    part.level = plan.level;
+    out.push_back(std::move(part));
+  }
+  return out;
+}
+
+/// Maps a coarse-lattice mesh back into fine-lattice coordinates. Coarse
+/// sample i sits at fine position min(i * 2^level, n - 1) (hierarchy.h),
+/// so the uniform 2^level scale is clamped per axis: the border cells of a
+/// ceil-sized coarse lattice are narrower in fine space.
+void scale_to_fine(extract::TriangleSoup& soup, std::int32_t level,
+                   const core::GridDims& fine) {
+  const float scale = static_cast<float>(std::uint64_t{1} << level);
+  const auto limit = [](std::int32_t n) {
+    return static_cast<float>(n > 0 ? n - 1 : 0);
+  };
+  const float mx = limit(fine.nx);
+  const float my = limit(fine.ny);
+  const float mz = limit(fine.nz);
+  for (extract::Triangle& tri : soup.triangles()) {
+    for (core::Vec3* v : {&tri.a, &tri.b, &tri.c}) {
+      v->x = std::min(v->x * scale, mx);
+      v->y = std::min(v->y * scale, my);
+      v->z = std::min(v->z * scale, mz);
+    }
+  }
+}
+
+}  // namespace
+
+ProgressiveReport ProgressiveEngine::run(core::ValueKey isovalue,
+                                         const QueryOptions& options) {
+  util::WallTimer timer;
+  ProgressiveReport report;
+  report.isovalue = isovalue;
+
+  const auto coarsest = static_cast<std::int32_t>(data_.hierarchy_levels());
+  const std::int32_t floor_level =
+      std::clamp(options.max_level, std::int32_t{0}, coarsest);
+  const std::size_t p = cluster_.size();
+
+  // Stop state shared with the node programs. The flags are latched by
+  // should_stop() and folded into the report once the run settles; the
+  // report itself is never written from a node thread.
+  std::atomic<bool> stop_requested{false};
+  std::atomic<bool> deadline_hit{false};
+  std::atomic<bool> cancel_hit{false};
+  const double deadline_seconds = options.deadline_ms / 1000.0;
+  const auto should_stop = [&]() -> bool {
+    if (stop_requested.load(std::memory_order_relaxed)) return true;
+    bool stop = false;
+    if (options.cancel != nullptr &&
+        options.cancel->load(std::memory_order_relaxed)) {
+      cancel_hit.store(true, std::memory_order_relaxed);
+      stop = true;
+    }
+    if (options.deadline_ms > 0.0 && timer.seconds() >= deadline_seconds) {
+      deadline_hit.store(true, std::memory_order_relaxed);
+      stop = true;
+    }
+    if (stop) stop_requested.store(true, std::memory_order_relaxed);
+    return stop;
+  };
+
+  // Budget accounting: bytes of refinement batches alive across the node
+  // programs, and the tripwire counting fetches issued after a stop was
+  // observed (zero by construction; the hierarchy tests pin it).
+  std::atomic<std::uint64_t> live_bytes{0};
+  std::atomic<std::uint64_t> peak_bytes{0};
+  std::atomic<std::uint64_t> after_cancel{0};
+  bool any_aborted = false;
+
+  for (std::int32_t level = coarsest; level >= floor_level; --level) {
+    const bool mandatory = level == coarsest;
+    if (!mandatory && should_stop()) {
+      any_aborted = true;
+      break;
+    }
+    util::WallTimer level_timer;
+    obs::Span span(options.tracer, "progressive.level", options.query_id,
+                   obs::track(0, obs::Lane::kControl));
+    span.arg("level", static_cast<std::uint64_t>(level));
+
+    if (level == 0) {
+      // Final refinement: the ordinary flat query, which reproduces the
+      // non-hierarchical mesh bit-identically. The hash is forced on so
+      // the identity is checkable from every progressive report.
+      QueryOptions flat = options;
+      flat.compute_mesh_crc = true;
+      QueryEngine engine(cluster_, data_);
+      QueryReport full = engine.run(isovalue, flat);
+
+      LevelReport done;
+      done.level = 0;
+      done.active_metacells = full.total_active_metacells();
+      done.triangles = full.total_triangles();
+      for (const NodeReport& node : full.nodes) {
+        done.io += node.io;
+        done.io_model_seconds += node.io_model_seconds;
+        done.extract_seconds +=
+            node.triangulation_seconds + node.decode_cpu_seconds;
+      }
+      done.nodes = full.nodes;
+      done.elapsed_ms = timer.seconds() * 1000.0;
+      done.mesh_crc = full.mesh_crc.value_or(0);
+      span.arg("triangles", done.triangles);
+
+      report.mesh_crc = full.mesh_crc;
+      report.mesh.clear();
+      if (full.triangles_out.has_value()) report.mesh = *full.triangles_out;
+      report.full = std::move(full);
+      report.levels.push_back(std::move(done));
+      report.finest_level_completed = 0;
+      if (options.metrics != nullptr) {
+        options.metrics->counter("progressive.levels").add();
+        options.metrics->histogram("progressive.level_seconds")
+            .observe(level_timer.seconds());
+      }
+      break;  // level 0 is always the last level
+    }
+
+    struct Stripe {
+      extract::TriangleSoup soup;
+      NodeReport report;
+    };
+    std::vector<Stripe> stripes(p);
+    std::atomic<bool> aborted{false};
+
+    std::vector<std::exception_ptr> errors =
+        cluster_.run_collect([&](std::size_t node) {
+          const index::CompactIntervalTree& tree = data_.trees[node];
+          if (tree.record_size() == 0) return;
+          index::QueryPlan plan = tree.plan_level(isovalue, level);
+          Stripe& out = stripes[node];
+          out.report.faults.executed_by = static_cast<std::int32_t>(node);
+          if (plan.scans.empty()) return;
+
+          std::vector<index::QueryPlan> parts;
+          if (options.memory_budget_bytes > 0) {
+            const std::uint64_t cap_bytes = std::max<std::uint64_t>(
+                options.memory_budget_bytes / p, tree.record_size());
+            parts = chop_plan(
+                std::move(plan),
+                static_cast<std::size_t>(std::max<std::uint64_t>(
+                    1, cap_bytes / tree.record_size())));
+          } else {
+            parts.push_back(std::move(plan));
+          }
+
+          // Coarse records live past the chunked/replicated regions, so
+          // they are read through a private raw handle — never through
+          // the shared pools or a chunk-decoding wrapper.
+          std::unique_ptr<io::BlockDevice> handle =
+              cluster_.open_replica_view(node);
+          index::RetrievalOptions ropts = options.retrieval;
+          ropts.tracer = options.tracer;
+          ropts.metrics = options.metrics;
+          ropts.trace_pid = options.query_id;
+          ropts.trace_tid = obs::track(node, obs::Lane::kIo);
+          // Refinement batches are few; the synchronous path keeps the
+          // budget accounting exact (every byte alive is in one batch).
+          ropts.queue_depth = 0;
+          // Under a budget, gap coalescing would grow a read past the
+          // sub-plan's record bytes; adjacent-only merging cannot.
+          if (options.memory_budget_bytes > 0) ropts.coalesce_gap_bytes = 0;
+
+          const metacell::MetacellGeometry geometry =
+              index::hierarchy_level_geometry(data_.geometry, level);
+          metacell::DecodedMetacell cell;
+          util::ThreadCpuTimer cpu;
+
+          for (index::QueryPlan& part : parts) {
+            index::RetrievalStream stream(std::move(part), tree.scalar_kind(),
+                                          tree.record_size(), *handle, ropts);
+            while (true) {
+              if (!mandatory && should_stop()) {
+                aborted.store(true, std::memory_order_relaxed);
+                break;
+              }
+              if (!mandatory &&
+                  stop_requested.load(std::memory_order_relaxed)) {
+                after_cancel.fetch_add(1, std::memory_order_relaxed);
+              }
+              std::optional<index::RecordBatch> batch = stream.next();
+              if (!batch.has_value()) break;
+
+              const auto bytes =
+                  static_cast<std::uint64_t>(batch->data.size());
+              const std::uint64_t live =
+                  live_bytes.fetch_add(bytes, std::memory_order_relaxed) +
+                  bytes;
+              std::uint64_t peak = peak_bytes.load(std::memory_order_relaxed);
+              while (live > peak &&
+                     !peak_bytes.compare_exchange_weak(
+                         peak, live, std::memory_order_relaxed)) {
+              }
+              if (options.metrics != nullptr) {
+                options.metrics->counter("progressive.batches").add();
+              }
+
+              cpu.restart();
+              for (std::size_t i = 0; i < batch->record_count; ++i) {
+                metacell::decode_metacell(batch->record(i),
+                                          tree.scalar_kind(), geometry, cell);
+                const extract::ExtractionStats stats =
+                    extract::extract_metacell(cell, isovalue, out.soup,
+                                              options.kernel);
+                out.report.cells_classified += stats.cells_visited;
+                out.report.active_cells += stats.active_cells;
+                out.report.triangles += stats.triangles;
+                out.report.vertex_cache_hits += stats.vertex_cache_hits;
+                out.report.classify_seconds += stats.classify_seconds;
+              }
+              out.report.triangulation_seconds += cpu.seconds();
+              out.report.active_metacells += batch->record_count;
+              out.report.records_fetched += batch->records_fetched;
+              out.report.io += batch->io;
+              live_bytes.fetch_sub(bytes, std::memory_order_relaxed);
+            }
+            out.report.io_wall_seconds += stream.io_wall_seconds();
+            if (aborted.load(std::memory_order_relaxed)) break;
+          }
+          out.report.io_model_seconds = cluster_.disk_seconds(out.report.io);
+          scale_to_fine(out.soup, level, data_.geometry.volume_dims());
+        });
+    for (std::exception_ptr& error : errors) {
+      if (error) std::rethrow_exception(error);
+    }
+    if (aborted.load(std::memory_order_relaxed)) {
+      // The stop condition fired mid-level: the partial level is
+      // discarded and the previous complete surface stands.
+      any_aborted = true;
+      break;
+    }
+
+    LevelReport done;
+    done.level = level;
+    std::vector<extract::TriangleSoup> soups;
+    soups.reserve(p);
+    for (Stripe& stripe : stripes) {
+      done.active_metacells += stripe.report.active_metacells;
+      done.triangles += stripe.report.triangles;
+      done.io += stripe.report.io;
+      done.io_model_seconds += stripe.report.io_model_seconds;
+      done.extract_seconds += stripe.report.triangulation_seconds;
+      done.nodes.push_back(std::move(stripe.report));
+      soups.push_back(std::move(stripe.soup));
+    }
+    done.mesh_crc = extract::canonical_mesh_crc(soups);
+    done.elapsed_ms = timer.seconds() * 1000.0;
+    span.arg("triangles", done.triangles);
+    span.arg("read_ops", done.io.read_ops);
+
+    report.mesh_crc = done.mesh_crc;
+    report.mesh.clear();
+    for (const extract::TriangleSoup& soup : soups) report.mesh.append(soup);
+    report.levels.push_back(std::move(done));
+    report.finest_level_completed = level;
+    if (options.metrics != nullptr) {
+      options.metrics->counter("progressive.levels").add();
+      options.metrics->histogram("progressive.level_seconds")
+          .observe(level_timer.seconds());
+    }
+  }
+
+  report.deadline_expired = deadline_hit.load(std::memory_order_relaxed);
+  report.cancelled = cancel_hit.load(std::memory_order_relaxed);
+  report.batches_after_cancel = after_cancel.load(std::memory_order_relaxed);
+  report.peak_batch_bytes = peak_bytes.load(std::memory_order_relaxed);
+  if (any_aborted && options.metrics != nullptr) {
+    options.metrics->counter("progressive.cancelled_refinements").add();
+  }
+  return report;
+}
+
+}  // namespace oociso::pipeline

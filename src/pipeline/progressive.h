@@ -1,0 +1,127 @@
+#pragma once
+// Progressive multi-resolution isosurface serving (index/hierarchy.h).
+//
+// A flat query (query_engine.h) answers "the surface" in one pass; a
+// progressive query answers "the best surface available *now*" and keeps
+// refining. The engine walks the stored mip levels coarsest-first: each
+// coarse level stabs its per-node entry table, reads only the stabbed
+// downsampled bricks (a few percent of the full sweep's I/O), and
+// triangulates them into a complete — conservative — surface whose
+// vertices are mapped back into fine-lattice coordinates. The final
+// refinement step is the ordinary flat query, so a run that reaches level
+// 0 reproduces the non-hierarchical mesh bit-identically.
+//
+// Deadline / budget semantics (DESIGN §16):
+//   * The coarsest level ALWAYS completes — a deadline-bounded query is
+//     guaranteed some surface, never an empty frame.
+//   * `QueryOptions::deadline_ms` and `::cancel` gate further refinement:
+//     both are checked before each level is started and before each record
+//     batch is issued inside a level; a partially refined level is
+//     discarded (the previous level's complete surface stands).
+//   * `QueryOptions::memory_budget_bytes` bounds the refinement batch
+//     bytes concurrently in flight: each node's coarse plan is chopped
+//     into sub-plans of at most budget/p record bytes and gap coalescing
+//     is disabled, so peak_batch_bytes never exceeds the budget.
+//   * `QueryOptions::max_level` floors the refinement (2 = stop after
+//     coarse level 2); 0 refines all the way to the flat mesh.
+//
+// Monotonicity: every coarse interval is the exact hull of its kept
+// children, so the set of fine metacells covered by level l's active nodes
+// contains level l-1's active set — refinement only ever adds detail.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "extract/mesh.h"
+#include "pipeline/query_engine.h"
+
+namespace oociso::pipeline {
+
+/// Outcome of one completed refinement level.
+struct LevelReport {
+  std::int32_t level = 0;  ///< 0 = full resolution (the flat query)
+  /// Per-node extraction counters. For level 0 these are the flat query's
+  /// NodeReports; for coarse levels the I/O fields cover the entry-table
+  /// brick reads and the fault/routing fields stay zero (coarse records
+  /// are single-copy and read through private raw handles).
+  std::vector<NodeReport> nodes;
+  std::uint64_t active_metacells = 0;  ///< stabbed nodes at this level
+  std::uint64_t triangles = 0;
+  io::IoStats io;                  ///< block I/O summed over the nodes
+  double io_model_seconds = 0.0;   ///< disk-model price of `io`
+  double extract_seconds = 0.0;    ///< decode + marching-cubes CPU, summed
+  /// Wall-clock milliseconds from run start to this level's completion —
+  /// the progressive latency curve (first entry = time-to-first-surface).
+  double elapsed_ms = 0.0;
+  /// Canonical content hash of this level's mesh (always computed: coarse
+  /// meshes are small, and level 0 forces compute_mesh_crc). Equal to the
+  /// flat query's hash when level == 0.
+  std::uint32_t mesh_crc = 0;
+};
+
+/// Everything a progressive run produced, coarsest level first.
+struct ProgressiveReport {
+  core::ValueKey isovalue = 0;
+  /// Completed levels in refinement order (coarsest first). Never empty:
+  /// the coarsest level is exempt from deadline/cancel.
+  std::vector<LevelReport> levels;
+  /// The finest level that ran to completion (0 = the flat mesh; -1 only
+  /// for an index with no stored data at all).
+  std::int32_t finest_level_completed = -1;
+  bool deadline_expired = false;  ///< refinement stopped by the deadline
+  bool cancelled = false;         ///< refinement stopped by the cancel flag
+  /// Record batches issued after the stop condition had been observed.
+  /// Zero by construction — the engine checks before every issue — and
+  /// pinned by the hierarchy tests as a regression tripwire.
+  std::uint64_t batches_after_cancel = 0;
+  /// High-water mark of refinement batch bytes concurrently in flight
+  /// (coarse levels only; the flat level accounts through its own report).
+  /// <= QueryOptions::memory_budget_bytes when a budget was set.
+  std::uint64_t peak_batch_bytes = 0;
+  /// The flat query's full report, present when refinement reached level 0.
+  std::optional<QueryReport> full;
+  /// Triangles of the finest completed level, in fine-lattice coordinates.
+  /// Coarse meshes are always kept; the level-0 mesh is kept only when
+  /// QueryOptions::keep_triangles was set (matching the flat engine).
+  extract::TriangleSoup mesh;
+  /// Canonical hash of the finest completed level's mesh.
+  std::optional<std::uint32_t> mesh_crc;
+
+  /// Block reads spent on coarse levels, summed over every preview level.
+  /// Reporting only — the <= 10% progressive I/O gate
+  /// (ci/check_progressive.py) compares the *coarsest* level's read_ops
+  /// alone (`levels.front().io.read_ops`) against the flat sweep's.
+  [[nodiscard]] std::uint64_t coarse_read_ops() const {
+    std::uint64_t total = 0;
+    for (const LevelReport& level : levels) {
+      if (level.level > 0) total += level.io.read_ops;
+    }
+    return total;
+  }
+  [[nodiscard]] std::uint64_t total_triangles() const {
+    return levels.empty() ? 0 : levels.back().triangles;
+  }
+};
+
+/// Runs deadline/budget-bounded progressive queries against a preprocessed
+/// dataset. Safe to use concurrently from several threads the same way
+/// QueryEngine is: each run() builds its own per-node state.
+class ProgressiveEngine {
+ public:
+  /// `result` must outlive the engine; `cluster` provides disks and models.
+  ProgressiveEngine(parallel::Cluster& cluster, const PreprocessResult& result)
+      : cluster_(cluster), data_(result) {}
+
+  /// Refines coarsest -> max_level under the options' deadline/budget (see
+  /// header comment). An index built with --levels 1 has no coarse levels
+  /// and degenerates to the flat query.
+  [[nodiscard]] ProgressiveReport run(core::ValueKey isovalue,
+                                      const QueryOptions& options = {});
+
+ private:
+  parallel::Cluster& cluster_;
+  const PreprocessResult& data_;
+};
+
+}  // namespace oociso::pipeline

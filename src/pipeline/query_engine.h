@@ -27,6 +27,7 @@
 // phases. With `overlap_io_compute = false` the engine reproduces the
 // strict BSP accounting the paper's formulas use.
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -125,6 +126,29 @@ struct QueryOptions {
   /// its fail-all injector, and the failover peer re-executes the stripe
   /// through the dead node's pool.
   bool use_shared_cache = false;
+
+  // ---- progressive refinement ---------------------------------------------
+  // Consumed by pipeline::ProgressiveEngine (progressive.h) and the serve
+  // layer's query_progressive; QueryEngine::run ignores them — a flat query
+  // has no levels to bound.
+  /// Wall-clock deadline in milliseconds from the start of the progressive
+  /// run. 0 = none. The coarsest level always completes (the "some surface"
+  /// guarantee); once the deadline passes, no further refinement level is
+  /// started and no further batch is issued within a level.
+  double deadline_ms = 0.0;
+  /// Bound on refinement batch bytes concurrently in flight across the
+  /// cluster's node programs. 0 = none. Coarse-level plans are chopped so a
+  /// node's batch never exceeds budget/p bytes, and batch coalescing stops
+  /// bridging gaps (see DESIGN §16 for the exact scope of the bound).
+  std::uint64_t memory_budget_bytes = 0;
+  /// Stop refining once this level completes (0 = refine to full
+  /// resolution, which reproduces the flat mesh bit-identically; 2 = stop
+  /// at coarse level 2). Clamped to the coarsest stored level.
+  std::int32_t max_level = 0;
+  /// External cancellation flag polled between levels and between batches
+  /// (null = none). Like the deadline, it never interrupts the coarsest
+  /// level.
+  std::atomic<bool>* cancel = nullptr;
 
   // ---- observability ------------------------------------------------------
   /// Trace sink (null = off). Every span of this query carries pid =

@@ -117,6 +117,54 @@ pipeline::QueryReport QueryServer::run_admitted(
   }
 }
 
+pipeline::ProgressiveReport QueryServer::run_admitted_progressive(
+    core::ValueKey isovalue, std::uint64_t submitted_us,
+    ProgressiveParams params) {
+  const std::uint32_t query_id =
+      next_query_id_.fetch_add(1, std::memory_order_relaxed);
+  obs::Tracer* const tracer = options_.tracer;
+  if (tracer != nullptr) {
+    tracer->name_process(query_id, "query " + std::to_string(query_id) +
+                                       " iso=" + std::to_string(isovalue) +
+                                       " progressive");
+    const std::uint64_t admitted_us = tracer->now_us();
+    tracer->complete("admission.wait", query_id,
+                     obs::track(0, obs::Lane::kAdmission), submitted_us,
+                     admitted_us - submitted_us);
+  }
+  if (options_.metrics != nullptr) {
+    options_.metrics->counter("serve.queries").add();
+  }
+  const std::int64_t level = in_flight_->add(1);
+  if (tracer != nullptr) {
+    tracer->counter("serve.in_flight", 0, static_cast<double>(level));
+  }
+  pipeline::QueryOptions query_options = options_.query;
+  query_options.tracer = tracer;
+  query_options.metrics = options_.metrics;
+  query_options.query_id = query_id;
+  if (params.deadline_ms.has_value()) {
+    query_options.deadline_ms = *params.deadline_ms;
+  }
+  if (params.memory_budget_bytes.has_value()) {
+    query_options.memory_budget_bytes = *params.memory_budget_bytes;
+  }
+  if (params.max_level.has_value()) query_options.max_level = *params.max_level;
+  if (params.cancel != nullptr) query_options.cancel = params.cancel;
+  pipeline::ProgressiveEngine engine(cluster_, data_);
+  try {
+    pipeline::ProgressiveReport report = engine.run(isovalue, query_options);
+    const std::int64_t after = in_flight_->add(-1);
+    if (tracer != nullptr) {
+      tracer->counter("serve.in_flight", 0, static_cast<double>(after));
+    }
+    return report;
+  } catch (...) {
+    in_flight_->add(-1);
+    throw;
+  }
+}
+
 pipeline::QueryReport QueryServer::query(core::ValueKey isovalue) {
   const std::uint64_t submitted_us = submit_time_us();
   return admission_
@@ -132,6 +180,16 @@ pipeline::QueryReport QueryServer::query(core::ValueKey isovalue,
   return admission_
       ->submit([this, isovalue, submitted_us, kernel] {
         return run_admitted(data_, isovalue, submitted_us, kernel);
+      })
+      .get();
+}
+
+pipeline::ProgressiveReport QueryServer::query_progressive(
+    core::ValueKey isovalue, const ProgressiveParams& params) {
+  const std::uint64_t submitted_us = submit_time_us();
+  return admission_
+      ->submit([this, isovalue, submitted_us, params] {
+        return run_admitted_progressive(isovalue, submitted_us, params);
       })
       .get();
 }

@@ -42,9 +42,23 @@
 #include "parallel/thread_pool.h"
 #include "placement/health.h"
 #include "pipeline/preprocess.h"
+#include "pipeline/progressive.h"
 #include "pipeline/query_engine.h"
 
 namespace oociso::serve {
+
+/// Per-request overrides for a progressive query (progressive.h). Absent
+/// fields inherit ServeOptions::query, so a server can fix a house policy
+/// ("every progressive request gets 50 ms") while clients override per
+/// call.
+struct ProgressiveParams {
+  std::optional<double> deadline_ms;
+  std::optional<std::uint64_t> memory_budget_bytes;
+  std::optional<std::int32_t> max_level;
+  /// External cancellation flag for this request (null = none); must
+  /// outlive the call.
+  std::atomic<bool>* cancel = nullptr;
+};
 
 struct ServeOptions {
   /// Queries executing at once; further requests wait in the admission
@@ -117,6 +131,15 @@ class QueryServer {
   [[nodiscard]] pipeline::QueryReport query(core::ValueKey isovalue,
                                             extract::KernelOptions kernel);
 
+  /// Executes one deadline/budget-bounded progressive query through the
+  /// same admission queue (progressive.h): the coarsest stored level
+  /// always completes, refinement toward full resolution is gated by the
+  /// request's deadline/budget/cancel. On an index built without a
+  /// hierarchy this degenerates to the flat query wrapped in a one-level
+  /// report. Thread-safe, and counted/traced exactly like flat queries.
+  [[nodiscard]] pipeline::ProgressiveReport query_progressive(
+      core::ValueKey isovalue, const ProgressiveParams& params = {});
+
   /// Like query(), but for one preprocessed time step of a time-varying
   /// dataset (`step` must outlive the call; all steps share the per-node
   /// pools, which is what keeps a step revisit warm).
@@ -161,6 +184,14 @@ class QueryServer {
       const pipeline::PreprocessResult& data, core::ValueKey isovalue,
       std::uint64_t submitted_us,
       std::optional<extract::KernelOptions> kernel = std::nullopt);
+
+  /// run_admitted's progressive twin: same admission bookkeeping (fresh
+  /// pid, admission-wait span, serve.queries counter, in-flight gauge),
+  /// but the body is a ProgressiveEngine run with the request's
+  /// deadline/budget/cancel folded into the base options.
+  [[nodiscard]] pipeline::ProgressiveReport run_admitted_progressive(
+      core::ValueKey isovalue, std::uint64_t submitted_us,
+      ProgressiveParams params);
 
   /// Tracer clock now, or 0 when tracing is off (submission timestamps).
   [[nodiscard]] std::uint64_t submit_time_us() const {

@@ -253,6 +253,92 @@ TEST_F(CliTest, CompressedPreprocessRoundTripsThroughInfoAndQuery) {
   EXPECT_EQ(counts_prefix(q_packed.output), expected);
 }
 
+TEST_F(CliTest, HierarchyInfoAndProgressiveQueryRoundTrip) {
+  const std::string volume = path("volume.oocv");
+  ASSERT_EQ(run_cli("generate --dims 40 --seed 7 --out " + volume, path("g"))
+                .exit_code,
+            0);
+
+  // --levels outside [1, 16] is a usage error, caught before any store is
+  // written.
+  const RunResult bad =
+      run_cli("preprocess --volume " + volume + " --storage " + path("bad") +
+                  " --nodes 2 --levels 0",
+              path("z"));
+  EXPECT_EQ(bad.exit_code, 2);
+  EXPECT_NE(bad.output.find("error: flag --levels"), std::string::npos);
+  EXPECT_NE(bad.output.find("usage:"), std::string::npos);
+
+  // One flat store, one with two coarse mip levels. The leveled preprocess
+  // summary must report what it appended.
+  const std::string flat = path("flat");
+  const std::string leveled = path("leveled");
+  ASSERT_EQ(run_cli("preprocess --volume " + volume + " --storage " + flat +
+                        " --nodes 2",
+                    path("p0"))
+                .exit_code,
+            0);
+  const RunResult prep = run_cli("preprocess --volume " + volume +
+                                     " --storage " + leveled +
+                                     " --nodes 2 --levels 3",
+                                 path("p1"));
+  ASSERT_EQ(prep.exit_code, 0) << prep.output;
+  EXPECT_NE(prep.output.find("hierarchy: 2 coarse level(s)"),
+            std::string::npos)
+      << prep.output;
+
+  // `info` surfaces the v5 metadata: version, level count, per-level
+  // coarse-node rows, and the coarse-brick byte total.
+  const RunResult info = run_cli("info --storage " + leveled, path("i1"));
+  ASSERT_EQ(info.exit_code, 0) << info.output;
+  EXPECT_NE(info.output.find("index version"), std::string::npos);
+  EXPECT_NE(info.output.find("hierarchy levels"), std::string::npos);
+  EXPECT_NE(info.output.find("level 1"), std::string::npos);
+  EXPECT_NE(info.output.find("level 2"), std::string::npos);
+  EXPECT_NE(info.output.find("coarse nodes"), std::string::npos);
+  EXPECT_NE(info.output.find("coarse payload"), std::string::npos);
+
+  // A flat store's `info` stays exactly as it was before v5 existed: no
+  // hierarchy or coarse rows leak into the v2 report.
+  const RunResult flat_info = run_cli("info --storage " + flat, path("i0"));
+  ASSERT_EQ(flat_info.exit_code, 0) << flat_info.output;
+  EXPECT_EQ(flat_info.output.find("hierarchy"), std::string::npos)
+      << flat_info.output;
+  EXPECT_EQ(flat_info.output.find("coarse"), std::string::npos)
+      << flat_info.output;
+
+  // --progressive refines coarsest -> level 0 and the final level's mesh
+  // CRC (the last 0x token in the per-level table) matches a progressive
+  // run against the flat store, which degenerates to the plain query.
+  const RunResult prog = run_cli(
+      "query --storage " + leveled + " --nodes 2 --iso 120 --progressive",
+      path("q1"));
+  ASSERT_EQ(prog.exit_code, 0) << prog.output;
+  EXPECT_NE(prog.output.find("refined to level 0"), std::string::npos)
+      << prog.output;
+  const RunResult flat_prog = run_cli(
+      "query --storage " + flat + " --nodes 2 --iso 120 --progressive",
+      path("q0"));
+  ASSERT_EQ(flat_prog.exit_code, 0) << flat_prog.output;
+  EXPECT_NE(flat_prog.output.find("refined to level 0"), std::string::npos)
+      << flat_prog.output;
+  const auto final_crc = [](const std::string& output) {
+    const std::size_t at = output.rfind("0x");
+    EXPECT_NE(at, std::string::npos) << output;
+    return output.substr(at, 10);
+  };
+  EXPECT_EQ(final_crc(prog.output), final_crc(flat_prog.output));
+
+  // --max-level is one of the flags that implies --progressive, and it
+  // floors refinement at the requested level.
+  const RunResult floored = run_cli(
+      "query --storage " + leveled + " --nodes 2 --iso 120 --max-level 1",
+      path("q2"));
+  ASSERT_EQ(floored.exit_code, 0) << floored.output;
+  EXPECT_NE(floored.output.find("refined to level 1"), std::string::npos)
+      << floored.output;
+}
+
 TEST_F(CliTest, KernelFlagValidatesAgainstTheHostCpu) {
   // Unknown ISA names are usage errors on both subcommands, caught before
   // any storage is touched.

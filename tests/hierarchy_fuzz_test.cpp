@@ -1,0 +1,166 @@
+// Differential fuzzing of the v5 hierarchy reader: seeded truncations and
+// bit flips of a serialized tree's hierarchy section must surface as a
+// *retriable* io::IoError (Kind::kCorruption) — never a crash, never a
+// silently wrong coarse level. The section carries its own CRC32 trailer,
+// so every single-bit flip inside it is detectable by construction; the
+// fuzz sweep pins that the reader actually detects them all. Mutations to
+// the sections *before* the hierarchy stay on the legacy error path (parse
+// or throw, but never undefined behavior — ASan/UBSan give that teeth).
+// Mirrors kernel_fuzz_test.cpp; carries the ctest label `hierarchy`.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/rm_generator.h"
+#include "index/compact_interval_tree.h"
+#include "io/io_error.h"
+#include "io/memory_block_device.h"
+#include "metacell/source.h"
+#include "util/rng.h"
+
+namespace oociso::index {
+namespace {
+
+/// A small but real v5 build: two striped in-memory stores, three total
+/// resolution levels (two stored coarse levels).
+std::vector<std::byte> build_v5_tree_bytes() {
+  data::RmConfig config;
+  config.dims = {32, 32, 30};
+  const core::VolumeU8 volume = data::generate_rm_timestep(config, 200);
+  const auto source = metacell::make_source(volume, 9);
+  const std::vector<metacell::MetacellInfo> infos = source->scan();
+
+  io::MemoryBlockDevice device_a(512);
+  io::MemoryBlockDevice device_b(512);
+  std::vector<io::BlockDevice*> devices{&device_a, &device_b};
+  const CompactTreeBuilder::Result result = CompactTreeBuilder::build(
+      infos, *source, devices, {}, codec::Codec::kRaw, {}, /*levels=*/3);
+
+  const CompactIntervalTree& tree = result.trees.front();
+  EXPECT_EQ(tree.format_version(), 5u);
+  EXPECT_EQ(tree.hierarchy_levels(), 2u);
+  return tree.to_bytes();
+}
+
+/// Expects from_bytes(data) to reject the mutation as hierarchy-section
+/// corruption: a retriable kCorruption IoError, nothing else.
+void expect_section_corruption(std::span<const std::byte> data,
+                               const std::string& context) {
+  try {
+    const CompactIntervalTree tree = CompactIntervalTree::from_bytes(data);
+    ADD_FAILURE() << context << ": corrupt section parsed successfully ("
+                  << tree.hierarchy_levels() << " levels)";
+  } catch (const io::IoError& error) {
+    EXPECT_EQ(error.kind(), io::IoError::Kind::kCorruption) << context;
+    EXPECT_TRUE(error.retriable()) << context;
+  } catch (const std::exception& error) {
+    ADD_FAILURE() << context << ": wrong exception type: " << error.what();
+  }
+}
+
+TEST(HierarchyFuzz, TruncationsOfTheLevelsSectionAreRetriableIoErrors) {
+  const std::vector<std::byte> bytes = build_v5_tree_bytes();
+  const CompactIntervalTree tree = CompactIntervalTree::from_bytes(bytes);
+  const std::size_t section_bytes = tree.hierarchy_section_bytes();
+  ASSERT_GT(section_bytes, 0u);
+  ASSERT_LT(section_bytes, bytes.size());
+  const std::size_t section_start = bytes.size() - section_bytes;
+
+  // Every cut inside the section: drop the CRC trailer, cut mid-entry,
+  // mid-header, right after the level count, at the section start.
+  util::Xoshiro256 rng(0xC0FFEEu);
+  std::vector<std::size_t> cuts = {section_start, section_start + 1,
+                                   section_start + 4, bytes.size() - 1,
+                                   bytes.size() - 4, bytes.size() - 5};
+  for (int i = 0; i < 32; ++i) {
+    cuts.push_back(section_start + rng.bounded(section_bytes));
+  }
+  for (const std::size_t cut : cuts) {
+    expect_section_corruption(
+        std::span(bytes).first(cut),
+        "truncated to " + std::to_string(cut) + " of " +
+            std::to_string(bytes.size()) + " bytes");
+  }
+}
+
+TEST(HierarchyFuzz, BitFlipsInTheLevelsSectionAreRetriableIoErrors) {
+  const std::vector<std::byte> bytes = build_v5_tree_bytes();
+  const CompactIntervalTree tree = CompactIntervalTree::from_bytes(bytes);
+  const std::size_t section_bytes = tree.hierarchy_section_bytes();
+  const std::size_t section_start = bytes.size() - section_bytes;
+
+  // Deterministic positions: the level count, a level header, entry
+  // payload bytes across the section, and the CRC trailer itself — then a
+  // seeded random sweep. The section checksum makes every one detectable.
+  util::Xoshiro256 rng(0xB17F11Bu);
+  std::vector<std::size_t> positions = {section_start, section_start + 3,
+                                        section_start + 9, bytes.size() - 1,
+                                        bytes.size() - 4};
+  for (int i = 0; i < 128; ++i) {
+    positions.push_back(section_start + rng.bounded(section_bytes));
+  }
+  for (const std::size_t position : positions) {
+    for (const unsigned bit : {0u, 4u, 7u}) {
+      std::vector<std::byte> mutated = bytes;
+      mutated[position] ^= std::byte{static_cast<unsigned char>(1u << bit)};
+      expect_section_corruption(
+          mutated, "bit " + std::to_string(bit) + " at byte " +
+                       std::to_string(position) + " (section offset " +
+                       std::to_string(position - section_start) + ")");
+    }
+  }
+}
+
+TEST(HierarchyFuzz, MutationsBeforeTheSectionNeverCrashOrCorruptLevels) {
+  const std::vector<std::byte> bytes = build_v5_tree_bytes();
+  const CompactIntervalTree reference = CompactIntervalTree::from_bytes(bytes);
+  const std::size_t section_start =
+      bytes.size() - reference.hierarchy_section_bytes();
+
+  // Flips ahead of the hierarchy section hit the legacy (v2-v4) fields.
+  // Those carry no section checksum, so a flip may parse (e.g. a brick
+  // vmax changes) or throw either error type — the invariants are "no
+  // crash" (ASan-backed) and "a successful parse is structurally sane".
+  util::Xoshiro256 rng(0x5EC7104u);
+  for (int trial = 0; trial < 192; ++trial) {
+    const std::size_t position = rng.bounded(section_start);
+    std::vector<std::byte> mutated = bytes;
+    mutated[position] ^=
+        std::byte{static_cast<unsigned char>(1u << rng.bounded(8))};
+    try {
+      const CompactIntervalTree tree = CompactIntervalTree::from_bytes(mutated);
+      EXPECT_LE(tree.hierarchy_levels(), reference.hierarchy_levels())
+          << "byte " << position;
+    } catch (const std::exception&) {
+      // Rejected — fine; any std::exception is a clean failure mode.
+    }
+  }
+}
+
+TEST(HierarchyFuzz, FlatTreeRejectsTrailingGarbageInsteadOfReadingLevels) {
+  // A v2 document with extra bytes appended must not be misread as a v5
+  // hierarchy — the version byte gates the section, and trailing bytes are
+  // an explicit parse error.
+  data::RmConfig config;
+  config.dims = {32, 32, 30};
+  const core::VolumeU8 volume = data::generate_rm_timestep(config, 200);
+  const auto source = metacell::make_source(volume, 9);
+  io::MemoryBlockDevice device(512);
+  std::vector<io::BlockDevice*> devices{&device};
+  const CompactTreeBuilder::Result result =
+      CompactTreeBuilder::build(source->scan(), *source, devices);
+  ASSERT_EQ(result.trees.front().format_version(), 2u);
+
+  std::vector<std::byte> bytes = result.trees.front().to_bytes();
+  bytes.insert(bytes.end(), 16, std::byte{0xAB});
+  EXPECT_THROW(
+      { (void)CompactIntervalTree::from_bytes(bytes); }, std::runtime_error);
+}
+
+}  // namespace
+}  // namespace oociso::index

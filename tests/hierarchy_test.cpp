@@ -1,0 +1,534 @@
+// Property and convergence tests for the multi-resolution metacell
+// hierarchy (index/hierarchy.h, DESIGN §16), locking down the progressive
+// serving contract:
+//   * every coarse node's (vmin, vmax) is the *exact* hull of its kept
+//     children's intervals on randomized volumes — neither looser (wasted
+//     I/O) nor tighter (a missed fine surface breaks conservativeness),
+//   * refinement is monotone: triangle counts only grow level to level,
+//     every active fine metacell's ancestors stab the isovalue at every
+//     coarse level, and the final refinement level reproduces the flat
+//     (non-hierarchical) mesh bit-identically,
+//   * deadline / memory-budget / cancellation bounds hold under 8-way
+//     concurrent serving: peak refinement batch bytes never exceed the
+//     budget, no batch is issued after a stop is observed, and the
+//     coarsest level always completes with a non-empty surface.
+// Carries the ctest label `hierarchy`; CI runs it under ASan/UBSan and
+// TSan (the concurrent-serve tests are the TSan targets).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "data/rm_generator.h"
+#include "index/compact_interval_tree.h"
+#include "index/hierarchy.h"
+#include "io/memory_block_device.h"
+#include "metacell/source.h"
+#include "parallel/cluster.h"
+#include "pipeline/progressive.h"
+#include "pipeline/query_engine.h"
+#include "serve/query_server.h"
+#include "util/rng.h"
+
+namespace oociso {
+namespace {
+
+using index::CompactIntervalTree;
+using index::CompactTreeBuilder;
+using index::HierarchyLevel;
+
+core::VolumeU8 random_volume(core::GridDims dims, std::uint64_t seed) {
+  core::VolumeU8 volume(dims);
+  util::Xoshiro256 rng(seed);
+  for (std::int32_t z = 0; z < dims.nz; ++z) {
+    for (std::int32_t y = 0; y < dims.ny; ++y) {
+      for (std::int32_t x = 0; x < dims.nx; ++x) {
+        volume.at(x, y, z) = static_cast<std::uint8_t>(rng.bounded(256));
+      }
+    }
+  }
+  return volume;
+}
+
+/// Builds the striped v5 layout over `p` in-memory devices.
+struct Built {
+  std::vector<std::unique_ptr<io::MemoryBlockDevice>> devices;
+  CompactTreeBuilder::Result result;
+};
+
+Built build_leveled(const core::VolumeU8& volume, std::size_t p,
+                    std::int32_t levels) {
+  Built built;
+  std::vector<io::BlockDevice*> pointers;
+  for (std::size_t i = 0; i < p; ++i) {
+    built.devices.push_back(std::make_unique<io::MemoryBlockDevice>(512));
+    pointers.push_back(built.devices.back().get());
+  }
+  const auto source = metacell::make_source(volume, 9);
+  built.result = CompactTreeBuilder::build(source->scan(), *source, pointers,
+                                           {}, codec::Codec::kRaw, {}, levels);
+  return built;
+}
+
+/// Merges every tree's stripe of coarse level `level` (1-based) into one
+/// id -> interval map, asserting ids are store-unique.
+std::map<std::uint32_t, core::ValueInterval> merge_level(
+    const std::vector<CompactIntervalTree>& trees, std::int32_t level) {
+  std::map<std::uint32_t, core::ValueInterval> merged;
+  for (const CompactIntervalTree& tree : trees) {
+    const HierarchyLevel& stripe =
+        tree.hierarchy()[static_cast<std::size_t>(level - 1)];
+    EXPECT_EQ(stripe.level, level);
+    for (const index::HierarchyEntry& entry : stripe.entries) {
+      const auto [it, inserted] = merged.emplace(entry.id, entry.interval);
+      EXPECT_TRUE(inserted) << "coarse id " << entry.id
+                            << " stored on two stripes at level " << level;
+    }
+  }
+  return merged;
+}
+
+// ---------------------------------------------------------------------------
+// Coarse intervals are exact hulls of their kept children
+// ---------------------------------------------------------------------------
+
+TEST(HierarchyProperty, CoarseIntervalsAreExactHullsOnRandomVolumes) {
+  // Randomized volumes, odd and even extents (odd extents exercise the
+  // ceil-sized coarse lattice's clamped border). The expected hierarchy is
+  // recomputed here by an independent map-based recurrence over the kept
+  // level-0 intervals; the builder's entries must match value-exactly.
+  const core::GridDims shapes[] = {{33, 29, 27}, {40, 24, 17}, {25, 25, 25}};
+  std::uint64_t seed = 4100;
+  for (const core::GridDims dims : shapes) {
+    const core::VolumeU8 volume = random_volume(dims, seed++);
+    const auto source = metacell::make_source(volume, 9);
+    const metacell::MetacellGeometry base = source->geometry();
+    Built built = build_leveled(volume, 3, /*levels=*/4);
+
+    // Level 0: the kept (non-degenerate) fine metacells.
+    std::map<std::uint32_t, core::ValueInterval> kept;
+    for (const metacell::MetacellInfo& info : source->scan()) {
+      kept.emplace(info.id, info.interval);
+    }
+
+    const std::size_t stored = built.result.trees.front().hierarchy_levels();
+    ASSERT_GE(stored, 1u);
+    for (std::int32_t level = 1; level <= static_cast<std::int32_t>(stored);
+         ++level) {
+      const metacell::MetacellGeometry child_geometry =
+          index::hierarchy_level_geometry(base, level - 1);
+      const metacell::MetacellGeometry coarse_geometry =
+          index::hierarchy_level_geometry(base, level);
+      const core::GridDims child_dims = child_geometry.metacell_dims();
+      const core::GridDims coarse_dims = coarse_geometry.metacell_dims();
+
+      std::map<std::uint32_t, core::ValueInterval> expected;
+      for (std::int32_t z = 0; z < coarse_dims.nz; ++z) {
+        for (std::int32_t y = 0; y < coarse_dims.ny; ++y) {
+          for (std::int32_t x = 0; x < coarse_dims.nx; ++x) {
+            bool any = false;
+            core::ValueInterval hull;
+            for (std::int32_t dz = 0; dz < 2; ++dz) {
+              for (std::int32_t dy = 0; dy < 2; ++dy) {
+                for (std::int32_t dx = 0; dx < 2; ++dx) {
+                  const core::Coord3 child{2 * x + dx, 2 * y + dy, 2 * z + dz};
+                  if (child.x >= child_dims.nx || child.y >= child_dims.ny ||
+                      child.z >= child_dims.nz) {
+                    continue;
+                  }
+                  const auto it = kept.find(child_geometry.id(child));
+                  if (it == kept.end()) continue;
+                  hull = any ? hull.hull(it->second) : it->second;
+                  any = true;
+                }
+              }
+            }
+            if (any) expected.emplace(coarse_geometry.id({x, y, z}), hull);
+          }
+        }
+      }
+
+      const std::map<std::uint32_t, core::ValueInterval> actual =
+          merge_level(built.result.trees, level);
+      EXPECT_EQ(actual, expected)
+          << dims.nx << "x" << dims.ny << "x" << dims.nz << " level " << level;
+      kept = expected;  // next level's children
+    }
+  }
+}
+
+TEST(HierarchyProperty, LevelDimsCeilSizedSoEveryChildHasAParent) {
+  // n_l = ceil((n-1) / 2^l) + 1: the coarse lattice always reaches the
+  // volume edge, so child coordinate c at level l-1 maps to parent c/2 in
+  // bounds — a floor-sized lattice would orphan border children.
+  util::Xoshiro256 rng(0xD1135u);
+  for (int trial = 0; trial < 64; ++trial) {
+    const core::GridDims base = {2 + static_cast<std::int32_t>(rng.bounded(600)),
+                                 2 + static_cast<std::int32_t>(rng.bounded(600)),
+                                 2 + static_cast<std::int32_t>(rng.bounded(600))};
+    core::GridDims prev = base;
+    for (std::int32_t level = 1; level <= 6; ++level) {
+      const core::GridDims dims = index::hierarchy_level_dims(base, level);
+      EXPECT_GE(dims.nx, 2);
+      EXPECT_GE(dims.ny, 2);
+      EXPECT_GE(dims.nz, 2);
+      const std::int32_t stride = 1 << level;
+      // Last sample clamps to the edge; the one before must still be short
+      // of it, or the lattice would carry a redundant plane.
+      EXPECT_GE((dims.nx - 1) * stride, base.nx - 1);
+      EXPECT_LT((dims.nx - 2) * stride, base.nx - 1);
+      // Every child-level sample has a parent sample at half its coord.
+      EXPECT_LE((prev.nx + 1) / 2, dims.nx);
+      prev = dims;
+    }
+  }
+}
+
+TEST(HierarchyProperty, CoarseRecordOffsetsAscendPerDevice) {
+  // plan_level sorts nothing — it relies on entries being appended in
+  // ascending device order so coalesced coarse reads stay sequential.
+  const core::VolumeU8 volume = random_volume({40, 36, 33}, 77);
+  Built built = build_leveled(volume, 4, /*levels=*/3);
+  for (const CompactIntervalTree& tree : built.result.trees) {
+    std::uint64_t last = 0;
+    bool first = true;
+    for (const HierarchyLevel& level : tree.hierarchy()) {
+      for (const index::HierarchyEntry& entry : level.entries) {
+        if (!first) EXPECT_GT(entry.offset, last);
+        last = entry.offset;
+        first = false;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Serialization: --levels 1 is byte-identical to the flat build
+// ---------------------------------------------------------------------------
+
+TEST(HierarchyFormat, LevelsOneIsByteIdenticalToFlatBuild) {
+  const core::VolumeU8 volume = random_volume({40, 36, 33}, 991);
+  Built flat = build_leveled(volume, 2, /*levels=*/1);
+  Built one = build_leveled(volume, 2, /*levels=*/1);
+  Built leveled = build_leveled(volume, 2, /*levels=*/3);
+
+  ASSERT_EQ(flat.result.trees.front().format_version(), 2u);
+  ASSERT_EQ(one.result.trees.front().format_version(), 2u);
+  ASSERT_EQ(leveled.result.trees.front().format_version(), 5u);
+  EXPECT_EQ(one.result.hierarchy_nodes_written, 0u);
+
+  for (std::size_t d = 0; d < flat.devices.size(); ++d) {
+    // Serialized trees identical at levels == 1...
+    EXPECT_EQ(flat.result.trees[d].to_bytes(), one.result.trees[d].to_bytes());
+    // ...and the leveled build only ever *appends*: its device bytes start
+    // with the flat build's, bit for bit.
+    const std::uint64_t flat_size = flat.devices[d]->size();
+    ASSERT_GE(leveled.devices[d]->size(), flat_size);
+    std::vector<std::byte> a(flat_size);
+    std::vector<std::byte> b(flat_size);
+    flat.devices[d]->read(0, a);
+    leveled.devices[d]->read(0, b);
+    EXPECT_EQ(a, b) << "device " << d;
+  }
+
+  // A v5 round trip preserves the hierarchy exactly.
+  const CompactIntervalTree reread =
+      CompactIntervalTree::from_bytes(leveled.result.trees[0].to_bytes());
+  ASSERT_EQ(reread.hierarchy_levels(),
+            leveled.result.trees[0].hierarchy_levels());
+  for (std::size_t l = 0; l < reread.hierarchy_levels(); ++l) {
+    const auto& before = leveled.result.trees[0].hierarchy()[l].entries;
+    const auto& after = reread.hierarchy()[l].entries;
+    ASSERT_EQ(before.size(), after.size());
+    for (std::size_t e = 0; e < before.size(); ++e) {
+      EXPECT_EQ(before[e].id, after[e].id);
+      EXPECT_EQ(before[e].interval, after[e].interval);
+      EXPECT_EQ(before[e].offset, after[e].offset);
+      EXPECT_EQ(before[e].crc, after[e].crc);
+    }
+  }
+}
+
+TEST(HierarchyFormat, PlanLevelRejectsMissingLevels) {
+  const core::VolumeU8 volume = random_volume({33, 29, 27}, 13);
+  Built built = build_leveled(volume, 2, /*levels=*/3);
+  const CompactIntervalTree& tree = built.result.trees.front();
+  const auto stored = static_cast<std::int32_t>(tree.hierarchy_levels());
+  EXPECT_NO_THROW((void)tree.plan_level(128.0f, stored));
+  EXPECT_THROW((void)tree.plan_level(128.0f, stored + 1), std::out_of_range);
+  // Level 0 degenerates to the flat plan.
+  EXPECT_EQ(tree.plan_level(128.0f, 0).scans.size(),
+            tree.plan(128.0f).scans.size());
+}
+
+// ---------------------------------------------------------------------------
+// Monotone refinement down to the flat mesh
+// ---------------------------------------------------------------------------
+
+data::RmConfig small_rm() {
+  data::RmConfig config;
+  config.dims = {48, 48, 44};
+  return config;
+}
+
+pipeline::PreprocessResult preprocess_leveled(parallel::Cluster& cluster,
+                                              const core::VolumeU8& volume,
+                                              std::int32_t levels) {
+  const auto source = metacell::make_source(volume, 9);
+  pipeline::PreprocessConfig config;
+  config.levels = levels;
+  return pipeline::preprocess(*source, cluster, config);
+}
+
+parallel::Cluster make_cluster(std::size_t nodes) {
+  parallel::ClusterConfig config;
+  config.node_count = nodes;
+  config.in_memory = true;
+  return parallel::Cluster(config);
+}
+
+TEST(HierarchyRefinement, MonotoneAndFinalLevelMatchesFlatMeshBitwise) {
+  const core::VolumeU8 volume = data::generate_rm_timestep(small_rm(), 200);
+  auto cluster = make_cluster(4);
+  const pipeline::PreprocessResult prep =
+      preprocess_leveled(cluster, volume, 3);
+  ASSERT_EQ(prep.hierarchy_levels(), 2u);
+
+  pipeline::QueryOptions options;
+  options.render = false;
+  options.keep_triangles = true;
+  options.compute_mesh_crc = true;
+
+  for (const core::ValueKey isovalue : {110.0f, 128.0f, 170.0f}) {
+    const pipeline::QueryReport flat =
+        pipeline::QueryEngine(cluster, prep).run(isovalue, options);
+    pipeline::ProgressiveReport report =
+        pipeline::ProgressiveEngine(cluster, prep).run(isovalue, options);
+
+    // Refined all the way down, coarsest first.
+    ASSERT_EQ(report.levels.size(), 3u);
+    EXPECT_EQ(report.levels.front().level, 2);
+    EXPECT_EQ(report.finest_level_completed, 0);
+    EXPECT_FALSE(report.deadline_expired);
+    EXPECT_FALSE(report.cancelled);
+    EXPECT_EQ(report.batches_after_cancel, 0u);
+
+    // Triangles only grow; elapsed stamps only grow.
+    for (std::size_t l = 1; l < report.levels.size(); ++l) {
+      EXPECT_GE(report.levels[l].triangles, report.levels[l - 1].triangles)
+          << "isovalue " << isovalue;
+      EXPECT_GE(report.levels[l].elapsed_ms, report.levels[l - 1].elapsed_ms);
+    }
+    EXPECT_GT(report.levels.front().triangles, 0u) << "isovalue " << isovalue;
+
+    // The final refinement level IS the flat query: canonical hash equal,
+    // triangle soup bit-identical.
+    ASSERT_TRUE(flat.mesh_crc.has_value());
+    ASSERT_TRUE(report.mesh_crc.has_value());
+    EXPECT_EQ(*report.mesh_crc, *flat.mesh_crc) << "isovalue " << isovalue;
+    ASSERT_TRUE(flat.triangles_out.has_value());
+    const extract::TriangleSoup& flat_mesh = *flat.triangles_out;
+    ASSERT_EQ(report.mesh.size(), flat_mesh.size());
+    if (!flat_mesh.empty()) {
+      EXPECT_EQ(std::memcmp(report.mesh.triangles().data(),
+                            flat_mesh.triangles().data(),
+                            flat_mesh.size() * sizeof(extract::Triangle)),
+                0)
+          << "isovalue " << isovalue;
+    }
+  }
+}
+
+TEST(HierarchyRefinement, ActiveFineMetacellsHaveStabbingAncestors) {
+  // Conservativeness end to end: every fine metacell whose interval stabs
+  // the isovalue must have an ancestor entry at EVERY stored level whose
+  // hull also stabs it — otherwise coarse-first refinement would skip
+  // surface the flat query finds.
+  const core::VolumeU8 volume = random_volume({40, 36, 33}, 2024);
+  const auto source = metacell::make_source(volume, 9);
+  const metacell::MetacellGeometry base = source->geometry();
+  Built built = build_leveled(volume, 3, /*levels=*/4);
+  const auto stored =
+      static_cast<std::int32_t>(built.result.trees.front().hierarchy_levels());
+  ASSERT_GE(stored, 2);
+
+  for (const core::ValueKey isovalue : {64.0f, 128.0f, 200.0f}) {
+    for (std::int32_t level = 1; level <= stored; ++level) {
+      const std::map<std::uint32_t, core::ValueInterval> coarse =
+          merge_level(built.result.trees, level);
+      const metacell::MetacellGeometry coarse_geometry =
+          index::hierarchy_level_geometry(base, level);
+      const std::int32_t shift = level;
+      for (const metacell::MetacellInfo& info : source->scan()) {
+        if (!info.interval.stabs(isovalue)) continue;
+        const core::Coord3 fine = base.coord(info.id);
+        const core::Coord3 ancestor{fine.x >> shift, fine.y >> shift,
+                                    fine.z >> shift};
+        const auto it = coarse.find(coarse_geometry.id(ancestor));
+        ASSERT_NE(it, coarse.end())
+            << "fine id " << info.id << " has no level-" << level
+            << " ancestor";
+        EXPECT_TRUE(it->second.stabs(isovalue))
+            << "fine id " << info.id << " active at " << isovalue
+            << " but its level-" << level << " ancestor " << it->second
+            << " does not stab";
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deadline / budget / cancellation under 8-way concurrent serving
+// ---------------------------------------------------------------------------
+
+TEST(HierarchyServe, BudgetAndIdentityHoldUnderEightWayConcurrentServe) {
+  const core::VolumeU8 volume = data::generate_rm_timestep(small_rm(), 200);
+  auto cluster = make_cluster(4);
+  const pipeline::PreprocessResult prep =
+      preprocess_leveled(cluster, volume, 3);
+
+  // Flat references (serial, uncached) before the server owns the pools.
+  const std::vector<core::ValueKey> isovalues = {96.0f,  110.0f, 120.0f,
+                                                 128.0f, 135.0f, 150.0f,
+                                                 170.0f, 190.0f};
+  std::vector<std::uint32_t> flat_crc;
+  {
+    pipeline::QueryEngine engine(cluster, prep);
+    pipeline::QueryOptions options;
+    options.render = false;
+    options.compute_mesh_crc = true;
+    for (const core::ValueKey isovalue : isovalues) {
+      flat_crc.push_back(*engine.run(isovalue, options).mesh_crc);
+    }
+  }
+
+  serve::ServeOptions serve_options;
+  serve_options.max_concurrent_queries = 8;
+  serve_options.cache_capacity_blocks = 512;
+  serve_options.query.render = false;
+  serve::QueryServer server(cluster, prep, serve_options);
+
+  constexpr std::uint64_t kBudget = 48 * 1024;
+  std::vector<pipeline::ProgressiveReport> reports(isovalues.size());
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(isovalues.size());
+    for (std::size_t i = 0; i < isovalues.size(); ++i) {
+      clients.emplace_back([&, i] {
+        serve::ProgressiveParams params;
+        params.memory_budget_bytes = kBudget;
+        reports[i] = server.query_progressive(isovalues[i], params);
+      });
+    }
+    for (std::thread& client : clients) client.join();
+  }
+
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const pipeline::ProgressiveReport& report = reports[i];
+    // Budget respected: refinement batches never held more bytes at once.
+    EXPECT_LE(report.peak_batch_bytes, kBudget) << "isovalue " << isovalues[i];
+    EXPECT_EQ(report.batches_after_cancel, 0u);
+    // No deadline, no cancel: every request refines to the flat mesh and
+    // reproduces the serial baseline hash despite 8-way interleaving.
+    EXPECT_EQ(report.finest_level_completed, 0);
+    ASSERT_TRUE(report.mesh_crc.has_value());
+    EXPECT_EQ(*report.mesh_crc, flat_crc[i]) << "isovalue " << isovalues[i];
+    for (std::size_t l = 1; l < report.levels.size(); ++l) {
+      EXPECT_GE(report.levels[l].triangles, report.levels[l - 1].triangles);
+    }
+  }
+}
+
+TEST(HierarchyServe, ExpiredDeadlineStillYieldsNonEmptyCoarseSurface) {
+  const core::VolumeU8 volume = data::generate_rm_timestep(small_rm(), 200);
+  auto cluster = make_cluster(4);
+  const pipeline::PreprocessResult prep =
+      preprocess_leveled(cluster, volume, 3);
+  serve::ServeOptions serve_options;
+  serve_options.query.render = false;
+  serve::QueryServer server(cluster, prep, serve_options);
+
+  serve::ProgressiveParams params;
+  params.deadline_ms = 1e-6;  // expired before any refinement can start
+  const pipeline::ProgressiveReport report =
+      server.query_progressive(128.0f, params);
+
+  // The coarsest level is exempt from the deadline and must deliver a
+  // surface; refinement past it was cut off cleanly.
+  ASSERT_EQ(report.levels.size(), 1u);
+  EXPECT_EQ(report.levels.front().level, 2);
+  EXPECT_GT(report.levels.front().triangles, 0u);
+  EXPECT_FALSE(report.mesh.empty());
+  EXPECT_TRUE(report.deadline_expired);
+  EXPECT_FALSE(report.cancelled);
+  EXPECT_EQ(report.finest_level_completed, 2);
+  EXPECT_EQ(report.batches_after_cancel, 0u);
+}
+
+TEST(HierarchyServe, PreCancelledRequestStopsAfterTheMandatoryLevel) {
+  const core::VolumeU8 volume = data::generate_rm_timestep(small_rm(), 200);
+  auto cluster = make_cluster(4);
+  const pipeline::PreprocessResult prep =
+      preprocess_leveled(cluster, volume, 3);
+  serve::ServeOptions serve_options;
+  serve_options.query.render = false;
+  serve::QueryServer server(cluster, prep, serve_options);
+
+  std::atomic<bool> cancel{true};
+  serve::ProgressiveParams params;
+  params.cancel = &cancel;
+  const pipeline::ProgressiveReport report =
+      server.query_progressive(128.0f, params);
+
+  ASSERT_EQ(report.levels.size(), 1u);
+  EXPECT_GT(report.levels.front().triangles, 0u);
+  EXPECT_TRUE(report.cancelled);
+  EXPECT_EQ(report.batches_after_cancel, 0u);
+}
+
+TEST(HierarchyServe, MaxLevelFloorsRefinement) {
+  const core::VolumeU8 volume = data::generate_rm_timestep(small_rm(), 200);
+  auto cluster = make_cluster(2);
+  const pipeline::PreprocessResult prep =
+      preprocess_leveled(cluster, volume, 3);
+  serve::ServeOptions serve_options;
+  serve_options.query.render = false;
+  serve::QueryServer server(cluster, prep, serve_options);
+
+  serve::ProgressiveParams params;
+  params.max_level = 1;
+  const pipeline::ProgressiveReport report =
+      server.query_progressive(128.0f, params);
+  ASSERT_EQ(report.levels.size(), 2u);
+  EXPECT_EQ(report.levels.back().level, 1);
+  EXPECT_EQ(report.finest_level_completed, 1);
+  EXPECT_FALSE(report.deadline_expired);
+  EXPECT_FALSE(report.cancelled);
+}
+
+TEST(HierarchyServe, FlatIndexDegeneratesToTheFlatQuery) {
+  const core::VolumeU8 volume = data::generate_rm_timestep(small_rm(), 200);
+  auto cluster = make_cluster(2);
+  const pipeline::PreprocessResult prep =
+      preprocess_leveled(cluster, volume, /*levels=*/1);
+  ASSERT_EQ(prep.hierarchy_levels(), 0u);
+  serve::ServeOptions serve_options;
+  serve_options.query.render = false;
+  serve::QueryServer server(cluster, prep, serve_options);
+
+  const pipeline::ProgressiveReport report =
+      server.query_progressive(128.0f, {});
+  ASSERT_EQ(report.levels.size(), 1u);
+  EXPECT_EQ(report.levels.front().level, 0);
+  EXPECT_EQ(report.finest_level_completed, 0);
+  EXPECT_TRUE(report.full.has_value());
+}
+
+}  // namespace
+}  // namespace oociso

@@ -13,7 +13,9 @@
 // expensive pass runs once per dataset.
 
 #include <filesystem>
+#include <iomanip>
 #include <iostream>
+#include <sstream>
 
 #include "data/datasets.h"
 #include "obs/metrics.h"
@@ -26,6 +28,7 @@
 #include "metacell/source.h"
 #include "pipeline/bundle.h"
 #include "pipeline/ooc_preprocess.h"
+#include "pipeline/progressive.h"
 #include "pipeline/query_engine.h"
 #include "serve/query_server.h"
 #include "util/cli.h"
@@ -54,6 +57,10 @@ commands:
                 --compression none|lz (none; lz writes index v4 with
                 byte-shuffle + LZ chunks, decoded on fetch at query time —
                 meshes stay bit-identical)
+                --levels N (1; total resolution levels. N > 1 appends N-1
+                coarse mip levels over the metacells and writes index v5
+                for deadline-bounded progressive queries; --levels 1 stays
+                byte-identical to earlier versions)
   query       run an isovalue query against a preprocessed storage dir
                 --storage DIR  --nodes P (4)  --iso V (128)
                 --obj FILE  --image FILE  --imagesize N (512)  --weld
@@ -70,6 +77,16 @@ commands:
                 kernels, only classify throughput differs)
                 --trace FILE (Chrome trace_event JSON of the query)
                 --metrics FILE (metrics-registry JSON snapshot)
+                --progressive (refine coarsest level -> full resolution;
+                needs an index preprocessed with --levels > 1. Implied by
+                the three flags below)
+                --deadline-ms MS (0 = none; best surface within MS — the
+                coarsest level always completes, refinement stops at the
+                deadline)
+                --memory-budget BYTES (0 = none; bound on refinement batch
+                bytes in flight across the nodes)
+                --max-level L (0; stop refining once level L completes,
+                0 = refine to the full-resolution mesh)
   serve       replay a list of isovalue queries concurrently through the
               shared per-node brick cache (cross-query read dedup)
                 --storage DIR  --nodes P (4)  --isos V1,V2,...
@@ -89,7 +106,8 @@ commands:
                 --trace FILE (Chrome trace_event JSON, one pid per query)
                 --metrics FILE (metrics-registry JSON snapshot)
   info        print bundle statistics (index version, replication,
-              compression codec, chunk counts, raw/encoded byte totals)
+              compression codec, chunk counts, raw/encoded byte totals,
+              hierarchy levels and coarse-brick bytes for v5 indexes)
                 --storage DIR
   suggest     profile a volume's span space and suggest isovalues
                 --volume FILE  --metacell K (9)  --count N (5)
@@ -153,7 +171,7 @@ int cmd_generate(const util::CliArgs& args) {
 
 int cmd_preprocess(const util::CliArgs& args) {
   args.require_known({"volume", "storage", "nodes", "metacell", "ooc",
-                      "replication", "compression"});
+                      "replication", "compression", "levels"});
   const std::string volume_file = args.get("volume", "");
   const std::string storage = args.get("storage", "");
   if (volume_file.empty() || storage.empty()) return usage();
@@ -185,6 +203,13 @@ int cmd_preprocess(const util::CliArgs& args) {
                  "preprocess in-core\n";
     return 1;
   }
+  const auto levels =
+      static_cast<std::int32_t>(args.get_int_in("levels", 1, 1, 16));
+  if (levels > 1 && args.get_bool("ooc", false)) {
+    std::cerr << "error: --levels > 1 is not supported with --ooc yet; "
+                 "preprocess in-core\n";
+    return 1;
+  }
 
   std::filesystem::create_directories(storage);
   auto cluster = open_cluster(storage, nodes, /*existing=*/false);
@@ -204,6 +229,7 @@ int cmd_preprocess(const util::CliArgs& args) {
     config.samples_per_side = k;
     config.placement.replication = replication;
     config.compression = compression;
+    config.levels = levels;
     return pipeline::preprocess(*source, cluster, config);
   }();
   pipeline::save_bundle(prep, storage);
@@ -231,6 +257,12 @@ int cmd_preprocess(const util::CliArgs& args) {
               << util::human_bytes(prep.compressed_bytes_written)
               << " encoded (" << util::fixed(ratio, 2) << "x)\n";
   }
+  if (prep.hierarchy_levels() > 0) {
+    std::cout << "  hierarchy: " << prep.hierarchy_levels()
+              << " coarse level(s), "
+              << util::with_commas(prep.hierarchy_nodes_written) << " nodes, "
+              << util::human_bytes(prep.hierarchy_bytes_written) << "\n";
+  }
   return 0;
 }
 
@@ -238,7 +270,8 @@ int cmd_query(const util::CliArgs& args) {
   args.require_known({"storage", "nodes", "iso", "obj", "image", "imagesize",
                       "weld", "readahead", "queue-depth", "no-coalesce",
                       "coalesce-gap", "inject-faults", "kernel", "trace",
-                      "metrics"});
+                      "metrics", "progressive", "deadline-ms",
+                      "memory-budget", "max-level"});
   const std::string storage = args.get("storage", "");
   if (storage.empty()) return usage();
   const auto nodes = static_cast<std::size_t>(args.get_int("nodes", 4));
@@ -264,6 +297,14 @@ int cmd_query(const util::CliArgs& args) {
   if (!fault_spec.empty()) {
     options.inject_faults = io::FaultConfig::parse(fault_spec);
   }
+  options.deadline_ms = args.get_double("deadline-ms", 0.0);
+  options.memory_budget_bytes = static_cast<std::uint64_t>(
+      args.get_int_in("memory-budget", 0, 0, std::int64_t{1} << 40));
+  options.max_level =
+      static_cast<std::int32_t>(args.get_int_in("max-level", 0, 0, 64));
+  const bool progressive =
+      args.get_bool("progressive", false) || args.has("deadline-ms") ||
+      args.has("memory-budget") || args.has("max-level");
 
   auto cluster = open_cluster(storage, nodes, /*existing=*/true);
   const pipeline::PreprocessResult prep = pipeline::load_bundle(storage);
@@ -272,8 +313,6 @@ int cmd_query(const util::CliArgs& args) {
               << " nodes; pass --nodes " << prep.trees.size() << "\n";
     return 1;
   }
-  pipeline::QueryEngine engine(cluster, prep);
-
   const std::string trace_path = args.get("trace", "");
   const std::string metrics_path = args.get("metrics", "");
   obs::Tracer tracer;
@@ -288,6 +327,49 @@ int cmd_query(const util::CliArgs& args) {
     cluster.attach_metrics(registry);
   }
 
+  if (progressive) {
+    pipeline::ProgressiveEngine engine(cluster, prep);
+    const pipeline::ProgressiveReport report = engine.run(isovalue, options);
+    const auto hex_crc = [](std::uint32_t crc) {
+      std::ostringstream out;
+      out << "0x" << std::hex << std::setw(8) << std::setfill('0') << crc;
+      return out.str();
+    };
+    util::Table table(
+        {"level", "active", "triangles", "read_ops", "elapsed", "mesh crc"});
+    for (const pipeline::LevelReport& level : report.levels) {
+      table.add_row({std::to_string(level.level),
+                     util::with_commas(level.active_metacells),
+                     util::with_commas(level.triangles),
+                     util::with_commas(level.io.read_ops),
+                     util::human_seconds(level.elapsed_ms / 1000.0),
+                     hex_crc(level.mesh_crc)});
+    }
+    std::cout << table.render();
+    std::cout << "progressive isovalue " << isovalue << ": refined to level "
+              << report.finest_level_completed
+              << (report.deadline_expired ? " (deadline expired)" : "")
+              << (report.cancelled ? " (cancelled)" : "") << ", peak batch "
+              << util::human_bytes(report.peak_batch_bytes) << "\n";
+    if (!trace_path.empty()) {
+      tracer.write(trace_path);
+      std::cout << "wrote " << trace_path << " (" << tracer.event_count()
+                << " trace events)\n";
+    }
+    if (!metrics_path.empty()) {
+      registry.save(metrics_path);
+      std::cout << "wrote " << metrics_path << "\n";
+    }
+    if (args.has("obj") && !report.mesh.empty()) {
+      const std::string obj = args.get("obj", "surface.obj");
+      extract::write_obj(report.mesh, obj);
+      std::cout << "wrote " << obj << " (level "
+                << report.finest_level_completed << " triangle soup)\n";
+    }
+    return 0;
+  }
+
+  pipeline::QueryEngine engine(cluster, prep);
   const pipeline::QueryReport report = engine.run(isovalue, options);
   if (!trace_path.empty()) {
     tracer.write(trace_path);
@@ -500,6 +582,26 @@ int cmd_info(const util::CliArgs& args) {
       table.add_row({"encoded payload", util::human_bytes(encoded_bytes) +
                                             " (" + util::fixed(ratio, 2) +
                                             "x)"});
+    }
+    // v5 only: the rows below never appear for a flat (v2/v3/v4) bundle,
+    // keeping earlier versions' output byte-identical.
+    if (first.hierarchy_levels() > 0) {
+      std::uint64_t coarse_bytes = 0;
+      for (const auto& tree : prep.trees) {
+        coarse_bytes += tree.hierarchy_payload_bytes();
+      }
+      table.add_row(
+          {"hierarchy levels", std::to_string(first.hierarchy_levels())});
+      for (std::size_t l = 0; l < first.hierarchy_levels(); ++l) {
+        std::uint64_t level_nodes = 0;
+        for (const auto& tree : prep.trees) {
+          level_nodes += tree.hierarchy()[l].entries.size();
+        }
+        table.add_row(
+            {"  level " + std::to_string(first.hierarchy()[l].level),
+             util::with_commas(level_nodes) + " coarse nodes"});
+      }
+      table.add_row({"coarse payload", util::human_bytes(coarse_bytes)});
     }
   }
   for (std::size_t i = 0; i < prep.trees.size(); ++i) {
